@@ -1,0 +1,102 @@
+//! Ablation micro-benchmarks for the design choices DESIGN.md calls out:
+//! the frequency decay factor μ, the RWR restart probability τ, and the
+//! BES size divisor s — each as extraction-cost benchmarks — plus the
+//! exact-coverage vs Monte Carlo spread evaluation and the accountant's
+//! σ-calibration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_core::config::PrivImConfig;
+use privim_core::sampling::extract_dual_stage;
+use privim_datasets::generators::holme_kim;
+use privim_dp::rdp::{calibrate_sigma, SubsampledConfig};
+use privim_graph::NodeId;
+use privim_im::models::DiffusionConfig;
+use privim_im::spread::influence_spread;
+
+fn graph() -> privim_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(9);
+    holme_kim(800, 5, 0.4, 1.0, &mut rng)
+}
+
+fn base_config() -> PrivImConfig {
+    PrivImConfig {
+        subgraph_size: 20,
+        walk_length: 200,
+        hops: 2,
+        sampling_rate: Some(0.3),
+        freq_threshold: 4,
+        feature_dim: 8,
+        ..PrivImConfig::default()
+    }
+}
+
+fn bench_sampling_ablation(c: &mut Criterion) {
+    let g = graph();
+    let candidates: Vec<NodeId> = g.nodes().collect();
+    let mut group = c.benchmark_group("sampling_ablation");
+    for &decay in &[0.0, 1.0, 2.0] {
+        group.bench_with_input(BenchmarkId::new("decay_mu", format!("{decay}")), &decay, |b, &d| {
+            let cfg = PrivImConfig { decay: d, ..base_config() };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+            })
+        });
+    }
+    for &tau in &[0.1, 0.3, 0.6] {
+        group.bench_with_input(BenchmarkId::new("restart_tau", format!("{tau}")), &tau, |b, &t| {
+            let cfg = PrivImConfig { restart_prob: t, ..base_config() };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+            })
+        });
+    }
+    for &s in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("bes_divisor_s", format!("{s}")), &s, |b, &s| {
+            let cfg = PrivImConfig { bes_divisor: s, ..base_config() };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spread_evaluation(c: &mut Criterion) {
+    let g = graph();
+    let seeds: Vec<NodeId> = (0..50).collect();
+    let mut group = c.benchmark_group("spread_evaluation");
+    group.bench_function("exact_one_step_coverage", |b| {
+        let cfg = DiffusionConfig::ic_with_steps(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| influence_spread(&g, &seeds, &cfg, 1, &mut rng))
+    });
+    group.bench_function("monte_carlo_unbounded_1000", |b| {
+        let half = g.with_uniform_weight(0.5);
+        let cfg = DiffusionConfig::ic_unbounded();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| influence_spread(&half, &seeds, &cfg, 1_000, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy_accounting");
+    let sub = SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 400 };
+    group.bench_function("calibrate_sigma", |b| {
+        b.iter(|| calibrate_sigma(3.0, 1e-5, &sub, 100))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sampling_ablation, bench_spread_evaluation, bench_accounting
+}
+criterion_main!(benches);

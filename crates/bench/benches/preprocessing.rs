@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for Table III's preprocessing phase:
+//! θ-projection, naive extraction (Algorithm 1), and dual-stage extraction
+//! (Algorithm 3) across replica sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_core::config::PrivImConfig;
+use privim_core::sampling::{extract_dual_stage, extract_naive};
+use privim_datasets::generators::holme_kim;
+use privim_graph::ops::theta_projection;
+use privim_graph::NodeId;
+
+fn config() -> PrivImConfig {
+    PrivImConfig {
+        subgraph_size: 20,
+        walk_length: 200,
+        hops: 2,
+        sampling_rate: Some(0.3),
+        freq_threshold: 4,
+        feature_dim: 8,
+        ..PrivImConfig::default()
+    }
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing");
+    for &n in &[300usize, 1_000, 3_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = holme_kim(n, 5, 0.4, 1.0, &mut rng);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let cfg = config();
+
+        group.bench_with_input(BenchmarkId::new("theta_projection", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                theta_projection(g, 10, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_algorithm1", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                extract_naive(g, &cfg, &candidates, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dual_stage_algorithm3", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                extract_dual_stage(g, &cfg, &candidates, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preprocessing
+}
+criterion_main!(benches);

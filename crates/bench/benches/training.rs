@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for Table III's per-epoch training phase:
+//! one DP-SGD iteration per GNN backbone, plus the private/non-private
+//! overhead comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_core::config::PrivImConfig;
+use privim_core::sampling::extract_dual_stage;
+use privim_core::train::{train, NoiseKind, PrivacySetup};
+use privim_core::SubgraphContainer;
+use privim_datasets::generators::holme_kim;
+use privim_graph::NodeId;
+use privim_nn::models::{build_model, ModelKind};
+
+fn setup() -> (SubgraphContainer, PrivImConfig) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = holme_kim(600, 5, 0.4, 1.0, &mut rng);
+    let cfg = PrivImConfig {
+        subgraph_size: 20,
+        walk_length: 200,
+        hops: 2,
+        sampling_rate: Some(0.5),
+        freq_threshold: 4,
+        feature_dim: 8,
+        hidden: 16,
+        batch_size: 8,
+        iterations: 1, // one epoch per measurement
+        ..PrivImConfig::default()
+    };
+    let candidates: Vec<NodeId> = g.nodes().collect();
+    let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+    (out.container, cfg)
+}
+
+fn bench_training_iteration(c: &mut Criterion) {
+    let (container, cfg) = setup();
+    let mut group = c.benchmark_group("per_epoch_training");
+
+    for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat, ModelKind::Grat, ModelKind::Gin] {
+        group.bench_with_input(BenchmarkId::new("model", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut model =
+                    build_model(kind, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+                train(model.as_mut(), &container, &cfg, None, &mut rng)
+            })
+        });
+    }
+
+    let setup_privacy = PrivacySetup::calibrate(
+        3.0,
+        1e-4,
+        &cfg,
+        container.len(),
+        cfg.freq_threshold,
+        NoiseKind::Gaussian,
+    );
+    group.bench_function("grat_private_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut model =
+                build_model(ModelKind::Grat, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+            train(model.as_mut(), &container, &cfg, Some(&setup_privacy), &mut rng)
+        })
+    });
+    group.bench_function("grat_nonprivate_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut model =
+                build_model(ModelKind::Grat, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+            train(model.as_mut(), &container, &cfg, None, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_iteration
+}
+criterion_main!(benches);

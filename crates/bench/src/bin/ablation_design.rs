@@ -1,0 +1,56 @@
+//! Quality ablations of the design choices DESIGN.md §6 calls out: the
+//! frequency decay factor μ (Eq. 9), the RWR restart probability τ, the
+//! BES size divisor s, and the effect of removing BES entirely — all at
+//! ε = 3 on a LastFM replica. (Timing ablations of the same knobs live in
+//! `benches/ablation.rs`.)
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::config::PrivImConfig;
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let g = bench_graph(Dataset::LastFm, &opts);
+    eprintln!("[ablation] LastFM replica: |V|={}", g.num_nodes());
+    let base = bench_config(g.num_nodes(), Some(3.0));
+    let celf = celf_reference(&g, base.seed_size);
+
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+    let mut run = |label: String, cfg: &PrivImConfig, method: Method, all: &mut Vec<MethodRow>| {
+        let r = run_repeated(&g, "LastFM", method, cfg, celf, opts.repeats, opts.seed);
+        rows.push(vec![
+            label,
+            format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+            format!("{:.1}", r.coverage_mean),
+        ]);
+        all.push(r);
+    };
+
+    for decay in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let cfg = PrivImConfig { decay, ..base.clone() };
+        run(format!("decay mu = {decay}"), &cfg, Method::PrivImStar, &mut all);
+    }
+    for tau in [0.1, 0.3, 0.6, 0.9] {
+        let cfg = PrivImConfig { restart_prob: tau, ..base.clone() };
+        run(format!("restart tau = {tau}"), &cfg, Method::PrivImStar, &mut all);
+    }
+    for s in [1usize, 2, 4, 8] {
+        let cfg = PrivImConfig { bes_divisor: s, ..base.clone() };
+        run(format!("BES divisor s = {s}"), &cfg, Method::PrivImStar, &mut all);
+    }
+    // BES on/off: PrivIM* vs PrivIM+SCS at identical settings.
+    run("with BES (PrivIM*)".into(), &base, Method::PrivImStar, &mut all);
+    run("without BES (SCS only)".into(), &base, Method::PrivImScs, &mut all);
+
+    println!("Design-choice ablation on LastFM (eps = 3)\n");
+    print_table(&["configuration", "spread", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Example 2: why noisy greedy fails under node-level DP.
+//!
+//! On a Gowalla-sized graph, the Laplace mechanism for the greedy marginal
+//! gain needs noise scale Δf/ε ≈ |V|/ε, while real marginal gains are
+//! 10⁰–10³. This binary measures both quantities on the replica and shows
+//! the signal-to-noise ratio collapsing — the paper's motivation for
+//! learning-based PrivIM.
+
+use privim_bench::{bench_graph, print_table, write_json, HarnessOpts};
+use privim_datasets::paper::Dataset;
+use privim_dp::mechanisms::laplace_mechanism;
+use privim_im::greedy::celf_coverage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let g = bench_graph(Dataset::Gowalla, &opts);
+    let n = g.num_nodes();
+    println!(
+        "Example 2 — Laplace noise vs greedy gain on Gowalla replica (|V| = {n})\n"
+    );
+
+    // True top greedy marginal gains (what the mechanism must preserve).
+    let (seeds, _) = celf_coverage(&g, 10);
+    let mut covered = vec![false; n];
+    let mut gains = Vec::new();
+    for &s in &seeds {
+        let mut gain = usize::from(!covered[s as usize]);
+        covered[s as usize] = true;
+        for &u in g.out_neighbors(s) {
+            if !covered[u as usize] {
+                covered[u as usize] = true;
+                gain += 1;
+            }
+        }
+        gains.push(gain as f64);
+    }
+
+    let sensitivity = n as f64; // removing one node can change gains by Θ(|V|)
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for eps in [0.5, 1.0, 2.0, 4.0] {
+        let noise_scale = sensitivity / eps;
+        let trials = 2_000;
+        // Fraction of trials where the noised best gain is still ranked
+        // above the noised worst gain — i.e., where selection survives.
+        let best = gains[0];
+        let worst = *gains.last().unwrap();
+        let survived = (0..trials)
+            .filter(|_| {
+                let nb = laplace_mechanism(&mut rng, best, sensitivity, eps);
+                let nw = laplace_mechanism(&mut rng, worst, sensitivity, eps);
+                nb > nw
+            })
+            .count();
+        let survival = survived as f64 / trials as f64;
+        rows.push(vec![
+            format!("{eps}"),
+            format!("{:.0}", best),
+            format!("{:.0}", noise_scale),
+            format!("{:.1}x", noise_scale / best),
+            format!("{:.1}%", 100.0 * survival),
+        ]);
+        json_rows.push((eps, best, noise_scale, survival));
+    }
+    print_table(
+        &["epsilon", "top gain", "noise scale |V|/eps", "noise/gain", "ranking survives"],
+        &rows,
+    );
+    println!(
+        "\nWith ranking-survival near 50% (a coin flip), noisy greedy selection is \
+         uninformative — matching the paper's Example 2."
+    );
+    if let Some(path) = &opts.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Figures 5 and 14: influence spread of all methods over the datasets,
+//! varying the privacy budget ε (HepPh — Figure 14 in the paper's appendix
+//! — is part of the same sweep here). Also includes the partitioned
+//! Friendster replica from Figure 5's last panel.
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_bench::experiment::epsilon_grid;
+use privim_core::pipeline::{run_method, Method};
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+
+    for dataset in Dataset::SIX {
+        let g = bench_graph(dataset, &opts);
+        let name = dataset.spec().name;
+        eprintln!("[fig5] {name}: |V|={} |E|={}", g.num_nodes(), g.num_edges());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+        rows.push(vec![
+            name.to_string(),
+            "CELF (ground truth)".into(),
+            "-".into(),
+            format!("{celf:.1}"),
+            "100.0".into(),
+        ]);
+        // Non-private reference once per dataset.
+        let cfg = bench_config(g.num_nodes(), None);
+        let row = run_repeated(&g, name, Method::NonPrivate, &cfg, celf, opts.repeats, opts.seed);
+        rows.push(to_row(&row));
+        all.push(row);
+        for &eps in &epsilon_grid(opts.full) {
+            for method in [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Hp, Method::Egn] {
+                let cfg = bench_config(g.num_nodes(), Some(eps));
+                let row =
+                    run_repeated(&g, name, method, &cfg, celf, opts.repeats, opts.seed + eps as u64);
+                rows.push(to_row(&row));
+                all.push(row);
+            }
+        }
+    }
+
+    // Friendster: partitioned processing (two partitions, spreads summed).
+    eprintln!("[fig5] Friendster (partitioned)");
+    let parts = Dataset::Friendster.generate_partitions(400, 2, opts.seed);
+    let k = bench_config(400, None).seed_size;
+    let celf_total: f64 = parts.iter().map(|p| celf_reference(p, k)).sum();
+    for &eps in &epsilon_grid(opts.full) {
+        for method in [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Egn] {
+            let cfg = bench_config(400, Some(eps));
+            let spread_total: f64 = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| run_method(p, method, &cfg, opts.seed + i as u64).spread)
+                .sum();
+            rows.push(vec![
+                "Friendster".into(),
+                method.name().into(),
+                format!("{eps}"),
+                format!("{spread_total:.1}"),
+                format!("{:.1}", 100.0 * spread_total / celf_total),
+            ]);
+        }
+    }
+
+    println!("Figure 5 / Figure 14 — influence spread vs privacy budget\n");
+    print_table(&["dataset", "method", "eps", "spread", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn to_row(r: &MethodRow) -> Vec<String> {
+    vec![
+        r.dataset.clone(),
+        r.method.clone(),
+        r.epsilon.map_or("inf".into(), |e| format!("{e}")),
+        format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+        format!("{:.1} ± {:.1}", r.coverage_mean, r.coverage_std),
+    ]
+}

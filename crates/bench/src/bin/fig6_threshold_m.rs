@@ -1,0 +1,66 @@
+//! Figures 6 and 10: impact of the frequency threshold M on PrivIM*
+//! (ε = 3), for several subgraph sizes n. Quick mode covers Facebook and
+//! Gowalla (the paper's Figure 6); `--full` adds the remaining datasets
+//! (Figure 10).
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let datasets: Vec<Dataset> = if opts.full {
+        Dataset::SIX.to_vec()
+    } else {
+        vec![Dataset::Facebook, Dataset::Gowalla]
+    };
+    // The paper: M ∈ {4..12} for Email (1K nodes), {2..10} elsewhere;
+    // n ∈ {20, 40, 60, 80}.
+    let n_grid = [20usize, 40, 60, 80];
+
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+    for dataset in datasets {
+        let g = bench_graph(dataset, &opts);
+        let name = dataset.spec().name;
+        let m_grid: [usize; 5] =
+            if dataset == Dataset::Email { [4, 6, 8, 10, 12] } else { [2, 4, 6, 8, 10] };
+        eprintln!("[fig6] {name}: |V|={}", g.num_nodes());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+        for &n in &n_grid {
+            for &m in &m_grid {
+                let mut cfg = bench_config(g.num_nodes(), Some(3.0));
+                cfg.subgraph_size = n;
+                cfg.freq_threshold = m;
+                let r = run_repeated(
+                    &g,
+                    name,
+                    Method::PrivImStar,
+                    &cfg,
+                    celf,
+                    opts.repeats,
+                    opts.seed + (n * 100 + m) as u64,
+                );
+                rows.push(vec![
+                    name.to_string(),
+                    format!("{n}"),
+                    format!("{m}"),
+                    format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+                    format!("{:.1}", r.coverage_mean),
+                ]);
+                all.push(r);
+            }
+        }
+    }
+
+    println!("Figure 6 / Figure 10 — impact of threshold M on PrivIM* (eps = 3)\n");
+    print_table(&["dataset", "n", "M", "spread", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

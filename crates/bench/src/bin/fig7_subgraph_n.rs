@@ -1,0 +1,56 @@
+//! Figures 7 and 11: impact of the subgraph size n on PrivIM* (ε = 3).
+//! Quick mode covers LastFM and Gowalla; `--full` runs all six datasets.
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let datasets: Vec<Dataset> = if opts.full {
+        Dataset::SIX.to_vec()
+    } else {
+        vec![Dataset::LastFm, Dataset::Gowalla]
+    };
+    let n_grid = [10usize, 20, 30, 40, 50, 60, 70, 80];
+
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+    for dataset in datasets {
+        let g = bench_graph(dataset, &opts);
+        let name = dataset.spec().name;
+        eprintln!("[fig7] {name}: |V|={}", g.num_nodes());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+        for &n in &n_grid {
+            let mut cfg = bench_config(g.num_nodes(), Some(3.0));
+            cfg.subgraph_size = n;
+            let r = run_repeated(
+                &g,
+                name,
+                Method::PrivImStar,
+                &cfg,
+                celf,
+                opts.repeats,
+                opts.seed + n as u64,
+            );
+            rows.push(vec![
+                name.to_string(),
+                format!("{n}"),
+                format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+                format!("{:.1}", r.coverage_mean),
+            ]);
+            all.push(r);
+        }
+    }
+
+    println!("Figure 7 / Figure 11 — impact of subgraph size n on PrivIM* (eps = 3)\n");
+    print_table(&["dataset", "n", "spread", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figures 8 and 12: theoretical indicator values vs empirical influence
+//! spread of PrivIM* (ε = 3). For each dataset the binary prints, per
+//! (n, M) combination, the normalized indicator I(n, M) (Eq. 10, the
+//! paper's curves) next to the measured spread (the paper's bars).
+//!
+//! The indicator's shape parameters are tied to the dataset's *real* node
+//! count from Table I (the indicator models how optima shift with |V|),
+//! while the empirical bars are measured on the harness replica.
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts,
+};
+use privim_core::indicator::Indicator;
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let datasets: Vec<Dataset> =
+        if opts.full { Dataset::SIX.to_vec() } else { vec![Dataset::LastFm, Dataset::HepPh] };
+    let indicator = Indicator::default();
+    let n_grid = [20usize, 40, 60, 80];
+    let m_grid = [2usize, 4, 6, 8];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for dataset in datasets {
+        let g = bench_graph(dataset, &opts);
+        let spec = dataset.spec();
+        eprintln!("[fig8] {}: |V|={}", spec.name, g.num_nodes());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+        let grid = indicator.values_on_grid(&n_grid, &m_grid, spec.num_nodes);
+        for (i, &n) in n_grid.iter().enumerate() {
+            for (j, &m) in m_grid.iter().enumerate() {
+                let mut cfg = bench_config(g.num_nodes(), Some(3.0));
+                cfg.subgraph_size = n;
+                cfg.freq_threshold = m;
+                let r = run_repeated(
+                    &g,
+                    spec.name,
+                    Method::PrivImStar,
+                    &cfg,
+                    celf,
+                    opts.repeats,
+                    opts.seed + (n * 31 + m) as u64,
+                );
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{n}"),
+                    format!("{m}"),
+                    format!("{:.3}", grid[i][j]),
+                    format!("{:.1}", r.spread_mean),
+                    format!("{:.1}", r.coverage_mean),
+                ]);
+                json_rows.push((spec.name, n, m, grid[i][j], r.spread_mean));
+            }
+        }
+        let (best_n, best_m) = indicator.best(&n_grid, &m_grid, spec.num_nodes);
+        println!(
+            "[fig8] {}: indicator recommends n = {best_n}, M = {best_m} \
+             (continuous optimum n* = {:.1}, M* = {:.1})",
+            spec.name,
+            indicator.continuous_optimum(spec.num_nodes).0,
+            indicator.continuous_optimum(spec.num_nodes).1,
+        );
+    }
+
+    println!("\nFigure 8 / Figure 12 — indicator (theory) vs spread (empirical), eps = 3\n");
+    print_table(
+        &["dataset", "n", "M", "indicator I(n,M)", "spread", "coverage %"],
+        &rows,
+    );
+    if let Some(path) = &opts.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 9: coverage ratio of PrivIM* with different GNN backbones
+//! (GraphSAGE, GCN, GAT, GIN, GRAT) at ε = 2 and ε = 5.
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+use privim_nn::models::ModelKind;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let datasets: Vec<Dataset> = if opts.full {
+        Dataset::SIX.to_vec()
+    } else {
+        vec![Dataset::Email, Dataset::LastFm, Dataset::Facebook]
+    };
+    let models =
+        [ModelKind::GraphSage, ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Grat];
+
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+    for dataset in datasets {
+        let g = bench_graph(dataset, &opts);
+        let name = dataset.spec().name;
+        eprintln!("[fig9] {name}: |V|={}", g.num_nodes());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+        for eps in [2.0, 5.0] {
+            for kind in models {
+                let mut cfg = bench_config(g.num_nodes(), Some(eps));
+                cfg.model = kind;
+                let mut r = run_repeated(
+                    &g,
+                    name,
+                    Method::PrivImStar,
+                    &cfg,
+                    celf,
+                    opts.repeats,
+                    opts.seed + eps as u64,
+                );
+                r.method = format!("PrivIM* ({kind})");
+                rows.push(vec![
+                    name.to_string(),
+                    kind.to_string(),
+                    format!("{eps}"),
+                    format!("{:.2} ± {:.2}", r.coverage_mean, r.coverage_std),
+                ]);
+                all.push(r);
+            }
+        }
+    }
+
+    println!("Figure 9 — coverage ratio (%) of PrivIM* with different GNN models\n");
+    print_table(&["dataset", "model", "eps", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

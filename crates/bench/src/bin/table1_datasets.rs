@@ -1,0 +1,65 @@
+//! Table I: statistics of the experimented datasets.
+//!
+//! Prints the paper's specification next to the generated synthetic
+//! replica at the harness scale, so the calibration of the substitution
+//! (DESIGN.md §3) is auditable.
+
+use privim_bench::{bench_graph, print_table, write_json, HarnessOpts};
+use privim_datasets::paper::Dataset;
+use privim_graph::stats::graph_stats;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    println!("Table I — dataset statistics (paper spec vs generated replica)\n");
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for dataset in Dataset::SIX {
+        let spec = dataset.spec();
+        let g = bench_graph(dataset, &opts);
+        let s = graph_stats(&g);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}", spec.num_nodes),
+            format!("{:.2}", spec.avg_degree),
+            if spec.directed { "Directed" } else { "Undirected" }.to_string(),
+            format!("{}", s.num_nodes),
+            format!("{}", s.num_edges),
+            format!("{:.2}", s.avg_degree),
+            format!("{}", s.max_in_degree),
+            format!("{:.3}", s.avg_clustering),
+        ]);
+        json_rows.push((spec, s));
+    }
+    // Friendster is partitioned (Section V-A); report one partition's shape.
+    let parts = Dataset::Friendster.generate_partitions(400, 2, opts.seed);
+    let s = graph_stats(&parts[0]);
+    rows.push(vec![
+        "Friendster (1 of 2 partitions)".into(),
+        format!("{}", Dataset::Friendster.spec().num_nodes),
+        format!("{:.2}", Dataset::Friendster.spec().avg_degree),
+        "Undirected".into(),
+        format!("{}", s.num_nodes),
+        format!("{}", s.num_edges),
+        format!("{:.2}", s.avg_degree),
+        format!("{}", s.max_in_degree),
+        format!("{:.3}", s.avg_clustering),
+    ]);
+    print_table(
+        &[
+            "Dataset",
+            "|V| (paper)",
+            "AvgDeg (paper)",
+            "Type",
+            "|V| (replica)",
+            "|E| (replica)",
+            "AvgDeg",
+            "MaxInDeg",
+            "Clustering",
+        ],
+        &rows,
+    );
+    if let Some(path) = &opts.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

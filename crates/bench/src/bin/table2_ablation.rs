@@ -1,0 +1,62 @@
+//! Table II: coverage-ratio ablation of the dual-stage sampling scheme —
+//! PrivIM vs PrivIM+SCS vs PrivIM+SCS+BES (= PrivIM*) at ε ∈ {4, 1}, plus
+//! the Non-Private reference, over the six datasets.
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+
+    for dataset in Dataset::SIX {
+        let g = bench_graph(dataset, &opts);
+        let name = dataset.spec().name;
+        eprintln!("[table2] {name}: |V|={}", g.num_nodes());
+        let k = bench_config(g.num_nodes(), None).seed_size;
+        let celf = celf_reference(&g, k);
+
+        let np_cfg = bench_config(g.num_nodes(), None);
+        let np = run_repeated(&g, name, Method::NonPrivate, &np_cfg, celf, opts.repeats, opts.seed);
+        rows.push(row_of(&np, "inf"));
+        all.push(np);
+
+        for eps in [4.0, 1.0] {
+            for method in [Method::PrivIm, Method::PrivImScs, Method::PrivImStar] {
+                let cfg = bench_config(g.num_nodes(), Some(eps));
+                let r = run_repeated(
+                    &g,
+                    name,
+                    method,
+                    &cfg,
+                    celf,
+                    opts.repeats,
+                    opts.seed + eps as u64,
+                );
+                rows.push(row_of(&r, &format!("{eps}")));
+                all.push(r);
+            }
+        }
+    }
+
+    println!("Table II — coverage ratio (%) of the sampling-scheme ablation\n");
+    print_table(&["dataset", "method", "eps", "coverage %"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn row_of(r: &MethodRow, eps: &str) -> Vec<String> {
+    vec![
+        r.dataset.clone(),
+        r.method.clone(),
+        eps.to_string(),
+        format!("{:.2} ± {:.2}", r.coverage_mean, r.coverage_std),
+    ]
+}

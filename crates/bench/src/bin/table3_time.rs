@@ -1,0 +1,42 @@
+//! Table III: computational time cost (preprocessing vs per-epoch
+//! training) of PrivIM*, PrivIM, HP-GRAT and EGN over the six datasets.
+//! (Criterion micro-benchmarks of the same phases live in `benches/`.)
+
+use privim_bench::{
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    HarnessOpts, MethodRow,
+};
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let methods = [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Egn];
+
+    let mut rows = Vec::new();
+    let mut all: Vec<MethodRow> = Vec::new();
+    for method in methods {
+        for dataset in Dataset::SIX {
+            let g = bench_graph(dataset, &opts);
+            let name = dataset.spec().name;
+            let k = bench_config(g.num_nodes(), None).seed_size;
+            let celf = celf_reference(&g, k);
+            let cfg = bench_config(g.num_nodes(), Some(3.0));
+            let r = run_repeated(&g, name, method, &cfg, celf, opts.repeats, opts.seed);
+            rows.push(vec![
+                method.name().to_string(),
+                name.to_string(),
+                format!("{:.3}s", r.preprocessing_secs),
+                format!("{:.3}s", r.per_epoch_secs),
+            ]);
+            all.push(r);
+        }
+    }
+
+    println!("Table III — computational time cost (seconds)\n");
+    print_table(&["method", "dataset", "preprocessing", "per-epoch training"], &rows);
+    if let Some(path) = &opts.json {
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

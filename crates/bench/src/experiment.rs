@@ -1,0 +1,180 @@
+//! Shared experiment plumbing: replica sizing, harness configuration,
+//! repeated pipeline runs, and CELF references.
+
+use serde::Serialize;
+
+use privim_core::config::PrivImConfig;
+use privim_core::pipeline::{run_method, Method, PipelineResult};
+use privim_datasets::paper::Dataset;
+use privim_graph::Graph;
+use privim_im::greedy::celf_coverage;
+use privim_im::metrics::mean_std;
+
+use crate::opts::HarnessOpts;
+
+/// Default replica node budget for quick runs. Small enough that a full
+/// figure regenerates in minutes on a laptop while preserving each
+/// dataset's degree structure.
+const QUICK_TARGET_NODES: usize = 450;
+
+/// Replica node budget under `--full` (still far below the real Gowalla;
+/// the shape, not the absolute spread, is the reproduction target).
+const FULL_TARGET_NODES: usize = 3_000;
+
+/// Generates the benchmark replica of `dataset` for the given options.
+pub fn bench_graph(dataset: Dataset, opts: &HarnessOpts) -> Graph {
+    let spec = dataset.spec();
+    let target = if opts.full { FULL_TARGET_NODES } else { QUICK_TARGET_NODES } as f64;
+    let scale = ((target * opts.scale) / spec.num_nodes as f64).clamp(1e-6, 1.0);
+    dataset.generate(scale, opts.seed)
+}
+
+/// The harness training configuration for a graph of `num_nodes` nodes.
+///
+/// Sized for CPU wall-clock: the paper's structure (GRAT, dual-stage
+/// sampling, DP-SGD) with reduced depth/width/iterations. The seed size is
+/// the paper's `k = 50` capped to ~2% of the replica, preserving the
+/// paper's seeds-to-nodes ratio (50 out of thousands) so the coverage
+/// objective stays discriminative on small replicas.
+pub fn bench_config(num_nodes: usize, epsilon: Option<f64>) -> PrivImConfig {
+    PrivImConfig {
+        subgraph_size: 20,
+        walk_length: 200,
+        hops: 2,
+        theta: 10,
+        freq_threshold: 4,
+        hidden: 16,
+        feature_dim: 8,
+        batch_size: 32,
+        iterations: 60,
+        learning_rate: 0.02,
+        seed_size: 50.min((num_nodes / 45).max(5)),
+        epsilon,
+        ..PrivImConfig::default()
+    }
+}
+
+/// CELF ground-truth spread for `k` seeds (the paper's evaluation setting:
+/// IC, `w = 1`, one step → exact lazy greedy).
+pub fn celf_reference(g: &Graph, k: usize) -> f64 {
+    celf_coverage(g, k).1
+}
+
+/// One aggregated result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Privacy budget (None = non-private).
+    pub epsilon: Option<f64>,
+    /// Mean influence spread over repeats.
+    pub spread_mean: f64,
+    /// Sample std of the spread.
+    pub spread_std: f64,
+    /// Mean coverage ratio vs CELF, in percent.
+    pub coverage_mean: f64,
+    /// Sample std of the coverage ratio.
+    pub coverage_std: f64,
+    /// Mean preprocessing seconds.
+    pub preprocessing_secs: f64,
+    /// Mean per-epoch training seconds.
+    pub per_epoch_secs: f64,
+}
+
+/// Runs `method` `repeats` times with distinct seeds and aggregates the
+/// spread against the provided CELF reference.
+pub fn run_repeated(
+    g: &Graph,
+    dataset_name: &str,
+    method: Method,
+    config: &PrivImConfig,
+    celf_spread: f64,
+    repeats: usize,
+    base_seed: u64,
+) -> MethodRow {
+    let results: Vec<PipelineResult> = (0..repeats)
+        .map(|r| run_method(g, method, config, base_seed.wrapping_add(1 + r as u64)))
+        .collect();
+    let spreads: Vec<f64> = results.iter().map(|r| r.spread).collect();
+    let coverages: Vec<f64> =
+        spreads.iter().map(|&s| 100.0 * s / celf_spread.max(1e-9)).collect();
+    let (spread_mean, spread_std) = mean_std(&spreads);
+    let (coverage_mean, coverage_std) = mean_std(&coverages);
+    let (pre, _) = mean_std(&results.iter().map(|r| r.preprocessing_secs).collect::<Vec<_>>());
+    let (epoch, _) = mean_std(&results.iter().map(|r| r.per_epoch_secs).collect::<Vec<_>>());
+    MethodRow {
+        dataset: dataset_name.to_string(),
+        method: method.name().to_string(),
+        epsilon: if method == Method::NonPrivate { None } else { config.epsilon },
+        spread_mean,
+        spread_std,
+        coverage_mean,
+        coverage_std,
+        preprocessing_secs: pre,
+        per_epoch_secs: epoch,
+    }
+}
+
+/// The ε grid: the paper sweeps 1..=6; quick mode samples {1, 3, 6}.
+pub fn epsilon_grid(full: bool) -> Vec<f64> {
+    if full {
+        (1..=6).map(f64::from).collect()
+    } else {
+        vec![1.0, 3.0, 6.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_graph_respects_target_sizes() {
+        let opts = HarnessOpts::default();
+        let g = bench_graph(Dataset::Gowalla, &opts);
+        assert!((200..=500).contains(&g.num_nodes()), "{}", g.num_nodes());
+        let g = bench_graph(Dataset::Email, &opts);
+        assert!((200..=500).contains(&g.num_nodes()));
+        let full = HarnessOpts { full: true, ..HarnessOpts::default() };
+        let g = bench_graph(Dataset::Email, &full);
+        assert_eq!(g.num_nodes(), 1_000, "full Email caps at its real size");
+    }
+
+    #[test]
+    fn bench_config_is_valid_and_caps_seed_size() {
+        let c = bench_config(450, Some(3.0));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.seed_size, 10);
+        let c = bench_config(10_000, Some(3.0));
+        assert_eq!(c.seed_size, 50);
+        let c = bench_config(30, None);
+        assert_eq!(c.seed_size, 5);
+    }
+
+    #[test]
+    fn epsilon_grids() {
+        assert_eq!(epsilon_grid(false), vec![1.0, 3.0, 6.0]);
+        assert_eq!(epsilon_grid(true), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn run_repeated_aggregates() {
+        let opts = HarnessOpts { repeats: 2, ..HarnessOpts::default() };
+        let g = bench_graph(Dataset::Email, &opts);
+        let cfg = PrivImConfig {
+            iterations: 4,
+            batch_size: 4,
+            hidden: 8,
+            ..bench_config(g.num_nodes(), Some(4.0))
+        };
+        let celf = celf_reference(&g, cfg.seed_size);
+        assert!(celf > 0.0);
+        let row = run_repeated(&g, "Email", Method::PrivImStar, &cfg, celf, 2, 1);
+        assert_eq!(row.method, "PrivIM*");
+        assert!(row.spread_mean > 0.0);
+        assert!(row.coverage_mean > 0.0 && row.coverage_mean <= 110.0);
+        assert!(row.per_epoch_secs > 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness for the PrivIM reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; this library
+//! holds what they share: CLI options, dataset/config selection, repeated
+//! pipeline runs with mean ± std aggregation, CELF references, and table
+//! rendering. Criterion micro-benchmarks (Table III's phase timings and
+//! the design-choice ablations) live in `benches/`.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --scale <f64>    multiply the default replica sizes (default 1.0)
+//! --seed <u64>     base RNG seed (default 42)
+//! --repeats <n>    repetitions per configuration (default 3; paper: 5)
+//! --full           paper-scale grids (all ε, all datasets)
+//! --json <path>    also dump rows as JSON
+//! ```
+
+pub mod experiment;
+pub mod opts;
+pub mod report;
+
+pub use experiment::{bench_config, bench_graph, celf_reference, run_repeated, MethodRow};
+pub use opts::HarnessOpts;
+pub use report::{print_table, write_json};

@@ -1,0 +1,118 @@
+//! Minimal CLI option parsing shared by all harness binaries (no external
+//! argument-parsing dependency, per the workspace dependency policy).
+
+/// Options common to every table/figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOpts {
+    /// Multiplier on the default replica sizes.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Repetitions per configuration.
+    pub repeats: usize,
+    /// Run the paper-scale grids instead of the quick defaults.
+    pub full: bool,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts { scale: 1.0, seed: 42, repeats: 3, full: false, json: None }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args()`-style arguments (the first element is
+    /// skipped as the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = HarnessOpts::default();
+        let mut it = args.into_iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => opts.scale = next_value(&mut it, "--scale")?,
+                "--seed" => opts.seed = next_value(&mut it, "--seed")?,
+                "--repeats" => opts.repeats = next_value(&mut it, "--repeats")?,
+                "--full" => opts.full = true,
+                "--json" => {
+                    opts.json =
+                        Some(it.next().ok_or_else(|| "--json needs a path".to_string())?)
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--scale f] [--seed u] [--repeats n] [--full] [--json path]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if opts.scale <= 0.0 {
+            return Err("--scale must be positive".into());
+        }
+        if opts.repeats == 0 {
+            return Err("--repeats must be at least 1".into());
+        }
+        Ok(opts)
+    }
+
+    /// Parses the real process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn next_value<I, T>(it: &mut I, flag: &str) -> Result<T, String>
+where
+    I: Iterator<Item = String>,
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse().map_err(|e| format!("bad value for {flag}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessOpts, String> {
+        let mut v = vec!["prog".to_string()];
+        v.extend(args.iter().map(|s| s.to_string()));
+        HarnessOpts::parse(v)
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        assert_eq!(parse(&[]).unwrap(), HarnessOpts::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--scale", "0.5", "--seed", "7", "--repeats", "5", "--full", "--json", "out.json",
+        ])
+        .unwrap();
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.repeats, 5);
+        assert!(o.full);
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--repeats", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

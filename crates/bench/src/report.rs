@@ -1,0 +1,72 @@
+//! Plain-text table rendering and JSON result dumps.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Prints an aligned text table with a header row and a separator.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("{h:<w$}  "));
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        line.clear();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:<w$}  "));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    let _ = out.flush();
+}
+
+/// Formats `mean ± std` the way the paper's tables do.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.2} ± {std:.2}")
+}
+
+/// Writes `rows` as pretty JSON to `path`.
+pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, rows: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(rows).expect("serializable rows");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_formats_two_decimals() {
+        assert_eq!(pm(94.437, 1.3), "94.44 ± 1.30");
+        assert_eq!(pm(100.0, 0.0), "100.00 ± 0.00");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let rows = vec![("a", 1.0), ("b", 2.0)];
+        let path = std::env::temp_dir().join("privim-report-test.json");
+        write_json(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<(String, f64)> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].1, 2.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_input() {
+        print_table(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Dependency-free argument parsing for the `privim` CLI.
+
+use privim_core::pipeline::Method;
+use privim_datasets::paper::Dataset;
+use privim_nn::models::ModelKind;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset replica and write it as an edge list / binary.
+    Generate(GenerateArgs),
+    /// Train a (private) model and save a checkpoint + selected seeds.
+    Train(TrainArgs),
+    /// Select seeds with a saved checkpoint on a graph file.
+    Select(SelectArgs),
+    /// Evaluate a seed set's influence spread on a graph file.
+    Evaluate(EvaluateArgs),
+    /// Print accounting numbers (σ, noise std, spent ε) for a setting.
+    Account(AccountArgs),
+    /// Print usage.
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    pub dataset: Dataset,
+    pub scale: f64,
+    pub seed: u64,
+    pub output: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    pub graph: String,
+    pub method: Method,
+    pub model: ModelKind,
+    pub epsilon: Option<f64>,
+    pub seed_size: usize,
+    pub iterations: usize,
+    pub seed: u64,
+    pub checkpoint: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectArgs {
+    pub graph: String,
+    pub checkpoint: String,
+    pub seed_size: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateArgs {
+    pub graph: String,
+    pub seeds: Vec<u32>,
+    pub steps: Option<usize>,
+    pub trials: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountArgs {
+    pub epsilon: f64,
+    pub delta: f64,
+    pub iterations: usize,
+    pub batch: usize,
+    pub container: usize,
+    pub occurrences: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+privim — differentially private GNNs for influence maximization
+
+USAGE:
+  privim generate --dataset <name> [--scale f] [--seed u] --output <path>
+  privim train    --graph <path> [--method privim*|privim|scs|egn|hp|hp-grat|non-private]
+                  [--model grat|gcn|gat|gin|sage|mlp] [--epsilon f] [--k n]
+                  [--iterations n] [--seed u] [--checkpoint <path>]
+  privim select   --graph <path> --checkpoint <path> [--k n]
+  privim evaluate --graph <path> --seeds 1,2,3 [--steps n] [--trials n]
+  privim account  --epsilon f [--delta f] [--iterations n] [--batch n]
+                  [--container n] [--occurrences n]
+  privim help
+
+Datasets: email, bitcoin, lastfm, hepph, facebook, gowalla.
+Graph files: whitespace edge lists ('src dst [weight]', ids 0..N-1,
+first line may be '# nodes N edges M') or .bin (privim binary format).";
+
+/// Parses a dataset name.
+pub fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "email" => Ok(Dataset::Email),
+        "bitcoin" => Ok(Dataset::Bitcoin),
+        "lastfm" => Ok(Dataset::LastFm),
+        "hepph" => Ok(Dataset::HepPh),
+        "facebook" => Ok(Dataset::Facebook),
+        "gowalla" => Ok(Dataset::Gowalla),
+        other => Err(format!("unknown dataset: {other}")),
+    }
+}
+
+/// Parses a method name.
+pub fn parse_method(s: &str) -> Result<Method, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "privim*" | "privim-star" | "star" => Ok(Method::PrivImStar),
+        "privim" => Ok(Method::PrivIm),
+        "scs" | "privim+scs" => Ok(Method::PrivImScs),
+        "egn" => Ok(Method::Egn),
+        "hp" => Ok(Method::Hp),
+        "hp-grat" | "hpgrat" => Ok(Method::HpGrat),
+        "non-private" | "nonprivate" => Ok(Method::NonPrivate),
+        other => Err(format!("unknown method: {other}")),
+    }
+}
+
+/// Parses a model name.
+pub fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "grat" => Ok(ModelKind::Grat),
+        "gcn" => Ok(ModelKind::Gcn),
+        "gat" => Ok(ModelKind::Gat),
+        "gin" => Ok(ModelKind::Gin),
+        "sage" | "graphsage" => Ok(ModelKind::GraphSage),
+        "mlp" => Ok(ModelKind::Mlp),
+        other => Err(format!("unknown model: {other}")),
+    }
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found {flag}"))?;
+            let value =
+                it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone();
+            pairs.push((name.to_string(), value));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+            None => Ok(default),
+        }
+    }
+
+    fn unknown_flags(&self, allowed: &[&str]) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| !allowed.contains(&n.as_str()))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse_command(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["dataset", "scale", "seed", "output"])?;
+            Ok(Command::Generate(GenerateArgs {
+                dataset: parse_dataset(f.require("dataset")?)?,
+                scale: f.parse_opt("scale", 0.1)?,
+                seed: f.parse_opt("seed", 42)?,
+                output: f.require("output")?.to_string(),
+            }))
+        }
+        "train" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(
+                &f,
+                &["graph", "method", "model", "epsilon", "k", "iterations", "seed", "checkpoint"],
+            )?;
+            Ok(Command::Train(TrainArgs {
+                graph: f.require("graph")?.to_string(),
+                method: parse_method(f.get("method").unwrap_or("privim*"))?,
+                model: parse_model(f.get("model").unwrap_or("grat"))?,
+                epsilon: match f.get("epsilon") {
+                    Some(v) => Some(v.parse().map_err(|e| format!("bad --epsilon: {e}"))?),
+                    None => None,
+                },
+                seed_size: f.parse_opt("k", 50)?,
+                iterations: f.parse_opt("iterations", 60)?,
+                seed: f.parse_opt("seed", 42)?,
+                checkpoint: f.get("checkpoint").map(str::to_string),
+            }))
+        }
+        "select" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["graph", "checkpoint", "k"])?;
+            Ok(Command::Select(SelectArgs {
+                graph: f.require("graph")?.to_string(),
+                checkpoint: f.require("checkpoint")?.to_string(),
+                seed_size: f.parse_opt("k", 50)?,
+            }))
+        }
+        "evaluate" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["graph", "seeds", "steps", "trials"])?;
+            let seeds: Result<Vec<u32>, _> =
+                f.require("seeds")?.split(',').map(|s| s.trim().parse::<u32>()).collect();
+            Ok(Command::Evaluate(EvaluateArgs {
+                graph: f.require("graph")?.to_string(),
+                seeds: seeds.map_err(|e| format!("bad --seeds: {e}"))?,
+                steps: match f.get("steps") {
+                    Some(v) => Some(v.parse().map_err(|e| format!("bad --steps: {e}"))?),
+                    None => Some(1),
+                },
+                trials: f.parse_opt("trials", 1000)?,
+            }))
+        }
+        "account" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(
+                &f,
+                &["epsilon", "delta", "iterations", "batch", "container", "occurrences"],
+            )?;
+            Ok(Command::Account(AccountArgs {
+                epsilon: f.require("epsilon")?.parse().map_err(|e| format!("bad --epsilon: {e}"))?,
+                delta: f.parse_opt("delta", 1e-5)?,
+                iterations: f.parse_opt("iterations", 60)?,
+                batch: f.parse_opt("batch", 32)?,
+                container: f.parse_opt("container", 100)?,
+                occurrences: f.parse_opt("occurrences", 4)?,
+            }))
+        }
+        other => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    }
+}
+
+fn check_unknown(f: &Flags, allowed: &[&str]) -> Result<(), String> {
+    let unknown = f.unknown_flags(allowed);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown flags: {}", unknown.join(", ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Command, String> {
+        parse_command(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_round_trip() {
+        let cmd = parse(&[
+            "generate", "--dataset", "lastfm", "--scale", "0.2", "--output", "g.bin",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Generate(a) => {
+                assert_eq!(a.dataset, Dataset::LastFm);
+                assert_eq!(a.scale, 0.2);
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.output, "g.bin");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_defaults_and_overrides() {
+        let cmd = parse(&["train", "--graph", "g.bin", "--epsilon", "3", "--k", "10"]).unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.method, Method::PrivImStar);
+                assert_eq!(a.model, ModelKind::Grat);
+                assert_eq!(a.epsilon, Some(3.0));
+                assert_eq!(a.seed_size, 10);
+                assert_eq!(a.iterations, 60);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "train", "--graph", "g.bin", "--method", "hp-grat", "--model", "gcn",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.method, Method::HpGrat);
+                assert_eq!(a.model, ModelKind::Gcn);
+                assert_eq!(a.epsilon, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_parses_seed_list() {
+        let cmd = parse(&["evaluate", "--graph", "g.txt", "--seeds", "1, 2,3"]).unwrap();
+        match cmd {
+            Command::Evaluate(a) => {
+                assert_eq!(a.seeds, vec![1, 2, 3]);
+                assert_eq!(a.steps, Some(1));
+                assert_eq!(a.trials, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse(&["generate"]).unwrap_err().contains("--dataset"));
+        assert!(parse(&["generate", "--dataset", "nope", "--output", "x"])
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(parse(&["train", "--graph", "g", "--bogus", "1"])
+            .unwrap_err()
+            .contains("unknown flags"));
+        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(parse(&["evaluate", "--graph", "g", "--seeds", "a,b"])
+            .unwrap_err()
+            .contains("bad --seeds"));
+    }
+
+    #[test]
+    fn method_and_model_aliases() {
+        assert_eq!(parse_method("PRIVIM*").unwrap(), Method::PrivImStar);
+        assert_eq!(parse_method("non-private").unwrap(), Method::NonPrivate);
+        assert_eq!(parse_model("sage").unwrap(), ModelKind::GraphSage);
+        assert!(parse_model("transformer").is_err());
+    }
+
+    #[test]
+    fn account_defaults() {
+        let cmd = parse(&["account", "--epsilon", "2.5"]).unwrap();
+        match cmd {
+            Command::Account(a) => {
+                assert_eq!(a.epsilon, 2.5);
+                assert_eq!(a.delta, 1e-5);
+                assert_eq!(a.occurrences, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! `privim` — command-line front end for the PrivIM reproduction.
+//!
+//! Subcommands: `generate` (synthetic dataset replicas), `train`
+//! (DP-GNN training + seed selection + checkpoint), `select` (seed
+//! selection from a saved checkpoint), `evaluate` (influence spread of a
+//! seed set), `account` (privacy-accounting numbers). Run `privim help`
+//! for usage.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{Command, USAGE};
+use privim_core::config::PrivImConfig;
+use privim_core::pipeline::run_method;
+use privim_core::train::{NoiseKind, PrivacySetup};
+use privim_datasets::split::NodeSplit;
+use privim_dp::rdp::{calibrate_sigma, RdpAccountant, SubsampledConfig};
+use privim_graph::{io, Graph};
+use privim_im::metrics::top_k_seeds;
+use privim_im::models::DiffusionConfig;
+use privim_im::spread::influence_spread;
+use privim_nn::graph_tensors::GraphTensors;
+use privim_nn::serialize::Checkpoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse_command(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate(a) => {
+            let g = a.dataset.generate(a.scale, a.seed);
+            let stats = privim_graph::stats::graph_stats(&g);
+            save_graph(&g, &a.output)?;
+            println!(
+                "wrote {}: {} nodes, {} edges, avg degree {:.2}",
+                a.output, stats.num_nodes, stats.num_edges, stats.avg_degree
+            );
+            Ok(())
+        }
+        Command::Train(a) => {
+            let g = load_graph(&a.graph)?;
+            let mut rng = StdRng::seed_from_u64(a.seed);
+            let split = NodeSplit::random(&g, 0.5, &mut rng);
+            let config = PrivImConfig {
+                epsilon: a.epsilon,
+                model: a.model,
+                seed_size: a.seed_size.min(g.num_nodes()),
+                iterations: a.iterations,
+                batch_size: 32,
+                hidden: 16,
+                subgraph_size: 20,
+                hops: 2,
+                learning_rate: 0.02,
+                ..PrivImConfig::default()
+            };
+            let result = privim_core::pipeline::run_method_with_candidates(
+                &g,
+                a.method,
+                &config,
+                &split.train,
+                a.seed,
+            );
+            println!(
+                "{}: spread {:.0} over {} nodes | container {} subgraphs | sigma {}",
+                a.method.name(),
+                result.spread,
+                g.num_nodes(),
+                result.container_size,
+                result
+                    .sigma
+                    .map_or("- (non-private)".to_string(), |s| format!("{s:.3}")),
+            );
+            println!("seeds: {:?}", result.seeds);
+            if let Some(path) = a.checkpoint.clone() {
+                // run_method trains internally but does not expose the
+                // model; retrain deterministically here to capture one.
+                let cp = train_for_checkpoint(&g, &a, &config)?;
+                cp.save(&path).map_err(|e| e.to_string())?;
+                println!("checkpoint written to {path}");
+            }
+            let _ = run_method; // `run_method_with_candidates` covers it
+            Ok(())
+        }
+        Command::Select(a) => {
+            let g = load_graph(&a.graph)?;
+            let cp = Checkpoint::load(&a.checkpoint).map_err(|e| e.to_string())?;
+            let model = cp.restore().map_err(|e| e.to_string())?;
+            let gt = GraphTensors::with_structural_features(&g, cp.in_dim);
+            let scores = model.seed_probabilities(&gt);
+            let seeds = top_k_seeds(&scores, a.seed_size);
+            println!("seeds: {seeds:?}");
+            Ok(())
+        }
+        Command::Evaluate(a) => {
+            let g = load_graph(&a.graph)?;
+            for &s in &a.seeds {
+                if s as usize >= g.num_nodes() {
+                    return Err(format!("seed {s} out of range (graph has {} nodes)", g.num_nodes()));
+                }
+            }
+            let cfg = DiffusionConfig {
+                model: privim_im::models::DiffusionModel::IndependentCascade,
+                max_steps: a.steps,
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let spread = influence_spread(&g, &a.seeds, &cfg, a.trials, &mut rng);
+            println!(
+                "influence spread of {} seeds: {spread:.1} of {} nodes ({:.1}%)",
+                a.seeds.len(),
+                g.num_nodes(),
+                100.0 * spread / g.num_nodes() as f64
+            );
+            Ok(())
+        }
+        Command::Account(a) => {
+            let config = SubsampledConfig {
+                max_occurrences: a.occurrences,
+                batch_size: a.batch,
+                container_size: a.container,
+            };
+            let sigma = calibrate_sigma(a.epsilon, a.delta, &config, a.iterations);
+            let mut acct = RdpAccountant::default();
+            acct.compose_subsampled_gaussian(sigma, &config, a.iterations);
+            let (spent, alpha) = acct.epsilon(a.delta);
+            println!(
+                "target (eps, delta) = ({}, {:.1e}) over T = {} iterations",
+                a.epsilon, a.delta, a.iterations
+            );
+            println!("  noise multiplier sigma = {sigma:.4}");
+            println!(
+                "  absolute noise std (C = 1) = sigma * N_g = {:.2}",
+                sigma * a.occurrences as f64
+            );
+            println!("  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})");
+            Ok(())
+        }
+    }
+}
+
+/// Trains a standalone model (same settings as the pipeline) so the
+/// checkpoint matches what `train` reported.
+fn train_for_checkpoint(
+    g: &Graph,
+    a: &args::TrainArgs,
+    config: &PrivImConfig,
+) -> Result<Checkpoint, String> {
+    use privim_core::sampling::extract_dual_stage;
+    use privim_core::train::train;
+    use privim_nn::models::build_model;
+
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let candidates: Vec<u32> = g.nodes().collect();
+    let out = extract_dual_stage(g, config, &candidates, &mut rng);
+    if out.container.is_empty() {
+        return Err("extraction produced no subgraphs; lower the subgraph size".into());
+    }
+    let kind = a.method.model_kind(config.model);
+    let mut model = build_model(kind, config.feature_dim, config.hidden, config.hops, &mut rng);
+    let privacy = a.epsilon.map(|eps| {
+        PrivacySetup::calibrate(
+            eps,
+            config.effective_delta(g.num_nodes()),
+            config,
+            out.container.len(),
+            config.freq_threshold,
+            NoiseKind::Gaussian,
+        )
+    });
+    train(model.as_mut(), &out.container, config, privacy.as_ref(), &mut rng);
+    Ok(Checkpoint::capture(model.as_ref(), config.feature_dim, config.hidden, config.hops))
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".bin") {
+        return io::load_binary(path).map_err(|e| e.to_string());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    io::read_edge_list_auto(&text, 1.0).map_err(|e| e.to_string())
+}
+
+fn save_graph(g: &Graph, path: &str) -> Result<(), String> {
+    if path.ends_with(".bin") {
+        io::save_binary(g, path).map_err(|e| e.to_string())
+    } else {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        io::write_edge_list(g, file).map_err(|e| e.to_string())
+    }
+}

@@ -1,0 +1,235 @@
+//! Configuration of the PrivIM framework.
+//!
+//! Defaults follow Section V-A of the paper: sampling rate `q =
+//! 256/|V_train|`, random-walk length `L = 200`, maximum in-degree `θ =
+//! 10`, restart probability `τ = 0.3`, learning rate `0.005`, three-layer
+//! GRAT with 32 hidden units, seed size `k = 50`, IC with `w = 1` and one
+//! diffusion step, and `δ < 1/|V_train|`.
+
+use serde::{Deserialize, Serialize};
+
+use privim_nn::models::ModelKind;
+
+/// Which diffusion surrogate the training loss uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Exact Independent Cascade product form (the paper's setting).
+    IcProduct,
+    /// Truncated-sum form — the exact one-step activation probability
+    /// under the Linear Threshold model (Section VII extension).
+    LtTruncated,
+}
+
+/// Hyperparameters shared by every PrivIM pipeline variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivImConfig {
+    // --- sampling (Algorithms 1 and 3) ---
+    /// Subgraph size `n`.
+    pub subgraph_size: usize,
+    /// RWR restart probability `τ`.
+    pub restart_prob: f64,
+    /// Starting-node sampling rate `q`; `None` derives the paper's
+    /// `256/|V_train|` at run time.
+    pub sampling_rate: Option<f64>,
+    /// Random-walk length budget `L`.
+    pub walk_length: usize,
+    /// Hop bound `r` between the start node and any sampled node; also the
+    /// GNN depth (the paper ties them: an r-layer GNN sees r hops).
+    pub hops: usize,
+    /// Maximum node in-degree `θ` for the naive pipeline's projection.
+    pub theta: usize,
+    /// Frequency threshold `M` for the dual-stage scheme.
+    pub freq_threshold: usize,
+    /// Frequency decay factor `μ` in Eq. 9.
+    pub decay: f64,
+    /// BES subgraph-size divisor `s` (stage-2 subgraphs have `n/s` nodes).
+    pub bes_divisor: usize,
+
+    // --- model ---
+    /// GNN architecture.
+    pub model: ModelKind,
+    /// Hidden width per layer.
+    pub hidden: usize,
+    /// Input feature dimensionality.
+    pub feature_dim: usize,
+
+    // --- training (Algorithm 2) ---
+    /// Batch size `B`.
+    pub batch_size: usize,
+    /// Iterations `T`.
+    pub iterations: usize,
+    /// Gradient clip bound `C`.
+    pub clip_bound: f64,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Loss trade-off `λ` (Eq. 5).
+    pub lambda: f64,
+    /// Diffusion steps `j` used in the loss and evaluation.
+    pub diffusion_steps: usize,
+    /// Training-loss diffusion surrogate.
+    pub loss: LossKind,
+
+    // --- privacy ---
+    /// Privacy budget `ε` (`None` = non-private).
+    pub epsilon: Option<f64>,
+    /// Privacy parameter `δ`; `None` derives `1/(|V_train|+1)`.
+    pub delta: Option<f64>,
+
+    // --- evaluation ---
+    /// Seed-set size `k`.
+    pub seed_size: usize,
+}
+
+impl Default for PrivImConfig {
+    fn default() -> Self {
+        PrivImConfig {
+            subgraph_size: 40,
+            restart_prob: 0.3,
+            sampling_rate: None,
+            walk_length: 200,
+            hops: 3,
+            theta: 10,
+            freq_threshold: 4,
+            decay: 1.0,
+            bes_divisor: 2,
+            model: ModelKind::Grat,
+            hidden: 32,
+            feature_dim: 8,
+            batch_size: 16,
+            iterations: 40,
+            clip_bound: 1.0,
+            learning_rate: 0.005,
+            lambda: 0.5,
+            diffusion_steps: 1,
+            loss: LossKind::IcProduct,
+            epsilon: Some(4.0),
+            delta: None,
+            seed_size: 50,
+        }
+    }
+}
+
+impl PrivImConfig {
+    /// The effective sampling rate for a graph with `num_train` training
+    /// nodes (`q = 256/|V_train|`, capped at 1).
+    pub fn effective_sampling_rate(&self, num_train: usize) -> f64 {
+        self.sampling_rate.unwrap_or_else(|| (256.0 / num_train.max(1) as f64).min(1.0))
+    }
+
+    /// The effective δ for `num_train` training nodes (`1/(|V_train|+1)`).
+    pub fn effective_delta(&self, num_train: usize) -> f64 {
+        self.delta.unwrap_or_else(|| 1.0 / (num_train as f64 + 1.0))
+    }
+
+    /// A laptop-scale configuration for tests and examples: smaller model,
+    /// fewer iterations, same structure.
+    pub fn small() -> Self {
+        PrivImConfig {
+            subgraph_size: 16,
+            walk_length: 120,
+            hops: 2,
+            hidden: 8,
+            feature_dim: 4,
+            batch_size: 8,
+            iterations: 12,
+            seed_size: 10,
+            ..PrivImConfig::default()
+        }
+    }
+
+    /// Validates internal consistency; call before running a pipeline.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.subgraph_size < 2 {
+            return Err("subgraph_size must be at least 2".into());
+        }
+        if !(0.0..=1.0).contains(&self.restart_prob) {
+            return Err("restart_prob must be a probability".into());
+        }
+        if let Some(q) = self.sampling_rate {
+            if !(0.0..=1.0).contains(&q) {
+                return Err("sampling_rate must be a probability".into());
+            }
+        }
+        if self.hops == 0 {
+            return Err("hops must be positive".into());
+        }
+        if self.freq_threshold == 0 {
+            return Err("freq_threshold must be positive".into());
+        }
+        if self.bes_divisor == 0 {
+            return Err("bes_divisor must be positive".into());
+        }
+        if self.clip_bound <= 0.0 || self.learning_rate <= 0.0 {
+            return Err("clip_bound and learning_rate must be positive".into());
+        }
+        if self.diffusion_steps == 0 {
+            return Err("diffusion_steps must be positive".into());
+        }
+        if let Some(eps) = self.epsilon {
+            if eps <= 0.0 {
+                return Err("epsilon must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = PrivImConfig::default();
+        assert_eq!(c.theta, 10);
+        assert_eq!(c.walk_length, 200);
+        assert!((c.restart_prob - 0.3).abs() < 1e-12);
+        assert!((c.learning_rate - 0.005).abs() < 1e-12);
+        assert_eq!(c.model, ModelKind::Grat);
+        assert_eq!(c.hidden, 32);
+        assert_eq!(c.seed_size, 50);
+        assert_eq!(c.diffusion_steps, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_rates_follow_paper_formulas() {
+        let c = PrivImConfig::default();
+        assert!((c.effective_sampling_rate(512) - 0.5).abs() < 1e-12);
+        assert_eq!(c.effective_sampling_rate(100), 1.0); // capped
+        assert!(c.effective_delta(1000) < 1.0 / 1000.0);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let c = PrivImConfig { sampling_rate: Some(0.25), delta: Some(1e-6), ..Default::default() };
+        assert_eq!(c.effective_sampling_rate(10_000), 0.25);
+        assert_eq!(c.effective_delta(10), 1e-6);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let bad = |f: fn(&mut PrivImConfig)| {
+            let mut c = PrivImConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.subgraph_size = 1));
+        assert!(bad(|c| c.restart_prob = 1.5));
+        assert!(bad(|c| c.hops = 0));
+        assert!(bad(|c| c.freq_threshold = 0));
+        assert!(bad(|c| c.bes_divisor = 0));
+        assert!(bad(|c| c.clip_bound = 0.0));
+        assert!(bad(|c| c.epsilon = Some(-1.0)));
+        assert!(bad(|c| c.diffusion_steps = 0));
+        assert!(bad(|c| c.sampling_rate = Some(2.0)));
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let c = PrivImConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PrivImConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

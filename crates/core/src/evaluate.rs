@@ -1,0 +1,122 @@
+//! Evaluation utilities beyond raw spread: seed-set agreement, coverage
+//! curves, and multi-method comparisons against the CELF reference.
+
+use serde::{Deserialize, Serialize};
+
+use privim_graph::{Graph, NodeId};
+use privim_im::greedy::celf_coverage;
+use privim_im::models::deterministic_one_step_coverage;
+
+/// Jaccard similarity of two seed sets (1.0 = identical).
+pub fn seed_jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<_> = a.iter().collect();
+    let sb: std::collections::HashSet<_> = b.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Precision@k of `selected` against a reference seed set: the fraction of
+/// selected seeds that the reference also picked.
+pub fn seed_precision(selected: &[NodeId], reference: &[NodeId]) -> f64 {
+    if selected.is_empty() {
+        return 0.0;
+    }
+    let reference: std::collections::HashSet<_> = reference.iter().collect();
+    selected.iter().filter(|s| reference.contains(s)).count() as f64 / selected.len() as f64
+}
+
+/// Spread of every prefix of `seeds` under the deterministic one-step
+/// objective — the marginal-utility curve a practitioner inspects to pick
+/// the campaign budget.
+pub fn coverage_curve(g: &Graph, seeds: &[NodeId]) -> Vec<usize> {
+    (1..=seeds.len()).map(|k| deterministic_one_step_coverage(g, &seeds[..k])).collect()
+}
+
+/// A method's full scorecard against CELF on one graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scorecard {
+    /// Spread of the evaluated seed set.
+    pub spread: f64,
+    /// CELF reference spread for the same `k`.
+    pub celf_spread: f64,
+    /// Coverage ratio percent.
+    pub coverage_ratio: f64,
+    /// Jaccard with the CELF seed set.
+    pub jaccard_vs_celf: f64,
+    /// Precision against the CELF seed set.
+    pub precision_vs_celf: f64,
+}
+
+/// Builds a [`Scorecard`] for `seeds` under the deterministic one-step
+/// objective.
+pub fn scorecard(g: &Graph, seeds: &[NodeId]) -> Scorecard {
+    let spread = deterministic_one_step_coverage(g, seeds) as f64;
+    let (celf_seeds, celf_spread) = celf_coverage(g, seeds.len());
+    Scorecard {
+        spread,
+        celf_spread,
+        coverage_ratio: if celf_spread > 0.0 { 100.0 * spread / celf_spread } else { 0.0 },
+        jaccard_vs_celf: seed_jaccard(seeds, &celf_seeds),
+        precision_vs_celf: seed_precision(seeds, &celf_seeds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::GraphBuilder;
+
+    fn star(spokes: usize) -> Graph {
+        let mut b = GraphBuilder::new(spokes + 1);
+        for i in 1..=spokes {
+            b.add_edge(0, i as NodeId, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn jaccard_and_precision_basics() {
+        assert_eq!(seed_jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(seed_jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((seed_jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(seed_jaccard(&[], &[]), 1.0);
+        assert_eq!(seed_precision(&[1, 2], &[2, 3]), 0.5);
+        assert_eq!(seed_precision(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_ends_at_total() {
+        let g = star(4);
+        let curve = coverage_curve(&g, &[0, 1, 2]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(curve[0], 5); // hub covers everything
+        assert_eq!(*curve.last().unwrap(), deterministic_one_step_coverage(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn scorecard_against_celf() {
+        let g = star(5);
+        // Picking the hub is optimal.
+        let card = scorecard(&g, &[0]);
+        assert_eq!(card.coverage_ratio, 100.0);
+        assert_eq!(card.jaccard_vs_celf, 1.0);
+        assert_eq!(card.precision_vs_celf, 1.0);
+        // Picking a spoke is maximally wrong.
+        let bad = scorecard(&g, &[3]);
+        assert!(bad.coverage_ratio < 20.0);
+        assert_eq!(bad.jaccard_vs_celf, 0.0);
+    }
+
+    #[test]
+    fn scorecard_serializes() {
+        let g = star(3);
+        let card = scorecard(&g, &[0]);
+        let json = serde_json::to_string(&card).unwrap();
+        assert!(json.contains("coverage_ratio"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Subgraph extraction schemes.
+//!
+//! Two implementations of the paper's Subgraph Extraction Module:
+//!
+//! - [`extract_naive`] — Algorithm 1: project the graph to a θ-bounded
+//!   `G^θ`, then run Random Walk with Restart (RWR) from each sampled
+//!   start node, constrained to the start's r-hop neighborhood, until `n`
+//!   unique nodes are collected. Occurrences per node are bounded by
+//!   `N_g = Σ_{i=0}^{r} θⁱ` (Lemma 1).
+//! - [`extract_dual_stage`] — Algorithm 3: the dual-stage adaptive
+//!   frequency sampling scheme. Stage 1 (Sensitivity-Constrained Sampling)
+//!   walks the *unprojected* graph, down-weighting nodes by their sampling
+//!   frequency (Eq. 9) and hard-capping occurrences at the threshold `M`.
+//!   Stage 2 (Boundary-Enhanced Sampling) removes saturated nodes and
+//!   re-samples the remaining boundary regions with subgraph size `n/s`,
+//!   enriching structure without increasing `N_g* = M`.
+
+use rand::Rng;
+
+use privim_graph::collections::FastHashSet;
+use privim_graph::ops::{khop_neighborhood, mask_edges, theta_projection};
+use privim_graph::{Graph, NodeId};
+
+use crate::config::PrivImConfig;
+use crate::container::{SubgraphContainer, SubgraphSample};
+
+/// Output of [`extract_dual_stage`].
+#[derive(Debug, Clone)]
+pub struct DualStageOutput {
+    /// The combined container `G_sub,stage1 + G_sub,stage2`.
+    pub container: SubgraphContainer,
+    /// Final frequency vector `f` (occurrences per original node).
+    pub frequency: Vec<u32>,
+    /// Subgraphs contributed by stage 1 (prefix of the container).
+    pub stage1_count: usize,
+}
+
+/// Algorithm 1. Returns the container and the θ-bounded graph it sampled
+/// from (callers reuse `G^θ` for timing studies).
+pub fn extract_naive<R: Rng + ?Sized>(
+    g: &Graph,
+    config: &PrivImConfig,
+    candidates: &[NodeId],
+    rng: &mut R,
+) -> (SubgraphContainer, Graph) {
+    let projected = theta_projection(g, config.theta, rng);
+    let q = config.effective_sampling_rate(candidates.len());
+    let mut container = SubgraphContainer::new();
+    for &v0 in candidates {
+        if rng.gen::<f64>() >= q {
+            continue;
+        }
+        if let Some(nodes) = rwr_collect(&projected, v0, config, NeighborWeights::Uniform, rng) {
+            container.push(SubgraphSample::extract(&projected, nodes, config.feature_dim));
+        }
+    }
+    (container, projected)
+}
+
+/// Algorithm 3: Sensitivity-Constrained Sampling followed by
+/// Boundary-Enhanced Sampling.
+pub fn extract_dual_stage<R: Rng + ?Sized>(
+    g: &Graph,
+    config: &PrivImConfig,
+    candidates: &[NodeId],
+    rng: &mut R,
+) -> DualStageOutput {
+    let mut frequency = vec![0u32; g.num_nodes()];
+    // Stage 1: SCS on the original (unprojected) graph.
+    let mut container =
+        freq_sampling(g, config, candidates, config.subgraph_size, &mut frequency, rng);
+    let stage1_count = container.len();
+
+    // Stage 2: BES on the boundary graph of unsaturated nodes.
+    let m = config.freq_threshold as u32;
+    let kept: Vec<bool> = frequency.iter().map(|&f| f < m).collect();
+    let boundary = mask_edges(g, &kept);
+    let boundary_candidates: Vec<NodeId> =
+        candidates.iter().copied().filter(|&v| kept[v as usize]).collect();
+    let bes_size = (config.subgraph_size / config.bes_divisor).max(2);
+    let stage2 =
+        freq_sampling(&boundary, config, &boundary_candidates, bes_size, &mut frequency, rng);
+    container.extend(stage2);
+
+    DualStageOutput { container, frequency, stage1_count }
+}
+
+/// The `FreqSampling` function of Algorithm 3 (lines 9–28): RWR with
+/// frequency-adaptive neighbor weights, collecting subgraphs of `size`
+/// nodes and updating `frequency` after each successful extraction.
+pub fn freq_sampling<R: Rng + ?Sized>(
+    g: &Graph,
+    config: &PrivImConfig,
+    candidates: &[NodeId],
+    size: usize,
+    frequency: &mut Vec<u32>,
+    rng: &mut R,
+) -> SubgraphContainer {
+    let q = config.effective_sampling_rate(candidates.len());
+    let m = config.freq_threshold as u32;
+    let mut container = SubgraphContainer::new();
+    let mut size_config = config.clone();
+    size_config.subgraph_size = size;
+    for &v0 in candidates {
+        if rng.gen::<f64>() >= q || frequency[v0 as usize] >= m {
+            continue;
+        }
+        let weights = NeighborWeights::Frequency {
+            frequency: frequency.as_slice(),
+            decay: config.decay,
+            threshold: m,
+        };
+        if let Some(nodes) = rwr_collect(g, v0, &size_config, weights, rng) {
+            for &v in &nodes {
+                frequency[v as usize] += 1;
+            }
+            container.push(SubgraphSample::extract(g, nodes, config.feature_dim));
+        }
+    }
+    container
+}
+
+/// Unconstrained RWR extraction for the EGN baseline: no θ-projection, no
+/// r-hop restriction, no frequency weighting. The resulting container has
+/// no structural occurrence bound — the accountant must fall back to the
+/// observed maximum, which is what blows up EGN's noise.
+pub fn extract_unconstrained<R: Rng + ?Sized>(
+    g: &Graph,
+    config: &PrivImConfig,
+    candidates: &[NodeId],
+    rng: &mut R,
+) -> SubgraphContainer {
+    let q = config.effective_sampling_rate(candidates.len());
+    let mut unconstrained = config.clone();
+    unconstrained.hops = usize::MAX;
+    let mut container = SubgraphContainer::new();
+    for &v0 in candidates {
+        if rng.gen::<f64>() >= q {
+            continue;
+        }
+        if let Some(nodes) = rwr_collect(g, v0, &unconstrained, NeighborWeights::Uniform, rng) {
+            container.push(SubgraphSample::extract(g, nodes, config.feature_dim));
+        }
+    }
+    container
+}
+
+/// Neighbor-selection policy for one RWR step.
+enum NeighborWeights<'a> {
+    /// Algorithm 1: uniform over eligible neighbors.
+    Uniform,
+    /// Algorithm 3, Eq. 9: weight `e_v = 1/(f_v + 1)^μ` if `f_v < M`, else 0.
+    Frequency { frequency: &'a [u32], decay: f64, threshold: u32 },
+}
+
+impl NeighborWeights<'_> {
+    fn weight(&self, v: NodeId) -> f64 {
+        match self {
+            NeighborWeights::Uniform => 1.0,
+            NeighborWeights::Frequency { frequency, decay, threshold } => {
+                let f = frequency[v as usize];
+                if f >= *threshold {
+                    0.0
+                } else {
+                    ((f + 1) as f64).powf(-decay)
+                }
+            }
+        }
+    }
+}
+
+/// Core RWR loop shared by both schemes (Algorithm 1 lines 4–17 /
+/// Algorithm 3 lines 13–27): walk from `v0`, restricted to its r-hop
+/// out-neighborhood, restarting with probability τ, until `n` unique nodes
+/// are collected or the step budget `L` runs out. Returns `None` if the
+/// walk could not collect `n` nodes (the algorithm discards such walks).
+fn rwr_collect<R: Rng + ?Sized>(
+    g: &Graph,
+    v0: NodeId,
+    config: &PrivImConfig,
+    weights: NeighborWeights<'_>,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    let n = config.subgraph_size;
+    // `hops == usize::MAX` disables the r-hop restriction (EGN baseline).
+    let allowed = if config.hops == usize::MAX {
+        None
+    } else {
+        let ball = khop_neighborhood(g, v0, config.hops);
+        if ball.len() < n {
+            // The r-hop ball cannot possibly yield n unique nodes.
+            return None;
+        }
+        Some(ball)
+    };
+    let mut in_sub: FastHashSet<NodeId> = FastHashSet::default();
+    let mut nodes = Vec::with_capacity(n);
+    in_sub.insert(v0);
+    nodes.push(v0);
+
+    let mut candidates: Vec<NodeId> = Vec::new();
+    let mut cum = Vec::new();
+    let mut v_cur = v0;
+    for _ in 0..config.walk_length {
+        if rng.gen::<f64>() < config.restart_prob {
+            v_cur = v0;
+        }
+        // Eligible next hops: neighbors of v_cur (either direction, so the
+        // walk can traverse undirected structure) within N_r(v0).
+        candidates.clear();
+        cum.clear();
+        let mut total = 0.0;
+        for &u in g.out_neighbors(v_cur).iter().chain(g.in_neighbors(v_cur)) {
+            if u == v_cur || allowed.as_ref().is_some_and(|a| !a.contains(&u)) {
+                continue;
+            }
+            let w = weights.weight(u);
+            if w > 0.0 {
+                candidates.push(u);
+                total += w;
+                cum.push(total);
+            }
+        }
+        if candidates.is_empty() {
+            // Stuck: force a restart on the next step.
+            v_cur = v0;
+            continue;
+        }
+        let t = rng.gen::<f64>() * total;
+        let idx = cum.partition_point(|&c| c <= t).min(candidates.len() - 1);
+        let v_next = candidates[idx];
+        v_cur = v_next;
+        if in_sub.insert(v_next) {
+            nodes.push(v_next);
+            if nodes.len() == n {
+                return Some(nodes);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_datasets::generators::holme_kim;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        holme_kim(400, 4, 0.4, 1.0, &mut rng)
+    }
+
+    fn test_config() -> PrivImConfig {
+        PrivImConfig {
+            subgraph_size: 12,
+            walk_length: 150,
+            hops: 2,
+            sampling_rate: Some(0.5),
+            freq_threshold: 3,
+            feature_dim: 4,
+            ..PrivImConfig::default()
+        }
+    }
+
+    #[test]
+    fn naive_extraction_produces_full_size_subgraphs() {
+        let g = test_graph(1);
+        let cfg = test_config();
+        let mut rng = StdRng::seed_from_u64(2);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let (container, projected) = extract_naive(&g, &cfg, &candidates, &mut rng);
+        assert!(!container.is_empty(), "no subgraphs extracted");
+        for s in container.samples() {
+            assert_eq!(s.len(), cfg.subgraph_size);
+            // Unique original nodes.
+            let set: FastHashSet<NodeId> = s.original.iter().copied().collect();
+            assert_eq!(set.len(), s.len());
+        }
+        // Projection respected θ.
+        for u in projected.nodes() {
+            assert!(projected.in_degree(u) <= cfg.theta);
+        }
+    }
+
+    #[test]
+    fn naive_subgraph_nodes_lie_within_r_hops_of_start() {
+        let g = test_graph(3);
+        let cfg = test_config();
+        let mut rng = StdRng::seed_from_u64(4);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let (container, projected) = extract_naive(&g, &cfg, &candidates, &mut rng);
+        for s in container.samples() {
+            let v0 = s.original[0];
+            let ball = khop_neighborhood(&projected, v0, cfg.hops);
+            for &v in &s.original {
+                assert!(ball.contains(&v), "node {v} outside {}-hop ball of {v0}", cfg.hops);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_stage_respects_frequency_threshold() {
+        let g = test_graph(5);
+        let cfg = test_config();
+        let mut rng = StdRng::seed_from_u64(6);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        assert!(!out.container.is_empty());
+        // Invariant: no node appears more than M times.
+        let m = cfg.freq_threshold;
+        let observed = out.container.observed_max_occurrence(g.num_nodes());
+        assert!(observed <= m, "observed {observed} > M {m}");
+        // The frequency vector matches actual counts.
+        let mut counts = vec![0u32; g.num_nodes()];
+        for s in out.container.samples() {
+            for &v in &s.original {
+                counts[v as usize] += 1;
+            }
+        }
+        assert_eq!(counts, out.frequency);
+    }
+
+    #[test]
+    fn dual_stage_stage2_uses_smaller_subgraphs() {
+        let g = test_graph(7);
+        let cfg = PrivImConfig { bes_divisor: 3, ..test_config() };
+        let mut rng = StdRng::seed_from_u64(8);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        let bes_size = (cfg.subgraph_size / 3).max(2);
+        for (i, s) in out.container.samples().iter().enumerate() {
+            if i < out.stage1_count {
+                assert_eq!(s.len(), cfg.subgraph_size);
+            } else {
+                assert_eq!(s.len(), bes_size);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_stage_usually_collects_more_than_stage1_alone() {
+        // BES's purpose: extra subgraphs from boundary regions.
+        let g = test_graph(9);
+        let cfg = PrivImConfig { sampling_rate: Some(1.0), ..test_config() };
+        let mut rng = StdRng::seed_from_u64(10);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        assert!(
+            out.container.len() > out.stage1_count,
+            "BES contributed nothing ({} total, {} stage1)",
+            out.container.len(),
+            out.stage1_count
+        );
+    }
+
+    #[test]
+    fn higher_decay_spreads_sampling_wider() {
+        // With strong decay, frequently sampled nodes are avoided, so the
+        // number of distinct sampled nodes should not decrease.
+        let g = test_graph(11);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let distinct = |decay: f64| {
+            let cfg = PrivImConfig {
+                decay,
+                sampling_rate: Some(1.0),
+                freq_threshold: 10,
+                ..test_config()
+            };
+            let mut rng = StdRng::seed_from_u64(12);
+            let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+            out.frequency.iter().filter(|&&f| f > 0).count()
+        };
+        let spread_low = distinct(0.0);
+        let spread_high = distinct(3.0);
+        assert!(
+            spread_high as f64 >= spread_low as f64 * 0.95,
+            "strong decay reduced coverage: {spread_high} vs {spread_low}"
+        );
+    }
+
+    #[test]
+    fn sampling_rate_zero_yields_empty_container() {
+        let g = test_graph(13);
+        let cfg = PrivImConfig { sampling_rate: Some(0.0), ..test_config() };
+        let mut rng = StdRng::seed_from_u64(14);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let (container, _) = extract_naive(&g, &cfg, &candidates, &mut rng);
+        assert!(container.is_empty());
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        assert!(out.container.is_empty());
+    }
+
+    #[test]
+    fn oversized_subgraph_requests_are_discarded() {
+        // n larger than any r-hop ball: nothing can be extracted.
+        let g = test_graph(15);
+        let cfg = PrivImConfig {
+            subgraph_size: 500,
+            sampling_rate: Some(1.0),
+            ..test_config()
+        };
+        let mut rng = StdRng::seed_from_u64(16);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let (container, _) = extract_naive(&g, &cfg, &candidates, &mut rng);
+        assert!(container.is_empty());
+    }
+
+    #[test]
+    fn extraction_is_deterministic_per_seed() {
+        let g = test_graph(17);
+        let cfg = test_config();
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+            out.container
+                .samples()
+                .iter()
+                .map(|s| s.original.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,117 @@
+//! Privacy-invariant tests: the accounting promises the framework makes
+//! must hold across configurations and methods.
+
+use privim_core::config::PrivImConfig;
+use privim_core::pipeline::{run_method, Method};
+use privim_core::train::{NoiseKind, PrivacySetup};
+use privim_datasets::generators::holme_kim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> privim_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(2);
+    holme_kim(220, 4, 0.35, 1.0, &mut rng)
+}
+
+fn config(eps: f64) -> PrivImConfig {
+    PrivImConfig {
+        epsilon: Some(eps),
+        subgraph_size: 12,
+        hops: 2,
+        hidden: 8,
+        feature_dim: 4,
+        batch_size: 8,
+        iterations: 10,
+        seed_size: 8,
+        sampling_rate: Some(0.7),
+        ..PrivImConfig::default()
+    }
+}
+
+#[test]
+fn spent_epsilon_never_exceeds_target_across_grid() {
+    for eps in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        for m in [30usize, 100, 400] {
+            for n_g in [2usize, 4, 10, 50] {
+                let cfg = config(eps);
+                let setup = PrivacySetup::calibrate(eps, 1e-5, &cfg, m, n_g, NoiseKind::Gaussian);
+                let (spent, _) = setup.spent_epsilon(&cfg, m);
+                assert!(
+                    spent <= eps * 1.0001,
+                    "eps={eps} m={m} n_g={n_g}: spent {spent}"
+                );
+                assert!(setup.sigma > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn tighter_epsilon_means_more_absolute_noise() {
+    let cfg = config(1.0);
+    let mut prev = f64::INFINITY;
+    for eps in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let setup = PrivacySetup::calibrate(eps, 1e-5, &cfg, 100, 4, NoiseKind::Gaussian);
+        let noise = setup.noise_std(cfg.clip_bound);
+        assert!(noise < prev, "noise must shrink as eps grows: {noise} >= {prev}");
+        prev = noise;
+    }
+}
+
+#[test]
+fn every_private_method_reports_its_sigma_and_bound() {
+    let g = graph();
+    for method in [Method::PrivImStar, Method::PrivImScs, Method::PrivIm, Method::Egn, Method::Hp]
+    {
+        let r = run_method(&g, method, &config(3.0), 4);
+        assert!(r.sigma.is_some(), "{method}");
+        assert!(r.occurrence_bound >= 1, "{method}");
+        match method {
+            Method::PrivImStar | Method::PrivImScs => {
+                assert_eq!(r.occurrence_bound, config(3.0).freq_threshold, "{method}")
+            }
+            Method::PrivIm => assert_eq!(
+                r.occurrence_bound,
+                privim_dp::rdp::naive_occurrence_bound(config(3.0).theta, config(3.0).hops),
+                "{method}"
+            ),
+            Method::Egn => assert_eq!(r.occurrence_bound, r.container_size, "{method}"),
+            _ => assert_eq!(r.occurrence_bound, config(3.0).theta + 1, "{method}"),
+        }
+    }
+}
+
+#[test]
+fn dual_stage_noise_is_far_below_naive_noise_at_equal_epsilon() {
+    let cfg = config(3.0);
+    let star = PrivacySetup::calibrate(3.0, 1e-5, &cfg, 100, cfg.freq_threshold, NoiseKind::Gaussian);
+    let naive_bound = privim_dp::rdp::naive_occurrence_bound(cfg.theta, cfg.hops);
+    let naive = PrivacySetup::calibrate(3.0, 1e-5, &cfg, 100, naive_bound, NoiseKind::Gaussian);
+    let ratio = naive.noise_std(cfg.clip_bound) / star.noise_std(cfg.clip_bound);
+    assert!(
+        ratio > 5.0,
+        "the dual-stage advantage should be large: naive/star noise ratio = {ratio:.1}"
+    );
+}
+
+#[test]
+fn nonprivate_runs_never_report_privacy_artifacts() {
+    let g = graph();
+    let mut cfg = config(1.0);
+    cfg.epsilon = None;
+    let r = run_method(&g, Method::PrivImStar, &cfg, 5);
+    assert!(r.sigma.is_none());
+    let r = run_method(&g, Method::NonPrivate, &config(1.0), 5);
+    assert!(r.sigma.is_none(), "NonPrivate ignores epsilon by definition");
+}
+
+#[test]
+fn delta_defaults_respect_the_paper_constraint() {
+    // δ < 1/|V_train| for every candidate-set size.
+    let cfg = config(1.0);
+    for n in [10usize, 100, 1_000, 100_000] {
+        let delta = cfg.effective_delta(n);
+        assert!(delta < 1.0 / n as f64, "n={n}: delta {delta}");
+        assert!(delta > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the PrivIM core: sampler invariants, loss
+//! bounds, and accounting interplay.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_core::config::PrivImConfig;
+use privim_core::loss::im_loss_value;
+use privim_core::sampling::{extract_dual_stage, extract_naive};
+use privim_datasets::generators::holme_kim;
+use privim_dp::rdp::naive_occurrence_bound;
+use privim_graph::NodeId;
+use privim_nn::graph_tensors::GraphTensors;
+
+fn small_config(n: usize, m: usize, hops: usize) -> PrivImConfig {
+    PrivImConfig {
+        subgraph_size: n,
+        freq_threshold: m,
+        hops,
+        walk_length: 120,
+        sampling_rate: Some(0.8),
+        feature_dim: 4,
+        ..PrivImConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dual_stage_never_exceeds_threshold(
+        graph_seed in 0u64..30,
+        rng_seed in 0u64..30,
+        m in 1usize..6,
+        n in 4usize..14,
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(150, 3, 0.3, 1.0, &mut grng);
+        let cfg = small_config(n, m, 2);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        let observed = out.container.observed_max_occurrence(g.num_nodes());
+        prop_assert!(observed <= m, "observed {observed} > M = {m}");
+        // Frequency vector is exact bookkeeping.
+        prop_assert!(out.frequency.iter().all(|&f| f as usize <= m));
+    }
+
+    #[test]
+    fn naive_respects_lemma1_bound(
+        graph_seed in 0u64..20,
+        rng_seed in 0u64..20,
+        theta in 2usize..6,
+        hops in 1usize..3,
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(120, 3, 0.3, 1.0, &mut grng);
+        let mut cfg = small_config(8, 100, hops);
+        cfg.theta = theta;
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let (container, projected) = extract_naive(&g, &cfg, &candidates, &mut rng);
+        let bound = naive_occurrence_bound(theta, hops);
+        prop_assert!(container.observed_max_occurrence(g.num_nodes()) <= bound);
+        // And the projection invariant that Lemma 1 builds on.
+        for u in projected.nodes() {
+            prop_assert!(projected.in_degree(u) <= theta);
+        }
+    }
+
+    #[test]
+    fn subgraph_sizes_are_exactly_as_requested(
+        graph_seed in 0u64..20,
+        n in 4usize..12,
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(150, 4, 0.3, 1.0, &mut grng);
+        let cfg = small_config(n, 4, 2);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(graph_seed + 1);
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        let bes = (n / cfg.bes_divisor).max(2);
+        for (i, s) in out.container.samples().iter().enumerate() {
+            let want = if i < out.stage1_count { n } else { bes };
+            prop_assert_eq!(s.len(), want);
+            prop_assert_eq!(s.graph.num_nodes(), want);
+            prop_assert_eq!(s.tensors.num_nodes, want);
+        }
+    }
+
+    #[test]
+    fn loss_is_bounded_and_decreasing_in_seed_mass(
+        graph_seed in 0u64..20,
+        probs in proptest::collection::vec(0.01f64..0.95, 40),
+        bump_idx in 0usize..40,
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(40, 3, 0.3, 1.0, &mut grng);
+        let gt = GraphTensors::with_structural_features(&g, 4);
+        let n = g.num_nodes() as f64;
+
+        let loss = im_loss_value(&gt, &probs, 1, 0.0);
+        prop_assert!(loss >= 0.0 && loss <= n + 1e-9, "loss {loss} out of [0, {n}]");
+
+        // With λ = 0, raising any x can only reduce uninfluenced mass.
+        let mut bumped = probs.clone();
+        bumped[bump_idx % probs.len()] = (bumped[bump_idx % probs.len()] + 0.04).min(1.0);
+        let bumped_loss = im_loss_value(&gt, &bumped, 1, 0.0);
+        prop_assert!(bumped_loss <= loss + 1e-9, "loss rose when seed mass grew");
+    }
+
+    #[test]
+    fn loss_penalty_is_linear_in_lambda(
+        graph_seed in 0u64..20,
+        probs in proptest::collection::vec(0.0f64..1.0, 30),
+        lambda in 0.0f64..3.0,
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(30, 3, 0.3, 1.0, &mut grng);
+        let gt = GraphTensors::with_structural_features(&g, 4);
+        let base = im_loss_value(&gt, &probs, 1, 0.0);
+        let with = im_loss_value(&gt, &probs, 1, lambda);
+        let mass: f64 = probs.iter().sum();
+        prop_assert!((with - base - lambda * mass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_diffusion_steps_never_increase_uninfluenced_mass(
+        graph_seed in 0u64..20,
+        probs in proptest::collection::vec(0.0f64..1.0, 30),
+    ) {
+        let mut grng = StdRng::seed_from_u64(graph_seed);
+        let g = holme_kim(30, 3, 0.3, 1.0, &mut grng);
+        let gt = GraphTensors::with_structural_features(&g, 4);
+        let one = im_loss_value(&gt, &probs, 1, 0.0);
+        let three = im_loss_value(&gt, &probs, 3, 0.0);
+        prop_assert!(three <= one + 1e-9, "longer diffusion left more uninfluenced");
+    }
+}

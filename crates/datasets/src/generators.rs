@@ -1,0 +1,334 @@
+//! Random graph generators.
+//!
+//! Used to synthesize stand-ins for the paper's SNAP datasets (see
+//! DESIGN.md §3): Erdős–Rényi for homogeneous baselines, Barabási–Albert
+//! for heavy-tailed degree distributions, Holme–Kim (BA + triad closure)
+//! for the combination of heavy tails and high clustering that social
+//! networks exhibit, and Watts–Strogatz for small-world rewiring tests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use privim_graph::{Graph, GraphBuilder, NodeId};
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct undirected edges chosen
+/// uniformly (no self-loops). Stored as both directions with weight `w`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, w: f64, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, 2 * m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_undirected_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m_attach + 1` nodes; each new node attaches to `m_attach` distinct
+/// existing nodes with probability proportional to degree.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    w: f64,
+    rng: &mut R,
+) -> Graph {
+    holme_kim(n, m_attach, 0.0, w, rng)
+}
+
+/// Holme–Kim "powerlaw cluster" graph: Barabási–Albert attachment where
+/// each subsequent link after the first closes a triangle with probability
+/// `p_triad`, producing both a heavy-tailed degree distribution and
+/// realistic clustering. `p_triad = 0` recovers plain BA.
+pub fn holme_kim<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    p_triad: f64,
+    w: f64,
+    rng: &mut R,
+) -> Graph {
+    let m_attach = m_attach.max(1);
+    assert!(n > m_attach, "need n > m_attach");
+    assert!((0.0..=1.0).contains(&p_triad), "p_triad must be a probability");
+    // `endpoint_pool` holds one entry per edge endpoint: sampling uniformly
+    // from it is degree-proportional sampling. `adj` mirrors the edge set
+    // for O(1) triad steps.
+    let mut endpoint_pool: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_attach);
+    let link = |edges: &mut Vec<(NodeId, NodeId)>,
+                    adj: &mut Vec<Vec<NodeId>>,
+                    pool: &mut Vec<NodeId>,
+                    u: NodeId,
+                    v: NodeId| {
+        edges.push((u, v));
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        pool.push(u);
+        pool.push(v);
+    };
+    let core = m_attach + 1;
+    for u in 0..core as NodeId {
+        for v in (u + 1)..core as NodeId {
+            link(&mut edges, &mut adj, &mut endpoint_pool, u, v);
+        }
+    }
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for new in core as NodeId..n as NodeId {
+        picked.clear();
+        let mut last: Option<NodeId> = None;
+        let mut attempts = 0usize;
+        while picked.len() < m_attach {
+            attempts += 1;
+            let candidate = if let (Some(prev), true) = (last, rng.gen::<f64>() < p_triad) {
+                // Triad step: link to a random neighbor of the previous
+                // target, closing a triangle.
+                *adj[prev as usize]
+                    .choose(rng)
+                    .unwrap_or_else(|| endpoint_pool.choose(rng).expect("pool never empty"))
+            } else {
+                *endpoint_pool.choose(rng).expect("pool never empty")
+            };
+            if candidate != new && !picked.contains(&candidate) {
+                picked.push(candidate);
+                last = Some(candidate);
+            } else if attempts > 64 * m_attach {
+                // Degenerate corner (tiny graphs): fall back to any unused id.
+                if let Some(c) = (0..new).find(|c| !picked.contains(c)) {
+                    picked.push(c);
+                    last = Some(c);
+                }
+            }
+        }
+        for &t in &picked {
+            link(&mut edges, &mut adj, &mut endpoint_pool, new, t);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, 2 * edges.len());
+    for (u, v) in edges {
+        b.add_undirected_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node links
+/// to its `k/2` clockwise neighbors, with each edge rewired to a uniform
+/// target with probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    w: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(k >= 2 && k < n, "need 2 <= k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let half = k / 2;
+    let mut chosen = std::collections::HashSet::new();
+    for u in 0..n as NodeId {
+        for j in 1..=half as NodeId {
+            let mut v = (u + j) % n as NodeId;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self, non-duplicate target.
+                for _ in 0..16 {
+                    let cand = rng.gen_range(0..n as NodeId);
+                    if cand != u && !chosen.contains(&(u.min(cand), u.max(cand))) {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            chosen.insert((u.min(v), u.max(v)));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, 2 * chosen.len());
+    for (u, v) in chosen {
+        if u != v {
+            b.add_undirected_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+/// Stochastic block model: `sizes[i]` nodes per community, undirected edge
+/// probability `p_in` inside a community and `p_out` across communities.
+/// Returns the graph plus each node's community label. Used to test the
+/// samplers' behavior on strongly clustered graphs — the regime
+/// Boundary-Enhanced Sampling targets (small boundary clusters).
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    w: f64,
+    rng: &mut R,
+) -> (Graph, Vec<u32>) {
+    assert!(!sizes.is_empty(), "need at least one community");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out), "probabilities");
+    let n: usize = sizes.iter().sum();
+    let mut community = Vec::with_capacity(n);
+    for (c, &size) in sizes.iter().enumerate() {
+        community.extend(std::iter::repeat_n(c as u32, size));
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community[u] == community[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b.add_undirected_edge(u as NodeId, v as NodeId, w);
+            }
+        }
+    }
+    (b.build(), community)
+}
+
+/// Orients every undirected edge pair of `g` in a single random direction,
+/// turning an undirected graph into a directed one with half the directed
+/// edge count. Used to synthesize the paper's directed datasets.
+pub fn orient_randomly<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() / 2);
+    for (u, v, w) in g.edges() {
+        if u < v {
+            // Each undirected pair appears twice; orient once.
+            if rng.gen::<bool>() {
+                b.add_edge(u, v, w);
+            } else {
+                b.add_edge(v, u, w);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::ops::weakly_connected_components;
+    use privim_graph::stats::graph_stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(100, 250, 1.0, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500); // both directions
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(5, 1000, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 20); // K5 both directions
+    }
+
+    #[test]
+    fn barabasi_albert_degree_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(2000, 3, 1.0, &mut rng);
+        let s = graph_stats(&g);
+        // Average degree ≈ 2m; max degree far above average (hubs).
+        assert!((s.avg_degree - 6.0).abs() < 1.0, "avg {}", s.avg_degree);
+        assert!(s.max_out_degree > 40, "max degree {} lacks a hub", s.max_out_degree);
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(500, 2, 1.0, &mut rng);
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn holme_kim_increases_clustering_over_ba() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let ba = barabasi_albert(1500, 3, 1.0, &mut r1);
+        let hk = holme_kim(1500, 3, 0.8, 1.0, &mut r2);
+        let c_ba = graph_stats(&ba).avg_clustering;
+        let c_hk = graph_stats(&hk).avg_clustering;
+        assert!(c_hk > c_ba * 1.5, "HK clustering {c_hk} vs BA {c_ba}");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = watts_strogatz(20, 4, 0.0, 1.0, &mut rng);
+        // Every node has degree 4 (2 out each side, stored undirected).
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_edge_budget_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = watts_strogatz(200, 6, 0.3, 1.0, &mut rng);
+        let expected = 200 * 3 * 2;
+        let got = g.num_edges();
+        assert!(got as f64 > expected as f64 * 0.9, "{got} vs {expected}");
+        assert!(got <= expected, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn sbm_respects_community_structure() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, labels) = stochastic_block_model(&[60, 60], 0.3, 0.01, 1.0, &mut rng);
+        assert_eq!(g.num_nodes(), 120);
+        assert_eq!(labels.iter().filter(|&&c| c == 0).count(), 60);
+        let (mut within, mut across) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > 10 * across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn sbm_extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (g, _) = stochastic_block_model(&[5, 5], 1.0, 0.0, 1.0, &mut rng);
+        // Two disjoint 5-cliques: 2 * 5*4/2 undirected = 40 directed edges.
+        assert_eq!(g.num_edges(), 40);
+        let (empty, _) = stochastic_block_model(&[4], 0.0, 0.0, 1.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn orient_randomly_halves_edges() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = erdos_renyi(50, 100, 1.0, &mut rng);
+        let d = orient_randomly(&g, &mut rng);
+        assert_eq!(d.num_edges(), 100);
+        assert_eq!(d.num_nodes(), 50);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let g1 = holme_kim(300, 3, 0.5, 1.0, &mut StdRng::seed_from_u64(9));
+        let g2 = holme_kim(300, 3, 0.5, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+        let g3 = holme_kim(300, 3, 0.5, 1.0, &mut StdRng::seed_from_u64(10));
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn edge_weights_are_propagated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = barabasi_albert(50, 2, 0.25, &mut rng);
+        assert!(g.edges().all(|(_, _, w)| w == 0.25));
+    }
+}

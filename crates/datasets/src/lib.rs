@@ -1,0 +1,31 @@
+//! Synthetic datasets calibrated to the PrivIM paper's Table I.
+//!
+//! - [`generators`] — Erdős–Rényi, Barabási–Albert, Holme–Kim and
+//!   Watts–Strogatz random graphs, plus random orientation.
+//! - [`paper`] — the seven named evaluation datasets (Email, Bitcoin,
+//!   LastFM, HepPh, Facebook, Gowalla, Friendster), each generated to its
+//!   Table I statistics at a configurable scale.
+//! - [`split`] — the 50/50 train/test node split and the derived privacy δ.
+//!
+//! # Example
+//!
+//! ```
+//! use privim_datasets::paper::Dataset;
+//! use privim_graph::stats::graph_stats;
+//!
+//! let g = Dataset::Email.generate(0.3, 42);
+//! let s = graph_stats(&g);
+//! assert_eq!(s.num_nodes, 300);
+//! assert!(s.avg_degree > 20.0); // Email is dense (Table I: 25.44)
+//! ```
+
+pub mod generators;
+pub mod paper;
+pub mod split;
+
+pub use generators::{
+    barabasi_albert, erdos_renyi, holme_kim, orient_randomly, stochastic_block_model,
+    watts_strogatz,
+};
+pub use paper::{Dataset, DatasetSpec};
+pub use split::NodeSplit;

@@ -1,0 +1,97 @@
+//! Train/test node splits.
+//!
+//! The paper splits nodes 50/50 at random; training samples subgraphs
+//! rooted at training nodes, and evaluation measures influence spread of
+//! seeds selected on the full graph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use privim_graph::{Graph, NodeId};
+
+/// A random partition of the node set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSplit {
+    /// Training node ids.
+    pub train: Vec<NodeId>,
+    /// Held-out node ids.
+    pub test: Vec<NodeId>,
+}
+
+impl NodeSplit {
+    /// Splits `g`'s nodes with `train_fraction` going to the training set,
+    /// uniformly at random. The paper uses `0.5`.
+    pub fn random<R: Rng + ?Sized>(g: &Graph, train_fraction: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be a probability"
+        );
+        let mut nodes: Vec<NodeId> = g.nodes().collect();
+        nodes.shuffle(rng);
+        let cut = (nodes.len() as f64 * train_fraction).round() as usize;
+        let test = nodes.split_off(cut);
+        NodeSplit { train: nodes, test }
+    }
+
+    /// Number of training nodes (`|V_train|`, the δ denominator in the
+    /// paper's privacy parameter choice `δ < 1/|V_train|`).
+    pub fn num_train(&self) -> usize {
+        self.train.len()
+    }
+
+    /// The paper's privacy δ for this split: `1 / (|V_train| + 1)`,
+    /// satisfying `δ < 1/|V_train|`.
+    pub fn delta(&self) -> f64 {
+        1.0 / (self.num_train() as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph(n: usize) -> Graph {
+        Graph::empty(n)
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let g = graph(101);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = NodeSplit::random(&g, 0.5, &mut rng);
+        assert_eq!(s.train.len() + s.test.len(), 101);
+        let mut all: Vec<NodeId> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fraction_controls_sizes() {
+        let g = graph(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(NodeSplit::random(&g, 0.5, &mut rng).num_train(), 50);
+        assert_eq!(NodeSplit::random(&g, 0.0, &mut rng).num_train(), 0);
+        assert_eq!(NodeSplit::random(&g, 1.0, &mut rng).test.len(), 0);
+    }
+
+    #[test]
+    fn delta_is_below_inverse_train_count() {
+        let g = graph(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = NodeSplit::random(&g, 0.5, &mut rng);
+        assert!(s.delta() < 1.0 / s.num_train() as f64);
+        assert!(s.delta() > 0.0);
+    }
+
+    #[test]
+    fn split_is_random_but_seeded() {
+        let g = graph(64);
+        let a = NodeSplit::random(&g, 0.5, &mut StdRng::seed_from_u64(4));
+        let b = NodeSplit::random(&g, 0.5, &mut StdRng::seed_from_u64(4));
+        let c = NodeSplit::random(&g, 0.5, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

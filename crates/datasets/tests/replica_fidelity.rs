@@ -1,0 +1,113 @@
+//! Replica-fidelity tests: every generated dataset must match its Table I
+//! row on the statistics the PrivIM algorithms depend on, at multiple
+//! scales and seeds.
+
+use privim_datasets::paper::Dataset;
+use privim_graph::ops::weakly_connected_components;
+use privim_graph::stats::graph_stats;
+
+#[test]
+fn all_six_datasets_match_their_average_degree() {
+    for dataset in Dataset::SIX {
+        let spec = dataset.spec();
+        // A mid-size replica keeps generation fast while large enough for
+        // the degree statistic to concentrate.
+        let scale = (600.0 / spec.num_nodes as f64).min(1.0);
+        let s = graph_stats(&dataset.generate(scale, 11));
+        let rel = (s.avg_degree - spec.avg_degree).abs() / spec.avg_degree;
+        assert!(
+            rel < 0.2,
+            "{dataset}: avg degree {} vs spec {} (rel err {rel:.2})",
+            s.avg_degree,
+            spec.avg_degree
+        );
+    }
+}
+
+#[test]
+fn directedness_matches_spec() {
+    for dataset in Dataset::SIX {
+        let g = dataset.generate(0.05, 3);
+        let spec = dataset.spec();
+        // Undirected datasets store both directions: every edge must have
+        // its reverse. Directed replicas must have at least some
+        // unreciprocated edges.
+        let mut reciprocated = 0usize;
+        let mut total = 0usize;
+        for (u, v, _) in g.edges() {
+            total += 1;
+            if g.has_edge(v, u) {
+                reciprocated += 1;
+            }
+        }
+        if spec.directed {
+            assert!(
+                reciprocated < total / 2,
+                "{dataset}: directed replica looks symmetric ({reciprocated}/{total})"
+            );
+        } else {
+            assert_eq!(reciprocated, total, "{dataset}: undirected replica broke symmetry");
+        }
+    }
+}
+
+#[test]
+fn replicas_are_dominated_by_one_component() {
+    // Holme–Kim attachment graphs are connected before orientation; the
+    // directed variants stay weakly connected.
+    for dataset in [Dataset::Email, Dataset::LastFm, Dataset::Gowalla] {
+        let g = dataset.generate(0.05, 7);
+        let (labels, count) = weakly_connected_components(&g);
+        let mut sizes = vec![0usize; count];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let giant = sizes.iter().copied().max().unwrap();
+        assert!(
+            giant as f64 >= 0.99 * g.num_nodes() as f64,
+            "{dataset}: giant component {giant}/{}",
+            g.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn degree_distributions_are_heavy_tailed() {
+    for dataset in [Dataset::LastFm, Dataset::Facebook, Dataset::Gowalla] {
+        let g = dataset.generate(0.08, 5);
+        let s = graph_stats(&g);
+        // Heavy tail: the max degree is many multiples of the average.
+        assert!(
+            s.max_in_degree as f64 > 4.0 * s.avg_degree,
+            "{dataset}: max {} vs avg {:.1}",
+            s.max_in_degree,
+            s.avg_degree
+        );
+    }
+}
+
+#[test]
+fn scales_and_seeds_are_independent_axes() {
+    let a = Dataset::HepPh.generate(0.03, 1);
+    let b = Dataset::HepPh.generate(0.03, 2);
+    let c = Dataset::HepPh.generate(0.06, 1);
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_ne!(a, b, "different seeds, same size");
+    assert_eq!(c.num_nodes(), 2 * a.num_nodes());
+}
+
+#[test]
+fn friendster_partitions_are_independent_and_uniform() {
+    let parts = Dataset::Friendster.generate_partitions(250, 3, 9);
+    assert_eq!(parts.len(), 3);
+    for p in &parts {
+        assert_eq!(p.num_nodes(), 250);
+        let s = graph_stats(p);
+        let spec = Dataset::Friendster.spec();
+        // Small partitions saturate (250 nodes cannot host degree 55
+        // without being half-complete); just require density in a sane band.
+        assert!(s.avg_degree > 0.5 * spec.avg_degree, "{}", s.avg_degree);
+    }
+    assert_ne!(parts[0], parts[1]);
+    assert_ne!(parts[1], parts[2]);
+}

@@ -1,0 +1,121 @@
+//! Classical (ε, δ)-DP composition theorems, complementing the tighter
+//! RDP-based accounting in [`crate::rdp`].
+//!
+//! These are used by the Example 2 analysis (pure-ε Laplace greedy) and as
+//! cross-checks of the RDP accountant: advanced composition must never
+//! report a *smaller* ε than RDP claims for the same mechanism sequence.
+
+/// Basic composition: `k` mechanisms, each `(ε, δ)`-DP, compose to
+/// `(k·ε, k·δ)`-DP.
+pub fn basic_composition(epsilon: f64, delta: f64, k: usize) -> (f64, f64) {
+    assert!(epsilon >= 0.0 && delta >= 0.0, "parameters must be non-negative");
+    (k as f64 * epsilon, k as f64 * delta)
+}
+
+/// Advanced composition (Dwork–Rothblum–Vadhan): `k` mechanisms, each
+/// `(ε, δ)`-DP, compose to `(ε', k·δ + δ')`-DP with
+/// `ε' = ε·sqrt(2k ln(1/δ')) + k·ε·(e^ε − 1)`.
+pub fn advanced_composition(
+    epsilon: f64,
+    delta: f64,
+    k: usize,
+    delta_prime: f64,
+) -> (f64, f64) {
+    assert!(epsilon >= 0.0 && delta >= 0.0, "parameters must be non-negative");
+    assert!(delta_prime > 0.0 && delta_prime < 1.0, "delta_prime in (0, 1)");
+    let kf = k as f64;
+    let eps_total = epsilon * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt()
+        + kf * epsilon * (epsilon.exp() - 1.0);
+    (eps_total, kf * delta + delta_prime)
+}
+
+/// The tighter of basic and advanced composition at the given `δ'` slack.
+pub fn best_composition(epsilon: f64, delta: f64, k: usize, delta_prime: f64) -> (f64, f64) {
+    let (b_eps, b_delta) = basic_composition(epsilon, delta, k);
+    let (a_eps, a_delta) = advanced_composition(epsilon, delta, k, delta_prime);
+    if a_eps < b_eps {
+        (a_eps, a_delta)
+    } else {
+        (b_eps, b_delta)
+    }
+}
+
+/// Per-query budget for `k` pure-ε Laplace queries under basic composition:
+/// the ε each query may spend so the total stays within `total_epsilon`.
+pub fn laplace_budget_per_query(total_epsilon: f64, k: usize) -> f64 {
+    assert!(total_epsilon > 0.0 && k > 0, "need positive budget and queries");
+    total_epsilon / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_is_linear() {
+        let (eps, delta) = basic_composition(0.5, 1e-6, 10);
+        assert_eq!(eps, 5.0);
+        assert!((delta - 1e-5).abs() < 1e-18);
+        assert_eq!(basic_composition(1.0, 0.0, 1), (1.0, 0.0));
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_queries() {
+        // k = 10000 queries at ε = 0.005: basic gives 50; advanced gives
+        // ~0.005·sqrt(2·10⁴·ln 10⁶) + tiny ≈ 2.9.
+        let (a_eps, _) = advanced_composition(0.005, 0.0, 10_000, 1e-6);
+        let (b_eps, _) = basic_composition(0.005, 0.0, 10_000);
+        assert!(a_eps < b_eps, "advanced {a_eps} should beat basic {b_eps}");
+        assert!(a_eps < 5.0, "{a_eps}");
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_large_queries() {
+        // A single ε = 1 query: basic gives exactly 1; advanced pays the
+        // sqrt(ln 1/δ') overhead.
+        let (a_eps, _) = advanced_composition(1.0, 0.0, 1, 1e-6);
+        let (b_eps, _) = basic_composition(1.0, 0.0, 1);
+        assert!(b_eps < a_eps);
+        let best = best_composition(1.0, 0.0, 1, 1e-6);
+        assert_eq!(best.0, 1.0);
+    }
+
+    #[test]
+    fn advanced_delta_accumulates() {
+        let (_, delta) = advanced_composition(0.1, 1e-7, 100, 1e-6);
+        assert!((delta - (100.0 * 1e-7 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rdp_is_at_least_as_tight_as_advanced_composition() {
+        // The same Gaussian mechanism sequence, accounted both ways. For a
+        // non-subsampled Gaussian with noise multiplier σ, each step is
+        // (α, α/(2σ²))-RDP; one step is (ε₀, δ)-DP with
+        // ε₀ = min_α α/(2σ²) + ln((α−1)/α) − (ln δ + ln α)/(α−1).
+        use crate::rdp::{RdpAccountant, SubsampledConfig};
+        let sigma = 4.0;
+        let steps = 200;
+        let delta = 1e-6;
+        // q = 1 (degenerate) reduces our accountant to the plain Gaussian.
+        let cfg = SubsampledConfig { max_occurrences: 8, batch_size: 8, container_size: 8 };
+
+        let mut acct = RdpAccountant::default();
+        acct.compose_subsampled_gaussian(sigma, &cfg, steps);
+        let (rdp_eps, _) = acct.epsilon(delta);
+
+        let mut single = RdpAccountant::default();
+        single.compose_subsampled_gaussian(sigma, &cfg, 1);
+        let (eps0, _) = single.epsilon(delta / 2.0);
+        let (adv_eps, _) = advanced_composition(eps0, delta / 2.0, steps, delta / 2.0);
+
+        assert!(
+            rdp_eps <= adv_eps,
+            "RDP accounting ({rdp_eps}) must not be looser than advanced composition ({adv_eps})"
+        );
+    }
+
+    #[test]
+    fn budget_split_is_even() {
+        assert_eq!(laplace_budget_per_query(1.0, 50), 0.02);
+    }
+}

@@ -1,0 +1,41 @@
+//! Differential-privacy substrate for the PrivIM reproduction.
+//!
+//! - [`math`] — log-Gamma, log-binomial, log-sum-exp, Gamma pdf.
+//! - [`mechanisms`] — Gaussian, Laplace and Symmetric-Multivariate-Laplace
+//!   noise samplers plus the corresponding mechanisms.
+//! - [`rdp`] — the paper's Theorem 3 Rényi-DP accountant for the
+//!   subgraph-sampled Gaussian mechanism, Theorem 1 conversion to
+//!   `(ε, δ)`-DP, and noise-multiplier calibration.
+//!
+//! # Example: calibrate noise for a PrivIM* run
+//!
+//! ```
+//! use privim_dp::rdp::{calibrate_sigma, SubsampledConfig, RdpAccountant};
+//!
+//! // Dual-stage sampling with frequency threshold M = 4 (N_g* = 4),
+//! // a container of 500 subgraphs, batches of 32, 100 iterations.
+//! let config = SubsampledConfig {
+//!     max_occurrences: 4,
+//!     batch_size: 32,
+//!     container_size: 500,
+//! };
+//! let sigma = calibrate_sigma(3.0, 1e-5, &config, 100);
+//!
+//! let mut acct = RdpAccountant::default();
+//! acct.compose_subsampled_gaussian(sigma, &config, 100);
+//! let (eps, _alpha) = acct.epsilon(1e-5);
+//! assert!(eps <= 3.0);
+//! ```
+
+pub mod composition;
+pub mod math;
+pub mod mechanisms;
+pub mod rdp;
+
+pub use composition::{advanced_composition, basic_composition};
+pub use mechanisms::{gaussian, laplace, symmetric_multivariate_laplace};
+pub use rdp::{
+    AdjacencyLevel,
+    calibrate_sigma, naive_occurrence_bound, rdp_to_epsilon, subsampled_gaussian_rdp,
+    RdpAccountant, SubsampledConfig,
+};

@@ -1,0 +1,156 @@
+//! Special functions used by the privacy accountant and the parameter
+//! indicator: log-Gamma, log-binomial coefficients, log-sum-exp, and the
+//! Gamma-distribution pdf (Eq. 11 of the paper).
+
+/// Natural log of the Gamma function via the Lanczos approximation
+/// (g = 7, 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` computed through [`ln_gamma`]; exact enough for the
+/// accountant's binomial mixture weights.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_binomial requires k <= n");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Numerically stable `ln Σ exp(xᵢ)`.
+///
+/// Returns `-inf` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Probability density of the Gamma(β, ψ) distribution at `x` — `ξ(x; β, ψ)`
+/// in the paper's Eq. 11 (shape β, scale ψ).
+pub fn gamma_pdf(x: f64, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma_pdf requires positive shape/scale");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let log_pdf =
+        (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
+    log_pdf.exp()
+}
+
+/// Mode of Gamma(β, ψ): `(β − 1)·ψ` for β > 1 (Eq. 46), else 0.
+pub fn gamma_mode(shape: f64, scale: f64) -> f64 {
+    ((shape - 1.0) * scale).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let factorials = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in factorials.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!((got - f.ln()).abs() < 1e-10, "n={n}: {got} vs {}", f.ln());
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        let got = ln_gamma(0.5);
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((got - want).abs() < 1e-10);
+        // Γ(3/2) = sqrt(π)/2
+        let got = ln_gamma(1.5);
+        let want = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((got - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // Γ(x+1) = x·Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 25.0, 333.5] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_small_cases() {
+        assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_binomial(10, 0)).abs() < 1e-10);
+        assert!((ln_binomial(10, 10)).abs() < 1e-10);
+        assert!((ln_binomial(52, 5) - 2_598_960f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable() {
+        // Would overflow naively.
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-12);
+        // Matches direct computation in safe ranges.
+        let xs = [0.0, 1.0, -2.0];
+        let direct = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - direct).abs() < 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gamma_pdf_integrates_to_one() {
+        // Trapezoid integration over a wide range.
+        let (shape, scale) = (3.0, 2.0);
+        let mut total = 0.0;
+        let dx = 0.001;
+        let mut x = dx;
+        while x < 60.0 {
+            total += gamma_pdf(x, shape, scale) * dx;
+            x += dx;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral = {total}");
+    }
+
+    #[test]
+    fn gamma_pdf_peaks_at_mode() {
+        let (shape, scale) = (4.0, 5.0);
+        let mode = gamma_mode(shape, scale);
+        assert_eq!(mode, 15.0);
+        let at_mode = gamma_pdf(mode, shape, scale);
+        for dx in [-2.0, -0.5, 0.5, 2.0] {
+            assert!(gamma_pdf(mode + dx, shape, scale) < at_mode);
+        }
+    }
+
+    #[test]
+    fn gamma_pdf_zero_outside_support() {
+        assert_eq!(gamma_pdf(0.0, 2.0, 1.0), 0.0);
+        assert_eq!(gamma_pdf(-3.0, 2.0, 1.0), 0.0);
+    }
+}

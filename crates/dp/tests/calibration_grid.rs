@@ -1,0 +1,88 @@
+//! Exhaustive calibration-grid tests for the accountant: σ calibration
+//! must be correct (within budget), tight (slightly less σ violates), and
+//! monotone along every axis, across a broad parameter grid.
+
+use privim_dp::rdp::{calibrate_sigma, RdpAccountant, SubsampledConfig};
+
+fn eps_at(sigma: f64, cfg: &SubsampledConfig, steps: usize, delta: f64) -> f64 {
+    let mut acct = RdpAccountant::default();
+    acct.compose_subsampled_gaussian(sigma, cfg, steps);
+    acct.epsilon(delta).0
+}
+
+#[test]
+fn calibration_is_correct_and_tight_on_a_grid() {
+    let delta = 1e-5;
+    for &n_g in &[1usize, 4, 16, 64] {
+        for &b in &[4usize, 32] {
+            for &m in &[64usize, 512] {
+                for &t in &[10usize, 100] {
+                    for &target in &[0.5f64, 3.0, 10.0] {
+                        let cfg = SubsampledConfig {
+                            max_occurrences: n_g,
+                            batch_size: b,
+                            container_size: m,
+                        };
+                        let sigma = calibrate_sigma(target, delta, &cfg, t);
+                        let spent = eps_at(sigma, &cfg, t, delta);
+                        assert!(
+                            spent <= target * 1.001,
+                            "n_g={n_g} b={b} m={m} t={t} target={target}: spent {spent}"
+                        );
+                        let under = eps_at(sigma * 0.95, &cfg, t, delta);
+                        assert!(
+                            under > target * 0.995,
+                            "calibration is loose: n_g={n_g} b={b} m={m} t={t} \
+                             target={target}: 0.95σ still gives {under}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn epsilon_is_monotone_along_every_axis() {
+    let base = SubsampledConfig { max_occurrences: 8, batch_size: 16, container_size: 256 };
+    let delta = 1e-5;
+    let reference = eps_at(1.5, &base, 50, delta);
+
+    // More steps → more ε.
+    assert!(eps_at(1.5, &base, 100, delta) >= reference);
+    // More noise → less ε.
+    assert!(eps_at(3.0, &base, 50, delta) <= reference);
+    // Larger batch (more affected draws expected) → more ε.
+    let bigger_batch = SubsampledConfig { batch_size: 64, ..base };
+    assert!(eps_at(1.5, &bigger_batch, 50, delta) >= reference);
+    // Larger container (lower hit probability) → less ε.
+    let bigger_container = SubsampledConfig { container_size: 2048, ..base };
+    assert!(eps_at(1.5, &bigger_container, 50, delta) <= reference);
+    // Looser δ → less ε.
+    let mut acct = RdpAccountant::default();
+    acct.compose_subsampled_gaussian(1.5, &base, 50);
+    assert!(acct.epsilon(1e-3).0 <= acct.epsilon(1e-7).0);
+}
+
+#[test]
+fn gamma_is_finite_and_nonnegative_across_grid() {
+    use privim_dp::rdp::subsampled_gaussian_rdp;
+    for &alpha in &[1.25f64, 2.0, 8.0, 64.0, 512.0] {
+        for &sigma in &[0.1f64, 1.0, 10.0] {
+            for &n_g in &[1usize, 7, 100] {
+                for &b in &[1usize, 16, 100] {
+                    let cfg = SubsampledConfig {
+                        max_occurrences: n_g,
+                        batch_size: b,
+                        container_size: 100,
+                    };
+                    let g = subsampled_gaussian_rdp(alpha, sigma, &cfg);
+                    assert!(
+                        g.is_finite() && g >= -1e-12,
+                        "alpha={alpha} sigma={sigma} n_g={n_g} b={b}: gamma = {g}"
+                    );
+                }
+            }
+        }
+    }
+}

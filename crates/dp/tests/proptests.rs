@@ -1,0 +1,123 @@
+//! Property-based tests for the privacy substrate.
+
+use proptest::prelude::*;
+
+use privim_dp::math::{gamma_pdf, ln_binomial, ln_gamma, log_sum_exp};
+use privim_dp::rdp::{
+    rdp_to_epsilon, subsampled_gaussian_rdp, RdpAccountant, SubsampledConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.05f64..200.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn ln_binomial_pascal_rule(n in 1u64..60, k_raw in 0u64..60) {
+        let k = k_raw.min(n - 1);
+        if k + 1 > n { return Ok(()); }
+        // C(n+1, k+1) = C(n, k) + C(n, k+1)
+        let lhs = ln_binomial(n + 1, k + 1).exp();
+        let rhs = ln_binomial(n, k).exp() + ln_binomial(n, k + 1).exp();
+        prop_assert!((lhs - rhs).abs() / rhs < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range(xs in proptest::collection::vec(-20.0f64..20.0, 1..20)) {
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        prop_assert!((log_sum_exp(&xs) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_shift_invariance(xs in proptest::collection::vec(-5.0f64..5.0, 1..10), c in -100.0f64..100.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((log_sum_exp(&shifted) - (log_sum_exp(&xs) + c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_pdf_is_nonnegative(x in -10.0f64..100.0, shape in 0.1f64..20.0, scale in 0.1f64..30.0) {
+        prop_assert!(gamma_pdf(x, shape, scale) >= 0.0);
+    }
+
+    #[test]
+    fn rdp_is_positive_and_monotone_in_alpha(
+        sigma in 0.3f64..8.0,
+        n_g in 1usize..20,
+        b in 1usize..64,
+        m_extra in 1usize..500,
+    ) {
+        let config = SubsampledConfig {
+            max_occurrences: n_g,
+            batch_size: b,
+            container_size: n_g + m_extra,
+        };
+        let g2 = subsampled_gaussian_rdp(2.0, sigma, &config);
+        let g8 = subsampled_gaussian_rdp(8.0, sigma, &config);
+        prop_assert!(g2 >= 0.0, "gamma must be non-negative: {g2}");
+        prop_assert!(g8 >= g2 - 1e-12, "RDP must be non-decreasing in alpha");
+    }
+
+    #[test]
+    fn rdp_decreases_with_sigma_everywhere(
+        n_g in 1usize..10,
+        b in 1usize..32,
+        m_extra in 10usize..300,
+    ) {
+        let config = SubsampledConfig {
+            max_occurrences: n_g,
+            batch_size: b,
+            container_size: n_g + m_extra,
+        };
+        let lo = subsampled_gaussian_rdp(4.0, 0.5, &config);
+        let hi = subsampled_gaussian_rdp(4.0, 2.0, &config);
+        prop_assert!(hi <= lo + 1e-12);
+    }
+
+    #[test]
+    fn epsilon_monotone_in_steps(sigma in 0.5f64..4.0, t1 in 1usize..50, extra in 1usize..50) {
+        let config = SubsampledConfig { max_occurrences: 4, batch_size: 8, container_size: 100 };
+        let eps = |t: usize| {
+            let mut acct = RdpAccountant::default();
+            acct.compose_subsampled_gaussian(sigma, &config, t);
+            acct.epsilon(1e-5).0
+        };
+        prop_assert!(eps(t1 + extra) >= eps(t1) - 1e-9);
+    }
+
+    #[test]
+    fn conversion_is_monotone_in_gamma_and_delta(
+        gamma in 0.0f64..50.0,
+        alpha in 1.1f64..64.0,
+        bump in 0.01f64..10.0,
+    ) {
+        let e1 = rdp_to_epsilon(gamma, alpha, 1e-5);
+        let e2 = rdp_to_epsilon(gamma + bump, alpha, 1e-5);
+        prop_assert!(e2 > e1, "epsilon must grow with gamma");
+        let loose = rdp_to_epsilon(gamma, alpha, 1e-3);
+        prop_assert!(loose <= e1, "looser delta cannot need more epsilon");
+    }
+
+    #[test]
+    fn gaussian_samples_are_finite(seed in 0u64..1000, std in 0.0f64..100.0) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = privim_dp::mechanisms::gaussian(&mut rng, std);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn sml_vectors_are_finite_with_requested_dim(seed in 0u64..1000, dim in 1usize..64) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = privim_dp::mechanisms::symmetric_multivariate_laplace(&mut rng, 1.0, dim);
+        prop_assert_eq!(v.len(), dim);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

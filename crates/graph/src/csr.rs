@@ -1,0 +1,466 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! [`Graph`] stores a directed weighted graph in two mirrored CSR layouts:
+//! one sorted by source (out-adjacency, used by diffusion simulation) and one
+//! sorted by destination (in-adjacency, used by GNN message passing, which
+//! aggregates over in-neighbors per Eq. 2 of the paper).
+
+use crate::error::GraphError;
+
+/// Node identifier. PrivIM graphs are bounded by `u32` (the paper's largest
+/// dataset, Friendster, has 65.6M nodes), which halves index memory compared
+/// to `usize` on 64-bit targets.
+pub type NodeId = u32;
+
+/// Incrementally accumulates edges, then freezes into a [`Graph`].
+///
+/// Duplicate edges are kept (parallel edges are legal but the PrivIM dataset
+/// generators never emit them); self-loops are legal but ignored by the
+/// diffusion simulator.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    srcs: Vec<NodeId>,
+    dsts: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over node ids `0..num_nodes`.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, srcs: Vec::new(), dsts: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Creates a builder with pre-reserved edge capacity.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            srcs: Vec::with_capacity(num_edges),
+            dsts: Vec::with_capacity(num_edges),
+            weights: Vec::with_capacity(num_edges),
+        }
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Adds the directed edge `src -> dst` with influence probability
+    /// `weight`. Panics if an endpoint is out of range (programmer error);
+    /// use [`GraphBuilder::try_add_edge`] for validated input.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        assert!(
+            (src as usize) < self.num_nodes && (dst as usize) < self.num_nodes,
+            "edge ({src}, {dst}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.weights.push(weight);
+    }
+
+    /// Adds both directions of an undirected edge with the same weight.
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        self.add_edge(a, b, weight);
+        self.add_edge(b, a, weight);
+    }
+
+    /// Validated edge insertion for untrusted input (e.g. file parsing).
+    pub fn try_add_edge(&mut self, src: u64, dst: u64, weight: f64) -> Result<(), GraphError> {
+        if src >= self.num_nodes as u64 {
+            return Err(GraphError::NodeOutOfRange { node: src, num_nodes: self.num_nodes });
+        }
+        if dst >= self.num_nodes as u64 {
+            return Err(GraphError::NodeOutOfRange { node: dst, num_nodes: self.num_nodes });
+        }
+        if !(weight.is_finite() && (0.0..=1.0).contains(&weight)) {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        self.add_edge(src as NodeId, dst as NodeId, weight);
+        Ok(())
+    }
+
+    /// Freezes the accumulated edges into the immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let m = self.srcs.len();
+
+        // Counting sort by source for the out-CSR.
+        let mut out_offsets = vec![0usize; n + 1];
+        for &s in &self.srcs {
+            out_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = vec![0 as NodeId; m];
+        let mut out_weights = vec![0f64; m];
+        let mut cursor = out_offsets[..n].to_vec();
+        for i in 0..m {
+            let s = self.srcs[i] as usize;
+            let at = cursor[s];
+            out_targets[at] = self.dsts[i];
+            out_weights[at] = self.weights[i];
+            cursor[s] += 1;
+        }
+
+        // Counting sort by destination for the in-CSR.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &d in &self.dsts {
+            in_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_weights = vec![0f64; m];
+        let mut cursor = in_offsets[..n].to_vec();
+        for i in 0..m {
+            let d = self.dsts[i] as usize;
+            let at = cursor[d];
+            in_sources[at] = self.srcs[i];
+            in_weights[at] = self.weights[i];
+            cursor[d] += 1;
+        }
+
+        let mut g = Graph {
+            num_nodes: n,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        };
+        g.canonicalize();
+        g
+    }
+}
+
+/// Sorts each adjacency row of a CSR by `(neighbor, weight)`.
+fn sort_rows(offsets: &[usize], ids: &mut [NodeId], weights: &mut [f64]) {
+    let mut row: Vec<(NodeId, f64)> = Vec::new();
+    for w in offsets.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo < 2 {
+            continue;
+        }
+        row.clear();
+        row.extend(ids[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()));
+        row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for (i, &(id, weight)) in row.iter().enumerate() {
+            ids[lo + i] = id;
+            weights[lo + i] = weight;
+        }
+    }
+}
+
+/// An immutable directed weighted graph in dual-CSR form.
+///
+/// The edge `(v, u)` with weight `w_vu` means "v influences u with
+/// probability `w_vu`" (Definition 6 in the paper). The out-CSR answers
+/// "whom does v influence?"; the in-CSR answers "who influences u?", which
+/// is the aggregation direction of GNN message passing (Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_nodes: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f64>,
+}
+
+impl Graph {
+    /// Sorts every adjacency row by `(neighbor, weight)` so that equal edge
+    /// multisets produce bit-identical graphs regardless of insertion order.
+    fn canonicalize(&mut self) {
+        sort_rows(&self.out_offsets, &mut self.out_targets, &mut self.out_weights);
+        sort_rows(&self.in_offsets, &mut self.in_sources, &mut self.in_weights);
+    }
+
+    /// An empty graph with `num_nodes` isolated nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        GraphBuilder::new(num_nodes).build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `v` (the nodes `v` can influence).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Graph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: NodeId) -> &[f64] {
+        &self.out_weights[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-neighbors of `u` (the nodes that can influence `u`).
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]]
+    }
+
+    /// Weights parallel to [`Graph::in_neighbors`] (`w_vu` for each in-neighbor `v`).
+    #[inline]
+    pub fn in_weights(&self, u: NodeId) -> &[f64] {
+        &self.in_weights[self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]
+    }
+
+    /// Iterates all edges as `(src, dst, weight)` in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes as NodeId).flat_map(move |v| {
+            self.out_neighbors(v)
+                .iter()
+                .zip(self.out_weights(v))
+                .map(move |(&u, &w)| (v, u, w))
+        })
+    }
+
+    /// Iterates node ids `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes as NodeId
+    }
+
+    /// Maximum in-degree over all nodes (0 for the empty graph).
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.num_nodes as NodeId).map(|u| self.in_degree(u)).max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_nodes as NodeId).map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Returns a copy of this graph with every edge weight replaced by `w`.
+    ///
+    /// The paper's evaluation fixes the influence probability `w_vu = 1`
+    /// for all edges; this helper applies such a uniform reweighting.
+    pub fn with_uniform_weight(&self, w: f64) -> Graph {
+        let mut g = self.clone();
+        g.out_weights.iter_mut().for_each(|x| *x = w);
+        g.in_weights.iter_mut().for_each(|x| *x = w);
+        g
+    }
+
+    /// The transpose graph: every edge `(u, v, w)` becomes `(v, u, w)`.
+    ///
+    /// Influence maximization on the transpose selects nodes *reachable
+    /// from* many others — the monitor-placement dual used for rumor
+    /// detection. O(1) in edge work: the dual-CSR layout just swaps roles.
+    pub fn transpose(&self) -> Graph {
+        Graph {
+            num_nodes: self.num_nodes,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            out_weights: self.in_weights.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+            in_weights: self.out_weights.clone(),
+        }
+    }
+
+    /// True if at least one edge `src -> dst` exists (binary search over
+    /// the sorted adjacency row).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// The weight of the edge `src -> dst`, if present (the first one, for
+    /// parallel edges).
+    pub fn edge_weight(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let row = self.out_neighbors(src);
+        let idx = row.binary_search(&dst).ok()?;
+        // Step back over equal targets to the first parallel edge.
+        let mut first = idx;
+        while first > 0 && row[first - 1] == dst {
+            first -= 1;
+        }
+        Some(self.out_weights(src)[first])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.1);
+        b.add_edge(0, 2, 0.2);
+        b.add_edge(1, 3, 0.3);
+        b.add_edge(2, 3, 0.4);
+        b.build()
+    }
+
+    #[test]
+    fn csr_out_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_weights(0), &[0.1, 0.2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn csr_in_adjacency() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_weights(3), &[0.3, 0.4]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0.1), (0, 2, 0.2), (1, 3, 0.3), (2, 3, 0.4)]);
+    }
+
+    #[test]
+    fn undirected_edges_appear_both_ways() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1, 0.5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn try_add_edge_rejects_bad_input() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.try_add_edge(5, 0, 0.5),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+        assert!(matches!(
+            b.try_add_edge(0, 9, 0.5),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(matches!(b.try_add_edge(0, 1, 1.5), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.try_add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(b.try_add_edge(0, 1, 0.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_panics_out_of_range() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 1, 0.5);
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_in_degree(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+        for v in g.nodes() {
+            assert!(g.out_neighbors(v).is_empty());
+            assert!(g.in_neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn uniform_weight_overrides_all() {
+        let g = diamond().with_uniform_weight(1.0);
+        for (_, _, w) in g.edges() {
+            assert_eq!(w, 1.0);
+        }
+        assert_eq!(g.in_weights(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.1);
+        b.add_edge(0, 1, 0.2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn transpose_swaps_adjacency() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.out_neighbors(1), &[0]);
+        assert_eq!(t.out_neighbors(3), &[1, 2]);
+        assert_eq!(t.in_neighbors(0), &[1, 2]);
+        assert_eq!(t.out_weights(3), &[0.3, 0.4]);
+        // Transpose is an involution.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn has_edge_and_weight_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 0));
+        assert_eq!(g.edge_weight(0, 2), Some(0.2));
+        assert_eq!(g.edge_weight(2, 0), None);
+    }
+
+    #[test]
+    fn edge_weight_returns_first_parallel() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.7);
+        b.add_edge(0, 1, 0.2);
+        let g = b.build();
+        // Canonical row order sorts parallel edges by weight.
+        assert_eq!(g.edge_weight(0, 1), Some(0.2));
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, manipulation, or I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge weight was not a finite probability in `[0, 1]`.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A malformed line was encountered while parsing an edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Binary deserialization found a corrupt or truncated buffer.
+    Corrupt(&'static str),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is not a finite probability in [0, 1]")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Corrupt(what) => write!(f, "corrupt graph buffer: {what}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = GraphError::InvalidWeight { weight: -0.5 };
+        assert!(e.to_string().contains("-0.5"));
+        let e = GraphError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,278 @@
+//! Graph serialization: whitespace-separated edge lists (the format SNAP
+//! datasets ship in) and a compact binary format for caching generated
+//! datasets between benchmark runs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::error::GraphError;
+
+/// Magic header for the binary graph format (`"PVIM"` + version byte).
+const MAGIC: &[u8; 5] = b"PVIM1";
+
+/// Parses a whitespace-separated edge list: each non-empty, non-`#` line is
+/// `src dst [weight]`; missing weights default to `default_weight`.
+///
+/// `num_nodes` fixes the node-id space; ids must lie in `0..num_nodes`.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_nodes: usize,
+    default_weight: f64,
+) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(num_nodes);
+    let mut line = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let src: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing source"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, &format!("bad source: {e}")))?;
+        let dst: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing destination"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, &format!("bad destination: {e}")))?;
+        let weight = match it.next() {
+            Some(tok) => {
+                tok.parse::<f64>().map_err(|e| parse_err(lineno, &format!("bad weight: {e}")))?
+            }
+            None => default_weight,
+        };
+        b.try_add_edge(src, dst, weight)?;
+    }
+    Ok(b.build())
+}
+
+/// Parses an edge list without a declared node count: reads the text once
+/// to find the maximum node id (honoring an optional `# nodes N ...`
+/// header, which wins when larger), then parses as [`read_edge_list`].
+pub fn read_edge_list_auto(text: &str, default_weight: f64) -> Result<Graph, GraphError> {
+    let mut max_id: Option<u64> = None;
+    let mut declared: Option<u64> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            // Header form: "# nodes N edges M".
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                if let Some(Ok(n)) = it.next().map(str::parse::<u64>) {
+                    declared = Some(n);
+                }
+            }
+            continue;
+        }
+        for tok in trimmed.split_whitespace().take(2) {
+            let id: u64 = tok.parse().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad node id {tok}: {e}"),
+            })?;
+            max_id = Some(max_id.map_or(id, |m: u64| m.max(id)));
+        }
+    }
+    let from_edges = max_id.map_or(0, |m| m + 1);
+    let n = declared.unwrap_or(0).max(from_edges) as usize;
+    read_edge_list(text.as_bytes(), n, default_weight)
+}
+
+fn parse_err(line: usize, message: &str) -> GraphError {
+    GraphError::Parse { line, message: message.to_string() }
+}
+
+/// Writes `g` as a `src dst weight` edge list.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (src, dst, weight) in g.edges() {
+        writeln!(w, "{src} {dst} {weight}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes `g` into the compact binary format.
+///
+/// Layout: magic, `u64` node count, `u64` edge count, then per edge
+/// `u32 src, u32 dst, f64 weight` in source order (little endian).
+pub fn encode_binary(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 16 + g.num_edges() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (src, dst, weight) in g.edges() {
+        buf.put_u32_le(src);
+        buf.put_u32_le(dst);
+        buf.put_f64_le(weight);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from the binary format produced by [`encode_binary`].
+pub fn decode_binary(mut buf: &[u8]) -> Result<Graph, GraphError> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(GraphError::Corrupt("bad magic"));
+    }
+    buf.advance(MAGIC.len());
+    if buf.remaining() < 16 {
+        return Err(GraphError::Corrupt("truncated header"));
+    }
+    let num_nodes = buf.get_u64_le() as usize;
+    let num_edges = buf.get_u64_le() as usize;
+    if buf.remaining() != num_edges.saturating_mul(16) {
+        return Err(GraphError::Corrupt("edge payload size mismatch"));
+    }
+    let mut b = GraphBuilder::with_capacity(num_nodes, num_edges);
+    for _ in 0..num_edges {
+        let src = buf.get_u32_le() as u64;
+        let dst = buf.get_u32_le() as u64;
+        let weight = buf.get_f64_le();
+        b.try_add_edge(src, dst, weight)?;
+    }
+    Ok(b.build())
+}
+
+/// Convenience: writes the binary format to `path`.
+pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    std::fs::write(path, encode_binary(g))?;
+    Ok(())
+}
+
+/// Convenience: reads the binary format from `path`.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let bytes = std::fs::read(path)?;
+    decode_binary(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.25);
+        b.add_edge(1, 2, 0.5);
+        b.add_edge(3, 0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], 4, 1.0).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_default_weight_and_comments() {
+        let text = "# a comment\n\n0 1\n1 0 0.5\n";
+        let g = read_edge_list(text.as_bytes(), 2, 0.9).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_weights(0), &[0.9]);
+        assert_eq!(g.out_weights(1), &[0.5]);
+    }
+
+    #[test]
+    fn edge_list_reports_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), 2, 1.0).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_out_of_range_nodes() {
+        let text = "0 7\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes(), 2, 1.0),
+            Err(GraphError::NodeOutOfRange { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn auto_edge_list_infers_node_count() {
+        let g = read_edge_list_auto("0 3\n1 2 0.5\n", 1.0).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_weights(1), &[0.5]);
+    }
+
+    #[test]
+    fn auto_edge_list_honors_header_when_larger() {
+        let g = read_edge_list_auto("# nodes 10 edges 1\n0 1\n", 1.0).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        // Edge ids above the declared count still win.
+        let g = read_edge_list_auto("# nodes 2 edges 1\n0 5\n", 1.0).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    fn auto_edge_list_round_trips_writer_output() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(read_edge_list_auto(&text, 1.0).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = encode_binary(&g);
+        let back = decode_binary(&bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let bytes = encode_binary(&g);
+        assert!(matches!(decode_binary(&bytes[..4]), Err(GraphError::Corrupt(_))));
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(decode_binary(&bad), Err(GraphError::Corrupt(_))));
+        let mut truncated = bytes.to_vec();
+        truncated.pop();
+        assert!(matches!(decode_binary(&truncated), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("privim-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        save_binary(&g, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::empty(5);
+        assert_eq!(decode_binary(&encode_binary(&g)).unwrap(), g);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(&buf[..], 5, 1.0).unwrap(), g);
+    }
+}

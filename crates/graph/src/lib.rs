@@ -1,0 +1,39 @@
+//! Directed weighted graph engine for the PrivIM reproduction.
+//!
+//! This crate provides the graph substrate used throughout the workspace:
+//! a compressed-sparse-row ([`Graph`]) representation with both out- and
+//! in-adjacency, the structural operations the PrivIM sampling schemes need
+//! (θ-bounded projection, r-hop neighborhoods, induced subgraphs), basic
+//! analytics ([`stats::GraphStats`]) and edge-list / binary I/O.
+//!
+//! Graphs are always stored as *directed* weighted graphs; undirected inputs
+//! are represented by storing both edge directions, matching the paper's
+//! convention ("undirected graphs can be treated as directed ones").
+//!
+//! # Example
+//!
+//! ```
+//! use privim_graph::{GraphBuilder, Graph};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1.0);
+//! b.add_edge(1, 2, 0.5);
+//! b.add_edge(2, 3, 0.25);
+//! let g: Graph = b.build();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.out_neighbors(1), &[2]);
+//! assert_eq!(g.in_neighbors(1), &[0]);
+//! ```
+
+pub mod algorithms;
+pub mod collections;
+pub mod csr;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod stats;
+
+pub use csr::{Graph, GraphBuilder, NodeId};
+pub use error::GraphError;
+pub use stats::GraphStats;

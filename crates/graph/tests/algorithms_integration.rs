@@ -1,0 +1,119 @@
+//! Integration tests for the graph analytics on generated datasets:
+//! centrality measures must agree with each other and with ground truth on
+//! structured graphs.
+
+use privim_graph::algorithms::{betweenness_centrality, core_numbers, pagerank, weighted_cascade};
+use privim_graph::ops::shuffle_labels;
+use privim_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn barbell(k: usize) -> Graph {
+    // Two k-cliques joined by a single bridge path of two nodes.
+    let n = 2 * k + 2;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k as NodeId {
+        for j in (i + 1)..k as NodeId {
+            b.add_undirected_edge(i, j, 1.0);
+        }
+    }
+    let offset = (k + 2) as NodeId;
+    for i in 0..k as NodeId {
+        for j in (i + 1)..k as NodeId {
+            b.add_undirected_edge(offset + i, offset + j, 1.0);
+        }
+    }
+    // Bridge: clique1 node 0 — bridge1 — bridge2 — clique2 node offset.
+    let bridge1 = k as NodeId;
+    let bridge2 = (k + 1) as NodeId;
+    b.add_undirected_edge(0, bridge1, 1.0);
+    b.add_undirected_edge(bridge1, bridge2, 1.0);
+    b.add_undirected_edge(bridge2, offset, 1.0);
+    b.build()
+}
+
+#[test]
+fn bridge_nodes_dominate_betweenness() {
+    let k = 5;
+    let g = barbell(k);
+    let c = betweenness_centrality(&g);
+    let bridge1 = k;
+    let bridge2 = k + 1;
+    for v in 0..g.num_nodes() {
+        if v != bridge1 && v != bridge2 {
+            assert!(
+                c[bridge1] >= c[v] && c[bridge2] >= c[v],
+                "bridge centrality {}/{} vs node {v}: {}",
+                c[bridge1],
+                c[bridge2],
+                c[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn clique_members_dominate_core_numbers() {
+    let k = 6;
+    let g = barbell(k);
+    let core = core_numbers(&g);
+    let bridge1 = k;
+    // All clique members share the top core; bridges are lower.
+    assert!(core[0] > core[bridge1]);
+    for v in 1..k {
+        assert_eq!(core[v], core[0]);
+    }
+}
+
+#[test]
+fn pagerank_is_permutation_equivariant() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = privim_datasets::generators::holme_kim(120, 3, 0.4, 1.0, &mut rng);
+    let pr = pagerank(&g, 0.85, 1e-12, 300);
+    // Relabel and recompute: the multiset of scores must be preserved.
+    let mut rng2 = StdRng::seed_from_u64(9);
+    let shuffled = shuffle_labels(&g, &mut rng2);
+    let pr2 = pagerank(&shuffled, 0.85, 1e-12, 300);
+    let mut a: Vec<_> = pr.iter().map(|x| (x * 1e12) as i64).collect();
+    let mut b: Vec<_> = pr2.iter().map(|x| (x * 1e12) as i64).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pagerank_correlates_with_in_degree_on_scale_free_graphs() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = privim_datasets::generators::barabasi_albert(300, 3, 1.0, &mut rng);
+    let pr = pagerank(&g, 0.85, 1e-10, 300);
+    let top_pr = (0..g.num_nodes())
+        .max_by(|&a, &b| pr[a].total_cmp(&pr[b]))
+        .unwrap();
+    let top_deg = g.nodes().max_by_key(|&v| g.in_degree(v)).unwrap() as usize;
+    // The PageRank argmax must be a high-degree node (top decile).
+    let mut degs: Vec<usize> = g.nodes().map(|v| g.in_degree(v)).collect();
+    degs.sort_unstable();
+    let decile = degs[degs.len() * 9 / 10];
+    assert!(
+        g.in_degree(top_pr as NodeId) >= decile,
+        "PageRank argmax {top_pr} has degree {} (decile {decile}, degree argmax {top_deg})",
+        g.in_degree(top_pr as NodeId)
+    );
+}
+
+#[test]
+fn weighted_cascade_composes_with_transpose() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = privim_datasets::generators::holme_kim(60, 3, 0.3, 1.0, &mut rng);
+    let wc = weighted_cascade(&g);
+    let t = wc.transpose();
+    assert_eq!(t.num_edges(), wc.num_edges());
+    // In-weights of wc become out-weights of the transpose.
+    for u in wc.nodes().take(10) {
+        let mut a: Vec<u64> = wc.in_weights(u).iter().map(|w| w.to_bits()).collect();
+        let mut b: Vec<u64> = t.out_weights(u).iter().map(|w| w.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "node {u}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_graph::io::{decode_binary, encode_binary, read_edge_list, write_edge_list};
+use privim_graph::ops::{
+    bfs_distances, induced_subgraph, khop_neighborhood, theta_projection,
+    weakly_connected_components,
+};
+use privim_graph::{Graph, GraphBuilder, NodeId};
+
+/// Strategy: a random directed graph with 1..=40 nodes and 0..=120 edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0.0f64..=1.0),
+            0..=120,
+        );
+        edges.prop_map(move |es| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d, w) in es {
+                b.add_edge(s, d, w);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sums_equal_edge_count(g in arb_graph()) {
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    #[test]
+    fn in_and_out_adjacency_are_mirrors(g in arb_graph()) {
+        // Every out-edge (v, u, w) must appear as an in-edge of u and
+        // vice versa, with matching multiplicity.
+        let mut out_edges: Vec<(NodeId, NodeId, u64)> = g
+            .edges()
+            .map(|(v, u, w)| (v, u, w.to_bits()))
+            .collect();
+        let mut in_edges: Vec<(NodeId, NodeId, u64)> = g
+            .nodes()
+            .flat_map(|u| {
+                g.in_neighbors(u)
+                    .iter()
+                    .zip(g.in_weights(u))
+                    .map(move |(&v, &w)| (v, u, w.to_bits()))
+            })
+            .collect();
+        out_edges.sort_unstable();
+        in_edges.sort_unstable();
+        prop_assert_eq!(out_edges, in_edges);
+    }
+
+    #[test]
+    fn binary_round_trip_is_identity(g in arb_graph()) {
+        prop_assert_eq!(decode_binary(&encode_binary(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn edge_list_round_trip_is_identity(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], g.num_nodes(), 1.0).unwrap();
+        // Weights survive text formatting because Rust prints f64 with
+        // round-trip precision.
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn theta_projection_never_exceeds_theta(g in arb_graph(), theta in 0usize..8, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = theta_projection(&g, theta, &mut rng);
+        prop_assert_eq!(p.num_nodes(), g.num_nodes());
+        for u in p.nodes() {
+            prop_assert!(p.in_degree(u) <= theta.max(g.in_degree(u).min(theta)));
+            prop_assert!(p.in_degree(u) <= g.in_degree(u));
+            prop_assert!(p.in_degree(u) <= theta || g.in_degree(u) <= theta);
+            prop_assert!(p.in_degree(u) == g.in_degree(u).min(theta));
+        }
+    }
+
+    #[test]
+    fn khop_is_monotone_in_r(g in arb_graph(), v0_raw in 0u32..40, r in 0usize..5) {
+        let v0 = v0_raw % g.num_nodes() as u32;
+        let small = khop_neighborhood(&g, v0, r);
+        let big = khop_neighborhood(&g, v0, r + 1);
+        prop_assert!(small.is_subset(&big));
+        prop_assert!(small.contains(&v0));
+    }
+
+    #[test]
+    fn khop_matches_bfs_distances(g in arb_graph(), v0_raw in 0u32..40, r in 0usize..5) {
+        let v0 = v0_raw % g.num_nodes() as u32;
+        let hop = khop_neighborhood(&g, v0, r);
+        let dist = bfs_distances(&g, v0);
+        for v in g.nodes() {
+            let within = dist[v as usize] != usize::MAX && dist[v as usize] <= r;
+            prop_assert_eq!(hop.contains(&v), within, "node {} r {}", v, r);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_count_is_bounded(g in arb_graph(), pick in proptest::collection::vec(any::<bool>(), 40)) {
+        let nodes: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| pick[v as usize % pick.len()])
+            .collect();
+        let sub = induced_subgraph(&g, &nodes);
+        prop_assert_eq!(sub.num_nodes(), nodes.len());
+        prop_assert!(sub.num_edges() <= g.num_edges());
+    }
+
+    #[test]
+    fn wcc_labels_are_dense_and_consistent(g in arb_graph()) {
+        let (labels, count) = weakly_connected_components(&g);
+        prop_assert_eq!(labels.len(), g.num_nodes());
+        let max = labels.iter().copied().max().unwrap_or(0);
+        if g.num_nodes() > 0 {
+            prop_assert_eq!(max as usize + 1, count);
+        }
+        // Endpoints of any edge share a label.
+        for (v, u, _) in g.edges() {
+            prop_assert_eq!(labels[v as usize], labels[u as usize]);
+        }
+    }
+}

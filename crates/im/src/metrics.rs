@@ -1,0 +1,74 @@
+//! Evaluation metrics: top-k seed extraction from model scores, influence
+//! spread (via [`crate::spread`]) and the paper's coverage ratio
+//! `|V_method| / |V_CELF|`.
+
+use privim_graph::NodeId;
+
+/// Selects the indices of the `k` largest scores (the paper's "top-k nodes
+/// are chosen as seed nodes"). Ties break toward the smaller node id so
+/// results are deterministic.
+pub fn top_k_seeds(scores: &[f64], k: usize) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b))
+    });
+    order.truncate(k.min(scores.len()));
+    order
+}
+
+/// Coverage ratio in percent: `100 · spread_method / spread_celf`.
+pub fn coverage_ratio(method_spread: f64, celf_spread: f64) -> f64 {
+    if celf_spread <= 0.0 {
+        return 0.0;
+    }
+    100.0 * method_spread / celf_spread
+}
+
+/// Mean and sample standard deviation of repeated measurements, as the
+/// paper reports (`mean ± std` over 5 repetitions).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "mean_std of empty slice");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let scores = [0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(top_k_seeds(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_seeds(&scores, 0), Vec::<NodeId>::new());
+        assert_eq!(top_k_seeds(&scores, 10).len(), 5);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_id() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_seeds(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn coverage_ratio_basics() {
+        assert_eq!(coverage_ratio(50.0, 100.0), 50.0);
+        assert_eq!(coverage_ratio(100.0, 100.0), 100.0);
+        assert_eq!(coverage_ratio(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        // Sample std of this classic dataset is sqrt(32/7).
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[3.25]);
+        assert_eq!((m1, s1), (3.25, 0.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Influence-spread estimation.
+//!
+//! [`influence_spread`] dispatches between exact evaluation (the paper's
+//! deterministic `w = 1`, `j = 1` setting) and Monte Carlo estimation, with
+//! an optional multi-threaded estimator for large trial counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use privim_graph::{Graph, NodeId};
+
+use crate::models::{deterministic_one_step_coverage, simulate_cascade, DiffusionConfig, DiffusionModel};
+
+/// True if every edge weight is (at least) 1, making IC deterministic.
+fn all_weights_saturated(g: &Graph) -> bool {
+    g.nodes().all(|v| g.out_weights(v).iter().all(|&w| w >= 1.0))
+}
+
+/// Estimates the expected influence spread `I(S, G)` of `seeds` under
+/// `config`, averaging `trials` Monte Carlo cascades.
+///
+/// When the configuration is exactly the paper's evaluation setting
+/// (IC, one step, all weights ≥ 1) the spread is computed exactly in a
+/// single pass instead.
+pub fn influence_spread<R: Rng + ?Sized>(
+    g: &Graph,
+    seeds: &[NodeId],
+    config: &DiffusionConfig,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    if is_deterministic_one_step(g, config) {
+        return deterministic_one_step_coverage(g, seeds) as f64;
+    }
+    assert!(trials > 0, "need at least one trial");
+    let total: usize = (0..trials).map(|_| simulate_cascade(g, seeds, config, rng)).sum();
+    total as f64 / trials as f64
+}
+
+fn is_deterministic_one_step(g: &Graph, config: &DiffusionConfig) -> bool {
+    matches!(config.model, DiffusionModel::IndependentCascade)
+        && config.max_steps == Some(1)
+        && all_weights_saturated(g)
+}
+
+/// A Monte Carlo spread estimate with a normal-approximation confidence
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadEstimate {
+    /// Sample mean spread.
+    pub mean: f64,
+    /// Half-width of the confidence interval (`z · s / √trials`).
+    pub half_width: f64,
+    /// Trials used.
+    pub trials: usize,
+}
+
+impl SpreadEstimate {
+    /// `[mean − hw, mean + hw]`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.half_width, self.mean + self.half_width)
+    }
+}
+
+/// Monte Carlo spread with a CLT confidence interval at confidence `z`
+/// standard errors (1.96 ≈ 95%). Exact configurations return a zero-width
+/// interval.
+pub fn influence_spread_with_ci<R: Rng + ?Sized>(
+    g: &Graph,
+    seeds: &[NodeId],
+    config: &DiffusionConfig,
+    trials: usize,
+    z: f64,
+    rng: &mut R,
+) -> SpreadEstimate {
+    if is_deterministic_one_step(g, config) {
+        let exact = deterministic_one_step_coverage(g, seeds) as f64;
+        return SpreadEstimate { mean: exact, half_width: 0.0, trials: 1 };
+    }
+    assert!(trials >= 2, "need at least two trials for a CI");
+    let samples: Vec<f64> =
+        (0..trials).map(|_| simulate_cascade(g, seeds, config, rng) as f64).collect();
+    let mean = samples.iter().sum::<f64>() / trials as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        / (trials as f64 - 1.0);
+    SpreadEstimate {
+        mean,
+        half_width: z * (var / trials as f64).sqrt(),
+        trials,
+    }
+}
+
+/// Multi-threaded Monte Carlo spread estimate; deterministic for a given
+/// `seed` regardless of thread count (each thread owns a derived RNG and a
+/// fixed share of trials).
+pub fn influence_spread_parallel(
+    g: &Graph,
+    seeds: &[NodeId],
+    config: &DiffusionConfig,
+    trials: usize,
+    n_threads: usize,
+    seed: u64,
+) -> f64 {
+    if is_deterministic_one_step(g, config) {
+        return deterministic_one_step_coverage(g, seeds) as f64;
+    }
+    assert!(trials > 0 && n_threads > 0, "need at least one trial and thread");
+    let n_threads = n_threads.min(trials);
+    let per = trials / n_threads;
+    let extra = trials % n_threads;
+    let totals: Vec<usize> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let quota = per + usize::from(t < extra);
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37_79b9));
+                    (0..quota).map(|_| simulate_cascade(g, seeds, config, &mut rng)).sum::<usize>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("spread worker panicked")).collect()
+    })
+    .expect("spread thread scope failed");
+    totals.iter().sum::<usize>() as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::GraphBuilder;
+
+    fn two_hop_chain() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn exact_path_taken_for_paper_setting() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = DiffusionConfig::ic_with_steps(1);
+        // trials = 1 would be noisy for MC; exactness proves the fast path.
+        let s = influence_spread(&g, &[0], &cfg, 1, &mut rng);
+        assert_eq!(s, 3.0);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_expectation() {
+        // E[spread from 0] = 1 + 0.5 + 0.25 = 1.75 on the 0.5-weight chain.
+        let g = two_hop_chain();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = DiffusionConfig::ic_unbounded();
+        let s = influence_spread(&g, &[0], &cfg, 60_000, &mut rng);
+        assert!((s - 1.75).abs() < 0.02, "spread {s}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_expectation() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let s = influence_spread_parallel(&g, &[0], &cfg, 60_000, 4, 7);
+        assert!((s - 1.75).abs() < 0.02, "spread {s}");
+    }
+
+    #[test]
+    fn parallel_is_deterministic_given_seed() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let a = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9);
+        let b = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_bounds_hold() {
+        let g = two_hop_chain();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DiffusionConfig::ic_unbounded();
+        let s = influence_spread(&g, &[0, 2], &cfg, 500, &mut rng);
+        assert!((2.0..=3.0).contains(&s), "spread {s}");
+    }
+
+    #[test]
+    fn confidence_interval_contains_truth() {
+        // E[spread] = 1.75 on the 0.5-weight chain; a 99.9%-z interval from
+        // 20k trials should cover it.
+        let g = two_hop_chain();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = DiffusionConfig::ic_unbounded();
+        let est = influence_spread_with_ci(&g, &[0], &cfg, 20_000, 3.3, &mut rng);
+        let (lo, hi) = est.interval();
+        assert!(lo <= 1.75 && 1.75 <= hi, "[{lo}, {hi}] misses 1.75");
+        assert!(est.half_width > 0.0 && est.half_width < 0.05);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_trials() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let mut rng = StdRng::seed_from_u64(12);
+        let small = influence_spread_with_ci(&g, &[0], &cfg, 500, 1.96, &mut rng);
+        let large = influence_spread_with_ci(&g, &[0], &cfg, 50_000, 1.96, &mut rng);
+        assert!(large.half_width < small.half_width / 5.0);
+    }
+
+    #[test]
+    fn exact_configurations_have_zero_width() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = DiffusionConfig::ic_with_steps(1);
+        let est = influence_spread_with_ci(&g, &[0], &cfg, 100, 1.96, &mut rng);
+        assert_eq!(est.mean, 2.0);
+        assert_eq!(est.half_width, 0.0);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let s = influence_spread_parallel(&g, &[0], &cfg, 3, 64, 1);
+        assert!((1.0..=3.0).contains(&s));
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-estimator consistency: three independent estimators of the same
+//! influence quantity (forward Monte Carlo cascades, reverse-reachable
+//! sampling, and exact computation on tractable graphs) must agree.
+
+use privim_graph::{Graph, GraphBuilder, NodeId};
+use privim_im::models::DiffusionConfig;
+use privim_im::ris::RrCollection;
+use privim_im::spread::{influence_spread, influence_spread_with_ci};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hub with `k` spokes at probability `p`: E[1-step spread of {hub}] is
+/// exactly `1 + k·p`.
+fn star(k: usize, p: f64) -> Graph {
+    let mut b = GraphBuilder::new(k + 1);
+    for i in 1..=k {
+        b.add_edge(0, i as NodeId, p);
+    }
+    b.build()
+}
+
+#[test]
+fn forward_mc_matches_closed_form() {
+    let g = star(8, 0.3);
+    let truth = 1.0 + 8.0 * 0.3;
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = DiffusionConfig::ic_with_steps(1);
+    let est = influence_spread(&g, &[0], &cfg, 80_000, &mut rng);
+    assert!((est - truth).abs() < 0.03, "MC {est} vs truth {truth}");
+}
+
+#[test]
+fn ris_matches_closed_form() {
+    let g = star(8, 0.3);
+    let truth = 1.0 + 8.0 * 0.3;
+    let mut rng = StdRng::seed_from_u64(2);
+    let rr = RrCollection::sample(&g, 80_000, Some(1), &mut rng);
+    let est = rr.estimate_spread(&[0]);
+    assert!((est - truth).abs() < 0.05, "RIS {est} vs truth {truth}");
+}
+
+#[test]
+fn forward_and_reverse_agree_on_random_graph() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = privim_datasets::generators::holme_kim(80, 3, 0.3, 1.0, &mut rng)
+        .with_uniform_weight(0.2);
+    let seeds: Vec<NodeId> = vec![0, 13, 42];
+    let cfg = DiffusionConfig::ic_with_steps(2);
+    let mc = influence_spread(&g, &seeds, &cfg, 60_000, &mut rng);
+    let rr = RrCollection::sample(&g, 60_000, Some(2), &mut rng);
+    let ris = rr.estimate_spread(&seeds);
+    assert!(
+        (mc - ris).abs() / mc < 0.03,
+        "forward MC {mc:.2} vs reverse sampling {ris:.2}"
+    );
+}
+
+#[test]
+fn multi_step_expectation_on_chain() {
+    // 0 -> 1 -> 2 with p = 0.5 each: E[unbounded spread] = 1 + 0.5 + 0.25.
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, 0.5);
+    b.add_edge(1, 2, 0.5);
+    let g = b.build();
+    let mut rng = StdRng::seed_from_u64(4);
+    let est = influence_spread_with_ci(
+        &g,
+        &[0],
+        &DiffusionConfig::ic_unbounded(),
+        50_000,
+        3.3,
+        &mut rng,
+    );
+    let (lo, hi) = est.interval();
+    assert!(lo <= 1.75 && 1.75 <= hi, "[{lo}, {hi}]");
+}
+
+#[test]
+fn unbounded_equals_large_step_cap() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = privim_datasets::generators::holme_kim(60, 3, 0.2, 1.0, &mut rng)
+        .with_uniform_weight(0.3);
+    let seeds = [0u32, 7];
+    let unbounded =
+        influence_spread(&g, &seeds, &DiffusionConfig::ic_unbounded(), 40_000, &mut rng);
+    let capped =
+        influence_spread(&g, &seeds, &DiffusionConfig::ic_with_steps(60), 40_000, &mut rng);
+    assert!(
+        (unbounded - capped).abs() / unbounded < 0.02,
+        "unbounded {unbounded:.2} vs 60-step {capped:.2}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for diffusion and seed selection.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_graph::{Graph, GraphBuilder, NodeId};
+use privim_im::greedy::{celf_coverage, degree_heuristic, random_seeds};
+use privim_im::metrics::top_k_seeds;
+use privim_im::models::{
+    deterministic_one_step_coverage, simulate_cascade, DiffusionConfig, DiffusionModel,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..=1.0), 0..80).prop_map(
+            move |es| {
+                let mut b = GraphBuilder::new(n);
+                for (s, d, w) in es {
+                    if s != d {
+                        b.add_edge(s, d, w);
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cascade_spread_is_bounded(g in arb_graph(), seed in 0u64..100, k in 1usize..5) {
+        let seeds: Vec<NodeId> = (0..k.min(g.num_nodes()) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cfg in [
+            DiffusionConfig::ic_with_steps(2),
+            DiffusionConfig::ic_unbounded(),
+            DiffusionConfig { model: DiffusionModel::LinearThreshold, max_steps: Some(3) },
+            DiffusionConfig { model: DiffusionModel::Sis { recovery: 0.3 }, max_steps: Some(3) },
+        ] {
+            let spread = simulate_cascade(&g, &seeds, &cfg, &mut rng);
+            prop_assert!(spread >= seeds.len());
+            prop_assert!(spread <= g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_seed_set(g in arb_graph()) {
+        let mut seeds: Vec<NodeId> = Vec::new();
+        let mut prev = 0usize;
+        for v in g.nodes().take(6) {
+            seeds.push(v);
+            let c = deterministic_one_step_coverage(&g, &seeds);
+            prop_assert!(c >= prev, "coverage shrank when adding a seed");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn coverage_is_submodular_on_random_prefixes(g in arb_graph(), extra_raw in 0u32..30) {
+        // Adding `extra` to a smaller set gains at least as much as adding
+        // it to a superset.
+        let extra = extra_raw % g.num_nodes() as u32;
+        let all: Vec<NodeId> = g.nodes().take(5).filter(|&v| v != extra).collect();
+        if all.len() < 2 { return Ok(()); }
+        let small = &all[..1];
+        let big = &all[..];
+        let gain = |base: &[NodeId]| {
+            let mut with: Vec<NodeId> = base.to_vec();
+            with.push(extra);
+            deterministic_one_step_coverage(&g, &with) as i64
+                - deterministic_one_step_coverage(&g, base) as i64
+        };
+        prop_assert!(gain(small) >= gain(big), "submodularity violated");
+    }
+
+    #[test]
+    fn celf_respects_approximation_vs_heuristics(g in arb_graph(), k in 1usize..6) {
+        let k = k.min(g.num_nodes());
+        let (seeds, spread) = celf_coverage(&g, k);
+        prop_assert_eq!(seeds.len(), k);
+        // CELF == greedy on coverage; greedy ≥ (1 − 1/e)·OPT ≥ (1 − 1/e)·heuristic.
+        let deg = degree_heuristic(&g, k);
+        let deg_spread = deterministic_one_step_coverage(&g, &deg) as f64;
+        prop_assert!(spread >= (1.0 - 1.0 / std::f64::consts::E) * deg_spread - 1e-9);
+        // Greedy's first pick is the single best node, so spread ≥ best single.
+        let best_single = g
+            .nodes()
+            .map(|v| deterministic_one_step_coverage(&g, &[v]))
+            .max()
+            .unwrap_or(0) as f64;
+        prop_assert!(spread >= best_single);
+    }
+
+    #[test]
+    fn celf_spread_is_monotone_in_k(g in arb_graph()) {
+        let mut prev = 0.0;
+        for k in 1..=g.num_nodes().min(6) {
+            let (_, spread) = celf_coverage(&g, k);
+            prop_assert!(spread >= prev);
+            prev = spread;
+        }
+    }
+
+    #[test]
+    fn top_k_returns_the_k_best(scores in proptest::collection::vec(0.0f64..1.0, 1..40), k in 1usize..10) {
+        let k = k.min(scores.len());
+        let picked = top_k_seeds(&scores, k);
+        prop_assert_eq!(picked.len(), k);
+        let min_picked = picked.iter().map(|&i| scores[i as usize]).fold(f64::MAX, f64::min);
+        for (i, &s) in scores.iter().enumerate() {
+            if !picked.contains(&(i as u32)) {
+                prop_assert!(s <= min_picked + 1e-12, "unpicked score beats picked one");
+            }
+        }
+    }
+
+    #[test]
+    fn random_seeds_are_a_valid_sample(g in arb_graph(), seed in 0u64..50, k in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = random_seeds(&g, k, &mut rng);
+        prop_assert_eq!(seeds.len(), k.min(g.num_nodes()));
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(set.len(), seeds.len());
+    }
+}

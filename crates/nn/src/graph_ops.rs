@@ -1,0 +1,490 @@
+//! Sparse message-passing ops for GNNs.
+//!
+//! All ops operate on an edge list `(src[e], dst[e])` shared via `Rc` so the
+//! backward closures can replay the sparsity pattern without copying it.
+//! Aggregation follows the paper's convention (Eq. 2): node `u` aggregates
+//! over its *in*-neighbors, i.e. over edges whose `dst` is `u`.
+
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+impl Tape {
+    /// Sparse matrix product with fixed per-edge coefficients:
+    /// `out[dst[e]] += coeff[e] * h[src[e]]` for every edge `e`.
+    ///
+    /// Gradient flows into `h` only (`coeff` is data, not a parameter):
+    /// `dh[src[e]] += coeff[e] * dout[dst[e]]`.
+    pub fn spmm_fixed(
+        &mut self,
+        h: Var,
+        src: Rc<Vec<u32>>,
+        dst: Rc<Vec<u32>>,
+        coeff: Rc<Vec<f64>>,
+        n_out: usize,
+    ) -> Var {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        assert_eq!(src.len(), coeff.len(), "coeff length mismatch");
+        let hv = self.value(h);
+        let d = hv.cols();
+        let mut out = Matrix::zeros(n_out, d);
+        for e in 0..src.len() {
+            let (s, t, c) = (src[e] as usize, dst[e] as usize, coeff[e]);
+            let src_row = hv.row(s).to_vec(); // avoid aliasing with out borrow
+            for (o, x) in out.row_mut(t).iter_mut().zip(src_row) {
+                *o += c * x;
+            }
+        }
+        let (bs, bd, bc) = (Rc::clone(&src), Rc::clone(&dst), Rc::clone(&coeff));
+        self.push(
+            out,
+            vec![h.0],
+            Some(Box::new(move |ctx| {
+                let (n, d) = ctx.parents[0].shape();
+                let mut dh = Matrix::zeros(n, d);
+                for e in 0..bs.len() {
+                    let (s, t, c) = (bs[e] as usize, bd[e] as usize, bc[e]);
+                    let g_row = ctx.grad.row(t).to_vec();
+                    for (o, g) in dh.row_mut(s).iter_mut().zip(g_row) {
+                        *o += c * g;
+                    }
+                }
+                vec![dh]
+            })),
+        )
+    }
+
+    /// Scales row `i` of `h` by the fixed coefficient `scale[i]`.
+    pub fn row_scale_fixed(&mut self, h: Var, scale: Rc<Vec<f64>>) -> Var {
+        let hv = self.value(h);
+        assert_eq!(hv.rows(), scale.len(), "scale length must equal rows");
+        let mut out = hv.clone();
+        for r in 0..out.rows() {
+            let c = scale[r];
+            for x in out.row_mut(r) {
+                *x *= c;
+            }
+        }
+        let bscale = Rc::clone(&scale);
+        self.push(
+            out,
+            vec![h.0],
+            Some(Box::new(move |ctx| {
+                let mut dh = ctx.grad.clone();
+                for r in 0..dh.rows() {
+                    let c = bscale[r];
+                    for x in dh.row_mut(r) {
+                        *x *= c;
+                    }
+                }
+                vec![dh]
+            })),
+        )
+    }
+
+    /// Gathers rows: `out[e] = h[idx[e]]`.
+    pub fn gather_rows(&mut self, h: Var, idx: Rc<Vec<u32>>) -> Var {
+        let hv = self.value(h);
+        let d = hv.cols();
+        let mut out = Matrix::zeros(idx.len(), d);
+        for (e, &i) in idx.iter().enumerate() {
+            out.row_mut(e).copy_from_slice(hv.row(i as usize));
+        }
+        let bidx = Rc::clone(&idx);
+        self.push(
+            out,
+            vec![h.0],
+            Some(Box::new(move |ctx| {
+                let (n, d) = ctx.parents[0].shape();
+                let mut dh = Matrix::zeros(n, d);
+                for (e, &i) in bidx.iter().enumerate() {
+                    let g_row = ctx.grad.row(e).to_vec();
+                    for (o, g) in dh.row_mut(i as usize).iter_mut().zip(g_row) {
+                        *o += g;
+                    }
+                }
+                vec![dh]
+            })),
+        )
+    }
+
+    /// Scatter-add: `out[idx[e]] += v[e]`, producing `n_out` rows.
+    pub fn scatter_add_rows(&mut self, v: Var, idx: Rc<Vec<u32>>, n_out: usize) -> Var {
+        let vv = self.value(v);
+        assert_eq!(vv.rows(), idx.len(), "scatter index length mismatch");
+        let d = vv.cols();
+        let mut out = Matrix::zeros(n_out, d);
+        for (e, &i) in idx.iter().enumerate() {
+            let v_row = vv.row(e).to_vec();
+            for (o, x) in out.row_mut(i as usize).iter_mut().zip(v_row) {
+                *o += x;
+            }
+        }
+        let bidx = Rc::clone(&idx);
+        self.push(
+            out,
+            vec![v.0],
+            Some(Box::new(move |ctx| {
+                let (e_rows, d) = ctx.parents[0].shape();
+                let mut dv = Matrix::zeros(e_rows, d);
+                for (e, &i) in bidx.iter().enumerate() {
+                    dv.row_mut(e).copy_from_slice(ctx.grad.row(i as usize));
+                }
+                vec![dv]
+            })),
+        )
+    }
+
+    /// Multiplies row `e` of `v` (E×d) by the scalar `s[e]` (E×1), with
+    /// gradients to both operands — the differentiable attention-weighted
+    /// aggregation step of GAT/GRAT.
+    pub fn row_mul(&mut self, v: Var, s: Var) -> Var {
+        let (e_rows, d) = self.value(v).shape();
+        assert_eq!(self.value(s).shape(), (e_rows, 1), "s must be E x 1");
+        let sv = self.value(s).data().to_vec();
+        let mut out = self.value(v).clone();
+        for (r, &c) in sv.iter().enumerate().take(e_rows) {
+            for x in out.row_mut(r) {
+                *x *= c;
+            }
+        }
+        self.push(
+            out,
+            vec![v.0, s.0],
+            Some(Box::new(move |ctx| {
+                let (e_rows, d) = (ctx.parents[0].rows(), d);
+                let mut dv = ctx.grad.clone();
+                let mut ds = Matrix::zeros(e_rows, 1);
+                for r in 0..e_rows {
+                    let c = ctx.parents[1][(r, 0)];
+                    let mut acc = 0.0;
+                    for k in 0..d {
+                        acc += ctx.grad[(r, k)] * ctx.parents[0][(r, k)];
+                        dv[(r, k)] *= c;
+                    }
+                    ds[(r, 0)] = acc;
+                }
+                vec![dv, ds]
+            })),
+        )
+    }
+
+    /// Per-node survival product for the IC diffusion loss:
+    /// `out[u] = Π_{e : dst[e] = u} (1 − w[e] · a[src[e]])`, with `a` an
+    /// `N × 1` activation-probability vector. Nodes without in-edges
+    /// survive with probability 1.
+    ///
+    /// This is the exact complement of Theorem 2's influence probability
+    /// `p(u|S) = 1 − Π (1 − w_vu · a_v)`. Unlike the truncated-sum upper
+    /// bound, its gradient never saturates on dense neighborhoods, which
+    /// is what makes the Eq. 5 loss discriminative there.
+    ///
+    /// Gradient: `∂out[u]/∂a[src[e]] = −w[e] · Π_{e' ≠ e} (1 − w·a)`,
+    /// computed stably even when individual factors are exactly zero.
+    pub fn neighbor_survival(
+        &mut self,
+        a: Var,
+        src: Rc<Vec<u32>>,
+        dst: Rc<Vec<u32>>,
+        weight: Rc<Vec<f64>>,
+        n_out: usize,
+    ) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.cols(), 1, "activation must be N x 1");
+        let mut out = Matrix::filled(n_out, 1, 1.0);
+        for e in 0..src.len() {
+            let factor = 1.0 - weight[e] * av[(src[e] as usize, 0)];
+            out[(dst[e] as usize, 0)] *= factor;
+        }
+        let (bs, bd, bw) = (Rc::clone(&src), Rc::clone(&dst), Rc::clone(&weight));
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |ctx| {
+                let a_val = ctx.parents[0];
+                let n_out = ctx.grad.rows();
+                // Zero-count bookkeeping: with z zero factors at node u,
+                // Π_{e'≠e} is zero unless e is the unique zero factor.
+                let mut zero_count = vec![0u32; n_out];
+                let mut prod_nonzero = vec![1.0f64; n_out];
+                let mut factors = vec![0.0f64; bs.len()];
+                for e in 0..bs.len() {
+                    let f = 1.0 - bw[e] * a_val[(bs[e] as usize, 0)];
+                    factors[e] = f;
+                    let u = bd[e] as usize;
+                    if f == 0.0 {
+                        zero_count[u] += 1;
+                    } else {
+                        prod_nonzero[u] *= f;
+                    }
+                }
+                let mut da = Matrix::zeros(a_val.rows(), 1);
+                for e in 0..bs.len() {
+                    let u = bd[e] as usize;
+                    let others = match (zero_count[u], factors[e] == 0.0) {
+                        (0, _) => prod_nonzero[u] / factors[e],
+                        (1, true) => prod_nonzero[u],
+                        _ => 0.0,
+                    };
+                    da[(bs[e] as usize, 0)] += ctx.grad[(u, 0)] * (-bw[e]) * others;
+                }
+                vec![da]
+            })),
+        )
+    }
+
+    /// Softmax of `scores` (E×1) within segments: entries sharing
+    /// `segment[e]` are normalized together. GAT groups edges by
+    /// destination; GRAT groups by source (its defining difference).
+    ///
+    /// Numerically stabilized by subtracting the per-segment maximum.
+    pub fn segment_softmax(&mut self, scores: Var, segment: Rc<Vec<u32>>, n_segments: usize) -> Var {
+        let sv = self.value(scores);
+        assert_eq!(sv.shape(), (segment.len(), 1), "scores must be E x 1");
+        let mut seg_max = vec![f64::NEG_INFINITY; n_segments];
+        for (e, &g) in segment.iter().enumerate() {
+            seg_max[g as usize] = seg_max[g as usize].max(sv[(e, 0)]);
+        }
+        let mut seg_sum = vec![0.0f64; n_segments];
+        let mut out = Matrix::zeros(segment.len(), 1);
+        for (e, &g) in segment.iter().enumerate() {
+            let x = (sv[(e, 0)] - seg_max[g as usize]).exp();
+            out[(e, 0)] = x;
+            seg_sum[g as usize] += x;
+        }
+        for (e, &g) in segment.iter().enumerate() {
+            out[(e, 0)] /= seg_sum[g as usize];
+        }
+        let bseg = Rc::clone(&segment);
+        self.push(
+            out,
+            vec![scores.0],
+            Some(Box::new(move |ctx| {
+                // dscore_e = α_e * (g_e - Σ_{e' in segment} α_e' g_e')
+                let e_rows = bseg.len();
+                let mut seg_dot = vec![0.0f64; n_segments];
+                for (e, &g) in bseg.iter().enumerate() {
+                    seg_dot[g as usize] += ctx.output[(e, 0)] * ctx.grad[(e, 0)];
+                }
+                let mut ds = Matrix::zeros(e_rows, 1);
+                for (e, &g) in bseg.iter().enumerate() {
+                    let alpha = ctx.output[(e, 0)];
+                    ds[(e, 0)] = alpha * (ctx.grad[(e, 0)] - seg_dot[g as usize]);
+                }
+                vec![ds]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_gradients;
+
+    fn rc(v: Vec<u32>) -> Rc<Vec<u32>> {
+        Rc::new(v)
+    }
+
+    #[test]
+    fn spmm_fixed_forward_matches_dense() {
+        // Graph: 0->1 (w 2.0), 0->2 (w 3.0), 1->2 (w 0.5)
+        let mut t = Tape::new();
+        let h = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let out = t.spmm_fixed(
+            h,
+            rc(vec![0, 0, 1]),
+            rc(vec![1, 2, 2]),
+            Rc::new(vec![2.0, 3.0, 0.5]),
+            3,
+        );
+        let v = t.value(out);
+        assert_eq!(v.row(0), &[0., 0.]);
+        assert_eq!(v.row(1), &[2., 4.]);
+        assert_eq!(v.row(2), &[3. + 1.5, 6. + 2.]);
+    }
+
+    #[test]
+    fn spmm_fixed_gradcheck() {
+        let src = rc(vec![0, 0, 1, 2, 3]);
+        let dst = rc(vec![1, 2, 2, 3, 0]);
+        let coeff = Rc::new(vec![0.5, -1.0, 2.0, 0.3, 1.1]);
+        check_gradients(
+            &[(4, 3)],
+            move |t, vars| {
+                let y = t.spmm_fixed(vars[0], Rc::clone(&src), Rc::clone(&dst), Rc::clone(&coeff), 4);
+                let y = t.tanh(y);
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn row_scale_fixed_gradcheck() {
+        let scale = Rc::new(vec![0.5, 2.0, -1.0]);
+        check_gradients(
+            &[(3, 2)],
+            move |t, vars| {
+                let y = t.row_scale_fixed(vars[0], Rc::clone(&scale));
+                let y = t.sigmoid(y);
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn gather_scatter_round_trip_values() {
+        let mut t = Tape::new();
+        let h = t.leaf(Matrix::from_vec(2, 1, vec![10.0, 20.0]));
+        let g = t.gather_rows(h, rc(vec![1, 0, 1]));
+        assert_eq!(t.value(g).data(), &[20.0, 10.0, 20.0]);
+        let s = t.scatter_add_rows(g, rc(vec![0, 0, 1]), 2);
+        assert_eq!(t.value(s).data(), &[30.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_rows_gradcheck() {
+        let idx = rc(vec![2, 0, 1, 2, 2]);
+        check_gradients(
+            &[(3, 2)],
+            move |t, vars| {
+                let y = t.gather_rows(vars[0], Rc::clone(&idx));
+                let y = t.tanh(y);
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn scatter_add_gradcheck() {
+        let idx = rc(vec![1, 1, 0, 2]);
+        check_gradients(
+            &[(4, 2)],
+            move |t, vars| {
+                let y = t.scatter_add_rows(vars[0], Rc::clone(&idx), 3);
+                let y = t.sigmoid(y);
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn row_mul_gradcheck() {
+        check_gradients(
+            &[(4, 3), (4, 1)],
+            |t, vars| {
+                let y = t.row_mul(vars[0], vars[1]);
+                let y = t.tanh(y);
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let mut t = Tape::new();
+        let s = t.leaf(Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 100.0]));
+        let seg = rc(vec![0, 0, 1, 1]);
+        let y = t.segment_softmax(s, seg, 2);
+        let v = t.value(y);
+        assert!((v[(0, 0)] + v[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((v[(2, 0)] + v[(3, 0)] - 1.0).abs() < 1e-12);
+        assert!(v[(1, 0)] > v[(0, 0)]);
+        // Large score must not overflow thanks to max subtraction.
+        assert!(v[(3, 0)] > 0.999);
+    }
+
+    #[test]
+    fn segment_softmax_gradcheck() {
+        let seg = rc(vec![0, 0, 0, 1, 1]);
+        check_gradients(
+            &[(5, 1), (5, 1)],
+            move |t, vars| {
+                let a = t.segment_softmax(vars[0], Rc::clone(&seg), 2);
+                let w = t.mul(a, vars[1]); // weight by arbitrary values
+                t.sum(w)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn neighbor_survival_values() {
+        // Node 2 has in-edges from 0 (w=1) and 1 (w=0.5).
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(3, 1, vec![0.4, 0.8, 0.0]));
+        let y = t.neighbor_survival(
+            a,
+            rc(vec![0, 1]),
+            rc(vec![2, 2]),
+            Rc::new(vec![1.0, 0.5]),
+            3,
+        );
+        let v = t.value(y);
+        assert_eq!(v[(0, 0)], 1.0, "no in-edges survive with probability 1");
+        assert_eq!(v[(1, 0)], 1.0);
+        let want = (1.0 - 0.4) * (1.0 - 0.5 * 0.8);
+        assert!((v[(2, 0)] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_survival_gradcheck() {
+        let src = rc(vec![0, 1, 2, 0, 3]);
+        let dst = rc(vec![2, 2, 3, 3, 0]);
+        let w = Rc::new(vec![0.9, 0.5, 0.7, 0.3, 0.8]);
+        // Keep activations strictly inside (0, 1) so no factor is zero.
+        let a0 = Matrix::from_vec(4, 1, vec![0.2, 0.6, 0.35, 0.75]);
+        crate::testutil::check_gradients_at(
+            &[a0],
+            move |t, vars| {
+                let y = t.neighbor_survival(
+                    vars[0],
+                    Rc::clone(&src),
+                    Rc::clone(&dst),
+                    Rc::clone(&w),
+                    4,
+                );
+                t.sum(y)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn neighbor_survival_handles_exact_zero_factors() {
+        // a[0] = 1 with w = 1 gives factor exactly 0 at node 1.
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 0.5, 0.0]));
+        let y = t.neighbor_survival(
+            a,
+            rc(vec![0, 2]),
+            rc(vec![1, 1]),
+            Rc::new(vec![1.0, 1.0]),
+            3,
+        );
+        assert_eq!(t.value(y)[(1, 0)], 0.0);
+        let loss = t.sum(y);
+        let g = t.backward(loss);
+        let da = g.get(a).unwrap();
+        // d survive(1)/d a0 = -1 · (1 - a2) = -1; d/d a2 = -1 · 0 = 0.
+        assert!((da[(0, 0)] + 1.0).abs() < 1e-12, "{da:?}");
+        assert_eq!(da[(2, 0)], 0.0);
+        assert!(da.is_finite());
+    }
+
+    #[test]
+    fn singleton_segments_softmax_to_one() {
+        let mut t = Tape::new();
+        let s = t.leaf(Matrix::from_vec(3, 1, vec![-5.0, 0.0, 7.0]));
+        let y = t.segment_softmax(s, rc(vec![0, 1, 2]), 3);
+        for e in 0..3 {
+            assert!((t.value(y)[(e, 0)] - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! First-order optimizers.
+//!
+//! Algorithm 2 updates parameters with plain SGD on the averaged private
+//! gradient (`W ← W − η/B · g̃`); [`Sgd`] implements exactly that. [`Adam`]
+//! is provided for the non-private reference runs, where adaptivity does
+//! not interact with the privacy analysis.
+
+use crate::matrix::Matrix;
+use crate::params::{GradVec, ParamSet};
+
+/// A first-order optimizer over a [`ParamSet`].
+pub trait Optimizer {
+    /// Applies one update using gradient `grad`.
+    fn step(&mut self, params: &mut ParamSet, grad: &GradVec);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Stochastic gradient descent: `W ← W − η · g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate `η`.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grad: &GradVec) {
+        for (p, g) in params.iter_mut().zip(grad.blocks()) {
+            p.value.add_scaled_assign(-self.lr, g);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the customary defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grad: &GradVec) {
+        if self.m.is_empty() {
+            self.m = grad.blocks().iter().map(|b| Matrix::zeros(b.rows(), b.cols())).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in
+            params.iter_mut().zip(grad.blocks()).zip(&mut self.m).zip(&mut self.v)
+        {
+            for ((w, &gi), (mi, vi)) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_params(x0: f64) -> ParamSet {
+        let mut p = ParamSet::new();
+        p.add("x", Matrix::scalar(x0));
+        p
+    }
+
+    fn quad_grad(params: &ParamSet) -> GradVec {
+        // f(x) = (x - 3)^2, f'(x) = 2(x - 3)
+        let x = params.get(0).value.as_scalar();
+        GradVec::from_blocks(vec![Matrix::scalar(2.0 * (x - 3.0))])
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_params(0.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quad_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.get(0).value.as_scalar() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_params(-5.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..500 {
+            let g = quad_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.get(0).value.as_scalar() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_step_is_exact() {
+        let mut p = quadratic_params(1.0);
+        let mut opt = Sgd::new(0.5);
+        let g = GradVec::from_blocks(vec![Matrix::scalar(4.0)]);
+        opt.step(&mut p, &g);
+        assert_eq!(p.get(0).value.as_scalar(), -1.0);
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sgd_rejects_nonpositive_lr() {
+        Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Model checkpointing.
+//!
+//! Serializes a trained model's parameters (plus the architecture metadata
+//! needed to rebuild it) to JSON. Publishing a checkpoint of a DP-trained
+//! model is safe post-processing: the privacy guarantee covers the
+//! parameters themselves.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::models::{build_model, GnnModel, ModelKind};
+use crate::params::ParamSet;
+
+/// A serializable snapshot of a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Architecture.
+    pub kind: ModelKind,
+    /// Input feature dimensionality.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of message-passing layers.
+    pub layers: usize,
+    /// Parameter names and values, in registration order.
+    pub params: Vec<(String, Matrix)>,
+}
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+    /// The stored parameters do not fit the declared architecture.
+    Shape(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "parse error: {e}"),
+            CheckpointError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Captures a model's current parameters.
+    pub fn capture(model: &dyn GnnModel, in_dim: usize, hidden: usize, layers: usize) -> Self {
+        Checkpoint {
+            kind: model.kind(),
+            in_dim,
+            hidden,
+            layers,
+            params: model
+                .params()
+                .iter()
+                .map(|p| (p.name.clone(), p.value.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the model and restores the captured parameters.
+    pub fn restore(&self) -> Result<Box<dyn GnnModel>, CheckpointError> {
+        // Architecture construction needs an RNG for the initial weights we
+        // are about to overwrite; any fixed seed works.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut model = build_model(self.kind, self.in_dim, self.hidden, self.layers, &mut rng);
+        restore_params(model.params_mut(), &self.params)?;
+        Ok(model)
+    }
+
+    /// Writes the checkpoint as JSON.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self).map_err(CheckpointError::Parse)?;
+        std::fs::write(path, json).map_err(CheckpointError::Io)
+    }
+
+    /// Reads a checkpoint from JSON.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        serde_json::from_str(&text).map_err(CheckpointError::Parse)
+    }
+}
+
+fn restore_params(
+    params: &mut ParamSet,
+    stored: &[(String, Matrix)],
+) -> Result<(), CheckpointError> {
+    if params.len() != stored.len() {
+        return Err(CheckpointError::Shape(format!(
+            "model has {} parameters, checkpoint has {}",
+            params.len(),
+            stored.len()
+        )));
+    }
+    for (param, (name, value)) in params.iter_mut().zip(stored) {
+        if &param.name != name {
+            return Err(CheckpointError::Shape(format!(
+                "parameter order mismatch: expected {}, found {name}",
+                param.name
+            )));
+        }
+        if param.value.shape() != value.shape() {
+            return Err(CheckpointError::Shape(format!(
+                "{name}: expected {:?}, found {:?}",
+                param.value.shape(),
+                value.shape()
+            )));
+        }
+        param.value = value.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_tensors::GraphTensors;
+    use privim_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph_tensors() -> GraphTensors {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        GraphTensors::with_structural_features(&b.build(), 4)
+    }
+
+    #[test]
+    fn capture_restore_round_trip_preserves_outputs() {
+        let gt = graph_tensors();
+        let mut rng = StdRng::seed_from_u64(9);
+        for kind in ModelKind::ALL {
+            let model = build_model(kind, 4, 8, 2, &mut rng);
+            let snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+            let restored = snapshot.restore().unwrap();
+            assert_eq!(
+                model.seed_probabilities(&gt),
+                restored.seed_probabilities(&gt),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let gt = graph_tensors();
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = build_model(ModelKind::Grat, 4, 8, 3, &mut rng);
+        let snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 3);
+        let path = std::env::temp_dir().join("privim-checkpoint-test.json");
+        snapshot.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        let restored = loaded.restore().unwrap();
+        assert_eq!(model.seed_probabilities(&gt), restored.seed_probabilities(&gt));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = build_model(ModelKind::Gcn, 4, 8, 2, &mut rng);
+        let mut snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        snapshot.hidden = 16; // wrong width
+        assert!(matches!(snapshot.restore(), Err(CheckpointError::Shape(_))));
+        let mut snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        snapshot.params.pop();
+        assert!(matches!(snapshot.restore(), Err(CheckpointError::Shape(_))));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("privim-checkpoint-garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(Checkpoint::load(&path), Err(CheckpointError::Parse(_))));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            Checkpoint::load("/nonexistent/privim.json"),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor/autograd substrate.
+
+use proptest::prelude::*;
+
+use privim_nn::matrix::Matrix;
+use privim_nn::params::{GradVec, ParamSet};
+use privim_nn::tape::Tape;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        // A(B + C) = AB + AC
+        let bc = b.zip_map(&c, |x, y| x + y);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        // (AB)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.data(), rhs.data());
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistent(a in arb_matrix(3, 4), b in arb_matrix(5, 4)) {
+        let direct = a.matmul(&b.transpose());
+        let fused = a.matmul_nt(&b);
+        for (x, y) in direct.data().iter().zip(fused.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in arb_matrix(4, 4), b in arb_matrix(4, 4)) {
+        let sum = a.zip_map(&b, |x, y| x + y);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn clip_is_idempotent_and_bounding(entries in proptest::collection::vec(-5.0f64..5.0, 12), c in 0.1f64..10.0) {
+        let mut params = ParamSet::new();
+        params.add("w", Matrix::zeros(3, 4));
+        let mut g = GradVec::from_blocks(vec![Matrix::from_vec(3, 4, entries)]);
+        g.clip(c);
+        let after_first = g.clone();
+        prop_assert!(g.l2_norm() <= c + 1e-9);
+        // Idempotent up to one ulp of rescaling: the first clip may land an
+        // epsilon above `c`, making the second apply a ~(1 − 1e-16) factor.
+        g.clip(c);
+        for (a, b) in g.blocks()[0].data().iter().zip(after_first.blocks()[0].data()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn clip_preserves_direction(entries in proptest::collection::vec(-5.0f64..5.0, 8)) {
+        let original = Matrix::from_vec(2, 4, entries.clone());
+        if original.frobenius_norm() < 1e-9 {
+            return Ok(());
+        }
+        let mut g = GradVec::from_blocks(vec![original.clone()]);
+        let pre = g.clip(0.5);
+        // Scaled version must be parallel: g = (0.5/pre or 1) * original.
+        let scale = if pre > 0.5 { 0.5 / pre } else { 1.0 };
+        for (a, b) in g.blocks()[0].data().iter().zip(original.data()) {
+            prop_assert!((a - scale * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_gradient_is_all_ones_through_linear_ops(a in arb_matrix(3, 3), c in -2.0f64..2.0) {
+        let mut t = Tape::new();
+        let v = t.leaf(a);
+        let s = t.scale(v, c);
+        let s = t.add_scalar(s, 1.5);
+        let loss = t.sum(s);
+        let g = t.backward(loss);
+        for &x in g.get(v).unwrap().data() {
+            prop_assert!((x - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_in_unit_interval(a in arb_matrix(4, 2)) {
+        let mut t = Tape::new();
+        let v = t.leaf(a);
+        let y = t.sigmoid(v);
+        prop_assert!(t.value(y).data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment(
+        scores in proptest::collection::vec(-50.0f64..50.0, 10),
+        segs in proptest::collection::vec(0u32..3, 10),
+    ) {
+        let mut t = Tape::new();
+        let s = t.leaf(Matrix::from_vec(10, 1, scores));
+        let seg = std::rc::Rc::new(segs.clone());
+        let y = t.segment_softmax(s, seg, 3);
+        let mut sums = [0.0f64; 3];
+        for (e, &g) in segs.iter().enumerate() {
+            sums[g as usize] += t.value(y)[(e, 0)];
+        }
+        for (g, &total) in sums.iter().enumerate() {
+            let present = segs.iter().any(|&x| x as usize == g);
+            if present {
+                prop_assert!((total - 1.0).abs() < 1e-9, "segment {} sums to {}", g, total);
+            } else {
+                prop_assert_eq!(total, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Privacy audit: the Figure 1 story, measured.
+//!
+//! The paper motivates PrivIM with the observation that removing a single
+//! node changes influence scores — and hence the selected seed set — which
+//! an adversary could exploit. This example quantifies that leakage: it
+//! trains twice on adjacent graphs (G and G minus one influential node)
+//! and compares how much the output seed sets differ, with and without DP
+//! noise. Under DP the outputs should be statistically indistinguishable;
+//! without it they visibly diverge.
+//!
+//! ```sh
+//! cargo run --release --example privacy_audit
+//! ```
+
+use privim::core::config::PrivImConfig;
+use privim::core::pipeline::{run_method, Method};
+use privim::datasets::paper::Dataset;
+use privim::graph::{Graph, GraphBuilder, NodeId};
+
+/// Removes `victim` and all its edges (the unbounded node-level adjacency
+/// of Definition 2), keeping ids stable by leaving the node isolated.
+fn remove_node(g: &Graph, victim: NodeId) -> Graph {
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for (u, v, w) in g.edges() {
+        if u != victim && v != victim {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+/// Jaccard similarity of two seed sets.
+fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    let sa: std::collections::HashSet<_> = a.iter().collect();
+    let sb: std::collections::HashSet<_> = b.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+fn main() {
+    let graph = Dataset::Bitcoin.generate(0.08, 5);
+    // The victim: the node with the highest out-degree (most exposed).
+    let victim = graph
+        .nodes()
+        .max_by_key(|&v| graph.out_degree(v))
+        .expect("non-empty graph");
+    let neighbor_graph = remove_node(&graph, victim);
+    println!(
+        "adjacent graphs: G has {} edges; G' (without node {victim}, out-degree {}) has {}\n",
+        graph.num_edges(),
+        graph.out_degree(victim),
+        neighbor_graph.num_edges()
+    );
+
+    let config = |eps: Option<f64>| PrivImConfig {
+        epsilon: eps,
+        seed_size: 15,
+        subgraph_size: 16,
+        hops: 2,
+        hidden: 16,
+        iterations: 60,
+        batch_size: 32,
+        learning_rate: 0.02,
+        ..PrivImConfig::default()
+    };
+
+    // The distinguisher: does the victim's removal change the output MORE
+    // than the mechanism's own run-to-run randomness does? If yes, an
+    // adversary can detect the victim. "within" re-runs on the same graph
+    // G with a different RNG seed; "between" compares G against G'.
+    println!("                 | Jaccard within G | Jaccard between G, G' | detectable?");
+    println!(" ----------------+------------------+-----------------------+------------");
+    for (label, eps) in [("non-private", None), ("PrivIM* eps=2", Some(2.0))] {
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for seed in 0..5u64 {
+            let a = run_method(&graph, Method::PrivImStar, &config(eps), seed);
+            let a2 = run_method(&graph, Method::PrivImStar, &config(eps), seed + 100);
+            let b = run_method(&neighbor_graph, Method::PrivImStar, &config(eps), seed + 200);
+            within.push(jaccard(&a.seeds, &a2.seeds));
+            between.push(jaccard(&a.seeds, &b.seeds));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (w, b) = (mean(&within), mean(&between));
+        let detectable = (w - b).abs() > 0.15;
+        println!(
+            " {label:<15} | {w:>16.3} | {b:>21.3} | {}",
+            if detectable { "YES — gap leaks the victim" } else { "no — hidden in noise" }
+        );
+    }
+
+    println!(
+        "\nReading the audit: under DP, comparing outputs across adjacent graphs looks \
+         no different from re-running on the same graph — the victim's presence is \
+         hidden inside the mechanism's own randomness (and Theorem 3 bounds exactly \
+         how hidden). Without noise calibrated to the node-level sensitivity, the \
+         between-graph divergence can exceed the within-graph one, which is the \
+         signal a membership adversary exploits."
+    );
+}

@@ -1,0 +1,70 @@
+//! Rumor monitoring: place k private monitors to catch cascades early.
+//!
+//! The paper lists rumor blocking among IM's applications and names the
+//! Linear Threshold and SIS diffusion models as extensions. This example
+//! combines both: influence maximization run on the *transpose* graph
+//! selects nodes that are reached by many sources — ideal monitor
+//! positions — and the monitors are chosen under node-level DP so the
+//! placement reveals no individual's connections. Detection quality is
+//! then measured against rumors simulated with the SIS model.
+//!
+//! ```sh
+//! cargo run --release --example rumor_monitoring
+//! ```
+
+use privim::core::config::PrivImConfig;
+use privim::core::pipeline::{run_method, Method};
+use privim::datasets::paper::Dataset;
+use privim::graph::NodeId;
+use privim::im::models::{DiffusionConfig, DiffusionModel};
+use privim::im::monitoring::detection_rate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let graph = Dataset::Gowalla.generate(0.003, 13).with_uniform_weight(0.10);
+    let k = 10;
+    println!(
+        "network: {} users, {} edges; placing {k} rumor monitors under node-level DP\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Private monitor selection: IM on the transpose graph.
+    let reversed = graph.transpose();
+    let config = PrivImConfig {
+        epsilon: Some(3.0),
+        seed_size: k,
+        subgraph_size: 20,
+        hops: 2,
+        hidden: 16,
+        iterations: 60,
+        batch_size: 32,
+        learning_rate: 0.02,
+        ..PrivImConfig::default()
+    };
+    let private = run_method(&reversed, Method::PrivImStar, &config, 17);
+
+    // Baselines: random placement and degree placement.
+    let mut rng = StdRng::seed_from_u64(99);
+    let random: Vec<NodeId> = privim::im::greedy::random_seeds(&graph, k, &mut rng);
+    let degree = privim::im::greedy::degree_heuristic(&reversed, k);
+
+    println!(" placement        | SIS rumor detection rate (2 steps, 4000 rumors)");
+    println!(" -----------------+------------------------------------------------");
+    let sis = DiffusionConfig { model: DiffusionModel::Sis { recovery: 0.2 }, max_steps: Some(2) };
+    for (label, monitors) in [
+        ("PrivIM* (eps=3)", private.seeds.clone()),
+        ("in-degree top-k", degree),
+        ("random", random),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = detection_rate(&graph, &monitors, &sis, 4_000, &mut rng);
+        println!(" {label:<16} | {:.1}%", 100.0 * rate);
+    }
+    println!(
+        "\nThe DP-trained monitors approach the degree heuristic's detection rate \
+         while guaranteeing that no individual's follower list influenced the \
+         placement beyond the (ε, δ) bound."
+    );
+}

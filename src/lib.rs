@@ -1,0 +1,23 @@
+//! # PrivIM — differentially private GNNs for influence maximization
+//!
+//! Facade crate re-exporting the whole PrivIM workspace under one roof.
+//! This is the crate the `examples/` binaries and cross-crate integration
+//! tests build against; downstream users can depend on it directly or pull
+//! in the individual `privim-*` crates.
+//!
+//! ## Crate map
+//!
+//! - [`graph`] — CSR graph engine, θ-projection, r-hop neighborhoods.
+//! - [`nn`] — dense matrices, reverse-mode autograd, five GNN models.
+//! - [`dp`] — RDP accountant (Theorem 3), mechanisms, σ calibration.
+//! - [`im`] — IC/LT/SIS diffusion, CELF greedy, spread metrics.
+//! - [`datasets`] — synthetic datasets calibrated to the paper's Table I.
+//! - [`core`] — the PrivIM / PrivIM* pipelines, sampling schemes, loss,
+//!   the parameter-selection indicator, and all baselines.
+
+pub use privim_core as core;
+pub use privim_datasets as datasets;
+pub use privim_dp as dp;
+pub use privim_graph as graph;
+pub use privim_im as im;
+pub use privim_nn as nn;

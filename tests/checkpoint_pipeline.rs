@@ -1,0 +1,49 @@
+//! Integration test: a trained DP model survives checkpointing and keeps
+//! producing the same seed set — the deployment path (train privately once,
+//! publish the checkpoint, serve seed selection from it).
+
+use privim::core::config::PrivImConfig;
+use privim::core::sampling::extract_dual_stage;
+use privim::core::train::train;
+use privim::datasets::paper::Dataset;
+use privim::graph::NodeId;
+use privim::im::metrics::top_k_seeds;
+use privim::nn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_model_round_trips_through_checkpoint() {
+    let g = Dataset::LastFm.generate(0.05, 21);
+    let cfg = PrivImConfig {
+        subgraph_size: 16,
+        hops: 2,
+        hidden: 12,
+        feature_dim: 8,
+        batch_size: 16,
+        iterations: 20,
+        sampling_rate: Some(0.8),
+        ..PrivImConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let candidates: Vec<NodeId> = g.nodes().collect();
+    let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+    let mut model = build_model(cfg.model, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+    train(model.as_mut(), &out.container, &cfg, None, &mut rng);
+
+    let gt = GraphTensors::with_structural_features(&g, cfg.feature_dim);
+    let scores = model.seed_probabilities(&gt);
+    let seeds = top_k_seeds(&scores, 15);
+
+    // Save → load → identical behavior.
+    let snapshot = Checkpoint::capture(model.as_ref(), cfg.feature_dim, cfg.hidden, cfg.hops);
+    let path = std::env::temp_dir().join("privim-pipeline-checkpoint.json");
+    snapshot.save(&path).unwrap();
+    let restored = Checkpoint::load(&path).unwrap().restore().unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.kind(), model.kind());
+    let restored_scores = restored.seed_probabilities(&gt);
+    assert_eq!(scores, restored_scores);
+    assert_eq!(top_k_seeds(&restored_scores, 15), seeds);
+}
