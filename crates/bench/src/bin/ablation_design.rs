@@ -5,7 +5,7 @@
 //! `benches/ablation.rs`.)
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::config::PrivImConfig;
@@ -50,7 +50,7 @@ fn main() {
     println!("Design-choice ablation on LastFM (eps = 3)\n");
     print_table(&["configuration", "spread", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

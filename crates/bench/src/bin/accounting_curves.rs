@@ -5,7 +5,7 @@
 //! exponentially with the GNN depth under the naive bound, and collapsing
 //! to a constant under the dual-stage bound.
 
-use privim_bench::{print_table, write_json, HarnessOpts};
+use privim_bench::{print_table, write_json_seeded, HarnessOpts};
 use privim_dp::rdp::{calibrate_sigma, naive_occurrence_bound, SubsampledConfig};
 
 fn main() {
@@ -60,7 +60,7 @@ fn main() {
     print_table(&["iterations T", "sigma"], &rows2);
 
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use privim_bench::{bench_config, bench_graph, print_table, write_json, HarnessOpts};
+use privim_bench::{bench_config, bench_graph, print_table, write_json_seeded, HarnessOpts};
 use privim_core::pipeline::{run_method, Method};
 use privim_datasets::paper::Dataset;
 use privim_im::greedy::{celf_coverage, degree_heuristic, random_seeds};
@@ -66,7 +66,7 @@ fn main() {
     println!("Traditional IM solver families (non-private reference)\n");
     print_table(&["dataset", "method", "spread", "% of CELF", "time"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -6,7 +6,7 @@
 //! the signal-to-noise ratio collapsing — the paper's motivation for
 //! learning-based PrivIM.
 
-use privim_bench::{bench_graph, print_table, write_json, HarnessOpts};
+use privim_bench::{bench_graph, print_table, write_json_seeded, HarnessOpts};
 use privim_datasets::paper::Dataset;
 use privim_dp::mechanisms::laplace_mechanism;
 use privim_im::greedy::celf_coverage;
@@ -74,7 +74,7 @@ fn main() {
          uninformative — matching the paper's Example 2."
     );
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("wrote {path}");
     }
 }

@@ -7,7 +7,7 @@
 //! diffusion on weighted-cascade edges (`w_vu = 1/d_in(u)`, so threshold
 //! saturation actually matters).
 
-use privim_bench::{bench_config, bench_graph, print_table, write_json, HarnessOpts};
+use privim_bench::{bench_config, bench_graph, print_table, write_json_seeded, HarnessOpts};
 use privim_core::config::LossKind;
 use privim_core::pipeline::{run_method, Method};
 use privim_datasets::paper::Dataset;
@@ -56,7 +56,7 @@ fn main() {
     println!("Extension — PrivIM* trained for LT diffusion (eps = 3, WC weights)\n");
     print_table(&["dataset", "training loss", "LT spread (2 steps)"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

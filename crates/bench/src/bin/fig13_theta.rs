@@ -3,7 +3,7 @@
 //! `N_g = Σ θⁱ` and hence the noise — θ = 10 is the paper's sweet spot.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -52,7 +52,7 @@ fn main() {
     println!("Figure 13 — coverage ratio (%) of naive PrivIM vs theta (eps = 3)\n");
     print_table(&["dataset", "theta", "N_g", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

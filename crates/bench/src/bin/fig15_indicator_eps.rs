@@ -4,7 +4,7 @@
 //! aligned with it as ε changes.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts,
 };
 use privim_core::indicator::Indicator;
@@ -56,7 +56,7 @@ fn main() {
     println!("Figure 15 — indicator vs empirical spread on LastFM at eps = 1 and 6\n");
     print_table(&["eps", "n", "M", "indicator I(n,M)", "spread"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -4,7 +4,7 @@
 //! Friendster replica from Figure 5's last panel.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_bench::experiment::epsilon_grid;
@@ -71,7 +71,7 @@ fn main() {
     println!("Figure 5 / Figure 14 — influence spread vs privacy budget\n");
     print_table(&["dataset", "method", "eps", "spread", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -4,7 +4,7 @@
 //! (Figure 10).
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -60,7 +60,7 @@ fn main() {
     println!("Figure 6 / Figure 10 — impact of threshold M on PrivIM* (eps = 3)\n");
     print_table(&["dataset", "n", "M", "spread", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -2,7 +2,7 @@
 //! Quick mode covers LastFM and Gowalla; `--full` runs all six datasets.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -50,7 +50,7 @@ fn main() {
     println!("Figure 7 / Figure 11 — impact of subgraph size n on PrivIM* (eps = 3)\n");
     print_table(&["dataset", "n", "spread", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -8,7 +8,7 @@
 //! while the empirical bars are measured on the harness replica.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts,
 };
 use privim_core::indicator::Indicator;
@@ -73,7 +73,7 @@ fn main() {
         &rows,
     );
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

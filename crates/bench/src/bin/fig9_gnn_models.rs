@@ -2,7 +2,7 @@
 //! (GraphSAGE, GCN, GAT, GIN, GRAT) at ε = 2 and ε = 5.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -55,7 +55,7 @@ fn main() {
     println!("Figure 9 — coverage ratio (%) of PrivIM* with different GNN models\n");
     print_table(&["dataset", "model", "eps", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -4,7 +4,7 @@
 //! replica at the harness scale, so the calibration of the substitution
 //! (DESIGN.md §3) is auditable.
 
-use privim_bench::{bench_graph, print_table, write_json, HarnessOpts};
+use privim_bench::{bench_graph, print_table, write_json_seeded, HarnessOpts};
 use privim_datasets::paper::Dataset;
 use privim_graph::stats::graph_stats;
 
@@ -59,7 +59,7 @@ fn main() {
         &rows,
     );
     if let Some(path) = &opts.json {
-        write_json(path, &json_rows).expect("write json");
+        write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -3,7 +3,7 @@
 //! the Non-Private reference, over the six datasets.
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -47,7 +47,7 @@ fn main() {
     println!("Table II — coverage ratio (%) of the sampling-scheme ablation\n");
     print_table(&["dataset", "method", "eps", "coverage %"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

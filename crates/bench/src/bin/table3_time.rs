@@ -3,7 +3,7 @@
 //! (Criterion micro-benchmarks of the same phases live in `benches/`.)
 
 use privim_bench::{
-    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json,
+    bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
 use privim_core::pipeline::Method;
@@ -36,7 +36,7 @@ fn main() {
     println!("Table III — computational time cost (seconds)\n");
     print_table(&["method", "dataset", "preprocessing", "per-epoch training"], &rows);
     if let Some(path) = &opts.json {
-        write_json(path, &all).expect("write json");
+        write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
 }

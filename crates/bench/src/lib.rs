@@ -22,4 +22,4 @@ pub mod report;
 
 pub use experiment::{bench_config, bench_graph, celf_reference, run_repeated, MethodRow};
 pub use opts::HarnessOpts;
-pub use report::{print_table, write_json};
+pub use report::{print_table, write_json, write_json_seeded};

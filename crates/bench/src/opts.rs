@@ -57,7 +57,12 @@ impl HarnessOpts {
     }
 
     /// Parses the real process arguments, exiting with a message on error.
+    /// Also installs a stderr event sink when `PRIVIM_LOG` requests one,
+    /// so every harness binary gets structured logging for free.
     pub fn from_env() -> Self {
+        if let Some(sink) = privim_obs::StderrSink::from_env() {
+            privim_obs::install_sink(std::sync::Arc::new(sink));
+        }
         match Self::parse(std::env::args()) {
             Ok(o) => o,
             Err(msg) => {

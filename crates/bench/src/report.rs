@@ -3,6 +3,7 @@
 use std::io::Write;
 use std::path::Path;
 
+use privim_obs::MetricsSnapshot;
 use serde::Serialize;
 
 /// Prints an aligned text table with a header row and a separator.
@@ -43,6 +44,30 @@ pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, rows: &T) -> std::io::R
     std::fs::write(path, json)
 }
 
+/// The envelope [`write_json_seeded`] emits: the base RNG seed the run
+/// was launched with, the result rows, and (when any metric was
+/// recorded) a snapshot of the process-global telemetry metrics.
+#[derive(Serialize)]
+struct SeededReport<'a, T> {
+    seed: u64,
+    rows: &'a T,
+    #[serde(skip_serializing_if = "MetricsSnapshot::is_empty")]
+    telemetry: MetricsSnapshot,
+}
+
+/// Writes `rows` wrapped in a `{seed, rows, telemetry}` envelope so every
+/// harness dump records which `--seed` produced it and what the run's
+/// metrics looked like.
+pub fn write_json_seeded<T: Serialize, P: AsRef<Path>>(
+    path: P,
+    seed: u64,
+    rows: &T,
+) -> std::io::Result<()> {
+    let report = SeededReport { seed, rows, telemetry: privim_obs::snapshot() };
+    let json = serde_json::to_string_pretty(&report).expect("serializable rows");
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +87,18 @@ mod tests {
         let back: Vec<(String, f64)> = serde_json::from_str(&text).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back[1].1, 2.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_json_seeded_echoes_the_seed() {
+        let rows = vec![("a", 1.0)];
+        let path = std::env::temp_dir().join("privim-report-seeded-test.json");
+        write_json_seeded(&path, 1234, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["seed"], 1234);
+        assert_eq!(back["rows"][0][1], 1.0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -81,9 +81,69 @@ USAGE:
                   [--container n] [--occurrences n]
   privim help
 
+GLOBAL FLAGS (any subcommand):
+  --log-level error|warn|info|debug|trace|off
+                  structured events on stderr (overrides PRIVIM_LOG)
+  --telemetry-out <path>
+                  write every event as JSON lines to <path>
+
 Datasets: email, bitcoin, lastfm, hepph, facebook, gowalla.
 Graph files: whitespace edge lists ('src dst [weight]', ids 0..N-1,
 first line may be '# nodes N edges M') or .bin (privim binary format).";
+
+/// Observability options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsArgs {
+    /// Stderr event verbosity (`--log-level`); `None` falls back to the
+    /// `PRIVIM_LOG` environment variable unless [`ObsArgs::log_off`].
+    pub log_level: Option<privim_obs::Level>,
+    /// `--log-level off` was given: suppress stderr events even if
+    /// `PRIVIM_LOG` is set.
+    pub log_off: bool,
+    /// JSONL telemetry file (`--telemetry-out`).
+    pub telemetry_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// The effective stderr verbosity after combining the flag with the
+    /// `PRIVIM_LOG` environment variable (flag wins).
+    pub fn effective_level(&self) -> Option<privim_obs::Level> {
+        if self.log_off {
+            return None;
+        }
+        self.log_level.or_else(privim_obs::Level::from_env)
+    }
+}
+
+/// Strips the global observability flags from anywhere in the command
+/// line, returning the remaining arguments (for [`parse_command`]) and
+/// the parsed [`ObsArgs`].
+pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsArgs), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut obs = ObsArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log-level" => {
+                let v = it.next().ok_or("--log-level needs a value")?;
+                if v.eq_ignore_ascii_case("off") {
+                    obs.log_off = true;
+                    obs.log_level = None;
+                } else {
+                    obs.log_off = false;
+                    obs.log_level =
+                        Some(v.parse().map_err(|e| format!("bad --log-level: {e}"))?);
+                }
+            }
+            "--telemetry-out" => {
+                let v = it.next().ok_or("--telemetry-out needs a value")?;
+                obs.telemetry_out = Some(v.clone());
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, obs))
+}
 
 /// Parses a dataset name.
 pub fn parse_dataset(s: &str) -> Result<Dataset, String> {
@@ -354,6 +414,41 @@ mod tests {
         assert_eq!(parse_method("non-private").unwrap(), Method::NonPrivate);
         assert_eq!(parse_model("sage").unwrap(), ModelKind::GraphSage);
         assert!(parse_model("transformer").is_err());
+    }
+
+    #[test]
+    fn obs_flags_are_split_from_any_position() {
+        let argv: Vec<String> = [
+            "train", "--log-level", "debug", "--graph", "g.bin", "--telemetry-out", "run.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (rest, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(obs.log_level, Some(privim_obs::Level::Debug));
+        assert_eq!(obs.telemetry_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(rest, vec!["train", "--graph", "g.bin"]);
+        // The remaining args still parse as a normal train command.
+        match parse_command(&rest).unwrap() {
+            Command::Train(a) => assert_eq!(a.graph, "g.bin"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_flags_default_to_absent_and_off_disables() {
+        let argv: Vec<String> = ["account", "--epsilon", "2"].iter().map(|s| s.to_string()).collect();
+        let (rest, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(obs, ObsArgs::default());
+        assert_eq!(rest.len(), 3);
+        let argv: Vec<String> =
+            ["help", "--log-level", "off"].iter().map(|s| s.to_string()).collect();
+        let (_, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(obs.log_level, None);
+        assert!(obs.log_off);
+        assert_eq!(obs.effective_level(), None, "off beats PRIVIM_LOG");
+        let argv: Vec<String> = ["--log-level"].iter().map(|s| s.to_string()).collect();
+        assert!(split_obs_args(&argv).unwrap_err().contains("--log-level"));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use args::{Command, USAGE};
+use args::{Command, ObsArgs, USAGE};
 use privim_core::config::PrivImConfig;
 use privim_core::pipeline::run_method;
 use privim_core::train::{NoiseKind, PrivacySetup};
@@ -22,44 +23,85 @@ use privim_im::models::DiffusionConfig;
 use privim_im::spread::influence_spread;
 use privim_nn::graph_tensors::GraphTensors;
 use privim_nn::serialize::Checkpoint;
+use privim_obs::{console, console_err};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = exec(&argv);
+    privim_obs::flush_sinks();
+    code
+}
+
+fn exec(argv: &[String]) -> ExitCode {
+    let (argv, obs) = match args::split_obs_args(argv) {
+        Ok(split) => split,
+        Err(msg) => {
+            console_err(format!("error: {msg}"));
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(msg) = init_observability(&obs) {
+        console_err(format!("error: {msg}"));
+        return ExitCode::from(2);
+    }
     let command = match args::parse_command(&argv) {
         Ok(c) => c,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            console_err(format!("error: {msg}"));
             return ExitCode::from(2);
         }
     };
     match run(command) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            console_err(format!("error: {msg}"));
             ExitCode::FAILURE
         }
     }
 }
 
+/// Installs the stderr and JSONL sinks requested by the global flags (or
+/// the `PRIVIM_LOG` environment variable). With neither configured this
+/// installs nothing and telemetry stays at its zero-overhead default.
+fn init_observability(obs: &ObsArgs) -> Result<(), String> {
+    if let Some(level) = obs.effective_level() {
+        privim_obs::install_sink(Arc::new(privim_obs::StderrSink::new(level)));
+    }
+    if let Some(path) = &obs.telemetry_out {
+        let sink = privim_obs::JsonlSink::create(path)
+            .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
+        privim_obs::install_sink(Arc::new(sink));
+    }
+    Ok(())
+}
+
 fn run(command: Command) -> Result<(), String> {
     match command {
         Command::Help => {
-            println!("{USAGE}");
+            console(USAGE);
             Ok(())
         }
         Command::Generate(a) => {
+            privim_obs::info!("run", "start", command = "generate", seed = a.seed);
             let g = a.dataset.generate(a.scale, a.seed);
             let stats = privim_graph::stats::graph_stats(&g);
             save_graph(&g, &a.output)?;
-            println!(
+            console(format!(
                 "wrote {}: {} nodes, {} edges, avg degree {:.2}",
                 a.output, stats.num_nodes, stats.num_edges, stats.avg_degree
-            );
+            ));
             Ok(())
         }
         Command::Train(a) => {
+            privim_obs::info!(
+                "run",
+                "start",
+                command = "train",
+                seed = a.seed,
+                method = a.method.name(),
+            );
             let g = load_graph(&a.graph)?;
             let mut rng = StdRng::seed_from_u64(a.seed);
             let split = NodeSplit::random(&g, 0.5, &mut rng);
@@ -82,7 +124,7 @@ fn run(command: Command) -> Result<(), String> {
                 &split.train,
                 a.seed,
             );
-            println!(
+            console(format!(
                 "{}: spread {:.0} over {} nodes | container {} subgraphs | sigma {}",
                 a.method.name(),
                 result.spread,
@@ -91,14 +133,14 @@ fn run(command: Command) -> Result<(), String> {
                 result
                     .sigma
                     .map_or("- (non-private)".to_string(), |s| format!("{s:.3}")),
-            );
-            println!("seeds: {:?}", result.seeds);
+            ));
+            console(format!("seeds: {:?}", result.seeds));
             if let Some(path) = a.checkpoint.clone() {
                 // run_method trains internally but does not expose the
                 // model; retrain deterministically here to capture one.
                 let cp = train_for_checkpoint(&g, &a, &config)?;
                 cp.save(&path).map_err(|e| e.to_string())?;
-                println!("checkpoint written to {path}");
+                console(format!("checkpoint written to {path}"));
             }
             let _ = run_method; // `run_method_with_candidates` covers it
             Ok(())
@@ -110,10 +152,11 @@ fn run(command: Command) -> Result<(), String> {
             let gt = GraphTensors::with_structural_features(&g, cp.in_dim);
             let scores = model.seed_probabilities(&gt);
             let seeds = top_k_seeds(&scores, a.seed_size);
-            println!("seeds: {seeds:?}");
+            console(format!("seeds: {seeds:?}"));
             Ok(())
         }
         Command::Evaluate(a) => {
+            privim_obs::info!("run", "start", command = "evaluate", seed = 7u64);
             let g = load_graph(&a.graph)?;
             for &s in &a.seeds {
                 if s as usize >= g.num_nodes() {
@@ -126,12 +169,12 @@ fn run(command: Command) -> Result<(), String> {
             };
             let mut rng = StdRng::seed_from_u64(7);
             let spread = influence_spread(&g, &a.seeds, &cfg, a.trials, &mut rng);
-            println!(
+            console(format!(
                 "influence spread of {} seeds: {spread:.1} of {} nodes ({:.1}%)",
                 a.seeds.len(),
                 g.num_nodes(),
                 100.0 * spread / g.num_nodes() as f64
-            );
+            ));
             Ok(())
         }
         Command::Account(a) => {
@@ -144,16 +187,16 @@ fn run(command: Command) -> Result<(), String> {
             let mut acct = RdpAccountant::default();
             acct.compose_subsampled_gaussian(sigma, &config, a.iterations);
             let (spent, alpha) = acct.epsilon(a.delta);
-            println!(
+            console(format!(
                 "target (eps, delta) = ({}, {:.1e}) over T = {} iterations",
                 a.epsilon, a.delta, a.iterations
-            );
-            println!("  noise multiplier sigma = {sigma:.4}");
-            println!(
+            ));
+            console(format!("  noise multiplier sigma = {sigma:.4}"));
+            console(format!(
                 "  absolute noise std (C = 1) = sigma * N_g = {:.2}",
                 sigma * a.occurrences as f64
-            );
-            println!("  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})");
+            ));
+            console(format!("  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})"));
             Ok(())
         }
     }

@@ -138,15 +138,28 @@ pub fn run_method_with_candidates(
     seed: u64,
 ) -> PipelineResult {
     config.validate().expect("invalid configuration");
+    let _span = privim_obs::span!("pipeline");
+    privim_obs::info!(
+        "pipeline",
+        "start",
+        method = method.name(),
+        seed = seed,
+        nodes = g.num_nodes(),
+        candidates = candidates.len(),
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // --- Phase 1: subgraph extraction ------------------------------------
     let pre_start = std::time::Instant::now();
+    let extraction_span = privim_obs::span!("extraction");
     let (container, occurrence_bound) = extract_for(method, g, config, candidates, &mut rng);
+    extraction_span.finish();
     let preprocessing_secs = pre_start.elapsed().as_secs_f64();
+    privim_obs::gauge("pipeline.container_size").set(container.len() as f64);
 
     // --- Phase 2: privacy calibration ------------------------------------
     let delta = config.effective_delta(candidates.len());
+    let calibration_span = privim_obs::span!("calibration");
     let privacy = match (method, config.epsilon) {
         _ if container.is_empty() => None,
         (Method::NonPrivate, _) | (_, None) => None,
@@ -165,6 +178,7 @@ pub fn run_method_with_candidates(
             ))
         }
     };
+    calibration_span.finish();
 
     // --- Phase 3: DP-GNN training -----------------------------------------
     // An empty container means the requested (n, hops) combination is
@@ -174,17 +188,35 @@ pub fn run_method_with_candidates(
     let kind = method.model_kind(config.model);
     let mut model = build_model(kind, config.feature_dim, config.hidden, config.hops, &mut rng);
     let report = if container.is_empty() {
-        crate::train::TrainReport { losses: Vec::new(), training_secs: 0.0, sigma: None }
+        crate::train::TrainReport {
+            losses: Vec::new(),
+            clip_fractions: Vec::new(),
+            training_secs: 0.0,
+            sigma: None,
+        }
     } else {
         train(model.as_mut(), &container, config, privacy.as_ref(), &mut rng)
     };
 
     // --- Phase 4: inference + seed selection + evaluation -----------------
+    let inference_span = privim_obs::span!("inference");
     let gt = GraphTensors::with_structural_features(g, config.feature_dim);
     let scores = model.seed_probabilities(&gt);
     let seeds = top_k_seeds(&scores, config.seed_size);
+    inference_span.finish();
+    let evaluation_span = privim_obs::span!("evaluation");
     let diffusion = DiffusionConfig::ic_with_steps(config.diffusion_steps);
     let spread = influence_spread(g, &seeds, &diffusion, 200, &mut rng);
+    evaluation_span.finish();
+    privim_obs::info!(
+        "pipeline",
+        "done",
+        method = method.name(),
+        spread = spread,
+        container_size = container.len(),
+        sigma = report.sigma,
+        final_loss = report.losses.last().copied(),
+    );
 
     PipelineResult {
         method,

@@ -43,7 +43,10 @@ pub fn extract_naive<R: Rng + ?Sized>(
     candidates: &[NodeId],
     rng: &mut R,
 ) -> (SubgraphContainer, Graph) {
+    let projection_span = privim_obs::span!("projection");
     let projected = theta_projection(g, config.theta, rng);
+    projection_span.finish();
+    let _span = privim_obs::span!("subgraph_sampling");
     let q = config.effective_sampling_rate(candidates.len());
     let mut container = SubgraphContainer::new();
     for &v0 in candidates {
@@ -52,8 +55,11 @@ pub fn extract_naive<R: Rng + ?Sized>(
         }
         if let Some(nodes) = rwr_collect(&projected, v0, config, NeighborWeights::Uniform, rng) {
             container.push(SubgraphSample::extract(&projected, nodes, config.feature_dim));
+        } else {
+            privim_obs::counter("sampling.walks_discarded").add(1);
         }
     }
+    privim_obs::counter("sampling.subgraphs_extracted").add(container.len() as u64);
     (container, projected)
 }
 
@@ -65,13 +71,17 @@ pub fn extract_dual_stage<R: Rng + ?Sized>(
     candidates: &[NodeId],
     rng: &mut R,
 ) -> DualStageOutput {
+    let _span = privim_obs::span!("subgraph_sampling");
     let mut frequency = vec![0u32; g.num_nodes()];
     // Stage 1: SCS on the original (unprojected) graph.
+    let scs_span = privim_obs::span!("scs_stage");
     let mut container =
         freq_sampling(g, config, candidates, config.subgraph_size, &mut frequency, rng);
     let stage1_count = container.len();
+    scs_span.finish();
 
     // Stage 2: BES on the boundary graph of unsaturated nodes.
+    let bes_span = privim_obs::span!("bes_stage");
     let m = config.freq_threshold as u32;
     let kept: Vec<bool> = frequency.iter().map(|&f| f < m).collect();
     let boundary = mask_edges(g, &kept);
@@ -81,6 +91,16 @@ pub fn extract_dual_stage<R: Rng + ?Sized>(
     let stage2 =
         freq_sampling(&boundary, config, &boundary_candidates, bes_size, &mut frequency, rng);
     container.extend(stage2);
+    bes_span.finish();
+    privim_obs::counter("sampling.subgraphs_extracted").add(container.len() as u64);
+    privim_obs::debug!(
+        "sampling",
+        "dual_stage",
+        stage1 = stage1_count,
+        stage2 = container.len() - stage1_count,
+        boundary_candidates = boundary_candidates.len(),
+        bes_size = bes_size,
+    );
 
     DualStageOutput { container, frequency, stage1_count }
 }
@@ -115,6 +135,8 @@ pub fn freq_sampling<R: Rng + ?Sized>(
                 frequency[v as usize] += 1;
             }
             container.push(SubgraphSample::extract(g, nodes, config.feature_dim));
+        } else {
+            privim_obs::counter("sampling.walks_discarded").add(1);
         }
     }
     container

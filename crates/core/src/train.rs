@@ -76,14 +76,29 @@ impl PrivacySetup {
         config: &PrivImConfig,
         container_size: usize,
     ) -> (f64, f64) {
-        let sub = SubsampledConfig {
-            max_occurrences: self.max_occurrences,
-            batch_size: config.batch_size.min(container_size.max(1)),
-            container_size: container_size.max(1),
-        };
+        let sub = self.subsampled_config(config, container_size);
         let mut acct = RdpAccountant::default();
         acct.compose_subsampled_gaussian(self.sigma, &sub, config.iterations);
         acct.epsilon(self.delta)
+    }
+
+    /// The cumulative `(ε, best α)` after each of the run's iterations —
+    /// the per-step privacy spend telemetry reports.
+    pub fn epsilon_schedule(
+        &self,
+        config: &PrivImConfig,
+        container_size: usize,
+    ) -> Vec<(f64, f64)> {
+        let sub = self.subsampled_config(config, container_size);
+        RdpAccountant::default().epsilon_schedule(self.sigma, &sub, config.iterations, self.delta)
+    }
+
+    fn subsampled_config(&self, config: &PrivImConfig, container_size: usize) -> SubsampledConfig {
+        SubsampledConfig {
+            max_occurrences: self.max_occurrences,
+            batch_size: config.batch_size.min(container_size.max(1)),
+            container_size: container_size.max(1),
+        }
     }
 }
 
@@ -92,6 +107,9 @@ impl PrivacySetup {
 pub struct TrainReport {
     /// Mean batch loss per iteration.
     pub losses: Vec<f64>,
+    /// Per-iteration fraction of subgraph gradients whose l2 norm hit the
+    /// clip bound `C` (empty for non-private runs, which never clip).
+    pub clip_fractions: Vec<f64>,
     /// Wall-clock seconds spent in the training loop.
     pub training_secs: f64,
     /// σ used (None for non-private runs).
@@ -108,17 +126,31 @@ pub fn train<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> TrainReport {
     assert!(!container.is_empty(), "cannot train on an empty subgraph container");
+    let _span = privim_obs::span!("training");
     let started = std::time::Instant::now();
     let mut optimizer = Sgd::new(config.learning_rate);
     let m = container.len();
     let batch = config.batch_size.min(m);
     let indices: Vec<usize> = (0..m).collect();
     let mut losses = Vec::with_capacity(config.iterations);
+    let mut clip_fractions = Vec::with_capacity(if privacy.is_some() {
+        config.iterations
+    } else {
+        0
+    });
+    // Per-step cumulative ε is O(steps × orders) to compute, so only pay
+    // for it when an Info-level sink is listening. Never touches `rng`.
+    let epsilon_schedule: Option<Vec<(f64, f64)>> = privacy
+        .filter(|_| privim_obs::enabled(privim_obs::Level::Info))
+        .map(|setup| setup.epsilon_schedule(config, m));
 
-    for _ in 0..config.iterations {
+    for iter in 0..config.iterations {
         let chosen: Vec<usize> = indices.choose_multiple(rng, batch).copied().collect();
         let mut sum = GradVec::zeros_like(model.params());
         let mut batch_loss = 0.0;
+        let mut clipped = 0usize;
+        let mut pre_norm_sum = 0.0;
+        let mut post_norm_sum = 0.0;
         for &idx in &chosen {
             let sample = container.get(idx);
             let mut tape = Tape::new();
@@ -144,7 +176,12 @@ pub fn train<R: Rng + ?Sized>(
             let grads = tape.backward(loss);
             let mut gv = model.params().grads(&pv, grads);
             if privacy.is_some() {
-                gv.clip(config.clip_bound);
+                let pre_norm = gv.clip(config.clip_bound);
+                pre_norm_sum += pre_norm;
+                post_norm_sum += pre_norm.min(config.clip_bound);
+                if pre_norm > config.clip_bound {
+                    clipped += 1;
+                }
             }
             sum.add_assign(&gv);
         }
@@ -169,11 +206,37 @@ pub fn train<R: Rng + ?Sized>(
         }
         sum.scale_assign(1.0 / batch as f64);
         optimizer.step(model.params_mut(), &sum);
-        losses.push(batch_loss / batch as f64);
+        let mean_loss = batch_loss / batch as f64;
+        losses.push(mean_loss);
+        privim_obs::counter("train.iterations").add(1);
+        privim_obs::histogram("train.loss").record(mean_loss);
+        if let Some(setup) = privacy {
+            let clip_fraction = clipped as f64 / batch as f64;
+            clip_fractions.push(clip_fraction);
+            privim_obs::histogram("train.clip_fraction").record(clip_fraction);
+            let spent = epsilon_schedule.as_ref().and_then(|s| s.get(iter)).copied();
+            privim_obs::info!(
+                "train",
+                "epoch",
+                epoch = iter,
+                loss = mean_loss,
+                clip_fraction = clip_fraction,
+                grad_norm_pre = pre_norm_sum / batch as f64,
+                grad_norm_post = post_norm_sum / batch as f64,
+                noise_std = setup.noise_std(config.clip_bound),
+                epsilon_spent = spent.map(|(eps, _)| eps),
+            );
+            if let Some((eps, alpha)) = spent {
+                privim_obs::debug!("dp", "epsilon", step = iter + 1, epsilon = eps, alpha = alpha);
+            }
+        } else {
+            privim_obs::info!("train", "epoch", epoch = iter, loss = mean_loss);
+        }
     }
 
     TrainReport {
         losses,
+        clip_fractions,
         training_secs: started.elapsed().as_secs_f64(),
         sigma: privacy.map(|p| p.sigma),
     }
@@ -220,6 +283,7 @@ mod tests {
         let report = train(model.as_mut(), &container, &cfg, None, &mut rng);
         assert_eq!(report.losses.len(), 60);
         assert!(report.sigma.is_none());
+        assert!(report.clip_fractions.is_empty(), "non-private runs never clip");
         // Per-iteration losses are noisy (each batch holds different random
         // subgraphs), so compare the initial average against the best and
         // the trailing average against the initial one with a tolerance.
@@ -247,6 +311,8 @@ mod tests {
         let report = train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng);
         assert_eq!(report.losses.len(), cfg.iterations);
         assert_eq!(report.sigma, Some(setup.sigma));
+        assert_eq!(report.clip_fractions.len(), cfg.iterations);
+        assert!(report.clip_fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
         let (spent, _) = setup.spent_epsilon(&cfg, container.len());
         assert!(spent <= 3.0 * 1.0001, "spent {spent} > target");
         // Parameters stay finite despite noise.

@@ -1,0 +1,108 @@
+//! End-to-end telemetry: a private pipeline run with a JSONL sink
+//! installed must produce an event stream that parses back into a
+//! [`privim_obs::RunTelemetry`] carrying per-epoch losses, clip
+//! fractions, phase timings, and the cumulative ε spend — and installing
+//! the sink must not change the run's numeric results (instrumentation
+//! may never consume RNG).
+
+use std::sync::Arc;
+
+use privim_core::config::PrivImConfig;
+use privim_core::pipeline::{run_method, Method, PipelineResult};
+use privim_datasets::generators::holme_kim;
+use privim_obs::{JsonlSink, Level, RunTelemetry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_config() -> PrivImConfig {
+    PrivImConfig {
+        subgraph_size: 10,
+        walk_length: 100,
+        hops: 2,
+        sampling_rate: Some(0.5),
+        freq_threshold: 4,
+        feature_dim: 4,
+        hidden: 8,
+        batch_size: 6,
+        iterations: 6,
+        seed_size: 10,
+        epsilon: Some(4.0),
+        ..PrivImConfig::default()
+    }
+}
+
+fn run_once(g: &privim_graph::Graph, cfg: &PrivImConfig) -> PipelineResult {
+    run_method(g, Method::PrivImStar, cfg, 7)
+}
+
+// One test function on purpose: sinks are process-global, and the harness
+// runs #[test] functions of one binary in parallel threads.
+#[test]
+fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = holme_kim(250, 4, 0.4, 1.0, &mut rng);
+    let cfg = fast_config();
+
+    // Reference run with telemetry fully disabled.
+    let baseline = run_once(&g, &cfg);
+
+    // Instrumented run: JSONL sink at Debug level.
+    let path = std::env::temp_dir().join("privim-core-telemetry-e2e.jsonl");
+    privim_obs::install_sink(Arc::new(
+        JsonlSink::create_with_level(&path, Level::Debug).expect("create telemetry file"),
+    ));
+    let instrumented = run_once(&g, &cfg);
+    privim_obs::take_sinks();
+
+    // Telemetry must not perturb the run: same RNG draws, same outcome.
+    assert_eq!(baseline.seeds, instrumented.seeds, "sink changed the RNG stream");
+    assert_eq!(baseline.spread, instrumented.spread);
+    assert_eq!(baseline.sigma, instrumented.sigma);
+    assert_eq!(baseline.container_size, instrumented.container_size);
+
+    let text = std::fs::read_to_string(&path).expect("read telemetry file");
+    std::fs::remove_file(&path).ok();
+    let report = RunTelemetry::from_jsonl(&text).expect("telemetry parses back");
+
+    // Per-epoch training records with loss + clip diagnostics.
+    assert_eq!(report.epochs.len(), cfg.iterations);
+    for (i, e) in report.epochs.iter().enumerate() {
+        assert_eq!(e.epoch, i as u64);
+        assert!(e.loss.is_finite(), "epoch {i} loss not recorded");
+        let clip = e.clip_fraction.expect("private run must record clip fraction");
+        assert!((0.0..=1.0).contains(&clip));
+        assert!(e.grad_norm_pre.unwrap() >= e.grad_norm_post.unwrap() - 1e-12);
+        assert!(e.noise_std.unwrap() > 0.0);
+        assert!(e.epsilon_spent.unwrap() > 0.0);
+    }
+
+    // Phase timings from the pipeline spans.
+    for phase in ["pipeline", "extraction", "calibration", "training", "inference"] {
+        let secs = report.phase_secs(phase).unwrap_or_else(|| panic!("missing phase {phase}"));
+        assert!(secs >= 0.0);
+    }
+    assert!(
+        report.phase_secs("pipeline").unwrap() >= report.phase_secs("training").unwrap(),
+        "outer span must cover the training span"
+    );
+
+    // Cumulative ε spend: monotone, ends at (close to) the target.
+    assert_eq!(report.epsilon_trace.len(), cfg.iterations);
+    for w in report.epsilon_trace.windows(2) {
+        assert!(w[1] > w[0], "epsilon spend must be monotone");
+    }
+    let final_eps = report.final_epsilon().unwrap();
+    assert!(final_eps <= cfg.epsilon.unwrap() * 1.0001, "overspent: {final_eps}");
+    assert!(final_eps > cfg.epsilon.unwrap() * 0.5, "implausibly small spend: {final_eps}");
+
+    // The per-epoch epsilon_spent agrees with the dp/epsilon trace.
+    assert_eq!(
+        report.epochs.last().unwrap().epsilon_spent.unwrap(),
+        *report.epsilon_trace.last().unwrap()
+    );
+
+    // Metrics side-channel: the global registry saw the same run.
+    let snap = privim_obs::snapshot();
+    assert!(snap.counters.get("train.iterations").copied().unwrap_or(0) >= cfg.iterations as u64);
+    assert!(snap.histograms.contains_key("span.training"));
+}

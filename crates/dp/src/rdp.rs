@@ -201,6 +201,42 @@ impl RdpAccountant {
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("at least one order yields finite epsilon")
     }
+
+    /// The cumulative `(ε, best α)` after each of `steps` iterations of
+    /// the subsampled Gaussian mechanism at noise multiplier `sigma`,
+    /// starting from this accountant's current state (which is not
+    /// modified). One γ evaluation per order, `O(steps × orders)` total —
+    /// cheap enough to drive per-step telemetry.
+    pub fn epsilon_schedule(
+        &self,
+        sigma: f64,
+        config: &SubsampledConfig,
+        steps: usize,
+        delta: f64,
+    ) -> Vec<(f64, f64)> {
+        let per_step: Vec<f64> = self
+            .orders
+            .iter()
+            .map(|&alpha| subsampled_gaussian_rdp(alpha, sigma, config))
+            .collect();
+        let mut gammas = self.gammas.clone();
+        let mut schedule = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            for (gamma, inc) in gammas.iter_mut().zip(&per_step) {
+                *gamma += inc;
+            }
+            let best = self
+                .orders
+                .iter()
+                .zip(&gammas)
+                .map(|(&alpha, &gamma)| (rdp_to_epsilon(gamma, alpha, delta), alpha))
+                .filter(|(eps, _)| eps.is_finite())
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least one order yields finite epsilon");
+            schedule.push(best);
+        }
+        schedule
+    }
 }
 
 /// Calibrates the smallest noise multiplier σ such that `steps` iterations
@@ -234,6 +270,16 @@ pub fn calibrate_sigma(
             hi = mid;
         }
     }
+    privim_obs::debug!(
+        "dp",
+        "calibrated",
+        sigma = hi,
+        target_epsilon = target_epsilon,
+        delta = delta,
+        steps = steps,
+        max_occurrences = config.max_occurrences,
+        achieved_epsilon = eps_at(hi),
+    );
     hi
 }
 
@@ -357,6 +403,24 @@ mod tests {
             s_naive * 100.0 > s_freq * 4.0,
             "absolute noise should shrink with the frequency bound"
         );
+    }
+
+    #[test]
+    fn epsilon_schedule_matches_step_by_step_composition() {
+        let c = config();
+        let schedule = RdpAccountant::default().epsilon_schedule(1.2, &c, 5, 1e-5);
+        assert_eq!(schedule.len(), 5);
+        let mut acct = RdpAccountant::default();
+        for (step, &(eps, alpha)) in schedule.iter().enumerate() {
+            acct.compose_subsampled_gaussian(1.2, &c, 1);
+            let (want_eps, want_alpha) = acct.epsilon(1e-5);
+            assert!((eps - want_eps).abs() < 1e-9, "step {step}: {eps} vs {want_eps}");
+            assert_eq!(alpha, want_alpha, "step {step}");
+        }
+        // Cumulative spend is monotone.
+        for w in schedule.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
     }
 
     #[test]

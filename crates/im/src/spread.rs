@@ -33,8 +33,29 @@ pub fn influence_spread<R: Rng + ?Sized>(
         return deterministic_one_step_coverage(g, seeds) as f64;
     }
     assert!(trials > 0, "need at least one trial");
+    let started = std::time::Instant::now();
     let total: usize = (0..trials).map(|_| simulate_cascade(g, seeds, config, rng)).sum();
+    record_mc_telemetry(trials, started.elapsed().as_secs_f64(), None);
     total as f64 / trials as f64
+}
+
+/// Shared Monte-Carlo telemetry: throughput metrics always (a few relaxed
+/// atomics), a `im`/`monte_carlo` event when a Debug sink listens. Never
+/// touches the caller's RNG.
+fn record_mc_telemetry(trials: usize, secs: f64, variance: Option<f64>) {
+    privim_obs::counter("im.mc_trials").add(trials as u64);
+    let sims_per_sec = if secs > 0.0 { trials as f64 / secs } else { f64::INFINITY };
+    if sims_per_sec.is_finite() {
+        privim_obs::histogram("im.sims_per_sec").record(sims_per_sec);
+    }
+    privim_obs::debug!(
+        "im",
+        "monte_carlo",
+        trials = trials,
+        secs = secs,
+        sims_per_sec = sims_per_sec,
+        variance = variance,
+    );
 }
 
 fn is_deterministic_one_step(g: &Graph, config: &DiffusionConfig) -> bool {
@@ -78,11 +99,13 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
         return SpreadEstimate { mean: exact, half_width: 0.0, trials: 1 };
     }
     assert!(trials >= 2, "need at least two trials for a CI");
+    let started = std::time::Instant::now();
     let samples: Vec<f64> =
         (0..trials).map(|_| simulate_cascade(g, seeds, config, rng) as f64).collect();
     let mean = samples.iter().sum::<f64>() / trials as f64;
     let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
         / (trials as f64 - 1.0);
+    record_mc_telemetry(trials, started.elapsed().as_secs_f64(), Some(var));
     SpreadEstimate {
         mean,
         half_width: z * (var / trials as f64).sqrt(),
@@ -105,6 +128,7 @@ pub fn influence_spread_parallel(
         return deterministic_one_step_coverage(g, seeds) as f64;
     }
     assert!(trials > 0 && n_threads > 0, "need at least one trial and thread");
+    let started = std::time::Instant::now();
     let n_threads = n_threads.min(trials);
     let per = trials / n_threads;
     let extra = trials % n_threads;
@@ -121,6 +145,7 @@ pub fn influence_spread_parallel(
         handles.into_iter().map(|h| h.join().expect("spread worker panicked")).collect()
     })
     .expect("spread thread scope failed");
+    record_mc_telemetry(trials, started.elapsed().as_secs_f64(), None);
     totals.iter().sum::<usize>() as f64 / trials as f64
 }
 

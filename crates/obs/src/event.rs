@@ -1,0 +1,212 @@
+//! Structured events: a severity, a target subsystem, a message, and
+//! typed key-value fields.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::clock::now_micros;
+use crate::json::JsonValue;
+use crate::level::Level;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Absent / not applicable (e.g. σ of a non-private run).
+    Null,
+    /// A boolean flag.
+    Bool(bool),
+    /// An unsigned integer (counts, sizes, steps).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (losses, seconds, ε).
+    F64(f64),
+    /// A string (method names, phases).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Converts to a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        match self {
+            FieldValue::Null => JsonValue::Null,
+            FieldValue::Bool(b) => JsonValue::Bool(*b),
+            FieldValue::U64(n) => JsonValue::Num(*n as f64),
+            FieldValue::I64(n) => JsonValue::Num(*n as f64),
+            FieldValue::F64(n) => JsonValue::Num(*n),
+            FieldValue::Str(s) => JsonValue::Str(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Null => f.write_str("-"),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+            FieldValue::U64(n) => write!(f, "{n}"),
+            FieldValue::I64(n) => write!(f, "{n}"),
+            FieldValue::F64(n) => write!(f, "{n:.6}"),
+            FieldValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<Option<f64>> for FieldValue {
+    fn from(v: Option<f64>) -> Self {
+        v.map_or(FieldValue::Null, FieldValue::F64)
+    }
+}
+impl From<Option<u64>> for FieldValue {
+    fn from(v: Option<u64>) -> Self {
+        v.map_or(FieldValue::Null, FieldValue::U64)
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since process start (monotonic).
+    pub ts_micros: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem (`"train"`, `"dp"`, `"span"`, …).
+    pub target: &'static str,
+    /// Event name or human message (`"epoch"`, `"epsilon"`, a span name).
+    pub message: String,
+    /// Typed payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// A new event stamped with the process clock.
+    pub fn new(
+        level: Level,
+        target: &'static str,
+        message: impl Into<String>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Self {
+        Event { ts_micros: now_micros(), level, target, message: message.into(), fields }
+    }
+
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = BTreeMap::new();
+        for (k, v) in &self.fields {
+            fields.insert((*k).to_string(), v.to_json_value());
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("ts_us".to_string(), JsonValue::Num(self.ts_micros as f64));
+        obj.insert("level".to_string(), JsonValue::Str(self.level.as_str().to_string()));
+        obj.insert("target".to_string(), JsonValue::Str(self.target.to_string()));
+        obj.insert("message".to_string(), JsonValue::Str(self.message.clone()));
+        obj.insert("fields".to_string(), JsonValue::Obj(fields));
+        JsonValue::Obj(obj).to_json()
+    }
+
+    /// Human-readable one-line rendering for the stderr sink.
+    pub fn format_human(&self) -> String {
+        let mut line = format!(
+            "[{:>10.4}s {:<5} {}] {}",
+            self.ts_micros as f64 / 1e6,
+            self.level.as_str().to_ascii_uppercase(),
+            self.target,
+            self.message
+        );
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn field_conversions_cover_common_types() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-2i32), FieldValue::I64(-2));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(None::<f64>), FieldValue::Null);
+        assert_eq!(FieldValue::from(Some(1.5)), FieldValue::F64(1.5));
+    }
+
+    #[test]
+    fn json_line_parses_back() {
+        let e = Event::new(
+            crate::Level::Info,
+            "train",
+            "epoch",
+            vec![("epoch", FieldValue::U64(3)), ("loss", FieldValue::F64(0.25))],
+        );
+        let parsed = json::parse(&e.to_json_line()).unwrap();
+        assert_eq!(parsed.get("target").unwrap().as_str(), Some("train"));
+        assert_eq!(parsed.get("message").unwrap().as_str(), Some("epoch"));
+        let fields = parsed.get("fields").unwrap();
+        assert_eq!(fields.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(fields.get("loss").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn human_format_contains_fields() {
+        let e = Event::new(crate::Level::Warn, "dp", "epsilon", vec![("step", 4usize.into())]);
+        let s = e.format_human();
+        assert!(s.contains("WARN"), "{s}");
+        assert!(s.contains("dp"), "{s}");
+        assert!(s.contains("step=4"), "{s}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Severity levels and the `PRIVIM_LOG` environment variable.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, ordered from most to least severe.
+///
+/// The `u8` repr is load-bearing: `enabled()` compares raw discriminants
+/// against a global atomic, so `Error` must stay the smallest value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The run is broken or produced an unusable artifact.
+    Error = 0,
+    /// Something degraded but the run continues.
+    Warn = 1,
+    /// Coarse run progress: per-epoch summaries, phase completions.
+    Info = 2,
+    /// Fine-grained internals: accountant spend, estimator throughput.
+    Debug = 3,
+    /// Everything, including per-sample detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] =
+        [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+
+    /// Lower-case name (`"info"`), the form used in JSONL output and
+    /// `PRIVIM_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses the `PRIVIM_LOG` environment variable: a level name, or
+    /// `off`/unset/unparsable for `None` (no stderr logging).
+    pub fn from_env() -> Option<Level> {
+        let raw = std::env::var("PRIVIM_LOG").ok()?;
+        raw.parse().ok()
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level: {other} (expected error|warn|info|debug|trace|off)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        assert_eq!(Level::Error as u8, 0);
+        assert_eq!(Level::Trace as u8, 4);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        assert!(" Debug ".parse::<Level>().is_ok());
+        assert!("verbose".parse::<Level>().is_err());
+    }
+}

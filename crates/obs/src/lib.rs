@@ -1,0 +1,179 @@
+//! # privim-obs
+//!
+//! Structured tracing, metrics, and run telemetry for the PrivIM stack.
+//! Dependency-free (serde integration sits behind the default-on `serde`
+//! feature and only adds derives), built around three primitives:
+//!
+//! * **Spans** — scoped wall-clock timers with nesting:
+//!   `let _s = obs::span!("training");`. Durations always land in the
+//!   `span.<name>` histogram; with a `Debug`-level sink installed each
+//!   close also emits a `span` event.
+//! * **Metrics** — process-global counters, gauges, and fixed-bucket
+//!   histograms: `obs::counter("im.mc_trials").add(n)`. Snapshot with
+//!   [`snapshot`]; metrics are always on (they are a handful of relaxed
+//!   atomic ops) and never touch RNG streams.
+//! * **Events** — typed key-value records dispatched to installed
+//!   [`EventSink`]s: `obs::info!("train", "epoch", epoch = i, loss = l);`.
+//!   With no sinks installed, [`enabled`] is a single relaxed atomic
+//!   load and the event (and its field values) is never built.
+//!
+//! Sinks: [`StderrSink`] prints human-readable lines (configure via the
+//! `PRIVIM_LOG` env var: `error|warn|info|debug|trace|off`), [`JsonlSink`]
+//! appends one JSON object per event to a file; [`RunTelemetry::from_jsonl`]
+//! turns that file back into a typed report.
+
+mod clock;
+mod event;
+pub mod json;
+mod level;
+mod metrics;
+mod sink;
+mod span;
+mod telemetry;
+
+pub use clock::{now_micros, Clock, ManualClock, MonotonicClock};
+pub use event::{Event, FieldValue};
+pub use level::Level;
+pub use metrics::{
+    global_registry, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+    DEFAULT_BUCKETS,
+};
+pub use sink::{
+    console, console_err, emit, enabled, flush_sinks, install_sink, take_sinks, EventSink,
+    JsonlSink, MemorySink, StderrSink,
+};
+pub use span::SpanGuard;
+pub use telemetry::{EpochRecord, PhaseTiming, RunTelemetry};
+
+/// The global counter named `name` (creating it on first use).
+pub fn counter(name: &str) -> std::sync::Arc<Counter> {
+    global_registry().counter(name)
+}
+
+/// The global gauge named `name` (creating it on first use).
+pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
+    global_registry().gauge(name)
+}
+
+/// The global histogram named `name` (creating it on first use, with
+/// [`DEFAULT_BUCKETS`]).
+pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
+    global_registry().histogram(name)
+}
+
+/// A point-in-time snapshot of every global metric.
+pub fn snapshot() -> MetricsSnapshot {
+    global_registry().snapshot()
+}
+
+/// Builds and emits an event if (and only if) some sink listens at
+/// `$level` — field expressions are not evaluated otherwise.
+///
+/// ```
+/// privim_obs::event!(privim_obs::Level::Info, "train", "epoch",
+///                    epoch = 3u64, loss = 0.25);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $message:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $level;
+        if $crate::enabled(level) {
+            $crate::emit($crate::Event::new(
+                level,
+                $target,
+                $message,
+                vec![$((stringify!($key), $crate::FieldValue::from($value)),)*],
+            ));
+        }
+    }};
+}
+
+/// [`event!`] at `Level::Error`.
+#[macro_export]
+macro_rules! error {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Error, $($tt)*) };
+}
+
+/// [`event!`] at `Level::Warn`.
+#[macro_export]
+macro_rules! warn {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Warn, $($tt)*) };
+}
+
+/// [`event!`] at `Level::Info`.
+#[macro_export]
+macro_rules! info {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Info, $($tt)*) };
+}
+
+/// [`event!`] at `Level::Debug`.
+#[macro_export]
+macro_rules! debug {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Debug, $($tt)*) };
+}
+
+/// [`event!`] at `Level::Trace`.
+#[macro_export]
+macro_rules! trace {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Trace, $($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn event_macro_skips_field_evaluation_when_disabled() {
+        let _guard = crate::sink::global_sink_lock();
+        take_sinks();
+        let mut evaluated = false;
+        crate::info!("test", "msg", x = {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated, "fields must not be built with no sink installed");
+
+        let sink = Arc::new(MemorySink::new(Level::Info));
+        install_sink(sink.clone());
+        crate::info!("test", "msg", x = {
+            evaluated = true;
+            1u64
+        });
+        take_sinks();
+        assert!(evaluated);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("x"), Some(&FieldValue::U64(1)));
+    }
+
+    #[test]
+    fn level_macros_tag_their_level() {
+        let _guard = crate::sink::global_sink_lock();
+        take_sinks();
+        let sink = Arc::new(MemorySink::new(Level::Trace));
+        install_sink(sink.clone());
+        crate::error!("t", "e");
+        crate::warn!("t", "w");
+        crate::info!("t", "i");
+        crate::debug!("t", "d");
+        crate::trace!("t", "tr");
+        take_sinks();
+        let levels: Vec<Level> = sink.events().iter().map(|e| e.level).collect();
+        assert_eq!(
+            levels,
+            vec![Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace]
+        );
+    }
+
+    #[test]
+    fn global_helpers_share_the_registry() {
+        counter("lib_test_counter").add(2);
+        gauge("lib_test_gauge").set(1.5);
+        histogram("lib_test_hist").record(0.5);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("lib_test_counter"), Some(&2));
+        assert_eq!(snap.gauges.get("lib_test_gauge"), Some(&1.5));
+        assert_eq!(snap.histograms.get("lib_test_hist").map(|h| h.count), Some(1));
+    }
+}

@@ -1,0 +1,263 @@
+//! Event sinks and the global dispatch path.
+//!
+//! Sinks are installed process-wide; the emit fast path is a single
+//! relaxed atomic load when nothing is installed, so instrumented code
+//! pays nothing in the default (telemetry-off) configuration.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::event::Event;
+use crate::level::Level;
+
+/// A destination for structured events.
+pub trait EventSink: Send + Sync {
+    /// The most verbose level this sink wants; events above it are not
+    /// delivered.
+    fn max_level(&self) -> Level;
+
+    /// Consumes one event (already level-filtered by the dispatcher).
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+static SINKS: RwLock<Vec<Arc<dyn EventSink>>> = RwLock::new(Vec::new());
+/// `0` = disabled; otherwise `1 + max(sink.max_level())`.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// True if an event at `level` would reach at least one sink. The check
+/// instrumented code performs before building an event.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) < MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Installs a sink. Sinks stack: every installed sink sees every event at
+/// or below its own `max_level`.
+pub fn install_sink(sink: Arc<dyn EventSink>) {
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    sinks.push(sink);
+    let max = sinks.iter().map(|s| s.max_level() as u8 + 1).max().unwrap_or(0);
+    MAX_LEVEL.store(max, Ordering::Relaxed);
+}
+
+/// Removes every sink (flushing them) and returns the previous set.
+pub fn take_sinks() -> Vec<Arc<dyn EventSink>> {
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+    let old = std::mem::take(&mut *sinks);
+    for s in &old {
+        s.flush();
+    }
+    old
+}
+
+/// Flushes every installed sink.
+pub fn flush_sinks() {
+    for s in SINKS.read().expect("sink registry poisoned").iter() {
+        s.flush();
+    }
+}
+
+/// Dispatches `event` to every interested sink.
+pub fn emit(event: Event) {
+    for sink in SINKS.read().expect("sink registry poisoned").iter() {
+        if event.level <= sink.max_level() {
+            sink.record(&event);
+        }
+    }
+}
+
+/// Prints a user-facing line to stdout and mirrors it to the sinks as an
+/// `Info` event with target `"console"`. This is what the CLI's former
+/// bare `println!` calls route through: stdout bytes are unchanged, but
+/// telemetry sinks now see the output too. The stderr sink deliberately
+/// skips `console` events so nothing is printed twice.
+pub fn console(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    println!("{line}");
+    if enabled(Level::Info) {
+        emit(Event::new(Level::Info, "console", line, Vec::new()));
+    }
+}
+
+/// [`console`] for error paths: prints to stderr and mirrors the line as
+/// an `Error` event.
+pub fn console_err(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    eprintln!("{line}");
+    if enabled(Level::Error) {
+        emit(Event::new(Level::Error, "console", line, Vec::new()));
+    }
+}
+
+/// Human-readable sink writing level-filtered lines to stderr.
+///
+/// Skips `console`-target events (they already went to stdout/stderr).
+#[derive(Debug)]
+pub struct StderrSink {
+    max_level: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink at the given verbosity.
+    pub fn new(max_level: Level) -> Self {
+        StderrSink { max_level }
+    }
+
+    /// A stderr sink configured from `PRIVIM_LOG`; `None` if the variable
+    /// is unset, `off`, or unparsable.
+    pub fn from_env() -> Option<Self> {
+        Level::from_env().map(StderrSink::new)
+    }
+}
+
+impl EventSink for StderrSink {
+    fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    fn record(&self, event: &Event) {
+        if event.target == "console" {
+            return;
+        }
+        eprintln!("{}", event.format_human());
+    }
+}
+
+/// Machine-readable sink appending one JSON object per event to a file.
+pub struct JsonlSink {
+    max_level: Level,
+    file: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and records everything up to `Debug`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Self::create_with_level(path, Level::Debug)
+    }
+
+    /// Creates (truncating) `path` with an explicit verbosity.
+    pub fn create_with_level<P: AsRef<Path>>(path: P, max_level: Level) -> std::io::Result<Self> {
+        Ok(JsonlSink { max_level, file: Mutex::new(File::create(path)?) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut file = self.file.lock().expect("jsonl sink poisoned");
+        // A failed telemetry write must never take down the run.
+        let _ = writeln!(file, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.file.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// In-memory sink for tests.
+#[derive(Debug)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    max_level: Level,
+}
+
+impl MemorySink {
+    /// A memory sink capturing everything up to `max_level`.
+    pub fn new(max_level: Level) -> Self {
+        MemorySink { events: Mutex::new(Vec::new()), max_level }
+    }
+
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn global_sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    #[test]
+    fn disabled_by_default_within_this_lock() {
+        let _guard = global_sink_lock();
+        take_sinks();
+        assert!(!enabled(Level::Error));
+        assert!(!enabled(Level::Trace));
+    }
+
+    #[test]
+    fn installed_sink_receives_filtered_events() {
+        let _guard = global_sink_lock();
+        take_sinks();
+        let sink = Arc::new(MemorySink::new(Level::Info));
+        install_sink(sink.clone());
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        emit(Event::new(Level::Info, "t", "visible", vec![("k", FieldValue::U64(1))]));
+        emit(Event::new(Level::Debug, "t", "hidden", Vec::new()));
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "visible");
+        take_sinks();
+        assert!(!enabled(Level::Error));
+    }
+
+    #[test]
+    fn max_level_is_union_over_sinks() {
+        let _guard = global_sink_lock();
+        take_sinks();
+        let quiet = Arc::new(MemorySink::new(Level::Error));
+        let chatty = Arc::new(MemorySink::new(Level::Trace));
+        install_sink(quiet.clone());
+        install_sink(chatty.clone());
+        assert!(enabled(Level::Trace));
+        emit(Event::new(Level::Debug, "t", "m", Vec::new()));
+        assert_eq!(quiet.events().len(), 0, "error-only sink must not see debug");
+        assert_eq!(chatty.events().len(), 1);
+        take_sinks();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("privim-obs-jsonl-sink-test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::new(Level::Info, "t", "one", vec![("x", FieldValue::F64(0.5))]));
+        sink.record(&Event::new(Level::Debug, "t", "two", Vec::new()));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::json::parse(line).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

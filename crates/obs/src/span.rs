@@ -1,0 +1,188 @@
+//! Scoped timers ("spans") with nesting and injectable clocks.
+//!
+//! `let _span = obs::span!("training");` times the enclosing scope with
+//! the process monotonic clock. On drop the span records its duration
+//! into the `span.<name>` histogram and, if a sink is listening at
+//! `Debug`, emits a `span` event carrying the duration, nesting depth,
+//! and dotted path of enclosing span names.
+
+use std::cell::RefCell;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::event::{Event, FieldValue};
+use crate::level::Level;
+use crate::metrics::global_registry;
+use crate::sink::{emit, enabled};
+
+thread_local! {
+    /// Names of the currently open spans on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A running span; finishes (and reports) when dropped or on
+/// [`SpanGuard::finish`].
+pub struct SpanGuard<'c> {
+    name: &'static str,
+    clock: &'c dyn Clock,
+    start_micros: u64,
+    /// Depth of this span (0 = outermost), captured at entry.
+    depth: usize,
+    finished: bool,
+}
+
+impl<'c> SpanGuard<'c> {
+    /// Opens a span timed by the process monotonic clock.
+    pub fn enter(name: &'static str) -> SpanGuard<'static> {
+        static CLOCK: MonotonicClock = MonotonicClock;
+        SpanGuard::enter_with_clock(name, &CLOCK)
+    }
+
+    /// Opens a span timed by an explicit clock (tests inject a
+    /// [`crate::ManualClock`] here).
+    pub fn enter_with_clock(name: &'static str, clock: &'c dyn Clock) -> SpanGuard<'c> {
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.len() - 1
+        });
+        SpanGuard { name, clock, start_micros: clock.now_micros(), depth, finished: false }
+    }
+
+    /// This span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth (0 = outermost).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Seconds elapsed so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.clock.now_micros().saturating_sub(self.start_micros)) as f64 / 1e6
+    }
+
+    /// Ends the span now and returns its duration in seconds.
+    pub fn finish(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        debug_assert!(!self.finished, "span closed twice");
+        self.finished = true;
+        let secs = self.elapsed_secs();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join(".");
+            stack.pop();
+            path
+        });
+        global_registry().histogram(&format!("span.{}", self.name)).record(secs);
+        if enabled(Level::Debug) {
+            emit(Event::new(
+                Level::Debug,
+                "span",
+                self.name,
+                vec![
+                    ("secs", FieldValue::F64(secs)),
+                    ("depth", FieldValue::U64(self.depth as u64)),
+                    ("path", FieldValue::Str(path)),
+                ],
+            ));
+        }
+        secs
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.close();
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] named by a string literal; bind it to keep the
+/// span open: `let _span = obs::span!("training");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::sink::{global_sink_lock, install_sink, take_sinks, MemorySink};
+    use std::sync::Arc;
+
+    #[test]
+    fn injected_clock_times_exactly() {
+        let clock = ManualClock::new();
+        let span = SpanGuard::enter_with_clock("unit_test_exact", &clock);
+        clock.advance_secs(1.5);
+        assert!((span.elapsed_secs() - 1.5).abs() < 1e-9);
+        clock.advance_secs(0.25);
+        let secs = span.finish();
+        assert!((secs - 1.75).abs() < 1e-9, "{secs}");
+        let summary = global_registry().histogram("span.unit_test_exact").summarize();
+        assert_eq!(summary.count, 1);
+        assert!((summary.sum - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_spans_report_depth_path_and_exclusive_times() {
+        let _guard = global_sink_lock();
+        take_sinks();
+        let sink = Arc::new(MemorySink::new(Level::Debug));
+        install_sink(sink.clone());
+
+        let clock = ManualClock::new();
+        {
+            let _outer = SpanGuard::enter_with_clock("outer_nesting_test", &clock);
+            clock.advance_secs(1.0);
+            {
+                let _inner = SpanGuard::enter_with_clock("inner_nesting_test", &clock);
+                clock.advance_secs(2.0);
+            }
+            clock.advance_secs(0.5);
+        }
+        take_sinks();
+
+        let events: Vec<Event> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.target == "span" && e.message.ends_with("_nesting_test"))
+            .collect();
+        assert_eq!(events.len(), 2, "inner closes first, then outer");
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.message, "inner_nesting_test");
+        assert_eq!(outer.message, "outer_nesting_test");
+        assert_eq!(inner.field("depth"), Some(&FieldValue::U64(1)));
+        assert_eq!(outer.field("depth"), Some(&FieldValue::U64(0)));
+        assert_eq!(
+            inner.field("path"),
+            Some(&FieldValue::Str("outer_nesting_test.inner_nesting_test".into()))
+        );
+        let secs_of = |e: &Event| match e.field("secs") {
+            Some(FieldValue::F64(s)) => *s,
+            other => panic!("missing secs: {other:?}"),
+        };
+        assert!((secs_of(inner) - 2.0).abs() < 1e-9);
+        assert!((secs_of(outer) - 3.5).abs() < 1e-9, "outer covers inner + own time");
+    }
+
+    #[test]
+    fn span_stack_unwinds_even_without_sinks() {
+        let clock = ManualClock::new();
+        for _ in 0..3 {
+            let _span = SpanGuard::enter_with_clock("unwind_test", &clock);
+        }
+        let depth = SPAN_STACK.with(|s| s.borrow().len());
+        assert_eq!(depth, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The per-run telemetry report and its JSONL aggregation.
+//!
+//! [`RunTelemetry`] is the machine-readable summary of one pipeline run:
+//! per-epoch training records, per-phase wall-clock timings, and the
+//! cumulative privacy spend. It can be built directly, or reconstructed
+//! from a JSONL event file written by [`crate::JsonlSink`] with
+//! [`RunTelemetry::from_jsonl`], using the event conventions the
+//! instrumented crates follow (see DESIGN.md "Observability"):
+//!
+//! | target  | message   | fields                                            |
+//! |---------|-----------|---------------------------------------------------|
+//! | `run`   | `start`   | `seed`, plus free-form context                    |
+//! | `train` | `epoch`   | `epoch`, `loss`, `clip_fraction`, `grad_norm_pre`,|
+//! |         |           | `grad_norm_post`, `noise_std`, `epsilon_spent`    |
+//! | `span`  | *name*    | `secs`, `depth`, `path`                           |
+//! | `dp`    | `epsilon` | `step`, `epsilon`, `alpha`                        |
+
+use crate::json::{self, JsonValue};
+
+/// One training iteration ("epoch" in the paper's Table III sense).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochRecord {
+    /// Iteration index (0-based).
+    pub epoch: u64,
+    /// Mean batch loss.
+    pub loss: f64,
+    /// Fraction of per-subgraph gradients whose norm exceeded the clip
+    /// bound `C` (None for non-private runs, which never clip).
+    pub clip_fraction: Option<f64>,
+    /// Mean per-subgraph gradient l2 norm before clipping.
+    pub grad_norm_pre: Option<f64>,
+    /// Mean per-subgraph gradient l2 norm after clipping.
+    pub grad_norm_post: Option<f64>,
+    /// Per-coordinate noise standard deviation `σ · Δ_g` injected this
+    /// step (None for non-private runs).
+    pub noise_std: Option<f64>,
+    /// Cumulative `(ε, δ)`-DP spend through this iteration.
+    pub epsilon_spent: Option<f64>,
+}
+
+/// Aggregated wall-clock time of one named phase (a span name).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Span name (`"extraction"`, `"training"`, …).
+    pub name: String,
+    /// Total seconds across all occurrences.
+    pub secs: f64,
+    /// Number of span occurrences aggregated.
+    pub count: u64,
+}
+
+/// Machine-readable telemetry of one run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// RNG seed the run was launched with, if recorded.
+    pub seed: Option<u64>,
+    /// Per-iteration training records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Aggregated phase timings, in first-seen order.
+    pub phases: Vec<PhaseTiming>,
+    /// Cumulative ε after each accounted step (from `dp`/`epsilon`
+    /// events; empty for non-private runs).
+    pub epsilon_trace: Vec<f64>,
+    /// Total number of events aggregated.
+    pub events_total: u64,
+}
+
+impl RunTelemetry {
+    /// The total seconds recorded for phase `name`, if present.
+    pub fn phase_secs(&self, name: &str) -> Option<f64> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.secs)
+    }
+
+    /// The final cumulative ε, if any was recorded.
+    pub fn final_epsilon(&self) -> Option<f64> {
+        self.epsilon_trace
+            .last()
+            .copied()
+            .or_else(|| self.epochs.iter().rev().find_map(|e| e.epsilon_spent))
+    }
+
+    /// Reconstructs a report from JSONL event lines (the format
+    /// [`crate::JsonlSink`] writes). Unknown events count toward
+    /// `events_total` but are otherwise ignored, so the schema can grow.
+    pub fn from_jsonl(text: &str) -> Result<RunTelemetry, String> {
+        let mut report = RunTelemetry::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value =
+                json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            report.events_total += 1;
+            let target = value.get("target").and_then(JsonValue::as_str).unwrap_or("");
+            let message = value.get("message").and_then(JsonValue::as_str).unwrap_or("");
+            let field = |name: &str| value.get("fields").and_then(|f| f.get(name)).cloned();
+            let num = |name: &str| field(name).and_then(|v| v.as_f64());
+            match (target, message) {
+                ("run", "start") => {
+                    if report.seed.is_none() {
+                        report.seed = field("seed").and_then(|v| v.as_u64());
+                    }
+                }
+                ("train", "epoch") => {
+                    report.epochs.push(EpochRecord {
+                        epoch: field("epoch")
+                            .and_then(|v| v.as_u64())
+                            .unwrap_or(report.epochs.len() as u64),
+                        loss: num("loss").unwrap_or(f64::NAN),
+                        clip_fraction: num("clip_fraction"),
+                        grad_norm_pre: num("grad_norm_pre"),
+                        grad_norm_post: num("grad_norm_post"),
+                        noise_std: num("noise_std"),
+                        epsilon_spent: num("epsilon_spent"),
+                    });
+                }
+                ("span", name) => {
+                    let secs = num("secs").unwrap_or(0.0);
+                    match report.phases.iter_mut().find(|p| p.name == name) {
+                        Some(p) => {
+                            p.secs += secs;
+                            p.count += 1;
+                        }
+                        None => report.phases.push(PhaseTiming {
+                            name: name.to_string(),
+                            secs,
+                            count: 1,
+                        }),
+                    }
+                }
+                ("dp", "epsilon") => {
+                    if let Some(eps) = num("epsilon") {
+                        report.epsilon_trace.push(eps);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// Serializes to a JSON object using the built-in writer (available
+    /// with or without the `serde` feature).
+    pub fn to_json(&self) -> String {
+        use std::collections::BTreeMap;
+        let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+        let epochs: Vec<JsonValue> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                let mut m = BTreeMap::new();
+                m.insert("epoch".into(), JsonValue::Num(e.epoch as f64));
+                m.insert("loss".into(), JsonValue::Num(e.loss));
+                m.insert("clip_fraction".into(), opt(e.clip_fraction));
+                m.insert("grad_norm_pre".into(), opt(e.grad_norm_pre));
+                m.insert("grad_norm_post".into(), opt(e.grad_norm_post));
+                m.insert("noise_std".into(), opt(e.noise_std));
+                m.insert("epsilon_spent".into(), opt(e.epsilon_spent));
+                JsonValue::Obj(m)
+            })
+            .collect();
+        let phases: Vec<JsonValue> = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut m = BTreeMap::new();
+                m.insert("name".into(), JsonValue::Str(p.name.clone()));
+                m.insert("secs".into(), JsonValue::Num(p.secs));
+                m.insert("count".into(), JsonValue::Num(p.count as f64));
+                JsonValue::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert(
+            "seed".into(),
+            self.seed.map_or(JsonValue::Null, |s| JsonValue::Num(s as f64)),
+        );
+        root.insert("epochs".into(), JsonValue::Arr(epochs));
+        root.insert("phases".into(), JsonValue::Arr(phases));
+        root.insert(
+            "epsilon_trace".into(),
+            JsonValue::Arr(self.epsilon_trace.iter().map(|&e| JsonValue::Num(e)).collect()),
+        );
+        root.insert("events_total".into(), JsonValue::Num(self.events_total as f64));
+        JsonValue::Obj(root).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, FieldValue};
+    use crate::Level;
+
+    fn jsonl(events: &[Event]) -> String {
+        events.iter().map(|e| e.to_json_line() + "\n").collect()
+    }
+
+    fn epoch_event(epoch: u64, loss: f64, eps: f64) -> Event {
+        Event::new(
+            Level::Info,
+            "train",
+            "epoch",
+            vec![
+                ("epoch", FieldValue::U64(epoch)),
+                ("loss", FieldValue::F64(loss)),
+                ("clip_fraction", FieldValue::F64(0.5)),
+                ("grad_norm_pre", FieldValue::F64(2.0)),
+                ("grad_norm_post", FieldValue::F64(1.0)),
+                ("noise_std", FieldValue::F64(0.3)),
+                ("epsilon_spent", FieldValue::F64(eps)),
+            ],
+        )
+    }
+
+    #[test]
+    fn jsonl_round_trip_reconstructs_the_run() {
+        let events = vec![
+            Event::new(Level::Info, "run", "start", vec![("seed", FieldValue::U64(42))]),
+            Event::new(
+                Level::Debug,
+                "span",
+                "extraction",
+                vec![("secs", FieldValue::F64(0.5)), ("depth", FieldValue::U64(0))],
+            ),
+            epoch_event(0, 1.5, 0.8),
+            Event::new(
+                Level::Debug,
+                "dp",
+                "epsilon",
+                vec![("step", FieldValue::U64(1)), ("epsilon", FieldValue::F64(0.8))],
+            ),
+            epoch_event(1, 1.2, 1.1),
+            Event::new(
+                Level::Debug,
+                "dp",
+                "epsilon",
+                vec![("step", FieldValue::U64(2)), ("epsilon", FieldValue::F64(1.1))],
+            ),
+            Event::new(
+                Level::Debug,
+                "span",
+                "extraction",
+                vec![("secs", FieldValue::F64(0.25))],
+            ),
+            Event::new(
+                Level::Debug,
+                "span",
+                "training",
+                vec![("secs", FieldValue::F64(2.0))],
+            ),
+        ];
+        let report = RunTelemetry::from_jsonl(&jsonl(&events)).unwrap();
+        assert_eq!(report.seed, Some(42));
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.epochs[0].epoch, 0);
+        assert_eq!(report.epochs[0].loss, 1.5);
+        assert_eq!(report.epochs[0].clip_fraction, Some(0.5));
+        assert_eq!(report.epochs[1].epsilon_spent, Some(1.1));
+        assert_eq!(report.phase_secs("extraction"), Some(0.75));
+        assert_eq!(report.phase_secs("training"), Some(2.0));
+        assert_eq!(report.phases[0].count, 2);
+        assert_eq!(report.epsilon_trace, vec![0.8, 1.1]);
+        assert_eq!(report.final_epsilon(), Some(1.1));
+        assert_eq!(report.events_total, events.len() as u64);
+    }
+
+    #[test]
+    fn unknown_events_are_tolerated() {
+        let text = concat!(
+            r#"{"ts_us":1,"level":"info","target":"future","message":"thing","fields":{}}"#,
+            "\n\n",
+            r#"{"ts_us":2,"level":"info","target":"train","message":"epoch","fields":{"loss":0.5}}"#,
+            "\n",
+        );
+        let report = RunTelemetry::from_jsonl(text).unwrap();
+        assert_eq!(report.events_total, 2);
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.epochs[0].epoch, 0, "missing epoch falls back to position");
+        assert_eq!(report.epochs[0].clip_fraction, None);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let err = RunTelemetry::from_jsonl("{}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn hand_rolled_json_parses_back() {
+        let report = RunTelemetry {
+            seed: Some(7),
+            epochs: vec![EpochRecord { epoch: 0, loss: 0.5, ..EpochRecord::default() }],
+            phases: vec![PhaseTiming { name: "training".into(), secs: 1.5, count: 1 }],
+            epsilon_trace: vec![0.4],
+            events_total: 3,
+        };
+        let parsed = crate::json::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("events_total").unwrap().as_u64(), Some(3));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_round_trip() {
+        let report = RunTelemetry {
+            seed: Some(9),
+            epochs: vec![EpochRecord {
+                epoch: 1,
+                loss: 0.25,
+                clip_fraction: Some(0.1),
+                ..EpochRecord::default()
+            }],
+            phases: vec![PhaseTiming { name: "inference".into(), secs: 0.1, count: 2 }],
+            epsilon_trace: vec![0.5, 0.9],
+            events_total: 5,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

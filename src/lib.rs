@@ -14,6 +14,8 @@
 //! - [`datasets`] — synthetic datasets calibrated to the paper's Table I.
 //! - [`core`] — the PrivIM / PrivIM* pipelines, sampling schemes, loss,
 //!   the parameter-selection indicator, and all baselines.
+//! - [`obs`] — structured tracing, metrics, and run telemetry
+//!   (spans, counters/gauges/histograms, event sinks, `RunTelemetry`).
 
 pub use privim_core as core;
 pub use privim_datasets as datasets;
@@ -21,3 +23,4 @@ pub use privim_dp as dp;
 pub use privim_graph as graph;
 pub use privim_im as im;
 pub use privim_nn as nn;
+pub use privim_obs as obs;
