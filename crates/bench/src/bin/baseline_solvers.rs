@@ -69,4 +69,5 @@ fn main() {
         write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("\nwrote {path}");
     }
+    opts.finish();
 }

@@ -1,0 +1,67 @@
+//! Compares two harness result dumps and exits non-zero on regression.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json>
+//!     [--runtime-tol f]   allowed relative slowdown       (default 0.25)
+//!     [--quality-tol f]   allowed relative quality drop   (default 0.05)
+//!     [--min-runtime f]   noise floor in seconds          (default 0.01)
+//!     [--strict]          missing baseline metrics also fail
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
+//! I/O error.
+
+use std::process::ExitCode;
+
+use privim_bench::diff::{diff_json, DiffOptions};
+
+const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> \
+[--runtime-tol f] [--quality-tol f] [--min-runtime f] [--strict]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runtime-tol" => opts.runtime_tol = next_f64(&mut it, "--runtime-tol")?,
+            "--quality-tol" => opts.quality_tol = next_f64(&mut it, "--quality-tol")?,
+            "--min-runtime" => opts.min_runtime = next_f64(&mut it, "--min-runtime")?,
+            "--strict" => opts.strict = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}\n{USAGE}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err(USAGE.into());
+    };
+    let base_text = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("cannot read baseline {baseline}: {e}"))?;
+    let cand_text = std::fs::read_to_string(candidate)
+        .map_err(|e| format!("cannot read candidate {candidate}: {e}"))?;
+    let report = diff_json(&base_text, &cand_text, &opts)?;
+    print!("{}", report.render());
+    Ok(!report.has_regressions(&opts))
+}
+
+fn next_f64<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<f64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse().map_err(|e| format!("bad value for {flag}: {e}"))
+}

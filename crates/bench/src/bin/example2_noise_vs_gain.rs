@@ -77,4 +77,5 @@ fn main() {
         write_json_seeded(path, opts.seed, &json_rows).expect("write json");
         println!("wrote {path}");
     }
+    opts.finish();
 }

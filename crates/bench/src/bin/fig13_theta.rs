@@ -55,4 +55,5 @@ fn main() {
         write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
+    opts.finish();
 }

@@ -74,6 +74,7 @@ fn main() {
         write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
+    opts.finish();
 }
 
 fn to_row(r: &MethodRow) -> Vec<String> {

@@ -50,6 +50,7 @@ fn main() {
         write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");
     }
+    opts.finish();
 }
 
 fn row_of(r: &MethodRow, eps: &str) -> Vec<String> {

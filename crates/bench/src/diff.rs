@@ -1,0 +1,391 @@
+//! `bench diff`: regression comparator for harness JSON dumps.
+//!
+//! Compares two result files — either the modern `{seed, rows, telemetry}`
+//! envelope written by [`crate::report::write_json_seeded`] or a legacy
+//! bare row array — metric by metric under configurable noise tolerances.
+//! Runtime metrics regress when the candidate is *slower* than the
+//! baseline by more than `runtime_tol`; quality metrics regress when the
+//! candidate is *lower* by more than `quality_tol`. Everything else is
+//! informational. The binary exits non-zero when any metric regresses,
+//! which is what lets CI gate on a committed baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use privim_obs::json::{parse, JsonValue};
+
+/// Noise tolerances and strictness for a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// Allowed relative slowdown for runtime metrics (0.25 = 25% slower).
+    pub runtime_tol: f64,
+    /// Allowed relative drop for quality metrics (0.05 = 5% lower).
+    pub quality_tol: f64,
+    /// Runtime metrics whose baseline is below this many seconds are too
+    /// noisy to gate on and are reported as informational only.
+    pub min_runtime: f64,
+    /// Also fail when a metric present in the baseline is missing from
+    /// the candidate (default: report but do not fail).
+    pub strict: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { runtime_tol: 0.25, quality_tol: 0.05, min_runtime: 0.01, strict: false }
+    }
+}
+
+/// How a metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Lower is better; gated by `runtime_tol` (seconds-valued).
+    Runtime,
+    /// Higher is better; gated by `quality_tol`.
+    Quality,
+    /// Tracked and printed, never gated.
+    Info,
+}
+
+/// Classifies a flattened metric name.
+///
+/// Wall-clock metrics carry a `secs` suffix in every harness row
+/// (`preprocessing_secs`, `training_secs`, …) and in telemetry span sums
+/// (`span.training.sum`). Quality metrics are the spread/coverage/gain
+/// family, excluding their `_std` companions (spread noise across repeats
+/// is not a regression signal).
+pub fn classify(name: &str) -> MetricClass {
+    if (name.contains("secs") && !name.contains("per_sec")) || name.ends_with(".sum") {
+        return MetricClass::Runtime;
+    }
+    let quality = ["spread", "coverage", "gain"];
+    if quality.iter().any(|q| name.contains(q)) && !name.ends_with("_std") {
+        return MetricClass::Quality;
+    }
+    MetricClass::Info
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// `<row key> / <metric name>`.
+    pub name: String,
+    pub class: MetricClass,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// `(candidate - baseline) / |baseline|` (0 when baseline is 0).
+    pub relative: f64,
+    /// True when the change exceeds the class tolerance in the bad
+    /// direction.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two result files.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every metric present in both files, in row order.
+    pub metrics: Vec<MetricDiff>,
+    /// Metrics present in the baseline but absent from the candidate.
+    pub missing: Vec<String>,
+    /// Metrics present only in the candidate (new coverage, never fatal).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when any gated metric regressed (or, under `strict`, any
+    /// baseline metric went missing).
+    pub fn has_regressions(&self, opts: &DiffOptions) -> bool {
+        self.metrics.iter().any(|m| m.regressed) || (opts.strict && !self.missing.is_empty())
+    }
+
+    /// The regressed subset.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDiff> {
+        self.metrics.iter().filter(|m| m.regressed)
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let marker = if m.regressed {
+                "REGRESSED"
+            } else if m.class == MetricClass::Info {
+                "info"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{marker:>9}  {:<60} {:>14.6} -> {:>14.6}  ({:+.1}%)",
+                m.name,
+                m.baseline,
+                m.candidate,
+                100.0 * m.relative
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "  missing  {name}");
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "    added  {name}");
+        }
+        let n_reg = self.regressions().count();
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} regressed, {} missing, {} added",
+            self.metrics.len(),
+            n_reg,
+            self.missing.len(),
+            self.added.len()
+        );
+        out
+    }
+}
+
+/// Compares two harness JSON texts. Errors on unparseable input.
+pub fn diff_json(baseline: &str, candidate: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let base = flatten(&parse(baseline).map_err(|e| format!("baseline: {e}"))?)?;
+    let cand = flatten(&parse(candidate).map_err(|e| format!("candidate: {e}"))?)?;
+    let mut report = DiffReport::default();
+    for (name, &b) in &base {
+        let Some(&c) = cand.get(name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let class = classify(metric_part(name));
+        let relative = if b != 0.0 { (c - b) / b.abs() } else { 0.0 };
+        let regressed = match class {
+            MetricClass::Runtime => b >= opts.min_runtime && relative > opts.runtime_tol,
+            MetricClass::Quality => relative < -opts.quality_tol,
+            MetricClass::Info => false,
+        };
+        // A runtime baseline below the noise floor is informational.
+        let class = if class == MetricClass::Runtime && b < opts.min_runtime {
+            MetricClass::Info
+        } else {
+            class
+        };
+        report.metrics.push(MetricDiff {
+            name: name.clone(),
+            class,
+            baseline: b,
+            candidate: c,
+            relative,
+            regressed,
+        });
+    }
+    for name in cand.keys() {
+        if !base.contains_key(name) {
+            report.added.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
+fn metric_part(name: &str) -> &str {
+    name.rsplit(" / ").next().unwrap_or(name)
+}
+
+/// Flattens a result file into `row key / metric name -> value`.
+///
+/// Accepts the `{seed, rows, telemetry}` envelope and the legacy bare row
+/// array. Rows are keyed by their string-valued fields (plus `epsilon`,
+/// the one numeric field that identifies a configuration rather than
+/// measuring it); every other numeric field becomes a metric. Telemetry
+/// histogram sums and counters are flattened under a `telemetry` key.
+fn flatten(value: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
+    let (rows, telemetry) = match value {
+        JsonValue::Arr(_) => (value, None),
+        JsonValue::Obj(_) => {
+            let rows = value.get("rows").ok_or("object input has no `rows` field")?;
+            (rows, value.get("telemetry"))
+        }
+        _ => return Err("input must be a row array or a {seed, rows, telemetry} envelope".into()),
+    };
+    let rows = rows.as_array().ok_or("`rows` is not an array")?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let Some(fields) = row.as_object() else {
+            return Err(format!("row {i} is not an object"));
+        };
+        let mut key_parts: Vec<String> = Vec::new();
+        for (name, field) in fields {
+            if let Some(s) = field.as_str() {
+                key_parts.push(s.to_string());
+            } else if name == "epsilon" {
+                if let Some(v) = field.as_f64() {
+                    key_parts.push(format!("eps={v}"));
+                }
+            }
+        }
+        let key = if key_parts.is_empty() { format!("row{i}") } else { key_parts.join(" ") };
+        for (name, field) in fields {
+            if name == "epsilon" {
+                continue;
+            }
+            if let Some(v) = field.as_f64() {
+                out.insert(format!("{key} / {name}"), v);
+            }
+        }
+    }
+    if let Some(telemetry) = telemetry {
+        flatten_telemetry(telemetry, &mut out);
+    }
+    Ok(out)
+}
+
+fn flatten_telemetry(telemetry: &JsonValue, out: &mut BTreeMap<String, f64>) {
+    if let Some(counters) = telemetry.get("counters").and_then(JsonValue::as_object) {
+        for (name, v) in counters {
+            if let Some(v) = v.as_f64() {
+                out.insert(format!("telemetry / {name}"), v);
+            }
+        }
+    }
+    if let Some(hists) = telemetry.get("histograms").and_then(JsonValue::as_object) {
+        for (name, summary) in hists {
+            for stat in ["sum", "count", "p50"] {
+                if let Some(v) = summary.get(stat).and_then(JsonValue::as_f64) {
+                    out.insert(format!("telemetry / {name}.{stat}"), v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENVELOPE: &str = r#"{
+      "seed": 42,
+      "rows": [
+        {"dataset": "Email", "method": "PrivIM*", "epsilon": 3.0,
+         "spread_mean": 349.67, "spread_std": 4.2,
+         "preprocessing_secs": 0.02, "training_secs": 1.5, "per_epoch_secs": 0.0014},
+        {"dataset": "Email", "method": "IMM", "epsilon": 3.0,
+         "spread_mean": 360.0, "spread_std": 2.0,
+         "preprocessing_secs": 0.001, "training_secs": 0.0, "per_epoch_secs": 0.0}
+      ],
+      "telemetry": {
+        "counters": {"train.iterations": 60},
+        "gauges": {},
+        "histograms": {
+          "span.training": {"count": 3, "sum": 4.5, "min": 1.4, "max": 1.6,
+                            "p50": 1.5, "p90": 1.6, "p99": 1.6}
+        }
+      }
+    }"#;
+
+    fn with_metric(base: &str, from: &str, to: &str) -> String {
+        assert!(base.contains(from), "fixture must contain {from}");
+        base.replacen(from, to, 1)
+    }
+
+    #[test]
+    fn identical_envelopes_self_compare_clean() {
+        let report = diff_json(ENVELOPE, ENVELOPE, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(report.missing.is_empty());
+        assert!(report.added.is_empty());
+        assert!(!report.metrics.is_empty());
+        assert!(report.metrics.iter().all(|m| m.relative == 0.0));
+    }
+
+    #[test]
+    fn doubled_runtime_is_a_regression() {
+        let slow = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 3.0");
+        let report = diff_json(ENVELOPE, &slow, &DiffOptions::default()).unwrap();
+        assert!(report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1, "{}", report.render());
+        assert!(reg[0].name.ends_with("training_secs"));
+        assert_eq!(reg[0].class, MetricClass::Runtime);
+        assert!((reg[0].relative - 1.0).abs() < 1e-12, "2x slower is +100%");
+    }
+
+    #[test]
+    fn runtime_below_noise_floor_is_informational() {
+        // preprocessing_secs baseline 0.001 < min_runtime 0.01: even a 10x
+        // slowdown must not gate.
+        let slow =
+            with_metric(ENVELOPE, "\"preprocessing_secs\": 0.001", "\"preprocessing_secs\": 0.01");
+        let report = diff_json(ENVELOPE, &slow, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+    }
+
+    #[test]
+    fn quality_drop_is_a_regression_but_gain_is_not() {
+        let worse = with_metric(ENVELOPE, "\"spread_mean\": 349.67", "\"spread_mean\": 300.0");
+        let report = diff_json(ENVELOPE, &worse, &DiffOptions::default()).unwrap();
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].class, MetricClass::Quality);
+
+        let better = with_metric(ENVELOPE, "\"spread_mean\": 349.67", "\"spread_mean\": 400.0");
+        let report = diff_json(ENVELOPE, &better, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()));
+    }
+
+    #[test]
+    fn spread_std_is_not_gated() {
+        let noisy = with_metric(ENVELOPE, "\"spread_std\": 4.2", "\"spread_std\": 40.0");
+        let report = diff_json(ENVELOPE, &noisy, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+    }
+
+    #[test]
+    fn tolerances_are_respected() {
+        // +20% runtime: within the default 25%, outside a tightened 10%.
+        let slower = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 1.8");
+        let report = diff_json(ENVELOPE, &slower, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()));
+        let tight = DiffOptions { runtime_tol: 0.1, ..DiffOptions::default() };
+        let report = diff_json(ENVELOPE, &slower, &tight).unwrap();
+        assert!(report.has_regressions(&tight));
+    }
+
+    #[test]
+    fn legacy_bare_arrays_compare_against_envelopes() {
+        let legacy = r#"[
+          {"dataset": "Email", "method": "PrivIM*", "epsilon": 3.0,
+           "spread_mean": 349.67, "spread_std": 4.2,
+           "preprocessing_secs": 0.02, "training_secs": 1.5, "per_epoch_secs": 0.0014},
+          {"dataset": "Email", "method": "IMM", "epsilon": 3.0,
+           "spread_mean": 360.0, "spread_std": 2.0,
+           "preprocessing_secs": 0.001, "training_secs": 0.0, "per_epoch_secs": 0.0}
+        ]"#;
+        let report = diff_json(legacy, ENVELOPE, &DiffOptions::default()).unwrap();
+        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        // The envelope's telemetry metrics are new coverage, not missing.
+        assert!(report.missing.is_empty());
+        assert!(report.added.iter().any(|n| n.contains("span.training")));
+    }
+
+    #[test]
+    fn missing_metrics_fail_only_under_strict() {
+        let fewer = with_metric(ENVELOPE, "\"preprocessing_secs\": 0.02, ", "");
+        let report = diff_json(ENVELOPE, &fewer, &DiffOptions::default()).unwrap();
+        assert_eq!(report.missing.len(), 1);
+        assert!(!report.has_regressions(&DiffOptions::default()));
+        let strict = DiffOptions { strict: true, ..DiffOptions::default() };
+        assert!(report.has_regressions(&strict));
+    }
+
+    #[test]
+    fn classify_covers_the_metric_families() {
+        assert_eq!(classify("training_secs"), MetricClass::Runtime);
+        assert_eq!(classify("span.training.sum"), MetricClass::Runtime);
+        assert_eq!(classify("sims_per_sec"), MetricClass::Info);
+        assert_eq!(classify("spread_mean"), MetricClass::Quality);
+        assert_eq!(classify("coverage"), MetricClass::Quality);
+        assert_eq!(classify("spread_std"), MetricClass::Info);
+        assert_eq!(classify("container_size"), MetricClass::Info);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(diff_json("not json", ENVELOPE, &DiffOptions::default()).is_err());
+        assert!(diff_json("{\"seed\": 1}", ENVELOPE, &DiffOptions::default()).is_err());
+        assert!(diff_json("3.5", ENVELOPE, &DiffOptions::default()).is_err());
+    }
+}

@@ -9,17 +9,25 @@
 //! All binaries accept:
 //!
 //! ```text
-//! --scale <f64>    multiply the default replica sizes (default 1.0)
-//! --seed <u64>     base RNG seed (default 42)
-//! --repeats <n>    repetitions per configuration (default 3; paper: 5)
-//! --full           paper-scale grids (all ε, all datasets)
-//! --json <path>    also dump rows as JSON
+//! --scale <f64>         multiply the default replica sizes (default 1.0)
+//! --seed <u64>          base RNG seed (default 42)
+//! --repeats <n>         repetitions per configuration (default 3; paper: 5)
+//! --full                paper-scale grids (all ε, all datasets)
+//! --json <path>         also dump rows as JSON
+//! --telemetry-out <p>   write the run's event stream as JSON lines to <p>
+//! --profile             enable the scoped profiler; the call tree prints
+//!                       to stderr when the binary exits
 //! ```
+//!
+//! The `bench_diff` binary compares two `--json` dumps under noise
+//! tolerances and exits non-zero on regression (see [`diff`]).
 
+pub mod diff;
 pub mod experiment;
 pub mod opts;
 pub mod report;
 
+pub use diff::{diff_json, DiffOptions, DiffReport};
 pub use experiment::{bench_config, bench_graph, celf_reference, run_repeated, MethodRow};
 pub use opts::HarnessOpts;
 pub use report::{print_table, write_json, write_json_seeded};

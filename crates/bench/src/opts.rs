@@ -14,11 +14,25 @@ pub struct HarnessOpts {
     pub full: bool,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL telemetry path: every event the run emits, one JSON
+    /// object per line (parseable by `privim_obs::RunTelemetry`).
+    pub telemetry_out: Option<String>,
+    /// Enable the scoped profiler; [`HarnessOpts::finish`] prints the
+    /// call tree to stderr.
+    pub profile: bool,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        HarnessOpts { scale: 1.0, seed: 42, repeats: 3, full: false, json: None }
+        HarnessOpts {
+            scale: 1.0,
+            seed: 42,
+            repeats: 3,
+            full: false,
+            json: None,
+            telemetry_out: None,
+            profile: false,
+        }
     }
 }
 
@@ -38,9 +52,16 @@ impl HarnessOpts {
                     opts.json =
                         Some(it.next().ok_or_else(|| "--json needs a path".to_string())?)
                 }
+                "--telemetry-out" => {
+                    opts.telemetry_out = Some(
+                        it.next().ok_or_else(|| "--telemetry-out needs a path".to_string())?,
+                    )
+                }
+                "--profile" => opts.profile = true,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--scale f] [--seed u] [--repeats n] [--full] [--json path]"
+                        "usage: [--scale f] [--seed u] [--repeats n] [--full] [--json path] \
+                         [--telemetry-out path] [--profile]"
                             .into(),
                     )
                 }
@@ -57,19 +78,45 @@ impl HarnessOpts {
     }
 
     /// Parses the real process arguments, exiting with a message on error.
-    /// Also installs a stderr event sink when `PRIVIM_LOG` requests one,
-    /// so every harness binary gets structured logging for free.
+    /// Also installs a stderr event sink when `PRIVIM_LOG` requests one
+    /// (so every harness binary gets structured logging for free), a JSONL
+    /// sink when `--telemetry-out` names a file, and enables the scoped
+    /// profiler under `--profile`.
     pub fn from_env() -> Self {
         if let Some(sink) = privim_obs::StderrSink::from_env() {
             privim_obs::install_sink(std::sync::Arc::new(sink));
         }
-        match Self::parse(std::env::args()) {
+        let opts = match Self::parse(std::env::args()) {
             Ok(o) => o,
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        };
+        if let Some(path) = &opts.telemetry_out {
+            match privim_obs::JsonlSink::create(path) {
+                Ok(sink) => privim_obs::install_sink(std::sync::Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot create telemetry file {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
+        privim_obs::set_profiling(opts.profile);
+        opts
+    }
+
+    /// End-of-run hook: flushes sinks, and under `--profile` prints the
+    /// merged call tree to stderr. Harness binaries call this last.
+    pub fn finish(&self) {
+        if self.profile {
+            let report = privim_obs::profile_report();
+            if !report.is_empty() {
+                eprintln!("\nprofile (self-time sorted within siblings):");
+                eprint!("{}", report.render_table());
+            }
+        }
+        privim_obs::flush_sinks();
     }
 }
 
@@ -102,6 +149,7 @@ mod tests {
     fn parses_all_flags() {
         let o = parse(&[
             "--scale", "0.5", "--seed", "7", "--repeats", "5", "--full", "--json", "out.json",
+            "--telemetry-out", "out.jsonl", "--profile",
         ])
         .unwrap();
         assert_eq!(o.scale, 0.5);
@@ -109,6 +157,8 @@ mod tests {
         assert_eq!(o.repeats, 5);
         assert!(o.full);
         assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert_eq!(o.telemetry_out.as_deref(), Some("out.jsonl"));
+        assert!(o.profile);
     }
 
     #[test]
@@ -117,6 +167,7 @@ mod tests {
         assert!(parse(&["--scale", "abc"]).is_err());
         assert!(parse(&["--scale", "0"]).is_err());
         assert!(parse(&["--repeats", "0"]).is_err());
+        assert!(parse(&["--telemetry-out"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

@@ -45,25 +45,30 @@ pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, rows: &T) -> std::io::R
 }
 
 /// The envelope [`write_json_seeded`] emits: the base RNG seed the run
-/// was launched with, the result rows, and (when any metric was
-/// recorded) a snapshot of the process-global telemetry metrics.
+/// was launched with, the result rows, (when any metric was recorded) a
+/// snapshot of the process-global telemetry metrics, and (when the
+/// profiler is enabled) the merged call tree.
 #[derive(Serialize)]
 struct SeededReport<'a, T> {
     seed: u64,
     rows: &'a T,
     #[serde(skip_serializing_if = "MetricsSnapshot::is_empty")]
     telemetry: MetricsSnapshot,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    profile: Option<privim_obs::ProfileReport>,
 }
 
 /// Writes `rows` wrapped in a `{seed, rows, telemetry}` envelope so every
 /// harness dump records which `--seed` produced it and what the run's
-/// metrics looked like.
+/// metrics looked like. Under `--profile` the envelope also carries the
+/// profiler's call tree.
 pub fn write_json_seeded<T: Serialize, P: AsRef<Path>>(
     path: P,
     seed: u64,
     rows: &T,
 ) -> std::io::Result<()> {
-    let report = SeededReport { seed, rows, telemetry: privim_obs::snapshot() };
+    let profile = Some(privim_obs::profile_report()).filter(|r| !r.is_empty());
+    let report = SeededReport { seed, rows, telemetry: privim_obs::snapshot(), profile };
     let json = serde_json::to_string_pretty(&report).expect("serializable rows");
     std::fs::write(path, json)
 }

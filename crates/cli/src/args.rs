@@ -86,6 +86,13 @@ GLOBAL FLAGS (any subcommand):
                   structured events on stderr (overrides PRIVIM_LOG)
   --telemetry-out <path>
                   write every event as JSON lines to <path>
+  --profile       time hot kernels; print the call tree to stderr on exit
+  --profile-out <path>
+                  also write the profile as folded-stack flamegraph text
+  --metrics-out <path>
+                  write final metrics in Prometheus text format
+  --report-out <path>
+                  write a self-contained HTML run report
 
 Datasets: email, bitcoin, lastfm, hepph, facebook, gowalla.
 Graph files: whitespace edge lists ('src dst [weight]', ids 0..N-1,
@@ -102,6 +109,16 @@ pub struct ObsArgs {
     pub log_off: bool,
     /// JSONL telemetry file (`--telemetry-out`).
     pub telemetry_out: Option<String>,
+    /// Enable the scoped profiler (`--profile`); the call tree prints to
+    /// stderr when the command finishes.
+    pub profile: bool,
+    /// Folded-stack flamegraph text file (`--profile-out`); implies
+    /// [`ObsArgs::profile`].
+    pub profile_out: Option<String>,
+    /// Prometheus text-format metrics file (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Self-contained HTML run-report file (`--report-out`).
+    pub report_out: Option<String>,
 }
 
 impl ObsArgs {
@@ -138,6 +155,20 @@ pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsArgs), String>
             "--telemetry-out" => {
                 let v = it.next().ok_or("--telemetry-out needs a value")?;
                 obs.telemetry_out = Some(v.clone());
+            }
+            "--profile" => obs.profile = true,
+            "--profile-out" => {
+                let v = it.next().ok_or("--profile-out needs a value")?;
+                obs.profile = true;
+                obs.profile_out = Some(v.clone());
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a value")?;
+                obs.metrics_out = Some(v.clone());
+            }
+            "--report-out" => {
+                let v = it.next().ok_or("--report-out needs a value")?;
+                obs.report_out = Some(v.clone());
             }
             _ => rest.push(arg.clone()),
         }
@@ -420,6 +451,7 @@ mod tests {
     fn obs_flags_are_split_from_any_position() {
         let argv: Vec<String> = [
             "train", "--log-level", "debug", "--graph", "g.bin", "--telemetry-out", "run.jsonl",
+            "--profile", "--metrics-out", "m.prom", "--report-out", "r.html",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -427,12 +459,27 @@ mod tests {
         let (rest, obs) = split_obs_args(&argv).unwrap();
         assert_eq!(obs.log_level, Some(privim_obs::Level::Debug));
         assert_eq!(obs.telemetry_out.as_deref(), Some("run.jsonl"));
+        assert!(obs.profile);
+        assert_eq!(obs.profile_out, None);
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(obs.report_out.as_deref(), Some("r.html"));
         assert_eq!(rest, vec!["train", "--graph", "g.bin"]);
         // The remaining args still parse as a normal train command.
         match parse_command(&rest).unwrap() {
             Command::Train(a) => assert_eq!(a.graph, "g.bin"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn profile_out_implies_profile() {
+        let argv: Vec<String> =
+            ["help", "--profile-out", "flame.txt"].iter().map(|s| s.to_string()).collect();
+        let (_, obs) = split_obs_args(&argv).unwrap();
+        assert!(obs.profile, "--profile-out must enable the profiler");
+        assert_eq!(obs.profile_out.as_deref(), Some("flame.txt"));
+        let argv: Vec<String> = ["--metrics-out"].iter().map(|s| s.to_string()).collect();
+        assert!(split_obs_args(&argv).unwrap_err().contains("--metrics-out"));
     }
 
     #[test]

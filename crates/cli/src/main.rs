@@ -53,18 +53,21 @@ fn exec(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(command) {
+    let code = match run(command) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             console_err(format!("error: {msg}"));
             ExitCode::FAILURE
         }
-    }
+    };
+    write_observability_outputs(&obs);
+    code
 }
 
 /// Installs the stderr and JSONL sinks requested by the global flags (or
-/// the `PRIVIM_LOG` environment variable). With neither configured this
-/// installs nothing and telemetry stays at its zero-overhead default.
+/// the `PRIVIM_LOG` environment variable) and enables the profiler when
+/// asked. With nothing configured this installs nothing and telemetry
+/// stays at its zero-overhead default.
 fn init_observability(obs: &ObsArgs) -> Result<(), String> {
     if let Some(level) = obs.effective_level() {
         privim_obs::install_sink(Arc::new(privim_obs::StderrSink::new(level)));
@@ -74,7 +77,49 @@ fn init_observability(obs: &ObsArgs) -> Result<(), String> {
             .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
         privim_obs::install_sink(Arc::new(sink));
     }
+    privim_obs::set_profiling(obs.profile);
     Ok(())
+}
+
+/// Writes the export files requested by `--profile-out`, `--metrics-out`
+/// and `--report-out` once the command has finished, and under
+/// `--profile` prints the call tree to stderr. Export failures warn but
+/// never change the exit code: the run itself already succeeded.
+fn write_observability_outputs(obs: &ObsArgs) {
+    privim_obs::flush_sinks();
+    let profile = privim_obs::profile_report();
+    if obs.profile && !profile.is_empty() {
+        eprintln!("\nprofile (total time, self time, calls):");
+        eprint!("{}", profile.render_table());
+    }
+    let mut write = |path: &str, what: &str, content: String| {
+        if let Err(e) = std::fs::write(path, content) {
+            console_err(format!("warning: cannot write {what} to {path}: {e}"));
+        }
+    };
+    if let Some(path) = &obs.profile_out {
+        write(path, "flamegraph", profile.render_flamegraph());
+    }
+    if let Some(path) = &obs.metrics_out {
+        let text = privim_obs::render_prometheus_with_profile(&privim_obs::snapshot(), &profile);
+        write(path, "metrics", text);
+    }
+    if let Some(path) = &obs.report_out {
+        // The HTML report is richest when the event stream is on disk:
+        // re-parse it so phases, epochs and the privacy ledger render too.
+        let telemetry = obs
+            .telemetry_out
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|text| privim_obs::RunTelemetry::from_jsonl(&text).ok());
+        let html = privim_obs::render_html_report(
+            "privim run",
+            telemetry.as_ref(),
+            &privim_obs::snapshot(),
+            &profile,
+        );
+        write(path, "HTML report", html);
+    }
 }
 
 fn run(command: Command) -> Result<(), String> {

@@ -10,6 +10,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use privim_dp::ledger::{MechanismKind, PrivacyLedger};
 use privim_dp::mechanisms::{gaussian, symmetric_multivariate_laplace};
 use privim_dp::rdp::{calibrate_sigma, RdpAccountant, SubsampledConfig};
 use privim_nn::models::GnnModel;
@@ -143,6 +144,12 @@ pub fn train<R: Rng + ?Sized>(
     let epsilon_schedule: Option<Vec<(f64, f64)>> = privacy
         .filter(|_| privim_obs::enabled(privim_obs::Level::Info))
         .map(|setup| setup.epsilon_schedule(config, m));
+    // The budget ledger appends one entry (and emits a `dp`/`mechanism`
+    // event) per noisy step. Like the schedule above, it only runs when a
+    // sink listens, and it never touches `rng`.
+    let mut ledger: Option<PrivacyLedger> = privacy
+        .filter(|_| privim_obs::enabled(privim_obs::Level::Debug))
+        .map(|setup| PrivacyLedger::new(setup.delta));
 
     for iter in 0..config.iterations {
         let chosen: Vec<usize> = indices.choose_multiple(rng, batch).copied().collect();
@@ -229,9 +236,25 @@ pub fn train<R: Rng + ?Sized>(
             if let Some((eps, alpha)) = spent {
                 privim_obs::debug!("dp", "epsilon", step = iter + 1, epsilon = eps, alpha = alpha);
             }
+            if let Some(ledger) = ledger.as_mut() {
+                let kind = match setup.noise {
+                    NoiseKind::Gaussian => MechanismKind::SubsampledGaussian,
+                    NoiseKind::SymmetricLaplace => MechanismKind::SubsampledSml,
+                };
+                let sensitivity = config.clip_bound * setup.max_occurrences as f64;
+                let sub = setup.subsampled_config(config, m);
+                ledger.record_step(kind, setup.sigma, sensitivity, &sub);
+            }
         } else {
             privim_obs::info!("train", "epoch", epoch = iter, loss = mean_loss);
         }
+    }
+
+    if let Some(ledger) = &ledger {
+        debug_assert!(
+            ledger.verify_replay(1e-9).is_ok(),
+            "privacy ledger replay diverged from its recorded epsilons"
+        );
     }
 
     TrainReport {

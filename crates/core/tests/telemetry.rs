@@ -1,9 +1,10 @@
 //! End-to-end telemetry: a private pipeline run with a JSONL sink
 //! installed must produce an event stream that parses back into a
 //! [`privim_obs::RunTelemetry`] carrying per-epoch losses, clip
-//! fractions, phase timings, and the cumulative ε spend — and installing
-//! the sink must not change the run's numeric results (instrumentation
-//! may never consume RNG).
+//! fractions, phase timings, the cumulative ε spend and the privacy
+//! ledger — and neither installing the sink nor enabling the profiler
+//! may change the run's numeric results (instrumentation never consumes
+//! RNG).
 
 use std::sync::Arc;
 
@@ -101,8 +102,59 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
         *report.epsilon_trace.last().unwrap()
     );
 
+    // Privacy-budget ledger: one record per noisy step, carrying the
+    // mechanism parameters, and replayable offline to the same ε.
+    assert_eq!(report.ledger.len(), cfg.iterations, "one ledger record per iteration");
+    for (i, rec) in report.ledger.iter().enumerate() {
+        assert_eq!(rec.step, i as u64 + 1);
+        assert_eq!(rec.mechanism, "subsampled_gaussian");
+        assert_eq!(Some(rec.sigma), instrumented.sigma, "ledger σ must match the run's");
+        assert!(rec.sensitivity > 0.0);
+        assert!(rec.sampling_rate > 0.0 && rec.sampling_rate <= 1.0);
+        assert!(
+            (rec.epsilon_after - report.epsilon_trace[i]).abs() <= 1e-9,
+            "ledger ε diverges from the dp/epsilon trace at step {}",
+            i + 1
+        );
+    }
+    let replayed = privim_dp::replay_records(&report.ledger, &privim_dp::rdp::DEFAULT_ORDERS);
+    assert_eq!(replayed.len(), report.ledger.len());
+    for (rec, &(eps, _alpha)) in report.ledger.iter().zip(&replayed) {
+        assert!(
+            (rec.epsilon_after - eps).abs() <= 1e-9,
+            "replaying the ledger must reproduce the accountant: step {} recorded {} vs {}",
+            rec.step,
+            rec.epsilon_after,
+            eps
+        );
+    }
+
     // Metrics side-channel: the global registry saw the same run.
     let snap = privim_obs::snapshot();
     assert!(snap.counters.get("train.iterations").copied().unwrap_or(0) >= cfg.iterations as u64);
     assert!(snap.histograms.contains_key("span.training"));
+
+    // Profiler off (the default): the baseline/instrumented equality above
+    // already proves bit-identical output. Profiler on: still bit-identical
+    // (scopes read clocks, never the RNG), and the call tree is populated.
+    privim_obs::set_profiling(true);
+    let profiled = run_once(&g, &cfg);
+    privim_obs::set_profiling(false);
+    assert_eq!(baseline.seeds, profiled.seeds, "profiler changed the RNG stream");
+    assert_eq!(baseline.spread, profiled.spread);
+    assert_eq!(baseline.sigma, profiled.sigma);
+
+    let prof = privim_obs::profile_report();
+    assert!(!prof.is_empty(), "profiled run must record scopes");
+    for scope in ["training", "nn.matmul", "nn.matmul.bwd"] {
+        assert!(
+            prof.rows.iter().any(|r| r.name == scope && r.calls > 0),
+            "missing profile scope {scope}:\n{}",
+            prof.render_table()
+        );
+    }
+    // FLOP counters only tick while profiling is enabled.
+    let snap = privim_obs::snapshot();
+    assert!(snap.counters.get("nn.flops.matmul").copied().unwrap_or(0) > 0);
+    privim_obs::reset_profile();
 }

@@ -1,0 +1,359 @@
+//! Append-only privacy-budget ledger.
+//!
+//! Every mechanism invocation in a private training run appends one
+//! [`LedgerEntry`] recording the mechanism kind, noise multiplier σ,
+//! sensitivity Δ_g, subsampling structure, and the accountant's
+//! cumulative `(ε, α)` after the step. The ledger does its own RDP
+//! bookkeeping with exactly the same accumulate-then-convert arithmetic
+//! as [`RdpAccountant::epsilon_schedule`], so its running ε *is* the
+//! accountant's — and because each entry carries the full mechanism
+//! parameters, the whole accounting can be replayed offline from the
+//! entries alone ([`replay_records`]) or checked in-process
+//! ([`PrivacyLedger::verify_replay`]): the reconstructed cumulative ε
+//! must match the recorded one to within 1e-9.
+//!
+//! With an event sink listening at `Debug`, every recorded step also
+//! emits a `dp`/`mechanism` event, which
+//! [`privim_obs::RunTelemetry::from_jsonl`] aggregates back into
+//! [`privim_obs::LedgerRecord`]s.
+
+use serde::{Deserialize, Serialize};
+
+use privim_obs::LedgerRecord;
+
+use crate::rdp::{rdp_to_epsilon, subsampled_gaussian_rdp, SubsampledConfig, DEFAULT_ORDERS};
+
+/// The noise mechanism an entry accounts for. Both kinds are calibrated
+/// through the same subsampled-Gaussian RDP bound (Theorem 3); the kind
+/// records which sampler actually injected the noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// Per-coordinate Gaussian noise on the clipped gradient sum.
+    SubsampledGaussian,
+    /// Symmetric multivariate Laplace noise (the paper's Theorem 2
+    /// mechanism), accounted via the same Gaussian RDP machinery.
+    SubsampledSml,
+}
+
+impl MechanismKind {
+    /// Stable string name used in events and telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MechanismKind::SubsampledGaussian => "subsampled_gaussian",
+            MechanismKind::SubsampledSml => "subsampled_sml",
+        }
+    }
+}
+
+/// One recorded mechanism invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Accounted step index (1-based).
+    pub step: u64,
+    /// Which mechanism ran.
+    pub mechanism: MechanismKind,
+    /// Noise multiplier σ.
+    pub sigma: f64,
+    /// Group sensitivity Δ_g = C · N_g (the noise std is σ · Δ_g).
+    pub sensitivity: f64,
+    /// Subsampling rate q = N_g / m.
+    pub sampling_rate: f64,
+    /// Subsampling structure (N_g, B, m) the RDP bound was evaluated at.
+    pub config: SubsampledConfig,
+    /// Target δ of the RDP→(ε, δ) conversion.
+    pub delta: f64,
+    /// This step's RDP increment γ(α) at the realized best order α.
+    pub gamma_step: f64,
+    /// Cumulative ε after this step.
+    pub epsilon_after: f64,
+    /// The order α that realized the ε minimum.
+    pub alpha: f64,
+}
+
+impl LedgerEntry {
+    /// Converts to the telemetry-layer record (the same shape
+    /// `dp`/`mechanism` events parse back into).
+    pub fn to_record(&self) -> LedgerRecord {
+        LedgerRecord {
+            step: self.step,
+            mechanism: self.mechanism.as_str().to_string(),
+            sigma: self.sigma,
+            sensitivity: self.sensitivity,
+            sampling_rate: self.sampling_rate,
+            max_occurrences: self.config.max_occurrences as u64,
+            batch_size: self.config.batch_size as u64,
+            container_size: self.config.container_size as u64,
+            delta: self.delta,
+            epsilon_after: self.epsilon_after,
+            alpha: self.alpha,
+        }
+    }
+}
+
+/// The append-only ledger plus its internal RDP state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    orders: Vec<f64>,
+    gammas: Vec<f64>,
+    delta: f64,
+    entries: Vec<LedgerEntry>,
+}
+
+impl PrivacyLedger {
+    /// A fresh ledger over the default α grid, converting at `delta`.
+    pub fn new(delta: f64) -> Self {
+        PrivacyLedger::with_orders(&DEFAULT_ORDERS, delta)
+    }
+
+    /// A fresh ledger over an explicit α grid.
+    pub fn with_orders(orders: &[f64], delta: f64) -> Self {
+        assert!(!orders.is_empty() && orders.iter().all(|&a| a > 1.0), "orders must be > 1");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        PrivacyLedger {
+            orders: orders.to_vec(),
+            gammas: vec![0.0; orders.len()],
+            delta,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one mechanism invocation: accumulates its RDP cost on
+    /// every order, converts to the running `(ε, α)`, appends the entry,
+    /// and (with a `Debug` sink listening) emits a `dp`/`mechanism`
+    /// event. Returns the cumulative `(ε, α)` after the step.
+    pub fn record_step(
+        &mut self,
+        mechanism: MechanismKind,
+        sigma: f64,
+        sensitivity: f64,
+        config: &SubsampledConfig,
+    ) -> (f64, f64) {
+        for (gamma, &alpha) in self.gammas.iter_mut().zip(&self.orders) {
+            *gamma += subsampled_gaussian_rdp(alpha, sigma, config);
+        }
+        let (epsilon_after, alpha) = best_epsilon(&self.orders, &self.gammas, self.delta);
+        let entry = LedgerEntry {
+            step: self.entries.len() as u64 + 1,
+            mechanism,
+            sigma,
+            sensitivity,
+            sampling_rate: config.affected_fraction(),
+            config: *config,
+            delta: self.delta,
+            gamma_step: subsampled_gaussian_rdp(alpha, sigma, config),
+            epsilon_after,
+            alpha,
+        };
+        privim_obs::debug!(
+            "dp",
+            "mechanism",
+            step = entry.step,
+            mechanism = entry.mechanism.as_str(),
+            sigma = entry.sigma,
+            sensitivity = entry.sensitivity,
+            sampling_rate = entry.sampling_rate,
+            max_occurrences = entry.config.max_occurrences,
+            batch_size = entry.config.batch_size,
+            container_size = entry.config.container_size,
+            delta = entry.delta,
+            gamma_step = entry.gamma_step,
+            epsilon_after = entry.epsilon_after,
+            alpha = entry.alpha,
+        );
+        self.entries.push(entry);
+        (epsilon_after, alpha)
+    }
+
+    /// The recorded entries, in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// The α grid this ledger accounts over.
+    pub fn orders(&self) -> &[f64] {
+        &self.orders
+    }
+
+    /// Cumulative ε after the last recorded step, if any.
+    pub fn cumulative_epsilon(&self) -> Option<f64> {
+        self.entries.last().map(|e| e.epsilon_after)
+    }
+
+    /// The entries as telemetry-layer records.
+    pub fn to_records(&self) -> Vec<LedgerRecord> {
+        self.entries.iter().map(LedgerEntry::to_record).collect()
+    }
+
+    /// Invariant check: replays the ledger from its entries alone and
+    /// verifies the reconstructed cumulative ε matches every recorded
+    /// `epsilon_after` to within `tolerance` (use 1e-9). Returns the
+    /// first violation as an error.
+    pub fn verify_replay(&self, tolerance: f64) -> Result<(), String> {
+        let records = self.to_records();
+        let replayed = replay_records(&records, &self.orders);
+        for (entry, &(eps, _alpha)) in self.entries.iter().zip(&replayed) {
+            let diff = (entry.epsilon_after - eps).abs();
+            if !(diff <= tolerance) {
+                return Err(format!(
+                    "ledger replay diverged at step {}: recorded ε = {}, replayed ε = {} \
+                     (|Δ| = {diff:e} > {tolerance:e})",
+                    entry.step, entry.epsilon_after, eps,
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn best_epsilon(orders: &[f64], gammas: &[f64], delta: f64) -> (f64, f64) {
+    orders
+        .iter()
+        .zip(gammas)
+        .map(|(&alpha, &gamma)| (rdp_to_epsilon(gamma, alpha, delta), alpha))
+        .filter(|(eps, _)| eps.is_finite())
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("at least one order yields finite epsilon")
+}
+
+/// Replays RDP accounting from telemetry-layer ledger records alone:
+/// re-evaluates each step's γ(α) from its recorded `(σ, N_g, B, m)`,
+/// accumulates over `orders`, and converts with each record's δ.
+/// Returns the cumulative `(ε, best α)` after every record — the values
+/// the accountant reported when the run happened, reconstructed without
+/// the accountant.
+pub fn replay_records(records: &[LedgerRecord], orders: &[f64]) -> Vec<(f64, f64)> {
+    let mut gammas = vec![0.0f64; orders.len()];
+    let mut out = Vec::with_capacity(records.len());
+    for record in records {
+        let config = SubsampledConfig {
+            max_occurrences: record.max_occurrences as usize,
+            batch_size: record.batch_size as usize,
+            container_size: record.container_size as usize,
+        };
+        for (gamma, &alpha) in gammas.iter_mut().zip(orders) {
+            *gamma += subsampled_gaussian_rdp(alpha, record.sigma, &config);
+        }
+        out.push(best_epsilon(orders, &gammas, record.delta));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdp::RdpAccountant;
+
+    fn fill(ledger: &mut PrivacyLedger, sigma: f64, config: &SubsampledConfig, steps: usize) {
+        for _ in 0..steps {
+            ledger.record_step(MechanismKind::SubsampledGaussian, sigma, 2.0, config);
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_the_accountants_epsilon() {
+        let config =
+            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        fill(&mut ledger, 1.2, &config, 5);
+        let schedule = RdpAccountant::default().epsilon_schedule(1.2, &config, 5, 1e-5);
+        assert_eq!(ledger.entries().len(), 5);
+        for (entry, &(eps, alpha)) in ledger.entries().iter().zip(&schedule) {
+            assert!(
+                (entry.epsilon_after - eps).abs() < 1e-12,
+                "step {}: ledger {} vs schedule {eps}",
+                entry.step,
+                entry.epsilon_after,
+            );
+            assert_eq!(entry.alpha, alpha);
+        }
+        assert_eq!(ledger.cumulative_epsilon(), Some(schedule.last().unwrap().0));
+    }
+
+    #[test]
+    fn replay_matches_accountant_across_configurations() {
+        // Acceptance criterion: replayed cumulative ε within 1e-9 of the
+        // accountant's, across at least two (σ, sampling-rate) configs.
+        let cases = [
+            (
+                1.2,
+                SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 },
+                20,
+            ),
+            (
+                3.5,
+                SubsampledConfig { max_occurrences: 12, batch_size: 32, container_size: 96 },
+                35,
+            ),
+            (
+                0.8,
+                SubsampledConfig { max_occurrences: 2, batch_size: 8, container_size: 1024 },
+                50,
+            ),
+        ];
+        for (sigma, config, steps) in cases {
+            let mut ledger = PrivacyLedger::new(1e-5);
+            fill(&mut ledger, sigma, &config, steps);
+            ledger.verify_replay(1e-9).expect("replay invariant");
+
+            // And against the accountant's one-shot composition.
+            let mut acct = RdpAccountant::default();
+            acct.compose_subsampled_gaussian(sigma, &config, steps);
+            let (acct_eps, _) = acct.epsilon(1e-5);
+            let replayed = replay_records(&ledger.to_records(), ledger.orders());
+            let (replay_eps, _) = *replayed.last().unwrap();
+            assert!(
+                (acct_eps - replay_eps).abs() < 1e-9,
+                "σ={sigma} q={}: accountant ε = {acct_eps}, replayed ε = {replay_eps}",
+                config.affected_fraction(),
+            );
+        }
+    }
+
+    #[test]
+    fn replay_handles_mixed_mechanism_parameters() {
+        // σ changing mid-run (e.g. adaptive schedules) must replay too.
+        let c1 = SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let c2 = SubsampledConfig { max_occurrences: 8, batch_size: 16, container_size: 128 };
+        let mut ledger = PrivacyLedger::new(1e-6);
+        fill(&mut ledger, 1.5, &c1, 10);
+        fill(&mut ledger, 2.5, &c2, 10);
+        assert_eq!(ledger.entries().len(), 20);
+        ledger.verify_replay(1e-9).expect("mixed-parameter replay");
+        // ε strictly grows across the whole run.
+        for w in ledger.entries().windows(2) {
+            assert!(w[1].epsilon_after > w[0].epsilon_after);
+        }
+    }
+
+    #[test]
+    fn verify_replay_detects_tampering() {
+        let config =
+            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        fill(&mut ledger, 1.2, &config, 3);
+        ledger.entries[1].epsilon_after += 1e-6;
+        let err = ledger.verify_replay(1e-9).unwrap_err();
+        assert!(err.contains("step 2"), "{err}");
+    }
+
+    #[test]
+    fn entries_carry_the_mechanism_parameters() {
+        let config =
+            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        ledger.record_step(MechanismKind::SubsampledSml, 2.0, 3.5, &config);
+        let e = &ledger.entries()[0];
+        assert_eq!(e.step, 1);
+        assert_eq!(e.mechanism, MechanismKind::SubsampledSml);
+        assert_eq!(e.sigma, 2.0);
+        assert_eq!(e.sensitivity, 3.5);
+        assert!((e.sampling_rate - 4.0 / 256.0).abs() < 1e-15);
+        assert!(e.gamma_step > 0.0);
+        assert!(e.epsilon_after > 0.0);
+        assert!(e.alpha > 1.0);
+        let record = e.to_record();
+        assert_eq!(record.mechanism, "subsampled_sml");
+        assert_eq!(record.max_occurrences, 4);
+        assert_eq!(record.epsilon_after, e.epsilon_after);
+    }
+}

@@ -6,6 +6,10 @@
 //! - [`rdp`] — the paper's Theorem 3 Rényi-DP accountant for the
 //!   subgraph-sampled Gaussian mechanism, Theorem 1 conversion to
 //!   `(ε, δ)`-DP, and noise-multiplier calibration.
+//! - [`ledger`] — the append-only privacy-budget ledger: one entry per
+//!   mechanism invocation (kind, σ, Δ_g, sampling structure, cumulative
+//!   ε), exported as `dp`/`mechanism` telemetry events and replayable
+//!   offline to re-derive the accountant's ε.
 //!
 //! # Example: calibrate noise for a PrivIM* run
 //!
@@ -28,11 +32,13 @@
 //! ```
 
 pub mod composition;
+pub mod ledger;
 pub mod math;
 pub mod mechanisms;
 pub mod rdp;
 
 pub use composition::{advanced_composition, basic_composition};
+pub use ledger::{replay_records, LedgerEntry, MechanismKind, PrivacyLedger};
 pub use mechanisms::{gaussian, laplace, symmetric_multivariate_laplace};
 pub use rdp::{
     AdjacencyLevel,

@@ -5,6 +5,7 @@
 //! subgraphs — plus BFS and weakly connected components used for dataset
 //! validation.
 
+use privim_obs::ProfScope;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -19,6 +20,7 @@ use crate::csr::{Graph, GraphBuilder, NodeId};
 /// of its in-edges; all other edges are preserved. The node set is
 /// unchanged.
 pub fn theta_projection<R: Rng + ?Sized>(g: &Graph, theta: usize, rng: &mut R) -> Graph {
+    let _prof = ProfScope::enter("graph.theta_projection");
     let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
     let mut keep: Vec<usize> = Vec::new();
     for u in g.nodes() {
@@ -38,7 +40,12 @@ pub fn theta_projection<R: Rng + ?Sized>(g: &Graph, theta: usize, rng: &mut R) -
             }
         }
     }
-    b.build()
+    let out = b.build();
+    privim_obs::counter("graph.projection.calls").add(1);
+    privim_obs::counter("graph.projection.edges_kept").add(out.num_edges() as u64);
+    privim_obs::counter("graph.projection.edges_dropped")
+        .add((g.num_edges() - out.num_edges()) as u64);
+    out
 }
 
 /// Collects all nodes within `r` hops of `v0` following *out*-edges
@@ -46,6 +53,7 @@ pub fn theta_projection<R: Rng + ?Sized>(g: &Graph, theta: usize, rng: &mut R) -
 ///
 /// `v0` itself is included (hop 0). Returns the set of reachable nodes.
 pub fn khop_neighborhood(g: &Graph, v0: NodeId, r: usize) -> FastHashSet<NodeId> {
+    let _prof = ProfScope::enter("graph.khop");
     let mut seen = fast_set_with_capacity(64);
     seen.insert(v0);
     let mut frontier = vec![v0];
@@ -64,6 +72,8 @@ pub fn khop_neighborhood(g: &Graph, v0: NodeId, r: usize) -> FastHashSet<NodeId>
         }
         std::mem::swap(&mut frontier, &mut next);
     }
+    privim_obs::counter("graph.khop.calls").add(1);
+    privim_obs::counter("graph.khop.nodes_visited").add(seen.len() as u64);
     seen
 }
 
@@ -75,6 +85,7 @@ pub fn khop_neighborhood(g: &Graph, v0: NodeId, r: usize) -> FastHashSet<NodeId>
 /// their weights. Duplicate entries in `nodes` are a programmer error and
 /// panic in debug builds.
 pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
+    let _prof = ProfScope::enter("graph.induced_subgraph");
     let mut index = fast_map_with_capacity(nodes.len());
     for (i, &v) in nodes.iter().enumerate() {
         let prev = index.insert(v, i as NodeId);
@@ -88,7 +99,10 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
             }
         }
     }
-    b.build()
+    let out = b.build();
+    privim_obs::counter("graph.induced.calls").add(1);
+    privim_obs::counter("graph.induced.edges").add(out.num_edges() as u64);
+    out
 }
 
 /// Breadth-first search from `src` following out-edges; returns hop

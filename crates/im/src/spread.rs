@@ -33,10 +33,31 @@ pub fn influence_spread<R: Rng + ?Sized>(
         return deterministic_one_step_coverage(g, seeds) as f64;
     }
     assert!(trials > 0, "need at least one trial");
+    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
     let started = std::time::Instant::now();
-    let total: usize = (0..trials).map(|_| simulate_cascade(g, seeds, config, rng)).sum();
+    let total: usize = (0..trials)
+        .map(|_| {
+            let trial = timed_trial_start();
+            let n = simulate_cascade(g, seeds, config, rng);
+            timed_trial_end(trial);
+            n
+        })
+        .sum();
     record_mc_telemetry(trials, started.elapsed().as_secs_f64(), None);
     total as f64 / trials as f64
+}
+
+/// Starts a per-trial timer, but only while profiling is enabled — the
+/// clock read would otherwise dominate microsecond-scale cascades.
+fn timed_trial_start() -> Option<std::time::Instant> {
+    privim_obs::profiling_enabled().then(std::time::Instant::now)
+}
+
+/// Records one Monte-Carlo trial's wall time into `im.trial_secs`.
+fn timed_trial_end(started: Option<std::time::Instant>) {
+    if let Some(t) = started {
+        privim_obs::histogram("im.trial_secs").record(t.elapsed().as_secs_f64());
+    }
 }
 
 /// Shared Monte-Carlo telemetry: throughput metrics always (a few relaxed
@@ -99,9 +120,16 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
         return SpreadEstimate { mean: exact, half_width: 0.0, trials: 1 };
     }
     assert!(trials >= 2, "need at least two trials for a CI");
+    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
     let started = std::time::Instant::now();
-    let samples: Vec<f64> =
-        (0..trials).map(|_| simulate_cascade(g, seeds, config, rng) as f64).collect();
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let trial = timed_trial_start();
+            let n = simulate_cascade(g, seeds, config, rng);
+            timed_trial_end(trial);
+            n as f64
+        })
+        .collect();
     let mean = samples.iter().sum::<f64>() / trials as f64;
     let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
         / (trials as f64 - 1.0);
@@ -128,6 +156,7 @@ pub fn influence_spread_parallel(
         return deterministic_one_step_coverage(g, seeds) as f64;
     }
     assert!(trials > 0 && n_threads > 0, "need at least one trial and thread");
+    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
     let started = std::time::Instant::now();
     let n_threads = n_threads.min(trials);
     let per = trials / n_threads;

@@ -7,7 +7,10 @@
 
 use std::rc::Rc;
 
+use privim_obs::ProfScope;
+
 use crate::matrix::Matrix;
+use crate::profiling::add_count;
 use crate::tape::{Tape, Var};
 
 impl Tape {
@@ -26,6 +29,8 @@ impl Tape {
     ) -> Var {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
         assert_eq!(src.len(), coeff.len(), "coeff length mismatch");
+        let _prof = ProfScope::enter("nn.spmm");
+        add_count("nn.edges.spmm", src.len() as u64);
         let hv = self.value(h);
         let d = hv.cols();
         let mut out = Matrix::zeros(n_out, d);
@@ -41,6 +46,8 @@ impl Tape {
             out,
             vec![h.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.spmm.bwd");
+                add_count("nn.edges.spmm", bs.len() as u64);
                 let (n, d) = ctx.parents[0].shape();
                 let mut dh = Matrix::zeros(n, d);
                 for e in 0..bs.len() {
@@ -85,6 +92,8 @@ impl Tape {
 
     /// Gathers rows: `out[e] = h[idx[e]]`.
     pub fn gather_rows(&mut self, h: Var, idx: Rc<Vec<u32>>) -> Var {
+        let _prof = ProfScope::enter("nn.gather");
+        add_count("nn.edges.gather", idx.len() as u64);
         let hv = self.value(h);
         let d = hv.cols();
         let mut out = Matrix::zeros(idx.len(), d);
@@ -96,6 +105,7 @@ impl Tape {
             out,
             vec![h.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.gather.bwd");
                 let (n, d) = ctx.parents[0].shape();
                 let mut dh = Matrix::zeros(n, d);
                 for (e, &i) in bidx.iter().enumerate() {
@@ -111,6 +121,8 @@ impl Tape {
 
     /// Scatter-add: `out[idx[e]] += v[e]`, producing `n_out` rows.
     pub fn scatter_add_rows(&mut self, v: Var, idx: Rc<Vec<u32>>, n_out: usize) -> Var {
+        let _prof = ProfScope::enter("nn.scatter_add");
+        add_count("nn.edges.scatter_add", idx.len() as u64);
         let vv = self.value(v);
         assert_eq!(vv.rows(), idx.len(), "scatter index length mismatch");
         let d = vv.cols();
@@ -126,6 +138,7 @@ impl Tape {
             out,
             vec![v.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.scatter_add.bwd");
                 let (e_rows, d) = ctx.parents[0].shape();
                 let mut dv = Matrix::zeros(e_rows, d);
                 for (e, &i) in bidx.iter().enumerate() {
@@ -140,6 +153,7 @@ impl Tape {
     /// gradients to both operands — the differentiable attention-weighted
     /// aggregation step of GAT/GRAT.
     pub fn row_mul(&mut self, v: Var, s: Var) -> Var {
+        let _prof = ProfScope::enter("nn.row_mul");
         let (e_rows, d) = self.value(v).shape();
         assert_eq!(self.value(s).shape(), (e_rows, 1), "s must be E x 1");
         let sv = self.value(s).data().to_vec();
@@ -153,6 +167,7 @@ impl Tape {
             out,
             vec![v.0, s.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.row_mul.bwd");
                 let (e_rows, d) = (ctx.parents[0].rows(), d);
                 let mut dv = ctx.grad.clone();
                 let mut ds = Matrix::zeros(e_rows, 1);
@@ -190,6 +205,8 @@ impl Tape {
         weight: Rc<Vec<f64>>,
         n_out: usize,
     ) -> Var {
+        let _prof = ProfScope::enter("nn.neighbor_survival");
+        add_count("nn.edges.neighbor_survival", src.len() as u64);
         let av = self.value(a);
         assert_eq!(av.cols(), 1, "activation must be N x 1");
         let mut out = Matrix::filled(n_out, 1, 1.0);
@@ -202,6 +219,7 @@ impl Tape {
             out,
             vec![a.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.neighbor_survival.bwd");
                 let a_val = ctx.parents[0];
                 let n_out = ctx.grad.rows();
                 // Zero-count bookkeeping: with z zero factors at node u,
@@ -240,6 +258,8 @@ impl Tape {
     ///
     /// Numerically stabilized by subtracting the per-segment maximum.
     pub fn segment_softmax(&mut self, scores: Var, segment: Rc<Vec<u32>>, n_segments: usize) -> Var {
+        let _prof = ProfScope::enter("nn.segment_softmax");
+        add_count("nn.edges.segment_softmax", segment.len() as u64);
         let sv = self.value(scores);
         assert_eq!(sv.shape(), (segment.len(), 1), "scores must be E x 1");
         let mut seg_max = vec![f64::NEG_INFINITY; n_segments];
@@ -261,6 +281,7 @@ impl Tape {
             out,
             vec![scores.0],
             Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.segment_softmax.bwd");
                 // dscore_e = α_e * (g_e - Σ_{e' in segment} α_e' g_e')
                 let e_rows = bseg.len();
                 let mut seg_dot = vec![0.0f64; n_segments];

@@ -43,6 +43,7 @@ pub mod matrix;
 pub mod models;
 pub mod optim;
 pub mod params;
+pub(crate) mod profiling;
 pub mod serialize;
 pub mod tape;
 pub mod testutil;

@@ -9,7 +9,10 @@
 //! Dense ops live here; sparse message-passing ops live in
 //! [`crate::graph_ops`].
 
+use privim_obs::ProfScope;
+
 use crate::matrix::Matrix;
+use crate::profiling::add_count;
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,11 +188,18 @@ impl Tape {
 
     /// Matrix product `a × b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let _prof = ProfScope::enter("nn.matmul");
+        let (m, k) = self.value(a).shape();
+        let n = self.value(b).cols();
+        let flops = (2 * m * k * n) as u64;
+        add_count("nn.flops.matmul", flops);
         let value = self.value(a).matmul(self.value(b));
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|ctx| {
+            Some(Box::new(move |ctx| {
+                let _prof = ProfScope::enter("nn.matmul.bwd");
+                add_count("nn.flops.matmul", 2 * flops);
                 // dA = dC·Bᵀ ; dB = Aᵀ·dC
                 vec![ctx.grad.matmul_nt(ctx.parents[1]), ctx.parents[0].matmul_tn(ctx.grad)]
             })),

@@ -36,6 +36,31 @@ impl JsonValue {
         }
     }
 
+    /// The `i`-th element if this is an array with at least `i + 1`
+    /// elements.
+    pub fn get_index(&self, i: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Arr(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value entries if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
     /// This value as a number, if it is one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -21,12 +21,21 @@
 //! `PRIVIM_LOG` env var: `error|warn|info|debug|trace|off`), [`JsonlSink`]
 //! appends one JSON object per event to a file; [`RunTelemetry::from_jsonl`]
 //! turns that file back into a typed report.
+//!
+//! On top of the primitives sit the **profiler** (opt-in hierarchical
+//! call-tree timer: [`set_profiling`], [`ProfScope`], [`profile_report`];
+//! spans join the tree automatically while profiling is on) and the
+//! **exporters** ([`render_prometheus`] text format and the
+//! [`render_html_report`] self-contained run report).
 
 mod clock;
 mod event;
 pub mod json;
 mod level;
 mod metrics;
+mod profile;
+mod prometheus;
+mod report_html;
 mod sink;
 mod span;
 mod telemetry;
@@ -38,12 +47,18 @@ pub use metrics::{
     global_registry, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
     DEFAULT_BUCKETS,
 };
+pub use profile::{
+    profile_report, profiling_enabled, reset_profile, set_profiling, ProfScope, ProfileReport,
+    ProfileRow,
+};
+pub use prometheus::{render_prometheus, render_prometheus_with_profile};
+pub use report_html::render_html_report;
 pub use sink::{
     console, console_err, emit, enabled, flush_sinks, install_sink, take_sinks, EventSink,
     JsonlSink, MemorySink, StderrSink,
 };
 pub use span::SpanGuard;
-pub use telemetry::{EpochRecord, PhaseTiming, RunTelemetry};
+pub use telemetry::{EpochRecord, LedgerRecord, PhaseTiming, RunTelemetry};
 
 /// The global counter named `name` (creating it on first use).
 pub fn counter(name: &str) -> std::sync::Arc<Counter> {

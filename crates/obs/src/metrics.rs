@@ -136,15 +136,20 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
-    /// Mean of recorded samples (NaN when empty).
+    /// Mean of recorded samples (0.0 when empty, matching
+    /// [`Histogram::summarize`]'s zeroed-summary convention).
     pub fn mean(&self) -> f64 {
-        self.sum() / self.count() as f64
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() / count as f64
     }
 
-    /// Upper-bound estimate of the `q`-quantile from the bucket counts:
-    /// the upper bound of the bucket holding the `⌈q · count⌉`-th sample
-    /// (the observed max for the overflow bucket). Exact min/max are
-    /// tracked separately.
+    /// Estimate of the `q`-quantile from the bucket counts: linearly
+    /// interpolated within the bucket holding the `⌈q · count⌉`-th
+    /// sample, with the bucket's range tightened to (and the result
+    /// clamped to) the tracked exact min/max. NaN when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let count = self.count();
@@ -154,10 +159,27 @@ impl Histogram {
         let rank = ((q * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i < self.bounds.len() { self.bounds[i] } else { self.max() };
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                // Bucket i spans (bounds[i-1], bounds[i]]; every sample in
+                // it also lies in [min, max], so intersect the two ranges
+                // before interpolating on the rank within the bucket.
+                let lo = if i == 0 { self.min() } else { self.bounds[i - 1].max(self.min()) };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max())
+                } else {
+                    self.max()
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                // frac == 1 must hit hi exactly (lo + (hi-lo)·1 can round
+                // past it), so quantile(1.0) equals the observed max.
+                let v = if frac >= 1.0 { hi } else { lo + (hi - lo) * frac };
+                return v.clamp(self.min(), self.max());
+            }
+            seen += n;
         }
         self.max()
     }
@@ -199,7 +221,7 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Exact maximum.
     pub max: f64,
-    /// Median estimate (bucket upper bound).
+    /// Median estimate (interpolated within the bucket).
     pub p50: f64,
     /// 90th-percentile estimate.
     pub p90: f64,
@@ -388,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_respect_bucket_bounds() {
+    fn quantiles_interpolate_and_clamp_to_observed_range() {
         let h = Histogram::with_buckets(&[1.0, 10.0, 100.0]);
         for _ in 0..90 {
             h.record(0.5); // bucket 0
@@ -396,10 +418,13 @@ mod tests {
         for _ in 0..10 {
             h.record(50.0); // bucket 2
         }
-        assert_eq!(h.quantile(0.5), 1.0);
-        assert_eq!(h.quantile(0.89), 1.0);
-        assert_eq!(h.quantile(0.95), 100.0);
-        assert_eq!(h.quantile(1.0), 100.0);
+        // Bucket 0 tightens to [min, bounds[0]] = [0.5, 1.0]; ranks
+        // interpolate within it instead of reporting the upper bound.
+        assert!((h.quantile(0.5) - (0.5 + 0.5 * (50.0 / 90.0))).abs() < 1e-12);
+        assert!((h.quantile(0.89) - (0.5 + 0.5 * (89.0 / 90.0))).abs() < 1e-12);
+        // Bucket 2 tightens to [bounds[1], max] = [10, 50] (not 100).
+        assert_eq!(h.quantile(0.95), 30.0);
+        assert_eq!(h.quantile(1.0), 50.0);
         // NaN samples are ignored, not counted.
         h.record(f64::NAN);
         assert_eq!(h.count(), 100);
@@ -423,6 +448,63 @@ mod tests {
         let s = h.summarize();
         assert_eq!(s, HistogramSummary::default());
         assert!(h.quantile(0.5).is_nan());
+        assert_eq!(h.mean(), 0.0, "empty mean must be 0, not 0/0");
+    }
+
+    #[test]
+    fn concurrent_gauge_and_counter_adds_do_not_lose_updates() {
+        let r = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 5_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    let g = r.gauge("stress_gauge");
+                    let c = r.counter("stress_counter");
+                    for i in 0..per_thread {
+                        // Mix signs and magnitudes so torn CAS updates
+                        // would show up as a wrong final sum.
+                        let v = ((t * per_thread + i) % 7) as f64 - 3.0;
+                        g.add(v);
+                        c.add(2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: f64 =
+            (0..threads * per_thread).map(|k| ((k % 7) as f64) - 3.0).sum();
+        assert!((r.gauge("stress_gauge").get() - expected).abs() < 1e-9);
+        assert_eq!(r.counter("stress_counter").get(), (threads * per_thread) as u64 * 2);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q_and_bounded_by_min_max() {
+        // Property test over a deterministic LCG sample stream.
+        let h = Histogram::with_default_buckets();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0, 1)
+        };
+        for _ in 0..2_000 {
+            // Log-uniform-ish spread across several bucket decades.
+            let v = 10f64.powf(lcg() * 6.0 - 3.0);
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=100 {
+            let q = step as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= h.min() - 1e-12, "quantile({q}) = {v} below min {}", h.min());
+            assert!(v <= h.max() + 1e-12, "quantile({q}) = {v} above max {}", h.max());
+            assert!(v >= prev - 1e-12, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
     }
 
     #[test]

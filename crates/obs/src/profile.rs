@@ -1,0 +1,461 @@
+//! Opt-in hierarchical scoped profiler.
+//!
+//! A process-global call-tree profiler built for hot kernels: when
+//! profiling is off (the default), [`ProfScope::enter`] is a single
+//! relaxed atomic load — no clock read, no allocation, no lock — so
+//! instrumented kernels cost nothing in production runs. When enabled
+//! via [`set_profiling`], every scope records into a per-thread tree
+//! (find-or-create child by name, so steady-state bookkeeping is an
+//! uncontended mutex plus a few integer adds), and [`profile_report`]
+//! merges all thread trees into a [`ProfileReport`] with per-node
+//! call counts, total (inclusive) and self (exclusive) time.
+//!
+//! Reports render two ways: [`ProfileReport::render_table`] (sorted,
+//! indented text table) and [`ProfileReport::render_flamegraph`]
+//! (folded-stack lines `a;b;c <self_micros>`, the format consumed by
+//! `flamegraph.pl` and speedscope).
+//!
+//! [`SpanGuard`](crate::SpanGuard)s participate automatically: while
+//! profiling is enabled every span also opens a profiler scope, so
+//! coarse phases (`pipeline`, `training`, …) appear as ancestors of the
+//! fine-grained kernel scopes without any extra wiring.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::clock::{Clock, MonotonicClock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the profiler on or off process-wide. Off by default.
+pub fn set_profiling(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently enabled (one relaxed atomic load).
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[derive(Debug)]
+struct NodeStat {
+    name: &'static str,
+    parent: usize,
+    children: Vec<usize>,
+    calls: u64,
+    total_micros: u64,
+    /// Time attributed to direct children (for self = total − child).
+    child_micros: u64,
+}
+
+impl NodeStat {
+    fn new(name: &'static str, parent: usize) -> NodeStat {
+        NodeStat { name, parent, children: Vec::new(), calls: 0, total_micros: 0, child_micros: 0 }
+    }
+}
+
+/// One thread's call tree. Node 0 is a synthetic root that only exists
+/// to anchor top-level scopes; it never accumulates calls of its own.
+#[derive(Debug)]
+struct ThreadTree {
+    nodes: Vec<NodeStat>,
+    /// Indices of the currently open scopes, outermost first.
+    stack: Vec<usize>,
+}
+
+impl ThreadTree {
+    fn new() -> ThreadTree {
+        ThreadTree { nodes: vec![NodeStat::new("", 0)], stack: Vec::new() }
+    }
+
+    fn enter(&mut self, name: &'static str) {
+        let parent = self.stack.last().copied().unwrap_or(0);
+        let idx = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name)
+            .unwrap_or_else(|| {
+                let idx = self.nodes.len();
+                self.nodes.push(NodeStat::new(name, parent));
+                self.nodes[parent].children.push(idx);
+                idx
+            });
+        self.stack.push(idx);
+    }
+
+    fn exit(&mut self, elapsed_micros: u64) {
+        // Tolerate exits without a matching enter (profiling toggled
+        // mid-scope): the sample is simply dropped.
+        let Some(idx) = self.stack.pop() else { return };
+        self.nodes[idx].calls += 1;
+        self.nodes[idx].total_micros += elapsed_micros;
+        let parent = self.nodes[idx].parent;
+        self.nodes[parent].child_micros += elapsed_micros;
+    }
+
+    fn reset(&mut self) {
+        // Zero in place: keeps the structure (and any open stacks on
+        // live threads) valid.
+        for n in &mut self.nodes {
+            n.calls = 0;
+            n.total_micros = 0;
+            n.child_micros = 0;
+        }
+    }
+}
+
+fn trees() -> &'static Mutex<Vec<Arc<Mutex<ThreadTree>>>> {
+    static TREES: OnceLock<Mutex<Vec<Arc<Mutex<ThreadTree>>>>> = OnceLock::new();
+    TREES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Mutex<ThreadTree>> = {
+        let tree = Arc::new(Mutex::new(ThreadTree::new()));
+        trees().lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&tree));
+        tree
+    };
+}
+
+/// Opens a profiler scope on this thread if profiling is enabled.
+/// Returns whether the scope was actually opened (the caller must pair
+/// a `true` return with exactly one [`scope_exit`]).
+pub(crate) fn scope_enter(name: &'static str) -> bool {
+    if !profiling_enabled() {
+        return false;
+    }
+    LOCAL.with(|t| t.lock().unwrap_or_else(PoisonError::into_inner).enter(name));
+    true
+}
+
+/// Closes the innermost open profiler scope on this thread, attributing
+/// `elapsed_micros` to it.
+pub(crate) fn scope_exit(elapsed_micros: u64) {
+    LOCAL.with(|t| t.lock().unwrap_or_else(PoisonError::into_inner).exit(elapsed_micros));
+}
+
+/// A profiled scope; attributes its wall time to the call tree when
+/// dropped. Inert (one atomic load, no clock read) while profiling is
+/// disabled.
+pub struct ProfScope<'c> {
+    clock: &'c dyn Clock,
+    start_micros: u64,
+    entered: bool,
+}
+
+impl ProfScope<'_> {
+    /// Opens a scope timed by the process monotonic clock.
+    pub fn enter(name: &'static str) -> ProfScope<'static> {
+        static CLOCK: MonotonicClock = MonotonicClock;
+        ProfScope::enter_with_clock(name, &CLOCK)
+    }
+
+    /// Opens a scope timed by an explicit clock (tests inject a
+    /// [`crate::ManualClock`] here).
+    pub fn enter_with_clock<'c>(name: &'static str, clock: &'c dyn Clock) -> ProfScope<'c> {
+        let entered = scope_enter(name);
+        let start_micros = if entered { clock.now_micros() } else { 0 };
+        ProfScope { clock, start_micros, entered }
+    }
+}
+
+impl Drop for ProfScope<'_> {
+    fn drop(&mut self) {
+        if self.entered {
+            scope_exit(self.clock.now_micros().saturating_sub(self.start_micros));
+        }
+    }
+}
+
+/// Opens a [`ProfScope`] named by a string literal; bind it to keep the
+/// scope open: `let _p = privim_obs::prof_scope!("nn.matmul");`.
+#[macro_export]
+macro_rules! prof_scope {
+    ($name:expr) => {
+        $crate::ProfScope::enter($name)
+    };
+}
+
+/// Zeroes all accumulated profile statistics (every thread, in place).
+/// Scopes currently open keep timing and land in the fresh stats.
+pub fn reset_profile() {
+    let trees = trees().lock().unwrap_or_else(PoisonError::into_inner);
+    for tree in trees.iter() {
+        tree.lock().unwrap_or_else(PoisonError::into_inner).reset();
+    }
+}
+
+/// One merged call-tree node, in depth-first pre-order within
+/// [`ProfileReport::rows`] (siblings sorted by total time, descending).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProfileRow {
+    /// Scope name (last path component).
+    pub name: String,
+    /// Semicolon-joined ancestor path, e.g. `training;nn.matmul`.
+    pub path: String,
+    /// Nesting depth (0 = top-level scope).
+    pub depth: usize,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Inclusive wall time (scope + descendants), microseconds.
+    pub total_micros: u64,
+    /// Exclusive wall time (scope minus direct children), microseconds.
+    pub self_micros: u64,
+}
+
+impl ProfileRow {
+    /// Inclusive wall time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_micros as f64 / 1e6
+    }
+
+    /// Exclusive wall time in seconds.
+    pub fn self_secs(&self) -> f64 {
+        self.self_micros as f64 / 1e6
+    }
+}
+
+/// The merged call tree of every thread, flattened depth-first.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProfileReport {
+    pub rows: Vec<ProfileRow>,
+}
+
+struct Merged {
+    name: String,
+    calls: u64,
+    total_micros: u64,
+    child_micros: u64,
+    children: Vec<Merged>,
+}
+
+fn merge_node(into: &mut Vec<Merged>, tree: &ThreadTree, idx: usize) {
+    let node = &tree.nodes[idx];
+    let pos = into.iter().position(|m| m.name == node.name).unwrap_or_else(|| {
+        into.push(Merged {
+            name: node.name.to_string(),
+            calls: 0,
+            total_micros: 0,
+            child_micros: 0,
+            children: Vec::new(),
+        });
+        into.len() - 1
+    });
+    into[pos].calls += node.calls;
+    into[pos].total_micros += node.total_micros;
+    into[pos].child_micros += node.child_micros;
+    for &child in &node.children {
+        merge_node(&mut into[pos].children, tree, child);
+    }
+}
+
+fn has_calls(n: &Merged) -> bool {
+    n.calls > 0 || n.children.iter().any(has_calls)
+}
+
+fn flatten(nodes: &mut [Merged], prefix: &str, depth: usize, rows: &mut Vec<ProfileRow>) {
+    nodes.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then_with(|| a.name.cmp(&b.name)));
+    for n in nodes.iter_mut() {
+        if !has_calls(n) {
+            continue;
+        }
+        let path =
+            if prefix.is_empty() { n.name.clone() } else { format!("{prefix};{}", n.name) };
+        rows.push(ProfileRow {
+            name: n.name.clone(),
+            path: path.clone(),
+            depth,
+            calls: n.calls,
+            total_micros: n.total_micros,
+            self_micros: n.total_micros.saturating_sub(n.child_micros),
+        });
+        flatten(&mut n.children, &path, depth + 1, rows);
+    }
+}
+
+/// Merges every thread's call tree into a single [`ProfileReport`].
+/// Cheap enough to call at any time; open scopes simply haven't
+/// contributed their in-flight invocation yet.
+pub fn profile_report() -> ProfileReport {
+    let mut roots: Vec<Merged> = Vec::new();
+    {
+        let trees = trees().lock().unwrap_or_else(PoisonError::into_inner);
+        for tree in trees.iter() {
+            let tree = tree.lock().unwrap_or_else(PoisonError::into_inner);
+            for &child in &tree.nodes[0].children {
+                merge_node(&mut roots, &tree, child);
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    flatten(&mut roots, "", 0, &mut rows);
+    ProfileReport { rows }
+}
+
+impl ProfileReport {
+    /// True when no scope has completed since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sum of top-level inclusive times, in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.rows.iter().filter(|r| r.depth == 0).map(ProfileRow::total_secs).sum()
+    }
+
+    /// The row for `path` (semicolon-joined), if present.
+    pub fn row(&self, path: &str) -> Option<&ProfileRow> {
+        self.rows.iter().find(|r| r.path == path)
+    }
+
+    /// Renders the call tree as an indented text table sorted by total
+    /// time within each level.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "  total(s)    self(s)      calls  scope\n\
+             ----------  ----------  ---------  -----\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>10.6}  {:>10.6}  {:>9}  {}{}\n",
+                row.total_secs(),
+                row.self_secs(),
+                row.calls,
+                "  ".repeat(row.depth),
+                row.name,
+            ));
+        }
+        out
+    }
+
+    /// Renders folded-stack flamegraph lines: `a;b;c <self_micros>`,
+    /// one per tree node with nonzero exclusive time.
+    pub fn render_flamegraph(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            if row.self_micros > 0 {
+                out.push_str(&format!("{} {}\n", row.path, row.self_micros));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::span::SpanGuard;
+
+    /// The profiler is process-global; serialize the tests that toggle it.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let _guard = test_lock();
+        set_profiling(false);
+        let clock = ManualClock::new();
+        {
+            let _p = ProfScope::enter_with_clock("prof_inert_scope", &clock);
+            clock.advance_secs(5.0);
+        }
+        assert!(profile_report().row("prof_inert_scope").is_none());
+    }
+
+    #[test]
+    fn nested_scopes_build_a_merged_tree() {
+        let _guard = test_lock();
+        set_profiling(true);
+        reset_profile();
+        let clock = ManualClock::new();
+        for _ in 0..2 {
+            let _a = ProfScope::enter_with_clock("prof_tree_a", &clock);
+            clock.advance_micros(100);
+            {
+                let _b = ProfScope::enter_with_clock("prof_tree_b", &clock);
+                clock.advance_micros(300);
+            }
+            clock.advance_micros(50);
+        }
+        set_profiling(false);
+
+        let report = profile_report();
+        let a = report.row("prof_tree_a").expect("outer scope recorded");
+        let b = report.row("prof_tree_a;prof_tree_b").expect("inner nested under outer");
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_micros, 900, "2 × (100 + 300 + 50)");
+        assert_eq!(a.self_micros, 300, "2 × (100 + 50)");
+        assert_eq!(a.depth, 0);
+        assert_eq!(b.calls, 2);
+        assert_eq!(b.total_micros, 600);
+        assert_eq!(b.self_micros, 600, "leaf: self == total");
+        assert_eq!(b.depth, 1);
+
+        let flame = report.render_flamegraph();
+        assert!(flame.contains("prof_tree_a 300\n"), "folded self time: {flame}");
+        assert!(flame.contains("prof_tree_a;prof_tree_b 600\n"), "{flame}");
+        let table = report.render_table();
+        assert!(table.contains("prof_tree_a"), "{table}");
+        assert!(table.contains("  prof_tree_b"), "child indented: {table}");
+    }
+
+    #[test]
+    fn reset_zeroes_stats_and_report_skips_empty_nodes() {
+        let _guard = test_lock();
+        set_profiling(true);
+        reset_profile();
+        let clock = ManualClock::new();
+        {
+            let _p = ProfScope::enter_with_clock("prof_reset_scope", &clock);
+            clock.advance_micros(10);
+        }
+        assert!(profile_report().row("prof_reset_scope").is_some());
+        reset_profile();
+        set_profiling(false);
+        assert!(
+            profile_report().row("prof_reset_scope").is_none(),
+            "reset nodes must not appear in reports"
+        );
+    }
+
+    #[test]
+    fn spans_participate_while_profiling_is_enabled() {
+        let _guard = test_lock();
+        set_profiling(true);
+        reset_profile();
+        let clock = ManualClock::new();
+        {
+            let _outer = SpanGuard::enter_with_clock("prof_span_outer", &clock);
+            clock.advance_micros(40);
+            {
+                let _inner = ProfScope::enter_with_clock("prof_span_kernel", &clock);
+                clock.advance_micros(60);
+            }
+        }
+        set_profiling(false);
+
+        let report = profile_report();
+        let outer = report.row("prof_span_outer").expect("span became a profile node");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.total_micros, 100);
+        assert_eq!(outer.self_micros, 40);
+        let kernel = report.row("prof_span_outer;prof_span_kernel").expect("nested kernel");
+        assert_eq!(kernel.total_micros, 60);
+    }
+
+    #[test]
+    fn unmatched_exit_is_dropped() {
+        let _guard = test_lock();
+        set_profiling(false);
+        // Simulate a scope opened before profiling was disabled: the
+        // bare exit on an empty stack must be a no-op.
+        scope_exit(123);
+        assert!(profile_report().row("").is_none());
+    }
+}

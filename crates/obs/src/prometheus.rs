@@ -1,0 +1,166 @@
+//! Prometheus text-format (version 0.0.4) exporter.
+//!
+//! Renders a [`MetricsSnapshot`] — and optionally a [`ProfileReport`] —
+//! as the plain-text exposition format Prometheus scrapes, so a run's
+//! metrics file can be dropped behind any static file server or pushed
+//! through the pushgateway without extra tooling. All series are
+//! prefixed `privim_`; histogram summaries export as Prometheus
+//! `summary` series with `quantile` labels plus `_sum`/`_count`,
+//! profile rows as `privim_profile_*{scope="a;b;c"}` series.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileReport;
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` and
+/// prefixes `privim_`, producing a valid Prometheus metric name.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("privim_");
+    for c in name.chars() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_sample(out: &mut String, name: &str, labels: &str, value: f64) {
+    if value.is_finite() {
+        let _ = writeln!(out, "{name}{labels} {value}");
+    } else {
+        // The format spec spells non-finite values like this:
+        let rendered = if value.is_nan() {
+            "NaN"
+        } else if value > 0.0 {
+            "+Inf"
+        } else {
+            "-Inf"
+        };
+        let _ = writeln!(out, "{name}{labels} {rendered}");
+    }
+}
+
+/// Renders `snapshot` in Prometheus text format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    render_prometheus_with_profile(snapshot, &ProfileReport::default())
+}
+
+/// Renders `snapshot` plus the call-tree `profile` in Prometheus text
+/// format (an empty profile adds no series).
+pub fn render_prometheus_with_profile(
+    snapshot: &MetricsSnapshot,
+    profile: &ProfileReport,
+) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        write_sample(&mut out, &name, "", *value as f64);
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        write_sample(&mut out, &name, "", *value);
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            write_sample(&mut out, &name, &format!("{{quantile=\"{q}\"}}"), v);
+        }
+        write_sample(&mut out, &format!("{name}_sum"), "", h.sum);
+        write_sample(&mut out, &format!("{name}_count"), "", h.count as f64);
+        let _ = writeln!(out, "# TYPE {name}_min gauge");
+        write_sample(&mut out, &format!("{name}_min"), "", h.min);
+        let _ = writeln!(out, "# TYPE {name}_max gauge");
+        write_sample(&mut out, &format!("{name}_max"), "", h.max);
+    }
+    if !profile.is_empty() {
+        let _ = writeln!(out, "# TYPE privim_profile_total_seconds gauge");
+        let _ = writeln!(out, "# TYPE privim_profile_self_seconds gauge");
+        let _ = writeln!(out, "# TYPE privim_profile_calls counter");
+        for row in &profile.rows {
+            let labels = format!("{{scope=\"{}\"}}", label_value(&row.path));
+            write_sample(&mut out, "privim_profile_total_seconds", &labels, row.total_secs());
+            write_sample(&mut out, "privim_profile_self_seconds", &labels, row.self_secs());
+            write_sample(&mut out, "privim_profile_calls", &labels, row.calls as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSummary, Registry};
+    use crate::profile::ProfileRow;
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let r = Registry::new();
+        r.counter("train.iterations").add(6);
+        r.gauge("dp.sigma").set(3.25);
+        r.histogram("span.training").record(0.5);
+        r.histogram("span.training").record(1.5);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE privim_train_iterations counter\n"), "{text}");
+        assert!(text.contains("privim_train_iterations 6\n"), "{text}");
+        assert!(text.contains("privim_dp_sigma 3.25\n"), "{text}");
+        assert!(text.contains("# TYPE privim_span_training summary\n"), "{text}");
+        assert!(text.contains("privim_span_training{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("privim_span_training_sum 2\n"), "{text}");
+        assert!(text.contains("privim_span_training_count 2\n"), "{text}");
+        assert!(text.contains("privim_span_training_min 0.5\n"), "{text}");
+        assert!(text.contains("privim_span_training_max 1.5\n"), "{text}");
+    }
+
+    #[test]
+    fn profile_rows_become_labeled_series() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.histograms.insert("h".into(), HistogramSummary::default());
+        let profile = ProfileReport {
+            rows: vec![ProfileRow {
+                name: "nn.matmul".into(),
+                path: "training;nn.matmul".into(),
+                depth: 1,
+                calls: 12,
+                total_micros: 2_500_000,
+                self_micros: 2_000_000,
+            }],
+        };
+        let text = render_prometheus_with_profile(&snapshot, &profile);
+        assert!(
+            text.contains("privim_profile_total_seconds{scope=\"training;nn.matmul\"} 2.5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_profile_self_seconds{scope=\"training;nn.matmul\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_profile_calls{scope=\"training;nn.matmul\"} 12\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn names_and_labels_are_escaped() {
+        assert_eq!(metric_name("span.a-b/c"), "privim_span_a_b_c");
+        assert_eq!(label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,290 @@
+//! Self-contained HTML run-report renderer.
+//!
+//! Produces a single HTML file (inline CSS, no external assets, no
+//! scripts) summarizing one run: phase timings and the ε trace from
+//! [`RunTelemetry`], the privacy-budget ledger, every metric in a
+//! [`MetricsSnapshot`], and the profiler call tree with its folded-stack
+//! flamegraph text. The file is meant to be archived next to the run's
+//! JSON results and opened directly in a browser.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileReport;
+use crate::telemetry::RunTelemetry;
+
+/// Escapes `&`, `<`, `>`, and `"` for safe embedding in HTML text and
+/// attribute positions.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1e6 || a < 1e-4 {
+        format!("{v:.3e}")
+    } else {
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn table(out: &mut String, caption: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let _ = write!(out, "<h2>{}</h2><table><thead><tr>", escape(caption));
+    for h in headers {
+        let _ = write!(out, "<th>{}</th>", escape(h));
+    }
+    out.push_str("</tr></thead><tbody>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            let _ = write!(out, "<td>{}</td>", escape(cell));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table>\n");
+}
+
+const STYLE: &str = "body{font:14px/1.45 system-ui,sans-serif;margin:2rem auto;max-width:70rem;\
+padding:0 1rem;color:#1a1a2e}h1{border-bottom:2px solid #4a4e69}h2{margin-top:2rem;\
+color:#22223b}table{border-collapse:collapse;width:100%;margin:.5rem 0}\
+th,td{border:1px solid #c9cbd8;padding:.3rem .6rem;text-align:right;\
+font-variant-numeric:tabular-nums}th:first-child,td:first-child{text-align:left}\
+th{background:#f2f3f8}tr:nth-child(even){background:#fafafc}\
+pre{background:#f2f3f8;padding:.8rem;overflow-x:auto;border-radius:4px}\
+.meta{color:#4a4e69}";
+
+/// Renders a self-contained HTML report. Sections with no data are
+/// omitted, so the renderer works for partial inputs (e.g. metrics only).
+pub fn render_html_report(
+    title: &str,
+    telemetry: Option<&RunTelemetry>,
+    snapshot: &MetricsSnapshot,
+    profile: &ProfileReport,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>{title}</title><style>{STYLE}</style></head><body><h1>{title}</h1>\n",
+        title = escape(title),
+    );
+
+    if let Some(t) = telemetry {
+        let mut meta = Vec::new();
+        if let Some(seed) = t.seed {
+            meta.push(format!("seed {seed}"));
+        }
+        if let Some(eps) = t.final_epsilon() {
+            meta.push(format!("final ε = {}", fmt_num(eps)));
+        }
+        meta.push(format!("{} events", t.events_total));
+        let _ = write!(out, "<p class=\"meta\">{}</p>\n", escape(&meta.join(" · ")));
+
+        let phase_rows: Vec<Vec<String>> = t
+            .phases
+            .iter()
+            .map(|p| vec![p.name.clone(), fmt_num(p.secs), p.count.to_string()])
+            .collect();
+        table(&mut out, "Phases", &["phase", "total secs", "count"], &phase_rows);
+
+        let epoch_rows: Vec<Vec<String>> = t
+            .epochs
+            .iter()
+            .map(|e| {
+                let opt = |v: Option<f64>| v.map_or(String::from("–"), fmt_num);
+                vec![
+                    e.epoch.to_string(),
+                    fmt_num(e.loss),
+                    opt(e.clip_fraction),
+                    opt(e.grad_norm_pre),
+                    opt(e.grad_norm_post),
+                    opt(e.noise_std),
+                    opt(e.epsilon_spent),
+                ]
+            })
+            .collect();
+        table(
+            &mut out,
+            "Training epochs",
+            &["epoch", "loss", "clip frac", "‖g‖ pre", "‖g‖ post", "noise σΔ", "ε spent"],
+            &epoch_rows,
+        );
+
+        let ledger_rows: Vec<Vec<String>> = t
+            .ledger
+            .iter()
+            .map(|l| {
+                vec![
+                    l.step.to_string(),
+                    l.mechanism.clone(),
+                    fmt_num(l.sigma),
+                    fmt_num(l.sensitivity),
+                    fmt_num(l.sampling_rate),
+                    format!("{}/{}/{}", l.max_occurrences, l.batch_size, l.container_size),
+                    fmt_num(l.delta),
+                    fmt_num(l.epsilon_after),
+                    fmt_num(l.alpha),
+                ]
+            })
+            .collect();
+        table(
+            &mut out,
+            "Privacy-budget ledger",
+            &["step", "mechanism", "σ", "Δ_g", "q", "N_g/B/m", "δ", "ε after", "α*"],
+            &ledger_rows,
+        );
+    }
+
+    let counter_rows: Vec<Vec<String>> =
+        snapshot.counters.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+    table(&mut out, "Counters", &["name", "value"], &counter_rows);
+
+    let gauge_rows: Vec<Vec<String>> =
+        snapshot.gauges.iter().map(|(k, v)| vec![k.clone(), fmt_num(*v)]).collect();
+    table(&mut out, "Gauges", &["name", "value"], &gauge_rows);
+
+    let hist_rows: Vec<Vec<String>> = snapshot
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            vec![
+                k.clone(),
+                h.count.to_string(),
+                fmt_num(h.sum),
+                fmt_num(h.min),
+                fmt_num(h.p50),
+                fmt_num(h.p90),
+                fmt_num(h.p99),
+                fmt_num(h.max),
+            ]
+        })
+        .collect();
+    table(
+        &mut out,
+        "Histograms",
+        &["name", "count", "sum", "min", "p50", "p90", "p99", "max"],
+        &hist_rows,
+    );
+
+    if !profile.is_empty() {
+        let prof_rows: Vec<Vec<String>> = profile
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}{}", "\u{2003}".repeat(r.depth), r.name),
+                    fmt_num(r.total_secs()),
+                    fmt_num(r.self_secs()),
+                    r.calls.to_string(),
+                ]
+            })
+            .collect();
+        table(
+            &mut out,
+            "Profile (call tree)",
+            &["scope", "total secs", "self secs", "calls"],
+            &prof_rows,
+        );
+        let _ = write!(
+            out,
+            "<h2>Flamegraph (folded stacks)</h2><pre>{}</pre>\n",
+            escape(&profile.render_flamegraph()),
+        );
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::profile::ProfileRow;
+    use crate::telemetry::{LedgerRecord, PhaseTiming};
+
+    #[test]
+    fn report_embeds_every_section_and_escapes_html() {
+        let r = Registry::new();
+        r.counter("train.iterations").add(3);
+        r.gauge("dp.sigma").set(2.5);
+        r.histogram("span.training").record(1.0);
+        let telemetry = RunTelemetry {
+            seed: Some(42),
+            phases: vec![PhaseTiming { name: "training".into(), secs: 1.25, count: 1 }],
+            epsilon_trace: vec![0.5, 1.0],
+            ledger: vec![LedgerRecord {
+                step: 1,
+                mechanism: "subsampled_gaussian".into(),
+                sigma: 3.0,
+                epsilon_after: 0.5,
+                ..LedgerRecord::default()
+            }],
+            ..RunTelemetry::default()
+        };
+        let profile = ProfileReport {
+            rows: vec![ProfileRow {
+                name: "nn.<matmul>".into(),
+                path: "training;nn.<matmul>".into(),
+                depth: 1,
+                calls: 4,
+                total_micros: 1_000,
+                self_micros: 1_000,
+            }],
+        };
+        let html =
+            render_html_report("run <1>", Some(&telemetry), &r.snapshot(), &profile);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<title>run &lt;1&gt;</title>"), "title escaped");
+        assert!(html.contains("seed 42"), "{html}");
+        assert!(html.contains("final ε = 1"), "{html}");
+        assert!(html.contains("Privacy-budget ledger"));
+        assert!(html.contains("subsampled_gaussian"));
+        assert!(html.contains("train.iterations"));
+        assert!(html.contains("span.training"));
+        assert!(html.contains("nn.&lt;matmul&gt;"), "profile names escaped: {html}");
+        assert!(html.contains("training;nn.&lt;matmul&gt; 1000"), "folded stack line");
+        assert!(html.trim_end().ends_with("</body></html>"));
+    }
+
+    #[test]
+    fn empty_inputs_render_a_minimal_page() {
+        let html = render_html_report(
+            "empty",
+            None,
+            &MetricsSnapshot::default(),
+            &ProfileReport::default(),
+        );
+        assert!(html.contains("<h1>empty</h1>"));
+        assert!(!html.contains("<table>"), "no sections for no data");
+    }
+
+    #[test]
+    fn number_formatting_is_compact() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1.5), "1.5");
+        assert_eq!(fmt_num(349.670000), "349.67");
+        assert_eq!(fmt_num(3.0e-7), "3.000e-7");
+        assert_eq!(fmt_num(2.5e8), "2.500e8");
+    }
+}

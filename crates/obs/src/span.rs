@@ -12,6 +12,7 @@ use crate::clock::{Clock, MonotonicClock};
 use crate::event::{Event, FieldValue};
 use crate::level::Level;
 use crate::metrics::global_registry;
+use crate::profile;
 use crate::sink::{emit, enabled};
 
 thread_local! {
@@ -27,6 +28,9 @@ pub struct SpanGuard<'c> {
     start_micros: u64,
     /// Depth of this span (0 = outermost), captured at entry.
     depth: usize,
+    /// Whether this span also opened a profiler scope (profiling was
+    /// enabled at entry); the matching exit must balance the stack.
+    prof_entered: bool,
     finished: bool,
 }
 
@@ -45,7 +49,15 @@ impl<'c> SpanGuard<'c> {
             stack.push(name);
             stack.len() - 1
         });
-        SpanGuard { name, clock, start_micros: clock.now_micros(), depth, finished: false }
+        let prof_entered = profile::scope_enter(name);
+        SpanGuard {
+            name,
+            clock,
+            start_micros: clock.now_micros(),
+            depth,
+            prof_entered,
+            finished: false,
+        }
     }
 
     /// This span's name.
@@ -71,7 +83,11 @@ impl<'c> SpanGuard<'c> {
     fn close(&mut self) -> f64 {
         debug_assert!(!self.finished, "span closed twice");
         self.finished = true;
-        let secs = self.elapsed_secs();
+        let elapsed_micros = self.clock.now_micros().saturating_sub(self.start_micros);
+        if self.prof_entered {
+            profile::scope_exit(elapsed_micros);
+        }
+        let secs = elapsed_micros as f64 / 1e6;
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = stack.join(".");

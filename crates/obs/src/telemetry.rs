@@ -14,6 +14,9 @@
 //! |         |           | `grad_norm_post`, `noise_std`, `epsilon_spent`    |
 //! | `span`  | *name*    | `secs`, `depth`, `path`                           |
 //! | `dp`    | `epsilon` | `step`, `epsilon`, `alpha`                        |
+//! | `dp`    | `mechanism` | `step`, `mechanism`, `sigma`, `sensitivity`,    |
+//! |         |           | `sampling_rate`, `max_occurrences`, `batch_size`, |
+//! |         |           | `container_size`, `delta`, `epsilon_after`, `alpha` |
 
 use crate::json::{self, JsonValue};
 
@@ -51,6 +54,38 @@ pub struct PhaseTiming {
     pub count: u64,
 }
 
+/// One privacy-mechanism invocation from the privacy-budget ledger
+/// (a `dp`/`mechanism` event). Carries everything needed to replay the
+/// RDP accounting offline: the mechanism's noise multiplier, the
+/// sensitivity and subsampling structure, and the accountant's
+/// cumulative `(ε, α)` after this step.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LedgerRecord {
+    /// Accounted step index (1-based, matching `dp`/`epsilon` events).
+    pub step: u64,
+    /// Mechanism kind, e.g. `"subsampled_gaussian"`.
+    pub mechanism: String,
+    /// Noise multiplier σ (noise std = σ · sensitivity).
+    pub sigma: f64,
+    /// Group sensitivity Δ_g = C · N_g of one step.
+    pub sensitivity: f64,
+    /// Per-element participation rate q = N_g / m (capped at 1).
+    pub sampling_rate: f64,
+    /// Max occurrences N_g of one node across sampled subgraphs.
+    pub max_occurrences: u64,
+    /// Subgraphs per batch B.
+    pub batch_size: u64,
+    /// Container (subgraph pool) size m.
+    pub container_size: u64,
+    /// Target δ used for the RDP→(ε, δ) conversion.
+    pub delta: f64,
+    /// Cumulative ε after this step.
+    pub epsilon_after: f64,
+    /// RDP order α that realized the ε minimum at this step.
+    pub alpha: f64,
+}
+
 /// Machine-readable telemetry of one run.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -64,6 +99,10 @@ pub struct RunTelemetry {
     /// Cumulative ε after each accounted step (from `dp`/`epsilon`
     /// events; empty for non-private runs).
     pub epsilon_trace: Vec<f64>,
+    /// Privacy-budget ledger: one record per mechanism invocation
+    /// (from `dp`/`mechanism` events; empty for non-private runs).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub ledger: Vec<LedgerRecord>,
     /// Total number of events aggregated.
     pub events_total: u64,
 }
@@ -137,6 +176,24 @@ impl RunTelemetry {
                         report.epsilon_trace.push(eps);
                     }
                 }
+                ("dp", "mechanism") => {
+                    let int = |name: &str| field(name).and_then(|v| v.as_u64());
+                    report.ledger.push(LedgerRecord {
+                        step: int("step").unwrap_or(report.ledger.len() as u64 + 1),
+                        mechanism: field("mechanism")
+                            .and_then(|v| v.as_str().map(str::to_string))
+                            .unwrap_or_default(),
+                        sigma: num("sigma").unwrap_or(f64::NAN),
+                        sensitivity: num("sensitivity").unwrap_or(f64::NAN),
+                        sampling_rate: num("sampling_rate").unwrap_or(f64::NAN),
+                        max_occurrences: int("max_occurrences").unwrap_or(0),
+                        batch_size: int("batch_size").unwrap_or(0),
+                        container_size: int("container_size").unwrap_or(0),
+                        delta: num("delta").unwrap_or(f64::NAN),
+                        epsilon_after: num("epsilon_after").unwrap_or(f64::NAN),
+                        alpha: num("alpha").unwrap_or(f64::NAN),
+                    });
+                }
                 _ => {}
             }
         }
@@ -174,6 +231,25 @@ impl RunTelemetry {
                 JsonValue::Obj(m)
             })
             .collect();
+        let ledger: Vec<JsonValue> = self
+            .ledger
+            .iter()
+            .map(|l| {
+                let mut m = BTreeMap::new();
+                m.insert("step".into(), JsonValue::Num(l.step as f64));
+                m.insert("mechanism".into(), JsonValue::Str(l.mechanism.clone()));
+                m.insert("sigma".into(), JsonValue::Num(l.sigma));
+                m.insert("sensitivity".into(), JsonValue::Num(l.sensitivity));
+                m.insert("sampling_rate".into(), JsonValue::Num(l.sampling_rate));
+                m.insert("max_occurrences".into(), JsonValue::Num(l.max_occurrences as f64));
+                m.insert("batch_size".into(), JsonValue::Num(l.batch_size as f64));
+                m.insert("container_size".into(), JsonValue::Num(l.container_size as f64));
+                m.insert("delta".into(), JsonValue::Num(l.delta));
+                m.insert("epsilon_after".into(), JsonValue::Num(l.epsilon_after));
+                m.insert("alpha".into(), JsonValue::Num(l.alpha));
+                JsonValue::Obj(m)
+            })
+            .collect();
         let mut root = BTreeMap::new();
         root.insert(
             "seed".into(),
@@ -181,6 +257,7 @@ impl RunTelemetry {
         );
         root.insert("epochs".into(), JsonValue::Arr(epochs));
         root.insert("phases".into(), JsonValue::Arr(phases));
+        root.insert("ledger".into(), JsonValue::Arr(ledger));
         root.insert(
             "epsilon_trace".into(),
             JsonValue::Arr(self.epsilon_trace.iter().map(|&e| JsonValue::Num(e)).collect()),
@@ -297,11 +374,74 @@ mod tests {
             epochs: vec![EpochRecord { epoch: 0, loss: 0.5, ..EpochRecord::default() }],
             phases: vec![PhaseTiming { name: "training".into(), secs: 1.5, count: 1 }],
             epsilon_trace: vec![0.4],
+            ledger: vec![LedgerRecord {
+                step: 1,
+                mechanism: "subsampled_gaussian".into(),
+                sigma: 2.0,
+                epsilon_after: 0.4,
+                ..LedgerRecord::default()
+            }],
             events_total: 3,
         };
         let parsed = crate::json::parse(&report.to_json()).unwrap();
         assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(7));
         assert_eq!(parsed.get("events_total").unwrap().as_u64(), Some(3));
+        let ledger = parsed.get("ledger").unwrap();
+        let entry = ledger.get_index(0).expect("ledger entry serialized");
+        assert_eq!(entry.get("mechanism").unwrap().as_str(), Some("subsampled_gaussian"));
+    }
+
+    #[test]
+    fn mechanism_events_build_the_ledger() {
+        let events = vec![
+            Event::new(
+                Level::Debug,
+                "dp",
+                "mechanism",
+                vec![
+                    ("step", FieldValue::U64(1)),
+                    ("mechanism", FieldValue::Str("subsampled_gaussian".into())),
+                    ("sigma", FieldValue::F64(3.5)),
+                    ("sensitivity", FieldValue::F64(2.0)),
+                    ("sampling_rate", FieldValue::F64(0.125)),
+                    ("max_occurrences", FieldValue::U64(4)),
+                    ("batch_size", FieldValue::U64(8)),
+                    ("container_size", FieldValue::U64(32)),
+                    ("delta", FieldValue::F64(1e-5)),
+                    ("epsilon_after", FieldValue::F64(0.31)),
+                    ("alpha", FieldValue::F64(8.0)),
+                ],
+            ),
+            Event::new(
+                Level::Debug,
+                "dp",
+                "mechanism",
+                vec![
+                    ("step", FieldValue::U64(2)),
+                    ("mechanism", FieldValue::Str("subsampled_gaussian".into())),
+                    ("sigma", FieldValue::F64(3.5)),
+                    ("epsilon_after", FieldValue::F64(0.47)),
+                ],
+            ),
+        ];
+        let report = RunTelemetry::from_jsonl(&jsonl(&events)).unwrap();
+        assert_eq!(report.ledger.len(), 2);
+        let first = &report.ledger[0];
+        assert_eq!(first.step, 1);
+        assert_eq!(first.mechanism, "subsampled_gaussian");
+        assert_eq!(first.sigma, 3.5);
+        assert_eq!(first.sampling_rate, 0.125);
+        assert_eq!(first.max_occurrences, 4);
+        assert_eq!(first.batch_size, 8);
+        assert_eq!(first.container_size, 32);
+        assert_eq!(first.delta, 1e-5);
+        assert_eq!(first.epsilon_after, 0.31);
+        assert_eq!(first.alpha, 8.0);
+        assert_eq!(report.ledger[1].epsilon_after, 0.47);
+        assert!(
+            report.ledger[1].epsilon_after > report.ledger[0].epsilon_after,
+            "cumulative ε must grow"
+        );
     }
 
     #[cfg(feature = "serde")]
@@ -317,6 +457,19 @@ mod tests {
             }],
             phases: vec![PhaseTiming { name: "inference".into(), secs: 0.1, count: 2 }],
             epsilon_trace: vec![0.5, 0.9],
+            ledger: vec![LedgerRecord {
+                step: 1,
+                mechanism: "subsampled_gaussian".into(),
+                sigma: 1.5,
+                sensitivity: 4.0,
+                sampling_rate: 0.25,
+                max_occurrences: 4,
+                batch_size: 8,
+                container_size: 16,
+                delta: 1e-5,
+                epsilon_after: 0.5,
+                alpha: 16.0,
+            }],
             events_total: 5,
         };
         let json = serde_json::to_string(&report).unwrap();
