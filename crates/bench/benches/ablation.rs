@@ -38,31 +38,52 @@ fn bench_sampling_ablation(c: &mut Criterion) {
     let candidates: Vec<NodeId> = g.nodes().collect();
     let mut group = c.benchmark_group("sampling_ablation");
     for &decay in &[0.0, 1.0, 2.0] {
-        group.bench_with_input(BenchmarkId::new("decay_mu", format!("{decay}")), &decay, |b, &d| {
-            let cfg = PrivImConfig { decay: d, ..base_config() };
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decay_mu", format!("{decay}")),
+            &decay,
+            |b, &d| {
+                let cfg = PrivImConfig {
+                    decay: d,
+                    ..base_config()
+                };
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+                })
+            },
+        );
     }
     for &tau in &[0.1, 0.3, 0.6] {
-        group.bench_with_input(BenchmarkId::new("restart_tau", format!("{tau}")), &tau, |b, &t| {
-            let cfg = PrivImConfig { restart_prob: t, ..base_config() };
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(2);
-                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("restart_tau", format!("{tau}")),
+            &tau,
+            |b, &t| {
+                let cfg = PrivImConfig {
+                    restart_prob: t,
+                    ..base_config()
+                };
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+                })
+            },
+        );
     }
     for &s in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("bes_divisor_s", format!("{s}")), &s, |b, &s| {
-            let cfg = PrivImConfig { bes_divisor: s, ..base_config() };
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(3);
-                extract_dual_stage(&g, &cfg, &candidates, &mut rng)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bes_divisor_s", format!("{s}")),
+            &s,
+            |b, &s| {
+                let cfg = PrivImConfig {
+                    bes_divisor: s,
+                    ..base_config()
+                };
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    extract_dual_stage(&g, &cfg, &candidates, &mut rng)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -87,7 +108,11 @@ fn bench_spread_evaluation(c: &mut Criterion) {
 
 fn bench_accounting(c: &mut Criterion) {
     let mut group = c.benchmark_group("privacy_accounting");
-    let sub = SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 400 };
+    let sub = SubsampledConfig {
+        max_occurrences: 4,
+        batch_size: 16,
+        container_size: 400,
+    };
     group.bench_function("calibrate_sigma", |b| {
         b.iter(|| calibrate_sigma(3.0, 1e-5, &sub, 100))
     });

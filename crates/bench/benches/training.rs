@@ -38,12 +38,17 @@ fn bench_training_iteration(c: &mut Criterion) {
     let (container, cfg) = setup();
     let mut group = c.benchmark_group("per_epoch_training");
 
-    for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat, ModelKind::Grat, ModelKind::Gin] {
+    for kind in [
+        ModelKind::Gcn,
+        ModelKind::GraphSage,
+        ModelKind::Gat,
+        ModelKind::Grat,
+        ModelKind::Gin,
+    ] {
         group.bench_with_input(BenchmarkId::new("model", kind.name()), &kind, |b, &kind| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
-                let mut model =
-                    build_model(kind, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+                let mut model = build_model(kind, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
                 train(model.as_mut(), &container, &cfg, None, &mut rng)
             })
         });
@@ -60,16 +65,32 @@ fn bench_training_iteration(c: &mut Criterion) {
     group.bench_function("grat_private_epoch", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut model =
-                build_model(ModelKind::Grat, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
-            train(model.as_mut(), &container, &cfg, Some(&setup_privacy), &mut rng)
+            let mut model = build_model(
+                ModelKind::Grat,
+                cfg.feature_dim,
+                cfg.hidden,
+                cfg.hops,
+                &mut rng,
+            );
+            train(
+                model.as_mut(),
+                &container,
+                &cfg,
+                Some(&setup_privacy),
+                &mut rng,
+            )
         })
     });
     group.bench_function("grat_nonprivate_epoch", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut model =
-                build_model(ModelKind::Grat, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+            let mut model = build_model(
+                ModelKind::Grat,
+                cfg.feature_dim,
+                cfg.hidden,
+                cfg.hops,
+                &mut rng,
+            );
             train(model.as_mut(), &container, &cfg, None, &mut rng)
         })
     });

@@ -32,20 +32,54 @@ fn main() {
     };
 
     for decay in [0.0, 0.5, 1.0, 2.0, 4.0] {
-        let cfg = PrivImConfig { decay, ..base.clone() };
-        run(format!("decay mu = {decay}"), &cfg, Method::PrivImStar, &mut all);
+        let cfg = PrivImConfig {
+            decay,
+            ..base.clone()
+        };
+        run(
+            format!("decay mu = {decay}"),
+            &cfg,
+            Method::PrivImStar,
+            &mut all,
+        );
     }
     for tau in [0.1, 0.3, 0.6, 0.9] {
-        let cfg = PrivImConfig { restart_prob: tau, ..base.clone() };
-        run(format!("restart tau = {tau}"), &cfg, Method::PrivImStar, &mut all);
+        let cfg = PrivImConfig {
+            restart_prob: tau,
+            ..base.clone()
+        };
+        run(
+            format!("restart tau = {tau}"),
+            &cfg,
+            Method::PrivImStar,
+            &mut all,
+        );
     }
     for s in [1usize, 2, 4, 8] {
-        let cfg = PrivImConfig { bes_divisor: s, ..base.clone() };
-        run(format!("BES divisor s = {s}"), &cfg, Method::PrivImStar, &mut all);
+        let cfg = PrivImConfig {
+            bes_divisor: s,
+            ..base.clone()
+        };
+        run(
+            format!("BES divisor s = {s}"),
+            &cfg,
+            Method::PrivImStar,
+            &mut all,
+        );
     }
     // BES on/off: PrivIM* vs PrivIM+SCS at identical settings.
-    run("with BES (PrivIM*)".into(), &base, Method::PrivImStar, &mut all);
-    run("without BES (SCS only)".into(), &base, Method::PrivImScs, &mut all);
+    run(
+        "with BES (PrivIM*)".into(),
+        &base,
+        Method::PrivImStar,
+        &mut all,
+    );
+    run(
+        "without BES (SCS only)".into(),
+        &base,
+        Method::PrivImScs,
+        &mut all,
+    );
 
     println!("Design-choice ablation on LastFM (eps = 3)\n");
     print_table(&["configuration", "spread", "coverage %"], &rows);

@@ -47,12 +47,19 @@ fn main() {
     }
 
     println!("Calibrated noise vs privacy budget (T = {steps}, B = {batch}, m = {container})\n");
-    print_table(&["eps", "scheme", "N_g", "sigma", "noise std (sigma*C*N_g)"], &rows);
+    print_table(
+        &["eps", "scheme", "N_g", "sigma", "noise std (sigma*C*N_g)"],
+        &rows,
+    );
 
     // Curve 2: σ vs iterations at fixed ε = 3.
     let mut rows2 = Vec::new();
     for t in [20usize, 60, 120, 240, 480] {
-        let cfg = SubsampledConfig { max_occurrences: 4, batch_size: batch, container_size: container };
+        let cfg = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: batch,
+            container_size: container,
+        };
         let sigma = calibrate_sigma(3.0, delta, &cfg, t);
         rows2.push(vec![format!("{t}"), format!("{sigma:.3}")]);
     }

@@ -43,7 +43,12 @@ fn main() {
         let rand_spread = deterministic_one_step_coverage(&g, &rand_seeds_v) as f64;
 
         let t = Instant::now();
-        let gnn = run_method(&g, Method::NonPrivate, &bench_config(g.num_nodes(), None), opts.seed);
+        let gnn = run_method(
+            &g,
+            Method::NonPrivate,
+            &bench_config(g.num_nodes(), None),
+            opts.seed,
+        );
         let gnn_time = t.elapsed().as_secs_f64();
 
         for (method, spread, secs) in [

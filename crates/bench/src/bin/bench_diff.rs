@@ -45,7 +45,9 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--min-runtime" => opts.min_runtime = next_f64(&mut it, "--min-runtime")?,
             "--strict" => opts.strict = true,
             "--help" | "-h" => return Err(USAGE.into()),
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}\n{USAGE}")),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
             path => paths.push(path.to_string()),
         }
     }
@@ -63,5 +65,6 @@ fn run(args: Vec<String>) -> Result<bool, String> {
 
 fn next_f64<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<f64, String> {
     let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
-    raw.parse().map_err(|e| format!("bad value for {flag}: {e}"))
+    raw.parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
 }

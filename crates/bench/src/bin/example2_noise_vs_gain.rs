@@ -17,9 +17,7 @@ fn main() {
     let opts = HarnessOpts::from_env();
     let g = bench_graph(Dataset::Gowalla, &opts);
     let n = g.num_nodes();
-    println!(
-        "Example 2 — Laplace noise vs greedy gain on Gowalla replica (|V| = {n})\n"
-    );
+    println!("Example 2 — Laplace noise vs greedy gain on Gowalla replica (|V| = {n})\n");
 
     // True top greedy marginal gains (what the mechanism must preserve).
     let (seeds, _) = celf_coverage(&g, 10);
@@ -66,7 +64,13 @@ fn main() {
         json_rows.push((eps, best, noise_scale, survival));
     }
     print_table(
-        &["epsilon", "top gain", "noise scale |V|/eps", "noise/gain", "ranking survives"],
+        &[
+            "epsilon",
+            "top gain",
+            "noise scale |V|/eps",
+            "noise/gain",
+            "ranking survives",
+        ],
         &rows,
     );
     println!(

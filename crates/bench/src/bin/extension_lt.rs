@@ -24,7 +24,10 @@ fn main() {
     } else {
         vec![Dataset::LastFm, Dataset::Facebook]
     };
-    let lt = DiffusionConfig { model: DiffusionModel::LinearThreshold, max_steps: Some(2) };
+    let lt = DiffusionConfig {
+        model: DiffusionModel::LinearThreshold,
+        max_steps: Some(2),
+    };
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -33,7 +36,10 @@ fn main() {
         let g = weighted_cascade(&base);
         let name = dataset.spec().name;
         eprintln!("[ext-lt] {name}: |V|={}", g.num_nodes());
-        for (label, loss) in [("IC product loss", LossKind::IcProduct), ("LT truncated loss", LossKind::LtTruncated)] {
+        for (label, loss) in [
+            ("IC product loss", LossKind::IcProduct),
+            ("LT truncated loss", LossKind::LtTruncated),
+        ] {
             let mut cfg = bench_config(g.num_nodes(), Some(3.0));
             cfg.loss = loss;
             let mut spreads = Vec::new();

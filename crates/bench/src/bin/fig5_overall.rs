@@ -3,11 +3,11 @@
 //! — is part of the same sweep here). Also includes the partitioned
 //! Friendster replica from Figure 5's last panel.
 
+use privim_bench::experiment::epsilon_grid;
 use privim_bench::{
     bench_config, bench_graph, celf_reference, print_table, run_repeated, write_json_seeded,
     HarnessOpts, MethodRow,
 };
-use privim_bench::experiment::epsilon_grid;
 use privim_core::pipeline::{run_method, Method};
 use privim_datasets::paper::Dataset;
 
@@ -31,14 +31,35 @@ fn main() {
         ]);
         // Non-private reference once per dataset.
         let cfg = bench_config(g.num_nodes(), None);
-        let row = run_repeated(&g, name, Method::NonPrivate, &cfg, celf, opts.repeats, opts.seed);
+        let row = run_repeated(
+            &g,
+            name,
+            Method::NonPrivate,
+            &cfg,
+            celf,
+            opts.repeats,
+            opts.seed,
+        );
         rows.push(to_row(&row));
         all.push(row);
         for &eps in &epsilon_grid(opts.full) {
-            for method in [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Hp, Method::Egn] {
+            for method in [
+                Method::PrivImStar,
+                Method::PrivIm,
+                Method::HpGrat,
+                Method::Hp,
+                Method::Egn,
+            ] {
                 let cfg = bench_config(g.num_nodes(), Some(eps));
-                let row =
-                    run_repeated(&g, name, method, &cfg, celf, opts.repeats, opts.seed + eps as u64);
+                let row = run_repeated(
+                    &g,
+                    name,
+                    method,
+                    &cfg,
+                    celf,
+                    opts.repeats,
+                    opts.seed + eps as u64,
+                );
                 rows.push(to_row(&row));
                 all.push(row);
             }
@@ -51,7 +72,12 @@ fn main() {
     let k = bench_config(400, None).seed_size;
     let celf_total: f64 = parts.iter().map(|p| celf_reference(p, k)).sum();
     for &eps in &epsilon_grid(opts.full) {
-        for method in [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Egn] {
+        for method in [
+            Method::PrivImStar,
+            Method::PrivIm,
+            Method::HpGrat,
+            Method::Egn,
+        ] {
             let cfg = bench_config(400, Some(eps));
             let spread_total: f64 = parts
                 .iter()

@@ -26,8 +26,11 @@ fn main() {
     for dataset in datasets {
         let g = bench_graph(dataset, &opts);
         let name = dataset.spec().name;
-        let m_grid: [usize; 5] =
-            if dataset == Dataset::Email { [4, 6, 8, 10, 12] } else { [2, 4, 6, 8, 10] };
+        let m_grid: [usize; 5] = if dataset == Dataset::Email {
+            [4, 6, 8, 10, 12]
+        } else {
+            [2, 4, 6, 8, 10]
+        };
         eprintln!("[fig6] {name}: |V|={}", g.num_nodes());
         let k = bench_config(g.num_nodes(), None).seed_size;
         let celf = celf_reference(&g, k);

@@ -17,8 +17,11 @@ use privim_datasets::paper::Dataset;
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let datasets: Vec<Dataset> =
-        if opts.full { Dataset::SIX.to_vec() } else { vec![Dataset::LastFm, Dataset::HepPh] };
+    let datasets: Vec<Dataset> = if opts.full {
+        Dataset::SIX.to_vec()
+    } else {
+        vec![Dataset::LastFm, Dataset::HepPh]
+    };
     let indicator = Indicator::default();
     let n_grid = [20usize, 40, 60, 80];
     let m_grid = [2usize, 4, 6, 8];
@@ -69,7 +72,14 @@ fn main() {
 
     println!("\nFigure 8 / Figure 12 — indicator (theory) vs spread (empirical), eps = 3\n");
     print_table(
-        &["dataset", "n", "M", "indicator I(n,M)", "spread", "coverage %"],
+        &[
+            "dataset",
+            "n",
+            "M",
+            "indicator I(n,M)",
+            "spread",
+            "coverage %",
+        ],
         &rows,
     );
     if let Some(path) = &opts.json {

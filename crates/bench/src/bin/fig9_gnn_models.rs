@@ -16,8 +16,13 @@ fn main() {
     } else {
         vec![Dataset::Email, Dataset::LastFm, Dataset::Facebook]
     };
-    let models =
-        [ModelKind::GraphSage, ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Grat];
+    let models = [
+        ModelKind::GraphSage,
+        ModelKind::Gcn,
+        ModelKind::Gat,
+        ModelKind::Gin,
+        ModelKind::Grat,
+    ];
 
     let mut rows = Vec::new();
     let mut all: Vec<MethodRow> = Vec::new();

@@ -1,0 +1,396 @@
+//! loadgen — closed-loop load generator for the `privim-serve` inference
+//! server.
+//!
+//! Starts an in-process server over a synthetic Email-replica fixture
+//! (or targets an external `--addr`), drives it with `--clients`
+//! closed-loop clients alternating `/v1/seeds` and `/v1/spread`
+//! requests, and — unless `--no-shutdown` — requests a graceful
+//! shutdown halfway through to verify that no in-flight request is
+//! dropped while the server drains.
+//!
+//! Prints per-route throughput and latency percentiles, optionally
+//! writing them as a `{seed, rows, telemetry}` JSON envelope via
+//! `--json`. Exits 1 if any request was dropped (no response on an
+//! established connection outside the shutdown window).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use privim_bench::{print_table, write_json_seeded};
+use privim_datasets::paper::Dataset;
+use privim_graph::io;
+use privim_nn::models::{build_model, ModelKind};
+use privim_nn::serialize::Checkpoint;
+use privim_serve::{App, AppConfig, HttpClient, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    queue_depth: usize,
+    scale: f64,
+    seed: u64,
+    trials: usize,
+    json: Option<String>,
+    addr: Option<String>,
+    no_shutdown: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            clients: 8,
+            requests: 50,
+            workers: 4,
+            queue_depth: 64,
+            scale: 0.15,
+            seed: 42,
+            trials: 200,
+            json: None,
+            addr: None,
+            no_shutdown: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: loadgen [--clients n] [--requests n] [--workers n] \
+                     [--queue-depth n] [--scale f] [--seed u] [--trials n] \
+                     [--json path] [--addr host:port] [--no-shutdown]";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--clients" => opts.clients = num(&value("--clients")?, "--clients")?,
+            "--requests" => opts.requests = num(&value("--requests")?, "--requests")?,
+            "--workers" => opts.workers = num(&value("--workers")?, "--workers")?,
+            "--queue-depth" => opts.queue_depth = num(&value("--queue-depth")?, "--queue-depth")?,
+            "--scale" => opts.scale = num(&value("--scale")?, "--scale")?,
+            "--seed" => opts.seed = num(&value("--seed")?, "--seed")?,
+            "--trials" => opts.trials = num(&value("--trials")?, "--trials")?,
+            "--json" => opts.json = Some(value("--json")?),
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--no-shutdown" => opts.no_shutdown = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 {
+        return Err("--clients and --requests must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+fn num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
+}
+
+/// One request's fate, as seen from the client side.
+enum Outcome {
+    /// Answered; status and latency.
+    Answered {
+        route: &'static str,
+        status: u16,
+        ms: f64,
+    },
+    /// No response on an established connection while the server was NOT
+    /// shutting down — the failure mode the harness exists to catch.
+    Dropped { route: &'static str },
+    /// Failed during the shutdown window (connection refused or drained);
+    /// expected load shedding, not an error.
+    Shed,
+}
+
+#[derive(Debug, Serialize)]
+struct RouteRow {
+    route: String,
+    requests: usize,
+    ok: usize,
+    rejected: usize,
+    errors: usize,
+    dropped: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Writes the graph + checkpoint fixture the in-process server loads.
+fn write_fixture(dir: &std::path::Path, scale: f64, seed: u64) -> AppConfig {
+    std::fs::create_dir_all(dir).expect("create fixture dir");
+    let graph = Dataset::Email.generate(scale, seed);
+    let graph_path = dir.join("email.bin");
+    io::save_binary(&graph, &graph_path).expect("save fixture graph");
+    let in_dim = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = build_model(ModelKind::GraphSage, in_dim, 16, 2, &mut rng);
+    let checkpoint_path = dir.join("model.json");
+    Checkpoint::capture(model.as_ref(), in_dim, 16, 2)
+        .save(&checkpoint_path)
+        .expect("save fixture checkpoint");
+    AppConfig::new(
+        graph_path.to_string_lossy().into_owned(),
+        checkpoint_path.to_string_lossy().into_owned(),
+    )
+}
+
+fn run_client(
+    addr: &str,
+    client_id: usize,
+    opts: &Opts,
+    completed: &AtomicUsize,
+    shutting_down: &AtomicBool,
+) -> Vec<Outcome> {
+    let mut outcomes = Vec::with_capacity(opts.requests);
+    let mut client = match HttpClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return outcomes, // server already gone; nothing in flight
+    };
+    for i in 0..opts.requests {
+        let request_seed = opts.seed + (client_id * opts.requests + i) as u64;
+        let (route, path, body): (&'static str, &str, String) = if i % 2 == 0 {
+            (
+                "seeds",
+                "/v1/seeds",
+                format!(r#"{{"k": 10, "seed": {request_seed}}}"#),
+            )
+        } else {
+            (
+                "spread",
+                "/v1/spread",
+                format!(
+                    r#"{{"seeds": [0, 1, 2], "trials": {}, "seed": {request_seed}, "steps": 1}}"#,
+                    opts.trials
+                ),
+            )
+        };
+        let start = Instant::now();
+        match client.post(path, body.as_bytes()) {
+            Ok(resp) => {
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                completed.fetch_add(1, Ordering::SeqCst);
+                outcomes.push(Outcome::Answered {
+                    route,
+                    status: resp.status,
+                    ms,
+                });
+                if resp.status == 503 {
+                    // Backpressure: honor Retry-After (slightly jittered by
+                    // client id so retries do not re-stampede the queue).
+                    std::thread::sleep(Duration::from_millis(5 + (client_id as u64 % 7)));
+                }
+            }
+            Err(_) if shutting_down.load(Ordering::SeqCst) => {
+                outcomes.push(Outcome::Shed);
+                break; // server is draining; this client is done
+            }
+            Err(_) => outcomes.push(Outcome::Dropped { route }),
+        }
+    }
+    outcomes
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    if let Some(sink) = privim_obs::StderrSink::from_env() {
+        privim_obs::install_sink(Arc::new(sink));
+    }
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Either start an in-process server over a temp fixture, or target an
+    // externally running one (no shutdown is exercised in that mode).
+    let fixture_dir = std::env::temp_dir().join(format!("privim-loadgen-{}", std::process::id()));
+    let server: Option<Server> = match &opts.addr {
+        Some(_) => None,
+        None => {
+            let app_config = write_fixture(&fixture_dir, opts.scale, opts.seed);
+            let app = App::load(&app_config).expect("load fixture app");
+            let config = ServerConfig {
+                workers: opts.workers,
+                queue_depth: opts.queue_depth,
+                ..ServerConfig::default()
+            };
+            Some(Server::start(config, Arc::new(app)).expect("start server"))
+        }
+    };
+    let addr = match (&opts.addr, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let total = opts.clients * opts.requests;
+    let shutdown_at = total / 2;
+    let exercise_shutdown = !opts.no_shutdown && server.is_some();
+    println!(
+        "loadgen: {} clients x {} requests against {addr} ({})",
+        opts.clients,
+        opts.requests,
+        if exercise_shutdown {
+            format!("graceful shutdown after ~{shutdown_at} responses")
+        } else {
+            "no mid-run shutdown".to_string()
+        }
+    );
+
+    let completed = AtomicUsize::new(0);
+    let shutting_down = AtomicBool::new(false);
+    let clients_done = AtomicBool::new(false);
+    let started = Instant::now();
+
+    let mut all_outcomes: Vec<Outcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|client_id| {
+                let (addr, opts) = (&addr, &opts);
+                let (completed, shutting_down) = (&completed, &shutting_down);
+                scope.spawn(move || run_client(addr, client_id, opts, completed, shutting_down))
+            })
+            .collect();
+        if exercise_shutdown {
+            let server = server.as_ref().expect("in-process server");
+            let (completed, shutting_down, clients_done) =
+                (&completed, &shutting_down, &clients_done);
+            scope.spawn(move || {
+                while completed.load(Ordering::SeqCst) < shutdown_at
+                    && !clients_done.load(Ordering::SeqCst)
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Flag first so late client errors classify as shed, not
+                // dropped, then stop accepting and drain.
+                shutting_down.store(true, Ordering::SeqCst);
+                server.request_shutdown();
+            });
+        }
+        for handle in handles {
+            all_outcomes.extend(handle.join().expect("client thread"));
+        }
+        clients_done.store(true, Ordering::SeqCst);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(server) = server {
+        server.shutdown(); // drains whatever is left, flushes telemetry
+    }
+    let _ = std::fs::remove_dir_all(&fixture_dir);
+
+    // Aggregate per route.
+    let mut rows: Vec<RouteRow> = Vec::new();
+    let mut shed = 0usize;
+    for route in ["seeds", "spread"] {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut row = RouteRow {
+            route: route.to_string(),
+            requests: 0,
+            ok: 0,
+            rejected: 0,
+            errors: 0,
+            dropped: 0,
+            throughput_rps: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+        };
+        for outcome in &all_outcomes {
+            match outcome {
+                Outcome::Answered {
+                    route: r,
+                    status,
+                    ms,
+                } if *r == route => {
+                    row.requests += 1;
+                    match status {
+                        200 => {
+                            row.ok += 1;
+                            latencies.push(*ms);
+                        }
+                        503 => row.rejected += 1,
+                        _ => row.errors += 1,
+                    }
+                }
+                Outcome::Dropped { route: r } if *r == route => {
+                    row.requests += 1;
+                    row.dropped += 1;
+                }
+                _ => {}
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        row.p50_ms = percentile(&latencies, 0.50);
+        row.p95_ms = percentile(&latencies, 0.95);
+        row.p99_ms = percentile(&latencies, 0.99);
+        row.throughput_rps = row.ok as f64 / elapsed.max(1e-9);
+        rows.push(row);
+    }
+    for outcome in &all_outcomes {
+        if matches!(outcome, Outcome::Shed) {
+            shed += 1;
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.route.clone(),
+                r.requests.to_string(),
+                r.ok.to_string(),
+                r.rejected.to_string(),
+                r.errors.to_string(),
+                r.dropped.to_string(),
+                format!("{:.1}", r.throughput_rps),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p95_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    println!();
+    print_table(
+        &[
+            "route", "reqs", "ok", "503", "err", "dropped", "rps", "p50ms", "p95ms", "p99ms",
+        ],
+        &table,
+    );
+    println!(
+        "\n{} responses in {elapsed:.2}s ({} shed during shutdown)",
+        completed.load(Ordering::SeqCst),
+        shed
+    );
+
+    if let Some(path) = &opts.json {
+        write_json_seeded(path, opts.seed, &rows).expect("write json");
+        println!("wrote {path}");
+    }
+    privim_obs::flush_sinks();
+
+    let dropped: usize = rows.iter().map(|r| r.dropped).sum();
+    if dropped > 0 {
+        eprintln!("FAIL: {dropped} request(s) dropped outside the shutdown window");
+        std::process::exit(1);
+    }
+}

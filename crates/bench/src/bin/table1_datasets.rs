@@ -21,7 +21,12 @@ fn main() {
             spec.name.to_string(),
             format!("{}", spec.num_nodes),
             format!("{:.2}", spec.avg_degree),
-            if spec.directed { "Directed" } else { "Undirected" }.to_string(),
+            if spec.directed {
+                "Directed"
+            } else {
+                "Undirected"
+            }
+            .to_string(),
             format!("{}", s.num_nodes),
             format!("{}", s.num_edges),
             format!("{:.2}", s.avg_degree),

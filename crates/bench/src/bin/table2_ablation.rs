@@ -22,7 +22,15 @@ fn main() {
         let celf = celf_reference(&g, k);
 
         let np_cfg = bench_config(g.num_nodes(), None);
-        let np = run_repeated(&g, name, Method::NonPrivate, &np_cfg, celf, opts.repeats, opts.seed);
+        let np = run_repeated(
+            &g,
+            name,
+            Method::NonPrivate,
+            &np_cfg,
+            celf,
+            opts.repeats,
+            opts.seed,
+        );
         rows.push(row_of(&np, "inf"));
         all.push(np);
 

@@ -11,7 +11,12 @@ use privim_datasets::paper::Dataset;
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let methods = [Method::PrivImStar, Method::PrivIm, Method::HpGrat, Method::Egn];
+    let methods = [
+        Method::PrivImStar,
+        Method::PrivIm,
+        Method::HpGrat,
+        Method::Egn,
+    ];
 
     let mut rows = Vec::new();
     let mut all: Vec<MethodRow> = Vec::new();
@@ -34,7 +39,10 @@ fn main() {
     }
 
     println!("Table III — computational time cost (seconds)\n");
-    print_table(&["method", "dataset", "preprocessing", "per-epoch training"], &rows);
+    print_table(
+        &["method", "dataset", "preprocessing", "per-epoch training"],
+        &rows,
+    );
     if let Some(path) = &opts.json {
         write_json_seeded(path, opts.seed, &all).expect("write json");
         println!("\nwrote {path}");

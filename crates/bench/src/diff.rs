@@ -31,7 +31,12 @@ pub struct DiffOptions {
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        DiffOptions { runtime_tol: 0.25, quality_tol: 0.05, min_runtime: 0.01, strict: false }
+        DiffOptions {
+            runtime_tol: 0.25,
+            quality_tol: 0.05,
+            min_runtime: 0.01,
+            strict: false,
+        }
     }
 }
 
@@ -142,7 +147,11 @@ impl DiffReport {
 }
 
 /// Compares two harness JSON texts. Errors on unparseable input.
-pub fn diff_json(baseline: &str, candidate: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+pub fn diff_json(
+    baseline: &str,
+    candidate: &str,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
     let base = flatten(&parse(baseline).map_err(|e| format!("baseline: {e}"))?)?;
     let cand = flatten(&parse(candidate).map_err(|e| format!("candidate: {e}"))?)?;
     let mut report = DiffReport::default();
@@ -196,7 +205,9 @@ fn flatten(value: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
     let (rows, telemetry) = match value {
         JsonValue::Arr(_) => (value, None),
         JsonValue::Obj(_) => {
-            let rows = value.get("rows").ok_or("object input has no `rows` field")?;
+            let rows = value
+                .get("rows")
+                .ok_or("object input has no `rows` field")?;
             (rows, value.get("telemetry"))
         }
         _ => return Err("input must be a row array or a {seed, rows, telemetry} envelope".into()),
@@ -217,7 +228,11 @@ fn flatten(value: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
                 }
             }
         }
-        let key = if key_parts.is_empty() { format!("row{i}") } else { key_parts.join(" ") };
+        let key = if key_parts.is_empty() {
+            format!("row{i}")
+        } else {
+            key_parts.join(" ")
+        };
         for (name, field) in fields {
             if name == "epsilon" {
                 continue;
@@ -284,7 +299,11 @@ mod tests {
     #[test]
     fn identical_envelopes_self_compare_clean() {
         let report = diff_json(ENVELOPE, ENVELOPE, &DiffOptions::default()).unwrap();
-        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(
+            !report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
         assert!(report.missing.is_empty());
         assert!(report.added.is_empty());
         assert!(!report.metrics.is_empty());
@@ -295,7 +314,11 @@ mod tests {
     fn doubled_runtime_is_a_regression() {
         let slow = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 3.0");
         let report = diff_json(ENVELOPE, &slow, &DiffOptions::default()).unwrap();
-        assert!(report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(
+            report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
         let reg: Vec<_> = report.regressions().collect();
         assert_eq!(reg.len(), 1, "{}", report.render());
         assert!(reg[0].name.ends_with("training_secs"));
@@ -307,21 +330,36 @@ mod tests {
     fn runtime_below_noise_floor_is_informational() {
         // preprocessing_secs baseline 0.001 < min_runtime 0.01: even a 10x
         // slowdown must not gate.
-        let slow =
-            with_metric(ENVELOPE, "\"preprocessing_secs\": 0.001", "\"preprocessing_secs\": 0.01");
+        let slow = with_metric(
+            ENVELOPE,
+            "\"preprocessing_secs\": 0.001",
+            "\"preprocessing_secs\": 0.01",
+        );
         let report = diff_json(ENVELOPE, &slow, &DiffOptions::default()).unwrap();
-        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(
+            !report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]
     fn quality_drop_is_a_regression_but_gain_is_not() {
-        let worse = with_metric(ENVELOPE, "\"spread_mean\": 349.67", "\"spread_mean\": 300.0");
+        let worse = with_metric(
+            ENVELOPE,
+            "\"spread_mean\": 349.67",
+            "\"spread_mean\": 300.0",
+        );
         let report = diff_json(ENVELOPE, &worse, &DiffOptions::default()).unwrap();
         let reg: Vec<_> = report.regressions().collect();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg[0].class, MetricClass::Quality);
 
-        let better = with_metric(ENVELOPE, "\"spread_mean\": 349.67", "\"spread_mean\": 400.0");
+        let better = with_metric(
+            ENVELOPE,
+            "\"spread_mean\": 349.67",
+            "\"spread_mean\": 400.0",
+        );
         let report = diff_json(ENVELOPE, &better, &DiffOptions::default()).unwrap();
         assert!(!report.has_regressions(&DiffOptions::default()));
     }
@@ -330,7 +368,11 @@ mod tests {
     fn spread_std_is_not_gated() {
         let noisy = with_metric(ENVELOPE, "\"spread_std\": 4.2", "\"spread_std\": 40.0");
         let report = diff_json(ENVELOPE, &noisy, &DiffOptions::default()).unwrap();
-        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(
+            !report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]
@@ -339,7 +381,10 @@ mod tests {
         let slower = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 1.8");
         let report = diff_json(ENVELOPE, &slower, &DiffOptions::default()).unwrap();
         assert!(!report.has_regressions(&DiffOptions::default()));
-        let tight = DiffOptions { runtime_tol: 0.1, ..DiffOptions::default() };
+        let tight = DiffOptions {
+            runtime_tol: 0.1,
+            ..DiffOptions::default()
+        };
         let report = diff_json(ENVELOPE, &slower, &tight).unwrap();
         assert!(report.has_regressions(&tight));
     }
@@ -355,7 +400,11 @@ mod tests {
            "preprocessing_secs": 0.001, "training_secs": 0.0, "per_epoch_secs": 0.0}
         ]"#;
         let report = diff_json(legacy, ENVELOPE, &DiffOptions::default()).unwrap();
-        assert!(!report.has_regressions(&DiffOptions::default()), "{}", report.render());
+        assert!(
+            !report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
         // The envelope's telemetry metrics are new coverage, not missing.
         assert!(report.missing.is_empty());
         assert!(report.added.iter().any(|n| n.contains("span.training")));
@@ -367,7 +416,10 @@ mod tests {
         let report = diff_json(ENVELOPE, &fewer, &DiffOptions::default()).unwrap();
         assert_eq!(report.missing.len(), 1);
         assert!(!report.has_regressions(&DiffOptions::default()));
-        let strict = DiffOptions { strict: true, ..DiffOptions::default() };
+        let strict = DiffOptions {
+            strict: true,
+            ..DiffOptions::default()
+        };
         assert!(report.has_regressions(&strict));
     }
 

@@ -24,7 +24,11 @@ const FULL_TARGET_NODES: usize = 3_000;
 /// Generates the benchmark replica of `dataset` for the given options.
 pub fn bench_graph(dataset: Dataset, opts: &HarnessOpts) -> Graph {
     let spec = dataset.spec();
-    let target = if opts.full { FULL_TARGET_NODES } else { QUICK_TARGET_NODES } as f64;
+    let target = if opts.full {
+        FULL_TARGET_NODES
+    } else {
+        QUICK_TARGET_NODES
+    } as f64;
     let scale = ((target * opts.scale) / spec.num_nodes as f64).clamp(1e-6, 1.0);
     dataset.generate(scale, opts.seed)
 }
@@ -98,16 +102,27 @@ pub fn run_repeated(
         .map(|r| run_method(g, method, config, base_seed.wrapping_add(1 + r as u64)))
         .collect();
     let spreads: Vec<f64> = results.iter().map(|r| r.spread).collect();
-    let coverages: Vec<f64> =
-        spreads.iter().map(|&s| 100.0 * s / celf_spread.max(1e-9)).collect();
+    let coverages: Vec<f64> = spreads
+        .iter()
+        .map(|&s| 100.0 * s / celf_spread.max(1e-9))
+        .collect();
     let (spread_mean, spread_std) = mean_std(&spreads);
     let (coverage_mean, coverage_std) = mean_std(&coverages);
-    let (pre, _) = mean_std(&results.iter().map(|r| r.preprocessing_secs).collect::<Vec<_>>());
+    let (pre, _) = mean_std(
+        &results
+            .iter()
+            .map(|r| r.preprocessing_secs)
+            .collect::<Vec<_>>(),
+    );
     let (epoch, _) = mean_std(&results.iter().map(|r| r.per_epoch_secs).collect::<Vec<_>>());
     MethodRow {
         dataset: dataset_name.to_string(),
         method: method.name().to_string(),
-        epsilon: if method == Method::NonPrivate { None } else { config.epsilon },
+        epsilon: if method == Method::NonPrivate {
+            None
+        } else {
+            config.epsilon
+        },
         spread_mean,
         spread_std,
         coverage_mean,
@@ -137,7 +152,10 @@ mod tests {
         assert!((200..=500).contains(&g.num_nodes()), "{}", g.num_nodes());
         let g = bench_graph(Dataset::Email, &opts);
         assert!((200..=500).contains(&g.num_nodes()));
-        let full = HarnessOpts { full: true, ..HarnessOpts::default() };
+        let full = HarnessOpts {
+            full: true,
+            ..HarnessOpts::default()
+        };
         let g = bench_graph(Dataset::Email, &full);
         assert_eq!(g.num_nodes(), 1_000, "full Email caps at its real size");
     }
@@ -161,7 +179,10 @@ mod tests {
 
     #[test]
     fn run_repeated_aggregates() {
-        let opts = HarnessOpts { repeats: 2, ..HarnessOpts::default() };
+        let opts = HarnessOpts {
+            repeats: 2,
+            ..HarnessOpts::default()
+        };
         let g = bench_graph(Dataset::Email, &opts);
         let cfg = PrivImConfig {
             iterations: 4,

@@ -49,12 +49,12 @@ impl HarnessOpts {
                 "--repeats" => opts.repeats = next_value(&mut it, "--repeats")?,
                 "--full" => opts.full = true,
                 "--json" => {
-                    opts.json =
-                        Some(it.next().ok_or_else(|| "--json needs a path".to_string())?)
+                    opts.json = Some(it.next().ok_or_else(|| "--json needs a path".to_string())?)
                 }
                 "--telemetry-out" => {
                     opts.telemetry_out = Some(
-                        it.next().ok_or_else(|| "--telemetry-out needs a path".to_string())?,
+                        it.next()
+                            .ok_or_else(|| "--telemetry-out needs a path".to_string())?,
                     )
                 }
                 "--profile" => opts.profile = true,
@@ -127,7 +127,8 @@ where
     T::Err: std::fmt::Display,
 {
     let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
-    raw.parse().map_err(|e| format!("bad value for {flag}: {e}"))
+    raw.parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
 }
 
 #[cfg(test)]
@@ -148,8 +149,18 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
-            "--scale", "0.5", "--seed", "7", "--repeats", "5", "--full", "--json", "out.json",
-            "--telemetry-out", "out.jsonl", "--profile",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--repeats",
+            "5",
+            "--full",
+            "--json",
+            "out.json",
+            "--telemetry-out",
+            "out.jsonl",
+            "--profile",
         ])
         .unwrap();
         assert_eq!(o.scale, 0.5);

@@ -68,7 +68,12 @@ pub fn write_json_seeded<T: Serialize, P: AsRef<Path>>(
     rows: &T,
 ) -> std::io::Result<()> {
     let profile = Some(privim_obs::profile_report()).filter(|r| !r.is_empty());
-    let report = SeededReport { seed, rows, telemetry: privim_obs::snapshot(), profile };
+    let report = SeededReport {
+        seed,
+        rows,
+        telemetry: privim_obs::snapshot(),
+        profile,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serializable rows");
     std::fs::write(path, json)
 }
@@ -109,6 +114,9 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_input() {
-        print_table(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
     }
 }

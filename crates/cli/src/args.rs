@@ -17,6 +17,8 @@ pub enum Command {
     Evaluate(EvaluateArgs),
     /// Print accounting numbers (σ, noise std, spent ε) for a setting.
     Account(AccountArgs),
+    /// Serve influence-maximization queries over HTTP from a checkpoint.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -57,6 +59,18 @@ pub struct EvaluateArgs {
 }
 
 #[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    pub graph: String,
+    pub checkpoint: String,
+    pub addr: String,
+    pub workers: usize,
+    pub queue_depth: usize,
+    pub deadline_ms: u64,
+    pub max_trials: usize,
+    pub spread_threads: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccountArgs {
     pub epsilon: f64,
     pub delta: f64,
@@ -79,6 +93,9 @@ USAGE:
   privim evaluate --graph <path> --seeds 1,2,3 [--steps n] [--trials n]
   privim account  --epsilon f [--delta f] [--iterations n] [--batch n]
                   [--container n] [--occurrences n]
+  privim serve    --graph <path> --checkpoint <path> [--addr host:port]
+                  [--workers n] [--queue-depth n] [--deadline-ms n]
+                  [--max-trials n] [--spread-threads n]
   privim help
 
 GLOBAL FLAGS (any subcommand):
@@ -148,8 +165,7 @@ pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsArgs), String>
                     obs.log_level = None;
                 } else {
                     obs.log_off = false;
-                    obs.log_level =
-                        Some(v.parse().map_err(|e| format!("bad --log-level: {e}"))?);
+                    obs.log_level = Some(v.parse().map_err(|e| format!("bad --log-level: {e}"))?);
                 }
             }
             "--telemetry-out" => {
@@ -228,19 +244,25 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, found {flag}"))?;
-            let value =
-                it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone();
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone();
             pairs.push((name.to_string(), value));
         }
         Ok(Flags { pairs })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 
     fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
@@ -284,7 +306,16 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             let f = Flags::parse(rest)?;
             check_unknown(
                 &f,
-                &["graph", "method", "model", "epsilon", "k", "iterations", "seed", "checkpoint"],
+                &[
+                    "graph",
+                    "method",
+                    "model",
+                    "epsilon",
+                    "k",
+                    "iterations",
+                    "seed",
+                    "checkpoint",
+                ],
             )?;
             Ok(Command::Train(TrainArgs {
                 graph: f.require("graph")?.to_string(),
@@ -312,8 +343,11 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
         "evaluate" => {
             let f = Flags::parse(rest)?;
             check_unknown(&f, &["graph", "seeds", "steps", "trials"])?;
-            let seeds: Result<Vec<u32>, _> =
-                f.require("seeds")?.split(',').map(|s| s.trim().parse::<u32>()).collect();
+            let seeds: Result<Vec<u32>, _> = f
+                .require("seeds")?
+                .split(',')
+                .map(|s| s.trim().parse::<u32>())
+                .collect();
             Ok(Command::Evaluate(EvaluateArgs {
                 graph: f.require("graph")?.to_string(),
                 seeds: seeds.map_err(|e| format!("bad --seeds: {e}"))?,
@@ -328,15 +362,51 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             let f = Flags::parse(rest)?;
             check_unknown(
                 &f,
-                &["epsilon", "delta", "iterations", "batch", "container", "occurrences"],
+                &[
+                    "epsilon",
+                    "delta",
+                    "iterations",
+                    "batch",
+                    "container",
+                    "occurrences",
+                ],
             )?;
             Ok(Command::Account(AccountArgs {
-                epsilon: f.require("epsilon")?.parse().map_err(|e| format!("bad --epsilon: {e}"))?,
+                epsilon: f
+                    .require("epsilon")?
+                    .parse()
+                    .map_err(|e| format!("bad --epsilon: {e}"))?,
                 delta: f.parse_opt("delta", 1e-5)?,
                 iterations: f.parse_opt("iterations", 60)?,
                 batch: f.parse_opt("batch", 32)?,
                 container: f.parse_opt("container", 100)?,
                 occurrences: f.parse_opt("occurrences", 4)?,
+            }))
+        }
+        "serve" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(
+                &f,
+                &[
+                    "graph",
+                    "checkpoint",
+                    "addr",
+                    "workers",
+                    "queue-depth",
+                    "deadline-ms",
+                    "max-trials",
+                    "spread-threads",
+                ],
+            )?;
+            Ok(Command::Serve(ServeArgs {
+                graph: f.require("graph")?.to_string(),
+                checkpoint: f.require("checkpoint")?.to_string(),
+                addr: f.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+                workers: f.parse_opt("workers", 4)?,
+                queue_depth: f.parse_opt("queue-depth", 64)?,
+                deadline_ms: f.parse_opt("deadline-ms", 10_000)?,
+                max_trials: f.parse_opt("max-trials", 100_000)?,
+                spread_threads: f.parse_opt("spread-threads", 2)?,
             }))
         }
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
@@ -370,7 +440,13 @@ mod tests {
     #[test]
     fn generate_round_trip() {
         let cmd = parse(&[
-            "generate", "--dataset", "lastfm", "--scale", "0.2", "--output", "g.bin",
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "0.2",
+            "--output",
+            "g.bin",
         ])
         .unwrap();
         match cmd {
@@ -433,7 +509,9 @@ mod tests {
         assert!(parse(&["train", "--graph", "g", "--bogus", "1"])
             .unwrap_err()
             .contains("unknown flags"));
-        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(parse(&["evaluate", "--graph", "g", "--seeds", "a,b"])
             .unwrap_err()
             .contains("bad --seeds"));
@@ -450,8 +528,18 @@ mod tests {
     #[test]
     fn obs_flags_are_split_from_any_position() {
         let argv: Vec<String> = [
-            "train", "--log-level", "debug", "--graph", "g.bin", "--telemetry-out", "run.jsonl",
-            "--profile", "--metrics-out", "m.prom", "--report-out", "r.html",
+            "train",
+            "--log-level",
+            "debug",
+            "--graph",
+            "g.bin",
+            "--telemetry-out",
+            "run.jsonl",
+            "--profile",
+            "--metrics-out",
+            "m.prom",
+            "--report-out",
+            "r.html",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -473,8 +561,10 @@ mod tests {
 
     #[test]
     fn profile_out_implies_profile() {
-        let argv: Vec<String> =
-            ["help", "--profile-out", "flame.txt"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["help", "--profile-out", "flame.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (_, obs) = split_obs_args(&argv).unwrap();
         assert!(obs.profile, "--profile-out must enable the profiler");
         assert_eq!(obs.profile_out.as_deref(), Some("flame.txt"));
@@ -484,18 +574,72 @@ mod tests {
 
     #[test]
     fn obs_flags_default_to_absent_and_off_disables() {
-        let argv: Vec<String> = ["account", "--epsilon", "2"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["account", "--epsilon", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (rest, obs) = split_obs_args(&argv).unwrap();
         assert_eq!(obs, ObsArgs::default());
         assert_eq!(rest.len(), 3);
-        let argv: Vec<String> =
-            ["help", "--log-level", "off"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["help", "--log-level", "off"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (_, obs) = split_obs_args(&argv).unwrap();
         assert_eq!(obs.log_level, None);
         assert!(obs.log_off);
         assert_eq!(obs.effective_level(), None, "off beats PRIVIM_LOG");
         let argv: Vec<String> = ["--log-level"].iter().map(|s| s.to_string()).collect();
         assert!(split_obs_args(&argv).unwrap_err().contains("--log-level"));
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let cmd = parse(&["serve", "--graph", "g.bin", "--checkpoint", "m.json"]).unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.addr, "127.0.0.1:7878");
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue_depth, 64);
+                assert_eq!(a.deadline_ms, 10_000);
+                assert_eq!(a.max_trials, 100_000);
+                assert_eq!(a.spread_threads, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "--graph",
+            "g.bin",
+            "--checkpoint",
+            "m.json",
+            "--addr",
+            "0.0.0.0:80",
+            "--workers",
+            "8",
+            "--queue-depth",
+            "128",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.addr, "0.0.0.0:80");
+                assert_eq!(a.workers, 8);
+                assert_eq!(a.queue_depth, 128);
+                assert_eq!(a.deadline_ms, 250);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--graph", "g.bin"])
+            .unwrap_err()
+            .contains("--checkpoint"));
+        assert!(
+            parse(&["serve", "--graph", "g", "--checkpoint", "m", "--bogus", "1"])
+                .unwrap_err()
+                .contains("unknown flags")
+        );
     }
 
     #[test]

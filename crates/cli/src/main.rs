@@ -3,7 +3,8 @@
 //! Subcommands: `generate` (synthetic dataset replicas), `train`
 //! (DP-GNN training + seed selection + checkpoint), `select` (seed
 //! selection from a saved checkpoint), `evaluate` (influence spread of a
-//! seed set), `account` (privacy-accounting numbers). Run `privim help`
+//! seed set), `account` (privacy-accounting numbers), `serve` (threaded
+//! HTTP inference server over a saved checkpoint). Run `privim help`
 //! for usage.
 
 mod args;
@@ -205,7 +206,10 @@ fn run(command: Command) -> Result<(), String> {
             let g = load_graph(&a.graph)?;
             for &s in &a.seeds {
                 if s as usize >= g.num_nodes() {
-                    return Err(format!("seed {s} out of range (graph has {} nodes)", g.num_nodes()));
+                    return Err(format!(
+                        "seed {s} out of range (graph has {} nodes)",
+                        g.num_nodes()
+                    ));
                 }
             }
             let cfg = DiffusionConfig {
@@ -241,10 +245,53 @@ fn run(command: Command) -> Result<(), String> {
                 "  absolute noise std (C = 1) = sigma * N_g = {:.2}",
                 sigma * a.occurrences as f64
             ));
-            console(format!("  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})"));
+            console(format!(
+                "  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})"
+            ));
             Ok(())
         }
+        Command::Serve(a) => serve(&a),
     }
+}
+
+/// Runs the inference server until SIGINT/SIGTERM, then drains in-flight
+/// requests and exits cleanly. Serving is post-processing of the released
+/// checkpoint, so it spends no additional privacy budget.
+fn serve(a: &args::ServeArgs) -> Result<(), String> {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    privim_obs::info!("run", "start", command = "serve", addr = a.addr.clone());
+    let app_config = privim_serve::AppConfig {
+        graph: a.graph.clone(),
+        checkpoint: a.checkpoint.clone(),
+        max_trials: a.max_trials,
+        spread_threads: a.spread_threads,
+    };
+    let app = privim_serve::App::load(&app_config)?;
+    let config = privim_serve::ServerConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        queue_depth: a.queue_depth,
+        deadline: Duration::from_millis(a.deadline_ms.max(1)),
+        ..privim_serve::ServerConfig::default()
+    };
+    let server = privim_serve::Server::start(config, Arc::new(app))
+        .map_err(|e| format!("cannot serve on {}: {e}", a.addr))?;
+    console(format!(
+        "serving on http://{} ({} workers, queue depth {}); SIGINT/SIGTERM to stop",
+        server.local_addr(),
+        a.workers,
+        a.queue_depth
+    ));
+    let stop = privim_serve::install_shutdown_handler();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    console("shutdown requested; draining in-flight requests");
+    server.shutdown();
+    console("bye");
+    Ok(())
 }
 
 /// Trains a standalone model (same settings as the pipeline) so the
@@ -265,7 +312,13 @@ fn train_for_checkpoint(
         return Err("extraction produced no subgraphs; lower the subgraph size".into());
     }
     let kind = a.method.model_kind(config.model);
-    let mut model = build_model(kind, config.feature_dim, config.hidden, config.hops, &mut rng);
+    let mut model = build_model(
+        kind,
+        config.feature_dim,
+        config.hidden,
+        config.hops,
+        &mut rng,
+    );
     let privacy = a.epsilon.map(|eps| {
         PrivacySetup::calibrate(
             eps,
@@ -276,8 +329,19 @@ fn train_for_checkpoint(
             NoiseKind::Gaussian,
         )
     });
-    train(model.as_mut(), &out.container, config, privacy.as_ref(), &mut rng);
-    Ok(Checkpoint::capture(model.as_ref(), config.feature_dim, config.hidden, config.hops))
+    train(
+        model.as_mut(),
+        &out.container,
+        config,
+        privacy.as_ref(),
+        &mut rng,
+    );
+    Ok(Checkpoint::capture(
+        model.as_ref(),
+        config.feature_dim,
+        config.hidden,
+        config.hops,
+    ))
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {

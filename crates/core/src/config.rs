@@ -113,7 +113,8 @@ impl PrivImConfig {
     /// The effective sampling rate for a graph with `num_train` training
     /// nodes (`q = 256/|V_train|`, capped at 1).
     pub fn effective_sampling_rate(&self, num_train: usize) -> f64 {
-        self.sampling_rate.unwrap_or_else(|| (256.0 / num_train.max(1) as f64).min(1.0))
+        self.sampling_rate
+            .unwrap_or_else(|| (256.0 / num_train.max(1) as f64).min(1.0))
     }
 
     /// The effective δ for `num_train` training nodes (`1/(|V_train|+1)`).
@@ -202,7 +203,11 @@ mod tests {
 
     #[test]
     fn explicit_overrides_win() {
-        let c = PrivImConfig { sampling_rate: Some(0.25), delta: Some(1e-6), ..Default::default() };
+        let c = PrivImConfig {
+            sampling_rate: Some(0.25),
+            delta: Some(1e-6),
+            ..Default::default()
+        };
         assert_eq!(c.effective_sampling_rate(10_000), 0.25);
         assert_eq!(c.effective_delta(10), 1e-6);
     }

@@ -23,7 +23,11 @@ impl SubgraphSample {
         let graph = induced_subgraph(parent, &nodes);
         let tensors =
             GraphTensors::with_structural_features_for_subgraph(&graph, feature_dim, &nodes);
-        SubgraphSample { graph, original: nodes, tensors }
+        SubgraphSample {
+            graph,
+            original: nodes,
+            tensors,
+        }
     }
 
     /// Number of nodes in the sample.

@@ -33,7 +33,9 @@ pub fn seed_precision(selected: &[NodeId], reference: &[NodeId]) -> f64 {
 /// objective — the marginal-utility curve a practitioner inspects to pick
 /// the campaign budget.
 pub fn coverage_curve(g: &Graph, seeds: &[NodeId]) -> Vec<usize> {
-    (1..=seeds.len()).map(|k| deterministic_one_step_coverage(g, &seeds[..k])).collect()
+    (1..=seeds.len())
+        .map(|k| deterministic_one_step_coverage(g, &seeds[..k]))
+        .collect()
 }
 
 /// A method's full scorecard against CELF on one graph.
@@ -59,7 +61,11 @@ pub fn scorecard(g: &Graph, seeds: &[NodeId]) -> Scorecard {
     Scorecard {
         spread,
         celf_spread,
-        coverage_ratio: if celf_spread > 0.0 { 100.0 * spread / celf_spread } else { 0.0 },
+        coverage_ratio: if celf_spread > 0.0 {
+            100.0 * spread / celf_spread
+        } else {
+            0.0
+        },
         jaccard_vs_celf: seed_jaccard(seeds, &celf_seeds),
         precision_vs_celf: seed_precision(seeds, &celf_seeds),
     }
@@ -95,7 +101,10 @@ mod tests {
         assert_eq!(curve.len(), 3);
         assert!(curve.windows(2).all(|w| w[1] >= w[0]));
         assert_eq!(curve[0], 5); // hub covers everything
-        assert_eq!(*curve.last().unwrap(), deterministic_one_step_coverage(&g, &[0, 1, 2]));
+        assert_eq!(
+            *curve.last().unwrap(),
+            deterministic_one_step_coverage(&g, &[0, 1, 2])
+        );
     }
 
     #[test]

@@ -31,7 +31,14 @@ impl Default for Indicator {
     /// The constants the paper reports for all datasets (Section V-D):
     /// `ψ_n = 25, ψ_M = 5, k_n = 0.47, b_n = −1.03, k_M = 4.02, b_M = 1.22`.
     fn default() -> Self {
-        Indicator { psi_n: 25.0, psi_m: 5.0, k_n: 0.47, b_n: -1.03, k_m: 4.02, b_m: 1.22 }
+        Indicator {
+            psi_n: 25.0,
+            psi_m: 5.0,
+            k_n: 0.47,
+            b_n: -1.03,
+            k_m: 4.02,
+            b_m: 1.22,
+        }
     }
 }
 
@@ -62,7 +69,12 @@ impl Indicator {
     ) -> Vec<Vec<f64>> {
         let mut raw: Vec<Vec<f64>> = n_grid
             .iter()
-            .map(|&n| m_grid.iter().map(|&m| self.raw(n as f64, m as f64, num_nodes)).collect())
+            .map(|&n| {
+                m_grid
+                    .iter()
+                    .map(|&m| self.raw(n as f64, m as f64, num_nodes))
+                    .collect()
+            })
             .collect();
         let max = raw
             .iter()
@@ -81,7 +93,10 @@ impl Indicator {
     /// Grid search guided by the indicator (Section IV-C): returns the
     /// `(n, M)` pair maximizing `I` over the given grids.
     pub fn best(&self, n_grid: &[usize], m_grid: &[usize], num_nodes: usize) -> (usize, usize) {
-        assert!(!n_grid.is_empty() && !m_grid.is_empty(), "grids must be non-empty");
+        assert!(
+            !n_grid.is_empty() && !m_grid.is_empty(),
+            "grids must be non-empty"
+        );
         let values = self.values_on_grid(n_grid, m_grid, num_nodes);
         let mut best = (n_grid[0], m_grid[0]);
         let mut best_v = f64::MIN;
@@ -113,7 +128,10 @@ impl Indicator {
     /// Eq. 12 uses `1/ln|V|`; we use `1/ln|V|`, the form consistent with
     /// the indicator definition (and with the reported constants).
     pub fn fit(observations: &[(usize, f64, f64)], psi_n: f64, psi_m: f64) -> Indicator {
-        assert!(observations.len() >= 2, "need at least two observations to fit");
+        assert!(
+            observations.len() >= 2,
+            "need at least two observations to fit"
+        );
         // Mode relation: x/ψ = β − 1 = k·g(|V|) + b − 1.
         let fit_line = |xs: &[f64], ys: &[f64]| -> (f64, f64) {
             let t = xs.len() as f64;
@@ -126,13 +144,23 @@ impl Indicator {
             let b = (sy - k * sx + t) / t;
             (k, b)
         };
-        let ln_v: Vec<f64> = observations.iter().map(|&(v, _, _)| (v as f64).ln()).collect();
+        let ln_v: Vec<f64> = observations
+            .iter()
+            .map(|&(v, _, _)| (v as f64).ln())
+            .collect();
         let inv_ln_v: Vec<f64> = ln_v.iter().map(|&l| 1.0 / l).collect();
         let n_over_psi: Vec<f64> = observations.iter().map(|&(_, n, _)| n / psi_n).collect();
         let m_over_psi: Vec<f64> = observations.iter().map(|&(_, _, m)| m / psi_m).collect();
         let (k_n, b_n) = fit_line(&ln_v, &n_over_psi);
         let (k_m, b_m) = fit_line(&inv_ln_v, &m_over_psi);
-        Indicator { psi_n, psi_m, k_n, b_n, k_m, b_m }
+        Indicator {
+            psi_n,
+            psi_m,
+            k_n,
+            b_n,
+            k_m,
+            b_m,
+        }
     }
 }
 
@@ -177,8 +205,7 @@ mod tests {
         let ind = Indicator::default();
         // Fix M, scan n: strictly rises then falls around the mode.
         let ns: Vec<usize> = (5..=120).step_by(5).collect();
-        let vals: Vec<f64> =
-            ns.iter().map(|&n| ind.raw(n as f64, 4.0, 22_500)).collect();
+        let vals: Vec<f64> = ns.iter().map(|&n| ind.raw(n as f64, 4.0, 22_500)).collect();
         let peak = vals
             .iter()
             .enumerate()
@@ -197,13 +224,14 @@ mod tests {
     fn fit_recovers_known_parameters() {
         // Synthesize observations exactly on the model, then re-fit.
         let truth = Indicator::default();
-        let observations: Vec<(usize, f64, f64)> = [1_000usize, 5_900, 7_600, 12_000, 22_500, 196_000]
-            .iter()
-            .map(|&v| {
-                let (n, m) = truth.continuous_optimum(v);
-                (v, n, m)
-            })
-            .collect();
+        let observations: Vec<(usize, f64, f64)> =
+            [1_000usize, 5_900, 7_600, 12_000, 22_500, 196_000]
+                .iter()
+                .map(|&v| {
+                    let (n, m) = truth.continuous_optimum(v);
+                    (v, n, m)
+                })
+                .collect();
         let fitted = Indicator::fit(&observations, truth.psi_n, truth.psi_m);
         assert!((fitted.k_n - truth.k_n).abs() < 1e-9, "k_n {}", fitted.k_n);
         assert!((fitted.b_n - truth.b_n).abs() < 1e-9, "b_n {}", fitted.b_n);

@@ -49,7 +49,11 @@ pub fn im_loss(tape: &mut Tape, gt: &GraphTensors, x: Var, steps: usize, lambda:
 /// gradients — used by tests and by training-progress reporting.
 pub fn im_loss_value(gt: &GraphTensors, probs: &[f64], steps: usize, lambda: f64) -> f64 {
     let mut tape = Tape::new();
-    let x = tape.leaf(privim_nn::matrix::Matrix::from_vec(probs.len(), 1, probs.to_vec()));
+    let x = tape.leaf(privim_nn::matrix::Matrix::from_vec(
+        probs.len(),
+        1,
+        probs.to_vec(),
+    ));
     let loss = im_loss(&mut tape, gt, x, steps, lambda);
     tape.value(loss).as_scalar()
 }
@@ -89,7 +93,11 @@ pub fn lt_loss(tape: &mut Tape, gt: &GraphTensors, x: Var, steps: usize, lambda:
 /// [`lt_loss`] evaluated at fixed probabilities.
 pub fn lt_loss_value(gt: &GraphTensors, probs: &[f64], steps: usize, lambda: f64) -> f64 {
     let mut tape = Tape::new();
-    let x = tape.leaf(privim_nn::matrix::Matrix::from_vec(probs.len(), 1, probs.to_vec()));
+    let x = tape.leaf(privim_nn::matrix::Matrix::from_vec(
+        probs.len(),
+        1,
+        probs.to_vec(),
+    ));
     let loss = lt_loss(&mut tape, gt, x, steps, lambda);
     tape.value(loss).as_scalar()
 }
@@ -212,7 +220,11 @@ mod tests {
         let gt = GraphTensors::with_structural_features(&g, 2);
         // Keep Σwx strictly inside (0, 1) so the clamp is differentiable.
         let x0 = Matrix::from_vec(4, 1, vec![0.3, 0.2, 0.1, 0.25]);
-        check_gradients_at(&[x0], |tape, vars| super::lt_loss(tape, &gt, vars[0], 2, 0.4), 1e-6);
+        check_gradients_at(
+            &[x0],
+            |tape, vars| super::lt_loss(tape, &gt, vars[0], 2, 0.4),
+            1e-6,
+        );
     }
 
     #[test]

@@ -186,7 +186,13 @@ pub fn run_method_with_candidates(
     // the honest degenerate outcome for a parameter sweep (utility
     // collapses instead of the run aborting).
     let kind = method.model_kind(config.model);
-    let mut model = build_model(kind, config.feature_dim, config.hidden, config.hops, &mut rng);
+    let mut model = build_model(
+        kind,
+        config.feature_dim,
+        config.hidden,
+        config.hops,
+        &mut rng,
+    );
     let report = if container.is_empty() {
         crate::train::TrainReport {
             losses: Vec::new(),
@@ -195,7 +201,13 @@ pub fn run_method_with_candidates(
             sigma: None,
         }
     } else {
-        train(model.as_mut(), &container, config, privacy.as_ref(), &mut rng)
+        train(
+            model.as_mut(),
+            &container,
+            config,
+            privacy.as_ref(),
+            &mut rng,
+        )
     };
 
     // --- Phase 4: inference + seed selection + evaluation -----------------
@@ -346,10 +358,17 @@ mod tests {
             let r = run_method(&g, method, &cfg, 7);
             assert_eq!(r.method, method);
             assert_eq!(r.seeds.len(), cfg.seed_size, "{method}");
-            assert!(r.spread >= cfg.seed_size as f64, "{method}: spread {}", r.spread);
+            assert!(
+                r.spread >= cfg.seed_size as f64,
+                "{method}: spread {}",
+                r.spread
+            );
             assert!(r.spread <= g.num_nodes() as f64, "{method}");
             assert!(r.container_size > 0, "{method}");
-            assert!(r.preprocessing_secs >= 0.0 && r.per_epoch_secs > 0.0, "{method}");
+            assert!(
+                r.preprocessing_secs >= 0.0 && r.per_epoch_secs > 0.0,
+                "{method}"
+            );
             if method == Method::NonPrivate {
                 assert!(r.sigma.is_none());
             } else {
@@ -381,7 +400,10 @@ mod tests {
         assert_eq!(Method::Egn.model_kind(ModelKind::Grat), ModelKind::Gcn);
         assert_eq!(Method::Hp.model_kind(ModelKind::Grat), ModelKind::Gcn);
         assert_eq!(Method::HpGrat.model_kind(ModelKind::Gcn), ModelKind::Grat);
-        assert_eq!(Method::PrivImStar.model_kind(ModelKind::Gin), ModelKind::Gin);
+        assert_eq!(
+            Method::PrivImStar.model_kind(ModelKind::Gin),
+            ModelKind::Gin
+        );
     }
 
     #[test]
@@ -428,7 +450,15 @@ mod tests {
         let names: Vec<_> = Method::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            ["Non-Private", "PrivIM*", "PrivIM+SCS", "PrivIM", "HP-GRAT", "HP", "EGN"]
+            [
+                "Non-Private",
+                "PrivIM*",
+                "PrivIM+SCS",
+                "PrivIM",
+                "HP-GRAT",
+                "HP",
+                "EGN"
+            ]
         );
     }
 }

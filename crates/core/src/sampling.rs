@@ -54,7 +54,11 @@ pub fn extract_naive<R: Rng + ?Sized>(
             continue;
         }
         if let Some(nodes) = rwr_collect(&projected, v0, config, NeighborWeights::Uniform, rng) {
-            container.push(SubgraphSample::extract(&projected, nodes, config.feature_dim));
+            container.push(SubgraphSample::extract(
+                &projected,
+                nodes,
+                config.feature_dim,
+            ));
         } else {
             privim_obs::counter("sampling.walks_discarded").add(1);
         }
@@ -75,8 +79,14 @@ pub fn extract_dual_stage<R: Rng + ?Sized>(
     let mut frequency = vec![0u32; g.num_nodes()];
     // Stage 1: SCS on the original (unprojected) graph.
     let scs_span = privim_obs::span!("scs_stage");
-    let mut container =
-        freq_sampling(g, config, candidates, config.subgraph_size, &mut frequency, rng);
+    let mut container = freq_sampling(
+        g,
+        config,
+        candidates,
+        config.subgraph_size,
+        &mut frequency,
+        rng,
+    );
     let stage1_count = container.len();
     scs_span.finish();
 
@@ -85,11 +95,20 @@ pub fn extract_dual_stage<R: Rng + ?Sized>(
     let m = config.freq_threshold as u32;
     let kept: Vec<bool> = frequency.iter().map(|&f| f < m).collect();
     let boundary = mask_edges(g, &kept);
-    let boundary_candidates: Vec<NodeId> =
-        candidates.iter().copied().filter(|&v| kept[v as usize]).collect();
+    let boundary_candidates: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| kept[v as usize])
+        .collect();
     let bes_size = (config.subgraph_size / config.bes_divisor).max(2);
-    let stage2 =
-        freq_sampling(&boundary, config, &boundary_candidates, bes_size, &mut frequency, rng);
+    let stage2 = freq_sampling(
+        &boundary,
+        config,
+        &boundary_candidates,
+        bes_size,
+        &mut frequency,
+        rng,
+    );
     container.extend(stage2);
     bes_span.finish();
     privim_obs::counter("sampling.subgraphs_extracted").add(container.len() as u64);
@@ -102,7 +121,11 @@ pub fn extract_dual_stage<R: Rng + ?Sized>(
         bes_size = bes_size,
     );
 
-    DualStageOutput { container, frequency, stage1_count }
+    DualStageOutput {
+        container,
+        frequency,
+        stage1_count,
+    }
 }
 
 /// The `FreqSampling` function of Algorithm 3 (lines 9–28): RWR with
@@ -172,14 +195,22 @@ enum NeighborWeights<'a> {
     /// Algorithm 1: uniform over eligible neighbors.
     Uniform,
     /// Algorithm 3, Eq. 9: weight `e_v = 1/(f_v + 1)^μ` if `f_v < M`, else 0.
-    Frequency { frequency: &'a [u32], decay: f64, threshold: u32 },
+    Frequency {
+        frequency: &'a [u32],
+        decay: f64,
+        threshold: u32,
+    },
 }
 
 impl NeighborWeights<'_> {
     fn weight(&self, v: NodeId) -> f64 {
         match self {
             NeighborWeights::Uniform => 1.0,
-            NeighborWeights::Frequency { frequency, decay, threshold } => {
+            NeighborWeights::Frequency {
+                frequency,
+                decay,
+                threshold,
+            } => {
                 let f = frequency[v as usize];
                 if f >= *threshold {
                     0.0
@@ -317,7 +348,11 @@ mod tests {
             let v0 = s.original[0];
             let ball = khop_neighborhood(&projected, v0, cfg.hops);
             for &v in &s.original {
-                assert!(ball.contains(&v), "node {v} outside {}-hop ball of {v0}", cfg.hops);
+                assert!(
+                    ball.contains(&v),
+                    "node {v} outside {}-hop ball of {v0}",
+                    cfg.hops
+                );
             }
         }
     }
@@ -347,7 +382,10 @@ mod tests {
     #[test]
     fn dual_stage_stage2_uses_smaller_subgraphs() {
         let g = test_graph(7);
-        let cfg = PrivImConfig { bes_divisor: 3, ..test_config() };
+        let cfg = PrivImConfig {
+            bes_divisor: 3,
+            ..test_config()
+        };
         let mut rng = StdRng::seed_from_u64(8);
         let candidates: Vec<NodeId> = g.nodes().collect();
         let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
@@ -365,7 +403,10 @@ mod tests {
     fn dual_stage_usually_collects_more_than_stage1_alone() {
         // BES's purpose: extra subgraphs from boundary regions.
         let g = test_graph(9);
-        let cfg = PrivImConfig { sampling_rate: Some(1.0), ..test_config() };
+        let cfg = PrivImConfig {
+            sampling_rate: Some(1.0),
+            ..test_config()
+        };
         let mut rng = StdRng::seed_from_u64(10);
         let candidates: Vec<NodeId> = g.nodes().collect();
         let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
@@ -405,7 +446,10 @@ mod tests {
     #[test]
     fn sampling_rate_zero_yields_empty_container() {
         let g = test_graph(13);
-        let cfg = PrivImConfig { sampling_rate: Some(0.0), ..test_config() };
+        let cfg = PrivImConfig {
+            sampling_rate: Some(0.0),
+            ..test_config()
+        };
         let mut rng = StdRng::seed_from_u64(14);
         let candidates: Vec<NodeId> = g.nodes().collect();
         let (container, _) = extract_naive(&g, &cfg, &candidates, &mut rng);

@@ -63,7 +63,13 @@ impl PrivacySetup {
             container_size: container_size.max(1),
         };
         let sigma = calibrate_sigma(epsilon, delta, &sub, config.iterations);
-        PrivacySetup { sigma, max_occurrences: sub.max_occurrences, noise, target_epsilon: epsilon, delta }
+        PrivacySetup {
+            sigma,
+            max_occurrences: sub.max_occurrences,
+            noise,
+            target_epsilon: epsilon,
+            delta,
+        }
     }
 
     /// Absolute per-coordinate noise standard deviation `σ · C · N_g`.
@@ -72,11 +78,7 @@ impl PrivacySetup {
     }
 
     /// The `(ε, α)` actually spent by `iterations` steps at this σ.
-    pub fn spent_epsilon(
-        &self,
-        config: &PrivImConfig,
-        container_size: usize,
-    ) -> (f64, f64) {
+    pub fn spent_epsilon(&self, config: &PrivImConfig, container_size: usize) -> (f64, f64) {
         let sub = self.subsampled_config(config, container_size);
         let mut acct = RdpAccountant::default();
         acct.compose_subsampled_gaussian(self.sigma, &sub, config.iterations);
@@ -126,7 +128,10 @@ pub fn train<R: Rng + ?Sized>(
     privacy: Option<&PrivacySetup>,
     rng: &mut R,
 ) -> TrainReport {
-    assert!(!container.is_empty(), "cannot train on an empty subgraph container");
+    assert!(
+        !container.is_empty(),
+        "cannot train on an empty subgraph container"
+    );
     let _span = privim_obs::span!("training");
     let started = std::time::Instant::now();
     let mut optimizer = Sgd::new(config.learning_rate);
@@ -202,8 +207,7 @@ pub fn train<R: Rng + ?Sized>(
                     // SML draws one radial factor per block application; we
                     // apply it blockwise to keep the heavy-tailed coupling.
                     for block in sum.blocks_mut() {
-                        let noise =
-                            symmetric_multivariate_laplace(rng, std, block.data().len());
+                        let noise = symmetric_multivariate_laplace(rng, std, block.data().len());
                         for (x, n) in block.data_mut().iter_mut().zip(noise) {
                             *x += n;
                         }
@@ -234,7 +238,13 @@ pub fn train<R: Rng + ?Sized>(
                 epsilon_spent = spent.map(|(eps, _)| eps),
             );
             if let Some((eps, alpha)) = spent {
-                privim_obs::debug!("dp", "epsilon", step = iter + 1, epsilon = eps, alpha = alpha);
+                privim_obs::debug!(
+                    "dp",
+                    "epsilon",
+                    step = iter + 1,
+                    epsilon = eps,
+                    alpha = alpha
+                );
             }
             if let Some(ledger) = ledger.as_mut() {
                 let kind = match setup.noise {
@@ -302,27 +312,47 @@ mod tests {
         cfg.iterations = 60;
         cfg.learning_rate = 0.05;
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model = build_model(ModelKind::Gcn, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+        let mut model = build_model(
+            ModelKind::Gcn,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
         let report = train(model.as_mut(), &container, &cfg, None, &mut rng);
         assert_eq!(report.losses.len(), 60);
         assert!(report.sigma.is_none());
-        assert!(report.clip_fractions.is_empty(), "non-private runs never clip");
+        assert!(
+            report.clip_fractions.is_empty(),
+            "non-private runs never clip"
+        );
         // Per-iteration losses are noisy (each batch holds different random
         // subgraphs), so compare the initial average against the best and
         // the trailing average against the initial one with a tolerance.
         let head: f64 = report.losses[..10].iter().sum::<f64>() / 10.0;
         let tail: f64 = report.losses[50..].iter().sum::<f64>() / 10.0;
         let best = report.losses.iter().copied().fold(f64::MAX, f64::min);
-        assert!(best < head * 0.9, "best {best} not clearly below initial {head}");
-        assert!(tail < head * 1.02, "loss diverged: head {head}, tail {tail}");
+        assert!(
+            best < head * 0.9,
+            "best {best} not clearly below initial {head}"
+        );
+        assert!(
+            tail < head * 1.02,
+            "loss diverged: head {head}, tail {tail}"
+        );
     }
 
     #[test]
     fn private_training_runs_and_spends_at_most_epsilon() {
         let (_, container, cfg) = setup(3);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut model =
-            build_model(ModelKind::Grat, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+        let mut model = build_model(
+            ModelKind::Grat,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
         let setup = PrivacySetup::calibrate(
             3.0,
             1e-4,
@@ -335,7 +365,10 @@ mod tests {
         assert_eq!(report.losses.len(), cfg.iterations);
         assert_eq!(report.sigma, Some(setup.sigma));
         assert_eq!(report.clip_fractions.len(), cfg.iterations);
-        assert!(report.clip_fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert!(report
+            .clip_fractions
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f)));
         let (spent, _) = setup.spent_epsilon(&cfg, container.len());
         assert!(spent <= 3.0 * 1.0001, "spent {spent} > target");
         // Parameters stay finite despite noise.
@@ -348,8 +381,13 @@ mod tests {
     fn sml_noise_path_runs() {
         let (_, container, cfg) = setup(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let mut model =
-            build_model(ModelKind::Gcn, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+        let mut model = build_model(
+            ModelKind::Gcn,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
         let setup = PrivacySetup::calibrate(
             2.0,
             1e-4,
@@ -369,8 +407,7 @@ mod tests {
     fn noise_std_scales_with_occurrence_bound() {
         let (_, container, cfg) = setup(7);
         let a = PrivacySetup::calibrate(3.0, 1e-4, &cfg, container.len(), 4, NoiseKind::Gaussian);
-        let b =
-            PrivacySetup::calibrate(3.0, 1e-4, &cfg, container.len(), 100, NoiseKind::Gaussian);
+        let b = PrivacySetup::calibrate(3.0, 1e-4, &cfg, container.len(), 100, NoiseKind::Gaussian);
         assert!(
             b.noise_std(cfg.clip_bound) > a.noise_std(cfg.clip_bound),
             "larger N_g must inject more absolute noise: {} vs {}",
@@ -384,8 +421,13 @@ mod tests {
         let (_, container, cfg) = setup(8);
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut model =
-                build_model(ModelKind::Gcn, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+            let mut model = build_model(
+                ModelKind::Gcn,
+                cfg.feature_dim,
+                cfg.hidden,
+                cfg.hops,
+                &mut rng,
+            );
             let r = train(model.as_mut(), &container, &cfg, None, &mut rng);
             r.losses
         };
@@ -399,8 +441,13 @@ mod tests {
         let (_, _, cfg) = setup(11);
         let container = SubgraphContainer::new();
         let mut rng = StdRng::seed_from_u64(12);
-        let mut model =
-            build_model(ModelKind::Gcn, cfg.feature_dim, cfg.hidden, cfg.hops, &mut rng);
+        let mut model = build_model(
+            ModelKind::Gcn,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
         train(model.as_mut(), &container, &cfg, None, &mut rng);
     }
 }

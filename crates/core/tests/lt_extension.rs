@@ -32,7 +32,10 @@ fn config(loss: LossKind) -> PrivImConfig {
 fn lt_trained_model_beats_random_under_lt_diffusion() {
     let base = Dataset::LastFm.generate(0.05, 31);
     let g = weighted_cascade(&base);
-    let lt = DiffusionConfig { model: DiffusionModel::LinearThreshold, max_steps: Some(2) };
+    let lt = DiffusionConfig {
+        model: DiffusionModel::LinearThreshold,
+        max_steps: Some(2),
+    };
 
     let r = run_method(&g, Method::NonPrivate, &config(LossKind::LtTruncated), 3);
     let mut rng = StdRng::seed_from_u64(4);

@@ -53,7 +53,10 @@ fn tighter_epsilon_means_more_absolute_noise() {
     for eps in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let setup = PrivacySetup::calibrate(eps, 1e-5, &cfg, 100, 4, NoiseKind::Gaussian);
         let noise = setup.noise_std(cfg.clip_bound);
-        assert!(noise < prev, "noise must shrink as eps grows: {noise} >= {prev}");
+        assert!(
+            noise < prev,
+            "noise must shrink as eps grows: {noise} >= {prev}"
+        );
         prev = noise;
     }
 }
@@ -61,8 +64,13 @@ fn tighter_epsilon_means_more_absolute_noise() {
 #[test]
 fn every_private_method_reports_its_sigma_and_bound() {
     let g = graph();
-    for method in [Method::PrivImStar, Method::PrivImScs, Method::PrivIm, Method::Egn, Method::Hp]
-    {
+    for method in [
+        Method::PrivImStar,
+        Method::PrivImScs,
+        Method::PrivIm,
+        Method::Egn,
+        Method::Hp,
+    ] {
         let r = run_method(&g, method, &config(3.0), 4);
         assert!(r.sigma.is_some(), "{method}");
         assert!(r.occurrence_bound >= 1, "{method}");
@@ -84,7 +92,14 @@ fn every_private_method_reports_its_sigma_and_bound() {
 #[test]
 fn dual_stage_noise_is_far_below_naive_noise_at_equal_epsilon() {
     let cfg = config(3.0);
-    let star = PrivacySetup::calibrate(3.0, 1e-5, &cfg, 100, cfg.freq_threshold, NoiseKind::Gaussian);
+    let star = PrivacySetup::calibrate(
+        3.0,
+        1e-5,
+        &cfg,
+        100,
+        cfg.freq_threshold,
+        NoiseKind::Gaussian,
+    );
     let naive_bound = privim_dp::rdp::naive_occurrence_bound(cfg.theta, cfg.hops);
     let naive = PrivacySetup::calibrate(3.0, 1e-5, &cfg, 100, naive_bound, NoiseKind::Gaussian);
     let ratio = naive.noise_std(cfg.clip_bound) / star.noise_std(cfg.clip_bound);
@@ -102,7 +117,10 @@ fn nonprivate_runs_never_report_privacy_artifacts() {
     let r = run_method(&g, Method::PrivImStar, &cfg, 5);
     assert!(r.sigma.is_none());
     let r = run_method(&g, Method::NonPrivate, &config(1.0), 5);
-    assert!(r.sigma.is_none(), "NonPrivate ignores epsilon by definition");
+    assert!(
+        r.sigma.is_none(),
+        "NonPrivate ignores epsilon by definition"
+    );
 }
 
 #[test]

@@ -56,7 +56,10 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     privim_obs::take_sinks();
 
     // Telemetry must not perturb the run: same RNG draws, same outcome.
-    assert_eq!(baseline.seeds, instrumented.seeds, "sink changed the RNG stream");
+    assert_eq!(
+        baseline.seeds, instrumented.seeds,
+        "sink changed the RNG stream"
+    );
     assert_eq!(baseline.spread, instrumented.spread);
     assert_eq!(baseline.sigma, instrumented.sigma);
     assert_eq!(baseline.container_size, instrumented.container_size);
@@ -70,7 +73,9 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     for (i, e) in report.epochs.iter().enumerate() {
         assert_eq!(e.epoch, i as u64);
         assert!(e.loss.is_finite(), "epoch {i} loss not recorded");
-        let clip = e.clip_fraction.expect("private run must record clip fraction");
+        let clip = e
+            .clip_fraction
+            .expect("private run must record clip fraction");
         assert!((0.0..=1.0).contains(&clip));
         assert!(e.grad_norm_pre.unwrap() >= e.grad_norm_post.unwrap() - 1e-12);
         assert!(e.noise_std.unwrap() > 0.0);
@@ -78,8 +83,16 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     }
 
     // Phase timings from the pipeline spans.
-    for phase in ["pipeline", "extraction", "calibration", "training", "inference"] {
-        let secs = report.phase_secs(phase).unwrap_or_else(|| panic!("missing phase {phase}"));
+    for phase in [
+        "pipeline",
+        "extraction",
+        "calibration",
+        "training",
+        "inference",
+    ] {
+        let secs = report
+            .phase_secs(phase)
+            .unwrap_or_else(|| panic!("missing phase {phase}"));
         assert!(secs >= 0.0);
     }
     assert!(
@@ -93,8 +106,14 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
         assert!(w[1] > w[0], "epsilon spend must be monotone");
     }
     let final_eps = report.final_epsilon().unwrap();
-    assert!(final_eps <= cfg.epsilon.unwrap() * 1.0001, "overspent: {final_eps}");
-    assert!(final_eps > cfg.epsilon.unwrap() * 0.5, "implausibly small spend: {final_eps}");
+    assert!(
+        final_eps <= cfg.epsilon.unwrap() * 1.0001,
+        "overspent: {final_eps}"
+    );
+    assert!(
+        final_eps > cfg.epsilon.unwrap() * 0.5,
+        "implausibly small spend: {final_eps}"
+    );
 
     // The per-epoch epsilon_spent agrees with the dp/epsilon trace.
     assert_eq!(
@@ -104,11 +123,19 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
 
     // Privacy-budget ledger: one record per noisy step, carrying the
     // mechanism parameters, and replayable offline to the same ε.
-    assert_eq!(report.ledger.len(), cfg.iterations, "one ledger record per iteration");
+    assert_eq!(
+        report.ledger.len(),
+        cfg.iterations,
+        "one ledger record per iteration"
+    );
     for (i, rec) in report.ledger.iter().enumerate() {
         assert_eq!(rec.step, i as u64 + 1);
         assert_eq!(rec.mechanism, "subsampled_gaussian");
-        assert_eq!(Some(rec.sigma), instrumented.sigma, "ledger σ must match the run's");
+        assert_eq!(
+            Some(rec.sigma),
+            instrumented.sigma,
+            "ledger σ must match the run's"
+        );
         assert!(rec.sensitivity > 0.0);
         assert!(rec.sampling_rate > 0.0 && rec.sampling_rate <= 1.0);
         assert!(
@@ -140,7 +167,10 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     privim_obs::set_profiling(true);
     let profiled = run_once(&g, &cfg);
     privim_obs::set_profiling(false);
-    assert_eq!(baseline.seeds, profiled.seeds, "profiler changed the RNG stream");
+    assert_eq!(
+        baseline.seeds, profiled.seeds,
+        "profiler changed the RNG stream"
+    );
     assert_eq!(baseline.spread, profiled.spread);
     assert_eq!(baseline.sigma, profiled.sigma);
 

@@ -36,12 +36,7 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, w: f64, rng: &mut R) -> 
 /// Barabási–Albert preferential attachment: starts from a clique of
 /// `m_attach + 1` nodes; each new node attaches to `m_attach` distinct
 /// existing nodes with probability proportional to degree.
-pub fn barabasi_albert<R: Rng + ?Sized>(
-    n: usize,
-    m_attach: usize,
-    w: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, w: f64, rng: &mut R) -> Graph {
     holme_kim(n, m_attach, 0.0, w, rng)
 }
 
@@ -58,7 +53,10 @@ pub fn holme_kim<R: Rng + ?Sized>(
 ) -> Graph {
     let m_attach = m_attach.max(1);
     assert!(n > m_attach, "need n > m_attach");
-    assert!((0.0..=1.0).contains(&p_triad), "p_triad must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_triad),
+        "p_triad must be a probability"
+    );
     // `endpoint_pool` holds one entry per edge endpoint: sampling uniformly
     // from it is degree-proportional sampling. `adj` mirrors the edge set
     // for O(1) triad steps.
@@ -66,10 +64,10 @@ pub fn holme_kim<R: Rng + ?Sized>(
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_attach);
     let link = |edges: &mut Vec<(NodeId, NodeId)>,
-                    adj: &mut Vec<Vec<NodeId>>,
-                    pool: &mut Vec<NodeId>,
-                    u: NodeId,
-                    v: NodeId| {
+                adj: &mut Vec<Vec<NodeId>>,
+                pool: &mut Vec<NodeId>,
+                u: NodeId,
+                v: NodeId| {
         edges.push((u, v));
         adj[u as usize].push(v);
         adj[v as usize].push(u);
@@ -172,7 +170,10 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (Graph, Vec<u32>) {
     assert!(!sizes.is_empty(), "need at least one community");
-    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out), "probabilities");
+    assert!(
+        (0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out),
+        "probabilities"
+    );
     let n: usize = sizes.iter().sum();
     let mut community = Vec::with_capacity(n);
     for (c, &size) in sizes.iter().enumerate() {
@@ -181,7 +182,11 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if community[u] == community[v] { p_in } else { p_out };
+            let p = if community[u] == community[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen::<f64>() < p {
                 b.add_undirected_edge(u as NodeId, v as NodeId, w);
             }
@@ -238,7 +243,11 @@ mod tests {
         let s = graph_stats(&g);
         // Average degree ≈ 2m; max degree far above average (hubs).
         assert!((s.avg_degree - 6.0).abs() < 1.0, "avg {}", s.avg_degree);
-        assert!(s.max_out_degree > 40, "max degree {} lacks a hub", s.max_out_degree);
+        assert!(
+            s.max_out_degree > 40,
+            "max degree {} lacks a hub",
+            s.max_out_degree
+        );
     }
 
     #[test]

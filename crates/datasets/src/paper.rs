@@ -160,12 +160,7 @@ impl Dataset {
     /// Generates a partitioned Friendster-like dataset: `parts` disjoint
     /// graphs of `nodes_per_part` nodes each, matching the paper's
     /// partition-then-process strategy for memory-bounded training.
-    pub fn generate_partitions(
-        self,
-        nodes_per_part: usize,
-        parts: usize,
-        seed: u64,
-    ) -> Vec<Graph> {
+    pub fn generate_partitions(self, nodes_per_part: usize, parts: usize, seed: u64) -> Vec<Graph> {
         let spec = self.spec();
         let m = (spec.avg_degree / 2.0).round() as usize;
         let mut rng = StdRng::seed_from_u64(seed ^ dataset_salt(self));
@@ -220,7 +215,11 @@ mod tests {
         let s = graph_stats(&g);
         assert_eq!(s.num_nodes, 1_000);
         // Directed avg degree within 15% of 25.44.
-        assert!((s.avg_degree - 25.44).abs() / 25.44 < 0.15, "avg {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 25.44).abs() / 25.44 < 0.15,
+            "avg {}",
+            s.avg_degree
+        );
     }
 
     #[test]
@@ -249,7 +248,10 @@ mod tests {
         assert_eq!(half.num_nodes(), 2_950);
         let d_full = graph_stats(&full).avg_degree;
         let d_half = graph_stats(&half).avg_degree;
-        assert!((d_full - d_half).abs() / d_full < 0.1, "{d_full} vs {d_half}");
+        assert!(
+            (d_full - d_half).abs() / d_full < 0.1,
+            "{d_full} vs {d_half}"
+        );
     }
 
     #[test]
@@ -295,9 +297,16 @@ mod tests {
     #[test]
     fn replicas_have_social_clustering() {
         let s = Dataset::Facebook.replica_stats(0.05, 9);
-        assert!(s.avg_clustering > 0.05, "clustering {} too low", s.avg_clustering);
+        assert!(
+            s.avg_clustering > 0.05,
+            "clustering {} too low",
+            s.avg_clustering
+        );
         let hubby = Dataset::Email.replica_stats(1.0, 9);
-        assert!(hubby.max_in_degree > 3 * (hubby.avg_degree as usize), "no hubs");
+        assert!(
+            hubby.max_in_degree > 3 * (hubby.avg_degree as usize),
+            "no hubs"
+        );
     }
 
     #[test]
@@ -309,6 +318,9 @@ mod tests {
     #[test]
     fn display_names_match_paper() {
         let names: Vec<&str> = Dataset::SIX.iter().map(|d| d.spec().name).collect();
-        assert_eq!(names, ["Email", "Bitcoin", "LastFM", "HepPh", "Facebook", "Gowalla"]);
+        assert_eq!(
+            names,
+            ["Email", "Bitcoin", "LastFM", "HepPh", "Facebook", "Gowalla"]
+        );
     }
 }

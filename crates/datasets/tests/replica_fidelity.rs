@@ -46,7 +46,10 @@ fn directedness_matches_spec() {
                 "{dataset}: directed replica looks symmetric ({reciprocated}/{total})"
             );
         } else {
-            assert_eq!(reciprocated, total, "{dataset}: undirected replica broke symmetry");
+            assert_eq!(
+                reciprocated, total,
+                "{dataset}: undirected replica broke symmetry"
+            );
         }
     }
 }

@@ -8,21 +8,25 @@
 /// Basic composition: `k` mechanisms, each `(ε, δ)`-DP, compose to
 /// `(k·ε, k·δ)`-DP.
 pub fn basic_composition(epsilon: f64, delta: f64, k: usize) -> (f64, f64) {
-    assert!(epsilon >= 0.0 && delta >= 0.0, "parameters must be non-negative");
+    assert!(
+        epsilon >= 0.0 && delta >= 0.0,
+        "parameters must be non-negative"
+    );
     (k as f64 * epsilon, k as f64 * delta)
 }
 
 /// Advanced composition (Dwork–Rothblum–Vadhan): `k` mechanisms, each
 /// `(ε, δ)`-DP, compose to `(ε', k·δ + δ')`-DP with
 /// `ε' = ε·sqrt(2k ln(1/δ')) + k·ε·(e^ε − 1)`.
-pub fn advanced_composition(
-    epsilon: f64,
-    delta: f64,
-    k: usize,
-    delta_prime: f64,
-) -> (f64, f64) {
-    assert!(epsilon >= 0.0 && delta >= 0.0, "parameters must be non-negative");
-    assert!(delta_prime > 0.0 && delta_prime < 1.0, "delta_prime in (0, 1)");
+pub fn advanced_composition(epsilon: f64, delta: f64, k: usize, delta_prime: f64) -> (f64, f64) {
+    assert!(
+        epsilon >= 0.0 && delta >= 0.0,
+        "parameters must be non-negative"
+    );
+    assert!(
+        delta_prime > 0.0 && delta_prime < 1.0,
+        "delta_prime in (0, 1)"
+    );
     let kf = k as f64;
     let eps_total = epsilon * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt()
         + kf * epsilon * (epsilon.exp() - 1.0);
@@ -43,7 +47,10 @@ pub fn best_composition(epsilon: f64, delta: f64, k: usize, delta_prime: f64) ->
 /// Per-query budget for `k` pure-ε Laplace queries under basic composition:
 /// the ε each query may spend so the total stays within `total_epsilon`.
 pub fn laplace_budget_per_query(total_epsilon: f64, k: usize) -> f64 {
-    assert!(total_epsilon > 0.0 && k > 0, "need positive budget and queries");
+    assert!(
+        total_epsilon > 0.0 && k > 0,
+        "need positive budget and queries"
+    );
     total_epsilon / k as f64
 }
 
@@ -97,7 +104,11 @@ mod tests {
         let steps = 200;
         let delta = 1e-6;
         // q = 1 (degenerate) reduces our accountant to the plain Gaussian.
-        let cfg = SubsampledConfig { max_occurrences: 8, batch_size: 8, container_size: 8 };
+        let cfg = SubsampledConfig {
+            max_occurrences: 8,
+            batch_size: 8,
+            container_size: 8,
+        };
 
         let mut acct = RdpAccountant::default();
         acct.compose_subsampled_gaussian(sigma, &cfg, steps);

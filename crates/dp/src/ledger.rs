@@ -107,7 +107,10 @@ impl PrivacyLedger {
 
     /// A fresh ledger over an explicit α grid.
     pub fn with_orders(orders: &[f64], delta: f64) -> Self {
-        assert!(!orders.is_empty() && orders.iter().all(|&a| a > 1.0), "orders must be > 1");
+        assert!(
+            !orders.is_empty() && orders.iter().all(|&a| a > 1.0),
+            "orders must be > 1"
+        );
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
         PrivacyLedger {
             orders: orders.to_vec(),
@@ -251,8 +254,11 @@ mod tests {
 
     #[test]
     fn ledger_tracks_the_accountants_epsilon() {
-        let config =
-            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
         let mut ledger = PrivacyLedger::new(1e-5);
         fill(&mut ledger, 1.2, &config, 5);
         let schedule = RdpAccountant::default().epsilon_schedule(1.2, &config, 5, 1e-5);
@@ -266,7 +272,10 @@ mod tests {
             );
             assert_eq!(entry.alpha, alpha);
         }
-        assert_eq!(ledger.cumulative_epsilon(), Some(schedule.last().unwrap().0));
+        assert_eq!(
+            ledger.cumulative_epsilon(),
+            Some(schedule.last().unwrap().0)
+        );
     }
 
     #[test]
@@ -276,17 +285,29 @@ mod tests {
         let cases = [
             (
                 1.2,
-                SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 },
+                SubsampledConfig {
+                    max_occurrences: 4,
+                    batch_size: 16,
+                    container_size: 256,
+                },
                 20,
             ),
             (
                 3.5,
-                SubsampledConfig { max_occurrences: 12, batch_size: 32, container_size: 96 },
+                SubsampledConfig {
+                    max_occurrences: 12,
+                    batch_size: 32,
+                    container_size: 96,
+                },
                 35,
             ),
             (
                 0.8,
-                SubsampledConfig { max_occurrences: 2, batch_size: 8, container_size: 1024 },
+                SubsampledConfig {
+                    max_occurrences: 2,
+                    batch_size: 8,
+                    container_size: 1024,
+                },
                 50,
             ),
         ];
@@ -312,8 +333,16 @@ mod tests {
     #[test]
     fn replay_handles_mixed_mechanism_parameters() {
         // σ changing mid-run (e.g. adaptive schedules) must replay too.
-        let c1 = SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
-        let c2 = SubsampledConfig { max_occurrences: 8, batch_size: 16, container_size: 128 };
+        let c1 = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let c2 = SubsampledConfig {
+            max_occurrences: 8,
+            batch_size: 16,
+            container_size: 128,
+        };
         let mut ledger = PrivacyLedger::new(1e-6);
         fill(&mut ledger, 1.5, &c1, 10);
         fill(&mut ledger, 2.5, &c2, 10);
@@ -327,8 +356,11 @@ mod tests {
 
     #[test]
     fn verify_replay_detects_tampering() {
-        let config =
-            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
         let mut ledger = PrivacyLedger::new(1e-5);
         fill(&mut ledger, 1.2, &config, 3);
         ledger.entries[1].epsilon_after += 1e-6;
@@ -338,8 +370,11 @@ mod tests {
 
     #[test]
     fn entries_carry_the_mechanism_parameters() {
-        let config =
-            SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
         let mut ledger = PrivacyLedger::new(1e-5);
         ledger.record_step(MechanismKind::SubsampledSml, 2.0, 3.5, &config);
         let e = &ledger.entries()[0];

@@ -41,7 +41,6 @@ pub use composition::{advanced_composition, basic_composition};
 pub use ledger::{replay_records, LedgerEntry, MechanismKind, PrivacyLedger};
 pub use mechanisms::{gaussian, laplace, symmetric_multivariate_laplace};
 pub use rdp::{
-    AdjacencyLevel,
     calibrate_sigma, naive_occurrence_bound, rdp_to_epsilon, subsampled_gaussian_rdp,
-    RdpAccountant, SubsampledConfig,
+    AdjacencyLevel, RdpAccountant, SubsampledConfig,
 };

@@ -53,12 +53,14 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 /// Probability density of the Gamma(β, ψ) distribution at `x` — `ξ(x; β, ψ)`
 /// in the paper's Eq. 11 (shape β, scale ψ).
 pub fn gamma_pdf(x: f64, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma_pdf requires positive shape/scale");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma_pdf requires positive shape/scale"
+    );
     if x <= 0.0 {
         return 0.0;
     }
-    let log_pdf =
-        (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
+    let log_pdf = (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
     log_pdf.exp()
 }
 

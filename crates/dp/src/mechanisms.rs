@@ -147,8 +147,9 @@ mod tests {
     fn laplace_mechanism_noise_scales_inversely_with_epsilon() {
         let mut rng = StdRng::seed_from_u64(6);
         let spread = |eps: f64, rng: &mut StdRng| {
-            let xs: Vec<f64> =
-                (0..20_000).map(|_| laplace_mechanism(rng, 0.0, 1.0, eps)).collect();
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| laplace_mechanism(rng, 0.0, 1.0, eps))
+                .collect();
             moments(&xs).1
         };
         let tight = spread(10.0, &mut rng);

@@ -20,8 +20,8 @@ use crate::math::{ln_binomial, log_sum_exp};
 /// Default α grid; spans the orders at which DP-SGD-style mechanisms are
 /// typically tightest.
 pub const DEFAULT_ORDERS: [f64; 20] = [
-    1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 32.0,
-    64.0, 128.0, 256.0, 512.0,
+    1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 32.0, 64.0,
+    128.0, 256.0, 512.0,
 ];
 
 /// Sampling configuration of one Algorithm 2 run, from the accountant's
@@ -119,8 +119,8 @@ pub fn subsampled_gaussian_rdp(alpha: f64, sigma: f64, config: &SubsampledConfig
             ln_binomial(b, i) + i as f64 * q.ln() + (b - i) as f64 * (1.0 - q).ln()
         };
         mass += ln_rho.exp();
-        let exponent = alpha * (alpha - 1.0) * (i as f64) * (i as f64)
-            / (2.0 * n_g * n_g * sigma * sigma);
+        let exponent =
+            alpha * (alpha - 1.0) * (i as f64) * (i as f64) / (2.0 * n_g * n_g * sigma * sigma);
         terms.push(ln_rho + exponent);
     }
     // Eq. 23 truncates the binomial at N_g because sampling without
@@ -141,7 +141,10 @@ pub fn subsampled_gaussian_rdp(alpha: f64, sigma: f64, config: &SubsampledConfig
 /// Theorem 1: converts `(α, γ)`-RDP to `(ε, δ)`-DP:
 /// `ε = γ + ln((α−1)/α) − (ln δ + ln α)/(α−1)`.
 pub fn rdp_to_epsilon(gamma: f64, alpha: f64, delta: f64) -> f64 {
-    assert!(alpha > 1.0 && delta > 0.0 && delta < 1.0, "invalid (alpha, delta)");
+    assert!(
+        alpha > 1.0 && delta > 0.0 && delta < 1.0,
+        "invalid (alpha, delta)"
+    );
     gamma + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0)
 }
 
@@ -161,8 +164,14 @@ impl Default for RdpAccountant {
 impl RdpAccountant {
     /// An accountant over the given α grid.
     pub fn new(orders: &[f64]) -> Self {
-        assert!(!orders.is_empty() && orders.iter().all(|&a| a > 1.0), "orders must be > 1");
-        RdpAccountant { orders: orders.to_vec(), gammas: vec![0.0; orders.len()] }
+        assert!(
+            !orders.is_empty() && orders.iter().all(|&a| a > 1.0),
+            "orders must be > 1"
+        );
+        RdpAccountant {
+            orders: orders.to_vec(),
+            gammas: vec![0.0; orders.len()],
+        }
     }
 
     /// The α grid.
@@ -260,7 +269,10 @@ pub fn calibrate_sigma(
     while eps_at(hi) > target_epsilon {
         lo = hi;
         hi *= 2.0;
-        assert!(hi <= 1e6, "cannot reach epsilon {target_epsilon} with sigma <= 1e6");
+        assert!(
+            hi <= 1e6,
+            "cannot reach epsilon {target_epsilon} with sigma <= 1e6"
+        );
     }
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
@@ -288,7 +300,11 @@ mod tests {
     use super::*;
 
     fn config() -> SubsampledConfig {
-        SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 }
+        SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        }
     }
 
     #[test]
@@ -316,8 +332,14 @@ mod tests {
         // cost per iteration drops. The price of a large N_g is paid in
         // utility (absolute noise at equal ε), covered by
         // `calibrated_sigma_grows_with_occurrence_bound`.
-        let small = SubsampledConfig { max_occurrences: 2, ..config() };
-        let large = SubsampledConfig { max_occurrences: 32, ..config() };
+        let small = SubsampledConfig {
+            max_occurrences: 2,
+            ..config()
+        };
+        let large = SubsampledConfig {
+            max_occurrences: 32,
+            ..config()
+        };
         let g_small = subsampled_gaussian_rdp(8.0, 1.0, &small);
         let g_large = subsampled_gaussian_rdp(8.0, 1.0, &large);
         assert!(g_large < g_small, "{g_large} >= {g_small}");
@@ -325,11 +347,16 @@ mod tests {
 
     #[test]
     fn rdp_increases_with_batch_size() {
-        let small = SubsampledConfig { batch_size: 4, ..config() };
-        let large = SubsampledConfig { batch_size: 128, ..config() };
+        let small = SubsampledConfig {
+            batch_size: 4,
+            ..config()
+        };
+        let large = SubsampledConfig {
+            batch_size: 128,
+            ..config()
+        };
         assert!(
-            subsampled_gaussian_rdp(4.0, 1.0, &large)
-                > subsampled_gaussian_rdp(4.0, 1.0, &small)
+            subsampled_gaussian_rdp(4.0, 1.0, &large) > subsampled_gaussian_rdp(4.0, 1.0, &small)
         );
     }
 
@@ -337,7 +364,11 @@ mod tests {
     fn degenerate_full_sampling_matches_gaussian_rdp() {
         // q = 1, B draws all affected: shift ≤ N_g·C, so γ ≤ α·B²/(2N_g²σ²)
         // with B = N_g reduces to the plain Gaussian α/(2σ²).
-        let c = SubsampledConfig { max_occurrences: 8, batch_size: 8, container_size: 8 };
+        let c = SubsampledConfig {
+            max_occurrences: 8,
+            batch_size: 8,
+            container_size: 8,
+        };
         let alpha = 6.0;
         let sigma = 2.0;
         let got = subsampled_gaussian_rdp(alpha, sigma, &c);
@@ -375,7 +406,10 @@ mod tests {
             let mut acct = RdpAccountant::default();
             acct.compose_subsampled_gaussian(sigma, &c, 50);
             let (eps, _) = acct.epsilon(1e-5);
-            assert!(eps <= target * 1.0001, "target {target}: got {eps} with sigma {sigma}");
+            assert!(
+                eps <= target * 1.0001,
+                "target {target}: got {eps} with sigma {sigma}"
+            );
             // And σ is not wastefully large: slightly smaller σ must violate.
             let mut acct2 = RdpAccountant::default();
             acct2.compose_subsampled_gaussian(sigma * 0.98, &c, 50);
@@ -394,8 +428,16 @@ mod tests {
     #[test]
     fn calibrated_sigma_grows_with_occurrence_bound() {
         // The dual-stage scheme's whole point: smaller N_g* = M ⇒ less noise.
-        let naive = SubsampledConfig { max_occurrences: 100, batch_size: 16, container_size: 256 };
-        let freq = SubsampledConfig { max_occurrences: 4, batch_size: 16, container_size: 256 };
+        let naive = SubsampledConfig {
+            max_occurrences: 100,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let freq = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
         let s_naive = calibrate_sigma(3.0, 1e-5, &naive, 100);
         let s_freq = calibrate_sigma(3.0, 1e-5, &freq, 100);
         // Noise std is σ·C·N_g, so compare absolute noise.
@@ -414,7 +456,10 @@ mod tests {
         for (step, &(eps, alpha)) in schedule.iter().enumerate() {
             acct.compose_subsampled_gaussian(1.2, &c, 1);
             let (want_eps, want_alpha) = acct.epsilon(1e-5);
-            assert!((eps - want_eps).abs() < 1e-9, "step {step}: {eps} vs {want_eps}");
+            assert!(
+                (eps - want_eps).abs() < 1e-9,
+                "step {step}: {eps} vs {want_eps}"
+            );
             assert_eq!(alpha, want_alpha, "step {step}");
         }
         // Cumulative spend is monotone.
@@ -443,11 +488,22 @@ mod tests {
     #[test]
     fn edge_level_never_needs_more_noise_than_node_level() {
         // Same ε target, tighter occurrence bound → no more absolute noise.
-        let node = SubsampledConfig { max_occurrences: 12, batch_size: 16, container_size: 256 };
-        let edge = SubsampledConfig { max_occurrences: 3, batch_size: 16, container_size: 256 };
+        let node = SubsampledConfig {
+            max_occurrences: 12,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let edge = SubsampledConfig {
+            max_occurrences: 3,
+            batch_size: 16,
+            container_size: 256,
+        };
         let s_node = calibrate_sigma(3.0, 1e-5, &node, 80);
         let s_edge = calibrate_sigma(3.0, 1e-5, &edge, 80);
-        assert!(s_edge * 3.0 <= s_node * 12.0, "edge-level absolute noise must not exceed node-level");
+        assert!(
+            s_edge * 3.0 <= s_node * 12.0,
+            "edge-level absolute noise must not exceed node-level"
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn calibration_is_correct_and_tight_on_a_grid() {
 
 #[test]
 fn epsilon_is_monotone_along_every_axis() {
-    let base = SubsampledConfig { max_occurrences: 8, batch_size: 16, container_size: 256 };
+    let base = SubsampledConfig {
+        max_occurrences: 8,
+        batch_size: 16,
+        container_size: 256,
+    };
     let delta = 1e-5;
     let reference = eps_at(1.5, &base, 50, delta);
 
@@ -53,10 +57,16 @@ fn epsilon_is_monotone_along_every_axis() {
     // More noise → less ε.
     assert!(eps_at(3.0, &base, 50, delta) <= reference);
     // Larger batch (more affected draws expected) → more ε.
-    let bigger_batch = SubsampledConfig { batch_size: 64, ..base };
+    let bigger_batch = SubsampledConfig {
+        batch_size: 64,
+        ..base
+    };
     assert!(eps_at(1.5, &bigger_batch, 50, delta) >= reference);
     // Larger container (lower hit probability) → less ε.
-    let bigger_container = SubsampledConfig { container_size: 2048, ..base };
+    let bigger_container = SubsampledConfig {
+        container_size: 2048,
+        ..base
+    };
     assert!(eps_at(1.5, &bigger_container, 50, delta) <= reference);
     // Looser δ → less ε.
     let mut acct = RdpAccountant::default();

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use privim_dp::math::{gamma_pdf, ln_binomial, ln_gamma, log_sum_exp};
-use privim_dp::rdp::{
-    rdp_to_epsilon, subsampled_gaussian_rdp, RdpAccountant, SubsampledConfig,
-};
+use privim_dp::rdp::{rdp_to_epsilon, subsampled_gaussian_rdp, RdpAccountant, SubsampledConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -50,8 +50,10 @@ pub fn pagerank(g: &Graph, damping: f64, tol: f64, max_iters: usize) -> Vec<f64>
 /// peeling algorithm over the undirected view (in-degree + out-degree).
 pub fn core_numbers(g: &Graph) -> Vec<u32> {
     let n = g.num_nodes();
-    let mut degree: Vec<usize> =
-        g.nodes().map(|v| g.in_degree(v) + g.out_degree(v)).collect();
+    let mut degree: Vec<usize> = g
+        .nodes()
+        .map(|v| g.in_degree(v) + g.out_degree(v))
+        .collect();
     let max_degree = degree.iter().copied().max().unwrap_or(0);
 
     // Bucket sort by degree (standard O(V + E) peeling).
@@ -273,7 +275,10 @@ mod tests {
         }
         let g = b.build();
         let c = betweenness_centrality(&g);
-        assert!(c.iter().all(|&x| x == 0.0), "no intermediaries in a clique: {c:?}");
+        assert!(
+            c.iter().all(|&x| x == 0.0),
+            "no intermediaries in a clique: {c:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph over node ids `0..num_nodes`.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, srcs: Vec::new(), dsts: Vec::new(), weights: Vec::new() }
+        GraphBuilder {
+            num_nodes,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            weights: Vec::new(),
+        }
     }
 
     /// Creates a builder with pre-reserved edge capacity.
@@ -74,10 +79,16 @@ impl GraphBuilder {
     /// Validated edge insertion for untrusted input (e.g. file parsing).
     pub fn try_add_edge(&mut self, src: u64, dst: u64, weight: f64) -> Result<(), GraphError> {
         if src >= self.num_nodes as u64 {
-            return Err(GraphError::NodeOutOfRange { node: src, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                num_nodes: self.num_nodes,
+            });
         }
         if dst >= self.num_nodes as u64 {
-            return Err(GraphError::NodeOutOfRange { node: dst, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                num_nodes: self.num_nodes,
+            });
         }
         if !(weight.is_finite() && (0.0..=1.0).contains(&weight)) {
             return Err(GraphError::InvalidWeight { weight });
@@ -152,7 +163,12 @@ fn sort_rows(offsets: &[usize], ids: &mut [NodeId], weights: &mut [f64]) {
             continue;
         }
         row.clear();
-        row.extend(ids[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()));
+        row.extend(
+            ids[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied()),
+        );
         row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         for (i, &(id, weight)) in row.iter().enumerate() {
             ids[lo + i] = id;
@@ -182,7 +198,11 @@ impl Graph {
     /// Sorts every adjacency row by `(neighbor, weight)` so that equal edge
     /// multisets produce bit-identical graphs regardless of insertion order.
     fn canonicalize(&mut self) {
-        sort_rows(&self.out_offsets, &mut self.out_targets, &mut self.out_weights);
+        sort_rows(
+            &self.out_offsets,
+            &mut self.out_targets,
+            &mut self.out_weights,
+        );
         sort_rows(&self.in_offsets, &mut self.in_sources, &mut self.in_weights);
     }
 
@@ -256,12 +276,18 @@ impl Graph {
 
     /// Maximum in-degree over all nodes (0 for the empty graph).
     pub fn max_in_degree(&self) -> usize {
-        (0..self.num_nodes as NodeId).map(|u| self.in_degree(u)).max().unwrap_or(0)
+        (0..self.num_nodes as NodeId)
+            .map(|u| self.in_degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum out-degree over all nodes (0 for the empty graph).
     pub fn max_out_degree(&self) -> usize {
-        (0..self.num_nodes as NodeId).map(|v| self.out_degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes as NodeId)
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns a copy of this graph with every edge weight replaced by `w`.
@@ -352,7 +378,10 @@ mod tests {
     fn edges_iterator_round_trips() {
         let g = diamond();
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(edges, vec![(0, 1, 0.1), (0, 2, 0.2), (1, 3, 0.3), (2, 3, 0.4)]);
+        assert_eq!(
+            edges,
+            vec![(0, 1, 0.1), (0, 2, 0.2), (1, 3, 0.3), (2, 3, 0.4)]
+        );
     }
 
     #[test]
@@ -376,8 +405,14 @@ mod tests {
             b.try_add_edge(0, 9, 0.5),
             Err(GraphError::NodeOutOfRange { node: 9, .. })
         ));
-        assert!(matches!(b.try_add_edge(0, 1, 1.5), Err(GraphError::InvalidWeight { .. })));
-        assert!(matches!(b.try_add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.try_add_edge(0, 1, 1.5),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.try_add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
         assert!(b.try_add_edge(0, 1, 0.5).is_ok());
     }
 

@@ -34,10 +34,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidWeight { weight } => {
-                write!(f, "edge weight {weight} is not a finite probability in [0, 1]")
+                write!(
+                    f,
+                    "edge weight {weight} is not a finite probability in [0, 1]"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -69,12 +75,18 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
         let e = GraphError::InvalidWeight { weight: -0.5 };
         assert!(e.to_string().contains("-0.5"));
-        let e = GraphError::Parse { line: 3, message: "bad".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -47,9 +47,9 @@ pub fn read_edge_list<R: Read>(
             .parse()
             .map_err(|e| parse_err(lineno, &format!("bad destination: {e}")))?;
         let weight = match it.next() {
-            Some(tok) => {
-                tok.parse::<f64>().map_err(|e| parse_err(lineno, &format!("bad weight: {e}")))?
-            }
+            Some(tok) => tok
+                .parse::<f64>()
+                .map_err(|e| parse_err(lineno, &format!("bad weight: {e}")))?,
             None => default_weight,
         };
         b.try_add_edge(src, dst, weight)?;
@@ -92,7 +92,10 @@ pub fn read_edge_list_auto(text: &str, default_weight: f64) -> Result<Graph, Gra
 }
 
 fn parse_err(line: usize, message: &str) -> GraphError {
-    GraphError::Parse { line, message: message.to_string() }
+    GraphError::Parse {
+        line,
+        message: message.to_string(),
+    }
 }
 
 /// Writes `g` as a `src dst weight` edge list.
@@ -246,13 +249,19 @@ mod tests {
     fn binary_rejects_corruption() {
         let g = sample();
         let bytes = encode_binary(&g);
-        assert!(matches!(decode_binary(&bytes[..4]), Err(GraphError::Corrupt(_))));
+        assert!(matches!(
+            decode_binary(&bytes[..4]),
+            Err(GraphError::Corrupt(_))
+        ));
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
         assert!(matches!(decode_binary(&bad), Err(GraphError::Corrupt(_))));
         let mut truncated = bytes.to_vec();
         truncated.pop();
-        assert!(matches!(decode_binary(&truncated), Err(GraphError::Corrupt(_))));
+        assert!(matches!(
+            decode_binary(&truncated),
+            Err(GraphError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -158,7 +158,11 @@ pub fn weakly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
 /// low ids to their oldest, highest-degree nodes, which would let id-based
 /// tie-breaking accidentally pick hubs).
 pub fn relabel(g: &Graph, perm: &[NodeId]) -> Graph {
-    assert_eq!(perm.len(), g.num_nodes(), "permutation length must equal node count");
+    assert_eq!(
+        perm.len(),
+        g.num_nodes(),
+        "permutation length must equal node count"
+    );
     debug_assert!(
         {
             let mut seen = vec![false; perm.len()];
@@ -189,7 +193,11 @@ pub fn shuffle_labels<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Graph {
 /// removes saturated nodes from the *remaining* graph (Algorithm 3, lines
 /// 3-5) while keeping stable node ids.
 pub fn mask_edges(g: &Graph, kept: &[bool]) -> Graph {
-    assert_eq!(kept.len(), g.num_nodes(), "mask length must equal node count");
+    assert_eq!(
+        kept.len(),
+        g.num_nodes(),
+        "mask length must equal node count"
+    );
     let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
     for (v, u, w) in g.edges() {
         if kept[v as usize] && kept[u as usize] {
@@ -217,7 +225,11 @@ mod tests {
         // spokes nodes all pointing into `hub`
         let mut b = GraphBuilder::new(spokes + 1);
         for i in 0..spokes {
-            let v = if (i as NodeId) < hub { i as NodeId } else { i as NodeId + 1 };
+            let v = if (i as NodeId) < hub {
+                i as NodeId
+            } else {
+                i as NodeId + 1
+            };
             b.add_edge(v, hub, 0.7);
         }
         b.build()
@@ -258,7 +270,10 @@ mod tests {
         let p2 = theta_projection(&g, 3, &mut r2);
         let e1: Vec<_> = p1.edges().collect();
         let e2: Vec<_> = p2.edges().collect();
-        assert_ne!(e1, e2, "two seeds picked identical subsets (astronomically unlikely)");
+        assert_ne!(
+            e1, e2,
+            "two seeds picked identical subsets (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
 /// which keeps the statistic deterministic while bounding cost.
 pub fn graph_stats(g: &Graph) -> GraphStats {
     let n = g.num_nodes();
-    let avg_degree = if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 };
+    let avg_degree = if n == 0 {
+        0.0
+    } else {
+        g.num_edges() as f64 / n as f64
+    };
     let avg_clustering = if n == 0 {
         0.0
     } else if n <= CLUSTERING_EXACT_LIMIT {

@@ -14,10 +14,7 @@ use privim_graph::{Graph, GraphBuilder, NodeId};
 /// Strategy: a random directed graph with 1..=40 nodes and 0..=120 edges.
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (1usize..=40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.0f64..=1.0),
-            0..=120,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..=1.0), 0..=120);
         edges.prop_map(move |es| {
             let mut b = GraphBuilder::new(n);
             for (s, d, w) in es {

@@ -14,7 +14,8 @@ use rand::Rng;
 
 use privim_graph::{Graph, NodeId};
 
-use crate::models::{simulate_cascade, DiffusionConfig, DiffusionModel};
+use crate::models::{simulate_cascade, DiffusionConfig};
+use crate::spread::{influence_spread_parallel, is_deterministic_one_step, mix_seed, SpreadError};
 
 /// Max-heap entry for CELF's lazy evaluation.
 #[derive(Debug, PartialEq)]
@@ -28,7 +29,9 @@ impl Eq for Candidate {}
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain.total_cmp(&other.gain).then_with(|| other.node.cmp(&self.node))
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -58,7 +61,11 @@ pub fn celf_coverage(g: &Graph, k: usize) -> (Vec<NodeId>, f64) {
 
     let mut heap: BinaryHeap<Candidate> = g
         .nodes()
-        .map(|v| Candidate { gain: marginal(v, &covered), node: v, round: 0 })
+        .map(|v| Candidate {
+            gain: marginal(v, &covered),
+            node: v,
+            round: 0,
+        })
         .collect();
 
     let mut seeds = Vec::with_capacity(k);
@@ -77,18 +84,67 @@ pub fn celf_coverage(g: &Graph, k: usize) -> (Vec<NodeId>, f64) {
         } else {
             // Stale: re-evaluate lazily (submodularity ⇒ gain only drops).
             let gain = marginal(top.node, &covered);
-            heap.push(Candidate { gain, node: top.node, round: seeds.len() });
+            heap.push(Candidate {
+                gain,
+                node: top.node,
+                round: seeds.len(),
+            });
         }
     }
     (seeds, spread)
 }
 
-/// CELF lazy greedy under an arbitrary diffusion config, with Monte Carlo
-/// marginal gains (`trials` cascades per evaluation).
+/// The CELF lazy-greedy skeleton, parameterized over the spread
+/// estimator: `estimate(seeds, v)` returns the (estimated) spread of
+/// `seeds ∪ {v}`. Both the serial and the multi-threaded Monte-Carlo
+/// variants run this exact control flow, so for estimators that agree
+/// evaluation-by-evaluation the picked seed sets agree too.
 ///
 /// The stochastic objective is only approximately submodular in its
 /// estimates, so lazy evaluations cap at two refreshes per round to bound
 /// cost; this matches common CELF practice.
+fn celf_lazy<E>(g: &Graph, k: usize, mut estimate: E) -> (Vec<NodeId>, f64)
+where
+    E: FnMut(&[NodeId], NodeId) -> f64,
+{
+    let n = g.num_nodes();
+    let k = k.min(n);
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    let mut base = 0.0f64;
+    let mut heap: BinaryHeap<Candidate> = g
+        .nodes()
+        .map(|v| Candidate {
+            gain: estimate(&seeds, v),
+            node: v,
+            round: 0,
+        })
+        .collect();
+    while seeds.len() < k {
+        let mut refreshes = 0;
+        loop {
+            let Some(top) = heap.pop() else {
+                return (seeds, base);
+            };
+            if top.round == seeds.len() || refreshes >= 2 {
+                base = estimate(&seeds, top.node).max(base);
+                seeds.push(top.node);
+                break;
+            }
+            let gain = (estimate(&seeds, top.node) - base).max(0.0);
+            heap.push(Candidate {
+                gain,
+                node: top.node,
+                round: seeds.len(),
+            });
+            refreshes += 1;
+        }
+    }
+    (seeds, base)
+}
+
+/// CELF lazy greedy under an arbitrary diffusion config, with serial
+/// Monte Carlo marginal gains (`trials` cascades per evaluation) drawn
+/// from the caller's RNG.
 pub fn celf_monte_carlo<R: Rng + ?Sized>(
     g: &Graph,
     k: usize,
@@ -96,43 +152,64 @@ pub fn celf_monte_carlo<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> (Vec<NodeId>, f64) {
-    if matches!(config.model, DiffusionModel::IndependentCascade)
-        && config.max_steps == Some(1)
-        && g.nodes().all(|v| g.out_weights(v).iter().all(|&w| w >= 1.0))
-    {
+    if is_deterministic_one_step(g, config) {
         return celf_coverage(g, k);
     }
-    let n = g.num_nodes();
-    let k = k.min(n);
-    let estimate = |seeds: &mut Vec<NodeId>, v: NodeId, rng: &mut R| -> f64 {
-        seeds.push(v);
-        let total: usize =
-            (0..trials).map(|_| simulate_cascade(g, seeds, config, rng)).sum();
-        seeds.pop();
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(k.min(g.num_nodes()) + 1);
+    celf_lazy(g, k, |seeds, v| {
+        scratch.clear();
+        scratch.extend_from_slice(seeds);
+        scratch.push(v);
+        let total: usize = (0..trials)
+            .map(|_| simulate_cascade(g, &scratch, config, rng))
+            .sum();
         total as f64 / trials as f64
-    };
+    })
+}
 
-    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
-    let mut base = 0.0f64;
-    let mut heap: BinaryHeap<Candidate> = g
-        .nodes()
-        .map(|v| Candidate { gain: estimate(&mut seeds, v, rng), node: v, round: 0 })
-        .collect();
-    while seeds.len() < k {
-        let mut refreshes = 0;
-        loop {
-            let Some(top) = heap.pop() else { return (seeds, base) };
-            if top.round == seeds.len() || refreshes >= 2 {
-                base = estimate(&mut seeds, top.node, rng).max(base);
-                seeds.push(top.node);
-                break;
-            }
-            let gain = (estimate(&mut seeds, top.node, rng) - base).max(0.0);
-            heap.push(Candidate { gain, node: top.node, round: seeds.len() });
-            refreshes += 1;
-        }
+/// [`celf_monte_carlo`] with multi-threaded marginal-gain evaluations:
+/// each candidate evaluation runs `trials` cascades through
+/// [`influence_spread_parallel`] on `n_threads` threads.
+///
+/// Evaluation `i` uses the RNG stream derived from `(seed, i)`, and the
+/// parallel estimator is invariant to its thread count, so the picked
+/// seed set and spread depend only on `(g, k, config, trials, seed)` —
+/// `celf_monte_carlo_threaded(.., 1, seed)` and
+/// `celf_monte_carlo_threaded(.., 8, seed)` return identical results.
+pub fn celf_monte_carlo_threaded(
+    g: &Graph,
+    k: usize,
+    config: &DiffusionConfig,
+    trials: usize,
+    n_threads: usize,
+    seed: u64,
+) -> Result<(Vec<NodeId>, f64), SpreadError> {
+    if is_deterministic_one_step(g, config) {
+        return Ok(celf_coverage(g, k));
     }
-    (seeds, base)
+    if trials == 0 {
+        return Err(SpreadError::ZeroTrials);
+    }
+    if n_threads == 0 {
+        return Err(SpreadError::ZeroThreads);
+    }
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(k.min(g.num_nodes()) + 1);
+    let mut evals: u64 = 0;
+    Ok(celf_lazy(g, k, |seeds, v| {
+        scratch.clear();
+        scratch.extend_from_slice(seeds);
+        scratch.push(v);
+        evals += 1;
+        influence_spread_parallel(
+            g,
+            &scratch,
+            config,
+            trials,
+            n_threads,
+            mix_seed(seed, evals),
+        )
+        .expect("preconditions validated above; candidate nodes come from the graph")
+    }))
 }
 
 /// Highest out-degree heuristic.
@@ -186,7 +263,11 @@ mod tests {
         let g = two_stars();
         for k in 1..=4 {
             let (seeds, spread) = celf_coverage(&g, k);
-            assert_eq!(spread, deterministic_one_step_coverage(&g, &seeds) as f64, "k={k}");
+            assert_eq!(
+                spread,
+                deterministic_one_step_coverage(&g, &seeds) as f64,
+                "k={k}"
+            );
         }
     }
 
@@ -246,6 +327,54 @@ mod tests {
         let cfg = DiffusionConfig::ic_unbounded();
         let (seeds, _) = celf_monte_carlo(&g, 1, &cfg, 300, &mut rng);
         assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn threaded_celf_matches_single_threaded_path() {
+        // Same (g, k, config, trials, seed): every thread count must pick
+        // the identical seed set with the identical spread estimate.
+        let mut b = GraphBuilder::new(8);
+        for i in 1..=4 {
+            b.add_edge(0, i, 0.7);
+        }
+        b.add_edge(5, 6, 0.4);
+        b.add_edge(6, 7, 0.4);
+        let g = b.build();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let (seeds_1, spread_1) = celf_monte_carlo_threaded(&g, 3, &cfg, 600, 1, 17).unwrap();
+        for n_threads in [2, 4] {
+            let (seeds_n, spread_n) =
+                celf_monte_carlo_threaded(&g, 3, &cfg, 600, n_threads, 17).unwrap();
+            assert_eq!(seeds_n, seeds_1, "n_threads = {n_threads}");
+            assert_eq!(spread_n, spread_1, "n_threads = {n_threads}");
+        }
+        assert_eq!(seeds_1[0], 0, "the strong hub must come first");
+    }
+
+    #[test]
+    fn threaded_celf_reduces_to_exact_for_unit_weights() {
+        let g = two_stars();
+        let cfg = DiffusionConfig::ic_with_steps(1);
+        let (seeds, spread) = celf_monte_carlo_threaded(&g, 2, &cfg, 10, 4, 0).unwrap();
+        assert_eq!(seeds, vec![0, 6]);
+        assert_eq!(spread, 10.0);
+    }
+
+    #[test]
+    fn threaded_celf_rejects_bad_input() {
+        use crate::spread::SpreadError;
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5);
+        let g = b.build();
+        let cfg = DiffusionConfig::ic_unbounded();
+        assert_eq!(
+            celf_monte_carlo_threaded(&g, 2, &cfg, 0, 4, 0).unwrap_err(),
+            SpreadError::ZeroTrials
+        );
+        assert_eq!(
+            celf_monte_carlo_threaded(&g, 2, &cfg, 10, 0, 0).unwrap_err(),
+            SpreadError::ZeroThreads
+        );
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub mod monitoring;
 pub mod ris;
 pub mod spread;
 
-pub use greedy::{celf_coverage, celf_monte_carlo, degree_heuristic, random_seeds};
+pub use greedy::{
+    celf_coverage, celf_monte_carlo, celf_monte_carlo_threaded, degree_heuristic, random_seeds,
+};
 pub use metrics::{coverage_ratio, mean_std, top_k_seeds};
-pub use monitoring::detection_rate;
 pub use models::{DiffusionConfig, DiffusionModel};
+pub use monitoring::detection_rate;
 pub use ris::{ris_seed_selection, RrCollection};
-pub use spread::{influence_spread, influence_spread_parallel};
+pub use spread::{influence_spread, influence_spread_parallel, SpreadError};

@@ -10,7 +10,9 @@ use privim_graph::NodeId;
 pub fn top_k_seeds(scores: &[f64], k: usize) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
     order.sort_unstable_by(|&a, &b| {
-        scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b))
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
     });
     order.truncate(k.min(scores.len()));
     order

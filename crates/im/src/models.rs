@@ -41,12 +41,18 @@ pub struct DiffusionConfig {
 impl DiffusionConfig {
     /// The paper's evaluation setting: IC with a `j`-step horizon.
     pub fn ic_with_steps(steps: usize) -> Self {
-        DiffusionConfig { model: DiffusionModel::IndependentCascade, max_steps: Some(steps) }
+        DiffusionConfig {
+            model: DiffusionModel::IndependentCascade,
+            max_steps: Some(steps),
+        }
     }
 
     /// IC run to quiescence.
     pub fn ic_unbounded() -> Self {
-        DiffusionConfig { model: DiffusionModel::IndependentCascade, max_steps: None }
+        DiffusionConfig {
+            model: DiffusionModel::IndependentCascade,
+            max_steps: None,
+        }
     }
 }
 
@@ -366,7 +372,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = DiffusionConfig::ic_with_steps(1);
         let trials = 40_000;
-        let total: usize = (0..trials).map(|_| simulate_cascade(&g, &[0], &cfg, &mut rng)).sum();
+        let total: usize = (0..trials)
+            .map(|_| simulate_cascade(&g, &[0], &cfg, &mut rng))
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 1.5).abs() < 0.02, "mean spread {mean}");
     }
@@ -397,9 +405,14 @@ mod tests {
         // One in-edge of weight 0.3 activates v only if θ_v ≤ 0.3.
         let g = path(2, 0.3);
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = DiffusionConfig { model: DiffusionModel::LinearThreshold, max_steps: None };
+        let cfg = DiffusionConfig {
+            model: DiffusionModel::LinearThreshold,
+            max_steps: None,
+        };
         let trials = 40_000;
-        let total: usize = (0..trials).map(|_| simulate_cascade(&g, &[0], &cfg, &mut rng)).sum();
+        let total: usize = (0..trials)
+            .map(|_| simulate_cascade(&g, &[0], &cfg, &mut rng))
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 1.3).abs() < 0.02, "mean spread {mean}");
     }

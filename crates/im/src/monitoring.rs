@@ -68,7 +68,10 @@ pub fn mean_detection_step<R: Rng + ?Sized>(
             continue; // step 0
         }
         for step in 1..=max_steps {
-            let cfg = DiffusionConfig { max_steps: Some(step), ..*config };
+            let cfg = DiffusionConfig {
+                max_steps: Some(step),
+                ..*config
+            };
             let mut probe_rng = rand::rngs::StdRng::seed_from_u64(rng.r#gen());
             let reached = simulate_cascade_mask(g, &[source], &cfg, &mut probe_rng);
             if reached.iter().zip(&is_monitor).any(|(&r, &m)| r && m) {
@@ -134,8 +137,13 @@ mod tests {
             max_steps: Some(3),
         };
         let small = detection_rate(&g, &[0, 1], &cfg, 4_000, &mut StdRng::seed_from_u64(4));
-        let large =
-            detection_rate(&g, &[0, 1, 2, 3, 4, 5], &cfg, 4_000, &mut StdRng::seed_from_u64(4));
+        let large = detection_rate(
+            &g,
+            &[0, 1, 2, 3, 4, 5],
+            &cfg,
+            4_000,
+            &mut StdRng::seed_from_u64(4),
+        );
         assert!(large >= small - 0.02, "{large} < {small}");
     }
 

@@ -80,7 +80,11 @@ impl RrCollection {
             }
             sets.push(set);
         }
-        RrCollection { num_nodes: g.num_nodes(), sets, membership }
+        RrCollection {
+            num_nodes: g.num_nodes(),
+            sets,
+            membership,
+        }
     }
 
     /// Number of RR sets.
@@ -116,8 +120,7 @@ impl RrCollection {
     /// to the sampled coverage objective.
     pub fn select_seeds(&self, k: usize) -> (Vec<NodeId>, f64) {
         let k = k.min(self.num_nodes);
-        let mut gain: Vec<i64> =
-            self.membership.iter().map(|m| m.len() as i64).collect();
+        let mut gain: Vec<i64> = self.membership.iter().map(|m| m.len() as i64).collect();
         let mut covered = vec![false; self.sets.len()];
         let mut chosen = vec![false; self.num_nodes];
         let mut seeds = Vec::with_capacity(k);
@@ -209,7 +212,10 @@ mod tests {
         let g = two_stars();
         let mut rng = StdRng::seed_from_u64(2);
         let set = sample_rr_set(&g, 3, None, &mut rng);
-        assert!(set.contains(&0), "w = 1 makes reverse reachability deterministic");
+        assert!(
+            set.contains(&0),
+            "w = 1 makes reverse reachability deterministic"
+        );
         assert_eq!(set.len(), 2);
     }
 
@@ -273,9 +279,18 @@ mod tests {
     #[test]
     fn recommended_count_scales_sensibly() {
         let base = recommended_rr_count(1_000, 10, 0.5);
-        assert!(recommended_rr_count(10_000, 10, 0.5) > base, "more nodes need more sets");
-        assert!(recommended_rr_count(1_000, 50, 0.5) < base, "larger k needs fewer");
-        assert!(recommended_rr_count(1_000, 10, 0.1) > base, "tighter eps needs more");
+        assert!(
+            recommended_rr_count(10_000, 10, 0.5) > base,
+            "more nodes need more sets"
+        );
+        assert!(
+            recommended_rr_count(1_000, 50, 0.5) < base,
+            "larger k needs fewer"
+        );
+        assert!(
+            recommended_rr_count(1_000, 10, 0.1) > base,
+            "tighter eps needs more"
+        );
         assert!(recommended_rr_count(10, 1, 10.0) >= 100, "floor applies");
     }
 

@@ -9,11 +9,14 @@ use rand::{Rng, SeedableRng};
 
 use privim_graph::{Graph, NodeId};
 
-use crate::models::{deterministic_one_step_coverage, simulate_cascade, DiffusionConfig, DiffusionModel};
+use crate::models::{
+    deterministic_one_step_coverage, simulate_cascade, DiffusionConfig, DiffusionModel,
+};
 
 /// True if every edge weight is (at least) 1, making IC deterministic.
 fn all_weights_saturated(g: &Graph) -> bool {
-    g.nodes().all(|v| g.out_weights(v).iter().all(|&w| w >= 1.0))
+    g.nodes()
+        .all(|v| g.out_weights(v).iter().all(|&w| w >= 1.0))
 }
 
 /// Estimates the expected influence spread `I(S, G)` of `seeds` under
@@ -65,7 +68,11 @@ fn timed_trial_end(started: Option<std::time::Instant>) {
 /// touches the caller's RNG.
 fn record_mc_telemetry(trials: usize, secs: f64, variance: Option<f64>) {
     privim_obs::counter("im.mc_trials").add(trials as u64);
-    let sims_per_sec = if secs > 0.0 { trials as f64 / secs } else { f64::INFINITY };
+    let sims_per_sec = if secs > 0.0 {
+        trials as f64 / secs
+    } else {
+        f64::INFINITY
+    };
     if sims_per_sec.is_finite() {
         privim_obs::histogram("im.sims_per_sec").record(sims_per_sec);
     }
@@ -79,7 +86,7 @@ fn record_mc_telemetry(trials: usize, secs: f64, variance: Option<f64>) {
     );
 }
 
-fn is_deterministic_one_step(g: &Graph, config: &DiffusionConfig) -> bool {
+pub(crate) fn is_deterministic_one_step(g: &Graph, config: &DiffusionConfig) -> bool {
     matches!(config.model, DiffusionModel::IndependentCascade)
         && config.max_steps == Some(1)
         && all_weights_saturated(g)
@@ -117,7 +124,11 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
 ) -> SpreadEstimate {
     if is_deterministic_one_step(g, config) {
         let exact = deterministic_one_step_coverage(g, seeds) as f64;
-        return SpreadEstimate { mean: exact, half_width: 0.0, trials: 1 };
+        return SpreadEstimate {
+            mean: exact,
+            half_width: 0.0,
+            trials: 1,
+        };
     }
     assert!(trials >= 2, "need at least two trials for a CI");
     let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
@@ -131,8 +142,7 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
         })
         .collect();
     let mean = samples.iter().sum::<f64>() / trials as f64;
-    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-        / (trials as f64 - 1.0);
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (trials as f64 - 1.0);
     record_mc_telemetry(trials, started.elapsed().as_secs_f64(), Some(var));
     SpreadEstimate {
         mean,
@@ -141,9 +151,75 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
     }
 }
 
+/// Trials per deterministic work block: block `b` always simulates the
+/// same cascades with the same derived RNG, no matter which thread runs
+/// it, so the parallel estimate is invariant to the thread count.
+const TRIAL_BLOCK: usize = 256;
+
+/// Why a spread request could not be evaluated. These are
+/// caller-controlled conditions (e.g. a malformed `/v1/spread` request),
+/// so they surface as values instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpreadError {
+    /// `trials == 0` on a stochastic configuration.
+    ZeroTrials,
+    /// `n_threads == 0`.
+    ZeroThreads,
+    /// A seed node id is not in the graph.
+    SeedOutOfRange {
+        /// The offending node id.
+        seed: NodeId,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for SpreadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpreadError::ZeroTrials => f.write_str("need at least one trial"),
+            SpreadError::ZeroThreads => f.write_str("need at least one thread"),
+            SpreadError::SeedOutOfRange { seed, num_nodes } => {
+                write!(f, "seed {seed} out of range (graph has {num_nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpreadError {}
+
+/// Derives the RNG seed for work block `stream` (splitmix64 finalizer, so
+/// nearby block indices get well-separated streams).
+pub(crate) fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn check_seeds_in_range(g: &Graph, seeds: &[NodeId]) -> Result<(), SpreadError> {
+    match seeds.iter().find(|&&s| s as usize >= g.num_nodes()) {
+        Some(&seed) => Err(SpreadError::SeedOutOfRange {
+            seed,
+            num_nodes: g.num_nodes(),
+        }),
+        None => Ok(()),
+    }
+}
+
 /// Multi-threaded Monte Carlo spread estimate; deterministic for a given
-/// `seed` regardless of thread count (each thread owns a derived RNG and a
-/// fixed share of trials).
+/// `seed` regardless of thread count.
+///
+/// Trials are partitioned into fixed [`TRIAL_BLOCK`]-sized blocks; block
+/// `b` always runs with the RNG derived from `(seed, b)`, and threads
+/// claim blocks from a shared counter. The per-block sums are integers,
+/// so the total is independent of which thread ran which block.
+///
+/// Unlike the panicking estimators above, every caller-controlled
+/// precondition surfaces as a [`SpreadError`] — this is the entry point
+/// network-facing code (the `/v1/spread` endpoint) calls with
+/// client-supplied values.
 pub fn influence_spread_parallel(
     g: &Graph,
     seeds: &[NodeId],
@@ -151,31 +227,50 @@ pub fn influence_spread_parallel(
     trials: usize,
     n_threads: usize,
     seed: u64,
-) -> f64 {
+) -> Result<f64, SpreadError> {
+    check_seeds_in_range(g, seeds)?;
     if is_deterministic_one_step(g, config) {
-        return deterministic_one_step_coverage(g, seeds) as f64;
+        return Ok(deterministic_one_step_coverage(g, seeds) as f64);
     }
-    assert!(trials > 0 && n_threads > 0, "need at least one trial and thread");
+    if trials == 0 {
+        return Err(SpreadError::ZeroTrials);
+    }
+    if n_threads == 0 {
+        return Err(SpreadError::ZeroThreads);
+    }
     let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
     let started = std::time::Instant::now();
-    let n_threads = n_threads.min(trials);
-    let per = trials / n_threads;
-    let extra = trials % n_threads;
+    let n_blocks = trials.div_ceil(TRIAL_BLOCK);
+    let n_threads = n_threads.min(n_blocks);
+    let next_block = std::sync::atomic::AtomicUsize::new(0);
     let totals: Vec<usize> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|t| {
-                let quota = per + usize::from(t < extra);
+            .map(|_| {
+                let next_block = &next_block;
                 scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37_79b9));
-                    (0..quota).map(|_| simulate_cascade(g, seeds, config, &mut rng)).sum::<usize>()
+                    let mut local = 0usize;
+                    loop {
+                        let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if b >= n_blocks {
+                            return local;
+                        }
+                        let quota = TRIAL_BLOCK.min(trials - b * TRIAL_BLOCK);
+                        let mut rng = StdRng::seed_from_u64(mix_seed(seed, b as u64));
+                        local += (0..quota)
+                            .map(|_| simulate_cascade(g, seeds, config, &mut rng))
+                            .sum::<usize>();
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("spread worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spread worker panicked"))
+            .collect()
     })
     .expect("spread thread scope failed");
     record_mc_telemetry(trials, started.elapsed().as_secs_f64(), None);
-    totals.iter().sum::<usize>() as f64 / trials as f64
+    Ok(totals.iter().sum::<usize>() as f64 / trials as f64)
 }
 
 #[cfg(test)]
@@ -217,7 +312,7 @@ mod tests {
     fn parallel_matches_serial_expectation() {
         let g = two_hop_chain();
         let cfg = DiffusionConfig::ic_unbounded();
-        let s = influence_spread_parallel(&g, &[0], &cfg, 60_000, 4, 7);
+        let s = influence_spread_parallel(&g, &[0], &cfg, 60_000, 4, 7).unwrap();
         assert!((s - 1.75).abs() < 0.02, "spread {s}");
     }
 
@@ -225,9 +320,60 @@ mod tests {
     fn parallel_is_deterministic_given_seed() {
         let g = two_hop_chain();
         let cfg = DiffusionConfig::ic_unbounded();
-        let a = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9);
-        let b = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9);
+        let a = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9).unwrap();
+        let b = influence_spread_parallel(&g, &[0], &cfg, 5_000, 4, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_is_invariant_to_thread_count() {
+        // 1000 trials span four blocks; every thread count must produce
+        // the identical estimate because blocks, not threads, own RNGs.
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let reference = influence_spread_parallel(&g, &[0], &cfg, 1_000, 1, 13).unwrap();
+        for n_threads in [2, 3, 4, 64] {
+            let s = influence_spread_parallel(&g, &[0], &cfg, 1_000, n_threads, 13).unwrap();
+            assert_eq!(s, reference, "n_threads = {n_threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_bad_input_instead_of_panicking() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        assert_eq!(
+            influence_spread_parallel(&g, &[0], &cfg, 0, 4, 1),
+            Err(SpreadError::ZeroTrials)
+        );
+        assert_eq!(
+            influence_spread_parallel(&g, &[0], &cfg, 10, 0, 1),
+            Err(SpreadError::ZeroThreads)
+        );
+        assert_eq!(
+            influence_spread_parallel(&g, &[99], &cfg, 10, 1, 1),
+            Err(SpreadError::SeedOutOfRange {
+                seed: 99,
+                num_nodes: 3
+            })
+        );
+        let msg = SpreadError::SeedOutOfRange {
+            seed: 99,
+            num_nodes: 3,
+        }
+        .to_string();
+        assert!(msg.contains("99") && msg.contains("3"), "{msg}");
+    }
+
+    #[test]
+    fn exact_configurations_ignore_trial_and_thread_counts() {
+        // The deterministic fast path needs no Monte Carlo, so zero
+        // trials is not an error there.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let cfg = DiffusionConfig::ic_with_steps(1);
+        assert_eq!(influence_spread_parallel(&g, &[0], &cfg, 0, 0, 1), Ok(2.0));
     }
 
     #[test]
@@ -278,7 +424,7 @@ mod tests {
     fn more_threads_than_trials_is_fine() {
         let g = two_hop_chain();
         let cfg = DiffusionConfig::ic_unbounded();
-        let s = influence_spread_parallel(&g, &[0], &cfg, 3, 64, 1);
+        let s = influence_spread_parallel(&g, &[0], &cfg, 3, 64, 1).unwrap();
         assert!((1.0..=3.0).contains(&s));
     }
 }

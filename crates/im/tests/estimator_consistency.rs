@@ -42,8 +42,8 @@ fn ris_matches_closed_form() {
 #[test]
 fn forward_and_reverse_agree_on_random_graph() {
     let mut rng = StdRng::seed_from_u64(3);
-    let g = privim_datasets::generators::holme_kim(80, 3, 0.3, 1.0, &mut rng)
-        .with_uniform_weight(0.2);
+    let g =
+        privim_datasets::generators::holme_kim(80, 3, 0.3, 1.0, &mut rng).with_uniform_weight(0.2);
     let seeds: Vec<NodeId> = vec![0, 13, 42];
     let cfg = DiffusionConfig::ic_with_steps(2);
     let mc = influence_spread(&g, &seeds, &cfg, 60_000, &mut rng);
@@ -78,13 +78,23 @@ fn multi_step_expectation_on_chain() {
 #[test]
 fn unbounded_equals_large_step_cap() {
     let mut rng = StdRng::seed_from_u64(5);
-    let g = privim_datasets::generators::holme_kim(60, 3, 0.2, 1.0, &mut rng)
-        .with_uniform_weight(0.3);
+    let g =
+        privim_datasets::generators::holme_kim(60, 3, 0.2, 1.0, &mut rng).with_uniform_weight(0.3);
     let seeds = [0u32, 7];
-    let unbounded =
-        influence_spread(&g, &seeds, &DiffusionConfig::ic_unbounded(), 40_000, &mut rng);
-    let capped =
-        influence_spread(&g, &seeds, &DiffusionConfig::ic_with_steps(60), 40_000, &mut rng);
+    let unbounded = influence_spread(
+        &g,
+        &seeds,
+        &DiffusionConfig::ic_unbounded(),
+        40_000,
+        &mut rng,
+    );
+    let capped = influence_spread(
+        &g,
+        &seeds,
+        &DiffusionConfig::ic_with_steps(60),
+        40_000,
+        &mut rng,
+    );
     assert!(
         (unbounded - capped).abs() / unbounded < 0.02,
         "unbounded {unbounded:.2} vs 60-step {capped:.2}"

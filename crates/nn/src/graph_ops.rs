@@ -257,7 +257,12 @@ impl Tape {
     /// destination; GRAT groups by source (its defining difference).
     ///
     /// Numerically stabilized by subtracting the per-segment maximum.
-    pub fn segment_softmax(&mut self, scores: Var, segment: Rc<Vec<u32>>, n_segments: usize) -> Var {
+    pub fn segment_softmax(
+        &mut self,
+        scores: Var,
+        segment: Rc<Vec<u32>>,
+        n_segments: usize,
+    ) -> Var {
         let _prof = ProfScope::enter("nn.segment_softmax");
         add_count("nn.edges.segment_softmax", segment.len() as u64);
         let sv = self.value(scores);
@@ -334,7 +339,13 @@ mod tests {
         check_gradients(
             &[(4, 3)],
             move |t, vars| {
-                let y = t.spmm_fixed(vars[0], Rc::clone(&src), Rc::clone(&dst), Rc::clone(&coeff), 4);
+                let y = t.spmm_fixed(
+                    vars[0],
+                    Rc::clone(&src),
+                    Rc::clone(&dst),
+                    Rc::clone(&coeff),
+                    4,
+                );
                 let y = t.tanh(y);
                 t.sum(y)
             },

@@ -38,7 +38,11 @@ impl GraphTensors {
     /// Builds the tensor bundle for `g` with explicit `features`
     /// (`g.num_nodes() × d`).
     pub fn new(g: &Graph, features: Matrix) -> Self {
-        assert_eq!(features.rows(), g.num_nodes(), "feature rows must equal node count");
+        assert_eq!(
+            features.rows(),
+            g.num_nodes(),
+            "feature rows must equal node count"
+        );
         let m = g.num_edges();
         let mut src = Vec::with_capacity(m);
         let mut dst = Vec::with_capacity(m);
@@ -49,13 +53,16 @@ impl GraphTensors {
             src.push(v);
             dst.push(u);
             edge_weight.push(w);
-            let norm =
-                (((g.in_degree(u) + 1) * (g.out_degree(v) + 1)) as f64).sqrt().recip();
+            let norm = (((g.in_degree(u) + 1) * (g.out_degree(v) + 1)) as f64)
+                .sqrt()
+                .recip();
             gcn_coeff.push(norm);
             mean_coeff.push((g.in_degree(u) as f64).recip());
         }
-        let gcn_self: Vec<f64> =
-            g.nodes().map(|u| ((g.in_degree(u) + 1) as f64).recip()).collect();
+        let gcn_self: Vec<f64> = g
+            .nodes()
+            .map(|u| ((g.in_degree(u) + 1) as f64).recip())
+            .collect();
         GraphTensors {
             num_nodes: g.num_nodes(),
             features,
@@ -136,7 +143,11 @@ pub fn structural_features(g: &Graph, dim: usize) -> Matrix {
 /// and full-graph inference.
 pub fn structural_features_with_ids(g: &Graph, dim: usize, original_ids: &[u32]) -> Matrix {
     assert!(dim >= 1, "feature dim must be at least 1");
-    assert_eq!(original_ids.len(), g.num_nodes(), "one original id per node");
+    assert_eq!(
+        original_ids.len(),
+        g.num_nodes(),
+        "one original id per node"
+    );
     let sat = |d: f64| d / (d + DEGREE_SATURATION);
     Matrix::from_fn(g.num_nodes(), dim, |v, k| {
         let d_in = g.in_degree(v as u32) as f64;

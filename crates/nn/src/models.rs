@@ -165,8 +165,10 @@ impl Linear {
         rng: &mut R,
     ) -> Self {
         let w = params.add_xavier(format!("{prefix}.weight"), d_in, d_out, rng);
-        let b = params
-            .add(format!("{prefix}.bias"), crate::matrix::Matrix::filled(1, d_out, bias_init));
+        let b = params.add(
+            format!("{prefix}.bias"),
+            crate::matrix::Matrix::filled(1, d_out, bias_init),
+        );
         Linear { w, b }
     }
 
@@ -410,7 +412,12 @@ impl Attention {
             linears.push(layer_linears);
             att.push(layer_att);
         }
-        Attention { params, linears, att, source_normalized }
+        Attention {
+            params,
+            linears,
+            att,
+            source_normalized,
+        }
     }
 
     /// One attention head's aggregation for the current layer.
@@ -433,8 +440,11 @@ impl Attention {
             let cat = tape.concat_cols(hs, hd);
             let scores = tape.matmul(cat, pv[att_param]);
             let scores = tape.leaky_relu(scores, ATTENTION_SLOPE);
-            let group =
-                if self.source_normalized { Rc::clone(&gt.src) } else { Rc::clone(&gt.dst) };
+            let group = if self.source_normalized {
+                Rc::clone(&gt.src)
+            } else {
+                Rc::clone(&gt.dst)
+            };
             let alpha = tape.segment_softmax(scores, group, gt.num_nodes);
             let msg = tape.row_mul(hs, alpha);
             tape.scatter_add_rows(msg, Rc::clone(&gt.dst), gt.num_nodes)
@@ -509,7 +519,13 @@ impl Gin {
         let n_layers = dims.len() - 1;
         for l in 0..n_layers {
             let mid = dims[l].max(dims[l + 1]);
-            mlp1.push(Linear::new(&mut params, &format!("gin{l}.mlp1"), dims[l], mid, rng));
+            mlp1.push(Linear::new(
+                &mut params,
+                &format!("gin{l}.mlp1"),
+                dims[l],
+                mid,
+                rng,
+            ));
             mlp2.push(Linear::with_bias(
                 &mut params,
                 &format!("gin{l}.mlp2"),
@@ -520,7 +536,12 @@ impl Gin {
             ));
             omega.push(params.add(format!("gin{l}.omega"), crate::matrix::Matrix::scalar(0.0)));
         }
-        Gin { params, mlp1, mlp2, omega }
+        Gin {
+            params,
+            mlp1,
+            mlp2,
+            omega,
+        }
     }
 }
 
@@ -640,7 +661,10 @@ mod tests {
 
         let probs = model.seed_probabilities(&gt);
         assert_eq!(probs.len(), 6);
-        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)), "{kind}: probs out of range");
+        assert!(
+            probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "{kind}: probs out of range"
+        );
 
         // Gradients must flow into every weight parameter for a generic loss.
         let mut tape = Tape::new();
@@ -746,7 +770,10 @@ mod tests {
             .zip(multi.params().iter())
             .filter(|(b, p)| p.name.contains("weight") && b.frobenius_norm() > 0.0)
             .count();
-        assert!(live_heads >= 4, "only {live_heads} head weights received gradient");
+        assert!(
+            live_heads >= 4,
+            "only {live_heads} head weights received gradient"
+        );
     }
 
     #[test]

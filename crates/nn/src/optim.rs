@@ -64,21 +64,36 @@ impl Adam {
     /// Adam with the customary defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamSet, grad: &GradVec) {
         if self.m.is_empty() {
-            self.m = grad.blocks().iter().map(|b| Matrix::zeros(b.rows(), b.cols())).collect();
+            self.m = grad
+                .blocks()
+                .iter()
+                .map(|b| Matrix::zeros(b.rows(), b.cols()))
+                .collect();
             self.v = self.m.clone();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, g), m), v) in
-            params.iter_mut().zip(grad.blocks()).zip(&mut self.m).zip(&mut self.v)
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grad.blocks())
+            .zip(&mut self.m)
+            .zip(&mut self.v)
         {
             for ((w, &gi), (mi, vi)) in p
                 .value

@@ -33,7 +33,10 @@ impl ParamSet {
 
     /// Registers a parameter and returns its index.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> usize {
-        self.params.push(Param { name: name.into(), value });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
         self.params.len() - 1
     }
 
@@ -81,7 +84,10 @@ impl ParamSet {
     /// Records every parameter as a leaf on `tape`; returns the vars in
     /// registration order.
     pub fn bind(&self, tape: &mut Tape) -> Vec<Var> {
-        self.params.iter().map(|p| tape.leaf(p.value.clone())).collect()
+        self.params
+            .iter()
+            .map(|p| tape.leaf(p.value.clone()))
+            .collect()
     }
 
     /// Extracts this set's gradients from a backward pass.
@@ -154,7 +160,11 @@ impl GradVec {
 
     /// `self += other`.
     pub fn add_assign(&mut self, other: &GradVec) {
-        assert_eq!(self.blocks.len(), other.blocks.len(), "block count mismatch");
+        assert_eq!(
+            self.blocks.len(),
+            other.blocks.len(),
+            "block count mismatch"
+        );
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             a.add_assign(b);
         }
@@ -256,7 +266,9 @@ mod tests {
         acc.add_assign(&one);
         acc.add_assign(&one);
         acc.scale_assign(0.5);
-        acc.blocks().iter().for_each(|b| b.data().iter().for_each(|&x| assert_eq!(x, 1.0)));
+        acc.blocks()
+            .iter()
+            .for_each(|b| b.data().iter().for_each(|&x| assert_eq!(x, 1.0)));
     }
 
     #[test]

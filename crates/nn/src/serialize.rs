@@ -161,7 +161,10 @@ mod tests {
         snapshot.save(&path).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         let restored = loaded.restore().unwrap();
-        assert_eq!(model.seed_probabilities(&gt), restored.seed_probabilities(&gt));
+        assert_eq!(
+            model.seed_probabilities(&gt),
+            restored.seed_probabilities(&gt)
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -181,7 +184,10 @@ mod tests {
     fn load_rejects_garbage() {
         let path = std::env::temp_dir().join("privim-checkpoint-garbage.json");
         std::fs::write(&path, "not json").unwrap();
-        assert!(matches!(Checkpoint::load(&path), Err(CheckpointError::Parse(_))));
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Parse(_))
+        ));
         std::fs::remove_file(&path).ok();
         assert!(matches!(
             Checkpoint::load("/nonexistent/privim.json"),

@@ -95,7 +95,11 @@ impl Tape {
         backward: Option<BackwardFn>,
     ) -> Var {
         debug_assert!(value.is_finite(), "non-finite value recorded on tape");
-        self.nodes.push(Node { value, parents, backward });
+        self.nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -104,11 +108,17 @@ impl Tape {
     /// # Panics
     /// If `loss` is not a 1×1 variable on this tape.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::scalar(1.0));
         for i in (0..=loss.0).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             let node = &self.nodes[i];
             if let Some(backward) = &node.backward {
                 let ctx = BackwardCtx {
@@ -162,8 +172,10 @@ impl Tape {
             value,
             vec![a.0, b.0],
             Some(Box::new(|ctx| {
-                vec![ctx.grad.zip_map(ctx.parents[1], |g, y| g * y),
-                     ctx.grad.zip_map(ctx.parents[0], |g, x| g * x)]
+                vec![
+                    ctx.grad.zip_map(ctx.parents[1], |g, y| g * y),
+                    ctx.grad.zip_map(ctx.parents[0], |g, x| g * x),
+                ]
             })),
         )
     }
@@ -171,19 +183,31 @@ impl Tape {
     /// `c * a` for a constant `c`.
     pub fn scale(&mut self, a: Var, c: f64) -> Var {
         let value = self.value(a).map(|x| c * x);
-        self.push(value, vec![a.0], Some(Box::new(move |ctx| vec![ctx.grad.map(|g| c * g)])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |ctx| vec![ctx.grad.map(|g| c * g)])),
+        )
     }
 
     /// `a + c` for a constant `c` (elementwise).
     pub fn add_scalar(&mut self, a: Var, c: f64) -> Var {
         let value = self.value(a).map(|x| x + c);
-        self.push(value, vec![a.0], Some(Box::new(|ctx| vec![ctx.grad.clone()])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|ctx| vec![ctx.grad.clone()])),
+        )
     }
 
     /// `1 - a` (elementwise); common in the diffusion loss.
     pub fn one_minus(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|x| 1.0 - x);
-        self.push(value, vec![a.0], Some(Box::new(|ctx| vec![ctx.grad.map(|g| -g)])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|ctx| vec![ctx.grad.map(|g| -g)])),
+        )
     }
 
     /// Matrix product `a × b`.
@@ -201,7 +225,10 @@ impl Tape {
                 let _prof = ProfScope::enter("nn.matmul.bwd");
                 add_count("nn.flops.matmul", 2 * flops);
                 // dA = dC·Bᵀ ; dB = Aᵀ·dC
-                vec![ctx.grad.matmul_nt(ctx.parents[1]), ctx.parents[0].matmul_tn(ctx.grad)]
+                vec![
+                    ctx.grad.matmul_nt(ctx.parents[1]),
+                    ctx.parents[0].matmul_tn(ctx.grad),
+                ]
             })),
         )
     }
@@ -235,7 +262,11 @@ impl Tape {
 
     /// Broadcast-multiplies `a` by a 1×1 variable `s` (e.g. GIN's `1 + ω`).
     pub fn scale_by_var(&mut self, a: Var, s: Var) -> Var {
-        assert_eq!(self.value(s).shape(), (1, 1), "scale_by_var needs 1x1 scalar");
+        assert_eq!(
+            self.value(s).shape(),
+            (1, 1),
+            "scale_by_var needs 1x1 scalar"
+        );
         let c = self.value(s).as_scalar();
         let value = self.value(a).map(|x| c * x);
         self.push(
@@ -257,7 +288,9 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(|ctx| {
-                vec![ctx.grad.zip_map(ctx.parents[0], |g, x| if x > 0.0 { g } else { 0.0 })]
+                vec![ctx
+                    .grad
+                    .zip_map(ctx.parents[0], |g, x| if x > 0.0 { g } else { 0.0 })]
             })),
         )
     }
@@ -269,7 +302,9 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(move |ctx| {
-                vec![ctx.grad.zip_map(ctx.parents[0], |g, x| if x > 0.0 { g } else { alpha * g })]
+                vec![ctx
+                    .grad
+                    .zip_map(ctx.parents[0], |g, x| if x > 0.0 { g } else { alpha * g })]
             })),
         )
     }
@@ -309,13 +344,16 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(move |ctx| {
-                vec![ctx.grad.zip_map(ctx.parents[0], |g, x| {
-                    if x > lo && x < hi {
-                        g
-                    } else {
-                        0.0
-                    }
-                })]
+                vec![ctx.grad.zip_map(
+                    ctx.parents[0],
+                    |g, x| {
+                        if x > lo && x < hi {
+                            g
+                        } else {
+                            0.0
+                        }
+                    },
+                )]
             })),
         )
     }

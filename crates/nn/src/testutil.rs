@@ -34,11 +34,7 @@ pub fn check_gradients(
 
 /// Like [`check_gradients`] but with caller-provided leaf values, for ops
 /// whose domain is restricted (e.g. probabilities in `[0, 1]`).
-pub fn check_gradients_at(
-    inputs: &[Matrix],
-    build: impl Fn(&mut Tape, &[Var]) -> Var,
-    tol: f64,
-) {
+pub fn check_gradients_at(inputs: &[Matrix], build: impl Fn(&mut Tape, &[Var]) -> Var, tol: f64) {
     let eval = |points: &[Matrix]| -> (f64, Vec<Matrix>) {
         let mut tape = Tape::new();
         let vars: Vec<Var> = points.iter().map(|m| tape.leaf(m.clone())).collect();
@@ -48,7 +44,12 @@ pub fn check_gradients_at(
         let gs = vars
             .iter()
             .zip(points)
-            .map(|(&v, m)| grads.get(v).cloned().unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols())))
+            .map(|(&v, m)| {
+                grads
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
+            })
             .collect();
         (value, gs)
     };

@@ -79,7 +79,10 @@ fn every_architecture_fits_the_hub_target() {
             ModelKind::Gat | ModelKind::GraphSage => 1.2,
             _ => 0.6,
         };
-        assert!(last < bound, "{kind}: did not fit the target (final loss {last:.4})");
+        assert!(
+            last < bound,
+            "{kind}: did not fit the target (final loss {last:.4})"
+        );
     }
 }
 
@@ -103,7 +106,10 @@ fn trained_model_ranks_hubs_first() {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let top2: Vec<usize> = order[..2].to_vec();
-    assert!(top2.contains(&0) && top2.contains(&7), "top-2 {top2:?} should be the hubs");
+    assert!(
+        top2.contains(&0) && top2.contains(&7),
+        "top-2 {top2:?} should be the hubs"
+    );
 }
 
 #[test]
@@ -124,7 +130,11 @@ fn sgd_also_converges_slower_but_surely() {
         let gv = model.params().grads(&pv, grads);
         opt.step(model.params_mut(), &gv);
     }
-    assert!(losses.last().unwrap() < &(losses[0] * 0.6), "{:?}", (losses[0], losses.last()));
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.6),
+        "{:?}",
+        (losses[0], losses.last())
+    );
 }
 
 #[test]

@@ -131,7 +131,13 @@ impl Event {
         message: impl Into<String>,
         fields: Vec<(&'static str, FieldValue)>,
     ) -> Self {
-        Event { ts_micros: now_micros(), level, target, message: message.into(), fields }
+        Event {
+            ts_micros: now_micros(),
+            level,
+            target,
+            message: message.into(),
+            fields,
+        }
     }
 
     /// The value of field `key`, if present.
@@ -147,8 +153,14 @@ impl Event {
         }
         let mut obj = BTreeMap::new();
         obj.insert("ts_us".to_string(), JsonValue::Num(self.ts_micros as f64));
-        obj.insert("level".to_string(), JsonValue::Str(self.level.as_str().to_string()));
-        obj.insert("target".to_string(), JsonValue::Str(self.target.to_string()));
+        obj.insert(
+            "level".to_string(),
+            JsonValue::Str(self.level.as_str().to_string()),
+        );
+        obj.insert(
+            "target".to_string(),
+            JsonValue::Str(self.target.to_string()),
+        );
         obj.insert("message".to_string(), JsonValue::Str(self.message.clone()));
         obj.insert("fields".to_string(), JsonValue::Obj(fields));
         JsonValue::Obj(obj).to_json()
@@ -191,7 +203,10 @@ mod tests {
             crate::Level::Info,
             "train",
             "epoch",
-            vec![("epoch", FieldValue::U64(3)), ("loss", FieldValue::F64(0.25))],
+            vec![
+                ("epoch", FieldValue::U64(3)),
+                ("loss", FieldValue::F64(0.25)),
+            ],
         );
         let parsed = json::parse(&e.to_json_line()).unwrap();
         assert_eq!(parsed.get("target").unwrap().as_str(), Some("train"));
@@ -203,7 +218,12 @@ mod tests {
 
     #[test]
     fn human_format_contains_fields() {
-        let e = Event::new(crate::Level::Warn, "dp", "epsilon", vec![("step", 4usize.into())]);
+        let e = Event::new(
+            crate::Level::Warn,
+            "dp",
+            "epsilon",
+            vec![("step", 4usize.into())],
+        );
         let s = e.format_human();
         assert!(s.contains("WARN"), "{s}");
         assert!(s.contains("dp"), "{s}");

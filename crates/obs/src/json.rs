@@ -363,7 +363,10 @@ mod tests {
         assert_eq!(JsonValue::Num(1.0).to_json(), "1");
         assert_eq!(JsonValue::Num(0.5).to_json(), "0.5");
         assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
-        assert_eq!(JsonValue::Str("a\"b\\c\nd".into()).to_json(), r#""a\"b\\c\nd""#);
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd".into()).to_json(),
+            r#""a\"b\\c\nd""#
+        );
     }
 
     #[test]

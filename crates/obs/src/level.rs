@@ -24,8 +24,13 @@ pub enum Level {
 
 impl Level {
     /// All levels, most severe first.
-    pub const ALL: [Level; 5] =
-        [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
 
     /// Lower-case name (`"info"`), the form used in JSONL output and
     /// `PRIVIM_LOG`.
@@ -63,7 +68,9 @@ impl FromStr for Level {
             "info" => Ok(Level::Info),
             "debug" => Ok(Level::Debug),
             "trace" => Ok(Level::Trace),
-            other => Err(format!("unknown log level: {other} (expected error|warn|info|debug|trace|off)")),
+            other => Err(format!(
+                "unknown log level: {other} (expected error|warn|info|debug|trace|off)"
+            )),
         }
     }
 }

@@ -143,18 +143,29 @@ mod tests {
         let _guard = crate::sink::global_sink_lock();
         take_sinks();
         let mut evaluated = false;
-        crate::info!("test", "msg", x = {
-            evaluated = true;
-            1u64
-        });
-        assert!(!evaluated, "fields must not be built with no sink installed");
+        crate::info!(
+            "test",
+            "msg",
+            x = {
+                evaluated = true;
+                1u64
+            }
+        );
+        assert!(
+            !evaluated,
+            "fields must not be built with no sink installed"
+        );
 
         let sink = Arc::new(MemorySink::new(Level::Info));
         install_sink(sink.clone());
-        crate::info!("test", "msg", x = {
-            evaluated = true;
-            1u64
-        });
+        crate::info!(
+            "test",
+            "msg",
+            x = {
+                evaluated = true;
+                1u64
+            }
+        );
         take_sinks();
         assert!(evaluated);
         let events = sink.events();
@@ -177,7 +188,13 @@ mod tests {
         let levels: Vec<Level> = sink.events().iter().map(|e| e.level).collect();
         assert_eq!(
             levels,
-            vec![Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace]
+            vec![
+                Level::Error,
+                Level::Warn,
+                Level::Info,
+                Level::Debug,
+                Level::Trace
+            ]
         );
     }
 
@@ -189,6 +206,9 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counters.get("lib_test_counter"), Some(&2));
         assert_eq!(snap.gauges.get("lib_test_gauge"), Some(&1.5));
-        assert_eq!(snap.histograms.get("lib_test_hist").map(|h| h.count), Some(1));
+        assert_eq!(
+            snap.histograms.get("lib_test_hist").map(|h| h.count),
+            Some(1)
+        );
     }
 }

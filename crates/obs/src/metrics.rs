@@ -71,8 +71,8 @@ fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
 /// Default histogram buckets: half-decade exponential from 1 µs-ish
 /// quantities up to 10⁴, suitable for both seconds and losses.
 pub const DEFAULT_BUCKETS: [f64; 22] = [
-    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 1e1,
-    5e1, 1e2, 5e2, 1e3, 5e3, 1e4, 5e4,
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 1e1, 5e1,
+    1e2, 5e2, 1e3, 5e3, 1e4, 5e4,
 ];
 
 /// A fixed-bucket histogram with count/sum/min/max tracking.
@@ -93,7 +93,10 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram over strictly increasing `bounds`.
     pub fn with_buckets(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "bucket bounds must be strictly increasing"
@@ -167,7 +170,11 @@ impl Histogram {
                 // Bucket i spans (bounds[i-1], bounds[i]]; every sample in
                 // it also lies in [min, max], so intersect the two ranges
                 // before interpolating on the rank within the bucket.
-                let lo = if i == 0 { self.min() } else { self.bounds[i - 1].max(self.min()) };
+                let lo = if i == 0 {
+                    self.min()
+                } else {
+                    self.bounds[i - 1].max(self.min())
+                };
                 let hi = if i < self.bounds.len() {
                     self.bounds[i].min(self.max())
                 } else {
@@ -176,7 +183,11 @@ impl Histogram {
                 let frac = (rank - seen) as f64 / n as f64;
                 // frac == 1 must hit hi exactly (lo + (hi-lo)·1 can round
                 // past it), so quantile(1.0) equals the observed max.
-                let v = if frac >= 1.0 { hi } else { lo + (hi - lo) * frac };
+                let v = if frac >= 1.0 {
+                    hi
+                } else {
+                    lo + (hi - lo) * frac
+                };
                 return v.clamp(self.min(), self.max());
             }
             seen += n;
@@ -313,14 +324,24 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.summarize()))
             .collect();
-        MetricsSnapshot { counters, gauges, histograms }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 
     /// Drops every instrument (used by tests and between bench runs).
     pub fn clear(&self) {
-        self.counters.lock().expect("counter registry poisoned").clear();
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .clear();
         self.gauges.lock().expect("gauge registry poisoned").clear();
-        self.histograms.lock().expect("histogram registry poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .clear();
     }
 }
 
@@ -401,8 +422,11 @@ mod tests {
         h.record(2.0); // bucket 1
         h.record(4.0); // bucket 2
         h.record(100.0); // overflow
-        let counts: Vec<u64> =
-            h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         assert_eq!(counts, vec![1, 2, 1, 1]);
         assert_eq!(h.count(), 5);
         assert_eq!(h.min(), 1.0);
@@ -475,10 +499,14 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let expected: f64 =
-            (0..threads * per_thread).map(|k| ((k % 7) as f64) - 3.0).sum();
+        let expected: f64 = (0..threads * per_thread)
+            .map(|k| ((k % 7) as f64) - 3.0)
+            .sum();
         assert!((r.gauge("stress_gauge").get() - expected).abs() < 1e-9);
-        assert_eq!(r.counter("stress_counter").get(), (threads * per_thread) as u64 * 2);
+        assert_eq!(
+            r.counter("stress_counter").get(),
+            (threads * per_thread) as u64 * 2
+        );
     }
 
     #[test]
@@ -487,7 +515,9 @@ mod tests {
         let h = Histogram::with_default_buckets();
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut lcg = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0, 1)
         };
         for _ in 0..2_000 {
@@ -499,9 +529,20 @@ mod tests {
         for step in 0..=100 {
             let q = step as f64 / 100.0;
             let v = h.quantile(q);
-            assert!(v >= h.min() - 1e-12, "quantile({q}) = {v} below min {}", h.min());
-            assert!(v <= h.max() + 1e-12, "quantile({q}) = {v} above max {}", h.max());
-            assert!(v >= prev - 1e-12, "quantile not monotone at q={q}: {v} < {prev}");
+            assert!(
+                v >= h.min() - 1e-12,
+                "quantile({q}) = {v} below min {}",
+                h.min()
+            );
+            assert!(
+                v <= h.max() + 1e-12,
+                "quantile({q}) = {v} above max {}",
+                h.max()
+            );
+            assert!(
+                v >= prev - 1e-12,
+                "quantile not monotone at q={q}: {v} < {prev}"
+            );
             prev = v;
         }
         assert_eq!(h.quantile(1.0), h.max());

@@ -50,7 +50,14 @@ struct NodeStat {
 
 impl NodeStat {
     fn new(name: &'static str, parent: usize) -> NodeStat {
-        NodeStat { name, parent, children: Vec::new(), calls: 0, total_micros: 0, child_micros: 0 }
+        NodeStat {
+            name,
+            parent,
+            children: Vec::new(),
+            calls: 0,
+            total_micros: 0,
+            child_micros: 0,
+        }
     }
 }
 
@@ -65,7 +72,10 @@ struct ThreadTree {
 
 impl ThreadTree {
     fn new() -> ThreadTree {
-        ThreadTree { nodes: vec![NodeStat::new("", 0)], stack: Vec::new() }
+        ThreadTree {
+            nodes: vec![NodeStat::new("", 0)],
+            stack: Vec::new(),
+        }
     }
 
     fn enter(&mut self, name: &'static str) {
@@ -132,7 +142,11 @@ pub(crate) fn scope_enter(name: &'static str) -> bool {
 /// Closes the innermost open profiler scope on this thread, attributing
 /// `elapsed_micros` to it.
 pub(crate) fn scope_exit(elapsed_micros: u64) {
-    LOCAL.with(|t| t.lock().unwrap_or_else(PoisonError::into_inner).exit(elapsed_micros));
+    LOCAL.with(|t| {
+        t.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .exit(elapsed_micros)
+    });
 }
 
 /// A profiled scope; attributes its wall time to the call tree when
@@ -156,7 +170,11 @@ impl ProfScope<'_> {
     pub fn enter_with_clock<'c>(name: &'static str, clock: &'c dyn Clock) -> ProfScope<'c> {
         let entered = scope_enter(name);
         let start_micros = if entered { clock.now_micros() } else { 0 };
-        ProfScope { clock, start_micros, entered }
+        ProfScope {
+            clock,
+            start_micros,
+            entered,
+        }
     }
 }
 
@@ -234,16 +252,19 @@ struct Merged {
 
 fn merge_node(into: &mut Vec<Merged>, tree: &ThreadTree, idx: usize) {
     let node = &tree.nodes[idx];
-    let pos = into.iter().position(|m| m.name == node.name).unwrap_or_else(|| {
-        into.push(Merged {
-            name: node.name.to_string(),
-            calls: 0,
-            total_micros: 0,
-            child_micros: 0,
-            children: Vec::new(),
+    let pos = into
+        .iter()
+        .position(|m| m.name == node.name)
+        .unwrap_or_else(|| {
+            into.push(Merged {
+                name: node.name.to_string(),
+                calls: 0,
+                total_micros: 0,
+                child_micros: 0,
+                children: Vec::new(),
+            });
+            into.len() - 1
         });
-        into.len() - 1
-    });
     into[pos].calls += node.calls;
     into[pos].total_micros += node.total_micros;
     into[pos].child_micros += node.child_micros;
@@ -257,13 +278,20 @@ fn has_calls(n: &Merged) -> bool {
 }
 
 fn flatten(nodes: &mut [Merged], prefix: &str, depth: usize, rows: &mut Vec<ProfileRow>) {
-    nodes.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then_with(|| a.name.cmp(&b.name)));
+    nodes.sort_by(|a, b| {
+        b.total_micros
+            .cmp(&a.total_micros)
+            .then_with(|| a.name.cmp(&b.name))
+    });
     for n in nodes.iter_mut() {
         if !has_calls(n) {
             continue;
         }
-        let path =
-            if prefix.is_empty() { n.name.clone() } else { format!("{prefix};{}", n.name) };
+        let path = if prefix.is_empty() {
+            n.name.clone()
+        } else {
+            format!("{prefix};{}", n.name)
+        };
         rows.push(ProfileRow {
             name: n.name.clone(),
             path: path.clone(),
@@ -303,7 +331,11 @@ impl ProfileReport {
 
     /// Sum of top-level inclusive times, in seconds.
     pub fn total_secs(&self) -> f64 {
-        self.rows.iter().filter(|r| r.depth == 0).map(ProfileRow::total_secs).sum()
+        self.rows
+            .iter()
+            .filter(|r| r.depth == 0)
+            .map(ProfileRow::total_secs)
+            .sum()
     }
 
     /// The row for `path` (semicolon-joined), if present.
@@ -387,7 +419,9 @@ mod tests {
 
         let report = profile_report();
         let a = report.row("prof_tree_a").expect("outer scope recorded");
-        let b = report.row("prof_tree_a;prof_tree_b").expect("inner nested under outer");
+        let b = report
+            .row("prof_tree_a;prof_tree_b")
+            .expect("inner nested under outer");
         assert_eq!(a.calls, 2);
         assert_eq!(a.total_micros, 900, "2 × (100 + 300 + 50)");
         assert_eq!(a.self_micros, 300, "2 × (100 + 50)");
@@ -398,7 +432,10 @@ mod tests {
         assert_eq!(b.depth, 1);
 
         let flame = report.render_flamegraph();
-        assert!(flame.contains("prof_tree_a 300\n"), "folded self time: {flame}");
+        assert!(
+            flame.contains("prof_tree_a 300\n"),
+            "folded self time: {flame}"
+        );
         assert!(flame.contains("prof_tree_a;prof_tree_b 600\n"), "{flame}");
         let table = report.render_table();
         assert!(table.contains("prof_tree_a"), "{table}");
@@ -441,11 +478,15 @@ mod tests {
         set_profiling(false);
 
         let report = profile_report();
-        let outer = report.row("prof_span_outer").expect("span became a profile node");
+        let outer = report
+            .row("prof_span_outer")
+            .expect("span became a profile node");
         assert_eq!(outer.calls, 1);
         assert_eq!(outer.total_micros, 100);
         assert_eq!(outer.self_micros, 40);
-        let kernel = report.row("prof_span_outer;prof_span_kernel").expect("nested kernel");
+        let kernel = report
+            .row("prof_span_outer;prof_span_kernel")
+            .expect("nested kernel");
         assert_eq!(kernel.total_micros, 60);
     }
 

@@ -96,8 +96,18 @@ pub fn render_prometheus_with_profile(
         let _ = writeln!(out, "# TYPE privim_profile_calls counter");
         for row in &profile.rows {
             let labels = format!("{{scope=\"{}\"}}", label_value(&row.path));
-            write_sample(&mut out, "privim_profile_total_seconds", &labels, row.total_secs());
-            write_sample(&mut out, "privim_profile_self_seconds", &labels, row.self_secs());
+            write_sample(
+                &mut out,
+                "privim_profile_total_seconds",
+                &labels,
+                row.total_secs(),
+            );
+            write_sample(
+                &mut out,
+                "privim_profile_self_seconds",
+                &labels,
+                row.self_secs(),
+            );
             write_sample(&mut out, "privim_profile_calls", &labels, row.calls as f64);
         }
     }
@@ -118,11 +128,20 @@ mod tests {
         r.histogram("span.training").record(0.5);
         r.histogram("span.training").record(1.5);
         let text = render_prometheus(&r.snapshot());
-        assert!(text.contains("# TYPE privim_train_iterations counter\n"), "{text}");
+        assert!(
+            text.contains("# TYPE privim_train_iterations counter\n"),
+            "{text}"
+        );
         assert!(text.contains("privim_train_iterations 6\n"), "{text}");
         assert!(text.contains("privim_dp_sigma 3.25\n"), "{text}");
-        assert!(text.contains("# TYPE privim_span_training summary\n"), "{text}");
-        assert!(text.contains("privim_span_training{quantile=\"0.5\"}"), "{text}");
+        assert!(
+            text.contains("# TYPE privim_span_training summary\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_span_training{quantile=\"0.5\"}"),
+            "{text}"
+        );
         assert!(text.contains("privim_span_training_sum 2\n"), "{text}");
         assert!(text.contains("privim_span_training_count 2\n"), "{text}");
         assert!(text.contains("privim_span_training_min 0.5\n"), "{text}");
@@ -132,7 +151,9 @@ mod tests {
     #[test]
     fn profile_rows_become_labeled_series() {
         let mut snapshot = MetricsSnapshot::default();
-        snapshot.histograms.insert("h".into(), HistogramSummary::default());
+        snapshot
+            .histograms
+            .insert("h".into(), HistogramSummary::default());
         let profile = ProfileReport {
             rows: vec![ProfileRow {
                 name: "nn.matmul".into(),

@@ -105,7 +105,12 @@ pub fn render_html_report(
             .iter()
             .map(|p| vec![p.name.clone(), fmt_num(p.secs), p.count.to_string()])
             .collect();
-        table(&mut out, "Phases", &["phase", "total secs", "count"], &phase_rows);
+        table(
+            &mut out,
+            "Phases",
+            &["phase", "total secs", "count"],
+            &phase_rows,
+        );
 
         let epoch_rows: Vec<Vec<String>> = t
             .epochs
@@ -126,7 +131,15 @@ pub fn render_html_report(
         table(
             &mut out,
             "Training epochs",
-            &["epoch", "loss", "clip frac", "‖g‖ pre", "‖g‖ post", "noise σΔ", "ε spent"],
+            &[
+                "epoch",
+                "loss",
+                "clip frac",
+                "‖g‖ pre",
+                "‖g‖ post",
+                "noise σΔ",
+                "ε spent",
+            ],
             &epoch_rows,
         );
 
@@ -140,7 +153,10 @@ pub fn render_html_report(
                     fmt_num(l.sigma),
                     fmt_num(l.sensitivity),
                     fmt_num(l.sampling_rate),
-                    format!("{}/{}/{}", l.max_occurrences, l.batch_size, l.container_size),
+                    format!(
+                        "{}/{}/{}",
+                        l.max_occurrences, l.batch_size, l.container_size
+                    ),
                     fmt_num(l.delta),
                     fmt_num(l.epsilon_after),
                     fmt_num(l.alpha),
@@ -150,17 +166,33 @@ pub fn render_html_report(
         table(
             &mut out,
             "Privacy-budget ledger",
-            &["step", "mechanism", "σ", "Δ_g", "q", "N_g/B/m", "δ", "ε after", "α*"],
+            &[
+                "step",
+                "mechanism",
+                "σ",
+                "Δ_g",
+                "q",
+                "N_g/B/m",
+                "δ",
+                "ε after",
+                "α*",
+            ],
             &ledger_rows,
         );
     }
 
-    let counter_rows: Vec<Vec<String>> =
-        snapshot.counters.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+    let counter_rows: Vec<Vec<String>> = snapshot
+        .counters
+        .iter()
+        .map(|(k, v)| vec![k.clone(), v.to_string()])
+        .collect();
     table(&mut out, "Counters", &["name", "value"], &counter_rows);
 
-    let gauge_rows: Vec<Vec<String>> =
-        snapshot.gauges.iter().map(|(k, v)| vec![k.clone(), fmt_num(*v)]).collect();
+    let gauge_rows: Vec<Vec<String>> = snapshot
+        .gauges
+        .iter()
+        .map(|(k, v)| vec![k.clone(), fmt_num(*v)])
+        .collect();
     table(&mut out, "Gauges", &["name", "value"], &gauge_rows);
 
     let hist_rows: Vec<Vec<String>> = snapshot
@@ -231,7 +263,11 @@ mod tests {
         r.histogram("span.training").record(1.0);
         let telemetry = RunTelemetry {
             seed: Some(42),
-            phases: vec![PhaseTiming { name: "training".into(), secs: 1.25, count: 1 }],
+            phases: vec![PhaseTiming {
+                name: "training".into(),
+                secs: 1.25,
+                count: 1,
+            }],
             epsilon_trace: vec![0.5, 1.0],
             ledger: vec![LedgerRecord {
                 step: 1,
@@ -252,18 +288,26 @@ mod tests {
                 self_micros: 1_000,
             }],
         };
-        let html =
-            render_html_report("run <1>", Some(&telemetry), &r.snapshot(), &profile);
+        let html = render_html_report("run <1>", Some(&telemetry), &r.snapshot(), &profile);
         assert!(html.starts_with("<!DOCTYPE html>"));
-        assert!(html.contains("<title>run &lt;1&gt;</title>"), "title escaped");
+        assert!(
+            html.contains("<title>run &lt;1&gt;</title>"),
+            "title escaped"
+        );
         assert!(html.contains("seed 42"), "{html}");
         assert!(html.contains("final ε = 1"), "{html}");
         assert!(html.contains("Privacy-budget ledger"));
         assert!(html.contains("subsampled_gaussian"));
         assert!(html.contains("train.iterations"));
         assert!(html.contains("span.training"));
-        assert!(html.contains("nn.&lt;matmul&gt;"), "profile names escaped: {html}");
-        assert!(html.contains("training;nn.&lt;matmul&gt; 1000"), "folded stack line");
+        assert!(
+            html.contains("nn.&lt;matmul&gt;"),
+            "profile names escaped: {html}"
+        );
+        assert!(
+            html.contains("training;nn.&lt;matmul&gt; 1000"),
+            "folded stack line"
+        );
         assert!(html.trim_end().ends_with("</body></html>"));
     }
 

@@ -42,7 +42,11 @@ pub fn enabled(level: Level) -> bool {
 pub fn install_sink(sink: Arc<dyn EventSink>) {
     let mut sinks = SINKS.write().expect("sink registry poisoned");
     sinks.push(sink);
-    let max = sinks.iter().map(|s| s.max_level() as u8 + 1).max().unwrap_or(0);
+    let max = sinks
+        .iter()
+        .map(|s| s.max_level() as u8 + 1)
+        .max()
+        .unwrap_or(0);
     MAX_LEVEL.store(max, Ordering::Relaxed);
 }
 
@@ -144,7 +148,10 @@ impl JsonlSink {
 
     /// Creates (truncating) `path` with an explicit verbosity.
     pub fn create_with_level<P: AsRef<Path>>(path: P, max_level: Level) -> std::io::Result<Self> {
-        Ok(JsonlSink { max_level, file: Mutex::new(File::create(path)?) })
+        Ok(JsonlSink {
+            max_level,
+            file: Mutex::new(File::create(path)?),
+        })
     }
 }
 
@@ -175,7 +182,10 @@ pub struct MemorySink {
 impl MemorySink {
     /// A memory sink capturing everything up to `max_level`.
     pub fn new(max_level: Level) -> Self {
-        MemorySink { events: Mutex::new(Vec::new()), max_level }
+        MemorySink {
+            events: Mutex::new(Vec::new()),
+            max_level,
+        }
     }
 
     /// A copy of everything captured so far.
@@ -190,7 +200,10 @@ impl EventSink for MemorySink {
     }
 
     fn record(&self, event: &Event) {
-        self.events.lock().expect("memory sink poisoned").push(event.clone());
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
     }
 }
 
@@ -221,7 +234,12 @@ mod tests {
         install_sink(sink.clone());
         assert!(enabled(Level::Info));
         assert!(!enabled(Level::Debug));
-        emit(Event::new(Level::Info, "t", "visible", vec![("k", FieldValue::U64(1))]));
+        emit(Event::new(
+            Level::Info,
+            "t",
+            "visible",
+            vec![("k", FieldValue::U64(1))],
+        ));
         emit(Event::new(Level::Debug, "t", "hidden", Vec::new()));
         let events = sink.events();
         assert_eq!(events.len(), 1);
@@ -240,7 +258,11 @@ mod tests {
         install_sink(chatty.clone());
         assert!(enabled(Level::Trace));
         emit(Event::new(Level::Debug, "t", "m", Vec::new()));
-        assert_eq!(quiet.events().len(), 0, "error-only sink must not see debug");
+        assert_eq!(
+            quiet.events().len(),
+            0,
+            "error-only sink must not see debug"
+        );
         assert_eq!(chatty.events().len(), 1);
         take_sinks();
     }
@@ -249,7 +271,12 @@ mod tests {
     fn jsonl_sink_writes_parseable_lines() {
         let path = std::env::temp_dir().join("privim-obs-jsonl-sink-test.jsonl");
         let sink = JsonlSink::create(&path).unwrap();
-        sink.record(&Event::new(Level::Info, "t", "one", vec![("x", FieldValue::F64(0.5))]));
+        sink.record(&Event::new(
+            Level::Info,
+            "t",
+            "one",
+            vec![("x", FieldValue::F64(0.5))],
+        ));
         sink.record(&Event::new(Level::Debug, "t", "two", Vec::new()));
         sink.flush();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -94,7 +94,9 @@ impl<'c> SpanGuard<'c> {
             stack.pop();
             path
         });
-        global_registry().histogram(&format!("span.{}", self.name)).record(secs);
+        global_registry()
+            .histogram(&format!("span.{}", self.name))
+            .record(secs);
         if enabled(Level::Debug) {
             emit(Event::new(
                 Level::Debug,
@@ -144,7 +146,9 @@ mod tests {
         clock.advance_secs(0.25);
         let secs = span.finish();
         assert!((secs - 1.75).abs() < 1e-9, "{secs}");
-        let summary = global_registry().histogram("span.unit_test_exact").summarize();
+        let summary = global_registry()
+            .histogram("span.unit_test_exact")
+            .summarize();
         assert_eq!(summary.count, 1);
         assert!((summary.sum - 1.75).abs() < 1e-9);
     }
@@ -182,14 +186,19 @@ mod tests {
         assert_eq!(outer.field("depth"), Some(&FieldValue::U64(0)));
         assert_eq!(
             inner.field("path"),
-            Some(&FieldValue::Str("outer_nesting_test.inner_nesting_test".into()))
+            Some(&FieldValue::Str(
+                "outer_nesting_test.inner_nesting_test".into()
+            ))
         );
         let secs_of = |e: &Event| match e.field("secs") {
             Some(FieldValue::F64(s)) => *s,
             other => panic!("missing secs: {other:?}"),
         };
         assert!((secs_of(inner) - 2.0).abs() < 1e-9);
-        assert!((secs_of(outer) - 3.5).abs() < 1e-9, "outer covers inner + own time");
+        assert!(
+            (secs_of(outer) - 3.5).abs() < 1e-9,
+            "outer covers inner + own time"
+        );
     }
 
     #[test]

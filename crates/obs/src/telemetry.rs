@@ -131,11 +131,16 @@ impl RunTelemetry {
             if line.is_empty() {
                 continue;
             }
-            let value =
-                json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             report.events_total += 1;
-            let target = value.get("target").and_then(JsonValue::as_str).unwrap_or("");
-            let message = value.get("message").and_then(JsonValue::as_str).unwrap_or("");
+            let target = value
+                .get("target")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
+            let message = value
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
             let field = |name: &str| value.get("fields").and_then(|f| f.get(name)).cloned();
             let num = |name: &str| field(name).and_then(|v| v.as_f64());
             match (target, message) {
@@ -241,9 +246,15 @@ impl RunTelemetry {
                 m.insert("sigma".into(), JsonValue::Num(l.sigma));
                 m.insert("sensitivity".into(), JsonValue::Num(l.sensitivity));
                 m.insert("sampling_rate".into(), JsonValue::Num(l.sampling_rate));
-                m.insert("max_occurrences".into(), JsonValue::Num(l.max_occurrences as f64));
+                m.insert(
+                    "max_occurrences".into(),
+                    JsonValue::Num(l.max_occurrences as f64),
+                );
                 m.insert("batch_size".into(), JsonValue::Num(l.batch_size as f64));
-                m.insert("container_size".into(), JsonValue::Num(l.container_size as f64));
+                m.insert(
+                    "container_size".into(),
+                    JsonValue::Num(l.container_size as f64),
+                );
                 m.insert("delta".into(), JsonValue::Num(l.delta));
                 m.insert("epsilon_after".into(), JsonValue::Num(l.epsilon_after));
                 m.insert("alpha".into(), JsonValue::Num(l.alpha));
@@ -253,16 +264,25 @@ impl RunTelemetry {
         let mut root = BTreeMap::new();
         root.insert(
             "seed".into(),
-            self.seed.map_or(JsonValue::Null, |s| JsonValue::Num(s as f64)),
+            self.seed
+                .map_or(JsonValue::Null, |s| JsonValue::Num(s as f64)),
         );
         root.insert("epochs".into(), JsonValue::Arr(epochs));
         root.insert("phases".into(), JsonValue::Arr(phases));
         root.insert("ledger".into(), JsonValue::Arr(ledger));
         root.insert(
             "epsilon_trace".into(),
-            JsonValue::Arr(self.epsilon_trace.iter().map(|&e| JsonValue::Num(e)).collect()),
+            JsonValue::Arr(
+                self.epsilon_trace
+                    .iter()
+                    .map(|&e| JsonValue::Num(e))
+                    .collect(),
+            ),
         );
-        root.insert("events_total".into(), JsonValue::Num(self.events_total as f64));
+        root.insert(
+            "events_total".into(),
+            JsonValue::Num(self.events_total as f64),
+        );
         JsonValue::Obj(root).to_json()
     }
 }
@@ -297,26 +317,40 @@ mod tests {
     #[test]
     fn jsonl_round_trip_reconstructs_the_run() {
         let events = vec![
-            Event::new(Level::Info, "run", "start", vec![("seed", FieldValue::U64(42))]),
+            Event::new(
+                Level::Info,
+                "run",
+                "start",
+                vec![("seed", FieldValue::U64(42))],
+            ),
             Event::new(
                 Level::Debug,
                 "span",
                 "extraction",
-                vec![("secs", FieldValue::F64(0.5)), ("depth", FieldValue::U64(0))],
+                vec![
+                    ("secs", FieldValue::F64(0.5)),
+                    ("depth", FieldValue::U64(0)),
+                ],
             ),
             epoch_event(0, 1.5, 0.8),
             Event::new(
                 Level::Debug,
                 "dp",
                 "epsilon",
-                vec![("step", FieldValue::U64(1)), ("epsilon", FieldValue::F64(0.8))],
+                vec![
+                    ("step", FieldValue::U64(1)),
+                    ("epsilon", FieldValue::F64(0.8)),
+                ],
             ),
             epoch_event(1, 1.2, 1.1),
             Event::new(
                 Level::Debug,
                 "dp",
                 "epsilon",
-                vec![("step", FieldValue::U64(2)), ("epsilon", FieldValue::F64(1.1))],
+                vec![
+                    ("step", FieldValue::U64(2)),
+                    ("epsilon", FieldValue::F64(1.1)),
+                ],
             ),
             Event::new(
                 Level::Debug,
@@ -357,7 +391,10 @@ mod tests {
         let report = RunTelemetry::from_jsonl(text).unwrap();
         assert_eq!(report.events_total, 2);
         assert_eq!(report.epochs.len(), 1);
-        assert_eq!(report.epochs[0].epoch, 0, "missing epoch falls back to position");
+        assert_eq!(
+            report.epochs[0].epoch, 0,
+            "missing epoch falls back to position"
+        );
         assert_eq!(report.epochs[0].clip_fraction, None);
     }
 
@@ -371,8 +408,16 @@ mod tests {
     fn hand_rolled_json_parses_back() {
         let report = RunTelemetry {
             seed: Some(7),
-            epochs: vec![EpochRecord { epoch: 0, loss: 0.5, ..EpochRecord::default() }],
-            phases: vec![PhaseTiming { name: "training".into(), secs: 1.5, count: 1 }],
+            epochs: vec![EpochRecord {
+                epoch: 0,
+                loss: 0.5,
+                ..EpochRecord::default()
+            }],
+            phases: vec![PhaseTiming {
+                name: "training".into(),
+                secs: 1.5,
+                count: 1,
+            }],
             epsilon_trace: vec![0.4],
             ledger: vec![LedgerRecord {
                 step: 1,
@@ -388,7 +433,10 @@ mod tests {
         assert_eq!(parsed.get("events_total").unwrap().as_u64(), Some(3));
         let ledger = parsed.get("ledger").unwrap();
         let entry = ledger.get_index(0).expect("ledger entry serialized");
-        assert_eq!(entry.get("mechanism").unwrap().as_str(), Some("subsampled_gaussian"));
+        assert_eq!(
+            entry.get("mechanism").unwrap().as_str(),
+            Some("subsampled_gaussian")
+        );
     }
 
     #[test]
@@ -455,7 +503,11 @@ mod tests {
                 clip_fraction: Some(0.1),
                 ..EpochRecord::default()
             }],
-            phases: vec![PhaseTiming { name: "inference".into(), secs: 0.1, count: 2 }],
+            phases: vec![PhaseTiming {
+                name: "inference".into(),
+                secs: 0.1,
+                count: 2,
+            }],
             epsilon_trace: vec![0.5, 0.9],
             ledger: vec![LedgerRecord {
                 step: 1,

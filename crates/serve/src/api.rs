@@ -1,0 +1,139 @@
+//! Request/response bodies for the versioned JSON API.
+//!
+//! All responses are serialized with `serde_json` using default field
+//! ordering, so a given struct value always produces the same bytes —
+//! the determinism the `/v1/seeds` contract (same checkpoint, graph, and
+//! request seed ⇒ byte-identical body) relies on.
+
+use serde::{Deserialize, Serialize};
+
+fn default_trials() -> usize {
+    1_000
+}
+
+fn default_steps() -> Option<usize> {
+    Some(1)
+}
+
+/// `POST /v1/seeds` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SeedsRequest {
+    /// Seed-set size to return.
+    pub k: usize,
+    /// Request seed, echoed back; selection itself is deterministic (the
+    /// released checkpoint fixes the scores), the seed exists so callers
+    /// can correlate requests with responses and replay them.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// `POST /v1/seeds` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedsResponse {
+    /// The top-`k` node ids by model score (ties break by id).
+    pub seeds: Vec<u32>,
+    /// The selected nodes' scores, same order as `seeds`.
+    pub scores: Vec<f64>,
+    /// Effective `k` (clamped to the graph size).
+    pub k: usize,
+    /// The request seed, echoed.
+    pub seed: u64,
+    /// Model architecture the checkpoint declared.
+    pub model: String,
+}
+
+/// `POST /v1/spread` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SpreadRequest {
+    /// Seed set to evaluate.
+    pub seeds: Vec<u32>,
+    /// Monte-Carlo trials (clamped to the server's `--max-trials`).
+    #[serde(default = "default_trials")]
+    pub trials: usize,
+    /// RNG seed; the estimate is deterministic given `(seeds, trials,
+    /// steps, seed)` regardless of server thread count.
+    #[serde(default)]
+    pub seed: u64,
+    /// Diffusion horizon: omitted ⇒ the paper's one step; explicit
+    /// `null` ⇒ run to quiescence.
+    #[serde(default = "default_steps")]
+    pub steps: Option<usize>,
+}
+
+/// `POST /v1/spread` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpreadResponse {
+    /// Estimated expected spread.
+    pub spread: f64,
+    /// Trials actually run (after clamping).
+    pub trials: usize,
+    /// The request seed, echoed.
+    pub seed: u64,
+    /// Number of nodes in the served graph (spread's upper bound).
+    pub n_nodes: usize,
+}
+
+/// `GET /version` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VersionResponse {
+    /// Server crate name.
+    pub name: String,
+    /// Server crate version.
+    pub version: String,
+    /// Model architecture being served.
+    pub model: String,
+    /// Nodes in the served graph.
+    pub graph_nodes: usize,
+    /// Edges in the served graph.
+    pub graph_edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_request_defaults_seed_to_zero() {
+        let req: SeedsRequest = serde_json::from_str(r#"{"k": 5}"#).unwrap();
+        assert_eq!(req.k, 5);
+        assert_eq!(req.seed, 0);
+    }
+
+    #[test]
+    fn spread_request_defaults() {
+        let req: SpreadRequest = serde_json::from_str(r#"{"seeds": [1, 2]}"#).unwrap();
+        assert_eq!(req.trials, 1_000);
+        assert_eq!(req.seed, 0);
+        assert_eq!(
+            req.steps,
+            Some(1),
+            "omitted steps means the paper's one step"
+        );
+        let req: SpreadRequest = serde_json::from_str(r#"{"seeds": [1], "steps": null}"#).unwrap();
+        assert_eq!(req.steps, None, "explicit null means run to quiescence");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(serde_json::from_str::<SeedsRequest>(r#"{"k": 5, "bogus": 1}"#).is_err());
+        assert!(serde_json::from_str::<SpreadRequest>(r#"{"seeds": [], "x": 0}"#).is_err());
+    }
+
+    #[test]
+    fn responses_serialize_deterministically() {
+        let resp = SeedsResponse {
+            seeds: vec![3, 1],
+            scores: vec![0.75, 0.5],
+            k: 2,
+            seed: 9,
+            model: "GRAT".into(),
+        };
+        let a = serde_json::to_vec(&resp).unwrap();
+        let b = serde_json::to_vec(&resp).unwrap();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with(r#"{"seeds":[3,1]"#), "{text}");
+    }
+}

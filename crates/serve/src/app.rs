@@ -1,0 +1,212 @@
+//! The PrivIM inference application: checkpoint + graph in, JSON out.
+//!
+//! Everything served here is post-processing of the released checkpoint:
+//! scores come from the loaded parameters, spread estimates from the
+//! public graph file the operator chose to serve, and no raw training
+//! statistics are exposed — so answering queries consumes no additional
+//! privacy budget beyond what training spent.
+
+use privim_graph::{io, Graph};
+use privim_im::metrics::top_k_seeds;
+use privim_im::models::{DiffusionConfig, DiffusionModel};
+use privim_im::spread::{influence_spread_parallel, SpreadError};
+use privim_nn::graph_tensors::GraphTensors;
+use privim_nn::serialize::Checkpoint;
+
+use crate::api::{SeedsRequest, SeedsResponse, SpreadRequest, SpreadResponse, VersionResponse};
+use crate::http::{Method, Request, Response};
+use crate::server::Handler;
+
+/// What to serve and the per-request safety limits.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Graph file (edge list or `.bin`).
+    pub graph: String,
+    /// `nn::serialize::Checkpoint` JSON file.
+    pub checkpoint: String,
+    /// Upper bound on `/v1/spread` trials; larger requests are clamped
+    /// (the response reports the clamped count).
+    pub max_trials: usize,
+    /// Threads per `/v1/spread` evaluation. The estimate is invariant to
+    /// this, so it is purely a latency/throughput knob.
+    pub spread_threads: usize,
+}
+
+impl AppConfig {
+    /// A config with default limits (100k trials, 2 spread threads).
+    pub fn new(graph: impl Into<String>, checkpoint: impl Into<String>) -> AppConfig {
+        AppConfig {
+            graph: graph.into(),
+            checkpoint: checkpoint.into(),
+            max_trials: 100_000,
+            spread_threads: 2,
+        }
+    }
+}
+
+/// Loaded state shared (immutably) by every worker thread.
+pub struct App {
+    graph: Graph,
+    /// Per-node model scores, indexed by node id.
+    scores: Vec<f64>,
+    /// All nodes ranked by score (descending, ties by id) — computed once
+    /// at load time so `/v1/seeds` is a slice per request.
+    ranking: Vec<u32>,
+    model: String,
+    max_trials: usize,
+    spread_threads: usize,
+}
+
+/// Loads a graph file the same way the CLI does: `.bin` is the privim
+/// binary format, anything else a whitespace edge list.
+pub fn load_graph(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".bin") {
+        return io::load_binary(path).map_err(|e| format!("cannot load graph {path}: {e}"));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read graph {path}: {e}"))?;
+    io::read_edge_list_auto(&text, 1.0).map_err(|e| format!("cannot parse graph {path}: {e}"))
+}
+
+impl App {
+    /// Loads the graph and checkpoint, restores the model, and scores
+    /// every node once. Serving then never touches the model again, so
+    /// identical `(checkpoint, graph)` pairs serve identical responses.
+    pub fn load(config: &AppConfig) -> Result<App, String> {
+        let graph = load_graph(&config.graph)?;
+        let checkpoint = Checkpoint::load(&config.checkpoint)
+            .map_err(|e| format!("cannot load checkpoint {}: {e}", config.checkpoint))?;
+        let model = checkpoint
+            .restore()
+            .map_err(|e| format!("cannot restore checkpoint {}: {e}", config.checkpoint))?;
+        let tensors = GraphTensors::with_structural_features(&graph, checkpoint.in_dim);
+        let scores = model.seed_probabilities(&tensors);
+        let ranking = top_k_seeds(&scores, scores.len());
+        privim_obs::info!(
+            "serve",
+            "loaded",
+            graph = config.graph.clone(),
+            checkpoint = config.checkpoint.clone(),
+            nodes = graph.num_nodes() as u64,
+            model = checkpoint.kind.name(),
+        );
+        Ok(App {
+            graph,
+            scores,
+            ranking,
+            model: checkpoint.kind.name().to_string(),
+            max_trials: config.max_trials.max(1),
+            spread_threads: config.spread_threads.max(1),
+        })
+    }
+
+    /// Number of nodes in the served graph.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn seeds(&self, req: &SeedsRequest) -> SeedsResponse {
+        let k = req.k.min(self.ranking.len());
+        let seeds = self.ranking[..k].to_vec();
+        let scores = seeds.iter().map(|&v| self.scores[v as usize]).collect();
+        SeedsResponse {
+            seeds,
+            scores,
+            k,
+            seed: req.seed,
+            model: self.model.clone(),
+        }
+    }
+
+    fn spread(&self, req: &SpreadRequest) -> Result<SpreadResponse, SpreadError> {
+        let trials = req.trials.min(self.max_trials);
+        let config = DiffusionConfig {
+            model: DiffusionModel::IndependentCascade,
+            max_steps: req.steps,
+        };
+        let spread = influence_spread_parallel(
+            &self.graph,
+            &req.seeds,
+            &config,
+            trials,
+            self.spread_threads,
+            req.seed,
+        )?;
+        Ok(SpreadResponse {
+            spread,
+            trials,
+            seed: req.seed,
+            n_nodes: self.graph.num_nodes(),
+        })
+    }
+
+    fn version(&self) -> VersionResponse {
+        VersionResponse {
+            name: env!("CARGO_PKG_NAME").to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            model: self.model.clone(),
+            graph_nodes: self.graph.num_nodes(),
+            graph_edges: self.graph.num_edges(),
+        }
+    }
+}
+
+/// Serializes a response value, or a 500 if serde fails (it cannot for
+/// these types, but a server never panics on principle).
+fn json_response<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_vec(value) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, &format!("serialization failure: {e}")),
+    }
+}
+
+fn parse_body<'a, T: serde::Deserialize<'a>>(req: &'a Request) -> Result<T, Response> {
+    serde_json::from_slice(&req.body)
+        .map_err(|e| Response::error(400, &format!("invalid request body: {e}")))
+}
+
+impl Handler for App {
+    fn handle(&self, req: &Request) -> Response {
+        match (&req.method, req.route()) {
+            (Method::Get, "/healthz") => Response::text(200, "ok\n"),
+            (Method::Get, "/version") => json_response(&self.version()),
+            (Method::Get, "/metrics") => {
+                let text = privim_obs::render_prometheus_with_profile(
+                    &privim_obs::snapshot(),
+                    &privim_obs::profile_report(),
+                );
+                Response::new(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.into_bytes(),
+                )
+            }
+            (Method::Post, "/v1/seeds") => match parse_body::<SeedsRequest>(req) {
+                Ok(body) => json_response(&self.seeds(&body)),
+                Err(resp) => resp,
+            },
+            (Method::Post, "/v1/spread") => match parse_body::<SpreadRequest>(req) {
+                Ok(body) => match self.spread(&body) {
+                    Ok(out) => json_response(&out),
+                    Err(e) => Response::error(400, &e.to_string()),
+                },
+                Err(resp) => resp,
+            },
+            (_, "/healthz" | "/version" | "/metrics" | "/v1/seeds" | "/v1/spread") => {
+                Response::error(405, &format!("method {} not allowed here", req.method))
+            }
+            (_, route) => Response::error(404, &format!("no such route: {route}")),
+        }
+    }
+
+    fn route_label(&self, req: &Request) -> &'static str {
+        match req.route() {
+            "/healthz" => "healthz",
+            "/version" => "version",
+            "/metrics" => "metrics",
+            "/v1/seeds" => "seeds",
+            "/v1/spread" => "spread",
+            _ => "other",
+        }
+    }
+}

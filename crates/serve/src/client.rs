@@ -1,0 +1,235 @@
+//! A small blocking HTTP/1.1 client with keep-alive, used by the
+//! integration tests and the `loadgen` bench harness. Not a general
+//! client: it speaks exactly the dialect [`crate::server`] serves
+//! (`Content-Length` framing, no chunked encoding, no redirects).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The client; one TCP connection, transparently re-established when a
+/// kept-alive socket turns out to be dead.
+pub struct HttpClient {
+    addr: SocketAddr,
+    reader: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+    reconnects: usize,
+}
+
+impl HttpClient {
+    /// Connects eagerly with a 10 s request timeout.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<HttpClient> {
+        HttpClient::with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects eagerly with the given read/write timeout.
+    pub fn with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<HttpClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let mut client = HttpClient {
+            addr,
+            reader: None,
+            timeout,
+            reconnects: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Times the client reconnected a dead kept-alive socket.
+    pub fn reconnects(&self) -> usize {
+        self.reconnects
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends one request; on a dead reused connection, reconnects once
+    /// and retries (a fresh connection's failure is returned as-is).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let reused = self.reader.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                self.reader = None;
+                self.reconnects += 1;
+                self.try_request(method, path, body).map_err(|retry| {
+                    std::io::Error::new(retry.kind(), format!("{retry} (after retry; first: {e})"))
+                })
+            }
+            Err(e) => {
+                self.reader = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            self.reader = Some(BufReader::new(stream));
+        }
+        Ok(())
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        self.ensure_connected()?;
+        let reader = self.reader.as_mut().expect("connected");
+        let stream = reader.get_mut();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        let resp = read_response(reader)?;
+        let close = resp
+            .header("connection")
+            .map(|v| v.to_ascii_lowercase().contains("close"))
+            .unwrap_or(false);
+        if close {
+            self.reader = None;
+        }
+        Ok(resp)
+    }
+}
+
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> std::io::Result<String> {
+    let mut line = Vec::new();
+    r.read_until(b'\n', &mut line)?;
+    if line.last() != Some(&b'\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad("non-UTF-8 response header".into()))
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> std::io::Result<ClientResponse> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("bad status line: {status_line:?}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| bad(format!("bad status code in {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad header: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let resp = ClientResponse {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let mut resp = resp;
+    if let Some(len) = resp.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| bad(format!("bad content-length {len:?}")))?;
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        resp.body = body;
+    } else {
+        r.read_to_end(&mut resp.body)?;
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_body() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let resp = read_response(&mut raw.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert_eq!(resp.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bodyless_response_to_eof() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n";
+        let resp = read_response(&mut raw.as_bytes()).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        assert!(read_response(&mut "SIP/2.0 200 OK\r\n\r\n".as_bytes()).is_err());
+        assert!(read_response(&mut "HTTP/1.1 abc OK\r\n\r\n".as_bytes()).is_err());
+        assert!(read_response(&mut "".as_bytes()).is_err());
+    }
+}

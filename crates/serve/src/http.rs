@@ -1,0 +1,432 @@
+//! Minimal HTTP/1.1 message handling over blocking streams.
+//!
+//! Implements exactly the subset the inference server needs — request
+//! parsing with `Content-Length` bodies, response writing, and keep-alive
+//! negotiation — on plain `std::io` traits, so the whole layer stays
+//! dependency-free and unit-testable against in-memory buffers.
+
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on a single header line (request line included).
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of header fields per request.
+const MAX_HEADERS: usize = 100;
+
+/// Request methods the server distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// Anything else, preserved for the 405 response.
+    Other(String),
+}
+
+impl Method {
+    fn parse(s: &str) -> Method {
+        match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            other => Method::Other(other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::Get => f.write_str("GET"),
+            Method::Post => f.write_str("POST"),
+            Method::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path + optional query), exactly as sent.
+    pub path: String,
+    /// Header fields in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+}
+
+impl Request {
+    /// First header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response,
+    /// following HTTP/1.1 defaults (`close` opts out) and HTTP/1.0
+    /// defaults (`keep-alive` opts in).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The path without its query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// Parse failures; each maps to a response status where one makes sense.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a full request.
+    UnexpectedEof,
+    /// Could not parse the request line or a header.
+    Malformed(String),
+    /// A line, header count, or body exceeded its limit.
+    TooLarge(String),
+    /// Underlying transport failure (including read timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::UnexpectedEof => f.write_str("connection closed mid-request"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(msg) => write!(f, "request too large: {msg}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl HttpError {
+    /// The status code a server should answer this parse failure with
+    /// (`None` when the connection is past saving).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::UnexpectedEof | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::TooLarge(_) => Some(413),
+        }
+    }
+}
+
+/// Reads one line terminated by `\n`, rejecting lines over
+/// [`MAX_LINE_BYTES`]; strips the trailing `\r\n` / `\n`.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut take = (&mut *r).take(MAX_LINE_BYTES as u64 + 1);
+    take.read_until(b'\n', &mut line).map_err(HttpError::Io)?;
+    if line.is_empty() {
+        return Ok(None); // clean EOF
+    }
+    if line.last() != Some(&b'\n') {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::TooLarge("header line".into()));
+        }
+        return Err(HttpError::UnexpectedEof);
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Reads one request from `r`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending anything (the normal end of a keep-alive session). Bodies are
+/// only read when `Content-Length` is present and at most `max_body`
+/// bytes.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (Method::parse(m), p.to_string(), v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(HttpError::Malformed(format!("unsupported version {other}"))),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or(HttpError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        http11,
+    };
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length: {len:?}")))?;
+        if len > max_body {
+            return Err(HttpError::TooLarge(format!(
+                "body of {len} bytes (limit {max_body})"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(r, &mut body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => HttpError::UnexpectedEof,
+            _ => HttpError::Io(e),
+        })?;
+        req.body = body;
+    } else if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked bodies are not supported".into(),
+        ));
+    }
+    Ok(Some(req))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added at
+    /// write time).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status and `Content-Type`.
+    pub fn new(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// An `application/json` response from pre-serialized bytes.
+    pub fn json(status: u16, body: Vec<u8>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    /// A JSON error body `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::with_capacity(message.len() + 13);
+        body.push_str("{\"error\":\"");
+        for c in message.chars() {
+            match c {
+                '"' => body.push_str("\\\""),
+                '\\' => body.push_str("\\\\"),
+                '\n' => body.push_str("\\n"),
+                c if (c as u32) < 0x20 => body.push_str(&format!("\\u{:04x}", c as u32)),
+                c => body.push(c),
+            }
+        }
+        body.push_str("\"}");
+        Response::json(status, body.into_bytes())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response, appending `Content-Length` and a
+    /// `Connection` header matching `keep_alive`.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut raw.as_bytes(), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.http11);
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse("POST /v1/seeds HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"k\":3}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"{\"k\":3}");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_and_http10_defaults() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line_and_version() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_with_413() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab").unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+        assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn route_strips_query() {
+        let req = parse("GET /metrics?raw=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.route(), "/metrics");
+    }
+
+    #[test]
+    fn response_writes_status_line_headers_and_length() {
+        let mut buf = Vec::new();
+        Response::text(200, "ok")
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf, false)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok"), "{text}");
+    }
+
+    #[test]
+    fn error_bodies_are_escaped_json() {
+        let resp = Response::error(400, "bad \"seed\"\nvalue");
+        assert_eq!(resp.body, br#"{"error":"bad \"seed\"\nvalue"}"#);
+        let resp = Response::error(400, "ctl\u{1}char");
+        assert_eq!(resp.body, br#"{"error":"ctl\u0001char"}"#);
+    }
+
+    #[test]
+    fn lowercases_header_names() {
+        let req = parse("GET / HTTP/1.1\r\nX-FOO: Bar\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.header("x-foo"), Some("Bar"));
+    }
+}

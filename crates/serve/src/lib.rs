@@ -1,0 +1,60 @@
+//! privim-serve: a threaded inference server for influence-maximization
+//! queries.
+//!
+//! The server answers seed-selection and spread-estimation queries from a
+//! released [`privim_nn::serialize::Checkpoint`] over a public graph. It is
+//! built entirely on `std::net` — no async runtime, no HTTP framework:
+//!
+//! ```text
+//!              ┌────────────┐   bounded    ┌──────────────┐
+//!  TCP accept ─▶  acceptor  ├──▶ queue ────▶ worker pool   ├──▶ Handler
+//!              └────────────┘  (503 when   └──────────────┘   (App)
+//!                               full)
+//! ```
+//!
+//! - [`server`] — the acceptor thread, bounded connection queue and fixed
+//!   worker pool, with per-request deadlines and graceful shutdown
+//!   (stop accepting → drain in-flight → join → flush telemetry).
+//! - [`http`] — a minimal, allocation-conscious HTTP/1.1 request parser
+//!   and response writer (Content-Length framing, keep-alive).
+//! - [`queue`] — the bounded MPMC queue with non-blocking `push` (so the
+//!   acceptor can shed load immediately) and blocking `pop`.
+//! - [`app`] — the PrivIM application handler: loads a checkpoint plus a
+//!   graph, scores every node once, then serves `/v1/seeds`,
+//!   `/v1/spread`, `/healthz`, `/version` and `/metrics`.
+//! - [`api`] — the JSON request/response types and their determinism
+//!   contract.
+//! - [`client`] — a small blocking HTTP client used by tests and the
+//!   `loadgen` benchmark.
+//! - [`signal`] — SIGINT/SIGTERM → `AtomicBool` for clean CLI shutdown.
+//!
+//! # Privacy
+//!
+//! Serving is post-processing: every response is a function of the
+//! released checkpoint and the operator-chosen public graph, so queries
+//! consume no privacy budget beyond what training already spent. The
+//! server never touches training data or per-example statistics.
+//!
+//! # Determinism
+//!
+//! Identical `(checkpoint, graph, request)` triples produce byte-identical
+//! response bodies: scores are computed once at load time, `/v1/seeds` is
+//! a slice of a precomputed ranking, and `/v1/spread` uses the
+//! thread-count-invariant [`privim_im::spread::influence_spread_parallel`]
+//! with the request-supplied RNG seed.
+
+pub mod api;
+pub mod app;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use api::{SeedsRequest, SeedsResponse, SpreadRequest, SpreadResponse, VersionResponse};
+pub use app::{load_graph, App, AppConfig};
+pub use client::{ClientResponse, HttpClient};
+pub use http::{HttpError, Method, Request, Response};
+pub use queue::{Bounded, PushError};
+pub use server::{Handler, Server, ServerConfig};
+pub use signal::{install_shutdown_handler, shutdown_requested, trip_shutdown};

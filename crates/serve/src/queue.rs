@@ -1,0 +1,201 @@
+//! A bounded multi-producer multi-consumer queue with explicit
+//! backpressure.
+//!
+//! `push` never blocks — a full queue returns the item back to the caller
+//! so the acceptor can answer `503 Service Unavailable` instead of letting
+//! latency grow without bound. `pop` blocks until an item arrives or the
+//! queue is closed *and* drained, which is exactly the semantics a
+//! graceful shutdown needs: close the queue, and workers finish whatever
+//! was already accepted before exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`Bounded::push`] was refused; the rejected item is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+
+    /// True for the capacity case (the caller should shed load).
+    pub fn is_full(&self) -> bool {
+        matches!(self, PushError::Full(_))
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue itself; share it behind an `Arc`.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (≥ 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue refuses and
+    /// returns the item.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Bounded::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_returns_item() {
+        let q = Bounded::new(1);
+        q.push(1).unwrap();
+        let err = q.push(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_but_drains_pops() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(matches!(q.push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays None after drain");
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        q.push(1).unwrap();
+        assert!(q.push(2).is_err());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q = Arc::new(Bounded::new(2));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first, second)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (first, second) = popper.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn many_producers_one_consumer_sees_everything() {
+        let q = Arc::new(Bounded::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    while q.push(t * 100 + i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut seen = Vec::new();
+        while seen.len() < 64 {
+            if let Some(v) = q.pop() {
+                seen.push(v);
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64);
+    }
+}

@@ -1,0 +1,435 @@
+//! The threaded HTTP server: acceptor, bounded connection queue, worker
+//! pool, per-request deadlines, and graceful drain.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!   acceptor ──► Bounded<Conn> ──► worker 0 ─┐
+//!      │              │       ╲─► worker 1 ─┼─► Handler::handle
+//!      │              │        ╲─ worker N ─┘
+//!      └─ queue full: 503 + Retry-After, close
+//! ```
+//!
+//! Shutdown sequence ([`ServerHandle::shutdown`]): set the stop flag →
+//! the acceptor stops accepting and closes the queue → workers drain the
+//! connections already accepted (answering their in-flight requests with
+//! `Connection: close`) → threads are joined → telemetry is flushed.
+//! Nothing that was accepted is ever dropped mid-request.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_request, Request, Response};
+use crate::queue::Bounded;
+
+/// Produces a response for each parsed request. Implementations must be
+/// shareable across worker threads.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// A low-cardinality label for per-route metrics (histogram names
+    /// embed it, so keep the set finite).
+    fn route_label(&self, req: &Request) -> &'static str {
+        let _ = req;
+        "other"
+    }
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue depth; a full queue sheds load with 503.
+    pub queue_depth: usize,
+    /// Per-request deadline: socket read/write timeout, and the maximum
+    /// time a connection may wait in the queue before its first request
+    /// is answered with 503 instead of being served stale.
+    pub deadline: Duration,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(10),
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A connection waiting for a worker, stamped with its accept time so
+/// queue-aged requests can be expired against the deadline.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// A running server; dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts ungracefully (threads are detached).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<Bounded<Conn>>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Worker and acceptor threads run until
+    /// [`ServerHandle::shutdown`]; the returned server is ready as soon
+    /// as this returns.
+    pub fn start(config: ServerConfig, handler: Arc<dyn Handler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Bounded::<Conn>::new(config.queue_depth));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || accept_loop(listener, &stop, &queue))?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let handler = Arc::clone(&handler);
+            let deadline = config.deadline;
+            let max_body = config.max_body;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&stop, &queue, handler.as_ref(), deadline, max_body)
+                    })?,
+            );
+        }
+
+        privim_obs::info!(
+            "serve",
+            "listening",
+            addr = addr.to_string(),
+            workers = workers.len() as u64,
+            queue_depth = config.queue_depth as u64,
+        );
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop accepting; returns immediately. Combine
+    /// with [`Server::join`] to wait for the drain, or call
+    /// [`Server::shutdown`] to do both.
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting, drain accepted connections,
+    /// join every thread, flush telemetry sinks.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+
+    /// Waits for the server to finish (after [`Server::request_shutdown`]
+    /// or an external stop signal wired to the same flag).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        // The acceptor closes the queue on its way out; workers drain the
+        // remainder and exit on the closed-and-empty queue.
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        privim_obs::info!("serve", "stopped", drained = true);
+        privim_obs::flush_sinks();
+    }
+
+    /// Items currently waiting for a worker (test/introspection hook).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Binds `config.addr` and resolves it (split out for error messages).
+pub fn resolve_addr(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, queue: &Bounded<Conn>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = Conn {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                if let Err(err) = queue.push(conn) {
+                    let overloaded = err.is_full();
+                    let conn = err.into_inner();
+                    privim_obs::counter("serve.rejected").add(1);
+                    privim_obs::debug!("serve", "rejected", reason = "queue_full");
+                    reject(conn.stream, overloaded);
+                } else {
+                    privim_obs::gauge("serve.queue_depth").set(queue.len() as f64);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                privim_obs::counter("serve.accept_errors").add(1);
+                privim_obs::warn!("serve", "accept_error", error = e.to_string());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    queue.close();
+}
+
+/// Sheds one connection with `503 + Retry-After` (best effort).
+fn reject(mut stream: TcpStream, overloaded: bool) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let message = if overloaded {
+        "queue full, retry later"
+    } else {
+        "server shutting down"
+    };
+    let resp = Response::error(503, message).with_header("Retry-After", "1");
+    let _ = resp.write_to(&mut stream, false);
+    let _ = stream.flush();
+}
+
+fn worker_loop(
+    stop: &AtomicBool,
+    queue: &Bounded<Conn>,
+    handler: &dyn Handler,
+    deadline: Duration,
+    max_body: usize,
+) {
+    while let Some(conn) = queue.pop() {
+        privim_obs::gauge("serve.queue_depth").set(queue.len() as f64);
+        serve_connection(conn, stop, handler, deadline, max_body);
+    }
+}
+
+/// Serves one connection until it closes, errors, keep-alive ends, or a
+/// shutdown is requested (in-flight request still gets its response).
+fn serve_connection(
+    conn: Conn,
+    stop: &AtomicBool,
+    handler: &dyn Handler,
+    deadline: Duration,
+    max_body: usize,
+) {
+    let Conn {
+        stream,
+        accepted_at,
+    } = conn;
+    if stream.set_read_timeout(Some(deadline)).is_err()
+        || stream.set_write_timeout(Some(deadline)).is_err()
+    {
+        return;
+    }
+    // A connection that waited out its whole deadline in the queue is
+    // answered like a shed one: the client has likely given up already.
+    if accepted_at.elapsed() >= deadline {
+        privim_obs::counter("serve.expired").add(1);
+        reject(stream, true);
+        return;
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader, max_body) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(err) => {
+                if let Some(status) = err.status() {
+                    privim_obs::counter("serve.bad_requests").add(1);
+                    let _ = Response::error(status, &err.to_string()).write_to(&mut stream, false);
+                }
+                return;
+            }
+        };
+        let label = handler.route_label(&request);
+        let started = Instant::now();
+        // A panicking handler must cost one 500, not one pool thread.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        let elapsed = started.elapsed().as_secs_f64();
+        privim_obs::counter("serve.requests").add(1);
+        privim_obs::counter(&format!("serve.requests.{label}")).add(1);
+        privim_obs::histogram(&format!("serve.latency_secs.{label}")).record(elapsed);
+        if response.status >= 500 {
+            privim_obs::counter("serve.errors").add(1);
+        }
+        privim_obs::debug!(
+            "serve",
+            "request",
+            route = label,
+            status = response.status as u64,
+            secs = elapsed,
+        );
+        // Honor keep-alive only while the server is not draining.
+        let keep_alive = request.wants_keep_alive() && !stop.load(Ordering::SeqCst);
+        if response.write_to(&mut stream, keep_alive).is_err() {
+            privim_obs::counter("serve.write_errors").add(1);
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request| match req.route() {
+            "/echo" => Response::json(200, req.body.clone()),
+            "/slow" => {
+                std::thread::sleep(Duration::from_millis(150));
+                Response::text(200, "slept")
+            }
+            _ => Response::error(404, "no such route"),
+        })
+    }
+
+    fn start(workers: usize, queue_depth: usize) -> Server {
+        let config = ServerConfig {
+            workers,
+            queue_depth,
+            deadline: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        Server::start(config, echo_handler()).expect("bind")
+    }
+
+    #[test]
+    fn serves_requests_and_keeps_connections_alive() {
+        let server = start(2, 16);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            let body = format!("{{\"i\":{i}}}");
+            let resp = client.post("/echo", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, body.as_bytes());
+        }
+        assert_eq!(client.reconnects(), 0, "keep-alive should reuse the socket");
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_completes_in_flight_requests() {
+        let server = start(2, 16);
+        let addr = server.local_addr();
+        let slow = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.get("/slow").unwrap()
+        });
+        // Let the slow request land in a worker, then shut down under it.
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+        let resp = slow.join().unwrap();
+        assert_eq!(resp.status, 200, "in-flight request must complete");
+        assert_eq!(resp.body, b"slept");
+        // New connections are refused after shutdown.
+        assert!(
+            HttpClient::connect(addr).is_err() || {
+                let mut c = HttpClient::connect(addr).unwrap();
+                c.get("/echo").is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_503_and_retry_after() {
+        // One worker, queue depth 1: a slow request occupies the worker,
+        // the next connection fills the queue, the third is shed.
+        let server = start(1, 1);
+        let addr = server.local_addr();
+        let slow = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.get("/slow").unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        let queued = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.get("/echo").unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        let mut shed = HttpClient::connect(addr).unwrap();
+        let resp = shed.get("/echo").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(slow.join().unwrap().status, 200);
+        assert_eq!(
+            queued.join().unwrap().status,
+            200,
+            "queued request still served"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_dead_worker() {
+        let server = start(1, 4);
+        let addr = server.local_addr();
+        {
+            use std::io::{Read, Write};
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"BOGUS\r\n\r\n").unwrap();
+            let mut buf = String::new();
+            let _ = raw.read_to_string(&mut buf);
+            assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        }
+        // The worker survives and serves the next request.
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.post("/echo", b"x").unwrap().status, 200);
+        server.shutdown();
+    }
+}

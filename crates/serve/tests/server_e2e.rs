@@ -1,0 +1,208 @@
+//! End-to-end tests: a real checkpoint and graph served over real sockets.
+//!
+//! The centerpiece is the reproducibility contract — two independently
+//! started server instances loading the same `(checkpoint, graph)` pair
+//! must answer the same `/v1/seeds` request with byte-identical bodies.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use privim_datasets::paper::Dataset;
+use privim_graph::io;
+use privim_im::models::{DiffusionConfig, DiffusionModel};
+use privim_im::spread::influence_spread_parallel;
+use privim_nn::models::{build_model, ModelKind};
+use privim_nn::serialize::Checkpoint;
+use privim_serve::{App, AppConfig, HttpClient, Server, ServerConfig, SpreadResponse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static FIXTURE_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A served fixture: a small Email-replica graph saved in binary form and
+/// a freshly initialized (untrained — irrelevant for serving semantics)
+/// GraphSAGE checkpoint over it. Files land in a unique temp subdirectory.
+struct Fixture {
+    dir: PathBuf,
+    graph: String,
+    checkpoint: String,
+}
+
+impl Fixture {
+    fn create() -> Fixture {
+        let id = FIXTURE_ID.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("privim-serve-e2e-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let graph = Dataset::Email.generate(0.15, 42);
+        let graph_path = dir.join("email.bin");
+        io::save_binary(&graph, &graph_path).unwrap();
+
+        let in_dim = 8;
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = build_model(ModelKind::GraphSage, in_dim, 16, 2, &mut rng);
+        let checkpoint_path = dir.join("model.json");
+        Checkpoint::capture(model.as_ref(), in_dim, 16, 2)
+            .save(&checkpoint_path)
+            .unwrap();
+
+        Fixture {
+            dir,
+            graph: graph_path.to_string_lossy().into_owned(),
+            checkpoint: checkpoint_path.to_string_lossy().into_owned(),
+        }
+    }
+
+    fn app_config(&self) -> AppConfig {
+        AppConfig::new(&self.graph, &self.checkpoint)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn start_server(fixture: &Fixture) -> Server {
+    let app = App::load(&fixture.app_config()).unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..ServerConfig::default()
+    };
+    Server::start(config, Arc::new(app)).unwrap()
+}
+
+#[test]
+fn two_instances_serve_byte_identical_seeds() {
+    let fixture = Fixture::create();
+    let first = start_server(&fixture);
+    let second = start_server(&fixture);
+
+    let body = r#"{"k": 10, "seed": 123}"#;
+    let mut c1 = HttpClient::connect(&first.local_addr().to_string()).unwrap();
+    let mut c2 = HttpClient::connect(&second.local_addr().to_string()).unwrap();
+    let r1 = c1.post("/v1/seeds", body.as_bytes()).unwrap();
+    let r2 = c2.post("/v1/seeds", body.as_bytes()).unwrap();
+
+    assert_eq!(r1.status, 200);
+    assert_eq!(r2.status, 200);
+    assert_eq!(
+        r1.body, r2.body,
+        "same checkpoint+graph+request must serve identical bytes"
+    );
+
+    // And repeating the request against the same instance is also stable.
+    let r1_again = c1.post("/v1/seeds", body.as_bytes()).unwrap();
+    assert_eq!(r1.body, r1_again.body);
+
+    first.shutdown();
+    second.shutdown();
+}
+
+#[test]
+fn spread_endpoint_matches_direct_estimate() {
+    let fixture = Fixture::create();
+    let server = start_server(&fixture);
+    let graph = privim_serve::load_graph(&fixture.graph).unwrap();
+
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+    let body = r#"{"seeds": [0, 1, 2], "trials": 400, "seed": 9, "steps": 1}"#;
+    let resp = client.post("/v1/spread", body.as_bytes()).unwrap();
+    assert_eq!(
+        resp.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let parsed: SpreadResponse = serde_json::from_slice(&resp.body).unwrap();
+
+    let config = DiffusionConfig {
+        model: DiffusionModel::IndependentCascade,
+        max_steps: Some(1),
+    };
+    let direct = influence_spread_parallel(&graph, &[0, 1, 2], &config, 400, 2, 9).unwrap();
+    assert_eq!(parsed.spread, direct);
+    assert_eq!(parsed.trials, 400);
+    assert_eq!(parsed.n_nodes, graph.num_nodes());
+
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_structured_errors() {
+    let fixture = Fixture::create();
+    let server = start_server(&fixture);
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+
+    // Unknown field → 400 from serde's deny_unknown_fields.
+    let resp = client
+        .post("/v1/seeds", br#"{"k": 3, "bogus": true}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.starts_with(br#"{"error":"#));
+
+    // Out-of-range seed node → 400 from the spread range check.
+    let resp = client
+        .post("/v1/spread", br#"{"seeds": [999999]}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(String::from_utf8_lossy(&resp.body).contains("out of range"));
+
+    // Unknown route → 404; wrong method on a known route → 405.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/v1/seeds").unwrap().status, 405);
+
+    // The server is still healthy afterwards.
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"ok\n");
+
+    server.shutdown();
+}
+
+#[test]
+fn version_and_metrics_reflect_served_state() {
+    let fixture = Fixture::create();
+    let server = start_server(&fixture);
+    let graph = privim_serve::load_graph(&fixture.graph).unwrap();
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+
+    let version = client.get("/version").unwrap();
+    assert_eq!(version.status, 200);
+    let text = String::from_utf8_lossy(&version.body).into_owned();
+    assert!(text.contains("\"privim-serve\""), "version body: {text}");
+    assert!(text.contains(&format!("\"graph_nodes\":{}", graph.num_nodes())));
+    assert!(text.contains("\"GraphSAGE\""), "body: {text}");
+
+    // Hit a route, then check it shows up in the Prometheus exposition.
+    client.post("/v1/seeds", br#"{"k": 1}"#).unwrap();
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8_lossy(&metrics.body).into_owned();
+    assert!(text.contains("serve_requests"), "metrics body:\n{text}");
+    assert!(text.contains("serve_latency_secs"), "metrics body:\n{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn seeds_k_is_clamped_to_graph_size() {
+    let fixture = Fixture::create();
+    let server = start_server(&fixture);
+    let graph = privim_serve::load_graph(&fixture.graph).unwrap();
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+
+    let resp = client.post("/v1/seeds", br#"{"k": 1000000}"#).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(
+        text.contains(&format!("\"k\":{}", graph.num_nodes())),
+        "body: {text}"
+    );
+
+    server.shutdown();
+}

@@ -16,6 +16,8 @@
 //!   the parameter-selection indicator, and all baselines.
 //! - [`obs`] — structured tracing, metrics, and run telemetry
 //!   (spans, counters/gauges/histograms, event sinks, `RunTelemetry`).
+//! - [`serve`] — threaded HTTP inference server answering seed-selection
+//!   and spread-estimation queries from a released checkpoint.
 
 pub use privim_core as core;
 pub use privim_datasets as datasets;
@@ -24,3 +26,4 @@ pub use privim_graph as graph;
 pub use privim_im as im;
 pub use privim_nn as nn;
 pub use privim_obs as obs;
+pub use privim_serve as serve;
