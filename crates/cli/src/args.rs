@@ -41,6 +41,18 @@ pub struct TrainArgs {
     pub iterations: usize,
     pub seed: u64,
     pub checkpoint: Option<String>,
+    /// Crash-safe training: write atomic checkpoint generations to this
+    /// directory (`--checkpoint-dir`), resuming from the newest valid one
+    /// when present.
+    pub checkpoint_dir: Option<String>,
+    /// Resume a killed run from this directory (`--resume`); like
+    /// `--checkpoint-dir` but refuses to start if no valid generation
+    /// exists there.
+    pub resume: Option<String>,
+    /// Epochs between checkpoint generations (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// Checkpoint generations retained on disk (`--keep`).
+    pub keep: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +101,8 @@ USAGE:
   privim train    --graph <path> [--method privim*|privim|scs|egn|hp|hp-grat|non-private]
                   [--model grat|gcn|gat|gin|sage|mlp] [--epsilon f] [--k n]
                   [--iterations n] [--seed u] [--checkpoint <path>]
+                  [--checkpoint-dir <dir> | --resume <dir>]
+                  [--checkpoint-every n] [--keep n]
   privim select   --graph <path> --checkpoint <path> [--k n]
   privim evaluate --graph <path> --seeds 1,2,3 [--steps n] [--trials n]
   privim account  --epsilon f [--delta f] [--iterations n] [--batch n]
@@ -315,8 +329,25 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "iterations",
                     "seed",
                     "checkpoint",
+                    "checkpoint-dir",
+                    "resume",
+                    "checkpoint-every",
+                    "keep",
                 ],
             )?;
+            if f.get("resume").is_some() && f.get("checkpoint-dir").is_some() {
+                return Err(
+                    "--resume already names the checkpoint directory; drop --checkpoint-dir".into(),
+                );
+            }
+            let checkpoint_every: usize = f.parse_opt("checkpoint-every", 5)?;
+            if checkpoint_every == 0 {
+                return Err("--checkpoint-every must be positive".into());
+            }
+            let keep: usize = f.parse_opt("keep", 3)?;
+            if keep == 0 {
+                return Err("--keep must be positive".into());
+            }
             Ok(Command::Train(TrainArgs {
                 graph: f.require("graph")?.to_string(),
                 method: parse_method(f.get("method").unwrap_or("privim*"))?,
@@ -329,6 +360,10 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 iterations: f.parse_opt("iterations", 60)?,
                 seed: f.parse_opt("seed", 42)?,
                 checkpoint: f.get("checkpoint").map(str::to_string),
+                checkpoint_dir: f.get("checkpoint-dir").map(str::to_string),
+                resume: f.get("resume").map(str::to_string),
+                checkpoint_every,
+                keep,
             }))
         }
         "select" => {
@@ -485,6 +520,62 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn train_resume_flags() {
+        let cmd = parse(&["train", "--graph", "g.bin"]).unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.checkpoint_dir, None);
+                assert_eq!(a.resume, None);
+                assert_eq!(a.checkpoint_every, 5);
+                assert_eq!(a.keep, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "train",
+            "--graph",
+            "g.bin",
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "2",
+            "--keep",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpts"));
+                assert_eq!(a.checkpoint_every, 2);
+                assert_eq!(a.keep, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["train", "--graph", "g.bin", "--resume", "ckpts"]).unwrap();
+        match cmd {
+            Command::Train(a) => assert_eq!(a.resume.as_deref(), Some("ckpts")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&[
+            "train",
+            "--graph",
+            "g",
+            "--resume",
+            "a",
+            "--checkpoint-dir",
+            "b",
+        ])
+        .unwrap_err()
+        .contains("--resume"));
+        assert!(parse(&["train", "--graph", "g", "--checkpoint-every", "0"])
+            .unwrap_err()
+            .contains("--checkpoint-every"));
+        assert!(parse(&["train", "--graph", "g", "--keep", "0"])
+            .unwrap_err()
+            .contains("--keep"));
     }
 
     #[test]

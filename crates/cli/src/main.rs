@@ -163,6 +163,9 @@ fn run(command: Command) -> Result<(), String> {
                 learning_rate: 0.02,
                 ..PrivImConfig::default()
             };
+            if a.resume.is_some() || a.checkpoint_dir.is_some() {
+                return train_crash_safe(&g, &a, &config, &split.train);
+            }
             let result = privim_core::pipeline::run_method_with_candidates(
                 &g,
                 a.method,
@@ -268,7 +271,6 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         max_trials: a.max_trials,
         spread_threads: a.spread_threads,
     };
-    let app = privim_serve::App::load(&app_config)?;
     let config = privim_serve::ServerConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -276,8 +278,19 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         deadline: Duration::from_millis(a.deadline_ms.max(1)),
         ..privim_serve::ServerConfig::default()
     };
-    let server = privim_serve::Server::start(config, Arc::new(app))
+    // Bind before loading: `/readyz` answers 503 while the checkpoint and
+    // graph load, and flips to 200 the instant the handler is installed.
+    let gate = privim_serve::ReadyGate::new();
+    let server = privim_serve::Server::start(config, gate.clone())
         .map_err(|e| format!("cannot serve on {}: {e}", a.addr))?;
+    let app = match privim_serve::App::load(&app_config) {
+        Ok(app) => app,
+        Err(e) => {
+            server.shutdown();
+            return Err(e);
+        }
+    };
+    gate.install(Arc::new(app));
     console(format!(
         "serving on http://{} ({} workers, queue depth {}); SIGINT/SIGTERM to stop",
         server.local_addr(),
@@ -291,6 +304,105 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
     console("shutdown requested; draining in-flight requests");
     server.shutdown();
     console("bye");
+    Ok(())
+}
+
+/// Crash-safe `train` variant behind `--checkpoint-dir` / `--resume`:
+/// atomic checkpoint generations every `--checkpoint-every` epochs, exact
+/// ledger-verified resume from the newest valid generation, and seed
+/// selection from the finished model. `--resume` additionally refuses to
+/// start when the directory holds no valid generation — silently
+/// retraining from scratch would spend privacy budget the caller thinks
+/// was already spent.
+fn train_crash_safe(
+    g: &Graph,
+    a: &args::TrainArgs,
+    config: &PrivImConfig,
+    candidates: &[u32],
+) -> Result<(), String> {
+    use privim_core::checkpoint::CheckpointStore;
+    use privim_core::resume::{train_resumable, ResumeOptions};
+    use privim_core::sampling::extract_dual_stage;
+
+    let (dir, must_resume) = match (&a.resume, &a.checkpoint_dir) {
+        (Some(d), _) => (d.clone(), true),
+        (None, Some(d)) => (d.clone(), false),
+        (None, None) => unreachable!("caller checked the flags"),
+    };
+    let store = CheckpointStore::open(&dir, a.keep).map_err(|e| e.to_string())?;
+    if must_resume
+        && store
+            .load_latest_valid()
+            .map_err(|e| e.to_string())?
+            .is_none()
+    {
+        return Err(format!(
+            "--resume {dir}: no valid checkpoint generation found \
+             (use --checkpoint-dir to start a fresh crash-safe run)"
+        ));
+    }
+
+    // Extraction is deterministic in (graph, seed), so every resume sees
+    // the same container the original invocation trained on.
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let out = extract_dual_stage(g, config, candidates, &mut rng);
+    if out.container.is_empty() {
+        return Err("extraction produced no subgraphs; lower the subgraph size".into());
+    }
+    let privacy = a.epsilon.map(|eps| {
+        PrivacySetup::calibrate(
+            eps,
+            config.effective_delta(g.num_nodes()),
+            config,
+            out.container.len(),
+            config.freq_threshold,
+            NoiseKind::Gaussian,
+        )
+    });
+    let outcome = train_resumable(
+        a.method.model_kind(config.model),
+        &out.container,
+        config,
+        privacy.as_ref(),
+        a.seed,
+        &store,
+        ResumeOptions {
+            checkpoint_every: a.checkpoint_every,
+            keep: a.keep,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    match outcome.resumed_from {
+        Some(epoch) => console(format!(
+            "resumed from epoch {epoch}/{} in {dir} (ledger re-verified)",
+            config.iterations
+        )),
+        None => console(format!("fresh crash-safe run; generations in {dir}")),
+    }
+    console(format!(
+        "{}: trained {} epochs over {} subgraphs | epsilon spent {}",
+        a.method.name(),
+        outcome.report.losses.len(),
+        out.container.len(),
+        outcome
+            .final_epsilon
+            .map_or("- (non-private)".to_string(), |e| format!("{e:.4}")),
+    ));
+    let gt = GraphTensors::with_structural_features(g, config.feature_dim);
+    let scores = outcome.model.seed_probabilities(&gt);
+    let seeds = top_k_seeds(&scores, config.seed_size);
+    console(format!("seeds: {seeds:?}"));
+    if let Some(path) = &a.checkpoint {
+        let cp = Checkpoint::capture(
+            outcome.model.as_ref(),
+            config.feature_dim,
+            config.hidden,
+            config.hops,
+        );
+        cp.save(path).map_err(|e| e.to_string())?;
+        console(format!("checkpoint written to {path}"));
+    }
     Ok(())
 }
 
@@ -335,7 +447,8 @@ fn train_for_checkpoint(
         config,
         privacy.as_ref(),
         &mut rng,
-    );
+    )
+    .map_err(|e| format!("training aborted: {e}"))?;
     Ok(Checkpoint::capture(
         model.as_ref(),
         config.feature_dim,

@@ -68,6 +68,13 @@ pub struct PrivImConfig {
     pub diffusion_steps: usize,
     /// Training-loss diffusion surrogate.
     pub loss: LossKind,
+    /// Abort training after this many *consecutive* steps whose loss or
+    /// gradient is non-finite. Isolated bad steps are skipped before any
+    /// noise is drawn (so no privacy budget is consumed); a streak this
+    /// long means the run has diverged and continuing would only burn
+    /// budget on garbage.
+    #[serde(default = "default_max_bad_steps")]
+    pub max_bad_steps: usize,
 
     // --- privacy ---
     /// Privacy budget `ε` (`None` = non-private).
@@ -78,6 +85,10 @@ pub struct PrivImConfig {
     // --- evaluation ---
     /// Seed-set size `k`.
     pub seed_size: usize,
+}
+
+fn default_max_bad_steps() -> usize {
+    5
 }
 
 impl Default for PrivImConfig {
@@ -102,6 +113,7 @@ impl Default for PrivImConfig {
             lambda: 0.5,
             diffusion_steps: 1,
             loss: LossKind::IcProduct,
+            max_bad_steps: default_max_bad_steps(),
             epsilon: Some(4.0),
             delta: None,
             seed_size: 50,
@@ -166,6 +178,9 @@ impl PrivImConfig {
         if self.diffusion_steps == 0 {
             return Err("diffusion_steps must be positive".into());
         }
+        if self.max_bad_steps == 0 {
+            return Err("max_bad_steps must be positive".into());
+        }
         if let Some(eps) = self.epsilon {
             if eps <= 0.0 {
                 return Err("epsilon must be positive".into());
@@ -228,6 +243,7 @@ mod tests {
         assert!(bad(|c| c.epsilon = Some(-1.0)));
         assert!(bad(|c| c.diffusion_steps = 0));
         assert!(bad(|c| c.sampling_rate = Some(2.0)));
+        assert!(bad(|c| c.max_bad_steps = 0));
     }
 
     #[test]

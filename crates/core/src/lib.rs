@@ -13,6 +13,11 @@
 //!   (Eqs. 10–12, Appendix H fitting).
 //! - [`pipeline`] — end-to-end runs of PrivIM, PrivIM+SCS, PrivIM*, EGN,
 //!   HP, HP-GRAT and the non-private reference.
+//! - [`checkpoint`] — atomic, CRC-verified training checkpoints with
+//!   generation retention.
+//! - [`resume`] — the crash-safe training loop: kill it anywhere, resume
+//!   from the last durable generation, and get bit-identical final
+//!   weights and an exactly re-verified ε schedule.
 //!
 //! # Quickstart
 //!
@@ -31,18 +36,22 @@
 //! assert!(result.sigma.is_some()); // noise was calibrated and injected
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod container;
 pub mod evaluate;
 pub mod indicator;
 pub mod loss;
 pub mod pipeline;
+pub mod resume;
 pub mod sampling;
 pub mod train;
 
+pub use checkpoint::{crc32, CheckpointError, CheckpointStore, TrainCheckpoint};
 pub use config::PrivImConfig;
 pub use container::{SubgraphContainer, SubgraphSample};
 pub use evaluate::{scorecard, seed_jaccard, Scorecard};
 pub use indicator::Indicator;
 pub use pipeline::{run_method, run_method_with_candidates, Method, PipelineResult};
-pub use train::{train, NoiseKind, PrivacySetup, TrainReport};
+pub use resume::{train_resumable, ResumableOutcome, ResumeError, ResumeOptions};
+pub use train::{train, NoiseKind, PrivacySetup, TrainError, TrainReport};

@@ -208,6 +208,7 @@ pub fn run_method_with_candidates(
             privacy.as_ref(),
             &mut rng,
         )
+        .unwrap_or_else(|e| panic!("{method} training aborted: {e}"))
     };
 
     // --- Phase 4: inference + seed selection + evaluation -----------------

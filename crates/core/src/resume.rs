@@ -1,0 +1,514 @@
+//! Crash-safe resumable training.
+//!
+//! [`train_resumable`] runs the same Algorithm 2 steps as
+//! [`crate::train::train`], but derives a fresh RNG for every epoch from
+//! the master seed (`StdRng::seed_from_u64(splitmix64-mix(seed, epoch))`)
+//! instead of threading one stream across the run. That makes the epoch
+//! cursor the *only* generator state: a checkpoint stores no RNG bytes,
+//! and a run killed at any instruction and resumed from its last durable
+//! generation replays the remaining epochs bit-identically — final
+//! weights, loss history, and the privacy ledger's ε schedule all match
+//! an uninterrupted run exactly.
+//!
+//! On resume the ledger is re-verified end to end:
+//! [`PrivacyLedger::verify_replay`] replays the accounting from the
+//! entries alone and must match every recorded cumulative ε within
+//! 1e-9, and the accountant reconstructed from the restored γ state must
+//! convert to the recorded final ε bit-for-bit. A checkpoint that fails
+//! either check — or whose configuration digest disagrees — is refused
+//! with a typed error rather than silently mis-accounting the budget.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_dp::ledger::{MechanismKind, PrivacyLedger};
+use privim_nn::models::{build_model, GnnModel, ModelKind};
+use privim_nn::optim::{Optimizer, Sgd};
+use privim_obs::fault::splitmix64;
+
+use crate::checkpoint::{crc32, CheckpointError, CheckpointStore, TrainCheckpoint};
+use crate::config::PrivImConfig;
+use crate::container::SubgraphContainer;
+use crate::train::{dp_step, PrivacySetup, TrainError, TrainReport};
+
+/// Errors from the resumable training loop.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// Checkpoint storage failed (I/O, corruption with no fallback, or
+    /// an injected kill during a write).
+    Checkpoint(CheckpointError),
+    /// An injected kill fired inside a training step.
+    Killed {
+        /// The fault site that fired.
+        site: String,
+    },
+    /// Training itself aborted (e.g. non-finite divergence).
+    Train(TrainError),
+    /// The checkpoint was written under a different configuration.
+    ConfigMismatch {
+        /// Digest of the current configuration.
+        expected: u32,
+        /// Digest recorded in the checkpoint.
+        found: u32,
+    },
+    /// The restored ledger failed exact ε re-verification.
+    LedgerMismatch(String),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Checkpoint(e) => write!(f, "{e}"),
+            ResumeError::Killed { site } => write!(f, "killed at fault site {site}"),
+            ResumeError::Train(e) => write!(f, "{e}"),
+            ResumeError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was written under a different configuration \
+                 (digest {found:08x}, current {expected:08x}); refusing to resume"
+            ),
+            ResumeError::LedgerMismatch(msg) => {
+                write!(f, "restored privacy ledger failed verification: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<CheckpointError> for ResumeError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Killed { site } => ResumeError::Killed { site },
+            other => ResumeError::Checkpoint(other),
+        }
+    }
+}
+
+impl From<TrainError> for ResumeError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Fault(privim_obs::FaultSignal::Kill { site }) => {
+                ResumeError::Killed { site }
+            }
+            other => ResumeError::Train(other),
+        }
+    }
+}
+
+/// Knobs for the checkpoint cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeOptions {
+    /// Write a checkpoint every this many completed epochs (and always
+    /// after the final one). Minimum 1.
+    pub checkpoint_every: usize,
+    /// Generations to retain on disk. Minimum 1.
+    pub keep: usize,
+}
+
+impl Default for ResumeOptions {
+    fn default() -> Self {
+        ResumeOptions {
+            checkpoint_every: 1,
+            keep: 3,
+        }
+    }
+}
+
+/// Outcome of a resumable run.
+pub struct ResumableOutcome {
+    /// The trained model.
+    pub model: Box<dyn GnnModel>,
+    /// Loss/clip history over ALL epochs (restored prefix + new).
+    pub report: TrainReport,
+    /// Epoch the run resumed from (`None` for a fresh start).
+    pub resumed_from: Option<u64>,
+    /// Cumulative ε actually spent per the ledger (private runs).
+    pub final_epsilon: Option<f64>,
+}
+
+/// Digest of the configuration a checkpoint belongs to. The `Debug`
+/// rendering covers every field and is deterministic, so it serves as a
+/// cheap structural fingerprint without serde.
+pub fn config_digest(config: &PrivImConfig) -> u32 {
+    crc32(format!("{config:?}").as_bytes())
+}
+
+/// The derived seed for `epoch`'s RNG stream. Also used for the fresh
+/// model-init stream (tag `u64::MAX`), which no epoch can collide with
+/// because epochs stay below `config.iterations`.
+fn epoch_seed(master_seed: u64, epoch: u64) -> u64 {
+    splitmix64(master_seed ^ splitmix64(epoch))
+}
+
+/// Verifies a restored ledger's exactness: entry-replay within `1e-9`
+/// everywhere, and the accountant rebuilt from the restored γ state
+/// must reproduce the recorded final cumulative ε.
+fn verify_restored_ledger(ledger: &PrivacyLedger) -> Result<(), ResumeError> {
+    ledger
+        .verify_replay(1e-9)
+        .map_err(ResumeError::LedgerMismatch)?;
+    if let Some(recorded) = ledger.cumulative_epsilon() {
+        let (restored, _alpha) = ledger.accountant().epsilon(ledger.delta());
+        let diff = (recorded - restored).abs();
+        if !(diff <= 1e-9) {
+            return Err(ResumeError::LedgerMismatch(format!(
+                "restored accountant ε = {restored} but ledger recorded {recorded} \
+                 (|Δ| = {diff:e} > 1e-9)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs (or resumes) crash-safe DP training.
+///
+/// Starts from the newest valid checkpoint in `store` when one exists —
+/// falling back past torn or rotted generations — and from scratch
+/// otherwise. Interruptions at any fault site (or real crashes) are
+/// harmless: re-invoking with the same arguments produces bit-identical
+/// final weights and an identical ε schedule to an uninterrupted run.
+pub fn train_resumable(
+    kind: ModelKind,
+    container: &SubgraphContainer,
+    config: &PrivImConfig,
+    privacy: Option<&PrivacySetup>,
+    master_seed: u64,
+    store: &CheckpointStore,
+    opts: ResumeOptions,
+) -> Result<ResumableOutcome, ResumeError> {
+    assert!(
+        !container.is_empty(),
+        "cannot train on an empty subgraph container"
+    );
+    let _span = privim_obs::span!("training_resumable");
+    let started = std::time::Instant::now();
+    let expected_crc = config_digest(config);
+    let checkpoint_every = opts.checkpoint_every.max(1);
+
+    let restored = store.load_latest_valid()?;
+    let (
+        mut model,
+        mut optimizer,
+        mut ledger,
+        mut losses,
+        mut clip_fractions,
+        start_epoch,
+        resumed_from,
+    ): (
+        Box<dyn GnnModel>,
+        Box<dyn Optimizer>,
+        Option<PrivacyLedger>,
+        Vec<f64>,
+        Vec<f64>,
+        u64,
+        Option<u64>,
+    ) = match restored {
+        Some((ckpt, path)) => {
+            if ckpt.config_crc != expected_crc {
+                return Err(ResumeError::ConfigMismatch {
+                    expected: expected_crc,
+                    found: ckpt.config_crc,
+                });
+            }
+            if ckpt.master_seed != master_seed {
+                return Err(ResumeError::ConfigMismatch {
+                    expected: crc32(&master_seed.to_le_bytes()),
+                    found: crc32(&ckpt.master_seed.to_le_bytes()),
+                });
+            }
+            if let Some(l) = &ckpt.ledger {
+                verify_restored_ledger(l)?;
+            }
+            if privacy.is_some() != ckpt.ledger.is_some() {
+                return Err(ResumeError::LedgerMismatch(
+                    "privacy mode differs between run and checkpoint".into(),
+                ));
+            }
+            let model = ckpt
+                .model
+                .restore()
+                .map_err(|e| CheckpointError::Corrupt(format!("model restore: {e}")))?;
+            privim_obs::counter("checkpoint.resumed").add(1);
+            privim_obs::info!(
+                "checkpoint",
+                "resumed",
+                epoch = ckpt.epoch,
+                path = path.display().to_string(),
+                epsilon_so_far = ckpt.ledger.as_ref().and_then(|l| l.cumulative_epsilon()),
+            );
+            (
+                model,
+                ckpt.optimizer.build(),
+                ckpt.ledger,
+                ckpt.losses,
+                ckpt.clip_fractions,
+                ckpt.epoch,
+                Some(ckpt.epoch),
+            )
+        }
+        None => {
+            let mut init_rng = StdRng::seed_from_u64(epoch_seed(master_seed, u64::MAX));
+            let model = build_model(
+                kind,
+                config.feature_dim,
+                config.hidden,
+                config.hops,
+                &mut init_rng,
+            );
+            let ledger = privacy.map(|setup| PrivacyLedger::new(setup.delta));
+            (
+                model,
+                Box::new(Sgd::new(config.learning_rate)) as Box<dyn Optimizer>,
+                ledger,
+                Vec::new(),
+                Vec::new(),
+                0,
+                None,
+            )
+        }
+    };
+
+    let m = container.len();
+    let batch = config.batch_size.min(m);
+    let indices: Vec<usize> = (0..m).collect();
+    let mut consecutive_bad = 0usize;
+
+    for epoch in start_epoch..config.iterations as u64 {
+        // The whole point: each epoch's randomness depends only on
+        // (master_seed, epoch), never on how many times the process died
+        // on the way here.
+        let mut rng = StdRng::seed_from_u64(epoch_seed(master_seed, epoch));
+        let stats = dp_step(
+            model.as_mut(),
+            optimizer.as_mut(),
+            container,
+            config,
+            privacy,
+            &indices,
+            batch,
+            epoch as usize,
+            &mut rng,
+        )?;
+        losses.push(stats.mean_loss);
+        privim_obs::counter("train.iterations").add(1);
+        privim_obs::histogram("train.loss").record(stats.mean_loss);
+        if stats.skipped {
+            consecutive_bad += 1;
+            if privacy.is_some() {
+                clip_fractions.push(stats.clip_fraction);
+            }
+            if consecutive_bad >= config.max_bad_steps {
+                return Err(TrainError::NonFiniteDivergence {
+                    step: epoch as usize,
+                    consecutive: consecutive_bad,
+                }
+                .into());
+            }
+        } else {
+            consecutive_bad = 0;
+            if let Some(setup) = privacy {
+                clip_fractions.push(stats.clip_fraction);
+                privim_obs::histogram("train.clip_fraction").record(stats.clip_fraction);
+                let ledger = ledger.as_mut().expect("private runs carry a ledger");
+                let mech = match setup.noise {
+                    crate::train::NoiseKind::Gaussian => MechanismKind::SubsampledGaussian,
+                    crate::train::NoiseKind::SymmetricLaplace => MechanismKind::SubsampledSml,
+                };
+                let sensitivity = config.clip_bound * setup.max_occurrences as f64;
+                let sub = privim_dp::rdp::SubsampledConfig {
+                    max_occurrences: setup.max_occurrences,
+                    batch_size: batch,
+                    container_size: m.max(1),
+                };
+                let (eps, _alpha) = ledger.record_step(mech, setup.sigma, sensitivity, &sub);
+                privim_obs::info!(
+                    "train",
+                    "epoch",
+                    epoch = epoch,
+                    loss = stats.mean_loss,
+                    clip_fraction = stats.clip_fraction,
+                    epsilon_spent = eps,
+                );
+            } else {
+                privim_obs::info!("train", "epoch", epoch = epoch, loss = stats.mean_loss);
+            }
+        }
+
+        let completed = epoch + 1;
+        if completed % checkpoint_every as u64 == 0 || completed == config.iterations as u64 {
+            let ckpt = TrainCheckpoint {
+                epoch: completed,
+                master_seed,
+                config_crc: expected_crc,
+                model: privim_nn::serialize::Checkpoint::capture(
+                    model.as_ref(),
+                    config.feature_dim,
+                    config.hidden,
+                    config.hops,
+                ),
+                optimizer: optimizer.snapshot(),
+                ledger: ledger.clone(),
+                losses: losses.clone(),
+                clip_fractions: clip_fractions.clone(),
+            };
+            store.save(&ckpt)?;
+        }
+    }
+
+    if let Some(l) = &ledger {
+        // The invariant the whole subsystem exists to protect: the
+        // ledger's recorded schedule replays exactly, interrupted or not.
+        verify_restored_ledger(l)?;
+    }
+
+    Ok(ResumableOutcome {
+        final_epsilon: ledger.as_ref().and_then(|l| l.cumulative_epsilon()),
+        report: TrainReport {
+            losses,
+            clip_fractions,
+            training_secs: started.elapsed().as_secs_f64(),
+            sigma: privacy.map(|p| p.sigma),
+        },
+        model,
+        resumed_from,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::extract_dual_stage;
+    use crate::train::NoiseKind;
+    use privim_datasets::generators::holme_kim;
+    use privim_graph::NodeId;
+
+    fn setup(seed: u64) -> (SubgraphContainer, PrivImConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = holme_kim(200, 4, 0.4, 1.0, &mut rng);
+        let cfg = PrivImConfig {
+            subgraph_size: 10,
+            walk_length: 120,
+            hops: 2,
+            sampling_rate: Some(0.6),
+            freq_threshold: 4,
+            feature_dim: 4,
+            hidden: 8,
+            batch_size: 6,
+            iterations: 6,
+            ..PrivImConfig::default()
+        };
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+        (out.container, cfg)
+    }
+
+    fn store(name: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("privim-resume-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        CheckpointStore::open(&dir, 3).unwrap()
+    }
+
+    fn weights(model: &dyn GnnModel) -> Vec<u64> {
+        model
+            .params()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn uninterrupted_run_completes_and_checkpoints() {
+        let (container, cfg) = setup(1);
+        let st = store("plain");
+        let setup =
+            PrivacySetup::calibrate(3.0, 1e-4, &cfg, container.len(), 4, NoiseKind::Gaussian);
+        let out = train_resumable(
+            ModelKind::Gcn,
+            &container,
+            &cfg,
+            Some(&setup),
+            99,
+            &st,
+            ResumeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.report.losses.len(), cfg.iterations);
+        assert!(out.resumed_from.is_none());
+        assert!(out.final_epsilon.unwrap() > 0.0);
+        let gens = st.generations().unwrap();
+        assert_eq!(gens.len(), 3, "keep=3");
+        assert_eq!(gens.last().unwrap().0, cfg.iterations as u64);
+        std::fs::remove_dir_all(st.dir()).ok();
+    }
+
+    #[test]
+    fn completed_run_resumes_to_a_noop_with_identical_weights() {
+        let (container, cfg) = setup(2);
+        let st = store("noop");
+        let run = |st: &CheckpointStore| {
+            train_resumable(
+                ModelKind::Gcn,
+                &container,
+                &cfg,
+                None,
+                7,
+                st,
+                ResumeOptions::default(),
+            )
+            .unwrap()
+        };
+        let first = run(&st);
+        let second = run(&st); // resumes at the final epoch: zero new steps
+        assert_eq!(second.resumed_from, Some(cfg.iterations as u64));
+        assert_eq!(
+            weights(first.model.as_ref()),
+            weights(second.model.as_ref())
+        );
+        assert_eq!(first.report.losses, second.report.losses);
+        std::fs::remove_dir_all(st.dir()).ok();
+    }
+
+    #[test]
+    fn mismatched_config_is_refused() {
+        let (container, cfg) = setup(3);
+        let st = store("cfgmismatch");
+        train_resumable(
+            ModelKind::Gcn,
+            &container,
+            &cfg,
+            None,
+            7,
+            &st,
+            ResumeOptions::default(),
+        )
+        .unwrap();
+        let mut other = cfg.clone();
+        other.learning_rate *= 2.0;
+        other.iterations += 1;
+        assert!(matches!(
+            train_resumable(
+                ModelKind::Gcn,
+                &container,
+                &other,
+                None,
+                7,
+                &st,
+                ResumeOptions::default(),
+            ),
+            Err(ResumeError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_dir_all(st.dir()).ok();
+    }
+
+    #[test]
+    fn epoch_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..1000u64 {
+            assert!(seen.insert(epoch_seed(12345, epoch)));
+        }
+        assert!(
+            seen.insert(epoch_seed(12345, u64::MAX)),
+            "init tag distinct"
+        );
+    }
+}

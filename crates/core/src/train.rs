@@ -105,6 +105,43 @@ impl PrivacySetup {
     }
 }
 
+/// Why a training run aborted.
+#[derive(Debug)]
+pub enum TrainError {
+    /// `max_bad_steps` consecutive steps produced a non-finite loss or
+    /// gradient; the run has diverged beyond recovery.
+    NonFiniteDivergence {
+        /// Iteration index (0-based) of the last bad step.
+        step: usize,
+        /// Length of the non-finite streak.
+        consecutive: usize,
+    },
+    /// An armed fault fired (fault-injection harness; never occurs in
+    /// production where no [`privim_obs::FaultPlan`] is installed).
+    Fault(privim_obs::FaultSignal),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteDivergence { step, consecutive } => write!(
+                f,
+                "training diverged: {consecutive} consecutive non-finite steps ending at \
+                 iteration {step}"
+            ),
+            TrainError::Fault(signal) => write!(f, "{signal}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<privim_obs::FaultSignal> for TrainError {
+    fn from(signal: privim_obs::FaultSignal) -> Self {
+        TrainError::Fault(signal)
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -119,15 +156,156 @@ pub struct TrainReport {
     pub sigma: Option<f64>,
 }
 
+/// Outcome of one [`dp_step`] invocation.
+pub(crate) struct StepStats {
+    /// Mean batch loss (may be non-finite when `skipped`).
+    pub mean_loss: f64,
+    /// Fraction of per-subgraph gradients that hit the clip bound.
+    pub clip_fraction: f64,
+    /// Mean pre-clip gradient l2 norm across the batch.
+    pub grad_norm_pre: f64,
+    /// Mean post-clip gradient l2 norm across the batch.
+    pub grad_norm_post: f64,
+    /// True when the step was abandoned before any noise was drawn
+    /// because the loss or summed gradient went non-finite. A skipped
+    /// step releases nothing, so it consumes no privacy budget.
+    pub skipped: bool,
+}
+
+/// One Algorithm 2 step: sample a batch, accumulate clipped per-subgraph
+/// gradients, perturb, and apply. Shared verbatim by the legacy
+/// [`train`] loop (one RNG stream across all iterations) and the
+/// crash-safe resumable loop in [`crate::resume`] (a fresh derived RNG
+/// per epoch) — both must take bitwise-identical steps.
+///
+/// RNG discipline: only batch selection and noise sampling touch `rng`,
+/// in that order; the non-finite guard and the fault site never do, so
+/// guarded and unguarded healthy runs are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dp_step<R: Rng + ?Sized>(
+    model: &mut dyn GnnModel,
+    optimizer: &mut dyn Optimizer,
+    container: &SubgraphContainer,
+    config: &PrivImConfig,
+    privacy: Option<&PrivacySetup>,
+    indices: &[usize],
+    batch: usize,
+    step: usize,
+    rng: &mut R,
+) -> Result<StepStats, TrainError> {
+    let chosen: Vec<usize> = indices.choose_multiple(rng, batch).copied().collect();
+    let mut sum = GradVec::zeros_like(model.params());
+    let mut batch_loss = 0.0;
+    let mut clipped = 0usize;
+    let mut pre_norm_sum = 0.0;
+    let mut post_norm_sum = 0.0;
+    for &idx in &chosen {
+        let sample = container.get(idx);
+        let mut tape = Tape::new();
+        let pv = model.params().bind(&mut tape);
+        let probs = model.forward(&mut tape, &sample.tensors, &pv);
+        let loss = match config.loss {
+            LossKind::IcProduct => im_loss(
+                &mut tape,
+                &sample.tensors,
+                probs,
+                config.diffusion_steps,
+                config.lambda,
+            ),
+            LossKind::LtTruncated => lt_loss(
+                &mut tape,
+                &sample.tensors,
+                probs,
+                config.diffusion_steps,
+                config.lambda,
+            ),
+        };
+        batch_loss += tape.value(loss).as_scalar();
+        let grads = tape.backward(loss);
+        let mut gv = model.params().grads(&pv, grads);
+        if privacy.is_some() {
+            let pre_norm = gv.clip(config.clip_bound);
+            pre_norm_sum += pre_norm;
+            post_norm_sum += pre_norm.min(config.clip_bound);
+            if pre_norm > config.clip_bound {
+                clipped += 1;
+            }
+        }
+        sum.add_assign(&gv);
+    }
+    privim_obs::fault_point("train.post_backward")?;
+    let mean_loss = batch_loss / batch as f64;
+    let clip_fraction = clipped as f64 / batch as f64;
+    let grad_norm_pre = pre_norm_sum / batch as f64;
+    let grad_norm_post = post_norm_sum / batch as f64;
+    // Non-finite guard, evaluated BEFORE any noise is sampled: a skipped
+    // step releases no perturbed gradient, so the accountant records
+    // nothing and no budget is spent. (Clipping bounds each sample's
+    // gradient norm but NaN/Inf pass through `min` unclamped.)
+    let finite = mean_loss.is_finite()
+        && sum
+            .blocks()
+            .iter()
+            .all(|b| b.data().iter().all(|v| v.is_finite()));
+    if !finite {
+        privim_obs::counter("train.bad_steps").add(1);
+        privim_obs::warn!(
+            "train",
+            "non_finite_step",
+            step = step,
+            loss = mean_loss,
+            private = privacy.is_some(),
+        );
+        return Ok(StepStats {
+            mean_loss,
+            clip_fraction,
+            grad_norm_pre,
+            grad_norm_post,
+            skipped: true,
+        });
+    }
+    if let Some(setup) = privacy {
+        let std = setup.noise_std(config.clip_bound);
+        match setup.noise {
+            NoiseKind::Gaussian => {
+                sum.map_entries_mut(|x| *x += gaussian(rng, std));
+            }
+            NoiseKind::SymmetricLaplace => {
+                // SML draws one radial factor per block application; we
+                // apply it blockwise to keep the heavy-tailed coupling.
+                for block in sum.blocks_mut() {
+                    let noise = symmetric_multivariate_laplace(rng, std, block.data().len());
+                    for (x, n) in block.data_mut().iter_mut().zip(noise) {
+                        *x += n;
+                    }
+                }
+            }
+        }
+    }
+    sum.scale_assign(1.0 / batch as f64);
+    optimizer.step(model.params_mut(), &sum);
+    Ok(StepStats {
+        mean_loss,
+        clip_fraction,
+        grad_norm_pre,
+        grad_norm_post,
+        skipped: false,
+    })
+}
+
 /// Runs Algorithm 2. With `privacy = None`, runs the non-private variant
 /// (no clipping, no noise) used by the `ε = ∞` reference.
+///
+/// Fails with [`TrainError::NonFiniteDivergence`] after
+/// `config.max_bad_steps` consecutive non-finite steps; isolated bad
+/// steps are skipped before noise is drawn, so they consume no budget.
 pub fn train<R: Rng + ?Sized>(
     model: &mut dyn GnnModel,
     container: &SubgraphContainer,
     config: &PrivImConfig,
     privacy: Option<&PrivacySetup>,
     rng: &mut R,
-) -> TrainReport {
+) -> Result<TrainReport, TrainError> {
     assert!(
         !container.is_empty(),
         "cannot train on an empty subgraph container"
@@ -155,85 +333,54 @@ pub fn train<R: Rng + ?Sized>(
     let mut ledger: Option<PrivacyLedger> = privacy
         .filter(|_| privim_obs::enabled(privim_obs::Level::Debug))
         .map(|setup| PrivacyLedger::new(setup.delta));
+    let mut consecutive_bad = 0usize;
+    let mut noisy_steps = 0usize;
 
     for iter in 0..config.iterations {
-        let chosen: Vec<usize> = indices.choose_multiple(rng, batch).copied().collect();
-        let mut sum = GradVec::zeros_like(model.params());
-        let mut batch_loss = 0.0;
-        let mut clipped = 0usize;
-        let mut pre_norm_sum = 0.0;
-        let mut post_norm_sum = 0.0;
-        for &idx in &chosen {
-            let sample = container.get(idx);
-            let mut tape = Tape::new();
-            let pv = model.params().bind(&mut tape);
-            let probs = model.forward(&mut tape, &sample.tensors, &pv);
-            let loss = match config.loss {
-                LossKind::IcProduct => im_loss(
-                    &mut tape,
-                    &sample.tensors,
-                    probs,
-                    config.diffusion_steps,
-                    config.lambda,
-                ),
-                LossKind::LtTruncated => lt_loss(
-                    &mut tape,
-                    &sample.tensors,
-                    probs,
-                    config.diffusion_steps,
-                    config.lambda,
-                ),
-            };
-            batch_loss += tape.value(loss).as_scalar();
-            let grads = tape.backward(loss);
-            let mut gv = model.params().grads(&pv, grads);
-            if privacy.is_some() {
-                let pre_norm = gv.clip(config.clip_bound);
-                pre_norm_sum += pre_norm;
-                post_norm_sum += pre_norm.min(config.clip_bound);
-                if pre_norm > config.clip_bound {
-                    clipped += 1;
-                }
-            }
-            sum.add_assign(&gv);
-        }
-        if let Some(setup) = privacy {
-            let std = setup.noise_std(config.clip_bound);
-            match setup.noise {
-                NoiseKind::Gaussian => {
-                    sum.map_entries_mut(|x| *x += gaussian(rng, std));
-                }
-                NoiseKind::SymmetricLaplace => {
-                    // SML draws one radial factor per block application; we
-                    // apply it blockwise to keep the heavy-tailed coupling.
-                    for block in sum.blocks_mut() {
-                        let noise = symmetric_multivariate_laplace(rng, std, block.data().len());
-                        for (x, n) in block.data_mut().iter_mut().zip(noise) {
-                            *x += n;
-                        }
-                    }
-                }
-            }
-        }
-        sum.scale_assign(1.0 / batch as f64);
-        optimizer.step(model.params_mut(), &sum);
-        let mean_loss = batch_loss / batch as f64;
-        losses.push(mean_loss);
+        let stats = dp_step(
+            model,
+            &mut optimizer,
+            container,
+            config,
+            privacy,
+            &indices,
+            batch,
+            iter,
+            rng,
+        )?;
+        losses.push(stats.mean_loss);
         privim_obs::counter("train.iterations").add(1);
-        privim_obs::histogram("train.loss").record(mean_loss);
+        privim_obs::histogram("train.loss").record(stats.mean_loss);
+        if stats.skipped {
+            consecutive_bad += 1;
+            if privacy.is_some() {
+                clip_fractions.push(stats.clip_fraction);
+            }
+            if consecutive_bad >= config.max_bad_steps {
+                return Err(TrainError::NonFiniteDivergence {
+                    step: iter,
+                    consecutive: consecutive_bad,
+                });
+            }
+            continue;
+        }
+        consecutive_bad = 0;
         if let Some(setup) = privacy {
-            let clip_fraction = clipped as f64 / batch as f64;
-            clip_fractions.push(clip_fraction);
-            privim_obs::histogram("train.clip_fraction").record(clip_fraction);
-            let spent = epsilon_schedule.as_ref().and_then(|s| s.get(iter)).copied();
+            noisy_steps += 1;
+            clip_fractions.push(stats.clip_fraction);
+            privim_obs::histogram("train.clip_fraction").record(stats.clip_fraction);
+            let spent = epsilon_schedule
+                .as_ref()
+                .and_then(|s| s.get(noisy_steps - 1))
+                .copied();
             privim_obs::info!(
                 "train",
                 "epoch",
                 epoch = iter,
-                loss = mean_loss,
-                clip_fraction = clip_fraction,
-                grad_norm_pre = pre_norm_sum / batch as f64,
-                grad_norm_post = post_norm_sum / batch as f64,
+                loss = stats.mean_loss,
+                clip_fraction = stats.clip_fraction,
+                grad_norm_pre = stats.grad_norm_pre,
+                grad_norm_post = stats.grad_norm_post,
                 noise_std = setup.noise_std(config.clip_bound),
                 epsilon_spent = spent.map(|(eps, _)| eps),
             );
@@ -256,7 +403,7 @@ pub fn train<R: Rng + ?Sized>(
                 ledger.record_step(kind, setup.sigma, sensitivity, &sub);
             }
         } else {
-            privim_obs::info!("train", "epoch", epoch = iter, loss = mean_loss);
+            privim_obs::info!("train", "epoch", epoch = iter, loss = stats.mean_loss);
         }
     }
 
@@ -267,12 +414,12 @@ pub fn train<R: Rng + ?Sized>(
         );
     }
 
-    TrainReport {
+    Ok(TrainReport {
         losses,
         clip_fractions,
         training_secs: started.elapsed().as_secs_f64(),
         sigma: privacy.map(|p| p.sigma),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -319,7 +466,7 @@ mod tests {
             cfg.hops,
             &mut rng,
         );
-        let report = train(model.as_mut(), &container, &cfg, None, &mut rng);
+        let report = train(model.as_mut(), &container, &cfg, None, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 60);
         assert!(report.sigma.is_none());
         assert!(
@@ -361,7 +508,7 @@ mod tests {
             cfg.freq_threshold,
             NoiseKind::Gaussian,
         );
-        let report = train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng);
+        let report = train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng).unwrap();
         assert_eq!(report.losses.len(), cfg.iterations);
         assert_eq!(report.sigma, Some(setup.sigma));
         assert_eq!(report.clip_fractions.len(), cfg.iterations);
@@ -396,7 +543,7 @@ mod tests {
             11,
             NoiseKind::SymmetricLaplace,
         );
-        let report = train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng);
+        let report = train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng).unwrap();
         assert_eq!(report.losses.len(), cfg.iterations);
         for p in model.params().iter() {
             assert!(p.value.is_finite());
@@ -428,11 +575,57 @@ mod tests {
                 cfg.hops,
                 &mut rng,
             );
-            let r = train(model.as_mut(), &container, &cfg, None, &mut rng);
+            let r = train(model.as_mut(), &container, &cfg, None, &mut rng).unwrap();
             r.losses
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn poisoned_learning_rate_aborts_instead_of_emitting_garbage() {
+        // An absurd learning rate overflows the weights within a step or
+        // two; the guard must skip the non-finite steps (drawing no
+        // noise) and abort after `max_bad_steps` consecutive ones.
+        let (_, container, mut cfg) = setup(13);
+        cfg.learning_rate = 1e300;
+        cfg.iterations = 30;
+        cfg.max_bad_steps = 3;
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut model = build_model(
+            ModelKind::Gcn,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
+        let setup = PrivacySetup::calibrate(
+            3.0,
+            1e-4,
+            &cfg,
+            container.len(),
+            cfg.freq_threshold,
+            NoiseKind::Gaussian,
+        );
+        match train(model.as_mut(), &container, &cfg, Some(&setup), &mut rng) {
+            Err(TrainError::NonFiniteDivergence { consecutive, .. }) => {
+                assert_eq!(consecutive, cfg.max_bad_steps);
+            }
+            other => panic!("expected divergence abort, got {other:?}"),
+        }
+        // The non-private path hits the same guard.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut model = build_model(
+            ModelKind::Gcn,
+            cfg.feature_dim,
+            cfg.hidden,
+            cfg.hops,
+            &mut rng,
+        );
+        assert!(matches!(
+            train(model.as_mut(), &container, &cfg, None, &mut rng),
+            Err(TrainError::NonFiniteDivergence { .. })
+        ));
     }
 
     #[test]
@@ -448,6 +641,6 @@ mod tests {
             cfg.hops,
             &mut rng,
         );
-        train(model.as_mut(), &container, &cfg, None, &mut rng);
+        let _ = train(model.as_mut(), &container, &cfg, None, &mut rng);
     }
 }

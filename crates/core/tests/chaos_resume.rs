@@ -1,0 +1,235 @@
+//! Chaos test for crash-safe resumable training.
+//!
+//! For each of several seeds, a baseline run trains uninterrupted while a
+//! chaos run is repeatedly killed at fault sites chosen pseudo-randomly
+//! (mid-step, mid-checkpoint-write, post-rename) and resumed from its
+//! last durable generation after every kill. The two runs must agree
+//! bit-for-bit: identical final weights, identical loss history, and an
+//! identical cumulative ε down to the last mantissa bit — crashes may
+//! cost wall-clock time but never privacy budget or reproducibility.
+//!
+//! Fault plans and observability sinks are process-global, so every test
+//! here serializes on one mutex.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use privim_core::checkpoint::CheckpointStore;
+use privim_core::config::PrivImConfig;
+use privim_core::resume::{train_resumable, ResumableOutcome, ResumeError, ResumeOptions};
+use privim_core::sampling::extract_dual_stage;
+use privim_core::train::{NoiseKind, PrivacySetup};
+use privim_core::SubgraphContainer;
+use privim_datasets::generators::holme_kim;
+use privim_graph::NodeId;
+use privim_nn::models::{GnnModel, ModelKind};
+use privim_obs::fault::{clear_fault_plan, flip_byte, set_fault_plan, splitmix64, FaultPlan};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Sites a simulated SIGKILL can land on: inside a training step, inside
+/// a checkpoint write (torn temp file), and after the rename but before
+/// pruning (new generation durable, old ones still present).
+const KILL_SITES: &[&str] = &[
+    "train.post_backward",
+    "checkpoint.write.mid",
+    "checkpoint.write.post_rename",
+];
+
+fn fixture(seed: u64) -> (SubgraphContainer, PrivImConfig, PrivacySetup) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = holme_kim(200, 4, 0.4, 1.0, &mut rng);
+    let cfg = PrivImConfig {
+        subgraph_size: 10,
+        walk_length: 120,
+        hops: 2,
+        sampling_rate: Some(0.6),
+        freq_threshold: 4,
+        feature_dim: 4,
+        hidden: 8,
+        batch_size: 6,
+        iterations: 6,
+        ..PrivImConfig::default()
+    };
+    let candidates: Vec<NodeId> = g.nodes().collect();
+    let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+    let setup = PrivacySetup::calibrate(
+        3.0,
+        1e-4,
+        &cfg,
+        out.container.len(),
+        cfg.freq_threshold,
+        NoiseKind::Gaussian,
+    );
+    (out.container, cfg, setup)
+}
+
+fn fresh_store(name: &str, seed: u64) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!("privim-chaos-{name}-{seed}"));
+    std::fs::remove_dir_all(&dir).ok();
+    CheckpointStore::open(&dir, 3).unwrap()
+}
+
+fn weights(model: &dyn GnnModel) -> Vec<u64> {
+    model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn run_once(
+    container: &SubgraphContainer,
+    cfg: &PrivImConfig,
+    setup: &PrivacySetup,
+    master_seed: u64,
+    store: &CheckpointStore,
+) -> Result<ResumableOutcome, ResumeError> {
+    train_resumable(
+        ModelKind::Gcn,
+        container,
+        cfg,
+        Some(setup),
+        master_seed,
+        store,
+        ResumeOptions::default(),
+    )
+}
+
+/// Runs to completion under repeated injected kills, resuming after each
+/// one. Returns the final outcome and the number of kills that fired.
+fn run_with_chaos(
+    container: &SubgraphContainer,
+    cfg: &PrivImConfig,
+    setup: &PrivacySetup,
+    master_seed: u64,
+    store: &CheckpointStore,
+    chaos_seed: u64,
+) -> (ResumableOutcome, usize) {
+    let mut kills = 0usize;
+    for attempt in 0u64..16 {
+        // Arm one pseudo-random kill for the first few attempts, then run
+        // clean so the loop always terminates.
+        if attempt < 4 {
+            set_fault_plan(FaultPlan::from_seed(
+                splitmix64(chaos_seed).wrapping_add(attempt),
+                KILL_SITES,
+                cfg.iterations as u64,
+            ));
+        } else {
+            clear_fault_plan();
+        }
+        let result = run_once(container, cfg, setup, master_seed, store);
+        clear_fault_plan();
+        match result {
+            Ok(out) => return (out, kills),
+            Err(ResumeError::Killed { site }) => {
+                assert!(
+                    KILL_SITES.contains(&site.as_str()),
+                    "unexpected kill site {site}"
+                );
+                kills += 1;
+            }
+            Err(other) => panic!("chaos run failed with a non-kill error: {other}"),
+        }
+    }
+    panic!("chaos run did not complete within 16 attempts");
+}
+
+#[test]
+fn killed_and_resumed_runs_match_uninterrupted_runs_bit_for_bit() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_fault_plan();
+    for seed in [101u64, 202, 303] {
+        let (container, cfg, setup) = fixture(seed);
+        let master_seed = splitmix64(seed ^ 0xDEAD_BEEF);
+
+        let baseline_store = fresh_store("baseline", seed);
+        let baseline = run_once(&container, &cfg, &setup, master_seed, &baseline_store)
+            .expect("uninterrupted run");
+        assert!(baseline.resumed_from.is_none());
+        assert_eq!(baseline.report.losses.len(), cfg.iterations);
+        let base_eps = baseline.final_epsilon.expect("private run spends ε");
+
+        let chaos_store = fresh_store("chaos", seed);
+        let (chaos, kills) = run_with_chaos(
+            &container,
+            &cfg,
+            &setup,
+            master_seed,
+            &chaos_store,
+            seed.wrapping_mul(7),
+        );
+        assert!(
+            kills > 0,
+            "seed {seed}: no kill ever fired — chaos run was vacuous"
+        );
+
+        // The whole guarantee: a run killed at arbitrary points and
+        // resumed is indistinguishable from one that never died.
+        assert_eq!(
+            weights(baseline.model.as_ref()),
+            weights(chaos.model.as_ref()),
+            "seed {seed}: final weights diverged after {kills} kills"
+        );
+        assert_eq!(
+            baseline.report.losses, chaos.report.losses,
+            "seed {seed}: loss history diverged"
+        );
+        let chaos_eps = chaos.final_epsilon.expect("private run spends ε");
+        assert_eq!(
+            base_eps.to_bits(),
+            chaos_eps.to_bits(),
+            "seed {seed}: ε diverged — baseline {base_eps}, chaos {chaos_eps}"
+        );
+
+        std::fs::remove_dir_all(baseline_store.dir()).ok();
+        std::fs::remove_dir_all(chaos_store.dir()).ok();
+    }
+}
+
+#[test]
+fn corrupted_latest_generation_degrades_to_previous_and_still_matches() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_fault_plan();
+    let seed = 404u64;
+    let (container, cfg, setup) = fixture(seed);
+    let master_seed = splitmix64(seed);
+
+    let store = fresh_store("corrupt", seed);
+    let done = run_once(&container, &cfg, &setup, master_seed, &store).unwrap();
+    let reference = weights(done.model.as_ref());
+    let reference_eps = done.final_epsilon.unwrap();
+
+    // Rot a byte in the newest generation's payload. The CRC check must
+    // reject it, fall back to the previous generation, and replay the
+    // final epoch to the same weights and the same exact ε.
+    let gens = store.generations().unwrap();
+    assert_eq!(gens.len(), 3, "keep=3 after a full run");
+    let (latest_epoch, latest_path) = gens.last().unwrap().clone();
+    assert_eq!(latest_epoch, cfg.iterations as u64);
+    flip_byte(&latest_path, 40).unwrap();
+
+    let recovered = run_once(&container, &cfg, &setup, master_seed, &store).unwrap();
+    let resumed_from = recovered
+        .resumed_from
+        .expect("must resume from a checkpoint");
+    assert!(
+        resumed_from < cfg.iterations as u64,
+        "resumed from {resumed_from}: corrupt latest generation was not skipped"
+    );
+    assert_eq!(
+        reference,
+        weights(recovered.model.as_ref()),
+        "recovery from the previous generation diverged"
+    );
+    assert_eq!(
+        reference_eps.to_bits(),
+        recovered.final_epsilon.unwrap().to_bits(),
+        "ε after fallback recovery diverged"
+    );
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}

@@ -21,7 +21,13 @@ use serde::{Deserialize, Serialize};
 
 use privim_obs::LedgerRecord;
 
-use crate::rdp::{rdp_to_epsilon, subsampled_gaussian_rdp, SubsampledConfig, DEFAULT_ORDERS};
+use crate::rdp::{
+    rdp_to_epsilon, subsampled_gaussian_rdp, RdpAccountant, SubsampledConfig, DEFAULT_ORDERS,
+};
+
+/// Magic + version prefix of the binary ledger format.
+const LEDGER_MAGIC: &[u8; 4] = b"PVLG";
+const LEDGER_VERSION: u32 = 1;
 
 /// The noise mechanism an entry accounts for. Both kinds are calibrated
 /// through the same subsampled-Gaussian RDP bound (Theorem 3); the kind
@@ -41,6 +47,23 @@ impl MechanismKind {
         match self {
             MechanismKind::SubsampledGaussian => "subsampled_gaussian",
             MechanismKind::SubsampledSml => "subsampled_sml",
+        }
+    }
+
+    /// Stable wire code used by the binary ledger format.
+    pub fn code(self) -> u8 {
+        match self {
+            MechanismKind::SubsampledGaussian => 0,
+            MechanismKind::SubsampledSml => 1,
+        }
+    }
+
+    /// Inverse of [`MechanismKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(MechanismKind::SubsampledGaussian),
+            1 => Some(MechanismKind::SubsampledSml),
+            _ => None,
         }
     }
 }
@@ -177,6 +200,24 @@ impl PrivacyLedger {
         &self.orders
     }
 
+    /// The accumulated γ(α) values, parallel to [`PrivacyLedger::orders`]
+    /// — the ledger's internal RDP state.
+    pub fn gammas(&self) -> &[f64] {
+        &self.gammas
+    }
+
+    /// The δ this ledger converts at.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// An [`RdpAccountant`] seeded with this ledger's exact RDP state:
+    /// composing further steps on it continues the run's accounting
+    /// bit-for-bit.
+    pub fn accountant(&self) -> RdpAccountant {
+        RdpAccountant::with_state(self.orders.clone(), self.gammas.clone())
+    }
+
     /// Cumulative ε after the last recorded step, if any.
     pub fn cumulative_epsilon(&self) -> Option<f64> {
         self.entries.last().map(|e| e.epsilon_after)
@@ -205,6 +246,166 @@ impl PrivacyLedger {
             }
         }
         Ok(())
+    }
+
+    /// Encodes the full ledger — α grid, accumulated γ state, δ, and
+    /// every entry — in a versioned little-endian binary format. The
+    /// encoding is lossless (`f64::to_bits`), so a decoded ledger
+    /// continues accounting bit-for-bit and [`PrivacyLedger::verify_replay`]
+    /// holds on it exactly as on the original. No serde involved: the
+    /// format is consumed by the crash-safe checkpoint store, which
+    /// checksums it as part of the checkpoint payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.orders.len() * 16 + self.entries.len() * 96);
+        out.extend_from_slice(LEDGER_MAGIC);
+        out.extend_from_slice(&LEDGER_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.orders.len() as u64).to_le_bytes());
+        for &alpha in &self.orders {
+            out.extend_from_slice(&alpha.to_bits().to_le_bytes());
+        }
+        for &gamma in &self.gammas {
+            out.extend_from_slice(&gamma.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.delta.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.step.to_le_bytes());
+            out.push(e.mechanism.code());
+            for v in [
+                e.sigma,
+                e.sensitivity,
+                e.sampling_rate,
+                e.delta,
+                e.gamma_step,
+                e.epsilon_after,
+                e.alpha,
+            ] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            for v in [
+                e.config.max_occurrences as u64,
+                e.config.batch_size as u64,
+                e.config.container_size as u64,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a ledger encoded by [`PrivacyLedger::to_bytes`],
+    /// validating structure (magic, version, lengths, mechanism codes)
+    /// and invariants (α > 1, finite non-negative γ, δ ∈ (0, 1)). This
+    /// checks *shape*; budget exactness is the caller's job via
+    /// [`PrivacyLedger::verify_replay`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != LEDGER_MAGIC {
+            return Err("bad ledger magic".into());
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != LEDGER_VERSION {
+            return Err(format!(
+                "unsupported ledger version {version} (expected {LEDGER_VERSION})"
+            ));
+        }
+        let n_orders = r.u64()? as usize;
+        if n_orders == 0 || n_orders > 1 << 16 {
+            return Err(format!("implausible order count {n_orders}"));
+        }
+        let orders: Vec<f64> = (0..n_orders).map(|_| r.f64()).collect::<Result<_, _>>()?;
+        let gammas: Vec<f64> = (0..n_orders).map(|_| r.f64()).collect::<Result<_, _>>()?;
+        if orders.iter().any(|&a| !(a > 1.0)) {
+            return Err("ledger orders must be > 1".into());
+        }
+        if gammas.iter().any(|&g| !(g.is_finite() && g >= 0.0)) {
+            return Err("ledger gammas must be finite and non-negative".into());
+        }
+        let delta = r.f64()?;
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(format!("ledger delta {delta} outside (0, 1)"));
+        }
+        let n_entries = r.u64()? as usize;
+        if n_entries > 1 << 32 {
+            return Err(format!("implausible entry count {n_entries}"));
+        }
+        let mut entries = Vec::with_capacity(n_entries.min(1 << 20));
+        for i in 0..n_entries {
+            let step = r.u64()?;
+            let code = r.take(1)?[0];
+            let mechanism = MechanismKind::from_code(code)
+                .ok_or_else(|| format!("entry {i}: unknown mechanism code {code}"))?;
+            let sigma = r.f64()?;
+            let sensitivity = r.f64()?;
+            let sampling_rate = r.f64()?;
+            let entry_delta = r.f64()?;
+            let gamma_step = r.f64()?;
+            let epsilon_after = r.f64()?;
+            let alpha = r.f64()?;
+            let max_occurrences = r.u64()? as usize;
+            let batch_size = r.u64()? as usize;
+            let container_size = r.u64()? as usize;
+            if step != i as u64 + 1 {
+                return Err(format!("entry {i}: step {step} out of sequence"));
+            }
+            entries.push(LedgerEntry {
+                step,
+                mechanism,
+                sigma,
+                sensitivity,
+                sampling_rate,
+                config: SubsampledConfig {
+                    max_occurrences,
+                    batch_size,
+                    container_size,
+                },
+                delta: entry_delta,
+                gamma_step,
+                epsilon_after,
+                alpha,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "trailing garbage: {} bytes after the last entry",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(PrivacyLedger {
+            orders,
+            gammas,
+            delta,
+            entries,
+        })
+    }
+}
+
+/// Bounds-checked little-endian cursor for [`PrivacyLedger::from_bytes`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!(
+                "truncated ledger: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
     }
 }
 
@@ -366,6 +567,94 @@ mod tests {
         ledger.entries[1].epsilon_after += 1e-6;
         let err = ledger.verify_replay(1e-9).unwrap_err();
         assert!(err.contains("step 2"), "{err}");
+    }
+
+    #[test]
+    fn binary_round_trip_is_lossless() {
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        fill(&mut ledger, 1.2, &config, 7);
+        ledger.record_step(MechanismKind::SubsampledSml, 2.5, 3.0, &config);
+        let bytes = ledger.to_bytes();
+        let back = PrivacyLedger::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.entries(), ledger.entries());
+        assert_eq!(back.orders(), ledger.orders());
+        assert_eq!(back.delta(), ledger.delta());
+        // γ state restores bit-for-bit …
+        for (a, b) in ledger.gammas().iter().zip(back.gammas()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        back.verify_replay(1e-9).expect("decoded ledger replays");
+        // … so continuing the run on the decoded ledger matches exactly.
+        let mut cont_orig = ledger.clone();
+        let mut cont_back = back;
+        let a = cont_orig.record_step(MechanismKind::SubsampledGaussian, 1.2, 2.0, &config);
+        let b = cont_back.record_step(MechanismKind::SubsampledGaussian, 1.2, 2.0, &config);
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_corruption_never_panics() {
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        fill(&mut ledger, 1.2, &config, 3);
+        let bytes = ledger.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(PrivacyLedger::from_bytes(&bad).is_err());
+        // Every truncation point decodes to a clean error.
+        for cut in 0..bytes.len() {
+            assert!(
+                PrivacyLedger::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Trailing garbage is detected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(PrivacyLedger::from_bytes(&padded)
+            .unwrap_err()
+            .contains("trailing"));
+        // An unknown mechanism code is typed, not a panic.
+        let mut wrong = bytes;
+        // First entry's mechanism byte sits after magic+version+counts+grids.
+        let mech_offset = 4 + 4 + 8 + 20 * 8 * 2 + 8 + 8 + 8;
+        wrong[mech_offset] = 9;
+        assert!(PrivacyLedger::from_bytes(&wrong)
+            .unwrap_err()
+            .contains("mechanism code"));
+    }
+
+    #[test]
+    fn accountant_resumes_from_ledger_state() {
+        let config = SubsampledConfig {
+            max_occurrences: 4,
+            batch_size: 16,
+            container_size: 256,
+        };
+        let mut ledger = PrivacyLedger::new(1e-5);
+        fill(&mut ledger, 1.2, &config, 10);
+        // Accountant seeded from ledger state + 10 more steps must equal
+        // a fresh accountant doing all 20.
+        let mut resumed = ledger.accountant();
+        resumed.compose_subsampled_gaussian(1.2, &config, 10);
+        let mut full = RdpAccountant::default();
+        full.compose_subsampled_gaussian(1.2, &config, 20);
+        let (eps_resumed, _) = resumed.epsilon(1e-5);
+        let (eps_full, _) = full.epsilon(1e-5);
+        assert!(
+            (eps_resumed - eps_full).abs() < 1e-12,
+            "resumed {eps_resumed} vs full {eps_full}"
+        );
     }
 
     #[test]

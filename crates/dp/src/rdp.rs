@@ -174,9 +174,35 @@ impl RdpAccountant {
         }
     }
 
+    /// Rebuilds an accountant from persisted state (the exact `(α, γ)`
+    /// pairs a checkpoint captured). Crash-safe resume depends on this
+    /// being lossless: the γ values are restored bit-for-bit, so the
+    /// resumed accountant reports the same ε the original would have.
+    pub fn with_state(orders: Vec<f64>, gammas: Vec<f64>) -> Self {
+        assert!(
+            !orders.is_empty() && orders.iter().all(|&a| a > 1.0),
+            "orders must be > 1"
+        );
+        assert_eq!(
+            orders.len(),
+            gammas.len(),
+            "orders and gammas must be parallel"
+        );
+        assert!(
+            gammas.iter().all(|&g| g >= 0.0 && g.is_finite()),
+            "gammas must be finite and non-negative"
+        );
+        RdpAccountant { orders, gammas }
+    }
+
     /// The α grid.
     pub fn orders(&self) -> &[f64] {
         &self.orders
+    }
+
+    /// The accumulated γ(α) values, parallel to [`RdpAccountant::orders`].
+    pub fn gammas(&self) -> &[f64] {
+        &self.gammas
     }
 
     /// Sequential composition (Definition 5): adds `steps` iterations of

@@ -24,6 +24,32 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// An edge list contained a self-loop (`src == dst`), which the
+    /// influence-propagation model does not admit.
+    SelfLoop {
+        /// The node with the self-edge.
+        node: u64,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An edge list repeated a directed edge; duplicates silently skew
+    /// propagation probabilities, so ingestion rejects them.
+    DuplicateEdge {
+        /// Source endpoint.
+        src: u64,
+        /// Destination endpoint.
+        dst: u64,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A structural error (out-of-range id, invalid weight) annotated with
+    /// the edge-list line that triggered it.
+    AtLine {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying error.
+        source: Box<GraphError>,
+    },
     /// Binary deserialization found a corrupt or truncated buffer.
     Corrupt(&'static str),
     /// An underlying I/O error.
@@ -48,6 +74,15 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::SelfLoop { node, line } => {
+                write!(f, "self-loop on node {node} at line {line}")
+            }
+            GraphError::DuplicateEdge { src, dst, line } => {
+                write!(f, "duplicate edge {src} -> {dst} at line {line}")
+            }
+            GraphError::AtLine { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
             GraphError::Corrupt(what) => write!(f, "corrupt graph buffer: {what}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -58,6 +93,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::AtLine { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -88,6 +124,27 @@ mod tests {
             message: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn ingestion_variants_carry_line_numbers() {
+        use std::error::Error;
+        let e = GraphError::SelfLoop { node: 2, line: 7 };
+        assert!(e.to_string().contains("node 2"));
+        assert!(e.to_string().contains("line 7"));
+        let e = GraphError::DuplicateEdge {
+            src: 1,
+            dst: 3,
+            line: 9,
+        };
+        assert!(e.to_string().contains("1 -> 3"));
+        assert!(e.to_string().contains("line 9"));
+        let e = GraphError::AtLine {
+            line: 4,
+            source: Box::new(GraphError::InvalidWeight { weight: 2.0 }),
+        };
+        assert!(e.to_string().starts_with("line 4"));
+        assert!(e.source().unwrap().to_string().contains('2'));
     }
 
     #[test]

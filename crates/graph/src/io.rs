@@ -16,12 +16,19 @@ const MAGIC: &[u8; 5] = b"PVIM1";
 /// `src dst [weight]`; missing weights default to `default_weight`.
 ///
 /// `num_nodes` fixes the node-id space; ids must lie in `0..num_nodes`.
+///
+/// Ingestion is strict: self-loops, repeated directed edges, trailing
+/// tokens, out-of-range ids, and non-finite or out-of-`[0, 1]` weights are
+/// all rejected with a typed error carrying the 1-based line number, so a
+/// corrupted dataset fails loudly at load time instead of skewing the
+/// propagation model.
 pub fn read_edge_list<R: Read>(
     reader: R,
     num_nodes: usize,
     default_weight: f64,
 ) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new(num_nodes);
+    let mut seen = std::collections::HashSet::new();
     let mut line = String::new();
     let mut reader = BufReader::new(reader);
     let mut lineno = 0usize;
@@ -52,7 +59,30 @@ pub fn read_edge_list<R: Read>(
                 .map_err(|e| parse_err(lineno, &format!("bad weight: {e}")))?,
             None => default_weight,
         };
-        b.try_add_edge(src, dst, weight)?;
+        if let Some(extra) = it.next() {
+            return Err(parse_err(
+                lineno,
+                &format!("unexpected trailing token {extra:?}"),
+            ));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop {
+                node: src,
+                line: lineno,
+            });
+        }
+        if !seen.insert((src, dst)) {
+            return Err(GraphError::DuplicateEdge {
+                src,
+                dst,
+                line: lineno,
+            });
+        }
+        b.try_add_edge(src, dst, weight)
+            .map_err(|e| GraphError::AtLine {
+                line: lineno,
+                source: Box::new(e),
+            })?;
     }
     Ok(b.build())
 }
@@ -204,11 +234,144 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_out_of_range_nodes() {
-        let text = "0 7\n";
+        let text = "0 1\n0 7\n";
+        match read_edge_list(text.as_bytes(), 2, 1.0) {
+            Err(GraphError::AtLine { line, source }) => {
+                assert_eq!(line, 2);
+                assert!(matches!(
+                    *source,
+                    GraphError::NodeOutOfRange { node: 7, .. }
+                ));
+            }
+            other => panic!("expected line-annotated range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_self_loops_and_duplicates() {
         assert!(matches!(
-            read_edge_list(text.as_bytes(), 2, 1.0),
-            Err(GraphError::NodeOutOfRange { node: 7, .. })
+            read_edge_list("0 1\n1 1\n".as_bytes(), 3, 1.0),
+            Err(GraphError::SelfLoop { node: 1, line: 2 })
         ));
+        assert!(matches!(
+            read_edge_list("0 1 0.5\n1 2\n0 1 0.7\n".as_bytes(), 3, 1.0),
+            Err(GraphError::DuplicateEdge {
+                src: 0,
+                dst: 1,
+                line: 3
+            })
+        ));
+        // Reverse direction is a distinct directed edge, not a duplicate.
+        assert!(read_edge_list("0 1\n1 0\n".as_bytes(), 2, 1.0).is_ok());
+    }
+
+    #[test]
+    fn edge_list_rejects_bad_weights_with_line_numbers() {
+        for (text, line) in [
+            ("0 1 NaN\n", 1),
+            ("0 1 0.5\n1 2 -0.25\n", 2),
+            ("0 1 0.5\n1 2 0.5\n2 0 1.5\n", 3),
+            ("0 1 inf\n", 1),
+        ] {
+            match read_edge_list(text.as_bytes(), 3, 1.0) {
+                Err(GraphError::AtLine { line: l, source }) => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(
+                        matches!(*source, GraphError::InvalidWeight { .. }),
+                        "{text:?}"
+                    );
+                }
+                other => panic!("{text:?}: expected invalid-weight at line {line}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_trailing_tokens() {
+        assert!(matches!(
+            read_edge_list("0 1 0.5 extra\n".as_bytes(), 2, 1.0),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn fuzzed_edge_lists_never_panic() {
+        // Fuzz-style sweep: mutate a valid fixture with deterministic
+        // byte-level and line-level corruptions; every outcome must be a
+        // clean parse or a typed `GraphError` — never a panic — and line
+        // numbers in errors must stay within the mutated document.
+        let fixture = "# nodes 6 edges 5\n0 1 0.25\n1 2 0.5\n2 3\n3 4 0.75\n4 5 1.0\n";
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // splitmix64 step: deterministic, dependency-free.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut attempts = 0usize;
+        for _ in 0..400 {
+            let mut text = fixture.as_bytes().to_vec();
+            match next() % 5 {
+                0 => {
+                    // Flip a byte.
+                    let pos = (next() as usize) % text.len();
+                    text[pos] ^= (next() as u8) | 1;
+                }
+                1 => {
+                    // Truncate.
+                    text.truncate((next() as usize) % text.len());
+                }
+                2 => {
+                    // Duplicate a line.
+                    let lines: Vec<&str> = fixture.lines().collect();
+                    let dup = lines[(next() as usize) % lines.len()];
+                    text.extend_from_slice(dup.as_bytes());
+                    text.push(b'\n');
+                }
+                3 => {
+                    // Splice hostile tokens onto a fresh line.
+                    let hostile = [
+                        "NaN NaN NaN",
+                        "1 1",
+                        "-1 2",
+                        "0 1 1e308",
+                        "0 1 -0.0",
+                        "\u{7f}",
+                    ];
+                    text.extend_from_slice(hostile[(next() as usize) % hostile.len()].as_bytes());
+                    text.push(b'\n');
+                }
+                _ => {
+                    // Insert bytes mid-stream.
+                    let pos = (next() as usize) % text.len();
+                    let junk = [b' ', b'\n', b'#', b'.', b'9', 0xff];
+                    text.insert(pos, junk[(next() as usize) % junk.len()]);
+                }
+            }
+            attempts += 1;
+            let total_lines = text.split(|&b| b == b'\n').count();
+            let line_of = |e: &GraphError| match e {
+                GraphError::Parse { line, .. }
+                | GraphError::SelfLoop { line, .. }
+                | GraphError::DuplicateEdge { line, .. }
+                | GraphError::AtLine { line, .. } => Some(*line),
+                _ => None,
+            };
+            if let Err(e) = read_edge_list(&text[..], 6, 1.0) {
+                if let Some(line) = line_of(&e) {
+                    assert!(
+                        line >= 1 && line <= total_lines,
+                        "{e} vs {total_lines} lines"
+                    );
+                }
+            }
+            if let Ok(s) = std::str::from_utf8(&text) {
+                let _ = read_edge_list_auto(s, 1.0);
+            }
+        }
+        assert_eq!(attempts, 400);
     }
 
     #[test]

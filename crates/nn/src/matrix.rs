@@ -79,6 +79,16 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
+    /// Whether the payload length matches the declared shape. Matrices
+    /// built through the constructors always are; deserialized ones may
+    /// not be (a truncated or tampered file can declare `rows × cols`
+    /// while carrying fewer values), so loaders must check before any
+    /// indexing arithmetic trusts the shape.
+    #[inline]
+    pub fn is_consistent(&self) -> bool {
+        self.data.len() == self.rows * self.cols
+    }
+
     /// Flat row-major data slice.
     #[inline]
     pub fn data(&self) -> &[f64] {

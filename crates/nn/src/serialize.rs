@@ -68,6 +68,7 @@ impl Checkpoint {
 
     /// Rebuilds the model and restores the captured parameters.
     pub fn restore(&self) -> Result<Box<dyn GnnModel>, CheckpointError> {
+        self.validate()?;
         // Architecture construction needs an RNG for the initial weights we
         // are about to overwrite; any fixed seed works.
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
@@ -76,16 +77,49 @@ impl Checkpoint {
         Ok(model)
     }
 
+    /// Structural validation of untrusted checkpoint contents: the
+    /// declared architecture must be buildable (`layers ≥ 1`, nonzero
+    /// dims) and every stored matrix's payload length must agree with
+    /// its declared shape. A JSON document can declare `rows × cols`
+    /// while carrying a different number of values — per-matrix *shape*
+    /// comparison alone would accept it and later indexing would panic.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        if self.layers == 0 || self.in_dim == 0 || self.hidden == 0 {
+            return Err(CheckpointError::Shape(format!(
+                "unbuildable architecture: in_dim {}, hidden {}, layers {}",
+                self.in_dim, self.hidden, self.layers
+            )));
+        }
+        for (name, value) in &self.params {
+            if !value.is_consistent() {
+                let (r, c) = value.shape();
+                return Err(CheckpointError::Shape(format!(
+                    "{name}: declared {r}x{c} but payload holds {} values",
+                    value.data().len()
+                )));
+            }
+            if !value.data().iter().all(|v| v.is_finite()) {
+                return Err(CheckpointError::Shape(format!(
+                    "{name}: payload contains non-finite values"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the checkpoint as JSON.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
         let json = serde_json::to_string(self).map_err(CheckpointError::Parse)?;
         std::fs::write(path, json).map_err(CheckpointError::Io)
     }
 
-    /// Reads a checkpoint from JSON.
+    /// Reads a checkpoint from JSON, validating the payload against the
+    /// declared shapes before handing it out.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CheckpointError> {
         let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
-        serde_json::from_str(&text).map_err(CheckpointError::Parse)
+        let checkpoint: Checkpoint = serde_json::from_str(&text).map_err(CheckpointError::Parse)?;
+        checkpoint.validate()?;
+        Ok(checkpoint)
     }
 }
 
@@ -178,6 +212,75 @@ mod tests {
         let mut snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
         snapshot.params.pop();
         assert!(matches!(snapshot.restore(), Err(CheckpointError::Shape(_))));
+    }
+
+    #[test]
+    fn load_never_panics_on_truncated_or_bit_flipped_files() {
+        // Serialize a real checkpoint, then attack the byte stream:
+        // every truncation prefix and a byte-flip sweep must surface as a
+        // `CheckpointError`, never a panic or a silently-accepted model.
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = build_model(ModelKind::Gcn, 4, 8, 2, &mut rng);
+        let snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        let path = std::env::temp_dir().join("privim-checkpoint-mutate.json");
+        snapshot.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let baseline = snapshot
+            .restore()
+            .unwrap()
+            .seed_probabilities(&graph_tensors());
+
+        // Truncations: step through prefixes (full sweep is O(n^2) parse
+        // work; a stride keeps the test fast while covering every region).
+        for cut in (0..bytes.len()).step_by(7) {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match Checkpoint::load(&path) {
+                Err(_) => {}
+                Ok(loaded) => {
+                    // A truncation that still parses must still restore
+                    // cleanly or fail with a typed error — no panics.
+                    if let Ok(m) = loaded.restore() {
+                        let _ = m.seed_probabilities(&graph_tensors());
+                    }
+                }
+            }
+        }
+
+        // Bit flips: corrupt one byte at a stride across the file.
+        for pos in (0..bytes.len()).step_by(11) {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x10;
+            std::fs::write(&path, &mutated).unwrap();
+            if let Ok(loaded) = Checkpoint::load(&path) {
+                if let Ok(m) = loaded.restore() {
+                    let _ = m.seed_probabilities(&graph_tensors());
+                }
+            }
+        }
+
+        // The pristine bytes still work after the abuse.
+        std::fs::write(&path, &bytes).unwrap();
+        let reloaded = Checkpoint::load(&path).unwrap().restore().unwrap();
+        assert_eq!(baseline, reloaded.seed_probabilities(&graph_tensors()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_payload() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = build_model(ModelKind::Gcn, 4, 8, 2, &mut rng);
+        let mut snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        snapshot.layers = 0;
+        assert!(matches!(
+            snapshot.validate(),
+            Err(CheckpointError::Shape(_))
+        ));
+        let mut snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        snapshot.params[0].1.data_mut()[0] = f64::NAN;
+        assert!(matches!(
+            snapshot.validate(),
+            Err(CheckpointError::Shape(_))
+        ));
     }
 
     #[test]

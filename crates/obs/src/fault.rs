@@ -1,0 +1,374 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] arms *sites* — named points that durable-state code
+//! threads through [`fault_point`] (control-flow faults) or
+//! [`fault_point_file`] (on-disk corruption faults). Each arm names a
+//! site, the 1-based visit on which it fires, and a [`FaultAction`]:
+//!
+//! * `Kill` — the caller must abort immediately, leaving every file
+//!   exactly as a `SIGKILL` at that instruction would. Surfaced as a
+//!   [`FaultSignal::Kill`]; the training/checkpoint code propagates it
+//!   as an error without running any cleanup.
+//! * `IoError` — surfaced as an injected [`std::io::Error`], exercising
+//!   the caller's error path (full disk, yanked volume).
+//! * `TruncateTail(n)` / `FlipByte(offset)` — applied silently to the
+//!   file a [`fault_point_file`] site passes in, simulating torn writes
+//!   and bit rot that only a checksum can catch.
+//!
+//! Like the profiler, the whole layer is zero-cost when disarmed: every
+//! site is a single relaxed atomic load until [`set_fault_plan`] arms
+//! one. Plans are deterministic — [`FaultPlan::kill_after`] and
+//! [`FaultPlan::from_seed`] derive fire points with splitmix64, so a
+//! chaos run is reproducible from its seed alone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort the caller as if the process died at this instruction.
+    Kill,
+    /// Surface an injected `std::io::Error` (kind `Other`).
+    IoError,
+    /// Silently truncate the site's file by `n` trailing bytes.
+    TruncateTail(u64),
+    /// Silently XOR the byte at `offset` with `0xFF` in the site's file.
+    FlipByte(u64),
+}
+
+/// One armed site: fires `action` on the `fire_on_hit`-th visit
+/// (1-based) of the site named `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultArm {
+    /// Site name, e.g. `"train.post_backward"`.
+    pub site: String,
+    /// 1-based visit count on which the arm fires.
+    pub fire_on_hit: u64,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+/// A set of armed sites. Install with [`set_fault_plan`]; every arm
+/// fires at most once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The armed sites.
+    pub arms: Vec<FaultArm>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no sites armed).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one arm.
+    pub fn arm(mut self, site: &str, fire_on_hit: u64, action: FaultAction) -> Self {
+        self.arms.push(FaultArm {
+            site: site.to_string(),
+            fire_on_hit: fire_on_hit.max(1),
+            action,
+        });
+        self
+    }
+
+    /// A single-kill plan: `site` fires `Kill` on its `hit`-th visit.
+    pub fn kill_after(site: &str, hit: u64) -> Self {
+        FaultPlan::new().arm(site, hit, FaultAction::Kill)
+    }
+
+    /// Derives a deterministic one-kill plan from `seed`: picks one of
+    /// `sites` and a visit count in `1..=max_hits` via splitmix64.
+    pub fn from_seed(seed: u64, sites: &[&str], max_hits: u64) -> Self {
+        assert!(!sites.is_empty(), "from_seed needs at least one site");
+        let site = sites[(splitmix64(seed) % sites.len() as u64) as usize];
+        let hit = 1 + splitmix64(seed.wrapping_add(0x9E37_79B9)) % max_hits.max(1);
+        FaultPlan::kill_after(site, hit)
+    }
+}
+
+/// Splitmix64 — the same mixing function the benches use for seed
+/// derivation; public so chaos tests can derive per-seed kill points.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// How a fired control-flow fault surfaces to the caller.
+#[derive(Debug)]
+pub enum FaultSignal {
+    /// Abort now; leave all on-disk state untouched (simulated SIGKILL).
+    Kill {
+        /// The site that fired.
+        site: String,
+    },
+    /// An injected I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FaultSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSignal::Kill { site } => write!(f, "injected kill at fault site {site}"),
+            FaultSignal::Io(e) => write!(f, "injected i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultSignal {}
+
+impl From<FaultSignal> for std::io::Error {
+    fn from(signal: FaultSignal) -> Self {
+        match signal {
+            FaultSignal::Io(e) => e,
+            FaultSignal::Kill { site } => std::io::Error::other(format!("killed at {site}")),
+        }
+    }
+}
+
+struct ActivePlan {
+    plan: FaultPlan,
+    hits: HashMap<String, u64>,
+    fired: Vec<bool>,
+}
+
+static FAULTS_ARMED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+/// Installs `plan`, replacing any previous one and resetting all visit
+/// counters. An empty plan disarms (same as [`clear_fault_plan`]).
+pub fn set_fault_plan(plan: FaultPlan) {
+    let mut active = ACTIVE.lock().expect("fault plan poisoned");
+    if plan.arms.is_empty() {
+        *active = None;
+        FAULTS_ARMED.store(false, Ordering::Release);
+    } else {
+        let fired = vec![false; plan.arms.len()];
+        *active = Some(ActivePlan {
+            plan,
+            hits: HashMap::new(),
+            fired,
+        });
+        FAULTS_ARMED.store(true, Ordering::Release);
+    }
+}
+
+/// Disarms fault injection; every site goes back to one atomic load.
+pub fn clear_fault_plan() {
+    set_fault_plan(FaultPlan::new());
+}
+
+/// True while a plan is installed (cheap: one relaxed load).
+pub fn faults_armed() -> bool {
+    FAULTS_ARMED.load(Ordering::Relaxed)
+}
+
+fn fire(site: &str) -> Option<FaultAction> {
+    let mut guard = ACTIVE.lock().expect("fault plan poisoned");
+    let active = guard.as_mut()?;
+    let hits = active.hits.entry(site.to_string()).or_insert(0);
+    *hits += 1;
+    let hit = *hits;
+    for (i, arm) in active.plan.arms.iter().enumerate() {
+        if !active.fired[i] && arm.site == site && arm.fire_on_hit == hit {
+            active.fired[i] = true;
+            return Some(arm.action);
+        }
+    }
+    None
+}
+
+fn emit_fired(site: &str, action: FaultAction) {
+    crate::counter("fault.injected").add(1);
+    // Telemetry-writer sites must not re-enter the sinks they are
+    // injected into; everything else announces itself.
+    if !site.starts_with("telemetry.") {
+        crate::warn!(
+            "fault",
+            "fault_injected",
+            site = site,
+            action = format!("{action:?}"),
+        );
+    }
+}
+
+/// A control-flow fault site. Returns `Ok(())` unless an armed plan
+/// fires here, in which case the caller gets the [`FaultSignal`] to
+/// propagate. File actions armed on a control-flow site degrade to
+/// `IoError`.
+pub fn fault_point(site: &str) -> Result<(), FaultSignal> {
+    if !FAULTS_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match fire(site) {
+        None => Ok(()),
+        Some(action) => {
+            emit_fired(site, action);
+            match action {
+                FaultAction::Kill => Err(FaultSignal::Kill {
+                    site: site.to_string(),
+                }),
+                _ => Err(FaultSignal::Io(std::io::Error::other(format!(
+                    "injected fault at {site}"
+                )))),
+            }
+        }
+    }
+}
+
+/// A fault site with an on-disk artifact: `TruncateTail`/`FlipByte`
+/// arms silently corrupt `path` and return `Ok(())` (the program does
+/// not notice — only a later checksum can); `Kill`/`IoError` behave as
+/// in [`fault_point`].
+pub fn fault_point_file(site: &str, path: &std::path::Path) -> Result<(), FaultSignal> {
+    if !FAULTS_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match fire(site) {
+        None => Ok(()),
+        Some(action) => {
+            emit_fired(site, action);
+            match action {
+                FaultAction::Kill => Err(FaultSignal::Kill {
+                    site: site.to_string(),
+                }),
+                FaultAction::IoError => Err(FaultSignal::Io(std::io::Error::other(format!(
+                    "injected fault at {site}"
+                )))),
+                FaultAction::TruncateTail(n) => {
+                    let _ = truncate_tail(path, n);
+                    Ok(())
+                }
+                FaultAction::FlipByte(offset) => {
+                    let _ = flip_byte(path, offset);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Truncates the last `n` bytes of `path` (to zero length if shorter):
+/// the on-disk shape of a torn write.
+pub fn truncate_tail(path: &std::path::Path, n: u64) -> std::io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len.saturating_sub(n))?;
+    Ok(())
+}
+
+/// XORs the byte at `offset` (clamped into the file) with `0xFF`: one
+/// bit-rotted sector.
+pub fn flip_byte(path: &std::path::Path, offset: u64) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let i = (offset % bytes.len() as u64) as usize;
+    bytes[i] ^= 0xFF;
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fault state is process-global; tests in this module serialize on
+    // one lock so plans never bleed across.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_sites_are_noops() {
+        let _g = locked();
+        clear_fault_plan();
+        assert!(!faults_armed());
+        for _ in 0..100 {
+            fault_point("anything").expect("disarmed site must pass");
+        }
+    }
+
+    #[test]
+    fn kill_fires_on_the_exact_hit_and_only_once() {
+        let _g = locked();
+        set_fault_plan(FaultPlan::kill_after("site.a", 3));
+        assert!(faults_armed());
+        assert!(fault_point("site.a").is_ok());
+        assert!(fault_point("site.b").is_ok(), "other sites unaffected");
+        assert!(fault_point("site.a").is_ok());
+        match fault_point("site.a") {
+            Err(FaultSignal::Kill { site }) => assert_eq!(site, "site.a"),
+            other => panic!("expected kill on third hit, got {other:?}"),
+        }
+        assert!(fault_point("site.a").is_ok(), "arms fire at most once");
+        clear_fault_plan();
+    }
+
+    #[test]
+    fn io_error_action_surfaces_an_io_error() {
+        let _g = locked();
+        set_fault_plan(FaultPlan::new().arm("site.io", 1, FaultAction::IoError));
+        match fault_point("site.io") {
+            Err(FaultSignal::Io(e)) => assert!(e.to_string().contains("site.io")),
+            other => panic!("expected io error, got {other:?}"),
+        }
+        clear_fault_plan();
+    }
+
+    #[test]
+    fn file_actions_corrupt_silently() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join("privim-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        set_fault_plan(
+            FaultPlan::new()
+                .arm("f.trunc", 1, FaultAction::TruncateTail(3))
+                .arm("f.flip", 1, FaultAction::FlipByte(2)),
+        );
+        fault_point_file("f.trunc", &path).expect("silent corruption returns Ok");
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3, 4, 5]);
+        fault_point_file("f.flip", &path).expect("silent corruption returns Ok");
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3 ^ 0xFF, 4, 5]);
+        clear_fault_plan();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let _g = locked();
+        let sites = ["a", "b", "c"];
+        let p1 = FaultPlan::from_seed(42, &sites, 10);
+        let p2 = FaultPlan::from_seed(42, &sites, 10);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.arms.len(), 1);
+        assert!((1..=10).contains(&p1.arms[0].fire_on_hit));
+        // Different seeds cover different fire points eventually.
+        let distinct: std::collections::HashSet<(String, u64)> = (0..64)
+            .map(|s| {
+                let p = FaultPlan::from_seed(s, &sites, 10);
+                (p.arms[0].site.clone(), p.arms[0].fire_on_hit)
+            })
+            .collect();
+        assert!(distinct.len() > 5, "seeded plans should spread out");
+    }
+
+    #[test]
+    fn replacing_the_plan_resets_counters() {
+        let _g = locked();
+        set_fault_plan(FaultPlan::kill_after("site.r", 2));
+        assert!(fault_point("site.r").is_ok());
+        set_fault_plan(FaultPlan::kill_after("site.r", 2));
+        assert!(fault_point("site.r").is_ok(), "counter restarted");
+        assert!(fault_point("site.r").is_err());
+        clear_fault_plan();
+    }
+}

@@ -30,6 +30,7 @@
 
 mod clock;
 mod event;
+pub mod fault;
 pub mod json;
 mod level;
 mod metrics;
@@ -42,6 +43,10 @@ mod telemetry;
 
 pub use clock::{now_micros, Clock, ManualClock, MonotonicClock};
 pub use event::{Event, FieldValue};
+pub use fault::{
+    clear_fault_plan, fault_point, fault_point_file, faults_armed, set_fault_plan, FaultAction,
+    FaultArm, FaultPlan, FaultSignal,
+};
 pub use level::Level;
 pub use metrics::{
     global_registry, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,

@@ -161,10 +161,18 @@ impl EventSink for JsonlSink {
     }
 
     fn record(&self, event: &Event) {
+        // Fault site for chaos tests: an injected telemetry-write error
+        // behaves exactly like a real one — counted, never fatal.
+        if crate::fault::fault_point("telemetry.write").is_err() {
+            crate::counter("telemetry.write_errors").add(1);
+            return;
+        }
         let line = event.to_json_line();
         let mut file = self.file.lock().expect("jsonl sink poisoned");
         // A failed telemetry write must never take down the run.
-        let _ = writeln!(file, "{line}");
+        if writeln!(file, "{line}").is_err() {
+            crate::counter("telemetry.write_errors").add(1);
+        }
     }
 
     fn flush(&self) {

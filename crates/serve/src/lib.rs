@@ -56,5 +56,5 @@ pub use app::{load_graph, App, AppConfig};
 pub use client::{ClientResponse, HttpClient};
 pub use http::{HttpError, Method, Request, Response};
 pub use queue::{Bounded, PushError};
-pub use server::{Handler, Server, ServerConfig};
+pub use server::{Handler, ReadyGate, Server, ServerConfig};
 pub use signal::{install_shutdown_handler, shutdown_requested, trip_shutdown};

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request, Method, Request, Response};
 use crate::queue::Bounded;
 
 /// Produces a response for each parsed request. Implementations must be
@@ -36,6 +36,60 @@ pub trait Handler: Send + Sync + 'static {
     fn route_label(&self, req: &Request) -> &'static str {
         let _ = req;
         "other"
+    }
+
+    /// Readiness probe backing `GET /readyz` (the server answers that
+    /// route itself): `false` keeps load balancers away while state is
+    /// still loading. Liveness (`/healthz`) is the handler's own business.
+    fn ready(&self) -> bool {
+        true
+    }
+}
+
+/// Wraps a handler whose state loads after the socket is already bound:
+/// until [`ReadyGate::install`] provides the real handler, every route
+/// answers `503 + Retry-After` and `GET /readyz` reports not-ready —
+/// orchestrators can route traffic the moment the flip happens without
+/// ever seeing a connection refused.
+pub struct ReadyGate {
+    inner: std::sync::OnceLock<Arc<dyn Handler>>,
+}
+
+impl ReadyGate {
+    /// An empty gate; serve it immediately, install the handler later.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<ReadyGate> {
+        Arc::new(ReadyGate {
+            inner: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Installs the loaded handler, flipping `/readyz` to 200. Later
+    /// installs are ignored (first one wins).
+    pub fn install(&self, handler: Arc<dyn Handler>) {
+        if self.inner.set(handler).is_ok() {
+            privim_obs::info!("serve", "ready", gated = true);
+        }
+    }
+}
+
+impl Handler for ReadyGate {
+    fn handle(&self, req: &Request) -> Response {
+        match self.inner.get() {
+            Some(h) => h.handle(req),
+            None => Response::error(503, "still loading").with_header("Retry-After", "1"),
+        }
+    }
+
+    fn route_label(&self, req: &Request) -> &'static str {
+        match self.inner.get() {
+            Some(h) => h.route_label(req),
+            None => "other",
+        }
+    }
+
+    fn ready(&self) -> bool {
+        self.inner.get().is_some_and(|h| h.ready())
     }
 }
 
@@ -289,12 +343,23 @@ fn serve_connection(
                 return;
             }
         };
-        let label = handler.route_label(&request);
+        let is_readyz = request.route() == "/readyz";
+        let label = if is_readyz {
+            "readyz"
+        } else {
+            handler.route_label(&request)
+        };
         let started = Instant::now();
         // A panicking handler must cost one 500, not one pool thread.
-        let response =
+        // `/readyz` is answered by the server itself: readiness must stay
+        // truthful even while the handler's own state is still loading,
+        // and must go false the instant a drain begins.
+        let response = if is_readyz {
+            readyz_response(&request, handler, stop)
+        } else {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
-                .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+                .unwrap_or_else(|_| Response::error(500, "handler panicked"))
+        };
         let elapsed = started.elapsed().as_secs_f64();
         privim_obs::counter("serve.requests").add(1);
         privim_obs::counter(&format!("serve.requests.{label}")).add(1);
@@ -318,6 +383,22 @@ fn serve_connection(
         if !keep_alive {
             return;
         }
+    }
+}
+
+/// `GET /readyz`: 200 only while the handler reports ready AND no drain
+/// has begun; 503 with `Retry-After` otherwise, so load balancers pull
+/// the instance before its in-flight requests finish draining.
+fn readyz_response(req: &Request, handler: &dyn Handler, stop: &AtomicBool) -> Response {
+    if req.method != Method::Get {
+        return Response::error(405, &format!("method {} not allowed here", req.method));
+    }
+    if stop.load(Ordering::SeqCst) {
+        Response::error(503, "draining").with_header("Retry-After", "1")
+    } else if handler.ready() {
+        Response::text(200, "ready\n")
+    } else {
+        Response::error(503, "loading").with_header("Retry-After", "1")
     }
 }
 
@@ -412,6 +493,63 @@ mod tests {
             200,
             "queued request still served"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn readyz_is_served_by_the_server_not_the_handler() {
+        // The echo handler knows nothing about /readyz; the server still
+        // answers it, and drain flips it to 503 while an in-flight
+        // keep-alive connection keeps getting answers.
+        let server = start(2, 16);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let resp = client.get("/readyz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ready\n");
+        assert_eq!(client.post("/readyz", b"x").unwrap().status, 405);
+        server.request_shutdown();
+        let resp = client.get("/readyz").unwrap();
+        assert_eq!(resp.status, 503, "draining must report not-ready");
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        server.join();
+    }
+
+    #[test]
+    fn ready_gate_holds_back_traffic_until_installed() {
+        let server = Server::start(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+            {
+                let gate = ReadyGate::new();
+                // Install from another thread shortly after startup, like
+                // a checkpoint load finishing.
+                let handle = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(120));
+                    handle.install(echo_handler());
+                });
+                gate
+            },
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.get("/readyz").unwrap().status, 503);
+        let shed = client.post("/echo", b"x").unwrap();
+        assert_eq!(shed.status, 503, "routes shed while loading");
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        // Wait for the install, then everything serves.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if client.get("/readyz").unwrap().status == 200 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "gate never became ready");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(client.post("/echo", b"x").unwrap().status, 200);
         server.shutdown();
     }
 

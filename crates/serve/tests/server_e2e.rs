@@ -14,7 +14,7 @@ use privim_im::models::{DiffusionConfig, DiffusionModel};
 use privim_im::spread::influence_spread_parallel;
 use privim_nn::models::{build_model, ModelKind};
 use privim_nn::serialize::Checkpoint;
-use privim_serve::{App, AppConfig, HttpClient, Server, ServerConfig, SpreadResponse};
+use privim_serve::{App, AppConfig, HttpClient, ReadyGate, Server, ServerConfig, SpreadResponse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -187,6 +187,48 @@ fn version_and_metrics_reflect_served_state() {
     assert!(text.contains("serve_latency_secs"), "metrics body:\n{text}");
 
     server.shutdown();
+}
+
+#[test]
+fn readyz_tracks_the_whole_lifecycle() {
+    let fixture = Fixture::create();
+    // Bind first with an empty gate: the socket answers, but readiness is
+    // false and every app route sheds with 503 until the app is installed.
+    let gate = ReadyGate::new();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config, gate.clone()).unwrap();
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+
+    let resp = client.get("/readyz").unwrap();
+    assert_eq!(resp.status, 503, "not ready before the app is loaded");
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let resp = client.post("/v1/seeds", br#"{"k": 3}"#).unwrap();
+    assert_eq!(resp.status, 503, "app routes shed while loading");
+
+    // Load and install: readiness flips to 200 and routes start serving.
+    let app = App::load(&fixture.app_config()).unwrap();
+    gate.install(Arc::new(app));
+    let resp = client.get("/readyz").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"ready\n");
+    assert_eq!(client.post("/readyz", b"").unwrap().status, 405);
+    assert_eq!(
+        client.post("/v1/seeds", br#"{"k": 3}"#).unwrap().status,
+        200
+    );
+
+    // Drain: readiness goes false immediately, even though the already-
+    // accepted connection still gets its answer.
+    server.request_shutdown();
+    let resp = client.get("/readyz").unwrap();
+    assert_eq!(resp.status, 503, "draining instances must report not-ready");
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    server.join();
 }
 
 #[test]
