@@ -105,8 +105,13 @@ enum Outcome {
         ms: f64,
     },
     /// No response on an established connection while the server was NOT
-    /// shutting down — the failure mode the harness exists to catch.
-    Dropped { route: &'static str },
+    /// shutting down — the failure mode the harness exists to catch. The
+    /// request id names the casualty so it can be looked up in the
+    /// server's logs or flight-recorder dump.
+    Dropped {
+        route: &'static str,
+        request_id: String,
+    },
     /// Failed during the shutdown window (connection refused or drained);
     /// expected load shedding, not an error.
     Shed,
@@ -120,6 +125,8 @@ struct RouteRow {
     rejected: usize,
     errors: usize,
     dropped: usize,
+    /// Request ids of the dropped requests, for server-side forensics.
+    dropped_ids: Vec<String>,
     throughput_rps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -175,8 +182,14 @@ fn run_client(
                 ),
             )
         };
+        // Deterministic per-request id: greppable in the server's JSONL
+        // events and flight-recorder dump, reproducible from the seed.
+        let request_id = format!(
+            "loadgen-{client_id}-{i}-{:016x}",
+            privim_obs::fault::splitmix64(request_seed)
+        );
         let start = Instant::now();
-        match client.post(path, body.as_bytes()) {
+        match client.post_with_headers(path, &[("X-Request-Id", &request_id)], body.as_bytes()) {
             Ok(resp) => {
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 completed.fetch_add(1, Ordering::SeqCst);
@@ -195,7 +208,7 @@ fn run_client(
                 outcomes.push(Outcome::Shed);
                 break; // server is draining; this client is done
             }
-            Err(_) => outcomes.push(Outcome::Dropped { route }),
+            Err(_) => outcomes.push(Outcome::Dropped { route, request_id }),
         }
     }
     outcomes
@@ -310,6 +323,7 @@ fn main() {
             rejected: 0,
             errors: 0,
             dropped: 0,
+            dropped_ids: Vec::new(),
             throughput_rps: 0.0,
             p50_ms: 0.0,
             p95_ms: 0.0,
@@ -332,9 +346,13 @@ fn main() {
                         _ => row.errors += 1,
                     }
                 }
-                Outcome::Dropped { route: r } if *r == route => {
+                Outcome::Dropped {
+                    route: r,
+                    request_id,
+                } if *r == route => {
                     row.requests += 1;
                     row.dropped += 1;
+                    row.dropped_ids.push(request_id.clone());
                 }
                 _ => {}
             }
@@ -390,7 +408,15 @@ fn main() {
 
     let dropped: usize = rows.iter().map(|r| r.dropped).sum();
     if dropped > 0 {
-        eprintln!("FAIL: {dropped} request(s) dropped outside the shutdown window");
+        let ids: Vec<&str> = rows
+            .iter()
+            .flat_map(|r| r.dropped_ids.iter().map(String::as_str))
+            .collect();
+        eprintln!(
+            "FAIL: {dropped} request(s) dropped outside the shutdown window \
+             (ids: {})",
+            ids.join(", ")
+        );
         std::process::exit(1);
     }
 }

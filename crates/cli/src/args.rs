@@ -80,6 +80,11 @@ pub struct ServeArgs {
     pub deadline_ms: u64,
     pub max_trials: usize,
     pub spread_threads: usize,
+    /// Log a warning for requests slower than this (`--slow-ms`).
+    pub slow_ms: u64,
+    /// Expose `GET /debug/trace` and `GET /debug/profile`
+    /// (`--debug-endpoints`); off by default — see `AppConfig`.
+    pub debug_endpoints: bool,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -109,7 +114,8 @@ USAGE:
                   [--container n] [--occurrences n]
   privim serve    --graph <path> --checkpoint <path> [--addr host:port]
                   [--workers n] [--queue-depth n] [--deadline-ms n]
-                  [--max-trials n] [--spread-threads n]
+                  [--max-trials n] [--spread-threads n] [--slow-ms n]
+                  [--debug-endpoints]
   privim help
 
 GLOBAL FLAGS (any subcommand):
@@ -124,6 +130,12 @@ GLOBAL FLAGS (any subcommand):
                   write final metrics in Prometheus text format
   --report-out <path>
                   write a self-contained HTML run report
+  --recorder-out <path>
+                  arm the flight recorder; dump the last events to <path>
+                  on panic, injected kill, or SIGTERM
+  --chaos-kill <site>:<hit>
+                  inject a process kill at the Nth pass of a fault site
+                  (deterministic chaos testing; see privim_obs::fault)
 
 Datasets: email, bitcoin, lastfm, hepph, facebook, gowalla.
 Graph files: whitespace edge lists ('src dst [weight]', ids 0..N-1,
@@ -150,6 +162,12 @@ pub struct ObsArgs {
     pub metrics_out: Option<String>,
     /// Self-contained HTML run-report file (`--report-out`).
     pub report_out: Option<String>,
+    /// Arm the flight recorder and dump it here on panic, injected
+    /// kill, or SIGTERM (`--recorder-out`).
+    pub recorder_out: Option<String>,
+    /// Inject a kill at the `hit`-th pass of a fault site
+    /// (`--chaos-kill site:hit`), for deterministic crash drills.
+    pub chaos_kill: Option<(String, u64)>,
 }
 
 impl ObsArgs {
@@ -199,6 +217,23 @@ pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsArgs), String>
             "--report-out" => {
                 let v = it.next().ok_or("--report-out needs a value")?;
                 obs.report_out = Some(v.clone());
+            }
+            "--recorder-out" => {
+                let v = it.next().ok_or("--recorder-out needs a value")?;
+                obs.recorder_out = Some(v.clone());
+            }
+            "--chaos-kill" => {
+                let v = it.next().ok_or("--chaos-kill needs a value")?;
+                let (site, hit) = v
+                    .rsplit_once(':')
+                    .ok_or("--chaos-kill needs site:hit (e.g. checkpoint.write.mid:1)")?;
+                let hit: u64 = hit
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-kill hit count: {e}"))?;
+                if site.is_empty() || hit == 0 {
+                    return Err("--chaos-kill needs a non-empty site and a hit count >= 1".into());
+                }
+                obs.chaos_kill = Some((site.to_string(), hit));
             }
             _ => rest.push(arg.clone()),
         }
@@ -419,7 +454,13 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             }))
         }
         "serve" => {
-            let f = Flags::parse(rest)?;
+            // `--debug-endpoints` is the one valueless serve flag; strip
+            // it before the pair-based parser sees the rest.
+            let mut rest: Vec<String> = rest.to_vec();
+            let before = rest.len();
+            rest.retain(|a| a != "--debug-endpoints");
+            let debug_endpoints = rest.len() != before;
+            let f = Flags::parse(&rest)?;
             check_unknown(
                 &f,
                 &[
@@ -431,6 +472,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "deadline-ms",
                     "max-trials",
                     "spread-threads",
+                    "slow-ms",
                 ],
             )?;
             Ok(Command::Serve(ServeArgs {
@@ -442,6 +484,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 deadline_ms: f.parse_opt("deadline-ms", 10_000)?,
                 max_trials: f.parse_opt("max-trials", 100_000)?,
                 spread_threads: f.parse_opt("spread-threads", 2)?,
+                slow_ms: f.parse_opt("slow-ms", 1_000)?,
+                debug_endpoints,
             }))
         }
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
@@ -651,6 +695,36 @@ mod tests {
     }
 
     #[test]
+    fn recorder_and_chaos_kill_flags_parse() {
+        let argv: Vec<String> = [
+            "train",
+            "--graph",
+            "g.bin",
+            "--recorder-out",
+            "dump.jsonl",
+            "--chaos-kill",
+            "checkpoint.write.mid:2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (rest, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(obs.recorder_out.as_deref(), Some("dump.jsonl"));
+        assert_eq!(
+            obs.chaos_kill,
+            Some(("checkpoint.write.mid".to_string(), 2))
+        );
+        assert_eq!(rest, vec!["train", "--graph", "g.bin"]);
+        for bad in ["nosite", "site:0", ":1", "site:x"] {
+            let argv: Vec<String> = ["help", "--chaos-kill", bad]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(split_obs_args(&argv).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
     fn profile_out_implies_profile() {
         let argv: Vec<String> = ["help", "--profile-out", "flame.txt"]
             .iter()
@@ -695,6 +769,8 @@ mod tests {
                 assert_eq!(a.deadline_ms, 10_000);
                 assert_eq!(a.max_trials, 100_000);
                 assert_eq!(a.spread_threads, 2);
+                assert_eq!(a.slow_ms, 1_000);
+                assert!(!a.debug_endpoints, "debug endpoints default off");
             }
             other => panic!("{other:?}"),
         }
@@ -720,6 +796,24 @@ mod tests {
                 assert_eq!(a.workers, 8);
                 assert_eq!(a.queue_depth, 128);
                 assert_eq!(a.deadline_ms, 250);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "--graph",
+            "g.bin",
+            "--debug-endpoints",
+            "--checkpoint",
+            "m.json",
+            "--slow-ms",
+            "250",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert!(a.debug_endpoints);
+                assert_eq!(a.slow_ms, 250);
             }
             other => panic!("{other:?}"),
         }

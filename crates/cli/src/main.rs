@@ -79,6 +79,14 @@ fn init_observability(obs: &ObsArgs) -> Result<(), String> {
         privim_obs::install_sink(Arc::new(sink));
     }
     privim_obs::set_profiling(obs.profile);
+    if let Some(path) = &obs.recorder_out {
+        privim_obs::FlightRecorder::set_dump_path(Some(path.into()));
+        privim_obs::FlightRecorder::arm();
+        privim_obs::FlightRecorder::install_panic_hook();
+    }
+    if let Some((site, hit)) = &obs.chaos_kill {
+        privim_obs::set_fault_plan(privim_obs::FaultPlan::kill_after(site, *hit));
+    }
     Ok(())
 }
 
@@ -270,12 +278,14 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         checkpoint: a.checkpoint.clone(),
         max_trials: a.max_trials,
         spread_threads: a.spread_threads,
+        debug_endpoints: a.debug_endpoints,
     };
     let config = privim_serve::ServerConfig {
         addr: a.addr.clone(),
         workers: a.workers,
         queue_depth: a.queue_depth,
         deadline: Duration::from_millis(a.deadline_ms.max(1)),
+        slow_threshold: Duration::from_millis(a.slow_ms.max(1)),
         ..privim_serve::ServerConfig::default()
     };
     // Bind before loading: `/readyz` answers 503 while the checkpoint and
@@ -302,6 +312,11 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         std::thread::sleep(Duration::from_millis(50));
     }
     console("shutdown requested; draining in-flight requests");
+    // Flight-recorder forensics for the shutdown itself: if a dump path
+    // is configured (`--recorder-out`), the last requests survive it.
+    if let Some(path) = privim_obs::FlightRecorder::dump_now("sigterm") {
+        console(format!("flight recorder dumped to {}", path.display()));
+    }
     server.shutdown();
     console("bye");
     Ok(())

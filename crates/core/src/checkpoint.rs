@@ -32,8 +32,9 @@ use privim_obs::FaultSignal;
 
 /// Magic prefix of the checkpoint file format.
 const CKPT_MAGIC: &[u8; 4] = b"PVCK";
-/// Format version; bumped on any layout change.
-const CKPT_VERSION: u32 = 1;
+/// Format version; bumped on any layout change. Version 2 added the
+/// 128-bit run trace id after `config_crc`.
+const CKPT_VERSION: u32 = 2;
 /// Header: magic + version + payload length + payload CRC32.
 const HEADER_LEN: usize = 4 + 4 + 8 + 4;
 
@@ -112,6 +113,10 @@ pub struct TrainCheckpoint {
     /// CRC32 of the run configuration's debug rendering; resuming under
     /// a different configuration is refused.
     pub config_crc: u32,
+    /// The run-scoped trace id (0 when tracing is off). Restored on
+    /// resume so a continuation provably correlates with its
+    /// predecessor's telemetry across the kill.
+    pub trace_id: u128,
     /// Model architecture + parameters.
     pub model: ModelCheckpoint,
     /// Optimizer internal state (moments, step counter).
@@ -134,6 +139,7 @@ impl TrainCheckpoint {
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.master_seed.to_le_bytes());
         out.extend_from_slice(&self.config_crc.to_le_bytes());
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
         // Model: kind (index into ModelKind::ALL), dims, named matrices.
         let kind_code = ModelKind::ALL
             .iter()
@@ -198,6 +204,7 @@ impl TrainCheckpoint {
         let epoch = r.u64()?;
         let master_seed = r.u64()?;
         let config_crc = r.u32()?;
+        let trace_id = r.u128()?;
         let kind_code = r.u8()? as usize;
         let kind = *ModelKind::ALL
             .get(kind_code)
@@ -272,6 +279,7 @@ impl TrainCheckpoint {
             epoch,
             master_seed,
             config_crc,
+            trace_id,
             model,
             optimizer,
             ledger,
@@ -337,6 +345,10 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, CheckpointError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
 
     fn f64(&mut self) -> Result<f64, CheckpointError> {
@@ -613,6 +625,7 @@ mod tests {
             epoch,
             master_seed: 42,
             config_crc: 0xDEAD_BEEF,
+            trace_id: 0x00C0_FFEE_00C0_FFEE_00C0_FFEE_00C0_FFEE,
             model: ModelCheckpoint::capture(model.as_ref(), 4, 8, 2),
             optimizer: adam.snapshot(),
             ledger: Some(ledger),
@@ -634,6 +647,7 @@ mod tests {
         assert_eq!(decoded.epoch, 7);
         assert_eq!(decoded.master_seed, 42);
         assert_eq!(decoded.config_crc, 0xDEAD_BEEF);
+        assert_eq!(decoded.trace_id, ckpt.trace_id);
         assert_eq!(decoded.optimizer, ckpt.optimizer);
         for ((n1, m1), (n2, m2)) in ckpt.model.params.iter().zip(&decoded.model.params) {
             assert_eq!(n1, n2);

@@ -124,6 +124,10 @@ pub struct ResumableOutcome {
     pub resumed_from: Option<u64>,
     /// Cumulative ε actually spent per the ledger (private runs).
     pub final_epsilon: Option<f64>,
+    /// The run-scoped trace id stamped into every telemetry event and
+    /// checkpoint of this run. Derived from the master seed, so a
+    /// resumed run carries the same id as its killed predecessor.
+    pub trace_id: u128,
 }
 
 /// Digest of the configuration a checkpoint belongs to. The `Debug`
@@ -180,6 +184,13 @@ pub fn train_resumable(
         !container.is_empty(),
         "cannot train on an empty subgraph container"
     );
+    // Run-scoped trace: derived from the master seed alone (no RNG is
+    // consumed, no wall clock is read), so a resumed run reconstructs
+    // the exact context its killed predecessor stamped into telemetry
+    // and checkpoints. The restore path below verifies the stored id.
+    let run_ctx = privim_obs::TraceContext::from_seed(master_seed);
+    privim_obs::trace::set_run_trace(run_ctx);
+    let _trace = run_ctx.enter();
     let _span = privim_obs::span!("training_resumable");
     let started = std::time::Instant::now();
     let expected_crc = config_digest(config);
@@ -214,6 +225,14 @@ pub fn train_resumable(
                 return Err(ResumeError::ConfigMismatch {
                     expected: crc32(&master_seed.to_le_bytes()),
                     found: crc32(&ckpt.master_seed.to_le_bytes()),
+                });
+            }
+            // Correlation proof: the checkpoint must carry this run's
+            // trace id (both are pure functions of the master seed).
+            if ckpt.trace_id != run_ctx.trace_id {
+                return Err(ResumeError::ConfigMismatch {
+                    expected: crc32(&run_ctx.trace_id.to_le_bytes()),
+                    found: crc32(&ckpt.trace_id.to_le_bytes()),
                 });
             }
             if let Some(l) = &ckpt.ledger {
@@ -340,6 +359,7 @@ pub fn train_resumable(
                 epoch: completed,
                 master_seed,
                 config_crc: expected_crc,
+                trace_id: run_ctx.trace_id,
                 model: privim_nn::serialize::Checkpoint::capture(
                     model.as_ref(),
                     config.feature_dim,
@@ -362,6 +382,7 @@ pub fn train_resumable(
     }
 
     Ok(ResumableOutcome {
+        trace_id: run_ctx.trace_id,
         final_epsilon: ledger.as_ref().and_then(|l| l.cumulative_epsilon()),
         report: TrainReport {
             losses,
@@ -460,6 +481,13 @@ mod tests {
         let first = run(&st);
         let second = run(&st); // resumes at the final epoch: zero new steps
         assert_eq!(second.resumed_from, Some(cfg.iterations as u64));
+        // Trace correlation across the restart: both runs and the
+        // on-disk checkpoint carry the seed-derived trace id.
+        let expected_trace = privim_obs::TraceContext::from_seed(7).trace_id;
+        assert_eq!(first.trace_id, expected_trace);
+        assert_eq!(second.trace_id, expected_trace);
+        let (ckpt, _) = st.load_latest_valid().unwrap().unwrap();
+        assert_eq!(ckpt.trace_id, expected_trace);
         assert_eq!(
             weights(first.model.as_ref()),
             weights(second.model.as_ref())

@@ -191,6 +191,68 @@ fn killed_and_resumed_runs_match_uninterrupted_runs_bit_for_bit() {
 }
 
 #[test]
+fn chaos_kill_dumps_the_recorder_and_the_run_trace_survives_the_resume() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_fault_plan();
+    let seed = 505u64;
+    let (container, cfg, setup) = fixture(seed);
+    let master_seed = splitmix64(seed ^ 0x00C0_FFEE);
+    let store = fresh_store("recorder", seed);
+
+    let dump_path = std::env::temp_dir().join(format!("privim-chaos-dump-{seed}.jsonl"));
+    std::fs::remove_file(&dump_path).ok();
+    privim_obs::FlightRecorder::reset();
+    privim_obs::FlightRecorder::set_dump_path(Some(dump_path.clone()));
+    privim_obs::FlightRecorder::arm();
+
+    // Deterministic kill mid-epoch-2: epoch 1 has already checkpointed
+    // (checkpoint_every defaults to 1), so the resume is a real one.
+    set_fault_plan(FaultPlan::kill_after("train.post_backward", 2));
+    let result = run_once(&container, &cfg, &setup, master_seed, &store);
+    clear_fault_plan();
+    match result {
+        Err(ResumeError::Killed { site }) => assert_eq!(site, "train.post_backward"),
+        Err(other) => panic!("expected an injected kill, got {other}"),
+        Ok(_) => panic!("expected an injected kill, but the run completed"),
+    }
+
+    // The kill dumped the rings: the file exists, every line parses (the
+    // same JSONL shape telemetry tooling reads), and the tail names the
+    // kill site — the black-box answers "what were we doing when we died".
+    let text = std::fs::read_to_string(&dump_path).expect("injected kill must write the dump");
+    privim_obs::RunTelemetry::from_jsonl(&text).expect("every dump line is valid JSON");
+    let tail = text.lines().last().expect("dump is not empty");
+    assert!(
+        tail.contains("site=train.post_backward"),
+        "dump tail must name the kill site: {tail}"
+    );
+
+    // Resume to completion. The run trace id is a pure function of the
+    // master seed, so the resumed run derives the identical id — and the
+    // checkpoint header proves the correlation across the kill.
+    let out = run_once(&container, &cfg, &setup, master_seed, &store).expect("resume completes");
+    privim_obs::FlightRecorder::disarm();
+    privim_obs::FlightRecorder::set_dump_path(None);
+    assert!(out.resumed_from.is_some(), "the kill must force a resume");
+    let expected = privim_obs::TraceContext::from_seed(master_seed).trace_id;
+    assert_eq!(
+        out.trace_id, expected,
+        "resumed run must keep the run trace"
+    );
+    let (ckpt, _) = store
+        .load_latest_valid()
+        .unwrap()
+        .expect("final checkpoint");
+    assert_eq!(
+        ckpt.trace_id, expected,
+        "checkpoint header carries the trace"
+    );
+
+    std::fs::remove_file(&dump_path).ok();
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
 fn corrupted_latest_generation_degrades_to_previous_and_still_matches() {
     let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     clear_fault_plan();

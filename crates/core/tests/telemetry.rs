@@ -161,6 +161,31 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     assert!(snap.counters.get("train.iterations").copied().unwrap_or(0) >= cfg.iterations as u64);
     assert!(snap.histograms.contains_key("span.training"));
 
+    // Flight recorder armed under a run-scoped trace context: capture
+    // copies bytes into per-thread rings and never touches the RNG, so
+    // the run stays bit-identical — and the rings must hold events
+    // stamped with the entered trace.
+    let run_ctx = privim_obs::TraceContext::from_seed(7);
+    privim_obs::FlightRecorder::reset();
+    privim_obs::FlightRecorder::arm();
+    let recorded = {
+        let _t = run_ctx.enter();
+        run_once(&g, &cfg)
+    };
+    privim_obs::FlightRecorder::disarm();
+    assert_eq!(
+        baseline.seeds, recorded.seeds,
+        "recorder/tracing changed the RNG stream"
+    );
+    assert_eq!(baseline.spread, recorded.spread);
+    assert_eq!(baseline.sigma, recorded.sigma);
+    assert!(
+        privim_obs::FlightRecorder::dump()
+            .iter()
+            .any(|e| e.trace_id == run_ctx.trace_id),
+        "armed recorder must capture events under the run trace"
+    );
+
     // Profiler off (the default): the baseline/instrumented equality above
     // already proves bit-identical output. Profiler on: still bit-identical
     // (scopes read clocks, never the RNG), and the call tree is populated.

@@ -240,6 +240,11 @@ pub fn influence_spread_parallel(
     }
     let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
     let started = std::time::Instant::now();
+    // Trace contexts are thread-local and not inherited by spawned
+    // workers; capture the caller's and re-enter it on each worker so
+    // per-request correlation survives the fan-out. Pure bookkeeping —
+    // no RNG is consumed, so estimates stay bit-identical.
+    let caller_trace = privim_obs::current_trace();
     let n_blocks = trials.div_ceil(TRIAL_BLOCK);
     let n_threads = n_threads.min(n_blocks);
     let next_block = std::sync::atomic::AtomicUsize::new(0);
@@ -248,17 +253,34 @@ pub fn influence_spread_parallel(
             .map(|_| {
                 let next_block = &next_block;
                 scope.spawn(move |_| {
-                    let mut local = 0usize;
-                    loop {
-                        let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if b >= n_blocks {
-                            return local;
+                    let worker = move || {
+                        let mut local = 0usize;
+                        let mut blocks = 0usize;
+                        loop {
+                            let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if b >= n_blocks {
+                                // One event per worker, stamped with the
+                                // adopted request trace (if any), so the
+                                // fan-out is visible in dumps.
+                                privim_obs::debug!(
+                                    "im",
+                                    "worker_done",
+                                    blocks = blocks,
+                                    infected = local,
+                                );
+                                return local;
+                            }
+                            blocks += 1;
+                            let quota = TRIAL_BLOCK.min(trials - b * TRIAL_BLOCK);
+                            let mut rng = StdRng::seed_from_u64(mix_seed(seed, b as u64));
+                            local += (0..quota)
+                                .map(|_| simulate_cascade(g, seeds, config, &mut rng))
+                                .sum::<usize>();
                         }
-                        let quota = TRIAL_BLOCK.min(trials - b * TRIAL_BLOCK);
-                        let mut rng = StdRng::seed_from_u64(mix_seed(seed, b as u64));
-                        local += (0..quota)
-                            .map(|_| simulate_cascade(g, seeds, config, &mut rng))
-                            .sum::<usize>();
+                    };
+                    match caller_trace {
+                        Some(ctx) => privim_obs::with_trace(ctx, worker),
+                        None => worker(),
                     }
                 })
             })
@@ -418,6 +440,35 @@ mod tests {
         let est = influence_spread_with_ci(&g, &[0], &cfg, 100, 1.96, &mut rng);
         assert_eq!(est.mean, 2.0);
         assert_eq!(est.half_width, 0.0);
+    }
+
+    #[test]
+    fn workers_adopt_the_callers_trace_and_results_stay_identical() {
+        let g = two_hop_chain();
+        let cfg = DiffusionConfig::ic_unbounded();
+        let untraced = influence_spread_parallel(&g, &[0], &cfg, 2_000, 4, 17).unwrap();
+
+        let ctx = privim_obs::TraceContext::from_seed(55);
+        privim_obs::FlightRecorder::reset();
+        privim_obs::FlightRecorder::arm();
+        let traced = privim_obs::with_trace(ctx, || {
+            influence_spread_parallel(&g, &[0], &cfg, 2_000, 4, 17).unwrap()
+        });
+        privim_obs::FlightRecorder::disarm();
+        assert_eq!(
+            traced.to_bits(),
+            untraced.to_bits(),
+            "trace propagation must not perturb the estimate"
+        );
+        // Other tests may run spreads concurrently (untraced), so count
+        // only events carrying OUR trace: if propagation were broken the
+        // workers would have emitted with no trace and none would match.
+        let dump = privim_obs::FlightRecorder::dump();
+        let adopted = dump
+            .iter()
+            .filter(|e| e.message == "worker_done" && e.trace_id == ctx.trace_id)
+            .count();
+        assert!(adopted >= 1, "no worker event carried the caller's trace");
     }
 
     #[test]

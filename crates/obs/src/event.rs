@@ -7,6 +7,7 @@ use std::fmt;
 use crate::clock::now_micros;
 use crate::json::JsonValue;
 use crate::level::Level;
+use crate::trace::TraceContext;
 
 /// A typed field value attached to an event.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,10 +122,13 @@ pub struct Event {
     pub message: String,
     /// Typed payload.
     pub fields: Vec<(&'static str, FieldValue)>,
+    /// The trace context active on the emitting thread, if any.
+    pub trace: Option<TraceContext>,
 }
 
 impl Event {
-    /// A new event stamped with the process clock.
+    /// A new event stamped with the process clock and the thread's
+    /// active [`TraceContext`] (if one is entered).
     pub fn new(
         level: Level,
         target: &'static str,
@@ -137,6 +141,7 @@ impl Event {
             target,
             message: message.into(),
             fields,
+            trace: crate::trace::current_trace(),
         }
     }
 
@@ -163,6 +168,16 @@ impl Event {
         );
         obj.insert("message".to_string(), JsonValue::Str(self.message.clone()));
         obj.insert("fields".to_string(), JsonValue::Obj(fields));
+        if let Some(ctx) = self.trace {
+            obj.insert("trace_id".to_string(), JsonValue::Str(ctx.trace_id_hex()));
+            obj.insert("span_id".to_string(), JsonValue::Str(ctx.span_id_hex()));
+            if let Some(parent) = ctx.parent_span_id {
+                obj.insert(
+                    "parent_span_id".to_string(),
+                    JsonValue::Str(format!("{parent:016x}")),
+                );
+            }
+        }
         JsonValue::Obj(obj).to_json()
     }
 
@@ -177,6 +192,11 @@ impl Event {
         );
         for (k, v) in &self.fields {
             line.push_str(&format!(" {k}={v}"));
+        }
+        if let Some(ctx) = self.trace {
+            // Short prefix only: enough to correlate by eye against the
+            // full ids in the JSONL stream.
+            line.push_str(&format!(" trace={:.8}", ctx.trace_id_hex()));
         }
         line
     }
@@ -214,6 +234,38 @@ mod tests {
         let fields = parsed.get("fields").unwrap();
         assert_eq!(fields.get("epoch").unwrap().as_u64(), Some(3));
         assert_eq!(fields.get("loss").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_active_trace() {
+        let ctx = crate::trace::TraceContext::from_seed(3).child();
+        let _g = ctx.enter();
+        let e = Event::new(crate::Level::Info, "train", "epoch", Vec::new());
+        assert_eq!(e.trace, Some(ctx));
+        let parsed = json::parse(&e.to_json_line()).unwrap();
+        assert_eq!(
+            parsed.get("trace_id").unwrap().as_str(),
+            Some(ctx.trace_id_hex().as_str())
+        );
+        assert_eq!(
+            parsed.get("span_id").unwrap().as_str(),
+            Some(ctx.span_id_hex().as_str())
+        );
+        assert_eq!(
+            parsed.get("parent_span_id").unwrap().as_str(),
+            Some(format!("{:016x}", ctx.parent_span_id.unwrap()).as_str())
+        );
+        let human = e.format_human();
+        assert!(human.contains(" trace="), "{human}");
+    }
+
+    #[test]
+    fn untraced_events_have_no_trace_keys() {
+        let e = Event::new(crate::Level::Info, "train", "epoch", Vec::new());
+        assert_eq!(e.trace, None);
+        let parsed = json::parse(&e.to_json_line()).unwrap();
+        assert!(parsed.get("trace_id").is_none());
+        assert!(!e.format_human().contains("trace="));
     }
 
     #[test]

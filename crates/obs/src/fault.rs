@@ -209,9 +209,15 @@ pub fn fault_point(site: &str) -> Result<(), FaultSignal> {
         Some(action) => {
             emit_fired(site, action);
             match action {
-                FaultAction::Kill => Err(FaultSignal::Kill {
-                    site: site.to_string(),
-                }),
+                FaultAction::Kill => {
+                    // A simulated SIGKILL leaves the same forensics a
+                    // real one would: the flight recorder dumps with the
+                    // site named in its final entry.
+                    crate::recorder::record_kill_site(site);
+                    Err(FaultSignal::Kill {
+                        site: site.to_string(),
+                    })
+                }
                 _ => Err(FaultSignal::Io(std::io::Error::other(format!(
                     "injected fault at {site}"
                 )))),
@@ -233,9 +239,12 @@ pub fn fault_point_file(site: &str, path: &std::path::Path) -> Result<(), FaultS
         Some(action) => {
             emit_fired(site, action);
             match action {
-                FaultAction::Kill => Err(FaultSignal::Kill {
-                    site: site.to_string(),
-                }),
+                FaultAction::Kill => {
+                    crate::recorder::record_kill_site(site);
+                    Err(FaultSignal::Kill {
+                        site: site.to_string(),
+                    })
+                }
                 FaultAction::IoError => Err(FaultSignal::Io(std::io::Error::other(format!(
                     "injected fault at {site}"
                 )))),

@@ -36,10 +36,12 @@ mod level;
 mod metrics;
 mod profile;
 mod prometheus;
+pub mod recorder;
 mod report_html;
 mod sink;
 mod span;
 mod telemetry;
+pub mod trace;
 
 pub use clock::{now_micros, Clock, ManualClock, MonotonicClock};
 pub use event::{Event, FieldValue};
@@ -56,7 +58,10 @@ pub use profile::{
     profile_report, profiling_enabled, reset_profile, set_profiling, ProfScope, ProfileReport,
     ProfileRow,
 };
-pub use prometheus::{render_prometheus, render_prometheus_with_profile};
+pub use prometheus::{
+    label_value, render_prometheus, render_prometheus_with_profile, unescape_label_value,
+};
+pub use recorder::{DumpEntry, FlightRecorder};
 pub use report_html::render_html_report;
 pub use sink::{
     console, console_err, emit, enabled, flush_sinks, install_sink, take_sinks, EventSink,
@@ -64,6 +69,7 @@ pub use sink::{
 };
 pub use span::SpanGuard;
 pub use telemetry::{EpochRecord, LedgerRecord, PhaseTiming, RunTelemetry};
+pub use trace::{current_trace, with_trace, TraceContext, TraceGuard};
 
 /// The global counter named `name` (creating it on first use).
 pub fn counter(name: &str) -> std::sync::Arc<Counter> {
@@ -86,8 +92,11 @@ pub fn snapshot() -> MetricsSnapshot {
     global_registry().snapshot()
 }
 
-/// Builds and emits an event if (and only if) some sink listens at
-/// `$level` — field expressions are not evaluated otherwise.
+/// Builds and emits an event if some sink listens at `$level` **or**
+/// the flight recorder is armed — field expressions are not evaluated
+/// otherwise. Emitted events are stamped with the thread's active
+/// [`TraceContext`], captured by the recorder, and then dispatched to
+/// the (level-filtered) sinks.
 ///
 /// ```
 /// privim_obs::event!(privim_obs::Level::Info, "train", "epoch",
@@ -97,7 +106,7 @@ pub fn snapshot() -> MetricsSnapshot {
 macro_rules! event {
     ($level:expr, $target:expr, $message:expr $(, $key:ident = $value:expr)* $(,)?) => {{
         let level = $level;
-        if $crate::enabled(level) {
+        if $crate::enabled(level) || $crate::recorder::recorder_wants(level) {
             $crate::emit($crate::Event::new(
                 level,
                 $target,

@@ -25,8 +25,9 @@ fn metric_name(name: &str) -> String {
     out
 }
 
-/// Escapes a label value per the exposition format.
-fn label_value(value: &str) -> String {
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and line feed become `\\`, `\"`, and `\n`.
+pub fn label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -34,6 +35,31 @@ fn label_value(value: &str) -> String {
             '"' => out.push_str("\\\""),
             '\n' => out.push_str("\\n"),
             c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`label_value`]: decodes the three exposition-format escapes.
+/// Unknown escape sequences keep the backslash verbatim (matching how
+/// Prometheus itself tolerates them), so decoding never fails.
+pub fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
         }
     }
     out
@@ -67,6 +93,17 @@ pub fn render_prometheus_with_profile(
     profile: &ProfileReport,
 ) -> String {
     let mut out = String::new();
+    // Exemplar-style correlation label: when a run-scoped trace is set,
+    // export it as an info series so a scrape can be joined against the
+    // JSONL event stream and the flight-recorder dump by trace id.
+    if let Some(run) = crate::trace::run_trace() {
+        let _ = writeln!(out, "# TYPE privim_trace_info gauge");
+        let _ = writeln!(
+            out,
+            "privim_trace_info{{trace_id=\"{}\"}} 1",
+            label_value(&run.trace_id_hex())
+        );
+    }
     for (name, value) in &snapshot.counters {
         let name = metric_name(name);
         let _ = writeln!(out, "# TYPE {name} counter");
@@ -183,5 +220,59 @@ mod tests {
     fn names_and_labels_are_escaped() {
         assert_eq!(metric_name("span.a-b/c"), "privim_span_a_b_c");
         assert_eq!(label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn label_values_round_trip_through_escaping() {
+        let hostile = [
+            "",
+            "plain",
+            "a\"b\\c\nd",
+            "\\",
+            "\\\\",
+            "\"\"",
+            "\n\n\n",
+            "trailing backslash \\",
+            "\\n is a literal backslash-n once escaped",
+            "unicode é→∞ stays verbatim",
+            "mix\\\"of\nall\\nthree",
+        ];
+        for original in hostile {
+            let escaped = label_value(original);
+            assert!(
+                !escaped.contains('\n'),
+                "escaped value must be single-line: {escaped:?}"
+            );
+            assert_eq!(
+                unescape_label_value(&escaped),
+                original,
+                "round trip failed for {original:?}"
+            );
+        }
+        // Lenient decoding: unknown escapes survive verbatim.
+        assert_eq!(unescape_label_value("\\t\\"), "\\t\\");
+    }
+
+    #[test]
+    fn run_trace_exports_an_info_series() {
+        // RUN_TRACE is process-global; serialize with the trace tests.
+        let _guard = crate::sink::global_sink_lock();
+        let ctx = crate::trace::TraceContext::from_seed(77);
+        crate::trace::set_run_trace(ctx);
+        let text = render_prometheus(&MetricsSnapshot::default());
+        crate::trace::clear_run_trace();
+        assert!(text.contains("# TYPE privim_trace_info gauge\n"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "privim_trace_info{{trace_id=\"{}\"}} 1\n",
+                ctx.trace_id_hex()
+            )),
+            "{text}"
+        );
+        let after = render_prometheus(&MetricsSnapshot::default());
+        assert!(
+            !after.contains("privim_trace_info"),
+            "no series once cleared"
+        );
     }
 }

@@ -98,6 +98,9 @@ pub fn render_html_report(
             meta.push(format!("final ε = {}", fmt_num(eps)));
         }
         meta.push(format!("{} events", t.events_total));
+        if let Some(trace_id) = &t.trace_id {
+            meta.push(format!("trace {trace_id}"));
+        }
         let _ = write!(out, "<p class=\"meta\">{}</p>\n", escape(&meta.join(" · ")));
 
         let phase_rows: Vec<Vec<String>> = t
@@ -276,6 +279,7 @@ mod tests {
                 epsilon_after: 0.5,
                 ..LedgerRecord::default()
             }],
+            trace_id: Some("00c0ffee00c0ffee00c0ffee00c0ffee".into()),
             ..RunTelemetry::default()
         };
         let profile = ProfileReport {
@@ -296,6 +300,10 @@ mod tests {
         );
         assert!(html.contains("seed 42"), "{html}");
         assert!(html.contains("final ε = 1"), "{html}");
+        assert!(
+            html.contains("trace 00c0ffee00c0ffee00c0ffee00c0ffee"),
+            "{html}"
+        );
         assert!(html.contains("Privacy-budget ledger"));
         assert!(html.contains("subsampled_gaussian"));
         assert!(html.contains("train.iterations"));

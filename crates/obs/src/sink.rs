@@ -68,8 +68,10 @@ pub fn flush_sinks() {
     }
 }
 
-/// Dispatches `event` to every interested sink.
+/// Dispatches `event` to every interested sink, after the flight
+/// recorder (which captures independently of sink levels) sees it.
 pub fn emit(event: Event) {
+    crate::recorder::record_event(&event);
     for sink in SINKS.read().expect("sink registry poisoned").iter() {
         if event.level <= sink.max_level() {
             sink.record(&event);

@@ -31,6 +31,9 @@ pub struct SpanGuard<'c> {
     /// Whether this span also opened a profiler scope (profiling was
     /// enabled at entry); the matching exit must balance the stack.
     prof_entered: bool,
+    /// Whether this span pushed a child trace context (a trace was
+    /// active at entry); the close must pop it after emitting.
+    trace_entered: bool,
     finished: bool,
 }
 
@@ -50,12 +53,14 @@ impl<'c> SpanGuard<'c> {
             stack.len() - 1
         });
         let prof_entered = profile::scope_enter(name);
+        let trace_entered = crate::trace::push_span_child();
         SpanGuard {
             name,
             clock,
             start_micros: clock.now_micros(),
             depth,
             prof_entered,
+            trace_entered,
             finished: false,
         }
     }
@@ -97,7 +102,9 @@ impl<'c> SpanGuard<'c> {
         global_registry()
             .histogram(&format!("span.{}", self.name))
             .record(secs);
-        if enabled(Level::Debug) {
+        // The span's own trace context is still active here, so the
+        // close event carries this span's id with its parent linked.
+        if enabled(Level::Debug) || crate::recorder::recorder_wants(Level::Debug) {
             emit(Event::new(
                 Level::Debug,
                 "span",
@@ -108,6 +115,9 @@ impl<'c> SpanGuard<'c> {
                     ("path", FieldValue::Str(path)),
                 ],
             ));
+        }
+        if self.trace_entered {
+            crate::trace::pop_span_child();
         }
         secs
     }
@@ -198,6 +208,38 @@ mod tests {
         assert!(
             (secs_of(outer) - 3.5).abs() < 1e-9,
             "outer covers inner + own time"
+        );
+    }
+
+    #[test]
+    fn span_events_carry_a_child_trace_context() {
+        let _guard = global_sink_lock();
+        take_sinks();
+        let sink = Arc::new(MemorySink::new(Level::Debug));
+        install_sink(sink.clone());
+
+        let root = crate::trace::TraceContext::from_seed(21);
+        let clock = ManualClock::new();
+        {
+            let _t = root.enter();
+            let _span = SpanGuard::enter_with_clock("traced_span_test", &clock);
+            clock.advance_secs(0.5);
+        }
+        take_sinks();
+
+        let event = sink
+            .events()
+            .into_iter()
+            .find(|e| e.target == "span" && e.message == "traced_span_test")
+            .expect("span close event");
+        let ctx = event.trace.expect("span event is stamped");
+        assert_eq!(ctx.trace_id, root.trace_id);
+        assert_ne!(ctx.span_id, root.span_id, "span gets its own id");
+        assert_eq!(ctx.parent_span_id, Some(root.span_id));
+        assert_eq!(
+            crate::trace::current_trace(),
+            None,
+            "span popped its context"
         );
     }
 

@@ -105,6 +105,16 @@ pub struct RunTelemetry {
     pub ledger: Vec<LedgerRecord>,
     /// Total number of events aggregated.
     pub events_total: u64,
+    /// Events whose `(target, message)` kind this binary does not
+    /// aggregate — skipped but counted, so a dump written by a newer
+    /// binary (extra `trace`/`recorder` events) still parses and the
+    /// skip is visible.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub events_unknown: u64,
+    /// The run's trace id (32 hex digits), from the first event carrying
+    /// a top-level `trace_id` key.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub trace_id: Option<String>,
 }
 
 impl RunTelemetry {
@@ -133,6 +143,11 @@ impl RunTelemetry {
             }
             let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             report.events_total += 1;
+            if report.trace_id.is_none() {
+                report.trace_id = value
+                    .get("trace_id")
+                    .and_then(|v| v.as_str().map(str::to_string));
+            }
             let target = value
                 .get("target")
                 .and_then(JsonValue::as_str)
@@ -199,7 +214,10 @@ impl RunTelemetry {
                         alpha: num("alpha").unwrap_or(f64::NAN),
                     });
                 }
-                _ => {}
+                // Forward compatibility: kinds this binary does not
+                // aggregate (newer trace/recorder events, console lines,
+                // free-form subsystem chatter) are skipped and counted.
+                _ => report.events_unknown += 1,
             }
         }
         Ok(report)
@@ -282,6 +300,16 @@ impl RunTelemetry {
         root.insert(
             "events_total".into(),
             JsonValue::Num(self.events_total as f64),
+        );
+        root.insert(
+            "events_unknown".into(),
+            JsonValue::Num(self.events_unknown as f64),
+        );
+        root.insert(
+            "trace_id".into(),
+            self.trace_id
+                .as_ref()
+                .map_or(JsonValue::Null, |t| JsonValue::Str(t.clone())),
         );
         JsonValue::Obj(root).to_json()
     }
@@ -390,12 +418,46 @@ mod tests {
         );
         let report = RunTelemetry::from_jsonl(text).unwrap();
         assert_eq!(report.events_total, 2);
+        assert_eq!(report.events_unknown, 1, "the future event is counted");
         assert_eq!(report.epochs.len(), 1);
         assert_eq!(
             report.epochs[0].epoch, 0,
             "missing epoch falls back to position"
         );
         assert_eq!(report.epochs[0].clip_fraction, None);
+    }
+
+    #[test]
+    fn mixed_version_dump_with_trace_and_recorder_events_parses() {
+        // A dump as a newer binary would write it: known kinds stamped
+        // with trace ids, plus trace/recorder kinds this parser has no
+        // aggregation for. Nothing fails; unknown kinds are counted and
+        // the run's trace id is recovered from the first stamped line.
+        let text = concat!(
+            r#"{"ts_us":1,"level":"info","target":"run","message":"start","fields":{"seed":9},"trace_id":"00c0ffee00c0ffee00c0ffee00c0ffee","span_id":"1122334455667788"}"#,
+            "\n",
+            r#"{"ts_us":2,"level":"debug","target":"trace","message":"request","fields":{"route":"seeds"},"trace_id":"00c0ffee00c0ffee00c0ffee00c0ffee"}"#,
+            "\n",
+            r#"{"ts_us":3,"level":"info","target":"train","message":"epoch","fields":{"epoch":0,"loss":0.5},"trace_id":"00c0ffee00c0ffee00c0ffee00c0ffee","span_id":"99aabbccddeeff00","parent_span_id":"1122334455667788"}"#,
+            "\n",
+            r#"{"seq":4,"ts_us":4,"level":"warn","target":"recorder","message":"kill","detail":"site=train.post_backward","thread":"main"}"#,
+            "\n",
+        );
+        let report = RunTelemetry::from_jsonl(text).unwrap();
+        assert_eq!(report.events_total, 4);
+        assert_eq!(report.events_unknown, 2, "trace + recorder kinds skipped");
+        assert_eq!(report.seed, Some(9));
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(
+            report.trace_id.as_deref(),
+            Some("00c0ffee00c0ffee00c0ffee00c0ffee")
+        );
+        let parsed = crate::json::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("events_unknown").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            parsed.get("trace_id").unwrap().as_str(),
+            Some("00c0ffee00c0ffee00c0ffee00c0ffee")
+        );
     }
 
     #[test]
@@ -427,6 +489,8 @@ mod tests {
                 ..LedgerRecord::default()
             }],
             events_total: 3,
+            events_unknown: 1,
+            trace_id: Some("00c0ffee00c0ffee00c0ffee00c0ffee".into()),
         };
         let parsed = crate::json::parse(&report.to_json()).unwrap();
         assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(7));
@@ -523,6 +587,8 @@ mod tests {
                 alpha: 16.0,
             }],
             events_total: 5,
+            events_unknown: 2,
+            trace_id: Some("deadbeefdeadbeefdeadbeefdeadbeef".into()),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: RunTelemetry = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,273 @@
+//! Trace correlation: deterministic 128-bit trace ids with a
+//! thread-local context stack.
+//!
+//! A [`TraceContext`] names one causal chain — a training run, a served
+//! request — with a 128-bit `trace_id` plus a 64-bit `span_id` and
+//! optional parent. Every id is derived with splitmix64 from a caller
+//! seed (the master seed, an `X-Request-Id` header, a request counter):
+//! **never** from wall-clock entropy, and never by consuming an RNG
+//! stream, so arming tracing cannot perturb seeded results.
+//!
+//! Contexts live on a thread-local stack. While one is active (via
+//! [`TraceContext::enter`] or [`with_trace`]), every event built by the
+//! `event!` macros is stamped with the top-of-stack ids (see
+//! [`crate::Event::trace`]), and spans push a child context so nested
+//! emissions carry the span's own `span_id` with its parent linked.
+//! Worker threads do not inherit the stack — propagate explicitly with
+//! [`with_trace`], as the parallel Monte-Carlo estimator does.
+//!
+//! One context per process can additionally be promoted to the
+//! *run trace* ([`set_run_trace`]): exporters that render process-wide
+//! state (Prometheus text, the HTML report) label their output with it.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::fault::splitmix64;
+
+/// Domain-separation tags so the three id streams derived from one seed
+/// never collide with each other or with epoch-seed derivation.
+const TAG_TRACE_HI: u64 = 0x7452_4163_6548_6921;
+const TAG_TRACE_LO: u64 = 0x7452_4163_654c_6f21;
+const TAG_SPAN: u64 = 0x5350_414e_5f49_445f;
+
+/// One node in a causal chain: which trace, which span, and the parent
+/// span (if any). `Copy`, 40 bytes, cheap to stamp onto every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every span in the chain.
+    pub trace_id: u128,
+    /// This span's 64-bit id.
+    pub span_id: u64,
+    /// The parent span's id (`None` for a root context).
+    pub parent_span_id: Option<u64>,
+}
+
+impl TraceContext {
+    /// A root context derived deterministically from `seed` — the same
+    /// seed always yields the same trace id.
+    pub fn from_seed(seed: u64) -> TraceContext {
+        let hi = splitmix64(seed ^ TAG_TRACE_HI);
+        let lo = splitmix64(hi ^ TAG_TRACE_LO);
+        TraceContext {
+            trace_id: ((hi as u128) << 64) | lo as u128,
+            span_id: splitmix64(lo ^ TAG_SPAN),
+            parent_span_id: None,
+        }
+    }
+
+    /// A root context from an arbitrary request-id string (e.g. an
+    /// `X-Request-Id` header), folding its bytes through splitmix64.
+    /// Deterministic: the same id always maps to the same trace, so a
+    /// client-chosen id can be correlated offline.
+    pub fn from_request_id(id: &str) -> TraceContext {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in id.as_bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        h = splitmix64(h ^ id.len() as u64);
+        TraceContext::from_seed(h)
+    }
+
+    /// A child context: same trace, fresh span id, parent set to this
+    /// span. Child ids mix in a process-local sequence number (one
+    /// relaxed `fetch_add`) — unique without touching the wall clock.
+    pub fn child(&self) -> TraceContext {
+        static CHILD_SEQ: AtomicU64 = AtomicU64::new(1);
+        let n = CHILD_SEQ.fetch_add(1, Ordering::Relaxed);
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: splitmix64(self.span_id ^ splitmix64(n)),
+            parent_span_id: Some(self.span_id),
+        }
+    }
+
+    /// The trace id as 32 lowercase hex digits (W3C traceparent style).
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+
+    /// The span id as 16 lowercase hex digits.
+    pub fn span_id_hex(&self) -> String {
+        format!("{:016x}", self.span_id)
+    }
+
+    /// Pushes this context onto the thread's stack; it stays active (and
+    /// stamps every emission on this thread) until the guard drops.
+    pub fn enter(self) -> TraceGuard {
+        TRACE_STACK.with(|s| s.borrow_mut().push(self));
+        TraceGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+thread_local! {
+    /// The active contexts on this thread, outermost first.
+    static TRACE_STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard from [`TraceContext::enter`]; pops the context on drop.
+/// Deliberately `!Send`: a context belongs to the thread that entered it.
+pub struct TraceGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost active context on this thread, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    TRACE_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Runs `f` with `ctx` active. This is the hand-off primitive for worker
+/// threads, which never inherit the spawning thread's stack.
+pub fn with_trace<T>(ctx: TraceContext, f: impl FnOnce() -> T) -> T {
+    let _guard = ctx.enter();
+    f()
+}
+
+/// Pushes a child of the current context for a span, if one is active.
+/// Returns whether a context was pushed (the span must pop it on close).
+pub(crate) fn push_span_child() -> bool {
+    TRACE_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last().copied() {
+            Some(parent) => {
+                stack.push(parent.child());
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+/// Pops the context [`push_span_child`] pushed.
+pub(crate) fn pop_span_child() {
+    TRACE_STACK.with(|s| {
+        s.borrow_mut().pop();
+    });
+}
+
+static RUN_TRACE: Mutex<Option<TraceContext>> = Mutex::new(None);
+
+/// Promotes `ctx` to the process-wide run trace, used by exporters that
+/// render process-global state (Prometheus, the HTML report) to label
+/// their output. Replaces any previous run trace.
+pub fn set_run_trace(ctx: TraceContext) {
+    *RUN_TRACE.lock().unwrap_or_else(|e| e.into_inner()) = Some(ctx);
+}
+
+/// Clears the process-wide run trace.
+pub fn clear_run_trace() {
+    *RUN_TRACE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The process-wide run trace, if one was set.
+pub fn run_trace() -> Option<TraceContext> {
+    *RUN_TRACE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_deterministic_and_seed_sensitive() {
+        let a = TraceContext::from_seed(42);
+        let b = TraceContext::from_seed(42);
+        let c = TraceContext::from_seed(43);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, c.trace_id);
+        assert_eq!(a.parent_span_id, None);
+        assert_eq!(a.trace_id_hex().len(), 32);
+        assert_eq!(a.span_id_hex().len(), 16);
+    }
+
+    #[test]
+    fn request_id_derivation_is_stable_and_collision_averse() {
+        let a = TraceContext::from_request_id("req-abc-123");
+        let b = TraceContext::from_request_id("req-abc-123");
+        assert_eq!(a, b);
+        // Nearby ids, the empty id, and hostile bytes all stay distinct.
+        let ids = ["req-abc-124", "", "req", "\"\n\\", "req-abc-123 "];
+        for id in ids {
+            assert_ne!(
+                TraceContext::from_request_id(id).trace_id,
+                a.trace_id,
+                "{id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn children_share_the_trace_and_link_their_parent() {
+        let root = TraceContext::from_seed(7);
+        let child = root.child();
+        let grandchild = child.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_span_id, Some(root.span_id));
+        assert_eq!(grandchild.parent_span_id, Some(child.span_id));
+        assert_ne!(child.span_id, root.span_id);
+        assert_ne!(grandchild.span_id, child.span_id);
+    }
+
+    #[test]
+    fn stack_nests_and_unwinds() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceContext::from_seed(1);
+        {
+            let _g = outer.enter();
+            assert_eq!(current_trace(), Some(outer));
+            let inner = outer.child();
+            {
+                let _g2 = inner.enter();
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn with_trace_scopes_the_context_to_the_closure() {
+        let ctx = TraceContext::from_seed(5);
+        let seen = with_trace(ctx, current_trace);
+        assert_eq!(seen, Some(ctx));
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn worker_threads_do_not_inherit_but_can_adopt() {
+        let ctx = TraceContext::from_seed(11);
+        let _g = ctx.enter();
+        let (bare, adopted) = std::thread::spawn(move || {
+            let bare = current_trace();
+            let adopted = with_trace(ctx, current_trace);
+            (bare, adopted)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(bare, None, "stacks are thread-local");
+        assert_eq!(adopted, Some(ctx));
+    }
+
+    #[test]
+    fn run_trace_is_settable_and_clearable() {
+        // RUN_TRACE is process-global; serialize with other tests that
+        // set it (e.g. the Prometheus info-series test).
+        let _guard = crate::sink::global_sink_lock();
+        let ctx = TraceContext::from_seed(99);
+        set_run_trace(ctx);
+        assert_eq!(run_trace(), Some(ctx));
+        clear_run_trace();
+        assert_eq!(run_trace(), None);
+    }
+}

@@ -30,6 +30,10 @@ pub struct AppConfig {
     /// Threads per `/v1/spread` evaluation. The estimate is invariant to
     /// this, so it is purely a latency/throughput knob.
     pub spread_threads: usize,
+    /// Serve `GET /debug/trace` and `GET /debug/profile`. Off by
+    /// default: the dumps expose request ids and timing internals, so
+    /// they are for operators on trusted networks, not public traffic.
+    pub debug_endpoints: bool,
 }
 
 impl AppConfig {
@@ -40,6 +44,7 @@ impl AppConfig {
             checkpoint: checkpoint.into(),
             max_trials: 100_000,
             spread_threads: 2,
+            debug_endpoints: false,
         }
     }
 }
@@ -55,6 +60,7 @@ pub struct App {
     model: String,
     max_trials: usize,
     spread_threads: usize,
+    debug_endpoints: bool,
 }
 
 /// Loads a graph file the same way the CLI does: `.bin` is the privim
@@ -97,6 +103,7 @@ impl App {
             model: checkpoint.kind.name().to_string(),
             max_trials: config.max_trials.max(1),
             spread_threads: config.spread_threads.max(1),
+            debug_endpoints: config.debug_endpoints,
         })
     }
 
@@ -151,6 +158,66 @@ impl App {
     }
 }
 
+/// Renders the flight recorder's current contents as plain-text span
+/// trees: one block per trace id (first-seen order, untraced entries
+/// under their own heading), entries indented by span depth. This is
+/// the live view of the same rings a crash dump would serialize.
+fn render_trace_dump() -> String {
+    let entries = privim_obs::FlightRecorder::dump();
+    let mut out = format!(
+        "flight recorder: {} entries, {} dropped, armed={}\n",
+        entries.len(),
+        privim_obs::FlightRecorder::dropped(),
+        privim_obs::FlightRecorder::armed(),
+    );
+    let mut order: Vec<u128> = Vec::new();
+    for e in &entries {
+        if !order.contains(&e.trace_id) {
+            order.push(e.trace_id);
+        }
+    }
+    for trace_id in order {
+        let group: Vec<&privim_obs::DumpEntry> =
+            entries.iter().filter(|e| e.trace_id == trace_id).collect();
+        if trace_id == 0 {
+            out.push_str(&format!("\nuntraced ({} events)\n", group.len()));
+        } else {
+            out.push_str(&format!(
+                "\ntrace {trace_id:032x} ({} events)\n",
+                group.len()
+            ));
+        }
+        // Span depth = hops up the parent chain through spans this group
+        // has seen (capped: truncated rings can orphan a child).
+        let parents: std::collections::HashMap<u64, u64> = group
+            .iter()
+            .filter(|e| e.span_id != 0)
+            .map(|e| (e.span_id, e.parent_span_id))
+            .collect();
+        for e in &group {
+            let mut depth = 0usize;
+            let mut up = e.parent_span_id;
+            while up != 0 && depth < 16 {
+                depth += 1;
+                up = parents.get(&up).copied().unwrap_or(0);
+            }
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!(
+                "#{} {} {} {}",
+                e.seq,
+                e.level.as_str(),
+                e.target,
+                e.message
+            ));
+            if !e.detail.is_empty() {
+                out.push_str(&format!(" {}", e.detail));
+            }
+            out.push_str(&format!(" (span {:016x}, {})\n", e.span_id, e.thread));
+        }
+    }
+    out
+}
+
 /// Serializes a response value, or a 500 if serde fails (it cannot for
 /// these types, but a server never panics on principle).
 fn json_response<T: serde::Serialize>(value: &T) -> Response {
@@ -181,6 +248,14 @@ impl Handler for App {
                     text.into_bytes(),
                 )
             }
+            // Debug endpoints answer 404 (not 403) when disabled so a
+            // public deployment does not advertise their existence.
+            (Method::Get, "/debug/trace") if self.debug_endpoints => {
+                Response::text(200, render_trace_dump())
+            }
+            (Method::Get, "/debug/profile") if self.debug_endpoints => {
+                Response::text(200, privim_obs::profile_report().render_flamegraph())
+            }
             (Method::Post, "/v1/seeds") => match parse_body::<SeedsRequest>(req) {
                 Ok(body) => json_response(&self.seeds(&body)),
                 Err(resp) => resp,
@@ -195,6 +270,9 @@ impl Handler for App {
             (_, "/healthz" | "/version" | "/metrics" | "/v1/seeds" | "/v1/spread") => {
                 Response::error(405, &format!("method {} not allowed here", req.method))
             }
+            (_, "/debug/trace" | "/debug/profile") if self.debug_endpoints => {
+                Response::error(405, &format!("method {} not allowed here", req.method))
+            }
             (_, route) => Response::error(404, &format!("no such route: {route}")),
         }
     }
@@ -206,7 +284,49 @@ impl Handler for App {
             "/metrics" => "metrics",
             "/v1/seeds" => "seeds",
             "/v1/spread" => "spread",
+            // A disabled endpoint stays "other" so 404 probes in the
+            // metrics do not reveal the route exists.
+            "/debug/trace" | "/debug/profile" if self.debug_endpoints => "debug",
             _ => "other",
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_obs::{FlightRecorder, TraceContext};
+
+    #[test]
+    fn trace_dump_renders_span_trees_grouped_by_trace() {
+        FlightRecorder::reset();
+        FlightRecorder::arm();
+        let ctx = TraceContext::from_seed(4242);
+        {
+            let _t = ctx.enter();
+            privim_obs::info!("app_dump", "parent_work");
+            let child = ctx.child();
+            let _c = child.enter();
+            privim_obs::info!("app_dump", "child_work", step = 1u64);
+        }
+        FlightRecorder::disarm();
+        let text = render_trace_dump();
+        assert!(text.starts_with("flight recorder:"), "{text}");
+        let header = format!("trace {}", ctx.trace_id_hex());
+        assert!(text.contains(&header), "{text}");
+        let parent_line = text
+            .lines()
+            .find(|l| l.contains("parent_work"))
+            .expect("parent rendered");
+        let child_line = text
+            .lines()
+            .find(|l| l.contains("child_work"))
+            .expect("child rendered");
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(
+            indent(child_line) > indent(parent_line),
+            "child is nested under its parent:\n{text}"
+        );
+        assert!(child_line.contains("step=1"), "{child_line}");
     }
 }

@@ -77,6 +77,17 @@ impl HttpClient {
         self.request("POST", path, Some(body))
     }
 
+    /// `POST path` with a JSON body and extra request headers (e.g.
+    /// `X-Request-Id` for trace correlation).
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.request_with_headers("POST", path, headers, Some(body))
+    }
+
     /// Sends one request; on a dead reused connection, reconnects once
     /// and retries (a fresh connection's failure is returned as-is).
     pub fn request(
@@ -85,15 +96,31 @@ impl HttpClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> std::io::Result<ClientResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`HttpClient::request`] with extra request headers, sent verbatim
+    /// after the `Host` header.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
         let reused = self.reader.is_some();
-        match self.try_request(method, path, body) {
+        match self.try_request(method, path, headers, body) {
             Ok(resp) => Ok(resp),
             Err(e) if reused => {
                 self.reader = None;
                 self.reconnects += 1;
-                self.try_request(method, path, body).map_err(|retry| {
-                    std::io::Error::new(retry.kind(), format!("{retry} (after retry; first: {e})"))
-                })
+                self.try_request(method, path, headers, body)
+                    .map_err(|retry| {
+                        std::io::Error::new(
+                            retry.kind(),
+                            format!("{retry} (after retry; first: {e})"),
+                        )
+                    })
             }
             Err(e) => {
                 self.reader = None;
@@ -116,12 +143,16 @@ impl HttpClient {
         &mut self,
         method: &str,
         path: &str,
+        headers: &[(&str, &str)],
         body: Option<&[u8]>,
     ) -> std::io::Result<ClientResponse> {
         self.ensure_connected()?;
         let reader = self.reader.as_mut().expect("connected");
         let stream = reader.get_mut();
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("Content-Type: application/json\r\n");
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));

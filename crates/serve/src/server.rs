@@ -117,6 +117,9 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Maximum accepted request-body size in bytes.
     pub max_body: usize,
+    /// Requests slower than this are logged at `Warn` with their route
+    /// and request id (forensics for tail latency).
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +130,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             deadline: Duration::from_secs(10),
             max_body: 1 << 20,
+            slow_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -167,6 +171,9 @@ impl Server {
                 .spawn(move || accept_loop(listener, &stop, &queue))?
         };
 
+        // Publish the gauge (and per-worker counters, below) before any
+        // traffic so the very first `/metrics` scrape already shows them.
+        privim_obs::gauge("serve.queue_depth").set(0.0);
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let stop = Arc::clone(&stop);
@@ -174,11 +181,22 @@ impl Server {
             let handler = Arc::clone(&handler);
             let deadline = config.deadline;
             let max_body = config.max_body;
+            let slow_threshold = config.slow_threshold;
+            privim_obs::counter(&format!("serve.worker_{i}_busy_micros")).add(0);
+            privim_obs::counter(&format!("serve.worker_{i}_idle_micros")).add(0);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&stop, &queue, handler.as_ref(), deadline, max_body)
+                        worker_loop(
+                            i,
+                            &stop,
+                            &queue,
+                            handler.as_ref(),
+                            deadline,
+                            max_body,
+                            slow_threshold,
+                        )
                     })?,
             );
         }
@@ -289,26 +307,67 @@ fn reject(mut stream: TcpStream, overloaded: bool) {
 }
 
 fn worker_loop(
+    worker: usize,
     stop: &AtomicBool,
     queue: &Bounded<Conn>,
     handler: &dyn Handler,
     deadline: Duration,
     max_body: usize,
+    slow_threshold: Duration,
 ) {
-    while let Some(conn) = queue.pop() {
+    let busy = privim_obs::counter(&format!("serve.worker_{worker}_busy_micros"));
+    let idle = privim_obs::counter(&format!("serve.worker_{worker}_idle_micros"));
+    let mut last = Instant::now();
+    while let Some(conn) = {
+        let conn = queue.pop();
+        idle.add(last.elapsed().as_micros() as u64);
+        last = Instant::now();
+        conn
+    } {
         privim_obs::gauge("serve.queue_depth").set(queue.len() as f64);
-        serve_connection(conn, stop, handler, deadline, max_body);
+        serve_connection(conn, stop, handler, deadline, max_body, slow_threshold);
+        busy.add(last.elapsed().as_micros() as u64);
+        last = Instant::now();
     }
 }
 
 /// Serves one connection until it closes, errors, keep-alive ends, or a
 /// shutdown is requested (in-flight request still gets its response).
+/// Derives the request's trace context and the id echoed back in
+/// `X-Request-Id`. A client-supplied id (sane ASCII, bounded length) is
+/// honored verbatim so the caller can correlate; anything else gets a
+/// generated id from a process-local counter. Neither path reads the
+/// wall clock or consumes RNG, keeping seeded responses bit-identical.
+fn request_trace(request: &Request) -> (String, privim_obs::TraceContext) {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 128
+                && id.bytes().all(|b| b.is_ascii_graphic() || b == b' ') =>
+        {
+            (
+                id.to_string(),
+                privim_obs::TraceContext::from_request_id(id),
+            )
+        }
+        _ => {
+            static REQUEST_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+            let n = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+            // Domain tag "srv-req" keeps generated ids clear of every
+            // other splitmix64-derived stream in the workspace.
+            let ctx = privim_obs::TraceContext::from_seed(0x7372_765F_7265_7100 ^ n);
+            (ctx.trace_id_hex(), ctx)
+        }
+    }
+}
+
 fn serve_connection(
     conn: Conn,
     stop: &AtomicBool,
     handler: &dyn Handler,
     deadline: Duration,
     max_body: usize,
+    slow_threshold: Duration,
 ) {
     let Conn {
         stream,
@@ -349,6 +408,12 @@ fn serve_connection(
         } else {
             handler.route_label(&request)
         };
+        // Every request gets a trace context — from the client's
+        // X-Request-Id when one is sent, generated otherwise — entered
+        // for the whole handling so handler events (and the parallel
+        // spread workers, which re-adopt it) are all stamped with it.
+        let (request_id, trace_ctx) = request_trace(&request);
+        let _trace = trace_ctx.enter();
         let started = Instant::now();
         // A panicking handler must cost one 500, not one pool thread.
         // `/readyz` is answered by the server itself: readiness must stay
@@ -360,6 +425,7 @@ fn serve_connection(
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
                 .unwrap_or_else(|_| Response::error(500, "handler panicked"))
         };
+        let response = response.with_header("X-Request-Id", &request_id);
         let elapsed = started.elapsed().as_secs_f64();
         privim_obs::counter("serve.requests").add(1);
         privim_obs::counter(&format!("serve.requests.{label}")).add(1);
@@ -373,7 +439,20 @@ fn serve_connection(
             route = label,
             status = response.status as u64,
             secs = elapsed,
+            request_id = request_id.clone(),
         );
+        if elapsed >= slow_threshold.as_secs_f64() {
+            privim_obs::counter("serve.slow_requests").add(1);
+            privim_obs::warn!(
+                "serve",
+                "slow_request",
+                route = label,
+                status = response.status as u64,
+                secs = elapsed,
+                threshold_secs = slow_threshold.as_secs_f64(),
+                request_id = request_id.clone(),
+            );
+        }
         // Honor keep-alive only while the server is not draining.
         let keep_alive = request.wants_keep_alive() && !stop.load(Ordering::SeqCst);
         if response.write_to(&mut stream, keep_alive).is_err() {
@@ -550,6 +629,47 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(client.post("/echo", b"x").unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_ids_are_echoed_or_generated() {
+        let server = start(1, 8);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        // Client-supplied id comes back verbatim.
+        let resp = client
+            .post_with_headers("/echo", &[("X-Request-Id", "my-req-1")], b"{}")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-request-id"), Some("my-req-1"));
+        // Without one, the server generates a 32-hex-digit trace id.
+        let resp = client.post("/echo", b"{}").unwrap();
+        let generated = resp.header("x-request-id").expect("generated id");
+        assert_eq!(generated.len(), 32, "{generated}");
+        assert!(generated.chars().all(|c| c.is_ascii_hexdigit()));
+        // A hostile id (header-injection attempt) is replaced, not echoed.
+        let resp = client
+            .post_with_headers("/echo", &[("X-Request-Id", "a\tb")], b"{}")
+            .unwrap();
+        assert_ne!(resp.header("x-request-id"), Some("a\tb"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_are_counted_against_the_threshold() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            slow_threshold: Duration::from_millis(50),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(config, echo_handler()).expect("bind");
+        let before = privim_obs::counter("serve.slow_requests").get();
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.get("/slow").unwrap().status, 200);
+        assert_eq!(client.post("/echo", b"{}").unwrap().status, 200);
+        let after = privim_obs::counter("serve.slow_requests").get();
+        assert_eq!(after - before, 1, "only the 150 ms /slow crosses 50 ms");
         server.shutdown();
     }
 

@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use privim_datasets::paper::Dataset;
 use privim_graph::io;
@@ -14,11 +14,16 @@ use privim_im::models::{DiffusionConfig, DiffusionModel};
 use privim_im::spread::influence_spread_parallel;
 use privim_nn::models::{build_model, ModelKind};
 use privim_nn::serialize::Checkpoint;
+use privim_obs::{FlightRecorder, Level, MemorySink, TraceContext};
 use privim_serve::{App, AppConfig, HttpClient, ReadyGate, Server, ServerConfig, SpreadResponse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 static FIXTURE_ID: AtomicU32 = AtomicU32::new(0);
+
+/// The flight recorder is process-global; tests that arm or reset it
+/// serialize here so parallel test threads cannot disarm each other.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
 
 /// A served fixture: a small Email-replica graph saved in binary form and
 /// a freshly initialized (untrained — irrelevant for serving semantics)
@@ -76,6 +81,19 @@ fn start_server(fixture: &Fixture) -> Server {
     Server::start(config, Arc::new(app)).unwrap()
 }
 
+/// Like [`start_server`], but with the operator debug endpoints on.
+fn start_server_debug(fixture: &Fixture) -> Server {
+    let mut app_config = fixture.app_config();
+    app_config.debug_endpoints = true;
+    let app = App::load(&app_config).unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..ServerConfig::default()
+    };
+    Server::start(config, Arc::new(app)).unwrap()
+}
+
 #[test]
 fn two_instances_serve_byte_identical_seeds() {
     let fixture = Fixture::create();
@@ -99,8 +117,111 @@ fn two_instances_serve_byte_identical_seeds() {
     let r1_again = c1.post("/v1/seeds", body.as_bytes()).unwrap();
     assert_eq!(r1.body, r1_again.body);
 
+    // Arming the flight recorder and stamping per-request trace contexts
+    // (distinct X-Request-Ids on each instance) is pure observability:
+    // the served bytes must not change.
+    {
+        let _rec = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        FlightRecorder::arm();
+        let r3 = c1
+            .post_with_headers("/v1/seeds", &[("X-Request-Id", "bitid-a")], body.as_bytes())
+            .unwrap();
+        let r4 = c2
+            .post_with_headers("/v1/seeds", &[("X-Request-Id", "bitid-b")], body.as_bytes())
+            .unwrap();
+        FlightRecorder::disarm();
+        assert_eq!(r3.body, r1.body, "recorder+tracing must not change bytes");
+        assert_eq!(r4.body, r1.body, "trace ids must not leak into bodies");
+        assert_eq!(r3.header("x-request-id"), Some("bitid-a"));
+        assert_eq!(r4.header("x-request-id"), Some("bitid-b"));
+    }
+
     first.shutdown();
     second.shutdown();
+}
+
+#[test]
+fn request_trace_correlates_header_events_recorder_and_debug_endpoint() {
+    let _rec = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let fixture = Fixture::create();
+    let server = start_server_debug(&fixture);
+    let sink = Arc::new(MemorySink::new(Level::Debug));
+    privim_obs::install_sink(sink.clone());
+    FlightRecorder::reset();
+    FlightRecorder::arm();
+
+    // The same shape of id loadgen generates, so this doubles as the
+    // forensics cross-check: a sampled client-side id must be findable
+    // in the server's flight-recorder dump.
+    let rid = "loadgen-3-17-00c0ffee00c0ffee";
+    let expected = TraceContext::from_request_id(rid);
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+    let resp = client
+        .post_with_headers("/v1/seeds", &[("X-Request-Id", rid)], br#"{"k": 3}"#)
+        .unwrap();
+    FlightRecorder::disarm();
+
+    // 1. The id is echoed on the response.
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-request-id"), Some(rid));
+
+    // 2. The event stream (what a JSONL sink would write) carries the
+    //    derived trace id on the request event.
+    let events = sink.events();
+    let event = events
+        .iter()
+        .find(|e| e.trace.map(|t| t.trace_id) == Some(expected.trace_id))
+        .unwrap_or_else(|| panic!("no event carries trace {}", expected.trace_id_hex()));
+    assert!(
+        event.to_json_line().contains(&expected.trace_id_hex()),
+        "JSONL line must serialize the trace id"
+    );
+
+    // 3. The flight recorder captured the request under the same trace.
+    assert!(
+        FlightRecorder::dump()
+            .iter()
+            .any(|e| e.trace_id == expected.trace_id),
+        "recorder dump must hold the request's trace"
+    );
+
+    // 4. /debug/trace renders the same trace id in its span tree.
+    let debug = client.get("/debug/trace").unwrap();
+    assert_eq!(debug.status, 200);
+    let text = String::from_utf8_lossy(&debug.body).into_owned();
+    assert!(
+        text.contains(&expected.trace_id_hex()),
+        "debug trace body:\n{text}"
+    );
+
+    // /debug/profile answers with folded stacks (possibly empty).
+    assert_eq!(client.get("/debug/profile").unwrap().status, 200);
+
+    privim_obs::take_sinks();
+    server.shutdown();
+}
+
+#[test]
+fn debug_endpoints_are_hidden_unless_enabled() {
+    let fixture = Fixture::create();
+    let server = start_server(&fixture);
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+
+    // Disabled endpoints 404 like any unknown route — indistinguishable
+    // from a server built without them.
+    assert_eq!(client.get("/debug/trace").unwrap().status, 404);
+    assert_eq!(client.get("/debug/profile").unwrap().status, 404);
+    server.shutdown();
+
+    let server = start_server_debug(&fixture);
+    let mut client = HttpClient::connect(&server.local_addr().to_string()).unwrap();
+    assert_eq!(client.get("/debug/trace").unwrap().status, 200);
+    assert_eq!(
+        client.post("/debug/trace", b"").unwrap().status,
+        405,
+        "enabled endpoints reject wrong methods, not hide"
+    );
+    server.shutdown();
 }
 
 #[test]
