@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json>
-//!     [--runtime-tol f]   allowed relative slowdown       (default 0.25)
-//!     [--quality-tol f]   allowed relative quality drop   (default 0.05)
-//!     [--min-runtime f]   noise floor in seconds          (default 0.01)
-//!     [--strict]          missing baseline metrics also fail
+//!     [--runtime-tol f]     allowed relative slowdown       (default 0.25)
+//!     [--quality-tol f]     allowed relative quality drop   (default 0.05)
+//!     [--min-runtime f]     noise floor in seconds          (default 0.01)
+//!     [--tol name=f]        per-metric tolerance override (repeatable;
+//!                           `name` is a substring of the flattened metric)
+//!     [--history path]      append a one-line JSON summary of this
+//!                           comparison to `path` (a JSONL trend file)
+//!     [--strict]            any removed baseline metric also fails
 //! ```
+//!
+//! Removed **quality** metrics (spread/coverage/gain) always fail, with
+//! or without `--strict` — losing the metric hides regressions.
 //!
 //! Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
 //! I/O error.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use privim_bench::diff::{diff_json, DiffOptions};
 
 const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> \
-[--runtime-tol f] [--quality-tol f] [--min-runtime f] [--strict]";
+[--runtime-tol f] [--quality-tol f] [--min-runtime f] [--tol name=f] \
+[--history path] [--strict]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -36,6 +45,7 @@ fn main() -> ExitCode {
 
 fn run(args: Vec<String>) -> Result<bool, String> {
     let mut opts = DiffOptions::default();
+    let mut history: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -43,6 +53,17 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--runtime-tol" => opts.runtime_tol = next_f64(&mut it, "--runtime-tol")?,
             "--quality-tol" => opts.quality_tol = next_f64(&mut it, "--quality-tol")?,
             "--min-runtime" => opts.min_runtime = next_f64(&mut it, "--min-runtime")?,
+            "--tol" => {
+                let raw = it.next().ok_or("--tol needs name=value")?;
+                let (name, value) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tol expects name=value, got {raw}"))?;
+                let tol: f64 = value
+                    .parse()
+                    .map_err(|e| format!("bad tolerance in --tol {raw}: {e}"))?;
+                opts.overrides.push((name.to_string(), tol));
+            }
+            "--history" => history = Some(it.next().ok_or("--history needs a path")?),
             "--strict" => opts.strict = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other if other.starts_with("--") => {
@@ -60,6 +81,19 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         .map_err(|e| format!("cannot read candidate {candidate}: {e}"))?;
     let report = diff_json(&base_text, &cand_text, &opts)?;
     print!("{}", report.render());
+    if let Some(path) = history {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = report.history_record(&opts, baseline, candidate, unix_secs);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open history file {path}: {e}"))?;
+        writeln!(file, "{line}").map_err(|e| format!("cannot append to {path}: {e}"))?;
+    }
     Ok(!report.has_regressions(&opts))
 }
 

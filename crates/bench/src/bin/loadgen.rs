@@ -131,6 +131,7 @@ struct RouteRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    p999_ms: f64,
 }
 
 /// Writes the graph + checkpoint fixture the in-process server loads.
@@ -328,6 +329,7 @@ fn main() {
             p50_ms: 0.0,
             p95_ms: 0.0,
             p99_ms: 0.0,
+            p999_ms: 0.0,
         };
         for outcome in &all_outcomes {
             match outcome {
@@ -361,6 +363,7 @@ fn main() {
         row.p50_ms = percentile(&latencies, 0.50);
         row.p95_ms = percentile(&latencies, 0.95);
         row.p99_ms = percentile(&latencies, 0.99);
+        row.p999_ms = percentile(&latencies, 0.999);
         row.throughput_rps = row.ok as f64 / elapsed.max(1e-9);
         rows.push(row);
     }
@@ -384,6 +387,7 @@ fn main() {
                 format!("{:.2}", r.p50_ms),
                 format!("{:.2}", r.p95_ms),
                 format!("{:.2}", r.p99_ms),
+                format!("{:.2}", r.p999_ms),
             ]
         })
         .collect();
@@ -391,6 +395,7 @@ fn main() {
     print_table(
         &[
             "route", "reqs", "ok", "503", "err", "dropped", "rps", "p50ms", "p95ms", "p99ms",
+            "p999ms",
         ],
         &table,
     );

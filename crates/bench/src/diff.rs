@@ -24,9 +24,15 @@ pub struct DiffOptions {
     /// Runtime metrics whose baseline is below this many seconds are too
     /// noisy to gate on and are reported as informational only.
     pub min_runtime: f64,
-    /// Also fail when a metric present in the baseline is missing from
-    /// the candidate (default: report but do not fail).
+    /// Also fail when *any* metric present in the baseline is missing
+    /// from the candidate (default: only removed **quality** metrics
+    /// fail; removed runtime/info metrics are reported but tolerated).
     pub strict: bool,
+    /// Per-metric tolerance overrides: the first `(substring, tol)`
+    /// whose substring matches the flattened metric name replaces the
+    /// class tolerance for that metric. Lets CI loosen one noisy kernel
+    /// (`--tol min_secs=1.0`) without widening the global gate.
+    pub overrides: Vec<(String, f64)>,
 }
 
 impl Default for DiffOptions {
@@ -36,6 +42,24 @@ impl Default for DiffOptions {
             quality_tol: 0.05,
             min_runtime: 0.01,
             strict: false,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl DiffOptions {
+    /// The tolerance gating `name`: the first matching override, or the
+    /// class default.
+    pub fn tolerance_for(&self, name: &str, class: MetricClass) -> f64 {
+        for (pat, tol) in &self.overrides {
+            if name.contains(pat.as_str()) {
+                return *tol;
+            }
+        }
+        match class {
+            MetricClass::Runtime => self.runtime_tol,
+            MetricClass::Quality => self.quality_tol,
+            MetricClass::Info => f64::INFINITY,
         }
     }
 }
@@ -89,17 +113,29 @@ pub struct MetricDiff {
 pub struct DiffReport {
     /// Every metric present in both files, in row order.
     pub metrics: Vec<MetricDiff>,
-    /// Metrics present in the baseline but absent from the candidate.
-    pub missing: Vec<String>,
+    /// Metrics present in the baseline but removed from the candidate.
+    /// Removed **quality** metrics always gate; the rest only under
+    /// `strict`.
+    pub removed: Vec<String>,
     /// Metrics present only in the candidate (new coverage, never fatal).
     pub added: Vec<String>,
 }
 
 impl DiffReport {
-    /// True when any gated metric regressed (or, under `strict`, any
-    /// baseline metric went missing).
+    /// True when any gated metric regressed, a quality metric was
+    /// removed, or (under `strict`) any baseline metric was removed.
     pub fn has_regressions(&self, opts: &DiffOptions) -> bool {
-        self.metrics.iter().any(|m| m.regressed) || (opts.strict && !self.missing.is_empty())
+        self.metrics.iter().any(|m| m.regressed)
+            || self.removed_quality().next().is_some()
+            || (opts.strict && !self.removed.is_empty())
+    }
+
+    /// Removed metrics whose loss is itself a regression (the quality
+    /// family: dropping a spread/coverage column hides regressions).
+    pub fn removed_quality(&self) -> impl Iterator<Item = &String> {
+        self.removed
+            .iter()
+            .filter(|n| classify(metric_part(n)) == MetricClass::Quality)
     }
 
     /// The regressed subset.
@@ -127,8 +163,13 @@ impl DiffReport {
                 100.0 * m.relative
             );
         }
-        for name in &self.missing {
-            let _ = writeln!(out, "  missing  {name}");
+        for name in &self.removed {
+            let marker = if classify(metric_part(name)) == MetricClass::Quality {
+                "REMOVED" // gating: a lost quality metric hides regressions
+            } else {
+                "removed"
+            };
+            let _ = writeln!(out, "{marker:>9}  {name}");
         }
         for name in &self.added {
             let _ = writeln!(out, "    added  {name}");
@@ -136,13 +177,44 @@ impl DiffReport {
         let n_reg = self.regressions().count();
         let _ = writeln!(
             out,
-            "{} metrics compared, {} regressed, {} missing, {} added",
+            "{} metrics compared, {} regressed, {} removed, {} added",
             self.metrics.len(),
             n_reg,
-            self.missing.len(),
+            self.removed.len(),
             self.added.len()
         );
         out
+    }
+
+    /// One-line JSON record for `--history` trend files (JSONL): the
+    /// gate outcome and counts, plus every regressed metric by name.
+    pub fn history_record(
+        &self,
+        opts: &DiffOptions,
+        baseline: &str,
+        candidate: &str,
+        unix_secs: u64,
+    ) -> String {
+        let gate = if self.has_regressions(opts) {
+            "fail"
+        } else {
+            "pass"
+        };
+        let regressed: Vec<String> = self
+            .regressions()
+            .map(|m| format!("\"{}\"", m.name.replace('"', "'")))
+            .collect();
+        format!(
+            "{{\"unix_secs\": {unix_secs}, \"baseline\": \"{}\", \"candidate\": \"{}\", \
+             \"gate\": \"{gate}\", \"compared\": {}, \"regressed\": [{}], \
+             \"removed\": {}, \"added\": {}}}",
+            baseline.replace('"', "'"),
+            candidate.replace('"', "'"),
+            self.metrics.len(),
+            regressed.join(", "),
+            self.removed.len(),
+            self.added.len(),
+        )
     }
 }
 
@@ -157,14 +229,15 @@ pub fn diff_json(
     let mut report = DiffReport::default();
     for (name, &b) in &base {
         let Some(&c) = cand.get(name) else {
-            report.missing.push(name.clone());
+            report.removed.push(name.clone());
             continue;
         };
         let class = classify(metric_part(name));
         let relative = if b != 0.0 { (c - b) / b.abs() } else { 0.0 };
+        let tol = opts.tolerance_for(name, class);
         let regressed = match class {
-            MetricClass::Runtime => b >= opts.min_runtime && relative > opts.runtime_tol,
-            MetricClass::Quality => relative < -opts.quality_tol,
+            MetricClass::Runtime => b >= opts.min_runtime && relative > tol,
+            MetricClass::Quality => relative < -tol,
             MetricClass::Info => false,
         };
         // A runtime baseline below the noise floor is informational.
@@ -304,7 +377,7 @@ mod tests {
             "{}",
             report.render()
         );
-        assert!(report.missing.is_empty());
+        assert!(report.removed.is_empty());
         assert!(report.added.is_empty());
         assert!(!report.metrics.is_empty());
         assert!(report.metrics.iter().all(|m| m.relative == 0.0));
@@ -405,22 +478,129 @@ mod tests {
             "{}",
             report.render()
         );
-        // The envelope's telemetry metrics are new coverage, not missing.
-        assert!(report.missing.is_empty());
+        // The envelope's telemetry metrics are new coverage, not removed.
+        assert!(report.removed.is_empty());
         assert!(report.added.iter().any(|n| n.contains("span.training")));
     }
 
     #[test]
-    fn missing_metrics_fail_only_under_strict() {
+    fn removed_runtime_metrics_fail_only_under_strict() {
         let fewer = with_metric(ENVELOPE, "\"preprocessing_secs\": 0.02, ", "");
         let report = diff_json(ENVELOPE, &fewer, &DiffOptions::default()).unwrap();
-        assert_eq!(report.missing.len(), 1);
+        assert_eq!(report.removed.len(), 1);
         assert!(!report.has_regressions(&DiffOptions::default()));
+        assert!(report.render().contains("removed  "), "{}", report.render());
         let strict = DiffOptions {
             strict: true,
             ..DiffOptions::default()
         };
         assert!(report.has_regressions(&strict));
+    }
+
+    #[test]
+    fn removed_quality_metric_gates_even_without_strict() {
+        // Dropping a spread column from one row must fail the diff: a
+        // quality metric that vanishes can hide a real regression.
+        let fewer = with_metric(ENVELOPE, "\"spread_mean\": 349.67, ", "");
+        let report = diff_json(ENVELOPE, &fewer, &DiffOptions::default()).unwrap();
+        assert_eq!(report.removed.len(), 1);
+        assert_eq!(report.removed_quality().count(), 1);
+        assert!(
+            report.has_regressions(&DiffOptions::default()),
+            "{}",
+            report.render()
+        );
+        assert!(report.render().contains("REMOVED"), "{}", report.render());
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_beat_class_defaults() {
+        // +20% on training_secs: clean under the default 25% gate …
+        let slower = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 1.8");
+        let mut opts = DiffOptions::default();
+        assert!(!diff_json(ENVELOPE, &slower, &opts)
+            .unwrap()
+            .has_regressions(&opts));
+        // … regressed once an override tightens that one metric …
+        opts.overrides = vec![("training_secs".into(), 0.1)];
+        assert!(diff_json(ENVELOPE, &slower, &opts)
+            .unwrap()
+            .has_regressions(&opts));
+        // … and clean again when the override loosens it below a tight
+        // global tolerance (the override wins in both directions).
+        opts.runtime_tol = 0.05;
+        opts.overrides = vec![("training_secs".into(), 0.5)];
+        assert!(!diff_json(ENVELOPE, &slower, &opts)
+            .unwrap()
+            .has_regressions(&opts));
+    }
+
+    /// A kernelbench-shaped envelope: the committed `BENCH_kernels.json`
+    /// baseline compared against a candidate whose matmul kernel got 2×
+    /// slower must gate, while the identical candidate passes.
+    #[test]
+    fn kernelbench_2x_slowdown_gates_against_committed_baseline() {
+        let baseline = r#"{
+          "seed": 42,
+          "rows": [
+            {"kernel": "matmul", "size": "medium",
+             "flops": 24576000, "bytes": 1638400, "items": 2, "allocs": 19,
+             "min_secs": 0.02, "mean_secs": 0.021, "cv": 0.03, "gflops": 1.2,
+             "checksum": 10749.8},
+            {"kernel": "spmm", "size": "medium",
+             "flops": 524288, "bytes": 6422528, "items": 8192, "allocs": 8215,
+             "min_secs": 0.012, "mean_secs": 0.013, "cv": 0.05,
+             "checksum": -528.49}
+          ],
+          "telemetry": {"counters": {"nn.flops.matmul": 25239552}}
+        }"#;
+        let opts = DiffOptions::default();
+        let self_diff = diff_json(baseline, baseline, &opts).unwrap();
+        assert!(!self_diff.has_regressions(&opts), "{}", self_diff.render());
+
+        let slowed = with_metric(baseline, "\"min_secs\": 0.02,", "\"min_secs\": 0.04,");
+        let report = diff_json(baseline, &slowed, &opts).unwrap();
+        assert!(report.has_regressions(&opts), "{}", report.render());
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1, "{}", report.render());
+        assert_eq!(reg[0].name, "matmul medium / min_secs");
+        assert!((reg[0].relative - 1.0).abs() < 1e-12);
+        // Work counters and checksums are informational, never gated.
+        assert!(report
+            .metrics
+            .iter()
+            .all(|m| m.class == MetricClass::Info || m.name.contains("secs")));
+    }
+
+    #[test]
+    fn history_record_is_one_parseable_json_line() {
+        let slow = with_metric(ENVELOPE, "\"training_secs\": 1.5", "\"training_secs\": 3.0");
+        let opts = DiffOptions::default();
+        let report = diff_json(ENVELOPE, &slow, &opts).unwrap();
+        let line = report.history_record(&opts, "BENCH_kernels.json", "fresh.json", 1_700_000_000);
+        assert!(!line.contains('\n'), "single line: {line}");
+        let value = parse(&line).expect("history record parses");
+        assert_eq!(value.get("gate").and_then(JsonValue::as_str), Some("fail"));
+        assert_eq!(
+            value.get("unix_secs").and_then(JsonValue::as_f64),
+            Some(1_700_000_000.0)
+        );
+        let regressed = value
+            .get("regressed")
+            .and_then(JsonValue::as_array)
+            .expect("regressed array");
+        assert_eq!(regressed.len(), 1);
+        assert!(regressed[0].as_str().unwrap().ends_with("training_secs"));
+
+        let clean = diff_json(ENVELOPE, ENVELOPE, &opts).unwrap();
+        let line = clean.history_record(&opts, "b.json", "c.json", 7);
+        assert_eq!(
+            parse(&line)
+                .unwrap()
+                .get("gate")
+                .and_then(JsonValue::as_str),
+            Some("pass")
+        );
     }
 
     #[test]

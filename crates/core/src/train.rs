@@ -223,15 +223,26 @@ pub(crate) fn dp_step<R: Rng + ?Sized>(
         batch_loss += tape.value(loss).as_scalar();
         let grads = tape.backward(loss);
         let mut gv = model.params().grads(&pv, grads);
+        // Per-sample clip + accumulate (Algorithm 2, lines 6-7) over
+        // P gradient entries: the l2 norm costs 2P flops, the clip
+        // rescale P, the accumulate P; traffic is one read for the
+        // norm, read+write for the rescale, and read + read-modify-
+        // write for the accumulate.
+        let prof = privim_obs::ProfScope::enter("train.clip_accumulate");
+        let p64 = gv.num_entries() as u64;
         if privacy.is_some() {
+            prof.add_work(4 * p64, 8 * 6 * p64, p64);
             let pre_norm = gv.clip(config.clip_bound);
             pre_norm_sum += pre_norm;
             post_norm_sum += pre_norm.min(config.clip_bound);
             if pre_norm > config.clip_bound {
                 clipped += 1;
             }
+        } else {
+            prof.add_work(p64, 8 * 3 * p64, p64);
         }
         sum.add_assign(&gv);
+        drop(prof);
     }
     privim_obs::fault_point("train.post_backward")?;
     let mean_loss = batch_loss / batch as f64;

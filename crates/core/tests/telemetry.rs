@@ -211,5 +211,35 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
     // FLOP counters only tick while profiling is enabled.
     let snap = privim_obs::snapshot();
     assert!(snap.counters.get("nn.flops.matmul").copied().unwrap_or(0) > 0);
+
+    // Roofline work counters: the bit-identity assertions above ran with
+    // profiling *and* work counters armed, so the hot kernels must carry
+    // exact flop/byte/item attribution in the merged call tree …
+    for scope in ["nn.matmul", "train.clip_accumulate"] {
+        let row = prof
+            .rows
+            .iter()
+            .find(|r| r.name == scope)
+            .unwrap_or_else(|| panic!("missing work-counter scope {scope}"));
+        assert!(row.has_work(), "{scope} recorded no work counters");
+        assert!(
+            row.arithmetic_intensity().is_some(),
+            "{scope} must derive a roofline intensity (flops and bytes both set)"
+        );
+        assert!(row.items > 0, "{scope} item counter empty");
+    }
+    // … and the per-scope flop totals agree exactly with the metrics
+    // counter, which is fed the same values at the same sites.
+    let matmul_flops: u64 = prof
+        .rows
+        .iter()
+        .filter(|r| r.name.starts_with("nn.matmul"))
+        .map(|r| r.flops)
+        .sum();
+    assert_eq!(
+        Some(matmul_flops),
+        snap.counters.get("nn.flops.matmul").copied(),
+        "profile work counters and metrics counter diverged"
+    );
     privim_obs::reset_profile();
 }

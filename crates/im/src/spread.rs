@@ -36,7 +36,10 @@ pub fn influence_spread<R: Rng + ?Sized>(
         return deterministic_one_step_coverage(g, seeds) as f64;
     }
     assert!(trials > 0, "need at least one trial");
-    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    let prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    // Work = trials simulated; cascade cost is data-dependent, so the
+    // item counter (not flops/bytes) is the unit of throughput here.
+    prof.add_work(0, 0, trials as u64);
     let started = std::time::Instant::now();
     let total: usize = (0..trials)
         .map(|_| {
@@ -131,7 +134,10 @@ pub fn influence_spread_with_ci<R: Rng + ?Sized>(
         };
     }
     assert!(trials >= 2, "need at least two trials for a CI");
-    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    let prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    // Work = trials simulated; cascade cost is data-dependent, so the
+    // item counter (not flops/bytes) is the unit of throughput here.
+    prof.add_work(0, 0, trials as u64);
     let started = std::time::Instant::now();
     let samples: Vec<f64> = (0..trials)
         .map(|_| {
@@ -238,7 +244,10 @@ pub fn influence_spread_parallel(
     if n_threads == 0 {
         return Err(SpreadError::ZeroThreads);
     }
-    let _prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    let prof = privim_obs::ProfScope::enter("im.monte_carlo");
+    // Work = trials simulated; cascade cost is data-dependent, so the
+    // item counter (not flops/bytes) is the unit of throughput here.
+    prof.add_work(0, 0, trials as u64);
     let started = std::time::Instant::now();
     // Trace contexts are thread-local and not inherited by spawned
     // workers; capture the caller's and re-enter it on each worker so

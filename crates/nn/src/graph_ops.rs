@@ -29,10 +29,14 @@ impl Tape {
     ) -> Var {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
         assert_eq!(src.len(), coeff.len(), "coeff length mismatch");
-        let _prof = ProfScope::enter("nn.spmm");
+        let prof = ProfScope::enter("nn.spmm");
         add_count("nn.edges.spmm", src.len() as u64);
         let hv = self.value(h);
         let d = hv.cols();
+        // Per edge: mul+add over d lanes; touch (src,dst) ids + coeff,
+        // read the source row, read+write the destination row.
+        let (e64, d64) = (src.len() as u64, d as u64);
+        prof.add_work(2 * e64 * d64, e64 * (16 + 24 * d64), e64);
         let mut out = Matrix::zeros(n_out, d);
         for e in 0..src.len() {
             let (s, t, c) = (src[e] as usize, dst[e] as usize, coeff[e]);
@@ -46,9 +50,11 @@ impl Tape {
             out,
             vec![h.0],
             Some(Box::new(move |ctx| {
-                let _prof = ProfScope::enter("nn.spmm.bwd");
+                let prof = ProfScope::enter("nn.spmm.bwd");
                 add_count("nn.edges.spmm", bs.len() as u64);
                 let (n, d) = ctx.parents[0].shape();
+                let (e64, d64) = (bs.len() as u64, d as u64);
+                prof.add_work(2 * e64 * d64, e64 * (16 + 24 * d64), e64);
                 let mut dh = Matrix::zeros(n, d);
                 for e in 0..bs.len() {
                     let (s, t, c) = (bs[e] as usize, bd[e] as usize, bc[e]);
@@ -92,10 +98,13 @@ impl Tape {
 
     /// Gathers rows: `out[e] = h[idx[e]]`.
     pub fn gather_rows(&mut self, h: Var, idx: Rc<Vec<u32>>) -> Var {
-        let _prof = ProfScope::enter("nn.gather");
+        let prof = ProfScope::enter("nn.gather");
         add_count("nn.edges.gather", idx.len() as u64);
         let hv = self.value(h);
         let d = hv.cols();
+        // Pure data movement: per edge an index plus a row copy in+out.
+        let (e64, d64) = (idx.len() as u64, d as u64);
+        prof.add_work(0, e64 * (4 + 16 * d64), e64);
         let mut out = Matrix::zeros(idx.len(), d);
         for (e, &i) in idx.iter().enumerate() {
             out.row_mut(e).copy_from_slice(hv.row(i as usize));
@@ -105,8 +114,10 @@ impl Tape {
             out,
             vec![h.0],
             Some(Box::new(move |ctx| {
-                let _prof = ProfScope::enter("nn.gather.bwd");
+                let prof = ProfScope::enter("nn.gather.bwd");
                 let (n, d) = ctx.parents[0].shape();
+                let (e64, d64) = (bidx.len() as u64, d as u64);
+                prof.add_work(e64 * d64, e64 * (4 + 24 * d64), e64);
                 let mut dh = Matrix::zeros(n, d);
                 for (e, &i) in bidx.iter().enumerate() {
                     let g_row = ctx.grad.row(e).to_vec();
@@ -121,11 +132,14 @@ impl Tape {
 
     /// Scatter-add: `out[idx[e]] += v[e]`, producing `n_out` rows.
     pub fn scatter_add_rows(&mut self, v: Var, idx: Rc<Vec<u32>>, n_out: usize) -> Var {
-        let _prof = ProfScope::enter("nn.scatter_add");
+        let prof = ProfScope::enter("nn.scatter_add");
         add_count("nn.edges.scatter_add", idx.len() as u64);
         let vv = self.value(v);
         assert_eq!(vv.rows(), idx.len(), "scatter index length mismatch");
         let d = vv.cols();
+        // Per edge: d adds; index + source row read + dest row read/write.
+        let (e64, d64) = (idx.len() as u64, d as u64);
+        prof.add_work(e64 * d64, e64 * (4 + 24 * d64), e64);
         let mut out = Matrix::zeros(n_out, d);
         for (e, &i) in idx.iter().enumerate() {
             let v_row = vv.row(e).to_vec();
@@ -138,8 +152,10 @@ impl Tape {
             out,
             vec![v.0],
             Some(Box::new(move |ctx| {
-                let _prof = ProfScope::enter("nn.scatter_add.bwd");
+                let prof = ProfScope::enter("nn.scatter_add.bwd");
                 let (e_rows, d) = ctx.parents[0].shape();
+                let (e64, d64) = (e_rows as u64, d as u64);
+                prof.add_work(0, e64 * (4 + 16 * d64), e64);
                 let mut dv = Matrix::zeros(e_rows, d);
                 for (e, &i) in bidx.iter().enumerate() {
                     dv.row_mut(e).copy_from_slice(ctx.grad.row(i as usize));
@@ -263,8 +279,12 @@ impl Tape {
         segment: Rc<Vec<u32>>,
         n_segments: usize,
     ) -> Var {
-        let _prof = ProfScope::enter("nn.segment_softmax");
+        let prof = ProfScope::enter("nn.segment_softmax");
         add_count("nn.edges.segment_softmax", segment.len() as u64);
+        // Three passes over E edges: max, exp-and-sum (sub, exp, add),
+        // normalize (div) — 5 flops/edge counting exp as one.
+        let e64 = segment.len() as u64;
+        prof.add_work(5 * e64, 52 * e64, e64);
         let sv = self.value(scores);
         assert_eq!(sv.shape(), (segment.len(), 1), "scores must be E x 1");
         let mut seg_max = vec![f64::NEG_INFINITY; n_segments];
@@ -286,9 +306,11 @@ impl Tape {
             out,
             vec![scores.0],
             Some(Box::new(move |ctx| {
-                let _prof = ProfScope::enter("nn.segment_softmax.bwd");
+                let prof = ProfScope::enter("nn.segment_softmax.bwd");
                 // dscore_e = α_e * (g_e - Σ_{e' in segment} α_e' g_e')
+                // Two passes: dot accumulate (mul+add), then sub+mul.
                 let e_rows = bseg.len();
+                prof.add_work(4 * e_rows as u64, 48 * e_rows as u64, e_rows as u64);
                 let mut seg_dot = vec![0.0f64; n_segments];
                 for (e, &g) in bseg.iter().enumerate() {
                     seg_dot[g as usize] += ctx.output[(e, 0)] * ctx.grad[(e, 0)];

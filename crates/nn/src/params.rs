@@ -134,6 +134,11 @@ impl GradVec {
         &mut self.blocks
     }
 
+    /// Total number of scalar entries across all blocks.
+    pub fn num_entries(&self) -> usize {
+        self.blocks.iter().map(|b| b.data().len()).sum()
+    }
+
     /// Global l2 norm over all entries of all blocks.
     pub fn l2_norm(&self) -> f64 {
         self.blocks

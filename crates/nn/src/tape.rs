@@ -212,18 +212,24 @@ impl Tape {
 
     /// Matrix product `a × b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let _prof = ProfScope::enter("nn.matmul");
+        let prof = ProfScope::enter("nn.matmul");
         let (m, k) = self.value(a).shape();
         let n = self.value(b).cols();
         let flops = (2 * m * k * n) as u64;
+        // Traffic model: read A (m×k) and B (k×n) once, write C (m×n).
+        let bytes = (8 * (m * k + k * n + m * n)) as u64;
         add_count("nn.flops.matmul", flops);
+        prof.add_work(flops, bytes, 1);
         let value = self.value(a).matmul(self.value(b));
         self.push(
             value,
             vec![a.0, b.0],
             Some(Box::new(move |ctx| {
-                let _prof = ProfScope::enter("nn.matmul.bwd");
+                let prof = ProfScope::enter("nn.matmul.bwd");
                 add_count("nn.flops.matmul", 2 * flops);
+                // Two products (dC·Bᵀ and Aᵀ·dC): 2× the forward flops;
+                // reads dC, A, B and writes dA, dB.
+                prof.add_work(2 * flops, (8 * (2 * (m * k + k * n) + m * n)) as u64, 1);
                 // dA = dC·Bᵀ ; dB = Aᵀ·dC
                 vec![
                     ctx.grad.matmul_nt(ctx.parents[1]),

@@ -20,6 +20,7 @@
 //! coarse phases (`pipeline`, `training`, …) appear as ancestors of the
 //! fine-grained kernel scopes without any extra wiring.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
@@ -37,6 +38,16 @@ pub fn profiling_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Work performed inside a scope: floating-point operations, bytes
+/// moved to/from memory, and a kernel-defined item count (edges
+/// processed, Monte-Carlo trials, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WorkCounts {
+    pub flops: u64,
+    pub bytes: u64,
+    pub items: u64,
+}
+
 #[derive(Debug)]
 struct NodeStat {
     name: &'static str,
@@ -46,6 +57,7 @@ struct NodeStat {
     total_micros: u64,
     /// Time attributed to direct children (for self = total − child).
     child_micros: u64,
+    work: WorkCounts,
 }
 
 impl NodeStat {
@@ -57,6 +69,7 @@ impl NodeStat {
             calls: 0,
             total_micros: 0,
             child_micros: 0,
+            work: WorkCounts::default(),
         }
     }
 }
@@ -94,12 +107,15 @@ impl ThreadTree {
         self.stack.push(idx);
     }
 
-    fn exit(&mut self, elapsed_micros: u64) {
+    fn exit(&mut self, elapsed_micros: u64, work: WorkCounts) {
         // Tolerate exits without a matching enter (profiling toggled
         // mid-scope): the sample is simply dropped.
         let Some(idx) = self.stack.pop() else { return };
         self.nodes[idx].calls += 1;
         self.nodes[idx].total_micros += elapsed_micros;
+        self.nodes[idx].work.flops += work.flops;
+        self.nodes[idx].work.bytes += work.bytes;
+        self.nodes[idx].work.items += work.items;
         let parent = self.nodes[idx].parent;
         self.nodes[parent].child_micros += elapsed_micros;
     }
@@ -111,6 +127,7 @@ impl ThreadTree {
             n.calls = 0;
             n.total_micros = 0;
             n.child_micros = 0;
+            n.work = WorkCounts::default();
         }
     }
 }
@@ -140,22 +157,26 @@ pub(crate) fn scope_enter(name: &'static str) -> bool {
 }
 
 /// Closes the innermost open profiler scope on this thread, attributing
-/// `elapsed_micros` to it.
-pub(crate) fn scope_exit(elapsed_micros: u64) {
+/// `elapsed_micros` (and any accumulated work counts) to it.
+pub(crate) fn scope_exit(elapsed_micros: u64, work: WorkCounts) {
     LOCAL.with(|t| {
         t.lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .exit(elapsed_micros)
+            .exit(elapsed_micros, work)
     });
 }
 
-/// A profiled scope; attributes its wall time to the call tree when
-/// dropped. Inert (one atomic load, no clock read) while profiling is
-/// disabled.
+/// A profiled scope; attributes its wall time — and any work recorded
+/// via [`ProfScope::add_work`] — to the call tree when dropped. Inert
+/// (one atomic load, no clock read) while profiling is disabled;
+/// `add_work` on a non-entered scope reads a plain bool and returns.
 pub struct ProfScope<'c> {
     clock: &'c dyn Clock,
     start_micros: u64,
     entered: bool,
+    flops: Cell<u64>,
+    bytes: Cell<u64>,
+    items: Cell<u64>,
 }
 
 impl ProfScope<'_> {
@@ -174,6 +195,23 @@ impl ProfScope<'_> {
             clock,
             start_micros,
             entered,
+            flops: Cell::new(0),
+            bytes: Cell::new(0),
+            items: Cell::new(0),
+        }
+    }
+
+    /// Records work performed inside this scope: floating-point
+    /// operations, bytes moved, and a kernel-defined item count (edges,
+    /// Monte-Carlo trials, gradient entries, …). Accumulates locally
+    /// and lands in the call tree when the scope drops, so the profiler
+    /// can derive GFLOP/s, GB/s, and arithmetic intensity per node.
+    /// Free when the scope was not entered: no atomics, no lock.
+    pub fn add_work(&self, flops: u64, bytes: u64, items: u64) {
+        if self.entered {
+            self.flops.set(self.flops.get().wrapping_add(flops));
+            self.bytes.set(self.bytes.get().wrapping_add(bytes));
+            self.items.set(self.items.get().wrapping_add(items));
         }
     }
 }
@@ -181,7 +219,14 @@ impl ProfScope<'_> {
 impl Drop for ProfScope<'_> {
     fn drop(&mut self) {
         if self.entered {
-            scope_exit(self.clock.now_micros().saturating_sub(self.start_micros));
+            scope_exit(
+                self.clock.now_micros().saturating_sub(self.start_micros),
+                WorkCounts {
+                    flops: self.flops.get(),
+                    bytes: self.bytes.get(),
+                    items: self.items.get(),
+                },
+            );
         }
     }
 }
@@ -221,6 +266,17 @@ pub struct ProfileRow {
     pub total_micros: u64,
     /// Exclusive wall time (scope minus direct children), microseconds.
     pub self_micros: u64,
+    /// Floating-point operations recorded via [`ProfScope::add_work`]
+    /// on this exact scope (children's work is not rolled up).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub flops: u64,
+    /// Bytes moved to/from memory recorded via `add_work`.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub bytes: u64,
+    /// Kernel-defined item count (edges, trials, gradient entries, …)
+    /// recorded via `add_work`.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub items: u64,
 }
 
 impl ProfileRow {
@@ -232,6 +288,43 @@ impl ProfileRow {
     /// Exclusive wall time in seconds.
     pub fn self_secs(&self) -> f64 {
         self.self_micros as f64 / 1e6
+    }
+
+    /// True when any work counter is nonzero.
+    pub fn has_work(&self) -> bool {
+        self.flops > 0 || self.bytes > 0 || self.items > 0
+    }
+
+    /// Achieved compute throughput in GFLOP/s over the scope's
+    /// inclusive time (`None` without both flops and elapsed time).
+    pub fn gflops_per_sec(&self) -> Option<f64> {
+        if self.flops > 0 && self.total_micros > 0 {
+            Some(self.flops as f64 / 1e3 / self.total_micros as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Achieved memory bandwidth in GB/s over the scope's inclusive
+    /// time (`None` without both bytes and elapsed time).
+    pub fn gbytes_per_sec(&self) -> Option<f64> {
+        if self.bytes > 0 && self.total_micros > 0 {
+            Some(self.bytes as f64 / 1e3 / self.total_micros as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte — the x-axis of a roofline
+    /// plot. Low values (≲ machine balance, a few FLOP/byte on
+    /// commodity CPUs) mean the kernel is memory-bound; high values
+    /// mean it is compute-bound. `None` when either counter is zero.
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        if self.flops > 0 && self.bytes > 0 {
+            Some(self.flops as f64 / self.bytes as f64)
+        } else {
+            None
+        }
     }
 }
 
@@ -247,6 +340,7 @@ struct Merged {
     calls: u64,
     total_micros: u64,
     child_micros: u64,
+    work: WorkCounts,
     children: Vec<Merged>,
 }
 
@@ -261,6 +355,7 @@ fn merge_node(into: &mut Vec<Merged>, tree: &ThreadTree, idx: usize) {
                 calls: 0,
                 total_micros: 0,
                 child_micros: 0,
+                work: WorkCounts::default(),
                 children: Vec::new(),
             });
             into.len() - 1
@@ -268,6 +363,9 @@ fn merge_node(into: &mut Vec<Merged>, tree: &ThreadTree, idx: usize) {
     into[pos].calls += node.calls;
     into[pos].total_micros += node.total_micros;
     into[pos].child_micros += node.child_micros;
+    into[pos].work.flops += node.work.flops;
+    into[pos].work.bytes += node.work.bytes;
+    into[pos].work.items += node.work.items;
     for &child in &node.children {
         merge_node(&mut into[pos].children, tree, child);
     }
@@ -299,6 +397,9 @@ fn flatten(nodes: &mut [Merged], prefix: &str, depth: usize, rows: &mut Vec<Prof
             calls: n.calls,
             total_micros: n.total_micros,
             self_micros: n.total_micros.saturating_sub(n.child_micros),
+            flops: n.work.flops,
+            bytes: n.work.bytes,
+            items: n.work.items,
         });
         flatten(&mut n.children, &path, depth + 1, rows);
     }
@@ -344,18 +445,30 @@ impl ProfileReport {
     }
 
     /// Renders the call tree as an indented text table sorted by total
-    /// time within each level.
+    /// time within each level. Scopes instrumented with
+    /// [`ProfScope::add_work`] additionally report achieved GFLOP/s,
+    /// GB/s, and arithmetic intensity (FLOP/byte, the roofline x-axis);
+    /// uninstrumented scopes show `-`.
     pub fn render_table(&self) -> String {
+        fn rate(v: Option<f64>) -> String {
+            match v {
+                Some(v) => format!("{v:>8.2}"),
+                None => format!("{:>8}", "-"),
+            }
+        }
         let mut out = String::from(
-            "  total(s)    self(s)      calls  scope\n\
-             ----------  ----------  ---------  -----\n",
+            "  total(s)    self(s)      calls   gflop/s      gb/s    flop/b  scope\n\
+             ----------  ----------  ---------  --------  --------  --------  -----\n",
         );
         for row in &self.rows {
             out.push_str(&format!(
-                "{:>10.6}  {:>10.6}  {:>9}  {}{}\n",
+                "{:>10.6}  {:>10.6}  {:>9}  {}  {}  {}  {}{}\n",
                 row.total_secs(),
                 row.self_secs(),
                 row.calls,
+                rate(row.gflops_per_sec()),
+                rate(row.gbytes_per_sec()),
+                rate(row.arithmetic_intensity()),
                 "  ".repeat(row.depth),
                 row.name,
             ));
@@ -491,12 +604,106 @@ mod tests {
     }
 
     #[test]
+    fn work_counters_merge_exactly_across_threads() {
+        let _guard = test_lock();
+        set_profiling(true);
+        reset_profile();
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 25;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        let p = ProfScope::enter("prof_work_mt");
+                        p.add_work(100, 40, 1);
+                        // Split increments accumulate within one scope.
+                        p.add_work(11, 8, 2);
+                    }
+                });
+            }
+        });
+        set_profiling(false);
+        let report = profile_report();
+        let row = report.row("prof_work_mt").expect("scope recorded");
+        assert_eq!(row.calls, THREADS * ITERS);
+        assert_eq!(row.flops, THREADS * ITERS * 111);
+        assert_eq!(row.bytes, THREADS * ITERS * 48);
+        assert_eq!(row.items, THREADS * ITERS * 3);
+    }
+
+    #[test]
+    fn derived_roofline_metrics() {
+        let row = ProfileRow {
+            name: "k".into(),
+            path: "k".into(),
+            depth: 0,
+            calls: 1,
+            total_micros: 2_000_000, // 2 s
+            self_micros: 2_000_000,
+            flops: 8_000_000_000, // 8 GFLOP
+            bytes: 1_000_000_000, // 1 GB
+            items: 7,
+        };
+        assert!((row.gflops_per_sec().unwrap() - 4.0).abs() < 1e-12);
+        assert!((row.gbytes_per_sec().unwrap() - 0.5).abs() < 1e-12);
+        assert!((row.arithmetic_intensity().unwrap() - 8.0).abs() < 1e-12);
+        assert!(row.has_work());
+
+        let idle = ProfileRow {
+            name: "i".into(),
+            path: "i".into(),
+            depth: 0,
+            calls: 1,
+            total_micros: 10,
+            self_micros: 10,
+            flops: 0,
+            bytes: 0,
+            items: 0,
+        };
+        assert_eq!(idle.gflops_per_sec(), None);
+        assert_eq!(idle.gbytes_per_sec(), None);
+        assert_eq!(idle.arithmetic_intensity(), None);
+        assert!(!idle.has_work());
+        // Uninstrumented rows render as dashes, not zeros.
+        let table = ProfileReport { rows: vec![idle] }.render_table();
+        assert!(table.contains("gflop/s"), "{table}");
+        assert!(table.contains("-"), "{table}");
+    }
+
+    #[test]
+    fn disabled_add_work_is_inert_and_never_reads_the_clock() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountingClock(AtomicU64);
+        impl Clock for CountingClock {
+            fn now_micros(&self) -> u64 {
+                self.0.fetch_add(1, Ordering::Relaxed)
+            }
+        }
+
+        let _guard = test_lock();
+        set_profiling(false);
+        let clock = CountingClock(AtomicU64::new(0));
+        {
+            let p = ProfScope::enter_with_clock("prof_work_inert", &clock);
+            for _ in 0..1000 {
+                p.add_work(1, 1, 1);
+            }
+        }
+        // With profiling off the whole enter/add_work/drop sequence is
+        // the single `ENABLED` load: the clock is never consulted and
+        // nothing reaches the call tree.
+        assert_eq!(clock.0.load(Ordering::Relaxed), 0, "no clock reads");
+        assert!(profile_report().row("prof_work_inert").is_none());
+    }
+
+    #[test]
     fn unmatched_exit_is_dropped() {
         let _guard = test_lock();
         set_profiling(false);
         // Simulate a scope opened before profiling was disabled: the
         // bare exit on an empty stack must be a no-op.
-        scope_exit(123);
+        scope_exit(123, WorkCounts::default());
         assert!(profile_report().row("").is_none());
     }
 }

@@ -147,6 +147,35 @@ pub fn render_prometheus_with_profile(
             );
             write_sample(&mut out, "privim_profile_calls", &labels, row.calls as f64);
         }
+        // Per-kernel work counters (only for instrumented scopes), so a
+        // scrape can derive GFLOP/s / GB/s / arithmetic-intensity via
+        // rate() without re-deriving the work formulas.
+        if profile.rows.iter().any(|r| r.has_work()) {
+            let _ = writeln!(out, "# TYPE privim_kernel_flops_total counter");
+            let _ = writeln!(out, "# TYPE privim_kernel_bytes_total counter");
+            let _ = writeln!(out, "# TYPE privim_kernel_items_total counter");
+            for row in profile.rows.iter().filter(|r| r.has_work()) {
+                let labels = format!("{{scope=\"{}\"}}", label_value(&row.path));
+                write_sample(
+                    &mut out,
+                    "privim_kernel_flops_total",
+                    &labels,
+                    row.flops as f64,
+                );
+                write_sample(
+                    &mut out,
+                    "privim_kernel_bytes_total",
+                    &labels,
+                    row.bytes as f64,
+                );
+                write_sample(
+                    &mut out,
+                    "privim_kernel_items_total",
+                    &labels,
+                    row.items as f64,
+                );
+            }
+        }
     }
     out
 }
@@ -199,6 +228,9 @@ mod tests {
                 calls: 12,
                 total_micros: 2_500_000,
                 self_micros: 2_000_000,
+                flops: 0,
+                bytes: 0,
+                items: 0,
             }],
         };
         let text = render_prometheus_with_profile(&snapshot, &profile);
@@ -213,6 +245,57 @@ mod tests {
         assert!(
             text.contains("privim_profile_calls{scope=\"training;nn.matmul\"} 12\n"),
             "{text}"
+        );
+        assert!(
+            !text.contains("privim_kernel_flops_total"),
+            "no kernel series without work counts: {text}"
+        );
+    }
+
+    #[test]
+    fn work_counters_export_kernel_series() {
+        let profile = ProfileReport {
+            rows: vec![
+                ProfileRow {
+                    name: "nn.matmul".into(),
+                    path: "training;nn.matmul".into(),
+                    depth: 1,
+                    calls: 3,
+                    total_micros: 1_000_000,
+                    self_micros: 1_000_000,
+                    flops: 2_000_000,
+                    bytes: 500_000,
+                    items: 3,
+                },
+                ProfileRow {
+                    name: "idle".into(),
+                    path: "idle".into(),
+                    depth: 0,
+                    calls: 1,
+                    total_micros: 10,
+                    self_micros: 10,
+                    flops: 0,
+                    bytes: 0,
+                    items: 0,
+                },
+            ],
+        };
+        let text = render_prometheus_with_profile(&MetricsSnapshot::default(), &profile);
+        assert!(
+            text.contains("privim_kernel_flops_total{scope=\"training;nn.matmul\"} 2000000\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_kernel_bytes_total{scope=\"training;nn.matmul\"} 500000\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_kernel_items_total{scope=\"training;nn.matmul\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("privim_kernel_flops_total{scope=\"idle\"}"),
+            "uninstrumented scopes export no kernel series: {text}"
         );
     }
 

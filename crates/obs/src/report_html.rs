@@ -222,6 +222,7 @@ pub fn render_html_report(
     );
 
     if !profile.is_empty() {
+        let work = |v: Option<f64>| v.map(fmt_num).unwrap_or_else(|| "-".into());
         let prof_rows: Vec<Vec<String>> = profile
             .rows
             .iter()
@@ -231,13 +232,24 @@ pub fn render_html_report(
                     fmt_num(r.total_secs()),
                     fmt_num(r.self_secs()),
                     r.calls.to_string(),
+                    work(r.gflops_per_sec()),
+                    work(r.gbytes_per_sec()),
+                    work(r.arithmetic_intensity()),
                 ]
             })
             .collect();
         table(
             &mut out,
             "Profile (call tree)",
-            &["scope", "total secs", "self secs", "calls"],
+            &[
+                "scope",
+                "total secs",
+                "self secs",
+                "calls",
+                "gflop/s",
+                "gb/s",
+                "flop/byte",
+            ],
             &prof_rows,
         );
         let _ = write!(
@@ -290,6 +302,9 @@ mod tests {
                 calls: 4,
                 total_micros: 1_000,
                 self_micros: 1_000,
+                flops: 8_000_000,
+                bytes: 2_000_000,
+                items: 4,
             }],
         };
         let html = render_html_report("run <1>", Some(&telemetry), &r.snapshot(), &profile);
@@ -316,6 +331,10 @@ mod tests {
             html.contains("training;nn.&lt;matmul&gt; 1000"),
             "folded stack line"
         );
+        assert!(html.contains("gflop/s"), "work columns present: {html}");
+        // 8e6 flops over 1000 µs = 8 GFLOP/s; 8e6/2e6 = 4 flop/byte.
+        assert!(html.contains("<td>8</td>"), "derived gflop/s: {html}");
+        assert!(html.contains("<td>4</td>"), "arithmetic intensity: {html}");
         assert!(html.trim_end().ends_with("</body></html>"));
     }
 

@@ -90,7 +90,7 @@ impl<'c> SpanGuard<'c> {
         self.finished = true;
         let elapsed_micros = self.clock.now_micros().saturating_sub(self.start_micros);
         if self.prof_entered {
-            profile::scope_exit(elapsed_micros);
+            profile::scope_exit(elapsed_micros, Default::default());
         }
         let secs = elapsed_micros as f64 / 1e6;
         let path = SPAN_STACK.with(|stack| {

@@ -1,0 +1,47 @@
+#!/bin/bash
+# Refreshes the committed kernel-benchmark baseline (BENCH_kernels.json).
+#
+# Run this on a quiet machine when a deliberate kernel change shifts the
+# baseline (new instrumentation, a real optimization, a new kernel), then
+# commit the result. The flags below are the contract: CI's perf-smoke
+# job runs kernelbench with the same seed/repeats, so a baseline produced
+# with different flags would diff against nothing comparable.
+#
+# Before overwriting, the script checks the two invariants the baseline
+# is trusted for:
+#   1. determinism — two default-mode runs must be byte-identical;
+#   2. self-consistency — the fresh measured run must pass bench_diff
+#      against itself with zero tolerance.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-42}"
+REPEATS="${REPEATS:-5}"
+OUT="BENCH_kernels.json"
+
+cargo build --release -q -p privim-bench --bin kernelbench --bin bench_diff
+KB=target/release/kernelbench
+DIFF=target/release/bench_diff
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== determinism check (two seeded runs must be byte-identical)"
+"$KB" --seed "$SEED" --json "$tmp/a.json" > /dev/null
+"$KB" --seed "$SEED" --json "$tmp/b.json" > /dev/null
+cmp "$tmp/a.json" "$tmp/b.json"
+
+echo "== measured baseline (seed $SEED, $REPEATS repeats)"
+"$KB" --seed "$SEED" --measure --repeats "$REPEATS" --json "$tmp/new.json"
+
+echo "== self-diff sanity (identical envelopes, zero tolerance)"
+"$DIFF" "$tmp/new.json" "$tmp/new.json" \
+  --runtime-tol 0.0 --quality-tol 0.0 --strict > /dev/null
+
+if [ -f "$OUT" ]; then
+  echo "== drift vs committed baseline (informational)"
+  "$DIFF" "$OUT" "$tmp/new.json" --runtime-tol 10.0 || true
+fi
+
+cp "$tmp/new.json" "$OUT"
+echo "wrote $OUT — review and commit it"
