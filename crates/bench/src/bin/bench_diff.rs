@@ -9,23 +9,32 @@
 //!                           `name` is a substring of the flattened metric)
 //!     [--history path]      append a one-line JSON summary of this
 //!                           comparison to `path` (a JSONL trend file)
+//!     [--trend-window n]    with --history: judge the last n entries'
+//!                           runtime_total for sustained growth (0 = off)
+//!     [--trend-tol f]       allowed relative growth across the trend
+//!                           window (default 0.15)
 //!     [--strict]            any removed baseline metric also fails
 //! ```
 //!
 //! Removed **quality** metrics (spread/coverage/gain) always fail, with
 //! or without `--strict` — losing the metric hides regressions.
 //!
-//! Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
-//! I/O error.
+//! The trend gate catches slow-boil regressions: runtimes that creep a
+//! few percent per commit never trip the pairwise tolerance, but over
+//! the trailing window the growth is visible. Monotone growth beyond
+//! `--trend-tol` fails the run; non-monotone growth beyond it warns.
+//!
+//! Exit codes: 0 = no regression, 1 = regression detected (pairwise or
+//! trend), 2 = usage or I/O error.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use privim_bench::diff::{diff_json, DiffOptions};
+use privim_bench::diff::{diff_json, trend_gate, DiffOptions, TrendVerdict};
 
 const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> \
 [--runtime-tol f] [--quality-tol f] [--min-runtime f] [--tol name=f] \
-[--history path] [--strict]";
+[--history path] [--trend-window n] [--trend-tol f] [--strict]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -46,6 +55,8 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<bool, String> {
     let mut opts = DiffOptions::default();
     let mut history: Option<String> = None;
+    let mut trend_window: usize = 0;
+    let mut trend_tol: f64 = 0.15;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -64,6 +75,16 @@ fn run(args: Vec<String>) -> Result<bool, String> {
                 opts.overrides.push((name.to_string(), tol));
             }
             "--history" => history = Some(it.next().ok_or("--history needs a path")?),
+            "--trend-window" => {
+                let raw = it.next().ok_or("--trend-window needs a value")?;
+                trend_window = raw
+                    .parse()
+                    .map_err(|e| format!("bad value for --trend-window: {e}"))?;
+                if trend_window == 1 {
+                    return Err("--trend-window needs at least 2 entries (or 0 to disable)".into());
+                }
+            }
+            "--trend-tol" => trend_tol = next_f64(&mut it, "--trend-tol")?,
             "--strict" => opts.strict = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other if other.starts_with("--") => {
@@ -79,8 +100,12 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         .map_err(|e| format!("cannot read baseline {baseline}: {e}"))?;
     let cand_text = std::fs::read_to_string(candidate)
         .map_err(|e| format!("cannot read candidate {candidate}: {e}"))?;
+    if trend_window > 0 && history.is_none() {
+        return Err("--trend-window needs --history <path> to judge".into());
+    }
     let report = diff_json(&base_text, &cand_text, &opts)?;
     print!("{}", report.render());
+    let mut trend_failed = false;
     if let Some(path) = history {
         let unix_secs = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -93,8 +118,42 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             .open(&path)
             .map_err(|e| format!("cannot open history file {path}: {e}"))?;
         writeln!(file, "{line}").map_err(|e| format!("cannot append to {path}: {e}"))?;
+        // Judge the trend over the file as it now stands, this run
+        // included.
+        if trend_window > 0 {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot re-read history file {path}: {e}"))?;
+            match trend_gate(&text, trend_window, trend_tol) {
+                TrendVerdict::Insufficient { have, want } => {
+                    println!("trend: insufficient history ({have} of {want} entries)");
+                }
+                TrendVerdict::Pass { growth } => {
+                    println!(
+                        "trend: ok ({:+.1}% runtime over last {trend_window} entries)",
+                        100.0 * growth
+                    );
+                }
+                TrendVerdict::Warn { growth } => {
+                    println!(
+                        "trend: WARN runtime grew {:+.1}% over last {trend_window} entries \
+                         (tolerance {:.1}%), but not monotonically",
+                        100.0 * growth,
+                        100.0 * trend_tol
+                    );
+                }
+                TrendVerdict::Fail { growth } => {
+                    trend_failed = true;
+                    println!(
+                        "trend: FAIL runtime grew {:+.1}% monotonically over last \
+                         {trend_window} entries (tolerance {:.1}%)",
+                        100.0 * growth,
+                        100.0 * trend_tol
+                    );
+                }
+            }
+        }
     }
-    Ok(!report.has_regressions(&opts))
+    Ok(!report.has_regressions(&opts) && !trend_failed)
 }
 
 fn next_f64<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<f64, String> {

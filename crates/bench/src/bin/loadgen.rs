@@ -12,6 +12,13 @@
 //! writing them as a `{seed, rows, telemetry}` JSON envelope via
 //! `--json`. Exits 1 if any request was dropped (no response on an
 //! established connection outside the shutdown window).
+//!
+//! `--rate <rps>` switches to *open-loop* arrivals: requests are
+//! scheduled on a global clock at the offered rate regardless of how
+//! fast responses come back, the way real traffic behaves. In that mode
+//! 503s are never retried — shed load is the measurement, not a hiccup —
+//! and the summary reports offered vs achieved throughput, the shed
+//! rate, and tail (p999) latency.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,6 +46,8 @@ struct Opts {
     json: Option<String>,
     addr: Option<String>,
     no_shutdown: bool,
+    /// Open-loop offered rate in requests/second (`None` = closed loop).
+    rate: Option<f64>,
 }
 
 impl Default for Opts {
@@ -54,13 +63,14 @@ impl Default for Opts {
             json: None,
             addr: None,
             no_shutdown: false,
+            rate: None,
         }
     }
 }
 
 const USAGE: &str = "usage: loadgen [--clients n] [--requests n] [--workers n] \
                      [--queue-depth n] [--scale f] [--seed u] [--trials n] \
-                     [--json path] [--addr host:port] [--no-shutdown]";
+                     [--rate rps] [--json path] [--addr host:port] [--no-shutdown]";
 
 fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts::default();
@@ -78,12 +88,18 @@ fn parse_opts() -> Result<Opts, String> {
             "--json" => opts.json = Some(value("--json")?),
             "--addr" => opts.addr = Some(value("--addr")?),
             "--no-shutdown" => opts.no_shutdown = true,
+            "--rate" => opts.rate = Some(num(&value("--rate")?, "--rate")?),
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
     if opts.clients == 0 || opts.requests == 0 {
         return Err("--clients and --requests must be at least 1".into());
+    }
+    if let Some(rate) = opts.rate {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err("--rate must be a positive requests/second value".into());
+        }
     }
     Ok(opts)
 }
@@ -215,6 +231,84 @@ fn run_client(
     outcomes
 }
 
+/// Returns the request triple for arrival `i` (routes alternate).
+fn request_for(i: usize, seed: u64, trials: usize) -> (&'static str, &'static str, String) {
+    let request_seed = seed + i as u64;
+    if i % 2 == 0 {
+        (
+            "seeds",
+            "/v1/seeds",
+            format!(r#"{{"k": 10, "seed": {request_seed}}}"#),
+        )
+    } else {
+        (
+            "spread",
+            "/v1/spread",
+            format!(
+                r#"{{"seeds": [0, 1, 2], "trials": {trials}, "seed": {request_seed}, "steps": 1}}"#,
+            ),
+        )
+    }
+}
+
+/// Open-loop client: arrivals are slots on a global clock ticking at
+/// `rate` requests/second; the shared index hands each thread the next
+/// slot and the thread sleeps until that slot's scheduled instant. If
+/// every thread is stuck waiting on a slow server, arrivals fall behind
+/// schedule — exactly the overload signal the mode exists to measure —
+/// and 503s are recorded without retry.
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop_client(
+    addr: &str,
+    opts: &Opts,
+    rate: f64,
+    total: usize,
+    arrivals: &AtomicUsize,
+    epoch: Instant,
+    completed: &AtomicUsize,
+    shutting_down: &AtomicBool,
+) -> Vec<Outcome> {
+    let mut outcomes = Vec::new();
+    let mut client = match HttpClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return outcomes,
+    };
+    loop {
+        let i = arrivals.fetch_add(1, Ordering::SeqCst);
+        if i >= total {
+            break;
+        }
+        let due = epoch + Duration::from_secs_f64(i as f64 / rate);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let (route, path, body) = request_for(i, opts.seed, opts.trials);
+        let request_id = format!(
+            "loadgen-open-{i}-{:016x}",
+            privim_obs::fault::splitmix64(opts.seed + i as u64)
+        );
+        let start = Instant::now();
+        match client.post_with_headers(path, &[("X-Request-Id", &request_id)], body.as_bytes()) {
+            Ok(resp) => {
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                completed.fetch_add(1, Ordering::SeqCst);
+                outcomes.push(Outcome::Answered {
+                    route,
+                    status: resp.status,
+                    ms,
+                });
+            }
+            Err(_) if shutting_down.load(Ordering::SeqCst) => {
+                outcomes.push(Outcome::Shed);
+                break;
+            }
+            Err(_) => outcomes.push(Outcome::Dropped { route, request_id }),
+        }
+    }
+    outcomes
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -259,21 +353,31 @@ fn main() {
 
     let total = opts.clients * opts.requests;
     let shutdown_at = total / 2;
-    let exercise_shutdown = !opts.no_shutdown && server.is_some();
-    println!(
-        "loadgen: {} clients x {} requests against {addr} ({})",
-        opts.clients,
-        opts.requests,
-        if exercise_shutdown {
-            format!("graceful shutdown after ~{shutdown_at} responses")
-        } else {
-            "no mid-run shutdown".to_string()
-        }
-    );
+    // Open-loop runs measure steady-state shedding; mixing in a mid-run
+    // drain would conflate the two shed sources.
+    let exercise_shutdown = !opts.no_shutdown && server.is_some() && opts.rate.is_none();
+    match opts.rate {
+        Some(rate) => println!(
+            "loadgen: open-loop, {total} arrivals at {rate} rps over {} connections \
+             against {addr}",
+            opts.clients
+        ),
+        None => println!(
+            "loadgen: {} clients x {} requests against {addr} ({})",
+            opts.clients,
+            opts.requests,
+            if exercise_shutdown {
+                format!("graceful shutdown after ~{shutdown_at} responses")
+            } else {
+                "no mid-run shutdown".to_string()
+            }
+        ),
+    }
 
     let completed = AtomicUsize::new(0);
     let shutting_down = AtomicBool::new(false);
     let clients_done = AtomicBool::new(false);
+    let arrivals = AtomicUsize::new(0);
     let started = Instant::now();
 
     let mut all_outcomes: Vec<Outcome> = Vec::new();
@@ -282,7 +386,20 @@ fn main() {
             .map(|client_id| {
                 let (addr, opts) = (&addr, &opts);
                 let (completed, shutting_down) = (&completed, &shutting_down);
-                scope.spawn(move || run_client(addr, client_id, opts, completed, shutting_down))
+                let arrivals = &arrivals;
+                scope.spawn(move || match opts.rate {
+                    Some(rate) => run_open_loop_client(
+                        addr,
+                        opts,
+                        rate,
+                        total,
+                        arrivals,
+                        started,
+                        completed,
+                        shutting_down,
+                    ),
+                    None => run_client(addr, client_id, opts, completed, shutting_down),
+                })
             })
             .collect();
         if exercise_shutdown {
@@ -404,6 +521,19 @@ fn main() {
         completed.load(Ordering::SeqCst),
         shed
     );
+    if let Some(rate) = opts.rate {
+        // Open-loop scoreboard: 503s are the server-side shed signal.
+        let ok: usize = rows.iter().map(|r| r.ok).sum();
+        let rejected: usize = rows.iter().map(|r| r.rejected).sum();
+        let answered: usize = rows.iter().map(|r| r.requests).sum();
+        let shed_pct = 100.0 * rejected as f64 / answered.max(1) as f64;
+        let p999 = rows.iter().map(|r| r.p999_ms).fold(0.0f64, f64::max);
+        println!(
+            "open-loop: offered {rate:.1} rps, achieved {:.1} rps ok, \
+             shed {rejected}/{answered} ({shed_pct:.1}%), p999 {p999:.2}ms",
+            ok as f64 / elapsed.max(1e-9),
+        );
+    }
 
     if let Some(path) = &opts.json {
         write_json_seeded(path, opts.seed, &rows).expect("write json");

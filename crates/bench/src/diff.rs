@@ -186,8 +186,21 @@ impl DiffReport {
         out
     }
 
+    /// Sum of the candidate's runtime-class metrics, in seconds. The
+    /// scalar the [`trend_gate`] watches across history entries: creeping
+    /// growth that never trips a single pairwise gate still accumulates
+    /// here.
+    pub fn runtime_total(&self) -> f64 {
+        self.metrics
+            .iter()
+            .filter(|m| classify(metric_part(&m.name)) == MetricClass::Runtime)
+            .map(|m| m.candidate)
+            .sum()
+    }
+
     /// One-line JSON record for `--history` trend files (JSONL): the
-    /// gate outcome and counts, plus every regressed metric by name.
+    /// gate outcome and counts, plus every regressed metric by name and
+    /// the candidate's total runtime for trend analysis.
     pub fn history_record(
         &self,
         opts: &DiffOptions,
@@ -207,14 +220,83 @@ impl DiffReport {
         format!(
             "{{\"unix_secs\": {unix_secs}, \"baseline\": \"{}\", \"candidate\": \"{}\", \
              \"gate\": \"{gate}\", \"compared\": {}, \"regressed\": [{}], \
-             \"removed\": {}, \"added\": {}}}",
+             \"removed\": {}, \"added\": {}, \"runtime_total\": {}}}",
             baseline.replace('"', "'"),
             candidate.replace('"', "'"),
             self.metrics.len(),
             regressed.join(", "),
             self.removed.len(),
             self.added.len(),
+            self.runtime_total(),
         )
+    }
+}
+
+/// Verdict of the [`trend_gate`] over a `--history` JSONL file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrendVerdict {
+    /// Fewer than `window` entries carry a `runtime_total`; no judgment.
+    Insufficient {
+        /// Usable entries found.
+        have: usize,
+        /// Entries the window needs.
+        want: usize,
+    },
+    /// Growth across the window is within tolerance.
+    Pass {
+        /// `(newest - oldest) / oldest` over the window.
+        growth: f64,
+    },
+    /// Total runtime grew beyond tolerance, but not monotonically —
+    /// could be one noisy entry. Report, don't gate.
+    Warn {
+        /// `(newest - oldest) / oldest` over the window.
+        growth: f64,
+    },
+    /// Runtime grew on *every* step of the window and the cumulative
+    /// growth exceeds tolerance: a sustained regression trend that no
+    /// single pairwise diff was large enough to catch.
+    Fail {
+        /// `(newest - oldest) / oldest` over the window.
+        growth: f64,
+    },
+}
+
+/// Judges the last `window` history entries for sustained runtime
+/// growth beyond `tol` (relative, e.g. 0.15 = +15% across the window).
+///
+/// Unparseable lines and records without a `runtime_total` (written by
+/// older versions) are skipped, so the gate activates once enough new
+/// entries accumulate. A non-positive oldest runtime yields `Pass` (no
+/// meaningful base to grow from).
+pub fn trend_gate(history: &str, window: usize, tol: f64) -> TrendVerdict {
+    assert!(window >= 2, "a trend needs at least 2 entries");
+    let totals: Vec<f64> = history
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| parse(l).ok())
+        .filter_map(|v| v.get("runtime_total").and_then(JsonValue::as_f64))
+        .collect();
+    if totals.len() < window {
+        return TrendVerdict::Insufficient {
+            have: totals.len(),
+            want: window,
+        };
+    }
+    let recent = &totals[totals.len() - window..];
+    let oldest = recent[0];
+    let newest = recent[window - 1];
+    if !(oldest > 0.0) {
+        return TrendVerdict::Pass { growth: 0.0 };
+    }
+    let growth = (newest - oldest) / oldest;
+    let monotone = recent.windows(2).all(|w| w[1] > w[0]);
+    if growth > tol && monotone {
+        TrendVerdict::Fail { growth }
+    } else if growth > tol {
+        TrendVerdict::Warn { growth }
+    } else {
+        TrendVerdict::Pass { growth }
     }
 }
 
@@ -594,13 +676,93 @@ mod tests {
 
         let clean = diff_json(ENVELOPE, ENVELOPE, &opts).unwrap();
         let line = clean.history_record(&opts, "b.json", "c.json", 7);
+        let value = parse(&line).unwrap();
+        assert_eq!(value.get("gate").and_then(JsonValue::as_str), Some("pass"));
+        // runtime_total = sum of all runtime-class candidate values.
+        let expected = clean.runtime_total();
+        assert!(expected > 0.0);
         assert_eq!(
-            parse(&line)
-                .unwrap()
-                .get("gate")
-                .and_then(JsonValue::as_str),
-            Some("pass")
+            value.get("runtime_total").and_then(JsonValue::as_f64),
+            Some(expected)
         );
+    }
+
+    fn history_of(totals: &[f64]) -> String {
+        totals
+            .iter()
+            .map(|t| format!("{{\"gate\": \"pass\", \"runtime_total\": {t}}}\n"))
+            .collect()
+    }
+
+    #[test]
+    fn trend_gate_fails_only_on_sustained_growth_beyond_tolerance() {
+        // Monotone +50% over the window: every step grew → Fail.
+        let fail = history_of(&[1.0, 1.1, 1.2, 1.35, 1.5]);
+        assert_eq!(
+            trend_gate(&fail, 5, 0.15),
+            TrendVerdict::Fail { growth: 0.5 }
+        );
+        // Same endpoints with a dip in the middle: not sustained → Warn.
+        let warn = history_of(&[1.0, 1.4, 1.2, 1.35, 1.5]);
+        assert_eq!(
+            trend_gate(&warn, 5, 0.15),
+            TrendVerdict::Warn { growth: 0.5 }
+        );
+        // Growth inside tolerance passes even when monotone.
+        let ok = history_of(&[1.0, 1.02, 1.04, 1.06, 1.08]);
+        assert!(matches!(
+            trend_gate(&ok, 5, 0.15),
+            TrendVerdict::Pass { .. }
+        ));
+        // Shrinking runtime passes.
+        let faster = history_of(&[1.5, 1.2, 1.0, 0.9, 0.8]);
+        assert!(matches!(
+            trend_gate(&faster, 5, 0.15),
+            TrendVerdict::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn trend_gate_windows_ignore_older_entries() {
+        // Huge historical growth, but the last 3 entries are flat.
+        let text = history_of(&[0.1, 0.5, 2.0, 2.0, 2.0]);
+        assert!(matches!(
+            trend_gate(&text, 3, 0.15),
+            TrendVerdict::Pass { .. }
+        ));
+        // The same file judged over all 5 entries warns (non-monotone
+        // tail) — the window is what makes the gate recent-history only.
+        assert!(matches!(
+            trend_gate(&text, 5, 0.15),
+            TrendVerdict::Warn { .. }
+        ));
+    }
+
+    #[test]
+    fn trend_gate_skips_legacy_and_garbage_lines() {
+        let mut text = String::from("not json\n{\"gate\": \"pass\"}\n\n");
+        text.push_str(&history_of(&[1.0, 1.3]));
+        // Only 2 usable entries: a window of 3 is insufficient.
+        assert_eq!(
+            trend_gate(&text, 3, 0.15),
+            TrendVerdict::Insufficient { have: 2, want: 3 }
+        );
+        // A window of 2 judges just the usable tail.
+        assert_eq!(
+            trend_gate(&text, 2, 0.15),
+            TrendVerdict::Fail {
+                growth: 0.30000000000000004
+            }
+        );
+    }
+
+    #[test]
+    fn trend_gate_handles_zero_baseline_runtime() {
+        let text = history_of(&[0.0, 0.0, 1.0]);
+        assert!(matches!(
+            trend_gate(&text, 3, 0.15),
+            TrendVerdict::Pass { .. }
+        ));
     }
 
     #[test]

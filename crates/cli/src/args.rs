@@ -19,6 +19,8 @@ pub enum Command {
     Account(AccountArgs),
     /// Serve influence-maximization queries over HTTP from a checkpoint.
     Serve(ServeArgs),
+    /// Render telemetry and active alerts as a text dashboard.
+    Monitor(MonitorArgs),
     /// Print usage.
     Help,
 }
@@ -53,6 +55,14 @@ pub struct TrainArgs {
     pub checkpoint_every: usize,
     /// Checkpoint generations retained on disk (`--keep`).
     pub keep: usize,
+    /// Hard ε ceiling (`--epsilon-budget`): halt before any step whose
+    /// accountant-exact ε would exceed it. Requires `--epsilon` and a
+    /// crash-safe run (`--checkpoint-dir`/`--resume`) so the halt can
+    /// persist a final checkpoint.
+    pub epsilon_budget: Option<f64>,
+    /// Fraction of the budget at which the one-shot warning alert fires
+    /// (`--budget-warn-fraction`, default 0.8).
+    pub budget_warn_fraction: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +95,24 @@ pub struct ServeArgs {
     /// Expose `GET /debug/trace` and `GET /debug/profile`
     /// (`--debug-endpoints`); off by default — see `AppConfig`.
     pub debug_endpoints: bool,
+    /// p99 latency target in milliseconds for the `/slo` tracker
+    /// (`--slo-target-ms`).
+    pub slo_target_ms: u64,
+    /// Rolling window, in requests, for SLO latency quantiles and
+    /// error/shed rates (`--slo-window`).
+    pub slo_window: usize,
+    /// Fraction of windowed requests allowed to fail or shed before the
+    /// error budget counts as burned (`--slo-error-budget`).
+    pub slo_error_budget: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorArgs {
+    /// Telemetry JSONL file to tail (`--input`).
+    pub input: Option<String>,
+    /// `host:port` of a running `privim serve` to poll `/metrics` from
+    /// (`--addr`).
+    pub addr: Option<String>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +136,7 @@ USAGE:
                   [--iterations n] [--seed u] [--checkpoint <path>]
                   [--checkpoint-dir <dir> | --resume <dir>]
                   [--checkpoint-every n] [--keep n]
+                  [--epsilon-budget f] [--budget-warn-fraction f]
   privim select   --graph <path> --checkpoint <path> [--k n]
   privim evaluate --graph <path> --seeds 1,2,3 [--steps n] [--trials n]
   privim account  --epsilon f [--delta f] [--iterations n] [--batch n]
@@ -115,7 +144,9 @@ USAGE:
   privim serve    --graph <path> --checkpoint <path> [--addr host:port]
                   [--workers n] [--queue-depth n] [--deadline-ms n]
                   [--max-trials n] [--spread-threads n] [--slow-ms n]
-                  [--debug-endpoints]
+                  [--debug-endpoints] [--slo-target-ms n] [--slo-window n]
+                  [--slo-error-budget f]
+  privim monitor  --input <telemetry.jsonl> | --addr host:port
   privim help
 
 GLOBAL FLAGS (any subcommand):
@@ -368,6 +399,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "resume",
                     "checkpoint-every",
                     "keep",
+                    "epsilon-budget",
+                    "budget-warn-fraction",
                 ],
             )?;
             if f.get("resume").is_some() && f.get("checkpoint-dir").is_some() {
@@ -382,6 +415,32 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             let keep: usize = f.parse_opt("keep", 3)?;
             if keep == 0 {
                 return Err("--keep must be positive".into());
+            }
+            let epsilon_budget: Option<f64> = match f.get("epsilon-budget") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --epsilon-budget: {e}"))?,
+                ),
+                None => None,
+            };
+            if let Some(b) = epsilon_budget {
+                if !(b > 0.0 && b.is_finite()) {
+                    return Err("--epsilon-budget must be positive and finite".into());
+                }
+                if f.get("epsilon").is_none() {
+                    return Err(
+                        "--epsilon-budget only applies to private runs; add --epsilon".into(),
+                    );
+                }
+                if f.get("checkpoint-dir").is_none() && f.get("resume").is_none() {
+                    return Err("--epsilon-budget needs a crash-safe run so the halt can \
+                                persist a checkpoint; add --checkpoint-dir or --resume"
+                        .into());
+                }
+            }
+            let budget_warn_fraction: f64 = f.parse_opt("budget-warn-fraction", 0.8)?;
+            if !(budget_warn_fraction > 0.0 && budget_warn_fraction <= 1.0) {
+                return Err("--budget-warn-fraction must be in (0, 1]".into());
             }
             Ok(Command::Train(TrainArgs {
                 graph: f.require("graph")?.to_string(),
@@ -399,6 +458,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 resume: f.get("resume").map(str::to_string),
                 checkpoint_every,
                 keep,
+                epsilon_budget,
+                budget_warn_fraction,
             }))
         }
         "select" => {
@@ -473,8 +534,19 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "max-trials",
                     "spread-threads",
                     "slow-ms",
+                    "slo-target-ms",
+                    "slo-window",
+                    "slo-error-budget",
                 ],
             )?;
+            let slo_window: usize = f.parse_opt("slo-window", 512)?;
+            if slo_window == 0 {
+                return Err("--slo-window must be positive".into());
+            }
+            let slo_error_budget: f64 = f.parse_opt("slo-error-budget", 0.01)?;
+            if !(slo_error_budget > 0.0 && slo_error_budget < 1.0) {
+                return Err("--slo-error-budget must be in (0, 1)".into());
+            }
             Ok(Command::Serve(ServeArgs {
                 graph: f.require("graph")?.to_string(),
                 checkpoint: f.require("checkpoint")?.to_string(),
@@ -486,7 +558,28 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 spread_threads: f.parse_opt("spread-threads", 2)?,
                 slow_ms: f.parse_opt("slow-ms", 1_000)?,
                 debug_endpoints,
+                slo_target_ms: f.parse_opt("slo-target-ms", 250)?,
+                slo_window,
+                slo_error_budget,
             }))
+        }
+        "monitor" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["input", "addr"])?;
+            let input = f.get("input").map(str::to_string);
+            let addr = f.get("addr").map(str::to_string);
+            match (&input, &addr) {
+                (None, None) => {
+                    return Err(
+                        "monitor needs --input <telemetry.jsonl> or --addr host:port".into(),
+                    )
+                }
+                (Some(_), Some(_)) => {
+                    return Err("monitor takes --input or --addr, not both".into())
+                }
+                _ => {}
+            }
+            Ok(Command::Monitor(MonitorArgs { input, addr }))
         }
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -620,6 +713,169 @@ mod tests {
         assert!(parse(&["train", "--graph", "g", "--keep", "0"])
             .unwrap_err()
             .contains("--keep"));
+    }
+
+    #[test]
+    fn train_budget_flags() {
+        let cmd = parse(&["train", "--graph", "g.bin"]).unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.epsilon_budget, None);
+                assert_eq!(a.budget_warn_fraction, 0.8);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "train",
+            "--graph",
+            "g.bin",
+            "--epsilon",
+            "4",
+            "--checkpoint-dir",
+            "ck",
+            "--epsilon-budget",
+            "2.5",
+            "--budget-warn-fraction",
+            "0.5",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.epsilon_budget, Some(2.5));
+                assert_eq!(a.budget_warn_fraction, 0.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A budget needs a private, crash-safe run.
+        assert!(parse(&["train", "--graph", "g", "--epsilon-budget", "1"])
+            .unwrap_err()
+            .contains("--epsilon"));
+        assert!(parse(&[
+            "train",
+            "--graph",
+            "g",
+            "--epsilon",
+            "3",
+            "--epsilon-budget",
+            "1"
+        ])
+        .unwrap_err()
+        .contains("--checkpoint-dir"));
+        for bad in ["0", "-1", "inf", "nan"] {
+            assert!(
+                parse(&[
+                    "train",
+                    "--graph",
+                    "g",
+                    "--epsilon",
+                    "3",
+                    "--checkpoint-dir",
+                    "ck",
+                    "--epsilon-budget",
+                    bad,
+                ])
+                .is_err(),
+                "--epsilon-budget {bad} must be rejected"
+            );
+        }
+        assert!(parse(&[
+            "train",
+            "--graph",
+            "g",
+            "--epsilon",
+            "3",
+            "--checkpoint-dir",
+            "ck",
+            "--epsilon-budget",
+            "1",
+            "--budget-warn-fraction",
+            "1.5",
+        ])
+        .unwrap_err()
+        .contains("--budget-warn-fraction"));
+    }
+
+    #[test]
+    fn monitor_needs_exactly_one_source() {
+        let cmd = parse(&["monitor", "--input", "run.jsonl"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor(MonitorArgs {
+                input: Some("run.jsonl".into()),
+                addr: None,
+            })
+        );
+        let cmd = parse(&["monitor", "--addr", "127.0.0.1:7878"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor(MonitorArgs {
+                input: None,
+                addr: Some("127.0.0.1:7878".into()),
+            })
+        );
+        assert!(parse(&["monitor"]).unwrap_err().contains("--input"));
+        assert!(
+            parse(&["monitor", "--input", "a.jsonl", "--addr", "localhost:1",])
+                .unwrap_err()
+                .contains("not both")
+        );
+    }
+
+    #[test]
+    fn serve_slo_flags() {
+        let cmd = parse(&["serve", "--graph", "g.bin", "--checkpoint", "m.json"]).unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.slo_target_ms, 250);
+                assert_eq!(a.slo_window, 512);
+                assert_eq!(a.slo_error_budget, 0.01);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "--graph",
+            "g.bin",
+            "--checkpoint",
+            "m.json",
+            "--slo-target-ms",
+            "100",
+            "--slo-window",
+            "64",
+            "--slo-error-budget",
+            "0.05",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.slo_target_ms, 100);
+                assert_eq!(a.slo_window, 64);
+                assert_eq!(a.slo_error_budget, 0.05);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&[
+            "serve",
+            "--graph",
+            "g",
+            "--checkpoint",
+            "m",
+            "--slo-window",
+            "0",
+        ])
+        .unwrap_err()
+        .contains("--slo-window"));
+        assert!(parse(&[
+            "serve",
+            "--graph",
+            "g",
+            "--checkpoint",
+            "m",
+            "--slo-error-budget",
+            "1",
+        ])
+        .unwrap_err()
+        .contains("--slo-error-budget"));
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! (DP-GNN training + seed selection + checkpoint), `select` (seed
 //! selection from a saved checkpoint), `evaluate` (influence spread of a
 //! seed set), `account` (privacy-accounting numbers), `serve` (threaded
-//! HTTP inference server over a saved checkpoint). Run `privim help`
-//! for usage.
+//! HTTP inference server over a saved checkpoint), `monitor` (text
+//! dashboard over a telemetry file or a live `/metrics` endpoint). Run
+//! `privim help` for usage.
 
 mod args;
+mod monitor;
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -262,6 +264,7 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Serve(a) => serve(&a),
+        Command::Monitor(a) => monitor::run(&a),
     }
 }
 
@@ -288,6 +291,36 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         slow_threshold: Duration::from_millis(a.slow_ms.max(1)),
         ..privim_serve::ServerConfig::default()
     };
+    // SLO tracking + alert rules before the listener opens, so the very
+    // first request is counted. The p99 rule sustains a few feeds to
+    // ride out cold-start latency; budget burn fires on first breach.
+    let slo_target_ms = a.slo_target_ms as f64;
+    privim_serve::slo::install(Arc::new(privim_serve::SloTracker::new(
+        privim_serve::SloConfig {
+            target_p99_ms: slo_target_ms,
+            window: a.slo_window,
+            error_budget: a.slo_error_budget,
+        },
+    )));
+    privim_obs::watch::arm(vec![
+        privim_obs::AlertRule::new(
+            "slo_latency_p99",
+            "serve.slo.p99_ms",
+            privim_obs::RuleKind::Threshold {
+                limit: slo_target_ms,
+                above: true,
+            },
+        )
+        .sustained(3),
+        privim_obs::AlertRule::new(
+            "slo_error_budget",
+            "serve.slo.budget_burn",
+            privim_obs::RuleKind::Threshold {
+                limit: 1.0,
+                above: true,
+            },
+        ),
+    ]);
     // Bind before loading: `/readyz` answers 503 while the checkpoint and
     // graph load, and flips to 200 the instant the handler is installed.
     let gate = privim_serve::ReadyGate::new();
@@ -374,6 +407,20 @@ fn train_crash_safe(
             NoiseKind::Gaussian,
         )
     });
+    // Arm the watchdog over the guard's projected-spend feed so the
+    // budget shows up as a `privim_alert_active{rule="epsilon_budget"}`
+    // series in `--metrics-out` exports and the HTML report. The rule
+    // engine consumes no RNG, so seeded runs stay bit-identical.
+    if let Some(budget) = a.epsilon_budget {
+        privim_obs::watch::arm(vec![privim_obs::AlertRule::new(
+            "epsilon_budget",
+            "dp.epsilon_next",
+            privim_obs::RuleKind::BurnRate {
+                budget,
+                warn_fraction: a.budget_warn_fraction,
+            },
+        )]);
+    }
     let outcome = train_resumable(
         a.method.model_kind(config.model),
         &out.container,
@@ -384,6 +431,8 @@ fn train_crash_safe(
         ResumeOptions {
             checkpoint_every: a.checkpoint_every,
             keep: a.keep,
+            epsilon_budget: a.epsilon_budget,
+            budget_warn_fraction: a.budget_warn_fraction,
         },
     )
     .map_err(|e| e.to_string())?;
@@ -394,6 +443,23 @@ fn train_crash_safe(
             config.iterations
         )),
         None => console(format!("fresh crash-safe run; generations in {dir}")),
+    }
+    if let Some(h) = outcome.budget_halt {
+        // `{}` on f64 prints the shortest exact round-trip decimal, so
+        // these lines carry the accountant's spend bit-for-bit.
+        if h.fresh_steps == 0 {
+            console(format!(
+                "epsilon budget halt: resume refused at epoch {} — \
+                 epsilon spent {} of budget {}, next step would reach {}",
+                h.epoch, h.epsilon_spent, h.budget, h.projected_next
+            ));
+        } else {
+            console(format!(
+                "epsilon budget halt at epoch {}: epsilon spent {} of budget {}, \
+                 next step would reach {} (checkpoint persisted)",
+                h.epoch, h.epsilon_spent, h.budget, h.projected_next
+            ));
+        }
     }
     console(format!(
         "{}: trained {} epochs over {} subgraphs | epsilon spent {}",

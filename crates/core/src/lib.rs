@@ -53,5 +53,5 @@ pub use container::{SubgraphContainer, SubgraphSample};
 pub use evaluate::{scorecard, seed_jaccard, Scorecard};
 pub use indicator::Indicator;
 pub use pipeline::{run_method, run_method_with_candidates, Method, PipelineResult};
-pub use resume::{train_resumable, ResumableOutcome, ResumeError, ResumeOptions};
+pub use resume::{train_resumable, BudgetHalt, ResumableOutcome, ResumeError, ResumeOptions};
 pub use train::{train, NoiseKind, PrivacySetup, TrainError, TrainReport};

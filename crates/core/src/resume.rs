@@ -21,6 +21,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use privim_dp::budget::{BudgetDecision, BudgetGuard};
 use privim_dp::ledger::{MechanismKind, PrivacyLedger};
 use privim_nn::models::{build_model, GnnModel, ModelKind};
 use privim_nn::optim::{Optimizer, Sgd};
@@ -103,6 +104,14 @@ pub struct ResumeOptions {
     pub checkpoint_every: usize,
     /// Generations to retain on disk. Minimum 1.
     pub keep: usize,
+    /// Hard ε ceiling for private runs: a [`BudgetGuard`] projects the
+    /// accountant-exact ε of every prospective step and halts the run
+    /// before the first step that would overspend. `None` disables the
+    /// guard. Ignored for non-private runs.
+    pub epsilon_budget: Option<f64>,
+    /// Fraction of `epsilon_budget` at which the guard's one-shot
+    /// warning fires. Only read when `epsilon_budget` is set.
+    pub budget_warn_fraction: f64,
 }
 
 impl Default for ResumeOptions {
@@ -110,8 +119,27 @@ impl Default for ResumeOptions {
         ResumeOptions {
             checkpoint_every: 1,
             keep: 3,
+            epsilon_budget: None,
+            budget_warn_fraction: privim_dp::budget::DEFAULT_WARN_FRACTION,
         }
     }
+}
+
+/// Record of a budget-enforced halt (see [`ResumeOptions::epsilon_budget`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetHalt {
+    /// The epoch whose step was refused (0-indexed; equals the number of
+    /// completed epochs).
+    pub epoch: u64,
+    /// The configured ε ceiling.
+    pub budget: f64,
+    /// Accountant-exact cumulative ε actually committed.
+    pub epsilon_spent: f64,
+    /// The exact cumulative ε the refused step would have reached.
+    pub projected_next: f64,
+    /// Steps taken by *this* invocation before the halt. 0 means a
+    /// resumed run refused to take any further step under the budget.
+    pub fresh_steps: u64,
 }
 
 /// Outcome of a resumable run.
@@ -128,6 +156,9 @@ pub struct ResumableOutcome {
     /// checkpoint of this run. Derived from the master seed, so a
     /// resumed run carries the same id as its killed predecessor.
     pub trace_id: u128,
+    /// Set when the ε budget guard halted the run before completing all
+    /// configured iterations.
+    pub budget_halt: Option<BudgetHalt>,
 }
 
 /// Digest of the configuration a checkpoint belongs to. The `Debug`
@@ -291,8 +322,69 @@ pub fn train_resumable(
     let batch = config.batch_size.min(m);
     let indices: Vec<usize> = (0..m).collect();
     let mut consecutive_bad = 0usize;
+    let mut last_ckpt_epoch: Option<u64> = resumed_from;
+    let mut budget_halt: Option<BudgetHalt> = None;
+    // The guard is pure arithmetic over cloned accountant state: it
+    // never mutates the ledger and never draws randomness, so arming it
+    // cannot perturb the seeded epoch streams below.
+    let mut guard: Option<BudgetGuard> = match (privacy, opts.epsilon_budget) {
+        (Some(_), Some(budget)) => Some(BudgetGuard::with_warn_fraction(
+            budget,
+            opts.budget_warn_fraction,
+        )),
+        _ => None,
+    };
 
     for epoch in start_epoch..config.iterations as u64 {
+        if let (Some(g), Some(setup)) = (guard.as_mut(), privacy) {
+            let ledger = ledger.as_ref().expect("private runs carry a ledger");
+            let sub = privim_dp::rdp::SubsampledConfig {
+                max_occurrences: setup.max_occurrences,
+                batch_size: batch,
+                container_size: m.max(1),
+            };
+            match g.check_next_step(ledger, setup.sigma, &sub) {
+                BudgetDecision::Halt { spent, projected } => {
+                    let fresh_steps = epoch - start_epoch;
+                    privim_obs::warn!(
+                        "dp",
+                        "budget_halt",
+                        epoch = epoch,
+                        budget = g.budget(),
+                        epsilon_spent = spent,
+                        projected_next = projected,
+                        fresh_steps = fresh_steps,
+                    );
+                    privim_obs::counter("dp.budget_halts").add(1);
+                    privim_obs::watch::observe("dp.epsilon_next", epoch, projected);
+                    budget_halt = Some(BudgetHalt {
+                        epoch,
+                        budget: g.budget(),
+                        epsilon_spent: spent,
+                        projected_next: projected,
+                        fresh_steps,
+                    });
+                    break;
+                }
+                BudgetDecision::Warn {
+                    projected,
+                    steps_remaining,
+                } => {
+                    privim_obs::warn!(
+                        "dp",
+                        "budget_warning",
+                        epoch = epoch,
+                        budget = g.budget(),
+                        projected = projected,
+                        steps_remaining = steps_remaining,
+                    );
+                    privim_obs::watch::observe("dp.epsilon_next", epoch, projected);
+                }
+                BudgetDecision::Proceed { projected } => {
+                    privim_obs::watch::observe("dp.epsilon_next", epoch, projected);
+                }
+            }
+        }
         // The whole point: each epoch's randomness depends only on
         // (master_seed, epoch), never on how many times the process died
         // on the way here.
@@ -311,6 +403,7 @@ pub fn train_resumable(
         losses.push(stats.mean_loss);
         privim_obs::counter("train.iterations").add(1);
         privim_obs::histogram("train.loss").record(stats.mean_loss);
+        privim_obs::watch::observe("train.loss", epoch, stats.mean_loss);
         if stats.skipped {
             consecutive_bad += 1;
             if privacy.is_some() {
@@ -340,6 +433,7 @@ pub fn train_resumable(
                     container_size: m.max(1),
                 };
                 let (eps, _alpha) = ledger.record_step(mech, setup.sigma, sensitivity, &sub);
+                privim_obs::watch::observe("dp.epsilon_spent", epoch, eps);
                 privim_obs::info!(
                     "train",
                     "epoch",
@@ -357,6 +451,32 @@ pub fn train_resumable(
         if completed % checkpoint_every as u64 == 0 || completed == config.iterations as u64 {
             let ckpt = TrainCheckpoint {
                 epoch: completed,
+                master_seed,
+                config_crc: expected_crc,
+                trace_id: run_ctx.trace_id,
+                model: privim_nn::serialize::Checkpoint::capture(
+                    model.as_ref(),
+                    config.feature_dim,
+                    config.hidden,
+                    config.hops,
+                ),
+                optimizer: optimizer.snapshot(),
+                ledger: ledger.clone(),
+                losses: losses.clone(),
+                clip_fractions: clip_fractions.clone(),
+            };
+            store.save(&ckpt)?;
+            last_ckpt_epoch = Some(completed);
+        }
+    }
+
+    // A budget halt is a clean, resumable stop: persist everything
+    // committed so far (unless the newest generation already covers it,
+    // as on an immediate resume-refusal).
+    if let Some(h) = &budget_halt {
+        if last_ckpt_epoch != Some(h.epoch) {
+            let ckpt = TrainCheckpoint {
+                epoch: h.epoch,
                 master_seed,
                 config_crc: expected_crc,
                 trace_id: run_ctx.trace_id,
@@ -392,6 +512,7 @@ pub fn train_resumable(
         },
         model,
         resumed_from,
+        budget_halt,
     })
 }
 

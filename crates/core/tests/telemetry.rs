@@ -6,7 +6,7 @@
 //! may change the run's numeric results (instrumentation never consumes
 //! RNG).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use privim_core::config::PrivImConfig;
 use privim_core::pipeline::{run_method, Method, PipelineResult};
@@ -14,6 +14,11 @@ use privim_datasets::generators::holme_kim;
 use privim_obs::{JsonlSink, Level, RunTelemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+// Sinks, the watchdog and the metrics registry are process-global, and
+// the harness runs #[test] functions of one binary in parallel threads:
+// every test here serializes on this gate.
+static GATE: Mutex<()> = Mutex::new(());
 
 fn fast_config() -> PrivImConfig {
     PrivImConfig {
@@ -36,10 +41,9 @@ fn run_once(g: &privim_graph::Graph, cfg: &PrivImConfig) -> PipelineResult {
     run_method(g, Method::PrivImStar, cfg, 7)
 }
 
-// One test function on purpose: sinks are process-global, and the harness
-// runs #[test] functions of one binary in parallel threads.
 #[test]
 fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = StdRng::seed_from_u64(1);
     let g = holme_kim(250, 4, 0.4, 1.0, &mut rng);
     let cfg = fast_config();
@@ -242,4 +246,193 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
         "profile work counters and metrics counter diverged"
     );
     privim_obs::reset_profile();
+}
+
+// The ε budget guard: the halt must land exactly before the first
+// overspending step, carry the accountant's numbers bit-for-bit, leave
+// seeded outputs bit-identical with the watchdog armed, and refuse
+// further steps on resume under the same budget.
+#[test]
+fn budget_guard_halts_exactly_and_keeps_runs_bit_identical() {
+    use privim_core::checkpoint::CheckpointStore;
+    use privim_core::resume::{train_resumable, ResumeOptions};
+    use privim_core::sampling::extract_dual_stage;
+    use privim_core::train::{NoiseKind, PrivacySetup};
+    use privim_nn::models::{GnnModel, ModelKind};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = holme_kim(200, 4, 0.4, 1.0, &mut rng);
+    let cfg = PrivImConfig {
+        subgraph_size: 10,
+        walk_length: 120,
+        hops: 2,
+        sampling_rate: Some(0.6),
+        freq_threshold: 4,
+        feature_dim: 4,
+        hidden: 8,
+        batch_size: 6,
+        iterations: 6,
+        ..PrivImConfig::default()
+    };
+    let candidates: Vec<privim_graph::NodeId> = g.nodes().collect();
+    let out = extract_dual_stage(&g, &cfg, &candidates, &mut rng);
+    let setup = PrivacySetup::calibrate(
+        3.0,
+        1e-4,
+        &cfg,
+        out.container.len(),
+        cfg.freq_threshold,
+        NoiseKind::Gaussian,
+    );
+    let store = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("privim-budget-e2e-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        CheckpointStore::open(&dir, 3).unwrap()
+    };
+    let run = |st: &CheckpointStore, budget: Option<f64>| {
+        train_resumable(
+            ModelKind::Gcn,
+            &out.container,
+            &cfg,
+            Some(&setup),
+            77,
+            st,
+            ResumeOptions {
+                epsilon_budget: budget,
+                ..ResumeOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let weights = |model: &dyn GnnModel| -> Vec<u64> {
+        model
+            .params()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect()
+    };
+
+    // Reference: unguarded, watchdog disarmed. Its ledger carries the
+    // exact cumulative ε after each of the 6 steps.
+    let st_ref = store("ref");
+    let reference = run(&st_ref, None);
+    assert!(reference.budget_halt.is_none());
+    let (ckpt, _) = st_ref.load_latest_valid().unwrap().unwrap();
+    let eps_trace: Vec<f64> = ckpt
+        .ledger
+        .as_ref()
+        .unwrap()
+        .to_records()
+        .iter()
+        .map(|r| r.epsilon_after)
+        .collect();
+    assert_eq!(eps_trace.len(), cfg.iterations);
+
+    // Generous budget + armed watchdog: completes all epochs and the
+    // output is bit-identical — the guard and rule engine consume no RNG.
+    privim_obs::watch::arm(vec![privim_obs::AlertRule::new(
+        "epsilon_budget",
+        "dp.epsilon_next",
+        privim_obs::RuleKind::BurnRate {
+            budget: eps_trace[5] * 2.0,
+            warn_fraction: 0.8,
+        },
+    )]);
+    let st_armed = store("armed");
+    let armed = run(&st_armed, Some(eps_trace[5] * 2.0));
+    assert!(armed.budget_halt.is_none(), "generous budget must not halt");
+    assert_eq!(
+        weights(reference.model.as_ref()),
+        weights(armed.model.as_ref()),
+        "armed watchdog changed the training stream"
+    );
+    assert_eq!(reference.report.losses, armed.report.losses);
+    assert_eq!(
+        reference.final_epsilon.unwrap().to_bits(),
+        armed.final_epsilon.unwrap().to_bits()
+    );
+    privim_obs::watch::disarm();
+
+    // A budget strictly between the spend after 3 and after 4 steps must
+    // halt exactly before step 4, reporting both sides bit-for-bit.
+    let budget = (eps_trace[2] + eps_trace[3]) / 2.0;
+    let path = std::env::temp_dir().join("privim-budget-e2e-halt.jsonl");
+    privim_obs::install_sink(Arc::new(
+        JsonlSink::create_with_level(&path, Level::Debug).expect("create telemetry file"),
+    ));
+    let st_halt = store("halt");
+    let halted = run(&st_halt, Some(budget));
+    privim_obs::take_sinks();
+    let halt = halted.budget_halt.expect("tight budget must halt");
+    assert_eq!(halt.epoch, 3, "halt before the first overspending step");
+    assert_eq!(halt.fresh_steps, 3);
+    assert_eq!(halt.budget, budget);
+    assert_eq!(
+        halt.epsilon_spent.to_bits(),
+        eps_trace[2].to_bits(),
+        "committed spend must be accountant-exact"
+    );
+    assert_eq!(
+        halt.projected_next.to_bits(),
+        eps_trace[3].to_bits(),
+        "projected spend must equal what recording the step would cost"
+    );
+    assert_eq!(halted.report.losses, reference.report.losses[..3]);
+    assert_eq!(
+        halted.final_epsilon.unwrap().to_bits(),
+        eps_trace[2].to_bits()
+    );
+    // The halt persisted a checkpoint at the halt epoch with the ledger
+    // stopped at the committed spend.
+    let (halt_ckpt, _) = st_halt.load_latest_valid().unwrap().unwrap();
+    assert_eq!(halt_ckpt.epoch, 3);
+    assert_eq!(
+        halt_ckpt
+            .ledger
+            .as_ref()
+            .unwrap()
+            .cumulative_epsilon()
+            .unwrap()
+            .to_bits(),
+        eps_trace[2].to_bits()
+    );
+    // The halt is a structured, greppable telemetry event.
+    let text = std::fs::read_to_string(&path).expect("read telemetry file");
+    std::fs::remove_file(&path).ok();
+    let halt_line = text
+        .lines()
+        .find(|l| l.contains("\"budget_halt\""))
+        .expect("budget_halt event in the stream");
+    let event = privim_obs::json::parse(halt_line).unwrap();
+    let fields = event.get("fields").unwrap();
+    assert_eq!(fields.get("epoch").unwrap().as_u64(), Some(3));
+    assert_eq!(
+        fields.get("epsilon_spent").unwrap().as_f64(),
+        Some(eps_trace[2])
+    );
+    assert_eq!(
+        fields.get("projected_next").unwrap().as_f64(),
+        Some(eps_trace[3])
+    );
+
+    // Resume under the same budget: refuses to take any further step,
+    // with the model exactly where the halt left it.
+    let resumed = run(&st_halt, Some(budget));
+    let refusal = resumed
+        .budget_halt
+        .expect("resume must refuse to overspend");
+    assert_eq!(refusal.epoch, 3);
+    assert_eq!(refusal.fresh_steps, 0, "no step may run on resume");
+    assert_eq!(refusal.epsilon_spent.to_bits(), eps_trace[2].to_bits());
+    assert_eq!(resumed.resumed_from, Some(3));
+    assert_eq!(
+        weights(resumed.model.as_ref()),
+        weights(halted.model.as_ref())
+    );
+
+    for st in [st_ref, st_armed, st_halt] {
+        std::fs::remove_dir_all(st.dir()).ok();
+    }
 }

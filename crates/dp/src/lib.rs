@@ -10,6 +10,9 @@
 //!   mechanism invocation (kind, σ, Δ_g, sampling structure, cumulative
 //!   ε), exported as `dp`/`mechanism` telemetry events and replayable
 //!   offline to re-derive the accountant's ε.
+//! - [`budget`] — the live [`BudgetGuard`] over the ledger: projects the
+//!   accountant-exact ε of the *next* step and hard-halts a run before
+//!   it can overspend a `--epsilon-budget`.
 //!
 //! # Example: calibrate noise for a PrivIM* run
 //!
@@ -31,12 +34,14 @@
 //! assert!(eps <= 3.0);
 //! ```
 
+pub mod budget;
 pub mod composition;
 pub mod ledger;
 pub mod math;
 pub mod mechanisms;
 pub mod rdp;
 
+pub use budget::{BudgetDecision, BudgetGuard};
 pub use composition::{advanced_composition, basic_composition};
 pub use ledger::{replay_records, LedgerEntry, MechanismKind, PrivacyLedger};
 pub use mechanisms::{gaussian, laplace, symmetric_multivariate_laplace};

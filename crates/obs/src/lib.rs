@@ -41,7 +41,9 @@ mod report_html;
 mod sink;
 mod span;
 mod telemetry;
+pub mod timeseries;
 pub mod trace;
+pub mod watch;
 
 pub use clock::{now_micros, Clock, ManualClock, MonotonicClock};
 pub use event::{Event, FieldValue};
@@ -69,7 +71,9 @@ pub use sink::{
 };
 pub use span::SpanGuard;
 pub use telemetry::{EpochRecord, LedgerRecord, PhaseTiming, RunTelemetry};
+pub use timeseries::{SeriesBoard, TimeSeries, TimeSeriesSnapshot};
 pub use trace::{current_trace, with_trace, TraceContext, TraceGuard};
+pub use watch::{AlertRule, AlertState, RuleKind, Watchdog};
 
 /// The global counter named `name` (creating it on first use).
 pub fn counter(name: &str) -> std::sync::Arc<Counter> {

@@ -75,10 +75,32 @@ pub const DEFAULT_BUCKETS: [f64; 22] = [
     1e2, 5e2, 1e3, 5e3, 1e4, 5e4,
 ];
 
+/// A bounded ring of the most recent samples, backing the sliding-window
+/// quantiles. Preallocated; pushing is a slot write.
+#[derive(Debug)]
+struct SampleWindow {
+    samples: Vec<f64>,
+    next: usize,
+    filled: usize,
+}
+
+impl SampleWindow {
+    fn push(&mut self, v: f64) {
+        let capacity = self.samples.len();
+        self.samples[self.next] = v;
+        self.next = (self.next + 1) % capacity;
+        self.filled = (self.filled + 1).min(capacity);
+    }
+}
+
 /// A fixed-bucket histogram with count/sum/min/max tracking.
 ///
 /// Bucket `i` counts samples `v <= bounds[i]` (first matching bound); one
 /// implicit overflow bucket counts samples above the last bound.
+/// Cumulative stats cover the histogram's whole lifetime; a histogram
+/// built via [`Histogram::with_buckets_windowed`] additionally retains
+/// the most recent samples in a ring for exact *rolling* quantiles
+/// ([`Histogram::window_quantile`]) — the SLO tracker's view of "lately".
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
@@ -88,6 +110,7 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    window: Option<Mutex<SampleWindow>>,
 }
 
 impl Histogram {
@@ -108,12 +131,27 @@ impl Histogram {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            window: None,
         }
     }
 
     /// A histogram with [`DEFAULT_BUCKETS`].
     pub fn with_default_buckets() -> Self {
         Histogram::with_buckets(&DEFAULT_BUCKETS)
+    }
+
+    /// A histogram that also keeps the most recent `window` samples for
+    /// exact sliding-window quantiles. The ring is preallocated here;
+    /// recording stays allocation-free (one short uncontended lock).
+    pub fn with_buckets_windowed(bounds: &[f64], window: usize) -> Self {
+        assert!(window > 0, "window capacity must be positive");
+        let mut h = Histogram::with_buckets(bounds);
+        h.window = Some(Mutex::new(SampleWindow {
+            samples: vec![0.0; window],
+            next: 0,
+            filled: 0,
+        }));
+        h
     }
 
     /// Records one sample.
@@ -127,6 +165,9 @@ impl Histogram {
         atomic_f64_update(&self.sum_bits, |cur| cur + v);
         atomic_f64_update(&self.min_bits, |cur| cur.min(v));
         atomic_f64_update(&self.max_bits, |cur| cur.max(v));
+        if let Some(window) = &self.window {
+            window.lock().unwrap_or_else(|e| e.into_inner()).push(v);
+        }
     }
 
     /// Number of recorded samples.
@@ -193,6 +234,42 @@ impl Histogram {
             seen += n;
         }
         self.max()
+    }
+
+    /// Exact `q`-quantile over the sliding window of recent samples
+    /// (nearest-rank, matching [`Histogram::quantile`]'s `⌈q · n⌉`
+    /// convention). NaN when no window was configured
+    /// ([`Histogram::with_buckets_windowed`]) or no sample has been
+    /// recorded yet. Samples older than the window capacity have been
+    /// evicted and no longer influence the result.
+    pub fn window_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let Some(window) = &self.window else {
+            return f64::NAN;
+        };
+        let window = window.lock().unwrap_or_else(|e| e.into_inner());
+        if window.filled == 0 {
+            return f64::NAN;
+        }
+        let mut sorted: Vec<f64> = window.samples[..window.filled].to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// Samples currently retained in the sliding window (0 without one).
+    pub fn window_len(&self) -> usize {
+        self.window
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).filled)
+            .unwrap_or(0)
+    }
+
+    /// Capacity of the sliding window, if one was configured.
+    pub fn window_capacity(&self) -> Option<usize> {
+        self.window
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).samples.len())
     }
 
     /// Smallest recorded sample (infinity when empty).
@@ -567,5 +644,62 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_buckets() {
         Histogram::with_buckets(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn window_quantile_is_exact_and_expires_old_samples() {
+        let h = Histogram::with_buckets_windowed(&DEFAULT_BUCKETS, 4);
+        assert!(h.window_quantile(0.99).is_nan(), "empty window");
+        assert_eq!(h.window_capacity(), Some(4));
+
+        // Fill with slow samples…
+        for _ in 0..4 {
+            h.record(100.0);
+        }
+        assert_eq!(h.window_len(), 4);
+        assert_eq!(h.window_quantile(0.99), 100.0);
+
+        // …then four fast ones: the slow era must be fully evicted.
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.window_len(), 4, "window stays bounded");
+        assert_eq!(h.window_quantile(0.99), 4.0, "old samples expired");
+        assert_eq!(h.window_quantile(0.5), 2.0, "nearest rank: ⌈0.5·4⌉ = 2nd");
+        assert_eq!(h.window_quantile(0.0), 1.0);
+        assert_eq!(h.window_quantile(1.0), 4.0);
+        // Cumulative stats still cover the whole lifetime.
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn window_quantile_is_monotone_in_q() {
+        let h = Histogram::with_buckets_windowed(&DEFAULT_BUCKETS, 64);
+        // Deterministic LCG stream, including values beyond the window.
+        let mut x = 0x2545f491_4f6cdd1du64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record((x >> 40) as f64 / 100.0);
+        }
+        assert_eq!(h.window_len(), 64);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.window_quantile(q);
+            assert!(v >= prev, "window quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn unwindowed_histogram_reports_no_window() {
+        let h = Histogram::with_default_buckets();
+        h.record(1.0);
+        assert_eq!(h.window_len(), 0);
+        assert_eq!(h.window_capacity(), None);
+        assert!(h.window_quantile(0.5).is_nan());
     }
 }

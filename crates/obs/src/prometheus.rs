@@ -104,6 +104,22 @@ pub fn render_prometheus_with_profile(
             label_value(&run.trace_id_hex())
         );
     }
+    // Watchdog rule states: one series per registered rule (armed
+    // processes only), 1 while firing so dashboards can alert on
+    // `privim_alert_active > 0`.
+    let alerts = crate::watch::alert_states();
+    if !alerts.is_empty() {
+        let _ = writeln!(out, "# TYPE privim_alert_active gauge");
+        for alert in &alerts {
+            let _ = writeln!(
+                out,
+                "privim_alert_active{{rule=\"{}\",metric=\"{}\"}} {}",
+                label_value(&alert.rule),
+                label_value(&alert.metric),
+                u8::from(alert.active)
+            );
+        }
+    }
     for (name, value) in &snapshot.counters {
         let name = metric_name(name);
         let _ = writeln!(out, "# TYPE {name} counter");
@@ -356,6 +372,50 @@ mod tests {
         assert!(
             !after.contains("privim_trace_info"),
             "no series once cleared"
+        );
+    }
+
+    #[test]
+    fn armed_watchdog_exports_alert_series() {
+        // The watchdog is process-global; serialize with the sink lock.
+        let _guard = crate::sink::global_sink_lock();
+        crate::watch::arm(vec![
+            crate::watch::AlertRule::new(
+                "hot",
+                "m",
+                crate::watch::RuleKind::Threshold {
+                    limit: 1.0,
+                    above: true,
+                },
+            ),
+            crate::watch::AlertRule::new(
+                "cold",
+                "m",
+                crate::watch::RuleKind::Threshold {
+                    limit: -1.0,
+                    above: false,
+                },
+            ),
+        ]);
+        crate::watch::observe("m", 1, 2.0);
+        let text = render_prometheus(&MetricsSnapshot::default());
+        crate::watch::disarm();
+        assert!(
+            text.contains("# TYPE privim_alert_active gauge\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_alert_active{rule=\"hot\",metric=\"m\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_alert_active{rule=\"cold\",metric=\"m\"} 0\n"),
+            "{text}"
+        );
+        let after = render_prometheus(&MetricsSnapshot::default());
+        assert!(
+            !after.contains("privim_alert_active"),
+            "no series once disarmed"
         );
     }
 }

@@ -578,6 +578,114 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_writers_wrap_with_correct_per_thread_eviction() {
+        let _g = locked();
+        crate::take_sinks();
+        FlightRecorder::reset();
+        FlightRecorder::arm();
+        const WRITERS: usize = 4;
+        const OVERFLOW: usize = 100;
+        std::thread::scope(|s| {
+            for t in 0..WRITERS {
+                s.spawn(move || {
+                    for i in 0..RING_CAPACITY + OVERFLOW {
+                        crate::info!("rec_conc", "c", t = t, i = i);
+                    }
+                });
+            }
+        });
+        FlightRecorder::disarm();
+        // No dump ran concurrently, so no try_lock losses: every ring
+        // holds exactly its newest RING_CAPACITY entries.
+        let entries: Vec<DumpEntry> = FlightRecorder::dump()
+            .into_iter()
+            .filter(|e| e.target == "rec_conc")
+            .collect();
+        assert_eq!(entries.len(), WRITERS * RING_CAPACITY);
+        for t in 0..WRITERS {
+            let marker = format!("t={t} ");
+            let mine: Vec<&DumpEntry> = entries
+                .iter()
+                .filter(|e| e.detail.starts_with(&marker))
+                .collect();
+            assert_eq!(mine.len(), RING_CAPACITY, "writer {t} ring is full");
+            // Oldest entries were evicted in push order: the survivors are
+            // exactly the last RING_CAPACITY pushes, oldest first.
+            for (k, e) in mine.iter().enumerate() {
+                assert_eq!(
+                    e.detail,
+                    format!("t={t} i={}", OVERFLOW + k),
+                    "writer {t} eviction order broken at slot {k}"
+                );
+            }
+            assert!(
+                mine.windows(2).all(|w| w[0].seq < w[1].seq),
+                "per-thread seq order broken for writer {t}"
+            );
+        }
+        assert!(
+            FlightRecorder::dropped() >= (WRITERS * OVERFLOW) as u64,
+            "wrap-around loss must be accounted"
+        );
+        // The merged dump is globally ordered by sequence.
+        let all = FlightRecorder::dump();
+        assert!(all.windows(2).all(|w| w[0].seq <= w[1].seq));
+    }
+
+    #[test]
+    fn dumps_taken_while_writers_race_stay_valid_jsonl() {
+        let _g = locked();
+        crate::take_sinks();
+        FlightRecorder::reset();
+        FlightRecorder::arm();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                s.spawn(move || {
+                    for i in 0..2 * RING_CAPACITY {
+                        crate::info!("rec_race", "r", t = t, i = i);
+                    }
+                });
+            }
+            // Dump repeatedly while the writers are mid-wrap; every dump
+            // must be parseable JSONL with a well-formed header, and any
+            // entry that lost its try_lock race to us is simply absent.
+            for _ in 0..5 {
+                let text = FlightRecorder::dump_jsonl("race");
+                let mut lines = text.lines();
+                let head = crate::json::parse(lines.next().unwrap()).expect("header parses");
+                assert_eq!(head.get("reason").unwrap().as_str(), Some("race"));
+                for line in lines {
+                    crate::json::parse(line).expect("every dump line parses");
+                }
+            }
+        });
+        FlightRecorder::disarm();
+        // After the writers join, each surviving per-thread sequence is
+        // still strictly ordered even though pushes may have been lost.
+        let entries: Vec<DumpEntry> = FlightRecorder::dump()
+            .into_iter()
+            .filter(|e| e.target == "rec_race")
+            .collect();
+        assert!(!entries.is_empty());
+        for t in 0..3 {
+            let marker = format!("t={t} ");
+            let mine: Vec<&DumpEntry> = entries
+                .iter()
+                .filter(|e| e.detail.starts_with(&marker))
+                .collect();
+            assert!(mine.len() <= RING_CAPACITY, "ring stays bounded");
+            let indices: Vec<usize> = mine
+                .iter()
+                .map(|e| e.detail.split("i=").nth(1).unwrap().parse().unwrap())
+                .collect();
+            assert!(
+                indices.windows(2).all(|w| w[0] < w[1]),
+                "writer {t} retained entries out of push order: {indices:?}"
+            );
+        }
+    }
+
+    #[test]
     fn dump_now_writes_the_configured_file() {
         let _g = locked();
         crate::take_sinks();

@@ -89,6 +89,36 @@ pub fn render_html_report(
         title = escape(title),
     );
 
+    // Watchdog rule states (armed processes only) lead the report: an
+    // active alert is the first thing an operator should see.
+    let alert_rows: Vec<Vec<String>> = crate::watch::alert_states()
+        .iter()
+        .map(|a| {
+            vec![
+                a.rule.clone(),
+                a.metric.clone(),
+                if a.active { "ACTIVE" } else { "ok" }.to_string(),
+                if a.value.is_nan() {
+                    "–".to_string()
+                } else {
+                    fmt_num(a.value)
+                },
+                if a.active {
+                    a.since_tick.to_string()
+                } else {
+                    "–".to_string()
+                },
+                a.detail.clone(),
+            ]
+        })
+        .collect();
+    table(
+        &mut out,
+        "Alerts",
+        &["rule", "metric", "state", "value", "since tick", "detail"],
+        &alert_rows,
+    );
+
     if let Some(t) = telemetry {
         let mut meta = Vec::new();
         if let Some(seed) = t.seed {
@@ -340,6 +370,9 @@ mod tests {
 
     #[test]
     fn empty_inputs_render_a_minimal_page() {
+        // The watchdog is process-global; serialize with the tests that
+        // arm it so "no data" really means no data.
+        let _guard = crate::sink::global_sink_lock();
         let html = render_html_report(
             "empty",
             None,
@@ -348,6 +381,38 @@ mod tests {
         );
         assert!(html.contains("<h1>empty</h1>"));
         assert!(!html.contains("<table>"), "no sections for no data");
+    }
+
+    #[test]
+    fn armed_watchdog_adds_an_alerts_section() {
+        let _guard = crate::sink::global_sink_lock();
+        crate::watch::arm(vec![crate::watch::AlertRule::new(
+            "eps_budget",
+            "dp.epsilon",
+            crate::watch::RuleKind::BurnRate {
+                budget: 4.0,
+                warn_fraction: 0.5,
+            },
+        )]);
+        crate::watch::observe("dp.epsilon", 3, 3.5);
+        let html = render_html_report(
+            "alerting",
+            None,
+            &MetricsSnapshot::default(),
+            &ProfileReport::default(),
+        );
+        crate::watch::disarm();
+        assert!(html.contains("<h2>Alerts</h2>"), "{html}");
+        assert!(html.contains("<td>eps_budget</td>"), "{html}");
+        assert!(html.contains("<td>ACTIVE</td>"), "{html}");
+        assert!(html.contains("budget 4"), "breach detail rendered: {html}");
+        let after = render_html_report(
+            "quiet",
+            None,
+            &MetricsSnapshot::default(),
+            &ProfileReport::default(),
+        );
+        assert!(!after.contains("Alerts"), "no section once disarmed");
     }
 
     #[test]

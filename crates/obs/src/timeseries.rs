@@ -1,0 +1,358 @@
+//! Fixed-capacity per-metric time-series rings.
+//!
+//! The metrics registry answers "how much, in total" — counters, gauges
+//! and cumulative histograms. A live watchdog needs the *shape over
+//! time*: the last N `(tick, value)` points of a signal, its smoothed
+//! level, and its recent rate of change. [`TimeSeries`] stores exactly
+//! that in a ring preallocated at construction: the steady-state
+//! [`TimeSeries::push`] is a slot write plus a handful of float ops —
+//! no allocation, mirroring the flight recorder's contract. Ticks are
+//! caller-chosen (epoch numbers, request counts, or clock micros via
+//! [`SeriesBoard::record`]), which is what makes watchdog evaluation
+//! deterministic for seeded runs: the same run produces the same
+//! `(tick, value)` stream regardless of wall time.
+
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, MonotonicClock};
+
+/// Default EWMA smoothing factor (weight of the newest sample).
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.2;
+
+/// A bounded ring of `(tick, value)` points with an exponentially
+/// weighted moving average maintained incrementally over *all* pushed
+/// points (not just the retained window).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+    next: usize,
+    filled: usize,
+    pushed: u64,
+    ewma_alpha: f64,
+    ewma: f64,
+    has_ewma: bool,
+}
+
+impl TimeSeries {
+    /// A series retaining the most recent `capacity` points, smoothing
+    /// with [`DEFAULT_EWMA_ALPHA`].
+    pub fn with_capacity(capacity: usize) -> TimeSeries {
+        TimeSeries::with_ewma_alpha(capacity, DEFAULT_EWMA_ALPHA)
+    }
+
+    /// A series with an explicit EWMA smoothing factor in `(0, 1]`.
+    pub fn with_ewma_alpha(capacity: usize, alpha: f64) -> TimeSeries {
+        assert!(capacity > 0, "time series capacity must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        TimeSeries {
+            points: vec![(0, 0.0); capacity],
+            next: 0,
+            filled: 0,
+            pushed: 0,
+            ewma_alpha: alpha,
+            ewma: 0.0,
+            has_ewma: false,
+        }
+    }
+
+    /// Appends one point. Non-finite values are dropped (a poisoned
+    /// sample must not poison the EWMA). Zero allocation.
+    pub fn push(&mut self, tick: u64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let capacity = self.points.len();
+        self.points[self.next] = (tick, value);
+        self.next = (self.next + 1) % capacity;
+        self.filled = (self.filled + 1).min(capacity);
+        self.pushed += 1;
+        if self.has_ewma {
+            self.ewma = self.ewma_alpha * value + (1.0 - self.ewma_alpha) * self.ewma;
+        } else {
+            self.ewma = value;
+            self.has_ewma = true;
+        }
+    }
+
+    /// Retained points (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// True before the first finite push.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Total points ever pushed (`pushed - len` = points evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Newest point.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        if self.filled == 0 {
+            return None;
+        }
+        let capacity = self.points.len();
+        Some(self.points[(self.next + capacity - 1) % capacity])
+    }
+
+    /// Oldest retained point.
+    pub fn oldest(&self) -> Option<(u64, f64)> {
+        self.iter_ordered().next()
+    }
+
+    /// The exponentially weighted moving average over all pushed values.
+    pub fn ewma(&self) -> Option<f64> {
+        self.has_ewma.then_some(self.ewma)
+    }
+
+    /// Windowed rate of change: `Δvalue / Δtick` across the most recent
+    /// `window` points. `None` until two distinct ticks are in range —
+    /// for a cumulative signal this is its burn rate per tick.
+    pub fn rate(&self, window: usize) -> Option<f64> {
+        let take = window.min(self.filled);
+        if take < 2 {
+            return None;
+        }
+        let mut it = self.iter_ordered().skip(self.filled - take);
+        let (t0, v0) = it.next()?;
+        let (t1, v1) = it.last()?;
+        if t1 <= t0 {
+            return None;
+        }
+        Some((v1 - v0) / (t1 - t0) as f64)
+    }
+
+    /// Mean of the most recent `window` values.
+    pub fn window_mean(&self, window: usize) -> Option<f64> {
+        let take = window.min(self.filled);
+        if take == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .iter_ordered()
+            .skip(self.filled - take)
+            .map(|(_, v)| v)
+            .sum();
+        Some(sum / take as f64)
+    }
+
+    /// Retained points, oldest first.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let capacity = self.points.len();
+        let start = if self.filled < capacity { 0 } else { self.next };
+        (0..self.filled).map(move |i| self.points[(start + i) % capacity])
+    }
+
+    /// An owned copy of the current state (allocates; not a hot-path
+    /// call).
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        TimeSeriesSnapshot {
+            points: self.iter_ordered().collect(),
+            pushed: self.pushed,
+            ewma: self.ewma(),
+        }
+    }
+}
+
+/// Owned copy of a series, for exporters and dashboards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesSnapshot {
+    /// Retained `(tick, value)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+    /// Total points ever pushed.
+    pub pushed: u64,
+    /// Smoothed level, if any point was pushed.
+    pub ewma: Option<f64>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Newest point.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        self.points.last().copied()
+    }
+}
+
+/// A named collection of series sharing one capacity and one injected
+/// clock. After a series exists, [`SeriesBoard::observe`] is
+/// allocation-free: a lock, a linear name scan, a ring write.
+pub struct SeriesBoard {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    series: Mutex<Vec<(String, TimeSeries)>>,
+}
+
+impl SeriesBoard {
+    /// A board over the monotonic process clock.
+    pub fn new(capacity: usize) -> SeriesBoard {
+        SeriesBoard::with_clock(capacity, Arc::new(MonotonicClock))
+    }
+
+    /// A board over an injected clock (tests pass a `ManualClock`).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> SeriesBoard {
+        assert!(capacity > 0, "series capacity must be positive");
+        SeriesBoard {
+            clock,
+            capacity,
+            series: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends `(tick, value)` to `name`, creating the series on first
+    /// use.
+    pub fn observe(&self, name: &str, tick: u64, value: f64) {
+        let mut series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, s)) = series.iter_mut().find(|(n, _)| n == name) {
+            s.push(tick, value);
+            return;
+        }
+        let mut s = TimeSeries::with_capacity(self.capacity);
+        s.push(tick, value);
+        series.push((name.to_string(), s));
+    }
+
+    /// Appends `value` stamped with the injected clock's current
+    /// microseconds as the tick.
+    pub fn record(&self, name: &str, value: f64) {
+        self.observe(name, self.clock.now_micros(), value);
+    }
+
+    /// Snapshot of one series.
+    pub fn get(&self, name: &str) -> Option<TimeSeriesSnapshot> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.snapshot())
+    }
+
+    /// Runs `f` against one live series, avoiding a snapshot copy.
+    pub fn with_series<R>(&self, name: &str, f: impl FnOnce(&TimeSeries) -> R) -> Option<R> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series.iter().find(|(n, _)| n == name).map(|(_, s)| f(s))
+    }
+
+    /// All series, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, TimeSeriesSnapshot)> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, TimeSeriesSnapshot)> = series
+            .iter()
+            .map(|(n, s)| (n.clone(), s.snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn ring_keeps_the_newest_points_in_order() {
+        let mut s = TimeSeries::with_capacity(4);
+        for i in 0..10u64 {
+            s.push(i, i as f64);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.pushed(), 10);
+        assert_eq!(s.oldest(), Some((6, 6.0)));
+        assert_eq!(s.latest(), Some((9, 9.0)));
+        let ticks: Vec<u64> = s.iter_ordered().map(|(t, _)| t).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ewma_tracks_all_pushes_and_skips_non_finite() {
+        let mut s = TimeSeries::with_ewma_alpha(2, 0.5);
+        s.push(0, 4.0);
+        assert_eq!(s.ewma(), Some(4.0), "first sample seeds the EWMA");
+        s.push(1, 0.0);
+        assert_eq!(s.ewma(), Some(2.0));
+        s.push(2, f64::NAN);
+        s.push(3, f64::INFINITY);
+        assert_eq!(s.ewma(), Some(2.0), "non-finite values are dropped");
+        assert_eq!(s.pushed(), 2);
+        s.push(4, 2.0);
+        assert_eq!(s.ewma(), Some(2.0));
+    }
+
+    #[test]
+    fn windowed_rate_is_delta_value_over_delta_tick() {
+        let mut s = TimeSeries::with_capacity(8);
+        assert_eq!(s.rate(4), None);
+        // Cumulative signal growing 0.5 per tick.
+        for i in 0..6u64 {
+            s.push(i * 2, i as f64);
+        }
+        let r = s.rate(3).unwrap();
+        assert!((r - 0.5).abs() < 1e-12, "{r}");
+        // Whole-ring window gives the same slope for a linear signal.
+        assert!((s.rate(100).unwrap() - 0.5).abs() < 1e-12);
+        // Duplicate tick: no rate.
+        let mut flat = TimeSeries::with_capacity(4);
+        flat.push(5, 1.0);
+        flat.push(5, 2.0);
+        assert_eq!(flat.rate(2), None);
+    }
+
+    #[test]
+    fn window_mean_covers_only_the_requested_suffix() {
+        let mut s = TimeSeries::with_capacity(8);
+        for i in 0..5u64 {
+            s.push(i, i as f64); // 0 1 2 3 4
+        }
+        assert_eq!(s.window_mean(2), Some(3.5));
+        assert_eq!(s.window_mean(100), Some(2.0));
+        assert_eq!(TimeSeries::with_capacity(2).window_mean(1), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_points_and_ewma() {
+        let mut s = TimeSeries::with_capacity(3);
+        for i in 0..5u64 {
+            s.push(i, (i * i) as f64);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.points, vec![(2, 4.0), (3, 9.0), (4, 16.0)]);
+        assert_eq!(snap.pushed, 5);
+        assert_eq!(snap.ewma, s.ewma());
+        assert_eq!(snap.latest(), Some((4, 16.0)));
+    }
+
+    #[test]
+    fn board_with_manual_clock_stamps_deterministic_ticks() {
+        let clock = Arc::new(ManualClock::default());
+        let board = SeriesBoard::with_clock(4, clock.clone());
+        board.record("lat", 1.0);
+        clock.advance_micros(10);
+        board.record("lat", 3.0);
+        let snap = board.get("lat").unwrap();
+        assert_eq!(snap.points, vec![(0, 1.0), (10, 3.0)]);
+        assert_eq!(board.get("missing"), None);
+    }
+
+    #[test]
+    fn board_snapshot_is_sorted_by_name() {
+        let board = SeriesBoard::new(4);
+        board.observe("zeta", 0, 1.0);
+        board.observe("alpha", 0, 2.0);
+        board.observe("alpha", 1, 3.0);
+        let all = board.snapshot();
+        let names: Vec<&str> = all.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(all[0].1.points.len(), 2);
+        assert_eq!(
+            board.with_series("alpha", |s| s.latest()).unwrap(),
+            Some((1, 3.0))
+        );
+    }
+}

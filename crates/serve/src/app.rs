@@ -248,6 +248,12 @@ impl Handler for App {
                     text.into_bytes(),
                 )
             }
+            (Method::Get, "/slo") => match crate::slo::global() {
+                // Hand-rolled JSON keeps the body deterministic and
+                // independent of the serde stack.
+                Some(tracker) => Response::json(200, tracker.render_json().into_bytes()),
+                None => Response::error(404, "slo tracking not enabled"),
+            },
             // Debug endpoints answer 404 (not 403) when disabled so a
             // public deployment does not advertise their existence.
             (Method::Get, "/debug/trace") if self.debug_endpoints => {
@@ -267,7 +273,7 @@ impl Handler for App {
                 },
                 Err(resp) => resp,
             },
-            (_, "/healthz" | "/version" | "/metrics" | "/v1/seeds" | "/v1/spread") => {
+            (_, "/healthz" | "/version" | "/metrics" | "/slo" | "/v1/seeds" | "/v1/spread") => {
                 Response::error(405, &format!("method {} not allowed here", req.method))
             }
             (_, "/debug/trace" | "/debug/profile") if self.debug_endpoints => {
@@ -282,6 +288,7 @@ impl Handler for App {
             "/healthz" => "healthz",
             "/version" => "version",
             "/metrics" => "metrics",
+            "/slo" => "slo",
             "/v1/seeds" => "seeds",
             "/v1/spread" => "spread",
             // A disabled endpoint stays "other" so 404 probes in the

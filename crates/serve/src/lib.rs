@@ -21,12 +21,15 @@
 //!   acceptor can shed load immediately) and blocking `pop`.
 //! - [`app`] — the PrivIM application handler: loads a checkpoint plus a
 //!   graph, scores every node once, then serves `/v1/seeds`,
-//!   `/v1/spread`, `/healthz`, `/version` and `/metrics`.
+//!   `/v1/spread`, `/healthz`, `/version`, `/metrics` and `/slo`.
 //! - [`api`] — the JSON request/response types and their determinism
 //!   contract.
 //! - [`client`] — a small blocking HTTP client used by tests and the
 //!   `loadgen` benchmark.
 //! - [`signal`] — SIGINT/SIGTERM → `AtomicBool` for clean CLI shutdown.
+//! - [`slo`] — rolling-window SLO tracking (windowed p99 vs target,
+//!   error/shed budget burn) behind `GET /slo`, `serve.slo.*` gauges and
+//!   the watchdog rule engine.
 //!
 //! # Privacy
 //!
@@ -50,6 +53,7 @@ pub mod http;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod slo;
 
 pub use api::{SeedsRequest, SeedsResponse, SpreadRequest, SpreadResponse, VersionResponse};
 pub use app::{load_graph, App, AppConfig};
@@ -58,3 +62,4 @@ pub use http::{HttpError, Method, Request, Response};
 pub use queue::{Bounded, PushError};
 pub use server::{Handler, ReadyGate, Server, ServerConfig};
 pub use signal::{install_shutdown_handler, shutdown_requested, trip_shutdown};
+pub use slo::{SloConfig, SloSnapshot, SloTracker};

@@ -275,6 +275,9 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool, queue: &Bounded<Conn>) 
                     let conn = err.into_inner();
                     privim_obs::counter("serve.rejected").add(1);
                     privim_obs::debug!("serve", "rejected", reason = "queue_full");
+                    if let Some(slo) = crate::slo::global() {
+                        slo.record_shed();
+                    }
                     reject(conn.stream, overloaded);
                 } else {
                     privim_obs::gauge("serve.queue_depth").set(queue.len() as f64);
@@ -382,6 +385,9 @@ fn serve_connection(
     // answered like a shed one: the client has likely given up already.
     if accepted_at.elapsed() >= deadline {
         privim_obs::counter("serve.expired").add(1);
+        if let Some(slo) = crate::slo::global() {
+            slo.record_shed();
+        }
         reject(stream, true);
         return;
     }
@@ -432,6 +438,9 @@ fn serve_connection(
         privim_obs::histogram(&format!("serve.latency_secs.{label}")).record(elapsed);
         if response.status >= 500 {
             privim_obs::counter("serve.errors").add(1);
+        }
+        if let Some(slo) = crate::slo::global() {
+            slo.record_request(elapsed, response.status);
         }
         privim_obs::debug!(
             "serve",
