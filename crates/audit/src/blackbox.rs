@@ -1,0 +1,311 @@
+//! Black-box score extraction against a live `privim-serve` instance.
+//!
+//! The black-box adversary never touches the checkpoint: it sends
+//! `POST /v1/seeds` with `k = |V|`, which returns every node ranked
+//! with its model score — exactly the per-node score vector the
+//! white-box attacks compute locally. Any gap between white-box and
+//! black-box attack success therefore measures what the serving layer
+//! hides, not what the model leaks.
+//!
+//! A second, purely black-box signal uses `POST /v1/spread`: for a
+//! node pair `(u, v)`, `spread({u}) + spread({v}) - spread({u, v})`
+//! measures how much the two nodes' influence overlaps, and adjacent
+//! nodes overlap more than distant ones. [`influence_overlap_probe`]
+//! turns that into an edge-inference AUC over a small probed pair
+//! sample — a channel the white-box attack does not even need, so it
+//! quantifies what the *spread endpoint* leaks about topology.
+//!
+//! Responses are parsed with a minimal hand-rolled extractor for the
+//! flat number arrays and scalars we need (`seeds`, `scores`,
+//! `spread`); the server serializes them with serde so the shape is
+//! stable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use privim_graph::Graph;
+use privim_obs::fault::splitmix64;
+use privim_serve::client::HttpClient;
+
+use crate::roc;
+use crate::topology::true_edge_set;
+
+/// Pulls the full per-node score vector from a live server.
+///
+/// Returns scores indexed by node id (length `num_nodes`), or a
+/// human-readable error if the server is unreachable, errors, or
+/// returns fewer scores than nodes.
+pub fn fetch_scores(addr: &str, num_nodes: usize) -> Result<Vec<f64>, String> {
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let body = format!("{{\"k\":{num_nodes},\"seed\":0}}");
+    let resp = client
+        .post("/v1/seeds", body.as_bytes())
+        .map_err(|e| format!("POST /v1/seeds failed: {e}"))?;
+    privim_obs::counter("audit.blackbox_requests").add(1);
+    if resp.status != 200 {
+        return Err(format!(
+            "POST /v1/seeds returned {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    scores_by_node(&text, num_nodes)
+}
+
+/// Reassembles the ranked `(seeds, scores)` arrays of a `/v1/seeds`
+/// response into a score vector indexed by node id.
+pub fn scores_by_node(response_body: &str, num_nodes: usize) -> Result<Vec<f64>, String> {
+    let seeds = extract_number_array(response_body, "seeds")?;
+    let scores = extract_number_array(response_body, "scores")?;
+    if seeds.len() != scores.len() {
+        return Err(format!(
+            "seeds/scores length mismatch: {} vs {}",
+            seeds.len(),
+            scores.len()
+        ));
+    }
+    let mut by_node = vec![f64::NAN; num_nodes];
+    for (&v, &s) in seeds.iter().zip(&scores) {
+        let id = v as usize;
+        if v < 0.0 || v.fract() != 0.0 || id >= num_nodes {
+            return Err(format!("seed id {v} is not a node id below {num_nodes}"));
+        }
+        by_node[id] = s;
+    }
+    if let Some(missing) = by_node.iter().position(|s| s.is_nan()) {
+        return Err(format!(
+            "server returned no score for node {missing}; audit needs k = |V| = {num_nodes}, got {}",
+            seeds.len()
+        ));
+    }
+    Ok(by_node)
+}
+
+/// Outcome of the `/v1/spread` influence-overlap edge probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapProbe {
+    /// AUC of the overlap score as an edge-vs-non-edge classifier over
+    /// the probed pairs. 0.5 is chance; higher means the spread
+    /// endpoint leaks topology.
+    pub probe_auc: f64,
+    /// Total pairs probed (edges + non-edges).
+    pub num_probes: usize,
+}
+
+/// Monte-Carlo trials per spread probe. Fixed so probe numbers are
+/// comparable across runs; the server clamps to its own `--max-trials`.
+const PROBE_TRIALS: usize = 200;
+
+/// Queries `POST /v1/spread` for one seed set and returns the estimate.
+pub fn fetch_spread(client: &mut HttpClient, seeds: &[u32]) -> Result<f64, String> {
+    let ids: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    let body = format!(
+        "{{\"seeds\":[{}],\"trials\":{PROBE_TRIALS},\"seed\":0}}",
+        ids.join(",")
+    );
+    let resp = client
+        .post("/v1/spread", body.as_bytes())
+        .map_err(|e| format!("POST /v1/spread failed: {e}"))?;
+    privim_obs::counter("audit.blackbox_requests").add(1);
+    if resp.status != 200 {
+        return Err(format!(
+            "POST /v1/spread returned {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let text = String::from_utf8_lossy(&resp.body);
+    extract_number(&text, "spread")
+}
+
+/// Probes a live server's `/v1/spread` endpoint for topology leakage.
+///
+/// Samples up to `pairs_per_class` true edges and as many non-edges
+/// (both seeded by `seed`, so a sweep probes the same pairs for every
+/// checkpoint), scores each pair by influence overlap
+/// `spread({u}) + spread({v}) - spread({u, v})`, and reports the AUC of
+/// that score as an edge classifier. Singleton spreads are cached, so
+/// the request count is at most `2 * pairs_per_class` joint queries
+/// plus one per distinct endpoint node.
+pub fn influence_overlap_probe(
+    addr: &str,
+    g: &Graph,
+    pairs_per_class: usize,
+    seed: u64,
+) -> Result<OverlapProbe, String> {
+    let n = g.num_nodes();
+    let truth = true_edge_set(g);
+    let edges: Vec<(u32, u32)> = truth.iter().copied().collect();
+
+    // Seeded without-replacement pick of edge indices.
+    let mut picked_edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut state = seed;
+    if edges.len() <= pairs_per_class {
+        picked_edges.extend(&edges);
+    } else {
+        while picked_edges.len() < pairs_per_class {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let idx = splitmix64(state) as usize % edges.len();
+            picked_edges.insert(edges[idx]);
+        }
+    }
+
+    // Seeded rejection sample of non-edges; bounded attempts so dense
+    // graphs terminate with however many we found.
+    let mut picked_non: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let target_non = picked_edges.len().min(pairs_per_class);
+    let mut attempts = 0usize;
+    while picked_non.len() < target_non && attempts < 64 * (target_non + 1) && n >= 2 {
+        attempts += 1;
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let r = splitmix64(state);
+        let u = (r >> 32) as u32 % n as u32;
+        let v = r as u32 % n as u32;
+        let pair = (u.min(v), u.max(v));
+        if u != v && !truth.contains(&pair) {
+            picked_non.insert(pair);
+        }
+    }
+
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut singleton: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut overlap = |client: &mut HttpClient, (u, v): (u32, u32)| -> Result<f64, String> {
+        for node in [u, v] {
+            if !singleton.contains_key(&node) {
+                let s = fetch_spread(client, &[node])?;
+                singleton.insert(node, s);
+            }
+        }
+        let joint = fetch_spread(client, &[u, v])?;
+        Ok(singleton[&u] + singleton[&v] - joint)
+    };
+
+    let mut edge_overlaps = Vec::with_capacity(picked_edges.len());
+    for &p in &picked_edges {
+        edge_overlaps.push(overlap(&mut client, p)?);
+    }
+    let mut non_overlaps = Vec::with_capacity(picked_non.len());
+    for &p in &picked_non {
+        non_overlaps.push(overlap(&mut client, p)?);
+    }
+
+    Ok(OverlapProbe {
+        probe_auc: roc::auc(&edge_overlaps, &non_overlaps),
+        num_probes: picked_edges.len() + picked_non.len(),
+    })
+}
+
+/// Extracts the scalar JSON number under `"key"`.
+fn extract_number(body: &str, key: &str) -> Result<f64, String> {
+    let pattern = format!("\"{key}\"");
+    let at = body
+        .find(&pattern)
+        .ok_or_else(|| format!("response has no \"{key}\" field"))?;
+    let rest = body[at + pattern.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("\"{key}\" is not a scalar field"))?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("bad number {:?} in \"{key}\": {e}", &rest[..end]))
+}
+
+/// Extracts the flat JSON number array under `"key"`. Only handles the
+/// shapes `/v1/seeds` actually produces (no nested arrays, no strings
+/// containing brackets before the key's array).
+fn extract_number_array(body: &str, key: &str) -> Result<Vec<f64>, String> {
+    let pattern = format!("\"{key}\"");
+    let at = body
+        .find(&pattern)
+        .ok_or_else(|| format!("response has no \"{key}\" field"))?;
+    let rest = &body[at + pattern.len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
+    let close = rest[open..]
+        .find(']')
+        .map(|i| open + i)
+        .ok_or_else(|| format!("\"{key}\" array is unterminated"))?;
+    rest[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad number {s:?} in \"{key}\": {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RESPONSE: &str = concat!(
+        "{\"seeds\":[2,0,1],\"scores\":[0.9,0.5,0.25],",
+        "\"k\":3,\"seed\":0,\"model\":\"GCN\"}"
+    );
+
+    #[test]
+    fn scores_land_at_their_node_ids() {
+        let by_node = scores_by_node(RESPONSE, 3).unwrap();
+        assert_eq!(by_node, vec![0.5, 0.25, 0.9]);
+    }
+
+    #[test]
+    fn missing_nodes_are_an_error_not_a_silent_zero() {
+        let err = scores_by_node(RESPONSE, 4).unwrap_err();
+        assert!(err.contains("no score for node 3"), "{err}");
+    }
+
+    #[test]
+    fn malformed_bodies_give_readable_errors() {
+        assert!(scores_by_node("{}", 1).unwrap_err().contains("seeds"));
+        assert!(scores_by_node("{\"seeds\":[0],\"scores\":[1,2]}", 1)
+            .unwrap_err()
+            .contains("mismatch"));
+        assert!(scores_by_node("{\"seeds\":[9],\"scores\":[1.0]}", 3)
+            .unwrap_err()
+            .contains("not a node id"));
+        assert!(scores_by_node("{\"seeds\":[0.5],\"scores\":[1.0]}", 3)
+            .unwrap_err()
+            .contains("not a node id"));
+    }
+
+    #[test]
+    fn empty_arrays_parse_but_fail_coverage() {
+        let body = "{\"seeds\":[],\"scores\":[]}";
+        assert!(scores_by_node(body, 0).unwrap().is_empty());
+        assert!(scores_by_node(body, 2).is_err());
+    }
+
+    #[test]
+    fn extractor_handles_whitespace_and_exponents() {
+        let got = extract_number_array("{ \"scores\" : [ 1e-3 , 2.5, -4 ] }", "scores").unwrap();
+        assert_eq!(got, vec![0.001, 2.5, -4.0]);
+    }
+
+    #[test]
+    fn scalar_extractor_reads_spread_responses() {
+        let body = "{\"spread\":3.25,\"trials\":200,\"seed\":0,\"n_nodes\":96}";
+        assert_eq!(extract_number(body, "spread").unwrap(), 3.25);
+        assert_eq!(extract_number(body, "n_nodes").unwrap(), 96.0);
+        let spaced = "{ \"spread\" : 1.5 }";
+        assert_eq!(extract_number(spaced, "spread").unwrap(), 1.5);
+    }
+
+    #[test]
+    fn scalar_extractor_rejects_missing_and_malformed_fields() {
+        assert!(extract_number("{}", "spread")
+            .unwrap_err()
+            .contains("no \"spread\""));
+        assert!(extract_number("{\"spread\":[1]}", "spread").is_err());
+        assert!(extract_number("{\"spread\":oops}", "spread").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Node membership inference.
+//!
+//! The attack from the node-DP literature adapted to this pipeline: the
+//! model is trained on subgraphs rooted at the *training* split, so if
+//! it leaks, its per-node seed probabilities should look systematically
+//! different on training nodes than on held-out nodes. The adversary
+//! thresholds the per-node score and is free to pick the direction
+//! (train-nodes-score-higher or train-nodes-score-lower), so the
+//! reported AUC is directional: `max(a, 1 - a)`. An AUC near 0.5 means
+//! the split is statistically invisible in the model's outputs — which
+//! is what a tight ε is supposed to buy.
+
+use privim_graph::NodeId;
+
+use crate::roc;
+
+/// Summary of one membership-inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipOutcome {
+    /// Directional ROC AUC in `[0.5, 1.0]`: `max(a, 1 - a)` where `a`
+    /// treats training nodes as the positive class.
+    pub attack_auc: f64,
+    /// True positive rate at the configured low false positive rate,
+    /// measured in the calibrated direction.
+    pub tpr_at_low_fpr: f64,
+    /// Whether the adversary flipped the score direction (held-out
+    /// nodes scored *higher* than training nodes).
+    pub flipped: bool,
+    /// Number of training (member) nodes scored.
+    pub num_members: usize,
+    /// Number of held-out (non-member) nodes scored.
+    pub num_non_members: usize,
+}
+
+/// Runs the thresholding attack on per-node `scores` (indexed by node
+/// id) against the known train/test partition.
+///
+/// # Panics
+///
+/// Panics if any node id in the split is out of range for `scores`.
+pub fn membership_attack(
+    scores: &[f64],
+    train: &[NodeId],
+    test: &[NodeId],
+    low_fpr: f64,
+) -> MembershipOutcome {
+    let members: Vec<f64> = train.iter().map(|&v| scores[v as usize]).collect();
+    let non_members: Vec<f64> = test.iter().map(|&v| scores[v as usize]).collect();
+
+    let raw = roc::auc(&members, &non_members);
+    let flipped = raw < 0.5;
+    let attack_auc = if flipped { 1.0 - raw } else { raw };
+    // TPR is measured in the direction the adversary actually uses.
+    let tpr_at_low_fpr = if flipped {
+        let neg_members: Vec<f64> = members.iter().map(|s| -s).collect();
+        let neg_non: Vec<f64> = non_members.iter().map(|s| -s).collect();
+        roc::tpr_at_fpr(&neg_members, &neg_non, low_fpr)
+    } else {
+        roc::tpr_at_fpr(&members, &non_members, low_fpr)
+    };
+
+    privim_obs::counter("audit.membership_runs").add(1);
+    MembershipOutcome {
+        attack_auc,
+        tpr_at_low_fpr,
+        flipped,
+        num_members: members.len(),
+        num_non_members: non_members.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_scores_are_caught() {
+        // Members 4..8 score strictly higher than non-members 0..4.
+        let scores = [0.1, 0.2, 0.15, 0.12, 0.9, 0.8, 0.85, 0.95];
+        let out = membership_attack(&scores, &[4, 5, 6, 7], &[0, 1, 2, 3], 0.1);
+        assert_eq!(out.attack_auc, 1.0);
+        assert_eq!(out.tpr_at_low_fpr, 1.0);
+        assert!(!out.flipped);
+        assert_eq!(out.num_members, 4);
+        assert_eq!(out.num_non_members, 4);
+    }
+
+    #[test]
+    fn direction_is_the_adversarys_choice() {
+        // Members score strictly LOWER: a naive AUC would be 0.0, but
+        // the adversary just flips the sign of the statistic.
+        let scores = [0.9, 0.8, 0.85, 0.95, 0.1, 0.2, 0.15, 0.12];
+        let out = membership_attack(&scores, &[4, 5, 6, 7], &[0, 1, 2, 3], 0.1);
+        assert_eq!(out.attack_auc, 1.0);
+        assert_eq!(out.tpr_at_low_fpr, 1.0);
+        assert!(out.flipped);
+    }
+
+    #[test]
+    fn indistinguishable_scores_are_chance() {
+        let scores = [0.5; 10];
+        let out = membership_attack(&scores, &[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9], 0.1);
+        assert_eq!(out.attack_auc, 0.5);
+        assert!(!out.flipped);
+    }
+
+    #[test]
+    fn directional_auc_never_goes_below_half() {
+        let scores = [0.3, 0.7, 0.1, 0.9, 0.5, 0.2];
+        for (train, test) in [
+            (vec![0, 1, 2], vec![3, 4, 5]),
+            (vec![3, 4, 5], vec![0, 1, 2]),
+            (vec![0, 3], vec![1, 2, 4, 5]),
+        ] {
+            let out = membership_attack(&scores, &train, &test, 0.1);
+            assert!(out.attack_auc >= 0.5);
+            assert!(out.attack_auc <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! ROC utilities for score-thresholding attacks.
+//!
+//! The attacks in this crate all reduce to the same statistical
+//! question: given one score per example and a binary ground truth
+//! (member / non-member, edge / non-edge), how well does thresholding
+//! the score separate the two classes? The two summary numbers the
+//! privacy-auditing literature reports are the ROC AUC and the true
+//! positive rate at a low false positive rate — the latter because an
+//! attack that is only right "on average" but never confidently is not
+//! a practical privacy violation.
+//!
+//! AUC is computed by the Mann–Whitney U statistic with average-rank
+//! tie handling, which is exact (no trapezoid discretization) and
+//! `O(n log n)`.
+
+/// ROC AUC of `positives` vs `negatives` where larger scores are
+/// supposed to indicate the positive class.
+///
+/// Equivalent to the probability that a uniformly random positive
+/// outscores a uniformly random negative, with ties counting one half.
+/// Returns 0.5 when either class is empty (no evidence either way).
+pub fn auc(positives: &[f64], negatives: &[f64]) -> f64 {
+    let n_pos = positives.len();
+    let n_neg = negatives.len();
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Pool scores, sort ascending, and assign average ranks to ties.
+    let mut pooled: Vec<(f64, bool)> = positives
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negatives.iter().map(|&s| (s, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j < pooled.len() && pooled[j].0.total_cmp(&pooled[i].0).is_eq() {
+            j += 1;
+        }
+        // Ranks are 1-based; a tie group spanning ranks i+1..=j gets the
+        // group's average rank.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        let ties_pos = pooled[i..j].iter().filter(|(_, p)| *p).count();
+        rank_sum_pos += avg_rank * ties_pos as f64;
+        i = j;
+    }
+
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Maximum true positive rate achievable at false positive rate
+/// `<= max_fpr`, over all thresholds of the form "predict positive when
+/// score >= t".
+///
+/// Sweeps every distinct pooled score as a candidate threshold plus the
+/// degenerate "predict nothing" threshold (TPR 0 at FPR 0), so the
+/// result is exact for the empirical distributions. Returns 0.0 when
+/// either class is empty.
+pub fn tpr_at_fpr(positives: &[f64], negatives: &[f64], max_fpr: f64) -> f64 {
+    let n_pos = positives.len();
+    let n_neg = negatives.len();
+    if n_pos == 0 || n_neg == 0 {
+        return 0.0;
+    }
+    let mut pos = positives.to_vec();
+    let mut neg = negatives.to_vec();
+    pos.sort_by(|a, b| a.total_cmp(b));
+    neg.sort_by(|a, b| a.total_cmp(b));
+
+    // Candidate thresholds: each distinct score. Counting "how many
+    // >= t" via partition point on the sorted arrays keeps this
+    // O(n log n) overall.
+    let mut thresholds: Vec<f64> = pos.iter().chain(neg.iter()).copied().collect();
+    thresholds.sort_by(|a, b| a.total_cmp(b));
+    thresholds.dedup_by(|a, b| a.total_cmp(b).is_eq());
+
+    let count_ge = |sorted: &[f64], t: f64| -> usize {
+        sorted.len() - sorted.partition_point(|&s| s.total_cmp(&t).is_lt())
+    };
+
+    let mut best = 0.0f64; // "predict nothing": TPR 0 at FPR 0.
+    for &t in &thresholds {
+        let fpr = count_ge(&neg, t) as f64 / n_neg as f64;
+        if fpr <= max_fpr {
+            let tpr = count_ge(&pos, t) as f64 / n_pos as f64;
+            best = best.max(tpr);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_scores_give_auc_one() {
+        let pos = [3.0, 4.0, 5.0];
+        let neg = [0.0, 1.0, 2.0];
+        assert_eq!(auc(&pos, &neg), 1.0);
+        assert_eq!(auc(&neg, &pos), 0.0);
+    }
+
+    #[test]
+    fn identical_distributions_give_auc_half() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(auc(&a, &a), 0.5);
+        // All-ties: every comparison is a coin flip.
+        assert_eq!(auc(&[7.0; 5], &[7.0; 9]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_hand_computed_mixed_case() {
+        // Pairs: (3,1) win, (3,2) win, (1,1) tie, (1,2) loss ->
+        // (2 + 0.5) / 4 = 0.625.
+        let pos = [3.0, 1.0];
+        let neg = [1.0, 2.0];
+        assert_eq!(auc(&pos, &neg), 0.625);
+    }
+
+    #[test]
+    fn empty_classes_are_chance() {
+        assert_eq!(auc(&[], &[1.0]), 0.5);
+        assert_eq!(auc(&[1.0], &[]), 0.5);
+        assert_eq!(tpr_at_fpr(&[], &[1.0], 0.1), 0.0);
+    }
+
+    #[test]
+    fn tpr_at_low_fpr_matches_hand_computed_case() {
+        let pos = [0.9, 0.8, 0.7, 0.2];
+        let neg = [0.75, 0.3, 0.2, 0.1, 0.05];
+        // At FPR 0 the best threshold is t = 0.8 (no negative >= 0.8):
+        // TPR = 2/4.
+        assert_eq!(tpr_at_fpr(&pos, &neg, 0.0), 0.5);
+        // Allowing one false positive (FPR 0.2) admits t = 0.7:
+        // TPR = 3/4.
+        assert_eq!(tpr_at_fpr(&pos, &neg, 0.2), 0.75);
+        // FPR 1.0 admits everything.
+        assert_eq!(tpr_at_fpr(&pos, &neg, 1.0), 1.0);
+    }
+
+    #[test]
+    fn tpr_never_exceeds_one_and_is_monotone_in_fpr_budget() {
+        let pos = [0.1, 0.4, 0.6, 0.61, 0.9];
+        let neg = [0.0, 0.2, 0.5, 0.6, 0.8];
+        let mut last = 0.0;
+        for fpr in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let t = tpr_at_fpr(&pos, &neg, fpr);
+            assert!((0.0..=1.0).contains(&t));
+            assert!(t >= last, "TPR must be monotone in the FPR budget");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic micro-benchmark for the privacy attack harness.
+//!
+//! Runs both attacks from `privim-audit` on seeded synthetic workloads
+//! whose leak strength is known by construction, and emits the standard
+//! `{seed, rows, telemetry}` envelope:
+//!
+//! * membership inference on score distributions at several
+//!   member/non-member separations — AUC must rise from chance (0.5)
+//!   towards 1.0 as the separation grows;
+//! * topology inference on a ring graph at several structure-to-noise
+//!   mixes — precision at `|E|` must rise as the scores become more
+//!   structure-determined.
+//!
+//! No wall clock is read and the synthetic streams are splitmix64, so
+//! two runs with the same seed produce **byte-identical** JSON — this
+//! is what `BENCH_audit.json` at the repo root is and what CI's
+//! bit-identity check relies on. The rows double as an end-to-end check
+//! of the attack math: a regression that flattens the AUC-vs-separation
+//! curve shows up as a quality diff in `bench_diff`.
+
+use privim_audit::{membership, topology, AuditRow};
+use privim_bench::print_table;
+use privim_graph::{Graph, GraphBuilder};
+use privim_obs::fault::splitmix64;
+
+/// Seeded synthetic stream; splitmix64 (not `rand`) so the streams are
+/// defined by this repo alone and stable across toolchains.
+struct Stream(u64);
+
+impl Stream {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.0)
+    }
+
+    /// Uniform in [-1, 1).
+    fn signed_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+const NODES_PER_CLASS: usize = 256;
+const SEPARATIONS: &[f64] = &[0.0, 0.25, 0.5, 1.0, 2.0];
+
+/// Membership inference on a synthetic score vector: members score
+/// `+sep/2 + noise`, non-members `-sep/2 + noise`.
+fn membership_row(sep: f64, seed: u64) -> AuditRow {
+    let mut stream = Stream(seed ^ sep.to_bits());
+    let n = NODES_PER_CLASS;
+    let scores: Vec<f64> = (0..2 * n)
+        .map(|i| {
+            let shift = if i < n { sep / 2.0 } else { -sep / 2.0 };
+            shift + stream.signed_unit()
+        })
+        .collect();
+    let members: Vec<u32> = (0..n as u32).collect();
+    let non_members: Vec<u32> = (n as u32..2 * n as u32).collect();
+    let out = membership::membership_attack(&scores, &members, &non_members, 0.1);
+    AuditRow {
+        attack: "membership",
+        mode: "synthetic",
+        label: format!("sep{sep}"),
+        digest: "synthetic".into(),
+        epsilon: None,
+        metrics: vec![
+            ("attack_auc", out.attack_auc),
+            ("tpr_at_low_fpr", out.tpr_at_low_fpr),
+            ("flipped", if out.flipped { 1.0 } else { 0.0 }),
+        ],
+    }
+}
+
+const RING_NODES: usize = 96;
+const STRUCTURE_MIXES: &[f64] = &[0.0, 0.5, 1.0];
+
+fn ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge(i as u32, j as u32, 0.4);
+        b.add_edge(j as u32, i as u32, 0.4);
+    }
+    b.build()
+}
+
+/// Topology inference on a ring whose node scores interpolate between
+/// pure noise (`mix = 0`) and a pure position gradient (`mix = 1`);
+/// adjacent nodes have near-identical gradient scores, so precision at
+/// `|E|` must rise with `mix`.
+fn topology_row(g: &Graph, mix: f64, seed: u64) -> AuditRow {
+    let mut stream = Stream(seed ^ mix.to_bits() ^ 0x70B0);
+    let n = g.num_nodes();
+    let scores: Vec<f64> = (0..n)
+        .map(|i| mix * (i as f64 / n as f64) + (1.0 - mix) * stream.signed_unit())
+        .collect();
+    let out = topology::topology_attack(&scores, g, 100_000, splitmix64(seed));
+    AuditRow {
+        attack: "topology",
+        mode: "synthetic",
+        label: format!("mix{mix}"),
+        digest: "synthetic".into(),
+        epsilon: None,
+        metrics: vec![
+            ("precision_at_e", out.precision_at_e),
+            ("num_candidates", out.num_candidates as f64),
+            ("num_true_edges", out.num_true_edges as f64),
+        ],
+    }
+}
+
+struct Opts {
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        seed: 42,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--json" => opts.json = Some(it.next().ok_or("--json needs a path")?),
+            "--help" | "-h" => return Err("usage: auditbench [--seed u] [--json path]".into()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &sep in SEPARATIONS {
+        rows.push(membership_row(sep, opts.seed));
+    }
+    let g = ring(RING_NODES);
+    for &mix in STRUCTURE_MIXES {
+        rows.push(topology_row(&g, mix, opts.seed));
+    }
+
+    // The synthetic leak knobs must actually order the attack metrics;
+    // a flat curve means the attack math regressed, and the benchmark
+    // is the first place that should fail.
+    for pair in rows[..SEPARATIONS.len()].windows(2) {
+        assert!(
+            pair[1].metrics[0].1 >= pair[0].metrics[0].1 - 0.05,
+            "membership AUC must not fall as separation grows: {pair:?}"
+        );
+    }
+
+    let headers = vec!["attack", "workload", "metric", "value"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            r.metrics.iter().map(|(k, v)| {
+                vec![
+                    r.attack.to_string(),
+                    r.label.clone(),
+                    k.to_string(),
+                    format!("{v:.4}"),
+                ]
+            })
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    let counters = privim_obs::snapshot().counters;
+    let envelope = privim_audit::render_envelope(opts.seed, &rows, &counters);
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, &envelope) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

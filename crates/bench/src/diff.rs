@@ -80,13 +80,26 @@ pub enum MetricClass {
 /// Wall-clock metrics carry a `secs` suffix in every harness row
 /// (`preprocessing_secs`, `training_secs`, …) and in telemetry span sums
 /// (`span.training.sum`). Quality metrics are the spread/coverage/gain
-/// family, excluding their `_std` companions (spread noise across repeats
-/// is not a regression signal).
+/// family plus the audit attack metrics (`attack_auc`,
+/// `precision_at_e`, `tpr_at_low_fpr`), excluding the `_std` companions
+/// (spread noise across repeats is not a regression signal).
+///
+/// Attack metrics gate as quality because the audit envelopes exist to
+/// pin the attack harness's sensitivity: a silent drop in measured AUC
+/// on the synthetic leak workloads means the attack math got weaker,
+/// not that privacy improved.
 pub fn classify(name: &str) -> MetricClass {
     if (name.contains("secs") && !name.contains("per_sec")) || name.ends_with(".sum") {
         return MetricClass::Runtime;
     }
-    let quality = ["spread", "coverage", "gain"];
+    let quality = [
+        "spread",
+        "coverage",
+        "gain",
+        "auc",
+        "precision_at",
+        "tpr_at",
+    ];
     if quality.iter().any(|q| name.contains(q)) && !name.ends_with("_std") {
         return MetricClass::Quality;
     }
@@ -774,6 +787,51 @@ mod tests {
         assert_eq!(classify("coverage"), MetricClass::Quality);
         assert_eq!(classify("spread_std"), MetricClass::Info);
         assert_eq!(classify("container_size"), MetricClass::Info);
+        assert_eq!(classify("attack_auc"), MetricClass::Quality);
+        assert_eq!(classify("precision_at_e"), MetricClass::Quality);
+        assert_eq!(classify("tpr_at_low_fpr"), MetricClass::Quality);
+        assert_eq!(classify("num_candidates"), MetricClass::Info);
+    }
+
+    #[test]
+    fn audit_auc_drop_gates_against_committed_baseline() {
+        let baseline = r#"{
+          "seed": 42,
+          "rows": [
+            {"attack": "membership", "mode": "synthetic", "label": "sep1",
+             "digest": "synthetic", "attack_auc": 0.82, "tpr_at_low_fpr": 0.4,
+             "flipped": 0.0},
+            {"attack": "topology", "mode": "synthetic", "label": "mix1",
+             "digest": "synthetic", "precision_at_e": 0.9,
+             "num_candidates": 4560.0, "num_true_edges": 96.0}
+          ],
+          "telemetry": {"counters": {"audit.membership_runs": 1}}
+        }"#;
+        let opts = DiffOptions::default();
+        let self_diff = diff_json(baseline, baseline, &opts).unwrap();
+        assert!(!self_diff.has_regressions(&opts), "{}", self_diff.render());
+
+        // A weaker attack harness (lower AUC on the same synthetic
+        // leak) is a quality regression.
+        let weakened = with_metric(baseline, "\"attack_auc\": 0.82,", "\"attack_auc\": 0.55,");
+        let report = diff_json(baseline, &weakened, &opts).unwrap();
+        assert!(report.has_regressions(&opts), "{}", report.render());
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1, "{}", report.render());
+        assert_eq!(
+            reg[0].name,
+            "membership synthetic sep1 synthetic / attack_auc"
+        );
+        assert_eq!(reg[0].class, MetricClass::Quality);
+
+        // Candidate counts are informational, never gated.
+        let resampled = with_metric(
+            baseline,
+            "\"num_candidates\": 4560.0,",
+            "\"num_candidates\": 100.0,",
+        );
+        let report = diff_json(baseline, &resampled, &opts).unwrap();
+        assert!(!report.has_regressions(&opts), "{}", report.render());
     }
 
     #[test]

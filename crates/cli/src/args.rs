@@ -21,6 +21,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Render telemetry and active alerts as a text dashboard.
     Monitor(MonitorArgs),
+    /// Run empirical privacy attacks against trained checkpoints.
+    Audit(AuditArgs),
     /// Print usage.
     Help,
 }
@@ -123,6 +125,50 @@ pub struct AccountArgs {
     pub batch: usize,
     pub container: usize,
     pub occurrences: usize,
+    /// Optional model checkpoint (`--checkpoint`): print its stable
+    /// digest alongside the accounting numbers, so released artifacts
+    /// can be tied to the ε they were trained under.
+    pub checkpoint: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditArgs {
+    /// Graph the checkpoints were trained on.
+    pub graph: String,
+    /// Crash-safe checkpoint directories to sweep (`--checkpoint-dirs`,
+    /// comma separated). Each contributes its newest valid generation;
+    /// the recorded ledger supplies the ε label and the recorded split
+    /// provenance the membership ground truth.
+    pub checkpoint_dirs: Vec<String>,
+    /// Which attack(s) to run (`--attack`).
+    pub attack: AuditAttack,
+    /// Threat model(s) (`--mode`).
+    pub mode: AuditMode,
+    /// `host:port` of a live `privim serve` instance for black-box
+    /// attacks (`--addr`).
+    pub addr: Option<String>,
+    /// Attack RNG seed (`--seed`).
+    pub seed: u64,
+    /// Write the `{seed, rows, telemetry}` envelope here (`--json`).
+    pub json: Option<String>,
+    /// FPR operating point for the TPR-at-low-FPR column (`--low-fpr`).
+    pub low_fpr: f64,
+    /// Candidate-pair budget for the topology attack (`--max-pairs`).
+    pub max_pairs: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditAttack {
+    Membership,
+    Topology,
+    Both,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditMode {
+    WhiteBox,
+    BlackBox,
+    Both,
 }
 
 /// Usage text.
@@ -140,7 +186,11 @@ USAGE:
   privim select   --graph <path> --checkpoint <path> [--k n]
   privim evaluate --graph <path> --seeds 1,2,3 [--steps n] [--trials n]
   privim account  --epsilon f [--delta f] [--iterations n] [--batch n]
-                  [--container n] [--occurrences n]
+                  [--container n] [--occurrences n] [--checkpoint <path>]
+  privim audit    --graph <path> --checkpoint-dirs <dir>[,<dir>...]
+                  [--attack membership|topology|both]
+                  [--mode white-box|black-box|both] [--addr host:port]
+                  [--seed u] [--json <path>] [--low-fpr f] [--max-pairs n]
   privim serve    --graph <path> --checkpoint <path> [--addr host:port]
                   [--workers n] [--queue-depth n] [--deadline-ms n]
                   [--max-trials n] [--spread-threads n] [--slow-ms n]
@@ -500,6 +550,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "batch",
                     "container",
                     "occurrences",
+                    "checkpoint",
                 ],
             )?;
             Ok(Command::Account(AccountArgs {
@@ -512,6 +563,68 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 batch: f.parse_opt("batch", 32)?,
                 container: f.parse_opt("container", 100)?,
                 occurrences: f.parse_opt("occurrences", 4)?,
+                checkpoint: f.get("checkpoint").map(str::to_string),
+            }))
+        }
+        "audit" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(
+                &f,
+                &[
+                    "graph",
+                    "checkpoint-dirs",
+                    "attack",
+                    "mode",
+                    "addr",
+                    "seed",
+                    "json",
+                    "low-fpr",
+                    "max-pairs",
+                ],
+            )?;
+            let checkpoint_dirs: Vec<String> = f
+                .require("checkpoint-dirs")?
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if checkpoint_dirs.is_empty() {
+                return Err("--checkpoint-dirs needs at least one directory".into());
+            }
+            let attack = match f.get("attack").unwrap_or("both") {
+                "membership" => AuditAttack::Membership,
+                "topology" => AuditAttack::Topology,
+                "both" => AuditAttack::Both,
+                other => return Err(format!("bad --attack: {other}")),
+            };
+            let mode = match f.get("mode").unwrap_or("white-box") {
+                "white-box" | "whitebox" => AuditMode::WhiteBox,
+                "black-box" | "blackbox" => AuditMode::BlackBox,
+                "both" => AuditMode::Both,
+                other => return Err(format!("bad --mode: {other}")),
+            };
+            let addr = f.get("addr").map(str::to_string);
+            if matches!(mode, AuditMode::BlackBox | AuditMode::Both) && addr.is_none() {
+                return Err("black-box audits need --addr host:port of a live server".into());
+            }
+            let low_fpr: f64 = f.parse_opt("low-fpr", 0.1)?;
+            if !(low_fpr > 0.0 && low_fpr < 1.0) {
+                return Err("--low-fpr must be in (0, 1)".into());
+            }
+            let max_pairs: usize = f.parse_opt("max-pairs", 200_000)?;
+            if max_pairs == 0 {
+                return Err("--max-pairs must be positive".into());
+            }
+            Ok(Command::Audit(AuditArgs {
+                graph: f.require("graph")?.to_string(),
+                checkpoint_dirs,
+                attack,
+                mode,
+                addr,
+                seed: f.parse_opt("seed", 42)?,
+                json: f.get("json").map(str::to_string),
+                low_fpr,
+                max_pairs,
             }))
         }
         "serve" => {
@@ -1091,8 +1204,126 @@ mod tests {
                 assert_eq!(a.epsilon, 2.5);
                 assert_eq!(a.delta, 1e-5);
                 assert_eq!(a.occurrences, 4);
+                assert_eq!(a.checkpoint, None);
             }
             other => panic!("{other:?}"),
         }
+        let cmd = parse(&["account", "--epsilon", "2", "--checkpoint", "m.json"]).unwrap();
+        match cmd {
+            Command::Account(a) => assert_eq!(a.checkpoint.as_deref(), Some("m.json")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_defaults_and_overrides() {
+        let cmd = parse(&["audit", "--graph", "g.bin", "--checkpoint-dirs", "ck"]).unwrap();
+        match cmd {
+            Command::Audit(a) => {
+                assert_eq!(a.graph, "g.bin");
+                assert_eq!(a.checkpoint_dirs, vec!["ck".to_string()]);
+                assert_eq!(a.attack, AuditAttack::Both);
+                assert_eq!(a.mode, AuditMode::WhiteBox);
+                assert_eq!(a.addr, None);
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.low_fpr, 0.1);
+                assert_eq!(a.max_pairs, 200_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "audit",
+            "--graph",
+            "g.bin",
+            "--checkpoint-dirs",
+            "loose, tight",
+            "--attack",
+            "membership",
+            "--mode",
+            "black-box",
+            "--addr",
+            "127.0.0.1:7878",
+            "--seed",
+            "7",
+            "--json",
+            "audit.json",
+            "--low-fpr",
+            "0.05",
+            "--max-pairs",
+            "5000",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Audit(a) => {
+                assert_eq!(
+                    a.checkpoint_dirs,
+                    vec!["loose".to_string(), "tight".to_string()]
+                );
+                assert_eq!(a.attack, AuditAttack::Membership);
+                assert_eq!(a.mode, AuditMode::BlackBox);
+                assert_eq!(a.addr.as_deref(), Some("127.0.0.1:7878"));
+                assert_eq!(a.seed, 7);
+                assert_eq!(a.json.as_deref(), Some("audit.json"));
+                assert_eq!(a.low_fpr, 0.05);
+                assert_eq!(a.max_pairs, 5000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_rejects_bad_combinations() {
+        // Black-box without a server address is meaningless.
+        assert!(parse(&[
+            "audit",
+            "--graph",
+            "g",
+            "--checkpoint-dirs",
+            "ck",
+            "--mode",
+            "black-box",
+        ])
+        .unwrap_err()
+        .contains("--addr"));
+        assert!(parse(&["audit", "--graph", "g", "--checkpoint-dirs", ","])
+            .unwrap_err()
+            .contains("--checkpoint-dirs"));
+        assert!(parse(&[
+            "audit",
+            "--graph",
+            "g",
+            "--checkpoint-dirs",
+            "ck",
+            "--attack",
+            "bogus",
+        ])
+        .unwrap_err()
+        .contains("bad --attack"));
+        for bad in ["0", "1", "-0.5"] {
+            assert!(
+                parse(&[
+                    "audit",
+                    "--graph",
+                    "g",
+                    "--checkpoint-dirs",
+                    "ck",
+                    "--low-fpr",
+                    bad,
+                ])
+                .is_err(),
+                "--low-fpr {bad} must be rejected"
+            );
+        }
+        assert!(parse(&[
+            "audit",
+            "--graph",
+            "g",
+            "--checkpoint-dirs",
+            "ck",
+            "--max-pairs",
+            "0",
+        ])
+        .unwrap_err()
+        .contains("--max-pairs"));
     }
 }

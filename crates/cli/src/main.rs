@@ -3,10 +3,11 @@
 //! Subcommands: `generate` (synthetic dataset replicas), `train`
 //! (DP-GNN training + seed selection + checkpoint), `select` (seed
 //! selection from a saved checkpoint), `evaluate` (influence spread of a
-//! seed set), `account` (privacy-accounting numbers), `serve` (threaded
-//! HTTP inference server over a saved checkpoint), `monitor` (text
-//! dashboard over a telemetry file or a live `/metrics` endpoint). Run
-//! `privim help` for usage.
+//! seed set), `account` (privacy-accounting numbers), `audit` (empirical
+//! membership/topology attacks against trained checkpoints), `serve`
+//! (threaded HTTP inference server over a saved checkpoint), `monitor`
+//! (text dashboard over a telemetry file or a live `/metrics`
+//! endpoint). Run `privim help` for usage.
 
 mod args;
 mod monitor;
@@ -159,8 +160,16 @@ fn run(command: Command) -> Result<(), String> {
                 method = a.method.name(),
             );
             let g = load_graph(&a.graph)?;
+            // The split is the first draw from StdRng(a.seed); recording
+            // (seed, fraction) in the checkpoint lets a later audit
+            // reconstruct the exact train/test membership ground truth.
+            let train_fraction = 0.5;
             let mut rng = StdRng::seed_from_u64(a.seed);
-            let split = NodeSplit::random(&g, 0.5, &mut rng);
+            let split = NodeSplit::random(&g, train_fraction, &mut rng);
+            let provenance = privim_core::checkpoint::SplitProvenance {
+                split_seed: a.seed,
+                train_fraction,
+            };
             let config = PrivImConfig {
                 epsilon: a.epsilon,
                 model: a.model,
@@ -174,7 +183,7 @@ fn run(command: Command) -> Result<(), String> {
                 ..PrivImConfig::default()
             };
             if a.resume.is_some() || a.checkpoint_dir.is_some() {
-                return train_crash_safe(&g, &a, &config, &split.train);
+                return train_crash_safe(&g, &a, &config, &split.train, provenance);
             }
             let result = privim_core::pipeline::run_method_with_candidates(
                 &g,
@@ -261,11 +270,68 @@ fn run(command: Command) -> Result<(), String> {
             console(format!(
                 "  spent epsilon = {spent:.4} (optimal RDP order alpha = {alpha})"
             ));
+            if let Some(path) = &a.checkpoint {
+                let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
+                console(format!("  checkpoint digest = {}", cp.digest_hex()));
+            }
             Ok(())
         }
+        Command::Audit(a) => audit(&a),
         Command::Serve(a) => serve(&a),
         Command::Monitor(a) => monitor::run(&a),
     }
+}
+
+/// Runs the empirical privacy attacks against the swept checkpoint
+/// directories and prints one line per attack × mode × checkpoint.
+/// `--json` additionally writes the standard bench envelope, which is
+/// byte-identical across runs with the same seed and inputs.
+fn audit(a: &args::AuditArgs) -> Result<(), String> {
+    privim_obs::info!("run", "start", command = "audit", seed = a.seed);
+    let g = load_graph(&a.graph)?;
+    let cfg = privim_audit::AuditConfig {
+        attack: match a.attack {
+            args::AuditAttack::Membership => privim_audit::Attack::Membership,
+            args::AuditAttack::Topology => privim_audit::Attack::Topology,
+            args::AuditAttack::Both => privim_audit::Attack::Both,
+        },
+        mode: match a.mode {
+            args::AuditMode::WhiteBox => privim_audit::Mode::WhiteBox,
+            args::AuditMode::BlackBox => privim_audit::Mode::BlackBox,
+            args::AuditMode::Both => privim_audit::Mode::Both,
+        },
+        seed: a.seed,
+        low_fpr: a.low_fpr,
+        max_pairs: a.max_pairs,
+        addr: a.addr.clone(),
+    };
+    let rows = privim_audit::run_audit(&g, &a.checkpoint_dirs, &cfg)?;
+    for r in &rows {
+        let eps = r
+            .epsilon
+            .map(|e| format!("{e:.3}"))
+            .unwrap_or_else(|| "-".into());
+        let metrics: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.4}"))
+            .collect();
+        console(format!(
+            "{:<10} {:<9} {:<16} eps={:<9} digest={} {}",
+            r.attack,
+            r.mode,
+            r.label,
+            eps,
+            r.digest,
+            metrics.join(" ")
+        ));
+    }
+    if let Some(path) = &a.json {
+        let counters = privim_obs::snapshot().counters;
+        let envelope = privim_audit::render_envelope(a.seed, &rows, &counters);
+        std::fs::write(path, &envelope).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Runs the inference server until SIGINT/SIGTERM, then drains in-flight
@@ -367,6 +433,7 @@ fn train_crash_safe(
     a: &args::TrainArgs,
     config: &PrivImConfig,
     candidates: &[u32],
+    provenance: privim_core::checkpoint::SplitProvenance,
 ) -> Result<(), String> {
     use privim_core::checkpoint::CheckpointStore;
     use privim_core::resume::{train_resumable, ResumeOptions};
@@ -433,6 +500,7 @@ fn train_crash_safe(
             keep: a.keep,
             epsilon_budget: a.epsilon_budget,
             budget_warn_fraction: a.budget_warn_fraction,
+            split: Some(provenance),
         },
     )
     .map_err(|e| e.to_string())?;

@@ -33,8 +33,13 @@ use privim_obs::FaultSignal;
 /// Magic prefix of the checkpoint file format.
 const CKPT_MAGIC: &[u8; 4] = b"PVCK";
 /// Format version; bumped on any layout change. Version 2 added the
-/// 128-bit run trace id after `config_crc`.
-const CKPT_VERSION: u32 = 2;
+/// 128-bit run trace id after `config_crc`; version 3 added the split
+/// provenance section after the histories. Loading still accepts
+/// version-2 files (they decode with `split: None`), so stores written
+/// by older builds keep their newest-valid fallback.
+const CKPT_VERSION: u32 = 3;
+/// Oldest format version [`CheckpointStore::load`] still accepts.
+const CKPT_MIN_VERSION: u32 = 2;
 /// Header: magic + version + payload length + payload CRC32.
 const HEADER_LEN: usize = 4 + 4 + 8 + 4;
 
@@ -102,6 +107,17 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// How the train/test node split was drawn, persisted so privacy
+/// audits can reconstruct the exact membership ground truth from the
+/// checkpoint alone (no side channel to the original invocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitProvenance {
+    /// Seed of the RNG handed to `NodeSplit::random`.
+    pub split_seed: u64,
+    /// Fraction of nodes assigned to the train split.
+    pub train_fraction: f64,
+}
+
 /// Everything needed to resume a killed training run bit-identically.
 #[derive(Debug, Clone)]
 pub struct TrainCheckpoint {
@@ -129,6 +145,9 @@ pub struct TrainCheckpoint {
     pub losses: Vec<f64>,
     /// Clip fraction of every completed epoch (private runs).
     pub clip_fractions: Vec<f64>,
+    /// Split provenance (None for runs that drew no node split, and
+    /// for checkpoints written by format versions before 3).
+    pub split: Option<SplitProvenance>,
 }
 
 impl TrainCheckpoint {
@@ -193,13 +212,31 @@ impl TrainCheckpoint {
         // Histories.
         put_f64_vec(&mut out, &self.losses);
         put_f64_vec(&mut out, &self.clip_fractions);
+        // Split provenance (format version 3+).
+        match &self.split {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.split_seed.to_le_bytes());
+                put_f64(&mut out, s.train_fraction);
+            }
+        }
         out
     }
 
-    /// Decodes a payload produced by [`TrainCheckpoint::to_bytes`].
-    /// Every length and discriminant is bounds-checked; malformed input
-    /// yields `Err`, never a panic.
+    /// Decodes a payload produced by [`TrainCheckpoint::to_bytes`]
+    /// (i.e. the current format version).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Self::from_bytes_versioned(bytes, CKPT_VERSION)
+    }
+
+    /// Decodes a payload written by format `version`. Decoding is
+    /// strict per version — a version-2 payload must *not* carry the
+    /// split section and a version-3 payload must — so every
+    /// truncation or extension of a valid payload still fails. Every
+    /// length and discriminant is bounds-checked; malformed input
+    /// yields `Err`, never a panic.
+    pub fn from_bytes_versioned(bytes: &[u8], version: u32) -> Result<Self, CheckpointError> {
         let mut r = Reader { bytes, pos: 0 };
         let epoch = r.u64()?;
         let master_seed = r.u64()?;
@@ -269,6 +306,18 @@ impl TrainCheckpoint {
         };
         let losses = r.f64_vec()?;
         let clip_fractions = r.f64_vec()?;
+        let split = if version >= 3 {
+            match r.u8()? {
+                0 => None,
+                1 => Some(SplitProvenance {
+                    split_seed: r.u64()?,
+                    train_fraction: r.f64()?,
+                }),
+                tag => return Err(corrupt(format!("unknown split tag {tag}"))),
+            }
+        } else {
+            None
+        };
         if r.pos != bytes.len() {
             return Err(corrupt(format!(
                 "{} trailing bytes after payload",
@@ -285,6 +334,7 @@ impl TrainCheckpoint {
             ledger,
             losses,
             clip_fractions,
+            split,
         })
     }
 }
@@ -514,7 +564,7 @@ impl CheckpointStore {
             return Err(corrupt("bad magic".into()));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        if version != CKPT_VERSION {
+        if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&version) {
             return Err(corrupt(format!("unsupported version {version}")));
         }
         let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
@@ -532,7 +582,7 @@ impl CheckpointStore {
                 "crc mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
             )));
         }
-        TrainCheckpoint::from_bytes(payload)
+        TrainCheckpoint::from_bytes_versioned(payload, version)
     }
 
     /// Loads the newest generation that passes full validation, walking
@@ -631,6 +681,10 @@ mod tests {
             ledger: Some(ledger),
             losses: vec![0.9, 0.7, 0.5],
             clip_fractions: vec![0.5, 0.25, 0.125],
+            split: Some(SplitProvenance {
+                split_seed: 42,
+                train_fraction: 0.5,
+            }),
         }
     }
 
@@ -663,6 +717,60 @@ mod tests {
         }
         assert_eq!(decoded.losses, ckpt.losses);
         assert_eq!(decoded.clip_fractions, ckpt.clip_fractions);
+        assert_eq!(decoded.split, ckpt.split);
+        assert_eq!(
+            decoded.split.unwrap().train_fraction.to_bits(),
+            0.5f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn version2_payloads_still_decode_without_split() {
+        // A version-2 payload is exactly a version-3 payload with
+        // `split: None` minus its trailing one-byte split tag.
+        let mut ckpt = sample_checkpoint(4);
+        ckpt.split = None;
+        let v3 = ckpt.to_bytes();
+        let v2 = &v3[..v3.len() - 1];
+        let decoded = TrainCheckpoint::from_bytes_versioned(v2, 2).unwrap();
+        assert_eq!(decoded.epoch, 4);
+        assert!(decoded.split.is_none());
+        // Strict per-version framing: a v3 decode of a v2 payload is a
+        // truncation, and a v2 decode of a v3 payload has a trailing
+        // byte — both must fail.
+        assert!(TrainCheckpoint::from_bytes_versioned(v2, 3).is_err());
+        assert!(TrainCheckpoint::from_bytes_versioned(&v3, 2).is_err());
+    }
+
+    #[test]
+    fn store_loads_version2_files_written_by_older_builds() {
+        let store = tmp_store("v2compat", 3);
+        let mut ckpt = sample_checkpoint(9);
+        ckpt.split = None;
+        let v3 = ckpt.to_bytes();
+        let payload = &v3[..v3.len() - 1];
+        let mut file = Vec::new();
+        file.extend_from_slice(CKPT_MAGIC);
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&crc32(payload).to_le_bytes());
+        file.extend_from_slice(payload);
+        let path = store.dir().join("gen-000009.ckpt");
+        std::fs::write(&path, &file).unwrap();
+        let loaded = CheckpointStore::load(&path).unwrap();
+        assert_eq!(loaded.epoch, 9);
+        assert!(loaded.split.is_none(), "v2 files decode with no split");
+        // The newest-valid fallback walk also sees it.
+        let (latest, _) = store.load_latest_valid().unwrap().unwrap();
+        assert_eq!(latest.epoch, 9);
+        // An out-of-range version is rejected outright.
+        file[4..8].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &file).unwrap();
+        assert!(matches!(
+            CheckpointStore::load(&path),
+            Err(CheckpointError::Corrupt(msg)) if msg.contains("unsupported version")
+        ));
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 
     #[test]

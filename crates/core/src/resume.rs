@@ -27,7 +27,9 @@ use privim_nn::models::{build_model, GnnModel, ModelKind};
 use privim_nn::optim::{Optimizer, Sgd};
 use privim_obs::fault::splitmix64;
 
-use crate::checkpoint::{crc32, CheckpointError, CheckpointStore, TrainCheckpoint};
+use crate::checkpoint::{
+    crc32, CheckpointError, CheckpointStore, SplitProvenance, TrainCheckpoint,
+};
 use crate::config::PrivImConfig;
 use crate::container::SubgraphContainer;
 use crate::train::{dp_step, PrivacySetup, TrainError, TrainReport};
@@ -112,6 +114,11 @@ pub struct ResumeOptions {
     /// Fraction of `epsilon_budget` at which the guard's one-shot
     /// warning fires. Only read when `epsilon_budget` is set.
     pub budget_warn_fraction: f64,
+    /// Provenance of the train/test node split the caller drew, stamped
+    /// into every checkpoint generation so privacy audits can
+    /// reconstruct the exact membership ground truth later. `None`
+    /// when no split was drawn.
+    pub split: Option<SplitProvenance>,
 }
 
 impl Default for ResumeOptions {
@@ -121,6 +128,7 @@ impl Default for ResumeOptions {
             keep: 3,
             epsilon_budget: None,
             budget_warn_fraction: privim_dp::budget::DEFAULT_WARN_FRACTION,
+            split: None,
         }
     }
 }
@@ -464,6 +472,7 @@ pub fn train_resumable(
                 ledger: ledger.clone(),
                 losses: losses.clone(),
                 clip_fractions: clip_fractions.clone(),
+                split: opts.split,
             };
             store.save(&ckpt)?;
             last_ckpt_epoch = Some(completed);
@@ -490,6 +499,7 @@ pub fn train_resumable(
                 ledger: ledger.clone(),
                 losses: losses.clone(),
                 clip_fractions: clip_fractions.clone(),
+                split: opts.split,
             };
             store.save(&ckpt)?;
         }

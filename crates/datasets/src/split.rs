@@ -94,4 +94,67 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
+
+    /// An RNG that always returns zero. Any uniform index sampler maps
+    /// zero entropy to the range's low bound, so the shuffle's swap
+    /// target is always index 0 — which makes the exact permutation a
+    /// function of the shuffle contract (descending Fisher–Yates)
+    /// alone, independent of the generator algorithm behind `StdRng`.
+    struct ZeroRng;
+
+    impl rand::RngCore for ZeroRng {
+        fn next_u32(&mut self) -> u32 {
+            0
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(0);
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            dest.fill(0);
+            Ok(())
+        }
+    }
+
+    /// Golden fixture: the exact partition for a fixed graph and a
+    /// fixed RNG stream. Ten nodes shuffled with every swap target 0
+    /// end as `[1..9, 0]`; a 0.6 fraction cuts after six. Checkpoint
+    /// split provenance replays splits by re-drawing them, so any
+    /// change to this mapping silently breaks membership-audit ground
+    /// truth — this test makes such a change loud.
+    #[test]
+    fn golden_fixture_pins_the_exact_partition() {
+        let g = graph(10);
+        let s = NodeSplit::random(&g, 0.6, &mut ZeroRng);
+        assert_eq!(s.train, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.test, vec![7, 8, 9, 0]);
+    }
+
+    /// The δ < 1/|V_train| contract must hold for every seed and every
+    /// fraction that yields a nonempty training set, not just the
+    /// paper's 0.5.
+    #[test]
+    fn delta_is_below_inverse_train_count_for_all_seeds_and_fractions() {
+        for seed in 0..40 {
+            for fraction in [0.1, 0.25, 0.5, 0.75, 0.9] {
+                let n = 10 + (seed as usize % 7) * 13;
+                let g = graph(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let s = NodeSplit::random(&g, fraction, &mut rng);
+                assert_eq!(s.train.len() + s.test.len(), n);
+                if s.num_train() > 0 {
+                    assert!(
+                        s.delta() < 1.0 / s.num_train() as f64,
+                        "delta contract violated: n={n} seed={seed} fraction={fraction}"
+                    );
+                }
+                assert!(s.delta() > 0.0);
+            }
+        }
+    }
 }

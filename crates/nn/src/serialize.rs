@@ -107,6 +107,46 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// A stable 64-bit FNV-1a digest over the checkpoint's semantic
+    /// content: architecture metadata, parameter names, and the exact
+    /// bit patterns of every weight. Independent of the JSON rendering
+    /// (whitespace, float formatting, field order), so the same trained
+    /// model always digests identically no matter how it was persisted.
+    /// Audit artifacts key on it, and it is the checkpoint half of the
+    /// serve tier's (checkpoint digest, graph digest, k) cache key.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.kind.name().as_bytes());
+        eat(&(self.in_dim as u64).to_le_bytes());
+        eat(&(self.hidden as u64).to_le_bytes());
+        eat(&(self.layers as u64).to_le_bytes());
+        eat(&(self.params.len() as u64).to_le_bytes());
+        for (name, value) in &self.params {
+            eat(name.as_bytes());
+            let (rows, cols) = value.shape();
+            eat(&(rows as u64).to_le_bytes());
+            eat(&(cols as u64).to_le_bytes());
+            for &v in value.data() {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// [`Checkpoint::digest`] rendered as the fixed-width hex string
+    /// used in `/version` bodies and audit rows.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
     /// Writes the checkpoint as JSON.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
         let json = serde_json::to_string(self).map_err(CheckpointError::Parse)?;
@@ -200,6 +240,37 @@ mod tests {
             restored.seed_probabilities(&gt)
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = build_model(ModelKind::Gcn, 4, 8, 2, &mut rng);
+        let snapshot = Checkpoint::capture(model.as_ref(), 4, 8, 2);
+        // Deterministic: the same snapshot digests identically, and the
+        // hex form is the fixed-width rendering of the same value.
+        assert_eq!(snapshot.digest(), snapshot.digest());
+        assert_eq!(snapshot.digest_hex(), format!("{:016x}", snapshot.digest()));
+        assert_eq!(snapshot.digest_hex().len(), 16);
+        // A clone digests the same; any semantic change does not.
+        let clone = snapshot.clone();
+        assert_eq!(clone.digest(), snapshot.digest());
+        let mut flipped = snapshot.clone();
+        let w = flipped.params[0].1.data_mut()[0];
+        flipped.params[0].1.data_mut()[0] = w + 1.0;
+        assert_ne!(flipped.digest(), snapshot.digest());
+        let mut renamed = snapshot.clone();
+        renamed.params[0].0.push('x');
+        assert_ne!(renamed.digest(), snapshot.digest());
+        let mut resized = snapshot.clone();
+        resized.hidden += 1;
+        assert_ne!(resized.digest(), snapshot.digest());
+        // Sign-of-zero is a distinct bit pattern and must be visible.
+        let mut zeroed = snapshot.clone();
+        zeroed.params[0].1.data_mut()[0] = 0.0;
+        let mut neg_zeroed = snapshot.clone();
+        neg_zeroed.params[0].1.data_mut()[0] = -0.0;
+        assert_ne!(zeroed.digest(), neg_zeroed.digest());
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct VersionResponse {
     pub version: String,
     /// Model architecture being served.
     pub model: String,
+    /// Stable hex digest of the served checkpoint
+    /// (`Checkpoint::digest_hex`): lets callers key caches and audit
+    /// artifacts on exactly which weights are live.
+    pub checkpoint_digest: String,
     /// Nodes in the served graph.
     pub graph_nodes: usize,
     /// Edges in the served graph.

@@ -58,6 +58,10 @@ pub struct App {
     /// at load time so `/v1/seeds` is a slice per request.
     ranking: Vec<u32>,
     model: String,
+    /// Stable hex digest of the served checkpoint (see
+    /// `Checkpoint::digest`): audit artifacts and response caches key
+    /// on it, and `/version` exposes it.
+    checkpoint_digest: String,
     max_trials: usize,
     spread_threads: usize,
     debug_endpoints: bool,
@@ -101,6 +105,7 @@ impl App {
             scores,
             ranking,
             model: checkpoint.kind.name().to_string(),
+            checkpoint_digest: checkpoint.digest_hex(),
             max_trials: config.max_trials.max(1),
             spread_threads: config.spread_threads.max(1),
             debug_endpoints: config.debug_endpoints,
@@ -152,6 +157,7 @@ impl App {
             name: env!("CARGO_PKG_NAME").to_string(),
             version: env!("CARGO_PKG_VERSION").to_string(),
             model: self.model.clone(),
+            checkpoint_digest: self.checkpoint_digest.clone(),
             graph_nodes: self.graph.num_nodes(),
             graph_edges: self.graph.num_edges(),
         }

@@ -9,4 +9,7 @@ done
 echo "=== START kernelbench $(date +%T) ==="
 cargo run --release --quiet -p privim-bench --bin kernelbench -- --seed 42 --measure --repeats 5 --json results/kernelbench.json > results/kernelbench.txt 2> results/kernelbench.log
 echo "=== DONE kernelbench $(date +%T) exit $? ==="
+echo "=== START auditbench $(date +%T) ==="
+cargo run --release --quiet -p privim-bench --bin auditbench -- --seed 42 --json results/auditbench.json > results/auditbench.txt 2> results/auditbench.log
+echo "=== DONE auditbench $(date +%T) exit $? ==="
 echo ALL_EXPERIMENTS_DONE
