@@ -19,6 +19,12 @@
 //! 503s are never retried — shed load is the measurement, not a hiccup —
 //! and the summary reports offered vs achieved throughput, the shed
 //! rate, and tail (p999) latency.
+//!
+//! `--retries <n>` gives each closed-loop request a retry budget for
+//! transport errors and 503s, backing off `--backoff-ms * 2^(k-1)`
+//! between attempts; the envelope reports retried-vs-failed counts per
+//! route. The default budget is zero, so the strict zero-drop exit gate
+//! is unchanged unless retries are explicitly enabled.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -48,6 +54,14 @@ struct Opts {
     no_shutdown: bool,
     /// Open-loop offered rate in requests/second (`None` = closed loop).
     rate: Option<f64>,
+    /// Closed-loop retry budget per request (`--retries`): extra attempts
+    /// on transport errors and 503s. Zero (the default) keeps the strict
+    /// zero-drop gate — any transport error is a dropped request. Open
+    /// loop never retries: shed load is the measurement there.
+    retries: usize,
+    /// Base for the deterministic exponential backoff between retry
+    /// attempts (`--backoff-ms`): attempt k sleeps `backoff * 2^(k-1)`.
+    backoff_ms: u64,
 }
 
 impl Default for Opts {
@@ -64,13 +78,16 @@ impl Default for Opts {
             addr: None,
             no_shutdown: false,
             rate: None,
+            retries: 0,
+            backoff_ms: 50,
         }
     }
 }
 
 const USAGE: &str = "usage: loadgen [--clients n] [--requests n] [--workers n] \
                      [--queue-depth n] [--scale f] [--seed u] [--trials n] \
-                     [--rate rps] [--json path] [--addr host:port] [--no-shutdown]";
+                     [--rate rps] [--retries n] [--backoff-ms n] [--json path] \
+                     [--addr host:port] [--no-shutdown]";
 
 fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts::default();
@@ -89,6 +106,8 @@ fn parse_opts() -> Result<Opts, String> {
             "--addr" => opts.addr = Some(value("--addr")?),
             "--no-shutdown" => opts.no_shutdown = true,
             "--rate" => opts.rate = Some(num(&value("--rate")?, "--rate")?),
+            "--retries" => opts.retries = num(&value("--retries")?, "--retries")?,
+            "--backoff-ms" => opts.backoff_ms = num(&value("--backoff-ms")?, "--backoff-ms")?,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -114,19 +133,23 @@ where
 
 /// One request's fate, as seen from the client side.
 enum Outcome {
-    /// Answered; status and latency.
+    /// Answered; status, latency (across all attempts), and how many
+    /// retry attempts it took.
     Answered {
         route: &'static str,
         status: u16,
         ms: f64,
+        retries: usize,
     },
     /// No response on an established connection while the server was NOT
-    /// shutting down — the failure mode the harness exists to catch. The
-    /// request id names the casualty so it can be looked up in the
-    /// server's logs or flight-recorder dump.
+    /// shutting down — after exhausting the retry budget — the failure
+    /// mode the harness exists to catch. The request id names the
+    /// casualty so it can be looked up in the server's logs or
+    /// flight-recorder dump.
     Dropped {
         route: &'static str,
         request_id: String,
+        retries: usize,
     },
     /// Failed during the shutdown window (connection refused or drained);
     /// expected load shedding, not an error.
@@ -141,6 +164,10 @@ struct RouteRow {
     rejected: usize,
     errors: usize,
     dropped: usize,
+    /// Requests that needed at least one retry (whatever their fate).
+    retried: usize,
+    /// Total extra attempts spent across all retried requests.
+    retry_attempts: usize,
     /// Request ids of the dropped requests, for server-side forensics.
     dropped_ids: Vec<String>,
     throughput_rps: f64,
@@ -206,29 +233,63 @@ fn run_client(
             privim_obs::fault::splitmix64(request_seed)
         );
         let start = Instant::now();
-        match client.post_with_headers(path, &[("X-Request-Id", &request_id)], body.as_bytes()) {
-            Ok(resp) => {
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                completed.fetch_add(1, Ordering::SeqCst);
-                outcomes.push(Outcome::Answered {
-                    route,
-                    status: resp.status,
-                    ms,
-                });
-                if resp.status == 503 {
-                    // Backpressure: honor Retry-After (slightly jittered by
-                    // client id so retries do not re-stampede the queue).
-                    std::thread::sleep(Duration::from_millis(5 + (client_id as u64 % 7)));
+        let mut retries = 0usize;
+        let outcome = loop {
+            let attempt =
+                client.post_with_headers(path, &[("X-Request-Id", &request_id)], body.as_bytes());
+            match attempt {
+                Ok(resp) => {
+                    if resp.status == 503 && retries < opts.retries {
+                        retries += 1;
+                        std::thread::sleep(backoff_for(opts.backoff_ms, retries));
+                        continue;
+                    }
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    if resp.status == 503 {
+                        // Backpressure: honor Retry-After (slightly jittered
+                        // by client id so clients do not re-stampede the
+                        // queue).
+                        std::thread::sleep(Duration::from_millis(5 + (client_id as u64 % 7)));
+                    }
+                    break Some(Outcome::Answered {
+                        route,
+                        status: resp.status,
+                        ms,
+                        retries,
+                    });
+                }
+                Err(_) if shutting_down.load(Ordering::SeqCst) => break None, // shed
+                Err(_) if retries < opts.retries => {
+                    // Transport error with budget left: back off and retry
+                    // (the client reconnects on the next attempt).
+                    retries += 1;
+                    std::thread::sleep(backoff_for(opts.backoff_ms, retries));
+                }
+                Err(_) => {
+                    break Some(Outcome::Dropped {
+                        route,
+                        request_id: request_id.clone(),
+                        retries,
+                    })
                 }
             }
-            Err(_) if shutting_down.load(Ordering::SeqCst) => {
+        };
+        match outcome {
+            Some(o) => outcomes.push(o),
+            None => {
                 outcomes.push(Outcome::Shed);
                 break; // server is draining; this client is done
             }
-            Err(_) => outcomes.push(Outcome::Dropped { route, request_id }),
         }
     }
     outcomes
+}
+
+/// Deterministic exponential backoff: attempt `k` (1-based) sleeps
+/// `base * 2^(k-1)`, capped at a 10-doubling shift.
+fn backoff_for(base_ms: u64, attempt: usize) -> Duration {
+    Duration::from_millis(base_ms.saturating_mul(1u64 << (attempt - 1).min(10)))
 }
 
 /// Returns the request triple for arrival `i` (routes alternate).
@@ -297,13 +358,18 @@ fn run_open_loop_client(
                     route,
                     status: resp.status,
                     ms,
+                    retries: 0,
                 });
             }
             Err(_) if shutting_down.load(Ordering::SeqCst) => {
                 outcomes.push(Outcome::Shed);
                 break;
             }
-            Err(_) => outcomes.push(Outcome::Dropped { route, request_id }),
+            Err(_) => outcomes.push(Outcome::Dropped {
+                route,
+                request_id,
+                retries: 0,
+            }),
         }
     }
     outcomes
@@ -441,6 +507,8 @@ fn main() {
             rejected: 0,
             errors: 0,
             dropped: 0,
+            retried: 0,
+            retry_attempts: 0,
             dropped_ids: Vec::new(),
             throughput_rps: 0.0,
             p50_ms: 0.0,
@@ -454,8 +522,11 @@ fn main() {
                     route: r,
                     status,
                     ms,
+                    retries,
                 } if *r == route => {
                     row.requests += 1;
+                    row.retried += usize::from(*retries > 0);
+                    row.retry_attempts += retries;
                     match status {
                         200 => {
                             row.ok += 1;
@@ -468,9 +539,12 @@ fn main() {
                 Outcome::Dropped {
                     route: r,
                     request_id,
+                    retries,
                 } if *r == route => {
                     row.requests += 1;
                     row.dropped += 1;
+                    row.retried += usize::from(*retries > 0);
+                    row.retry_attempts += retries;
                     row.dropped_ids.push(request_id.clone());
                 }
                 _ => {}
@@ -500,6 +574,7 @@ fn main() {
                 r.rejected.to_string(),
                 r.errors.to_string(),
                 r.dropped.to_string(),
+                r.retried.to_string(),
                 format!("{:.1}", r.throughput_rps),
                 format!("{:.2}", r.p50_ms),
                 format!("{:.2}", r.p95_ms),
@@ -511,13 +586,16 @@ fn main() {
     println!();
     print_table(
         &[
-            "route", "reqs", "ok", "503", "err", "dropped", "rps", "p50ms", "p95ms", "p99ms",
-            "p999ms",
+            "route", "reqs", "ok", "503", "err", "dropped", "retried", "rps", "p50ms", "p95ms",
+            "p99ms", "p999ms",
         ],
         &table,
     );
+    let retried: usize = rows.iter().map(|r| r.retried).sum();
+    let retry_attempts: usize = rows.iter().map(|r| r.retry_attempts).sum();
     println!(
-        "\n{} responses in {elapsed:.2}s ({} shed during shutdown)",
+        "\n{} responses in {elapsed:.2}s ({} shed during shutdown, \
+         {retried} retried over {retry_attempts} extra attempts)",
         completed.load(Ordering::SeqCst),
         shed
     );

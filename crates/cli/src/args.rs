@@ -19,6 +19,10 @@ pub enum Command {
     Account(AccountArgs),
     /// Serve influence-maximization queries over HTTP from a checkpoint.
     Serve(ServeArgs),
+    /// Front a replicated serve tier: health checks, retries, breakers.
+    Route(RouteArgs),
+    /// Run the deterministic TCP fault-injection proxy.
+    Chaos(ChaosArgs),
     /// Render telemetry and active alerts as a text dashboard.
     Monitor(MonitorArgs),
     /// Run empirical privacy attacks against trained checkpoints.
@@ -85,7 +89,15 @@ pub struct EvaluateArgs {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
     pub graph: String,
-    pub checkpoint: String,
+    /// Single checkpoint file to serve (`--checkpoint`). Exactly one of
+    /// this and [`ServeArgs::follow`] must be given.
+    pub checkpoint: Option<String>,
+    /// Crash-safe checkpoint store directory to follow (`--follow`):
+    /// serve the newest valid generation and hot-swap — without dropping
+    /// in-flight requests — whenever a newer valid one appears.
+    pub follow: Option<String>,
+    /// Store poll interval in milliseconds for `--follow` (`--poll-ms`).
+    pub poll_ms: u64,
     pub addr: String,
     pub workers: usize,
     pub queue_depth: usize,
@@ -106,6 +118,54 @@ pub struct ServeArgs {
     /// Fraction of windowed requests allowed to fail or shed before the
     /// error budget counts as burned (`--slo-error-budget`).
     pub slo_error_budget: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteArgs {
+    /// Replica addresses (`--backends host:port[,host:port...]`).
+    pub backends: Vec<String>,
+    /// Front-end listen address (`--addr`).
+    pub addr: String,
+    /// Extra attempts after the first on connect errors, timeouts, and
+    /// 503s (`--retries`).
+    pub retries: u32,
+    /// Base for the deterministic exponential backoff between attempts
+    /// (`--backoff-ms`).
+    pub backoff_ms: u64,
+    /// Per-attempt upstream timeout (`--timeout-ms`).
+    pub timeout_ms: u64,
+    /// Hedge `/v1/spread` requests still unanswered after this delay
+    /// (`--hedge-ms`); absent disables hedging.
+    pub hedge_ms: Option<u64>,
+    /// Consecutive failures that trip a replica's breaker
+    /// (`--breaker-failures`).
+    pub breaker_failures: u32,
+    /// Base breaker cooldown before the half-open probe
+    /// (`--breaker-cooldown-ms`).
+    pub breaker_cooldown_ms: u64,
+    /// Health-check poll interval (`--health-interval-ms`).
+    pub health_interval_ms: u64,
+    /// Consecutive failed health probes before a replica is pulled
+    /// (`--probe-down-after`).
+    pub probe_down_after: u32,
+    /// Seed for breaker reopen jitter (`--seed`).
+    pub seed: u64,
+    /// Front-end worker threads (`--workers`).
+    pub workers: usize,
+    /// Front-end queue depth (`--queue-depth`).
+    pub queue_depth: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// Listen address (`--listen`; port 0 picks a free port).
+    pub listen: String,
+    /// Upstream address to proxy to (`--upstream`).
+    pub upstream: String,
+    /// Fault-plan seed (`--seed`).
+    pub seed: u64,
+    /// Fraction of connections faulted, in [0, 1] (`--fault-rate`).
+    pub fault_rate: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -191,11 +251,20 @@ USAGE:
                   [--attack membership|topology|both]
                   [--mode white-box|black-box|both] [--addr host:port]
                   [--seed u] [--json <path>] [--low-fpr f] [--max-pairs n]
-  privim serve    --graph <path> --checkpoint <path> [--addr host:port]
+  privim serve    --graph <path> (--checkpoint <path> | --follow <dir>)
+                  [--poll-ms n] [--addr host:port]
                   [--workers n] [--queue-depth n] [--deadline-ms n]
                   [--max-trials n] [--spread-threads n] [--slow-ms n]
                   [--debug-endpoints] [--slo-target-ms n] [--slo-window n]
                   [--slo-error-budget f]
+  privim route    --backends host:port[,host:port...] [--addr host:port]
+                  [--retries n] [--backoff-ms n] [--timeout-ms n]
+                  [--hedge-ms n] [--breaker-failures n]
+                  [--breaker-cooldown-ms n] [--health-interval-ms n]
+                  [--probe-down-after n] [--seed u] [--workers n]
+                  [--queue-depth n]
+  privim chaos    --listen host:port --upstream host:port
+                  [--seed u] [--fault-rate f]
   privim monitor  --input <telemetry.jsonl> | --addr host:port
   privim help
 
@@ -640,6 +709,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 &[
                     "graph",
                     "checkpoint",
+                    "follow",
+                    "poll-ms",
                     "addr",
                     "workers",
                     "queue-depth",
@@ -652,6 +723,21 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                     "slo-error-budget",
                 ],
             )?;
+            let checkpoint = f.get("checkpoint").map(str::to_string);
+            let follow = f.get("follow").map(str::to_string);
+            match (&checkpoint, &follow) {
+                (None, None) => {
+                    return Err("serve needs --checkpoint <path> or --follow <dir>".into())
+                }
+                (Some(_), Some(_)) => {
+                    return Err("serve takes --checkpoint or --follow, not both".into())
+                }
+                _ => {}
+            }
+            let poll_ms: u64 = f.parse_opt("poll-ms", 1_000)?;
+            if poll_ms == 0 {
+                return Err("--poll-ms must be positive".into());
+            }
             let slo_window: usize = f.parse_opt("slo-window", 512)?;
             if slo_window == 0 {
                 return Err("--slo-window must be positive".into());
@@ -662,7 +748,9 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Serve(ServeArgs {
                 graph: f.require("graph")?.to_string(),
-                checkpoint: f.require("checkpoint")?.to_string(),
+                checkpoint,
+                follow,
+                poll_ms,
                 addr: f.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
                 workers: f.parse_opt("workers", 4)?,
                 queue_depth: f.parse_opt("queue-depth", 64)?,
@@ -674,6 +762,81 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 slo_target_ms: f.parse_opt("slo-target-ms", 250)?,
                 slo_window,
                 slo_error_budget,
+            }))
+        }
+        "route" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(
+                &f,
+                &[
+                    "backends",
+                    "addr",
+                    "retries",
+                    "backoff-ms",
+                    "timeout-ms",
+                    "hedge-ms",
+                    "breaker-failures",
+                    "breaker-cooldown-ms",
+                    "health-interval-ms",
+                    "probe-down-after",
+                    "seed",
+                    "workers",
+                    "queue-depth",
+                ],
+            )?;
+            let backends: Vec<String> = f
+                .require("backends")?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if backends.is_empty() {
+                return Err("--backends needs at least one host:port".into());
+            }
+            let hedge_ms = match f.get("hedge-ms") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --hedge-ms: {e}"))?,
+                ),
+                None => None,
+            };
+            let breaker_failures: u32 = f.parse_opt("breaker-failures", 3)?;
+            if breaker_failures == 0 {
+                return Err("--breaker-failures must be positive".into());
+            }
+            let probe_down_after: u32 = f.parse_opt("probe-down-after", 2)?;
+            if probe_down_after == 0 {
+                return Err("--probe-down-after must be positive".into());
+            }
+            Ok(Command::Route(RouteArgs {
+                backends,
+                addr: f.get("addr").unwrap_or("127.0.0.1:7800").to_string(),
+                retries: f.parse_opt("retries", 2)?,
+                backoff_ms: f.parse_opt("backoff-ms", 50)?,
+                timeout_ms: f.parse_opt("timeout-ms", 10_000)?,
+                hedge_ms,
+                breaker_failures,
+                breaker_cooldown_ms: f.parse_opt("breaker-cooldown-ms", 1_000)?,
+                health_interval_ms: f.parse_opt("health-interval-ms", 500)?,
+                probe_down_after,
+                seed: f.parse_opt("seed", 0)?,
+                workers: f.parse_opt("workers", 4)?,
+                queue_depth: f.parse_opt("queue-depth", 64)?,
+            }))
+        }
+        "chaos" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["listen", "upstream", "seed", "fault-rate"])?;
+            let fault_rate: f64 = f.parse_opt("fault-rate", 0.1)?;
+            if !(0.0..=1.0).contains(&fault_rate) {
+                return Err("--fault-rate must be in [0, 1]".into());
+            }
+            Ok(Command::Chaos(ChaosArgs {
+                listen: f.require("listen")?.to_string(),
+                upstream: f.require("upstream")?.to_string(),
+                seed: f.parse_opt("seed", 0)?,
+                fault_rate,
             }))
         }
         "monitor" => {
@@ -1132,6 +1295,9 @@ mod tests {
         let cmd = parse(&["serve", "--graph", "g.bin", "--checkpoint", "m.json"]).unwrap();
         match cmd {
             Command::Serve(a) => {
+                assert_eq!(a.checkpoint.as_deref(), Some("m.json"));
+                assert_eq!(a.follow, None);
+                assert_eq!(a.poll_ms, 1_000);
                 assert_eq!(a.addr, "127.0.0.1:7878");
                 assert_eq!(a.workers, 4);
                 assert_eq!(a.queue_depth, 64);
@@ -1194,6 +1360,131 @@ mod tests {
                 .unwrap_err()
                 .contains("unknown flags")
         );
+    }
+
+    #[test]
+    fn serve_follow_mode() {
+        let cmd = parse(&[
+            "serve",
+            "--graph",
+            "g.bin",
+            "--follow",
+            "ckpts",
+            "--poll-ms",
+            "200",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.checkpoint, None);
+                assert_eq!(a.follow.as_deref(), Some("ckpts"));
+                assert_eq!(a.poll_ms, 200);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&[
+            "serve",
+            "--graph",
+            "g",
+            "--checkpoint",
+            "m",
+            "--follow",
+            "d",
+        ])
+        .unwrap_err()
+        .contains("not both"));
+        assert!(
+            parse(&["serve", "--graph", "g", "--follow", "d", "--poll-ms", "0",])
+                .unwrap_err()
+                .contains("--poll-ms")
+        );
+    }
+
+    #[test]
+    fn route_defaults_and_overrides() {
+        let cmd = parse(&["route", "--backends", "127.0.0.1:1, 127.0.0.1:2"]).unwrap();
+        match cmd {
+            Command::Route(a) => {
+                assert_eq!(a.backends, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+                assert_eq!(a.addr, "127.0.0.1:7800");
+                assert_eq!(a.retries, 2);
+                assert_eq!(a.backoff_ms, 50);
+                assert_eq!(a.timeout_ms, 10_000);
+                assert_eq!(a.hedge_ms, None);
+                assert_eq!(a.breaker_failures, 3);
+                assert_eq!(a.breaker_cooldown_ms, 1_000);
+                assert_eq!(a.health_interval_ms, 500);
+                assert_eq!(a.probe_down_after, 2);
+                assert_eq!(a.seed, 0);
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue_depth, 64);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "route",
+            "--backends",
+            "127.0.0.1:9",
+            "--hedge-ms",
+            "30",
+            "--retries",
+            "5",
+            "--probe-down-after",
+            "3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Route(a) => {
+                assert_eq!(a.hedge_ms, Some(30));
+                assert_eq!(a.retries, 5);
+                assert_eq!(a.probe_down_after, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["route"]).unwrap_err().contains("--backends"));
+        assert!(parse(&["route", "--backends", " , "])
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(
+            parse(&["route", "--backends", "a:1", "--breaker-failures", "0"])
+                .unwrap_err()
+                .contains("--breaker-failures")
+        );
+    }
+
+    #[test]
+    fn chaos_defaults_and_bounds() {
+        let cmd = parse(&[
+            "chaos",
+            "--listen",
+            "127.0.0.1:0",
+            "--upstream",
+            "127.0.0.1:7878",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Chaos(a) => {
+                assert_eq!(a.listen, "127.0.0.1:0");
+                assert_eq!(a.upstream, "127.0.0.1:7878");
+                assert_eq!(a.seed, 0);
+                assert_eq!(a.fault_rate, 0.1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&[
+            "chaos",
+            "--listen",
+            "a:1",
+            "--upstream",
+            "b:2",
+            "--fault-rate",
+            "1.5",
+        ])
+        .unwrap_err()
+        .contains("--fault-rate"));
+        assert!(parse(&["chaos", "--listen", "a:1"])
+            .unwrap_err()
+            .contains("upstream"));
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! selection from a saved checkpoint), `evaluate` (influence spread of a
 //! seed set), `account` (privacy-accounting numbers), `audit` (empirical
 //! membership/topology attacks against trained checkpoints), `serve`
-//! (threaded HTTP inference server over a saved checkpoint), `monitor`
-//! (text dashboard over a telemetry file or a live `/metrics`
-//! endpoint). Run `privim help` for usage.
+//! (threaded HTTP inference server over a saved checkpoint, or over a
+//! crash-safe checkpoint store with `--follow` hot-swap reload), `route`
+//! (replicated-tier front-end with health checks, circuit breakers,
+//! retries and hedging), `chaos` (deterministic TCP fault-injection
+//! proxy), `monitor` (text dashboard over a telemetry file or a live
+//! `/metrics` endpoint). Run `privim help` for usage.
 
 mod args;
 mod monitor;
@@ -278,6 +281,8 @@ fn run(command: Command) -> Result<(), String> {
         }
         Command::Audit(a) => audit(&a),
         Command::Serve(a) => serve(&a),
+        Command::Route(a) => route(&a),
+        Command::Chaos(a) => chaos(&a),
         Command::Monitor(a) => monitor::run(&a),
     }
 }
@@ -344,7 +349,9 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
     privim_obs::info!("run", "start", command = "serve", addr = a.addr.clone());
     let app_config = privim_serve::AppConfig {
         graph: a.graph.clone(),
-        checkpoint: a.checkpoint.clone(),
+        // In `--follow` mode checkpoints come from the store, not this
+        // path; `App::from_parts` only reads the limit fields.
+        checkpoint: a.checkpoint.clone().unwrap_or_default(),
         max_trials: a.max_trials,
         spread_threads: a.spread_threads,
         debug_endpoints: a.debug_endpoints,
@@ -392,23 +399,37 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
     let gate = privim_serve::ReadyGate::new();
     let server = privim_serve::Server::start(config, gate.clone())
         .map_err(|e| format!("cannot serve on {}: {e}", a.addr))?;
-    let app = match privim_serve::App::load(&app_config) {
-        Ok(app) => app,
-        Err(e) => {
+    let stop = privim_serve::install_shutdown_handler();
+    if let Some(dir) = &a.follow {
+        console(format!(
+            "serving on http://{} following {dir} (poll every {}ms, {} workers); \
+             SIGINT/SIGTERM to stop",
+            server.local_addr(),
+            a.poll_ms,
+            a.workers,
+        ));
+        if let Err(e) = follow_store(dir, a.poll_ms, &app_config, &gate, &stop) {
             server.shutdown();
             return Err(e);
         }
-    };
-    gate.install(Arc::new(app));
-    console(format!(
-        "serving on http://{} ({} workers, queue depth {}); SIGINT/SIGTERM to stop",
-        server.local_addr(),
-        a.workers,
-        a.queue_depth
-    ));
-    let stop = privim_serve::install_shutdown_handler();
-    while !stop.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(50));
+    } else {
+        let app = match privim_serve::App::load(&app_config) {
+            Ok(app) => app,
+            Err(e) => {
+                server.shutdown();
+                return Err(e);
+            }
+        };
+        gate.install(Arc::new(app));
+        console(format!(
+            "serving on http://{} ({} workers, queue depth {}); SIGINT/SIGTERM to stop",
+            server.local_addr(),
+            a.workers,
+            a.queue_depth
+        ));
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
     }
     console("shutdown requested; draining in-flight requests");
     // Flight-recorder forensics for the shutdown itself: if a dump path
@@ -417,6 +438,209 @@ fn serve(a: &args::ServeArgs) -> Result<(), String> {
         console(format!("flight recorder dumped to {}", path.display()));
     }
     server.shutdown();
+    console("bye");
+    Ok(())
+}
+
+/// The `--follow` hot-swap loop: serve the newest valid checkpoint-store
+/// generation and swap the handler — through [`privim_serve::ReadyGate`],
+/// so in-flight requests drain against the generation they started on —
+/// whenever a newer valid generation appears. Corrupt or unrestorable
+/// generations are skipped with a warning and never examined again; the
+/// previous generation keeps serving. Runs until `stop` is set.
+fn follow_store(
+    dir: &str,
+    poll_ms: u64,
+    app_config: &privim_serve::AppConfig,
+    gate: &privim_serve::ReadyGate,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), String> {
+    use privim_core::checkpoint::CheckpointStore;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    let store = CheckpointStore::open(dir, usize::MAX)
+        .map_err(|e| format!("cannot open checkpoint store {dir}: {e}"))?;
+    let graph = privim_serve::load_graph(&app_config.graph)?;
+    // `installed` is the live generation; `horizon` the newest epoch ever
+    // examined (valid or not), so a rotten file is not re-read (and
+    // re-warned about) every poll.
+    let mut installed: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    while !stop.load(Ordering::SeqCst) {
+        let gens = store
+            .generations()
+            .map_err(|e| format!("cannot list checkpoint store {dir}: {e}"))?;
+        let fresh: Vec<_> = gens
+            .into_iter()
+            .filter(|&(epoch, _)| Some(epoch) > horizon)
+            .collect();
+        // Newest first; fall back to older fresh generations when the
+        // newest is torn or rotted, exactly like `load_latest_valid`.
+        for (epoch, path) in fresh.iter().rev() {
+            horizon = horizon.max(Some(*epoch));
+            let loaded = CheckpointStore::load(path)
+                .map_err(|e| e.to_string())
+                .and_then(|ckpt| {
+                    privim_serve::App::from_parts(graph.clone(), &ckpt.model, app_config)
+                });
+            match loaded {
+                Ok(app) => {
+                    let digest = app.checkpoint_digest().to_string();
+                    let first = installed.is_none();
+                    if first {
+                        gate.install(Arc::new(app));
+                    } else {
+                        gate.swap(Arc::new(app));
+                        privim_obs::counter("serve.follow.swaps").add(1);
+                    }
+                    if first {
+                        privim_obs::info!(
+                            "serve",
+                            "follow_installed",
+                            epoch = *epoch,
+                            digest = digest.clone(),
+                        );
+                    } else {
+                        privim_obs::info!(
+                            "serve",
+                            "follow_swapped",
+                            epoch = *epoch,
+                            digest = digest.clone(),
+                        );
+                    }
+                    console(format!(
+                        "generation {epoch} live (digest {digest}{})",
+                        if first { "" } else { ", hot-swapped" }
+                    ));
+                    installed = Some(*epoch);
+                    break;
+                }
+                Err(reason) => {
+                    privim_obs::counter("serve.follow.rejected").add(1);
+                    privim_obs::warn!(
+                        "serve",
+                        "follow_generation_rejected",
+                        epoch = *epoch,
+                        path = path.display().to_string(),
+                        reason = reason,
+                    );
+                }
+            }
+        }
+        // Sleep in slices so SIGINT/SIGTERM stays prompt.
+        let mut slept = 0;
+        while slept < poll_ms && !stop.load(Ordering::SeqCst) {
+            let slice = poll_ms.saturating_sub(slept).min(50);
+            std::thread::sleep(Duration::from_millis(slice));
+            slept += slice;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the replicated-tier front-end: health-checked routing over the
+/// given replicas with per-replica circuit breakers, bounded retry with
+/// deterministic backoff, and optional tail-latency hedging for
+/// `/v1/spread`. Like `serve`, it drains in-flight requests on
+/// SIGINT/SIGTERM. The router holds no checkpoint state of its own — the
+/// health thread's digest-agreement check is what keeps a mixed-version
+/// tier from serving inconsistent answers.
+fn route(a: &args::RouteArgs) -> Result<(), String> {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    privim_obs::info!(
+        "run",
+        "start",
+        command = "route",
+        addr = a.addr.clone(),
+        backends = a.backends.len() as u64,
+    );
+    let router = privim_serve::Router::new(privim_serve::RouterConfig {
+        backends: a.backends.clone(),
+        retries: a.retries,
+        backoff: Duration::from_millis(a.backoff_ms),
+        timeout: Duration::from_millis(a.timeout_ms.max(1)),
+        hedge_after: a.hedge_ms.map(Duration::from_millis),
+        breaker_failures: a.breaker_failures,
+        breaker_cooldown: Duration::from_millis(a.breaker_cooldown_ms.max(1)),
+        health_interval: Duration::from_millis(a.health_interval_ms.max(1)),
+        probe_down_after: a.probe_down_after,
+        seed: a.seed,
+    })?;
+    let health = router.spawn_health_thread();
+    let config = privim_serve::ServerConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        queue_depth: a.queue_depth,
+        // The front-end deadline must outlive a full retry ladder:
+        // every attempt's timeout plus the exponential backoffs between.
+        deadline: Duration::from_millis(
+            a.timeout_ms
+                .max(1)
+                .saturating_mul(u64::from(a.retries) + 2)
+                .saturating_add(a.backoff_ms.saturating_mul(1u64 << a.retries.min(10))),
+        ),
+        ..privim_serve::ServerConfig::default()
+    };
+    let gate = privim_serve::ReadyGate::new();
+    let server = privim_serve::Server::start(config, gate.clone())
+        .map_err(|e| format!("cannot serve on {}: {e}", a.addr))?;
+    gate.install(router.clone());
+    console(format!(
+        "routing http://{} over {} replica(s): {}; SIGINT/SIGTERM to stop",
+        server.local_addr(),
+        a.backends.len(),
+        a.backends.join(", ")
+    ));
+    let stop = privim_serve::install_shutdown_handler();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    console("shutdown requested; draining in-flight requests");
+    router.stop_flag().store(true, Ordering::SeqCst);
+    server.shutdown();
+    let _ = health.join();
+    console("bye");
+    Ok(())
+}
+
+/// Runs the deterministic TCP fault-injection proxy until SIGINT/SIGTERM.
+/// The fault plan is a pure function of `(seed, connection index)`, so a
+/// run against the same traffic replays the same faults — see
+/// `privim_serve::chaosproxy`.
+fn chaos(a: &args::ChaosArgs) -> Result<(), String> {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    privim_obs::info!(
+        "run",
+        "start",
+        command = "chaos",
+        listen = a.listen.clone(),
+        upstream = a.upstream.clone(),
+        seed = a.seed,
+    );
+    let proxy = privim_serve::ChaosProxy::start(privim_serve::ChaosConfig {
+        listen: a.listen.clone(),
+        upstream: a.upstream.clone(),
+        seed: a.seed,
+        fault_rate: a.fault_rate,
+    })
+    .map_err(|e| format!("cannot start chaos proxy on {}: {e}", a.listen))?;
+    console(format!(
+        "chaos proxy on {} -> {} (seed {}, fault rate {}); SIGINT/SIGTERM to stop",
+        proxy.local_addr(),
+        a.upstream,
+        a.seed,
+        a.fault_rate
+    ));
+    let stop = privim_serve::install_shutdown_handler();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    proxy.shutdown();
     console("bye");
     Ok(())
 }

@@ -86,20 +86,35 @@ impl App {
         let graph = load_graph(&config.graph)?;
         let checkpoint = Checkpoint::load(&config.checkpoint)
             .map_err(|e| format!("cannot load checkpoint {}: {e}", config.checkpoint))?;
-        let model = checkpoint
-            .restore()
-            .map_err(|e| format!("cannot restore checkpoint {}: {e}", config.checkpoint))?;
-        let tensors = GraphTensors::with_structural_features(&graph, checkpoint.in_dim);
-        let scores = model.seed_probabilities(&tensors);
-        let ranking = top_k_seeds(&scores, scores.len());
+        let app = App::from_parts(graph, &checkpoint, config)?;
         privim_obs::info!(
             "serve",
             "loaded",
             graph = config.graph.clone(),
             checkpoint = config.checkpoint.clone(),
-            nodes = graph.num_nodes() as u64,
+            nodes = app.num_nodes() as u64,
             model = checkpoint.kind.name(),
         );
+        Ok(app)
+    }
+
+    /// Builds the app from an already-loaded graph and model checkpoint.
+    /// This is the hot-swap path: `privim serve --follow` reads binary
+    /// checkpoint-store generations (`TrainCheckpoint.model`) and hands
+    /// them here directly, so a reload never touches the JSON
+    /// checkpoint format — and the swap fails cleanly (old handler keeps
+    /// serving) if the new generation cannot be restored.
+    pub fn from_parts(
+        graph: Graph,
+        checkpoint: &Checkpoint,
+        config: &AppConfig,
+    ) -> Result<App, String> {
+        let model = checkpoint
+            .restore()
+            .map_err(|e| format!("cannot restore checkpoint: {e}"))?;
+        let tensors = GraphTensors::with_structural_features(&graph, checkpoint.in_dim);
+        let scores = model.seed_probabilities(&tensors);
+        let ranking = top_k_seeds(&scores, scores.len());
         Ok(App {
             graph,
             scores,
@@ -110,6 +125,12 @@ impl App {
             spread_threads: config.spread_threads.max(1),
             debug_endpoints: config.debug_endpoints,
         })
+    }
+
+    /// Stable hex digest of the served checkpoint (what `/version`
+    /// reports and the router's agreement check compares).
+    pub fn checkpoint_digest(&self) -> &str {
+        &self.checkpoint_digest
     }
 
     /// Number of nodes in the served graph.

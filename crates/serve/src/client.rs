@@ -33,6 +33,10 @@ impl ClientResponse {
 pub struct HttpClient {
     addr: SocketAddr,
     reader: Option<BufReader<TcpStream>>,
+    /// Whether the current connection has successfully served at least
+    /// one response — only then is it a *pooled keep-alive* connection
+    /// whose failure signatures are safe to resend.
+    served: bool,
     timeout: Duration,
     reconnects: usize,
 }
@@ -55,6 +59,7 @@ impl HttpClient {
         let mut client = HttpClient {
             addr,
             reader: None,
+            served: false,
             timeout,
             reconnects: 0,
         };
@@ -88,8 +93,14 @@ impl HttpClient {
         self.request_with_headers("POST", path, headers, Some(body))
     }
 
-    /// Sends one request; on a dead reused connection, reconnects once
-    /// and retries (a fresh connection's failure is returned as-is).
+    /// Sends one request. When a pooled keep-alive connection turns out
+    /// to be stale — the server closed it while it sat idle, seen as a
+    /// broken-pipe/reset on the first write or an EOF/reset before any
+    /// response byte — the client transparently reconnects and resends
+    /// once. Failures that arrive *mid-response* (or on a fresh
+    /// connection) are surfaced as-is: the request may have executed,
+    /// so silently resending could double-execute it or paper over
+    /// corruption.
     pub fn request(
         &mut self,
         method: &str,
@@ -108,23 +119,28 @@ impl HttpClient {
         headers: &[(&str, &str)],
         body: Option<&[u8]>,
     ) -> std::io::Result<ClientResponse> {
-        let reused = self.reader.is_some();
+        // A connection is only "pooled" once it has served a response;
+        // a freshly-opened socket failing is a real error, not staleness.
+        let reused = self.reader.is_some() && self.served;
         match self.try_request(method, path, headers, body) {
             Ok(resp) => Ok(resp),
-            Err(e) if reused => {
+            Err(fail) if reused && fail.stale => {
                 self.reader = None;
                 self.reconnects += 1;
                 self.try_request(method, path, headers, body)
                     .map_err(|retry| {
                         std::io::Error::new(
-                            retry.kind(),
-                            format!("{retry} (after retry; first: {e})"),
+                            retry.err.kind(),
+                            format!(
+                                "{} (after stale-connection resend; first: {})",
+                                retry.err, fail.err
+                            ),
                         )
                     })
             }
-            Err(e) => {
+            Err(fail) => {
                 self.reader = None;
-                Err(e)
+                Err(fail.err)
             }
         }
     }
@@ -134,7 +150,11 @@ impl HttpClient {
             let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
             stream.set_read_timeout(Some(self.timeout))?;
             stream.set_write_timeout(Some(self.timeout))?;
+            // Small request/response exchanges: Nagle + delayed ACK adds
+            // tens of milliseconds per round trip for nothing.
+            let _ = stream.set_nodelay(true);
             self.reader = Some(BufReader::new(stream));
+            self.served = false;
         }
         Ok(())
     }
@@ -145,8 +165,9 @@ impl HttpClient {
         path: &str,
         headers: &[(&str, &str)],
         body: Option<&[u8]>,
-    ) -> std::io::Result<ClientResponse> {
-        self.ensure_connected()?;
+    ) -> Result<ClientResponse, TryError> {
+        // A connect failure is never a stale-socket signature.
+        self.ensure_connected().map_err(TryError::fatal)?;
         let reader = self.reader.as_mut().expect("connected");
         let stream = reader.get_mut();
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
@@ -158,12 +179,19 @@ impl HttpClient {
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        if let Some(body) = body {
-            stream.write_all(body)?;
-        }
-        stream.flush()?;
+        // A write into a socket the server already closed surfaces as
+        // broken-pipe/reset: the request was never processed, so it is
+        // safe to resend on a fresh connection.
+        let send = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| body.map_or(Ok(()), |b| stream.write_all(b)))
+            .and_then(|()| stream.flush());
+        send.map_err(|e| TryError {
+            stale: stale_disconnect_kind(e.kind()),
+            err: e,
+        })?;
         let resp = read_response(reader)?;
+        self.served = true;
         let close = resp
             .header("connection")
             .map(|v| v.to_ascii_lowercase().contains("close"))
@@ -173,6 +201,41 @@ impl HttpClient {
         }
         Ok(resp)
     }
+}
+
+/// One attempt's failure: `stale` marks the two signatures of a pooled
+/// keep-alive connection the server closed while it was idle (write-side
+/// broken pipe/reset, or clean EOF before any response byte). Only those
+/// are safe to transparently resend; anything mid-response is fatal.
+#[derive(Debug)]
+struct TryError {
+    err: std::io::Error,
+    stale: bool,
+}
+
+impl TryError {
+    fn fatal(err: std::io::Error) -> TryError {
+        TryError { err, stale: false }
+    }
+}
+
+impl From<std::io::Error> for TryError {
+    fn from(err: std::io::Error) -> TryError {
+        TryError::fatal(err)
+    }
+}
+
+/// Error kinds produced by writing into — or reading the first response
+/// byte from — a socket whose peer already closed it.
+fn stale_disconnect_kind(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::WriteZero
+    )
 }
 
 fn bad(msg: String) -> std::io::Error {
@@ -195,12 +258,44 @@ fn read_line<R: BufRead>(r: &mut R) -> std::io::Result<String> {
     String::from_utf8(line).map_err(|_| bad("non-UTF-8 response header".into()))
 }
 
-fn read_response<R: BufRead>(r: &mut R) -> std::io::Result<ClientResponse> {
-    let status_line = read_line(r)?;
+fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, TryError> {
+    let status_line = {
+        let mut line = Vec::new();
+        if let Err(e) = r.read_until(b'\n', &mut line) {
+            // A reset with zero response bytes is the other face of the
+            // stale keep-alive close (the server dropped the socket with
+            // our request bytes unread, turning FIN into RST). Any error
+            // after the first response byte is fatal.
+            let stale = line.is_empty() && stale_disconnect_kind(e.kind());
+            return Err(TryError { err: e, stale });
+        }
+        if line.is_empty() {
+            // Clean EOF with zero response bytes: the keep-alive socket
+            // was closed between requests — the stale signature.
+            return Err(TryError {
+                err: std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the idle connection",
+                ),
+                stale: true,
+            });
+        }
+        if line.last() != Some(&b'\n') {
+            return Err(TryError::fatal(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            )));
+        }
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line).map_err(|_| bad("non-UTF-8 response header".into()))?
+    };
     let mut parts = status_line.splitn(3, ' ');
     let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
     if !version.starts_with("HTTP/1.") {
-        return Err(bad(format!("bad status line: {status_line:?}")));
+        return Err(bad(format!("bad status line: {status_line:?}")).into());
     }
     let status: u16 = status
         .parse()
@@ -216,21 +311,20 @@ fn read_response<R: BufRead>(r: &mut R) -> std::io::Result<ClientResponse> {
             .ok_or_else(|| bad(format!("bad header: {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let resp = ClientResponse {
+    let mut resp = ClientResponse {
         status,
         headers,
         body: Vec::new(),
     };
-    let mut resp = resp;
     if let Some(len) = resp.header("content-length") {
         let len: usize = len
             .parse()
             .map_err(|_| bad(format!("bad content-length {len:?}")))?;
         let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
+        r.read_exact(&mut body).map_err(TryError::fatal)?;
         resp.body = body;
     } else {
-        r.read_to_end(&mut resp.body)?;
+        r.read_to_end(&mut resp.body).map_err(TryError::fatal)?;
     }
     Ok(resp)
 }
@@ -262,5 +356,98 @@ mod tests {
         assert!(read_response(&mut "SIP/2.0 200 OK\r\n\r\n".as_bytes()).is_err());
         assert!(read_response(&mut "HTTP/1.1 abc OK\r\n\r\n".as_bytes()).is_err());
         assert!(read_response(&mut "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn only_zero_byte_eof_is_classified_stale() {
+        // EOF before any response byte: the stale keep-alive signature.
+        let err = read_response(&mut "".as_bytes()).unwrap_err();
+        assert!(err.stale, "zero-byte EOF is stale");
+        // EOF mid-status-line, mid-headers, or mid-body: fatal, because
+        // the server did start processing the request.
+        let err = read_response(&mut "HTTP/1.1 20".as_bytes()).unwrap_err();
+        assert!(!err.stale, "torn status line is not stale");
+        let err = read_response(&mut "HTTP/1.1 200 OK\r\nContent-Le".as_bytes()).unwrap_err();
+        assert!(!err.stale, "torn headers are not stale");
+        let err = read_response(&mut "HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nabc".as_bytes())
+            .unwrap_err();
+        assert!(!err.stale, "torn body is not stale");
+    }
+
+    fn read_head(stream: &mut TcpStream) {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            if stream.read(&mut byte).map(|n| n == 0).unwrap_or(true) {
+                return;
+            }
+            buf.push(byte[0]);
+        }
+    }
+
+    #[test]
+    fn resends_once_when_the_pooled_connection_went_stale() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: one keep-alive response, then close the
+            // socket while the client still believes it is pooled.
+            let (mut s, _) = listener.accept().unwrap();
+            read_head(&mut s);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\na")
+                .unwrap();
+            drop(s);
+            // Second connection: the transparent resend.
+            let (mut s, _) = listener.accept().unwrap();
+            read_head(&mut s);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: close\r\n\r\nb")
+                .unwrap();
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/one").unwrap().body, b"a");
+        let resp = client.get("/two").expect("stale socket must be resent");
+        assert_eq!(resp.body, b"b");
+        assert_eq!(client.reconnects(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn a_fresh_connection_is_never_resent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Accept and immediately close the very first connection:
+            // the client's first request fails with the stale signature
+            // (clean EOF) but must NOT resend — the socket never served.
+            let (s, _) = listener.accept().unwrap();
+            drop(s);
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert!(client.get("/one").is_err(), "fresh-socket EOF is an error");
+        assert_eq!(client.reconnects(), 0, "no resend on a fresh connection");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mid_response_failure_is_surfaced_not_resent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_head(&mut s);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\na")
+                .unwrap();
+            // Second request on the same socket: answer with a torn
+            // response and close — the request *did* reach the server,
+            // so the client must not silently resend it.
+            read_head(&mut s);
+            s.write_all(b"HTTP/1.1 2").unwrap();
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/one").unwrap().body, b"a");
+        assert!(client.get("/two").is_err(), "torn response is an error");
+        assert_eq!(client.reconnects(), 0, "no resend on mid-response failure");
+        server.join().unwrap();
     }
 }

@@ -12,6 +12,11 @@ const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of header fields per request.
 const MAX_HEADERS: usize = 100;
 
+/// The one `Retry-After` value every 503 in the tier advertises — queue
+/// shed, loading gate, drain, and router no-backend alike — so clients
+/// back off uniformly no matter which layer shed them.
+pub const RETRY_AFTER_SECS: &str = "1";
+
 /// Request methods the server distinguishes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Method {
@@ -275,6 +280,13 @@ impl Response {
         self
     }
 
+    /// The canonical 503: a JSON error body plus the tier-wide
+    /// `Retry-After` ([`RETRY_AFTER_SECS`]). Every shed path must go
+    /// through here so clients see one consistent back-off signal.
+    pub fn unavailable(message: &str) -> Response {
+        Response::error(503, message).with_header("Retry-After", RETRY_AFTER_SECS)
+    }
+
     /// The canonical reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
         match self.status {
@@ -420,6 +432,19 @@ mod tests {
         assert_eq!(resp.body, br#"{"error":"bad \"seed\"\nvalue"}"#);
         let resp = Response::error(400, "ctl\u{1}char");
         assert_eq!(resp.body, br#"{"error":"ctl\u0001char"}"#);
+    }
+
+    #[test]
+    fn unavailable_always_carries_the_shared_retry_after() {
+        let resp = Response::unavailable("queue full, retry later");
+        assert_eq!(resp.status, 503);
+        let header = resp
+            .headers
+            .iter()
+            .find(|(n, _)| n == "Retry-After")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(header, Some(RETRY_AFTER_SECS));
+        assert_eq!(resp.body, br#"{"error":"queue full, retry later"}"#);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   contract.
 //! - [`client`] — a small blocking HTTP client used by tests and the
 //!   `loadgen` benchmark.
+//! - [`router`] — the replicated-tier front-end: health-checked routing
+//!   over N replicas with per-replica circuit breakers, bounded retry
+//!   with deterministic backoff, and tail-latency hedging for
+//!   `/v1/spread`.
+//! - [`chaosproxy`] — a deterministic TCP fault-injection proxy (seeded
+//!   like `FaultPlan`) that exercises every retry/breaker/hedge path
+//!   reproducibly.
 //! - [`signal`] — SIGINT/SIGTERM → `AtomicBool` for clean CLI shutdown.
 //! - [`slo`] — rolling-window SLO tracking (windowed p99 vs target,
 //!   error/shed budget burn) behind `GET /slo`, `serve.slo.*` gauges and
@@ -48,18 +55,22 @@
 
 pub mod api;
 pub mod app;
+pub mod chaosproxy;
 pub mod client;
 pub mod http;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod signal;
 pub mod slo;
 
 pub use api::{SeedsRequest, SeedsResponse, SpreadRequest, SpreadResponse, VersionResponse};
 pub use app::{load_graph, App, AppConfig};
+pub use chaosproxy::{fault_for_conn, ChaosConfig, ChaosProxy, WireFault};
 pub use client::{ClientResponse, HttpClient};
-pub use http::{HttpError, Method, Request, Response};
+pub use http::{HttpError, Method, Request, Response, RETRY_AFTER_SECS};
 pub use queue::{Bounded, PushError};
+pub use router::{BreakerState, CircuitBreaker, Router, RouterConfig};
 pub use server::{Handler, ReadyGate, Server, ServerConfig};
 pub use signal::{install_shutdown_handler, shutdown_requested, trip_shutdown};
 pub use slo::{SloConfig, SloSnapshot, SloTracker};

@@ -1,0 +1,1145 @@
+//! Replicated-tier front-end: health-checked routing with per-replica
+//! circuit breakers, bounded retry, and tail-latency hedging.
+//!
+//! The router is itself a [`Handler`], so it runs behind the same
+//! acceptor/queue/worker machinery as the application — one binary, two
+//! roles. It forwards every application route to one of N replica
+//! backends and answers only its own operational surface
+//! (`/healthz`, `/metrics`, `/router/backends`) locally:
+//!
+//! ```text
+//!             ┌────────┐  breaker ✓  ┌──────────┐
+//!  clients ──▶│ router ├────────────▶│ replica 0 │  /readyz + /version
+//!             │        ├──retry────▶│ replica 1 │  polled by the health
+//!             └────────┘  backoff    └──────────┘  thread
+//! ```
+//!
+//! Correctness of retry and hedging rests on the serving determinism
+//! contract: replicas agreeing on a checkpoint digest produce
+//! byte-identical bodies for identical requests (scores are fixed at
+//! load time, `/v1/spread` uses thread-invariant splitmix64 trial
+//! blocks), so re-sending a request to another replica — or racing two
+//! replicas and keeping the first answer — can never change what the
+//! client observes. The health thread enforces the digest-agreement
+//! half: a replica whose `/version` digest disagrees with the majority
+//! is pulled from rotation until it converges.
+//!
+//! Every transition (breaker trips and recoveries, retries, hedges
+//! launched/won, backends lost/regained) emits an obs event and bumps a
+//! `router.*` counter, exported as `privim_router_*` in Prometheus.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use privim_obs::fault::splitmix64;
+
+use crate::client::HttpClient;
+use crate::http::{Method, Request, Response};
+use crate::server::Handler;
+
+/// Maximum pooled keep-alive connections per backend.
+const POOL_PER_BACKEND: usize = 4;
+
+/// Circuit-breaker phase. `Open` fails fast; `HalfOpen` lets exactly one
+/// probe through to decide between closing and re-opening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the jittered reopen time.
+    Open,
+    /// Probe in flight: its outcome decides `Closed` vs `Open`.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case label for status bodies and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A per-replica circuit breaker over a caller-supplied millisecond
+/// clock (no wall-clock reads, so tests drive it deterministically).
+///
+/// Closed → Open after `threshold` consecutive failures; Open → HalfOpen
+/// when `allow` is first called past the reopen time (that call *is* the
+/// probe); HalfOpen → Closed on probe success, → Open on probe failure.
+/// Each trip's cooldown gets deterministic seeded jitter — splitmix64 of
+/// `(seed, trip count)` — so a fleet of replicas tripped by the same
+/// outage does not probe a recovering backend in lockstep.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_ms: u64,
+    seed: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u64,
+    reopen_at_ms: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures,
+    /// cooling down `cooldown_ms` (+ jitter from `seed`) per trip.
+    pub fn new(threshold: u32, cooldown_ms: u64, seed: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown_ms: cooldown_ms.max(1),
+            seed,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            reopen_at_ms: 0,
+        }
+    }
+
+    /// Whether a request may be sent at `now_ms`. In `Open`, the first
+    /// call at or past the reopen time transitions to `HalfOpen` and is
+    /// allowed as the probe; later calls wait for the probe's verdict.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms >= self.reopen_at_ms {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Records a successful response: closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed attempt at `now_ms`; trips to `Open` from
+    /// `HalfOpen` (failed probe) or on the `threshold`-th consecutive
+    /// failure in `Closed`.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.trips += 1;
+            // Jitter in [0, cooldown/4]: deterministic per (seed, trip).
+            let jitter = splitmix64(self.seed ^ self.trips) % (self.cooldown_ms / 4 + 1);
+            self.reopen_at_ms = now_ms + self.cooldown_ms + jitter;
+            self.state = BreakerState::Open;
+        }
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Replica addresses (`host:port`), tried in round-robin order.
+    pub backends: Vec<String>,
+    /// Extra attempts after the first (on connect errors, timeouts, and
+    /// 503s — the idempotent-by-construction failure modes).
+    pub retries: u32,
+    /// Base for the deterministic exponential backoff between attempts
+    /// (`backoff * 2^(attempt-1)`).
+    pub backoff: Duration,
+    /// Per-attempt request timeout.
+    pub timeout: Duration,
+    /// Hedge `/v1/spread` requests still unanswered after this delay by
+    /// racing a second replica (first answer wins). `None` disables.
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that trip a replica's breaker.
+    pub breaker_failures: u32,
+    /// Base breaker cooldown before the half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Health-check poll interval (`/readyz` + `/version` digest).
+    pub health_interval: Duration,
+    /// Consecutive failed health probes before a replica is pulled from
+    /// rotation. Probes ride the same network as traffic, so a single
+    /// flaky probe connection must not unseat a healthy replica.
+    pub probe_down_after: u32,
+    /// Seed for breaker reopen jitter (per-backend streams are derived
+    /// from it with splitmix64).
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            backends: Vec::new(),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            timeout: Duration::from_secs(10),
+            hedge_after: None,
+            breaker_failures: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            health_interval: Duration::from_millis(500),
+            probe_down_after: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// One replica: its address, breaker, health-thread verdicts, and a
+/// small pool of kept-alive connections.
+struct Backend {
+    addr: String,
+    breaker: Mutex<CircuitBreaker>,
+    /// `/readyz` said 200 on the last poll (starts optimistic so traffic
+    /// flows before the first poll completes; breakers catch dead ones).
+    healthy: AtomicBool,
+    /// Digest agreement with the majority (true while unknown).
+    digest_ok: AtomicBool,
+    /// Consecutive failed health probes (any success resets).
+    probe_failures: AtomicU32,
+    digest: Mutex<Option<String>>,
+    pool: Mutex<Vec<HttpClient>>,
+}
+
+impl Backend {
+    fn new(addr: String, config: &RouterConfig, index: usize) -> Backend {
+        Backend {
+            addr,
+            breaker: Mutex::new(CircuitBreaker::new(
+                config.breaker_failures,
+                config.breaker_cooldown.as_millis() as u64,
+                splitmix64(config.seed ^ (index as u64 + 1)),
+            )),
+            healthy: AtomicBool::new(true),
+            digest_ok: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+            digest: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Health-thread verdicts only (the breaker needs a clock and is
+    /// consulted separately at pick time).
+    fn routable(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst) && self.digest_ok.load(Ordering::SeqCst)
+    }
+
+    fn client(&self, timeout: Duration) -> std::io::Result<HttpClient> {
+        if let Some(client) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(client);
+        }
+        HttpClient::with_timeout(self.addr.as_str(), timeout)
+    }
+
+    fn park(&self, client: HttpClient) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < POOL_PER_BACKEND {
+            pool.push(client);
+        }
+    }
+}
+
+/// The front-end handler. Construct with [`Router::new`], hand it to
+/// [`crate::server::Server::start`], and (optionally) spawn the health
+/// thread with [`Router::spawn_health_thread`].
+pub struct Router {
+    backends: Vec<Arc<Backend>>,
+    config: RouterConfig,
+    /// Millisecond-clock base for breaker timing.
+    epoch: Instant,
+    /// Round-robin cursor.
+    next: AtomicUsize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Builds a router over `config.backends` (must be non-empty).
+    pub fn new(config: RouterConfig) -> Result<Arc<Router>, String> {
+        if config.backends.is_empty() {
+            return Err("router needs at least one backend".into());
+        }
+        let backends = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Arc::new(Backend::new(addr.clone(), &config, i)))
+            .collect();
+        privim_obs::gauge("router.backends").set(config.backends.len() as f64);
+        Ok(Arc::new(Router {
+            backends,
+            config,
+            epoch: Instant::now(),
+            next: AtomicUsize::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+        }))
+    }
+
+    /// The shared stop flag; setting it ends the health thread.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Spawns the health thread: every `health_interval` it polls each
+    /// backend's `/readyz`, pulls the checkpoint digest from `/version`,
+    /// and pulls replicas that disagree with the majority digest out of
+    /// rotation. Runs until [`Router::stop_flag`] is set.
+    pub fn spawn_health_thread(self: &Arc<Router>) -> std::thread::JoinHandle<()> {
+        let router = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("router-health".into())
+            .spawn(move || {
+                while !router.stop.load(Ordering::SeqCst) {
+                    router.poll_backends_once();
+                    let mut slept = Duration::ZERO;
+                    // Sleep in slices so shutdown is prompt.
+                    while slept < router.config.health_interval
+                        && !router.stop.load(Ordering::SeqCst)
+                    {
+                        let slice = Duration::from_millis(50);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })
+            .expect("spawn router-health")
+    }
+
+    /// One health-check sweep (public so tests and the CLI can force a
+    /// poll without waiting out the interval).
+    pub fn poll_backends_once(&self) {
+        let timeout = Duration::from_millis(500).min(self.config.timeout);
+        let mut digests: Vec<Option<String>> = Vec::with_capacity(self.backends.len());
+        for backend in &self.backends {
+            let mut probe_ok = false;
+            let mut digest = None;
+            if let Ok(mut client) = HttpClient::with_timeout(backend.addr.as_str(), timeout) {
+                probe_ok = client
+                    .get("/readyz")
+                    .map(|r| r.status == 200)
+                    .unwrap_or(false);
+                if probe_ok {
+                    if let Ok(resp) = client.get("/version") {
+                        if resp.status == 200 {
+                            digest = extract_checkpoint_digest(&resp.body);
+                        }
+                    }
+                }
+            }
+            // One flaky probe (the probe shares the traffic network, so
+            // it fails under the same chaos) must not pull a replica:
+            // only `probe_down_after` consecutive failures do.
+            let healthy = if probe_ok {
+                backend.probe_failures.store(0, Ordering::SeqCst);
+                true
+            } else {
+                let misses = backend.probe_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                misses < self.config.probe_down_after.max(1)
+                    && backend.healthy.load(Ordering::SeqCst)
+            };
+            let was = backend.healthy.swap(healthy, Ordering::SeqCst);
+            if was != healthy {
+                privim_obs::counter(if healthy {
+                    "router.backend_up"
+                } else {
+                    "router.backend_down"
+                })
+                .add(1);
+                privim_obs::info!(
+                    "router",
+                    "backend_health",
+                    backend = backend.addr.clone(),
+                    healthy = healthy,
+                );
+            }
+            if probe_ok {
+                *backend.digest.lock().unwrap_or_else(|e| e.into_inner()) = digest.clone();
+            }
+            digests.push(if probe_ok { digest } else { None });
+        }
+
+        // Digest agreement: majority among healthy backends that report
+        // one (ties break toward the lowest backend index). Unknown
+        // digests never disqualify — a replica without /version (or one
+        // we could not parse) is judged by /readyz alone.
+        let majority = majority_digest(&digests);
+        let mut healthy_count = 0u64;
+        for (backend, digest) in self.backends.iter().zip(&digests) {
+            let agrees = match (&majority, digest) {
+                (Some(m), Some(d)) => m == d,
+                _ => true,
+            };
+            let did = backend.digest_ok.swap(agrees, Ordering::SeqCst);
+            if did != agrees {
+                privim_obs::counter("router.digest_disagreements").add(1);
+                privim_obs::warn!(
+                    "router",
+                    "digest_agreement",
+                    backend = backend.addr.clone(),
+                    agrees = agrees,
+                    digest = digest.clone().unwrap_or_default(),
+                    majority = majority.clone().unwrap_or_default(),
+                );
+            }
+            if backend.routable() {
+                healthy_count += 1;
+            }
+        }
+        privim_obs::gauge("router.backends_healthy").set(healthy_count as f64);
+    }
+
+    /// Picks the next routable backend starting at `cursor`, skipping
+    /// unhealthy/disagreeing replicas and open breakers, and excluding
+    /// `avoid` (the hedge's primary). The winning pick consumes the
+    /// breaker's half-open probe slot when one is due. When health
+    /// verdicts disqualify every replica at once, they are ignored
+    /// (fail-open) and only the breakers gate the pick.
+    fn pick(&self, cursor: usize, avoid: Option<usize>) -> Option<(usize, Arc<Backend>)> {
+        let n = self.backends.len();
+        let now = self.now_ms();
+        // Fail-open (panic routing): when *every* replica is marked
+        // unroutable, the health verdicts themselves are the likeliest
+        // casualty (probes ride the same network as traffic), so ignore
+        // them and let the per-replica breakers arbitrate instead.
+        let panic_mode = self.backends.iter().all(|b| !b.routable());
+        if panic_mode {
+            privim_obs::counter("router.panic_picks").add(1);
+        }
+        for step in 0..n {
+            let idx = (cursor + step) % n;
+            if Some(idx) == avoid {
+                continue;
+            }
+            let backend = &self.backends[idx];
+            if !panic_mode && !backend.routable() {
+                continue;
+            }
+            let allowed = {
+                let mut breaker = backend.breaker.lock().unwrap_or_else(|e| e.into_inner());
+                let before = breaker.state();
+                let allowed = breaker.allow(now);
+                if allowed && before == BreakerState::Open {
+                    privim_obs::counter("router.breaker_probes").add(1);
+                    privim_obs::info!(
+                        "router",
+                        "breaker_half_open",
+                        backend = backend.addr.clone(),
+                    );
+                }
+                allowed
+            };
+            if allowed {
+                return Some((idx, Arc::clone(backend)));
+            }
+        }
+        None
+    }
+
+    fn record_outcome(&self, backend: &Backend, ok: bool) {
+        let mut breaker = backend.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let before = breaker.state();
+        if ok {
+            breaker.record_success();
+            if before != BreakerState::Closed {
+                privim_obs::counter("router.breaker_closes").add(1);
+                privim_obs::info!("router", "breaker_closed", backend = backend.addr.clone());
+            }
+        } else {
+            breaker.record_failure(self.now_ms());
+            if breaker.state() == BreakerState::Open && before != BreakerState::Open {
+                privim_obs::counter("router.breaker_trips").add(1);
+                privim_obs::warn!(
+                    "router",
+                    "breaker_tripped",
+                    backend = backend.addr.clone(),
+                    trips = breaker.trips(),
+                );
+            }
+        }
+    }
+
+    /// Forwards one request with bounded retry; hedges eligible routes.
+    fn forward(&self, req: &Request) -> Response {
+        privim_obs::counter("router.requests").add(1);
+        let cursor = self.next.fetch_add(1, Ordering::Relaxed);
+        let attempts = self.config.retries as usize + 1;
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Deterministic exponential backoff: base * 2^(attempt-1).
+                let delay = self.config.backoff * (1u32 << (attempt - 1).min(16));
+                std::thread::sleep(delay);
+                privim_obs::counter("router.retries").add(1);
+                privim_obs::info!(
+                    "router",
+                    "retry",
+                    attempt = attempt as u64,
+                    route = req.route().to_string(),
+                    error = last_error.clone(),
+                );
+            }
+            let Some((idx, backend)) = self.pick(cursor + attempt, None) else {
+                privim_obs::counter("router.no_backend").add(1);
+                last_error = "no routable backend".into();
+                continue;
+            };
+            match self.attempt(idx, backend, req) {
+                Ok(resp) => return resp,
+                Err(err) => last_error = err,
+            }
+        }
+        privim_obs::counter("router.exhausted").add(1);
+        privim_obs::warn!(
+            "router",
+            "retries_exhausted",
+            route = req.route().to_string(),
+            error = last_error.clone(),
+        );
+        Response::unavailable(&format!("all backends failed: {last_error}"))
+    }
+
+    /// One attempt: plain single-backend send, or a hedged race for
+    /// eligible routes. Breaker bookkeeping happens per backend inside.
+    fn attempt(
+        &self,
+        idx: usize,
+        backend: Arc<Backend>,
+        req: &Request,
+    ) -> Result<Response, String> {
+        let hedge_after = match self.config.hedge_after {
+            // Hedging is restricted to /v1/spread: its responses are
+            // byte-identical across replicas on the same digest, so the
+            // duplicate can never disagree with the original.
+            Some(d) if req.route() == "/v1/spread" => Some(d),
+            _ => None,
+        };
+        let Some(hedge_after) = hedge_after else {
+            let outcome = send_once(&backend, req, self.config.timeout);
+            self.record_outcome(&backend, outcome.is_ok());
+            return outcome;
+        };
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<Response, String>)>();
+        let spawn_leg = |leg_idx: usize, leg: Arc<Backend>, tx: std::sync::mpsc::Sender<_>| {
+            let req = req.clone();
+            let timeout = self.config.timeout;
+            std::thread::spawn(move || {
+                let outcome = send_once(&leg, &req, timeout);
+                let _ = tx.send((leg_idx, outcome));
+            });
+        };
+        spawn_leg(idx, Arc::clone(&backend), tx.clone());
+        let mut legs: Vec<(usize, Arc<Backend>)> = vec![(idx, backend)];
+        let first = match rx.recv_timeout(hedge_after) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Primary is slow: race a second replica if one exists.
+                if let Some((h_idx, hedge)) = self.pick(idx + 1, Some(idx)) {
+                    privim_obs::counter("router.hedges").add(1);
+                    privim_obs::info!(
+                        "router",
+                        "hedge_launched",
+                        primary = legs[0].1.addr.clone(),
+                        hedge = hedge.addr.clone(),
+                    );
+                    spawn_leg(h_idx, Arc::clone(&hedge), tx.clone());
+                    legs.push((h_idx, hedge));
+                }
+                None
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => None,
+        };
+        drop(tx);
+        let mut received: Vec<(usize, Result<Response, String>)> = first.into_iter().collect();
+        // First Ok wins; a leg's error only surfaces when every leg fails.
+        loop {
+            if let Some(pos) = received.iter().position(|(_, r)| r.is_ok()) {
+                let (leg_idx, result) = received.swap_remove(pos);
+                // Only the winner's verdict feeds a breaker here; the
+                // losing leg keeps running detached and settles its own
+                // breaker on the next attempt that touches it.
+                if let Some((_, winner)) = legs.iter().find(|(i, _)| *i == leg_idx) {
+                    self.record_outcome(winner, true);
+                }
+                if legs.len() > 1 && leg_idx == legs[1].0 {
+                    privim_obs::counter("router.hedge_wins").add(1);
+                    privim_obs::info!("router", "hedge_won", backend = legs[1].1.addr.clone());
+                }
+                return result;
+            }
+            if received.len() == legs.len() {
+                // Every leg failed: settle breakers and report the first.
+                for (_, leg) in &legs {
+                    self.record_outcome(leg, false);
+                }
+                let (_, first_err) = received.swap_remove(0);
+                return first_err;
+            }
+            match rx.recv_timeout(self.config.timeout) {
+                Ok(result) => received.push(result),
+                Err(_) => {
+                    for (_, leg) in &legs {
+                        self.record_outcome(leg, false);
+                    }
+                    return Err("hedged request timed out on every leg".into());
+                }
+            }
+        }
+    }
+
+    /// Hand-rolled deterministic JSON for `GET /router/backends`.
+    fn backends_status(&self) -> String {
+        let mut out = String::from("{\"backends\":[");
+        for (i, backend) in self.backends.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let breaker = backend.breaker.lock().unwrap_or_else(|e| e.into_inner());
+            let digest = backend
+                .digest
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{{\"addr\":\"{}\",\"healthy\":{},\"digest_agrees\":{},\"breaker\":\"{}\",\"trips\":{},\"digest\":\"{}\"}}",
+                backend.addr,
+                backend.healthy.load(Ordering::SeqCst),
+                backend.digest_ok.load(Ordering::SeqCst),
+                breaker.state().as_str(),
+                breaker.trips(),
+                digest,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Sends `req` to one backend and converts the reply. 503s and transport
+/// errors are attempt failures (the retriable class); every other status
+/// — including 4xx and 500 — is a final answer to relay as-is.
+fn send_once(backend: &Backend, req: &Request, timeout: Duration) -> Result<Response, String> {
+    let mut client = backend
+        .client(timeout)
+        .map_err(|e| format!("{}: connect: {e}", backend.addr))?;
+    // Forward the request id so traces correlate across the two tiers.
+    let id_header: Vec<(&str, &str)> = req
+        .header("x-request-id")
+        .map(|id| vec![("X-Request-Id", id)])
+        .unwrap_or_default();
+    let body = if req.method == Method::Post {
+        Some(req.body.as_slice())
+    } else {
+        None
+    };
+    let outcome = client.request_with_headers(&req.method.to_string(), &req.path, &id_header, body);
+    match outcome {
+        Ok(resp) if resp.status == 503 => Err(format!("{}: backend said 503", backend.addr)),
+        Ok(resp) => {
+            let mut out = Response {
+                status: resp.status,
+                headers: Vec::new(),
+                body: resp.body.clone(),
+            };
+            for (name, value) in &resp.headers {
+                // Hop-by-hop and framing headers are re-derived by our
+                // own writer; everything else passes through.
+                if name != "connection" && name != "content-length" {
+                    out.headers.push((canonical_header(name), value.clone()));
+                }
+            }
+            backend.park(client);
+            Ok(out)
+        }
+        Err(e) => Err(format!("{}: {e}", backend.addr)),
+    }
+}
+
+/// Restores canonical casing for the header names our stack emits (the
+/// client lower-cases on parse; responses should leave the router the
+/// same way they left the replica).
+fn canonical_header(lower: &str) -> String {
+    let mut out = String::with_capacity(lower.len());
+    let mut upper_next = true;
+    for c in lower.chars() {
+        if upper_next && c.is_ascii_alphabetic() {
+            out.push(c.to_ascii_uppercase());
+            upper_next = false;
+        } else {
+            out.push(c);
+        }
+        if c == '-' {
+            upper_next = true;
+        }
+    }
+    out
+}
+
+/// Pulls `"checkpoint_digest":"…"` out of a `/version` body without a
+/// JSON parser (the value is a fixed-alphabet hex digest, so substring
+/// extraction is unambiguous).
+pub fn extract_checkpoint_digest(body: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = "\"checkpoint_digest\":\"";
+    let start = text.find(key)? + key.len();
+    let rest = &text[start..];
+    let end = rest.find('"')?;
+    let digest = &rest[..end];
+    if digest.is_empty() || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some(digest.to_string())
+}
+
+/// Majority digest among reporting backends; ties break toward the
+/// digest seen at the lowest backend index.
+fn majority_digest(digests: &[Option<String>]) -> Option<String> {
+    let mut best: Option<(&String, usize)> = None;
+    for digest in digests.iter().flatten() {
+        let count = digests
+            .iter()
+            .flatten()
+            .filter(|other| *other == digest)
+            .count();
+        match best {
+            Some((_, best_count)) if best_count >= count => {}
+            _ => best = Some((digest, count)),
+        }
+    }
+    best.map(|(d, _)| d.clone())
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        match (&req.method, req.route()) {
+            // The router's own operational surface; everything else is
+            // the replicas' business and is forwarded verbatim.
+            (Method::Get, "/healthz") => Response::text(200, "ok\n"),
+            (Method::Get, "/metrics") => {
+                let text = privim_obs::render_prometheus_with_profile(
+                    &privim_obs::snapshot(),
+                    &privim_obs::profile_report(),
+                );
+                Response::new(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.into_bytes(),
+                )
+            }
+            (Method::Get, "/router/backends") => {
+                Response::json(200, self.backends_status().into_bytes())
+            }
+            _ => self.forward(req),
+        }
+    }
+
+    fn route_label(&self, req: &Request) -> &'static str {
+        match req.route() {
+            "/healthz" => "healthz",
+            "/version" => "version",
+            "/metrics" => "metrics",
+            "/slo" => "slo",
+            "/v1/seeds" => "seeds",
+            "/v1/spread" => "spread",
+            "/router/backends" => "router",
+            _ => "other",
+        }
+    }
+
+    /// Ready while at least one backend is routable — the tier can
+    /// answer something.
+    fn ready(&self) -> bool {
+        self.backends.iter().any(|b| b.routable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_after_cooldown() {
+        let mut breaker = CircuitBreaker::new(3, 1_000, 7);
+        assert!(breaker.allow(0));
+        breaker.record_failure(0);
+        breaker.record_failure(1);
+        assert_eq!(breaker.state(), BreakerState::Closed, "two of three");
+        assert!(breaker.allow(2));
+        breaker.record_failure(2);
+        assert_eq!(breaker.state(), BreakerState::Open, "third failure trips");
+        assert!(!breaker.allow(3), "open fails fast");
+        assert!(!breaker.allow(1_000), "still inside cooldown + jitter");
+        // The jittered reopen time is deterministic: find it by probing.
+        let reopen = (1_000..=1_260).find(|&t| {
+            let mut b = CircuitBreaker::new(3, 1_000, 7);
+            b.record_failure(0);
+            b.record_failure(1);
+            b.record_failure(2);
+            b.allow(t)
+        });
+        let reopen = reopen.expect("jitter is bounded by cooldown/4 (plus trip base at t=2)");
+        assert!(breaker.allow(reopen + 2), "probe admitted at reopen time");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.allow(reopen + 2), "only one probe in flight");
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow(reopen + 3));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_with_new_jitter() {
+        let mut a = CircuitBreaker::new(1, 100, 42);
+        let mut b = CircuitBreaker::new(1, 100, 42);
+        a.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(a.state(), BreakerState::Open);
+        // Same seed ⇒ identical jitter sequences (deterministic).
+        for t in 0..2_000 {
+            assert_eq!(a.allow(t), b.allow(t), "diverged at t={t}");
+            if a.state() == BreakerState::HalfOpen {
+                a.record_failure(t);
+                b.record_failure(t);
+                assert_eq!(a.state(), BreakerState::Open, "probe failure reopens");
+            }
+        }
+        assert!(a.trips() > 1, "probe failures re-tripped the breaker");
+    }
+
+    #[test]
+    fn digest_extraction_and_majority() {
+        let body = br#"{"name":"privim-serve","checkpoint_digest":"00c0ffee","graph_nodes":9}"#;
+        assert_eq!(
+            extract_checkpoint_digest(body),
+            Some("00c0ffee".to_string())
+        );
+        assert_eq!(extract_checkpoint_digest(b"{}"), None);
+        assert_eq!(
+            extract_checkpoint_digest(br#"{"checkpoint_digest":"not hex!"}"#),
+            None
+        );
+        let digests = vec![
+            Some("aa".to_string()),
+            Some("bb".to_string()),
+            Some("bb".to_string()),
+            None,
+        ];
+        assert_eq!(majority_digest(&digests), Some("bb".to_string()));
+        assert_eq!(
+            majority_digest(&[Some("aa".to_string()), Some("bb".to_string())]),
+            Some("aa".to_string()),
+            "ties break toward the lowest index"
+        );
+        assert_eq!(majority_digest(&[None, None]), None);
+    }
+
+    #[test]
+    fn canonical_header_restores_casing() {
+        assert_eq!(canonical_header("content-type"), "Content-Type");
+        assert_eq!(canonical_header("x-request-id"), "X-Request-Id");
+        assert_eq!(canonical_header("retry-after"), "Retry-After");
+    }
+
+    fn start_backend(tag: &'static str) -> Server {
+        let handler = move |req: &Request| match req.route() {
+            "/v1/spread" => {
+                // Deterministic body independent of which replica
+                // answers — the property hedging relies on.
+                Response::json(200, b"{\"spread\":1.0,\"tag\":\"common\"}".to_vec())
+            }
+            "/tag" => Response::text(200, tag),
+            _ => Response::json(200, req.body.clone()),
+        };
+        Server::start(
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
+            Arc::new(handler),
+        )
+        .expect("bind backend")
+    }
+
+    fn router_over(backends: Vec<String>, config: RouterConfig) -> (Arc<Router>, Server) {
+        let router = Router::new(RouterConfig { backends, ..config }).unwrap();
+        let server = Server::start(
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
+            Arc::clone(&router) as Arc<dyn Handler>,
+        )
+        .expect("bind router");
+        (router, server)
+    }
+
+    #[test]
+    fn all_backends_marked_down_fails_open_through_the_breakers() {
+        // Replicas whose /readyz always says not-ready (handler reports
+        // unready) but which serve traffic fine: after enough probe
+        // misses both are marked unhealthy — yet the router must keep
+        // routing (fail-open) rather than 503 a healthy tier.
+        struct Unready;
+        impl Handler for Unready {
+            fn handle(&self, _req: &Request) -> Response {
+                Response::text(200, "pong")
+            }
+            fn ready(&self) -> bool {
+                false
+            }
+        }
+        let a = Server::start(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+            Arc::new(Unready),
+        )
+        .unwrap();
+        let b = Server::start(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+            Arc::new(Unready),
+        )
+        .unwrap();
+        let (router, front) = router_over(
+            vec![a.local_addr().to_string(), b.local_addr().to_string()],
+            RouterConfig {
+                retries: 1,
+                ..RouterConfig::default()
+            },
+        );
+        router.poll_backends_once();
+        router.poll_backends_once();
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        let status = client.get("/router/backends").unwrap();
+        let text = String::from_utf8(status.body).unwrap();
+        assert!(
+            !text.contains("\"healthy\":true"),
+            "both replicas should be marked down: {text}"
+        );
+        let before = privim_obs::counter("router.panic_picks").get();
+        let resp = client.get("/tag").unwrap();
+        assert_eq!(resp.status, 200, "fail-open must keep serving");
+        assert_eq!(resp.body, b"pong");
+        assert!(
+            privim_obs::counter("router.panic_picks").get() > before,
+            "the fail-open path should be counted"
+        );
+        front.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn routes_round_robin_and_fails_over_when_a_backend_dies() {
+        let a = start_backend("a");
+        let b = start_backend("b");
+        let addr_a = a.local_addr().to_string();
+        let addr_b = b.local_addr().to_string();
+        let (_router, front) = router_over(
+            vec![addr_a, addr_b],
+            RouterConfig {
+                retries: 3,
+                backoff: Duration::from_millis(5),
+                breaker_failures: 2,
+                breaker_cooldown: Duration::from_millis(200),
+                timeout: Duration::from_secs(2),
+                ..RouterConfig::default()
+            },
+        );
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        // Both replicas answer while healthy.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..6 {
+            let resp = client.get("/tag").unwrap();
+            assert_eq!(resp.status, 200);
+            seen.insert(resp.body.clone());
+        }
+        assert_eq!(seen.len(), 2, "round-robin reached both replicas");
+        // Kill one replica: every request must still succeed via retry.
+        a.shutdown();
+        for i in 0..10 {
+            let resp = client
+                .post("/echo", format!("{{\"i\":{i}}}").as_bytes())
+                .unwrap_or_else(|e| panic!("request {i} failed across failover: {e}"));
+            assert_eq!(resp.status, 200, "request {i}");
+        }
+        front.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn router_status_reports_breaker_and_health_state() {
+        let b = start_backend("b");
+        let addr_b = b.local_addr().to_string();
+        // One live backend and one black hole (reserved but unserved).
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let (router, front) = router_over(
+            vec![dead_addr.clone(), addr_b],
+            RouterConfig {
+                retries: 2,
+                backoff: Duration::from_millis(1),
+                breaker_failures: 1,
+                breaker_cooldown: Duration::from_secs(30),
+                timeout: Duration::from_millis(500),
+                ..RouterConfig::default()
+            },
+        );
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        // First request hits the dead backend, trips its breaker, and is
+        // retried against the live one.
+        assert_eq!(client.get("/tag").unwrap().status, 200);
+        let status = client.get("/router/backends").unwrap();
+        assert_eq!(status.status, 200);
+        let text = String::from_utf8(status.body).unwrap();
+        assert!(
+            text.contains(&format!("\"addr\":\"{dead_addr}\"")),
+            "{text}"
+        );
+        assert!(text.contains("\"breaker\":\"open\""), "{text}");
+        assert!(text.contains("\"breaker\":\"closed\""), "{text}");
+        // With the breaker open, requests skip the dead backend: no
+        // retry delay, still correct.
+        for _ in 0..5 {
+            assert_eq!(client.get("/tag").unwrap().status, 200);
+        }
+        // Health polls mark the dead backend unhealthy once the misses
+        // reach `probe_down_after` (one flaky probe is forgiven).
+        router.poll_backends_once();
+        let text = String::from_utf8(client.get("/router/backends").unwrap().body).unwrap();
+        assert!(
+            !text.contains("\"healthy\":false"),
+            "a single missed probe must not pull the replica: {text}"
+        );
+        router.poll_backends_once();
+        let status = client.get("/router/backends").unwrap();
+        let text = String::from_utf8(status.body).unwrap();
+        assert!(text.contains("\"healthy\":false"), "{text}");
+        assert!(router.ready(), "one live backend keeps the tier ready");
+        front.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn hedging_uses_the_fast_replica_for_spread() {
+        // Replica "slow" stalls /v1/spread; replica "fast" answers
+        // immediately with the identical body.
+        let slow = Server::start(
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
+            Arc::new(|req: &Request| {
+                if req.route() == "/v1/spread" {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Response::json(200, b"{\"spread\":1.0,\"tag\":\"common\"}".to_vec())
+            }),
+        )
+        .unwrap();
+        let fast = start_backend("fast");
+        let hedges_before = privim_obs::counter("router.hedges").get();
+        let (_router, front) = router_over(
+            vec![slow.local_addr().to_string(), fast.local_addr().to_string()],
+            RouterConfig {
+                retries: 1,
+                hedge_after: Some(Duration::from_millis(50)),
+                timeout: Duration::from_secs(3),
+                ..RouterConfig::default()
+            },
+        );
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        let started = Instant::now();
+        // The round-robin cursor starts at the slow replica, so the
+        // first spread request must be hedged to come back quickly.
+        let resp = client.post("/v1/spread", b"{\"seeds\":[1]}").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"spread\":1.0,\"tag\":\"common\"}");
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "hedge should beat the 400 ms replica, took {:?}",
+            started.elapsed()
+        );
+        assert!(
+            privim_obs::counter("router.hedges").get() > hedges_before,
+            "a hedge was launched"
+        );
+        front.shutdown();
+        slow.shutdown();
+        fast.shutdown();
+    }
+
+    #[test]
+    fn digest_disagreement_pulls_a_replica_from_rotation() {
+        // Two fake replicas reporting different digests: the majority
+        // (lowest index on a tie) stays, the other is pulled.
+        let mk = |digest: &'static str| {
+            Server::start(
+                ServerConfig {
+                    workers: 1,
+                    queue_depth: 8,
+                    ..ServerConfig::default()
+                },
+                Arc::new(move |req: &Request| match req.route() {
+                    "/version" => Response::json(
+                        200,
+                        format!("{{\"checkpoint_digest\":\"{digest}\"}}").into_bytes(),
+                    ),
+                    _ => Response::text(200, digest),
+                }),
+            )
+            .unwrap()
+        };
+        let a = mk("aaaa");
+        let b = mk("bbbb");
+        let (router, front) = router_over(
+            vec![a.local_addr().to_string(), b.local_addr().to_string()],
+            RouterConfig {
+                retries: 1,
+                ..RouterConfig::default()
+            },
+        );
+        router.poll_backends_once();
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        for _ in 0..6 {
+            let resp = client.get("/tag").unwrap();
+            assert_eq!(resp.body, b"aaaa", "only the majority replica serves");
+        }
+        let status = client.get("/router/backends").unwrap();
+        let text = String::from_utf8(status.body).unwrap();
+        assert!(text.contains("\"digest_agrees\":false"), "{text}");
+        front.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+}

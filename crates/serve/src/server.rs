@@ -13,8 +13,9 @@
 //! Shutdown sequence ([`ServerHandle::shutdown`]): set the stop flag →
 //! the acceptor stops accepting and closes the queue → workers drain the
 //! connections already accepted (answering their in-flight requests with
-//! `Connection: close`) → threads are joined → telemetry is flushed.
-//! Nothing that was accepted is ever dropped mid-request.
+//! `Connection: close`, closing *idle* keep-alive connections at once) →
+//! threads are joined → telemetry is flushed. Nothing that was accepted
+//! is ever dropped mid-request.
 
 use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -24,6 +25,10 @@ use std::time::{Duration, Instant};
 
 use crate::http::{read_request, Method, Request, Response};
 use crate::queue::Bounded;
+
+/// Slice length for the between-requests idle poll: the longest an idle
+/// keep-alive connection can delay a drain.
+const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Produces a response for each parsed request. Implementations must be
 /// shareable across worker threads.
@@ -51,8 +56,16 @@ pub trait Handler: Send + Sync + 'static {
 /// answers `503 + Retry-After` and `GET /readyz` reports not-ready —
 /// orchestrators can route traffic the moment the flip happens without
 /// ever seeing a connection refused.
+///
+/// The installed handler can later be replaced atomically with
+/// [`ReadyGate::swap`] (hot reload): each request clones the current
+/// `Arc` once at dispatch, so requests in flight when a swap lands keep
+/// the handler they started with and drain against it — a swap never
+/// drops or reroutes an in-flight request.
 pub struct ReadyGate {
-    inner: std::sync::OnceLock<Arc<dyn Handler>>,
+    inner: std::sync::RwLock<Option<Arc<dyn Handler>>>,
+    /// Completed swaps (not counting the initial install).
+    swaps: std::sync::atomic::AtomicU64,
 }
 
 impl ReadyGate {
@@ -60,36 +73,67 @@ impl ReadyGate {
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> Arc<ReadyGate> {
         Arc::new(ReadyGate {
-            inner: std::sync::OnceLock::new(),
+            inner: std::sync::RwLock::new(None),
+            swaps: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
     /// Installs the loaded handler, flipping `/readyz` to 200. Later
-    /// installs are ignored (first one wins).
+    /// installs are ignored (first one wins); use [`ReadyGate::swap`] to
+    /// replace a live handler.
     pub fn install(&self, handler: Arc<dyn Handler>) {
-        if self.inner.set(handler).is_ok() {
+        let mut slot = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(handler);
             privim_obs::info!("serve", "ready", gated = true);
         }
+    }
+
+    /// Replaces the live handler (installing if the gate was still
+    /// empty) and returns the previous one, which finishes serving any
+    /// requests that already dispatched to it before being dropped.
+    pub fn swap(&self, handler: Arc<dyn Handler>) -> Option<Arc<dyn Handler>> {
+        let old = {
+            let mut slot = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            slot.replace(handler)
+        };
+        if old.is_some() {
+            let n = self.swaps.fetch_add(1, Ordering::SeqCst) + 1;
+            privim_obs::counter("serve.hot_swaps").add(1);
+            privim_obs::info!("serve", "hot_swap", swaps = n);
+        } else {
+            privim_obs::info!("serve", "ready", gated = true);
+        }
+        old
+    }
+
+    /// Completed [`ReadyGate::swap`]s over a live handler.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    fn current(&self) -> Option<Arc<dyn Handler>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }
 
 impl Handler for ReadyGate {
     fn handle(&self, req: &Request) -> Response {
-        match self.inner.get() {
+        match self.current() {
             Some(h) => h.handle(req),
-            None => Response::error(503, "still loading").with_header("Retry-After", "1"),
+            None => Response::unavailable("still loading"),
         }
     }
 
     fn route_label(&self, req: &Request) -> &'static str {
-        match self.inner.get() {
+        match self.current() {
             Some(h) => h.route_label(req),
             None => "other",
         }
     }
 
     fn ready(&self) -> bool {
-        self.inner.get().is_some_and(|h| h.ready())
+        self.current().is_some_and(|h| h.ready())
     }
 }
 
@@ -266,6 +310,8 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool, queue: &Bounded<Conn>) 
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Responses are single small writes; Nagle only delays them.
+                let _ = stream.set_nodelay(true);
                 let conn = Conn {
                     stream,
                     accepted_at: Instant::now(),
@@ -304,7 +350,7 @@ fn reject(mut stream: TcpStream, overloaded: bool) {
     } else {
         "server shutting down"
     };
-    let resp = Response::error(503, message).with_header("Retry-After", "1");
+    let resp = Response::unavailable(message);
     let _ = resp.write_to(&mut stream, false);
     let _ = stream.flush();
 }
@@ -397,6 +443,37 @@ fn serve_connection(
     });
     let mut stream = stream;
     loop {
+        // Idle wait between requests: poll for the next byte in short
+        // slices so a drain can close an idle keep-alive connection at
+        // once instead of holding shutdown for the whole deadline. A
+        // request whose bytes have started arriving is never cut off.
+        if reader.buffer().is_empty() {
+            if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+                return;
+            }
+            let idle_start = Instant::now();
+            let mut byte = [0u8; 1];
+            loop {
+                match stream.peek(&mut byte) {
+                    // Data or EOF: let read_request sort it out.
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if stop.load(Ordering::SeqCst) || idle_start.elapsed() >= deadline {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            if stream.set_read_timeout(Some(deadline)).is_err() {
+                return;
+            }
+        }
         let request = match read_request(&mut reader, max_body) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close between requests
@@ -482,11 +559,11 @@ fn readyz_response(req: &Request, handler: &dyn Handler, stop: &AtomicBool) -> R
         return Response::error(405, &format!("method {} not allowed here", req.method));
     }
     if stop.load(Ordering::SeqCst) {
-        Response::error(503, "draining").with_header("Retry-After", "1")
+        Response::unavailable("draining")
     } else if handler.ready() {
         Response::text(200, "ready\n")
     } else {
-        Response::error(503, "loading").with_header("Retry-After", "1")
+        Response::unavailable("loading")
     }
 }
 
@@ -638,6 +715,78 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(client.post("/echo", b"x").unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swap_replaces_the_handler_and_later_install_still_loses() {
+        let gate = ReadyGate::new();
+        gate.install(Arc::new(|_req: &Request| Response::text(200, "one")));
+        let req = crate::http::read_request(&mut "GET /x HTTP/1.1\r\n\r\n".as_bytes(), 64)
+            .unwrap()
+            .unwrap();
+        assert_eq!(gate.handle(&req).body, b"one");
+        // install() after the first is a no-op, swap() replaces.
+        gate.install(Arc::new(|_req: &Request| Response::text(200, "ignored")));
+        assert_eq!(gate.handle(&req).body, b"one");
+        let old = gate.swap(Arc::new(|_req: &Request| Response::text(200, "two")));
+        assert!(old.is_some(), "swap returns the replaced handler");
+        assert_eq!(gate.handle(&req).body, b"two");
+        assert_eq!(gate.swap_count(), 1);
+    }
+
+    #[test]
+    fn hot_swap_under_load_drops_no_requests() {
+        // Hammer the gate from several client threads while handlers are
+        // swapped underneath: every request must get a 200 whose body is
+        // one of the two generations — never an error, never a drop.
+        let gate = ReadyGate::new();
+        gate.install(Arc::new(|_req: &Request| {
+            std::thread::sleep(Duration::from_millis(2));
+            Response::text(200, "gen-a")
+        }));
+        let server = Server::start(
+            ServerConfig {
+                workers: 4,
+                queue_depth: 64,
+                ..ServerConfig::default()
+            },
+            gate.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    let mut bodies = Vec::new();
+                    for _ in 0..40 {
+                        let resp = client.get("/work").expect("no request may fail");
+                        assert_eq!(resp.status, 200);
+                        bodies.push(resp.body);
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        for swap in 0..6 {
+            std::thread::sleep(Duration::from_millis(15));
+            let body = if swap % 2 == 0 { "gen-b" } else { "gen-a" };
+            gate.swap(Arc::new(move |_req: &Request| {
+                std::thread::sleep(Duration::from_millis(2));
+                Response::text(200, body)
+            }));
+        }
+        for client in clients {
+            for body in client.join().unwrap() {
+                assert!(
+                    body == b"gen-a" || body == b"gen-b",
+                    "unexpected body {:?}",
+                    String::from_utf8_lossy(&body)
+                );
+            }
+        }
+        assert_eq!(gate.swap_count(), 6);
         server.shutdown();
     }
 

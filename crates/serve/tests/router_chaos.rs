@@ -1,0 +1,345 @@
+//! Fault-tolerance integration tests: the replicated tier (router over
+//! real replica servers) driven through the deterministic chaos proxy.
+//!
+//! The acceptance contract mirrored from the CI chaos gate:
+//!
+//! - at a fixed fault seed and a ≥10 % fault rate, a run through the
+//!   chaos proxy finishes with **zero failed requests** and response
+//!   bodies **byte-identical** to a fault-free run;
+//! - killing one replica mid-run and hot-swapping the handler on the
+//!   other drops **zero** in-flight requests.
+//!
+//! Replicas here are synthetic deterministic handlers (no checkpoint,
+//! no JSON parsing) so the tests exercise exactly the transport,
+//! routing, retry, and swap machinery.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use privim_serve::{
+    ChaosConfig, ChaosProxy, Handler, HttpClient, ReadyGate, Request, Response, Router,
+    RouterConfig, Server, ServerConfig,
+};
+
+/// A deterministic replica: every route's body is a pure function of
+/// the request, so two replicas (or two generations of one) always
+/// agree byte-for-byte — the stand-in for "same checkpoint digest".
+fn replica_handler() -> Arc<dyn Handler> {
+    Arc::new(|req: &Request| match req.route() {
+        "/v1/seeds" => Response::json(200, b"{\"seeds\":[4,1,7,0,2]}".to_vec()),
+        "/v1/spread" => {
+            let sum: u64 = req.body.iter().map(|&b| b as u64).sum();
+            Response::json(200, format!("{{\"spread\":{sum}}}").into_bytes())
+        }
+        "/version" => Response::json(
+            200,
+            b"{\"checkpoint_digest\":\"deadbeefdeadbeef\"}".to_vec(),
+        ),
+        _ => Response::error(404, "no such route"),
+    })
+}
+
+fn replica_server(handler: Arc<dyn Handler>) -> Server {
+    Server::start(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 32,
+            deadline: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+    .expect("bind replica")
+}
+
+fn router_server(config: RouterConfig) -> (Server, Arc<Router>) {
+    let router = Router::new(config).expect("router config");
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        router.clone(),
+    )
+    .expect("bind router");
+    (server, router)
+}
+
+/// Drives the fixed request schedule through `addr` and returns every
+/// `(status, body)` in order.
+fn drive(addr: std::net::SocketAddr, requests: usize) -> Vec<(u16, Vec<u8>)> {
+    let mut client = HttpClient::with_timeout(addr, Duration::from_secs(30)).expect("connect");
+    let mut out = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let resp = if i % 2 == 0 {
+            client.get("/v1/seeds")
+        } else {
+            client.post("/v1/spread", format!("{{\"trials\":{i}}}").as_bytes())
+        }
+        .unwrap_or_else(|e| panic!("request {i} must not fail: {e}"));
+        out.push((resp.status, resp.body));
+    }
+    out
+}
+
+#[test]
+fn chaos_run_is_byte_identical_to_the_fault_free_run() {
+    let replica_a = replica_server(replica_handler());
+    let replica_b = replica_server(replica_handler());
+
+    // Reference: router straight at the replicas, no faults anywhere.
+    let (clean_front, clean_router) = router_server(RouterConfig {
+        backends: vec![
+            replica_a.local_addr().to_string(),
+            replica_b.local_addr().to_string(),
+        ],
+        retries: 2,
+        backoff: Duration::from_millis(2),
+        timeout: Duration::from_secs(2),
+        seed: 9,
+        ..RouterConfig::default()
+    });
+    let reference = drive(clean_front.local_addr(), 30);
+    clean_router
+        .stop_flag()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    clean_front.shutdown();
+
+    // Chaos: every router→replica connection passes a proxy faulting
+    // 25 % of connections at a fixed seed.
+    let proxy_a = ChaosProxy::start(ChaosConfig {
+        listen: "127.0.0.1:0".into(),
+        upstream: replica_a.local_addr().to_string(),
+        seed: 40,
+        fault_rate: 0.25,
+    })
+    .expect("proxy a");
+    let proxy_b = ChaosProxy::start(ChaosConfig {
+        listen: "127.0.0.1:0".into(),
+        upstream: replica_b.local_addr().to_string(),
+        seed: 41,
+        fault_rate: 0.25,
+    })
+    .expect("proxy b");
+    let (chaos_front, chaos_router) = router_server(RouterConfig {
+        backends: vec![
+            proxy_a.local_addr().to_string(),
+            proxy_b.local_addr().to_string(),
+        ],
+        retries: 8,
+        backoff: Duration::from_millis(2),
+        timeout: Duration::from_secs(2),
+        breaker_failures: 5,
+        breaker_cooldown: Duration::from_millis(100),
+        health_interval: Duration::from_millis(200),
+        seed: 9,
+        ..RouterConfig::default()
+    });
+    let health = chaos_router.spawn_health_thread();
+    let faulted = drive(chaos_front.local_addr(), 30);
+
+    assert_eq!(faulted.len(), reference.len());
+    for (i, (clean, chaotic)) in reference.iter().zip(&faulted).enumerate() {
+        assert_eq!(
+            chaotic.0,
+            200,
+            "request {i} failed under chaos: {}",
+            String::from_utf8_lossy(&chaotic.1)
+        );
+        assert_eq!(
+            chaotic.1, clean.1,
+            "request {i}: chaos bytes must match the fault-free bytes"
+        );
+    }
+
+    chaos_router
+        .stop_flag()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    health.join().expect("health thread");
+    chaos_front.shutdown();
+    proxy_a.shutdown();
+    proxy_b.shutdown();
+    replica_a.shutdown();
+    replica_b.shutdown();
+}
+
+#[test]
+fn replica_death_and_hot_swap_drop_nothing() {
+    // Replica A is plain; replica B serves through a ReadyGate so its
+    // handler can be hot-swapped mid-run (same deterministic outputs —
+    // the "same digest, newer generation" reload).
+    let replica_a = replica_server(replica_handler());
+    let gate_b = ReadyGate::new();
+    gate_b.install(replica_handler());
+    let replica_b = replica_server(gate_b.clone());
+
+    let (front, router) = router_server(RouterConfig {
+        backends: vec![
+            replica_a.local_addr().to_string(),
+            replica_b.local_addr().to_string(),
+        ],
+        retries: 6,
+        backoff: Duration::from_millis(2),
+        timeout: Duration::from_secs(2),
+        breaker_failures: 3,
+        breaker_cooldown: Duration::from_millis(100),
+        health_interval: Duration::from_millis(100),
+        seed: 5,
+        ..RouterConfig::default()
+    });
+    let health = router.spawn_health_thread();
+
+    let addr = front.local_addr();
+    let driver = std::thread::spawn(move || {
+        let mut client = HttpClient::with_timeout(addr, Duration::from_secs(30)).expect("connect");
+        let mut bodies = Vec::new();
+        for i in 0..120 {
+            let resp = client
+                .post("/v1/spread", b"{\"trials\":8}")
+                .unwrap_or_else(|e| panic!("request {i} dropped: {e}"));
+            assert_eq!(resp.status, 200, "request {i} failed");
+            bodies.push(resp.body);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        bodies
+    });
+
+    // Kill replica A under load, then hot-swap replica B's handler.
+    std::thread::sleep(Duration::from_millis(80));
+    replica_a.shutdown();
+    std::thread::sleep(Duration::from_millis(80));
+    let old = gate_b.swap(replica_handler());
+    assert!(old.is_some(), "swap must replace a live handler");
+
+    let bodies = driver.join().expect("driver thread");
+    let expected = {
+        let sum: u64 = b"{\"trials\":8}".iter().map(|&b| b as u64).sum();
+        format!("{{\"spread\":{sum}}}").into_bytes()
+    };
+    for (i, body) in bodies.iter().enumerate() {
+        assert_eq!(body, &expected, "request {i} answered with wrong bytes");
+    }
+    assert_eq!(gate_b.swap_count(), 1);
+
+    router
+        .stop_flag()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    health.join().expect("health thread");
+    front.shutdown();
+    replica_b.shutdown();
+}
+
+/// A passthrough chaos proxy (rate 0) in front of one replica: the
+/// adversarial-I/O framing tests below go through it so the proxy's
+/// chunk-at-a-time pumps are part of the path under test.
+fn proxied_replica() -> (Server, ChaosProxy) {
+    let replica = Server::start(
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            deadline: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+        replica_handler(),
+    )
+    .expect("bind replica");
+    let proxy = ChaosProxy::start(ChaosConfig {
+        listen: "127.0.0.1:0".into(),
+        upstream: replica.local_addr().to_string(),
+        seed: 0,
+        fault_rate: 0.0,
+    })
+    .expect("proxy");
+    (replica, proxy)
+}
+
+#[test]
+fn partial_writes_still_parse_into_one_request() {
+    let (replica, proxy) = proxied_replica();
+    let mut s = TcpStream::connect(proxy.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let request =
+        b"POST /v1/spread HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\nConnection: close\r\n\r\n{\"trials\":8}";
+    // Dribble the request a few bytes per write: framing must reassemble
+    // it into exactly one request with the full body.
+    for chunk in request.chunks(3) {
+        s.write_all(chunk).expect("partial write");
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    let sum: u64 = b"{\"trials\":8}".iter().map(|&b| b as u64).sum();
+    assert!(
+        text.ends_with(&format!("{{\"spread\":{sum}}}")),
+        "body must be computed from the fully reassembled request: {text}"
+    );
+    drop(s);
+    proxy.shutdown();
+    replica.shutdown();
+}
+
+#[test]
+fn torn_content_length_body_is_cut_not_hung() {
+    let (replica, proxy) = proxied_replica();
+    let mut s = TcpStream::connect(proxy.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Promise 40 body bytes, deliver 4, then half-close: the server must
+    // drop the connection (no response, or an error response) quickly —
+    // never serve a truncated body as a real request.
+    s.write_all(b"POST /v1/spread HTTP/1.1\r\nHost: x\r\nContent-Length: 40\r\n\r\n{\"tr")
+        .expect("write torn request");
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let started = Instant::now();
+    let mut raw = Vec::new();
+    let _ = s.read_to_end(&mut raw);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "torn body must not hang the connection"
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        !text.starts_with("HTTP/1.1 200"),
+        "a torn body must never be answered as success: {text}"
+    );
+    // The worker survives: a clean request right after is served.
+    let mut client = HttpClient::connect(proxy.local_addr()).expect("connect");
+    assert_eq!(client.get("/v1/seeds").expect("clean request").status, 200);
+    drop(client);
+    proxy.shutdown();
+    replica.shutdown();
+}
+
+#[test]
+fn slow_loris_headers_hit_the_deadline() {
+    let (replica, proxy) = proxied_replica();
+    let mut s = TcpStream::connect(proxy.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Start a request line, then stall mid-header: the replica's 400 ms
+    // read deadline must cut the connection instead of pinning a worker.
+    s.write_all(b"GET /v1/seeds HTTP/1.1\r\nHost: x\r\nX-Slow: ")
+        .expect("write stalled header");
+    let started = Instant::now();
+    let mut raw = Vec::new();
+    let _ = s.read_to_end(&mut raw);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stalled headers must not hang past the deadline"
+    );
+    assert!(
+        !String::from_utf8_lossy(&raw).starts_with("HTTP/1.1 200"),
+        "a half-sent request must never succeed"
+    );
+    // The worker is free again and serves the next connection.
+    let mut client = HttpClient::connect(proxy.local_addr()).expect("connect");
+    assert_eq!(client.get("/v1/seeds").expect("clean request").status, 200);
+    drop(client);
+    proxy.shutdown();
+    replica.shutdown();
+}
