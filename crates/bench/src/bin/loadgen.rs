@@ -134,12 +134,14 @@ where
 /// One request's fate, as seen from the client side.
 enum Outcome {
     /// Answered; status, latency (across all attempts), and how many
-    /// retry attempts it took.
+    /// retry attempts it took. The request id ties the measurement to
+    /// server-side spans and logs (the envelope reports the slowest).
     Answered {
         route: &'static str,
         status: u16,
         ms: f64,
         retries: usize,
+        request_id: String,
     },
     /// No response on an established connection while the server was NOT
     /// shutting down — after exhausting the retry budget — the failure
@@ -156,6 +158,15 @@ enum Outcome {
     Shed,
 }
 
+/// One of a route's slowest requests: its id (greppable in server spans
+/// and logs — and resolvable via `privim trace-view --request-id`) and
+/// its client-observed latency.
+#[derive(Debug, Serialize)]
+struct SlowRequest {
+    request_id: String,
+    ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct RouteRow {
     route: String,
@@ -170,6 +181,9 @@ struct RouteRow {
     retry_attempts: usize,
     /// Request ids of the dropped requests, for server-side forensics.
     dropped_ids: Vec<String>,
+    /// The slowest successfully answered requests (worst first): feed
+    /// these ids to the trace assembler to decompose the tail.
+    slowest: Vec<SlowRequest>,
     throughput_rps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -257,6 +271,7 @@ fn run_client(
                         status: resp.status,
                         ms,
                         retries,
+                        request_id: request_id.clone(),
                     });
                 }
                 Err(_) if shutting_down.load(Ordering::SeqCst) => break None, // shed
@@ -359,6 +374,7 @@ fn run_open_loop_client(
                     status: resp.status,
                     ms,
                     retries: 0,
+                    request_id,
                 });
             }
             Err(_) if shutting_down.load(Ordering::SeqCst) => {
@@ -500,6 +516,7 @@ fn main() {
     let mut shed = 0usize;
     for route in ["seeds", "spread"] {
         let mut latencies: Vec<f64> = Vec::new();
+        let mut slow: Vec<(f64, String)> = Vec::new();
         let mut row = RouteRow {
             route: route.to_string(),
             requests: 0,
@@ -510,6 +527,7 @@ fn main() {
             retried: 0,
             retry_attempts: 0,
             dropped_ids: Vec::new(),
+            slowest: Vec::new(),
             throughput_rps: 0.0,
             p50_ms: 0.0,
             p95_ms: 0.0,
@@ -523,6 +541,7 @@ fn main() {
                     status,
                     ms,
                     retries,
+                    request_id,
                 } if *r == route => {
                     row.requests += 1;
                     row.retried += usize::from(*retries > 0);
@@ -531,6 +550,7 @@ fn main() {
                         200 => {
                             row.ok += 1;
                             latencies.push(*ms);
+                            slow.push((*ms, request_id.clone()));
                         }
                         503 => row.rejected += 1,
                         _ => row.errors += 1,
@@ -551,6 +571,14 @@ fn main() {
             }
         }
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        // Worst-latency requests first; their ids feed the trace
+        // assembler for tail decomposition.
+        slow.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite latency"));
+        row.slowest = slow
+            .into_iter()
+            .take(5)
+            .map(|(ms, request_id)| SlowRequest { request_id, ms })
+            .collect();
         row.p50_ms = percentile(&latencies, 0.50);
         row.p95_ms = percentile(&latencies, 0.95);
         row.p99_ms = percentile(&latencies, 0.99);

@@ -27,6 +27,9 @@ pub enum Command {
     Monitor(MonitorArgs),
     /// Run empirical privacy attacks against trained checkpoints.
     Audit(AuditArgs),
+    /// Assemble exported span files (or a live router's debug endpoint)
+    /// into cross-process trace trees with per-hop latency tables.
+    TraceView(TraceViewArgs),
     /// Print usage.
     Help,
 }
@@ -217,6 +220,22 @@ pub struct AuditArgs {
     pub max_pairs: usize,
 }
 
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceViewArgs {
+    /// Span-export JSONL files to merge (`--spans a.jsonl[,b.jsonl...]`).
+    pub spans: Vec<String>,
+    /// Only render the trace derived from this request id
+    /// (`--request-id`).
+    pub request_id: Option<String>,
+    /// Only render this trace id, as 32 lowercase hex digits
+    /// (`--trace`).
+    pub trace: Option<String>,
+    /// `host:port` of a live `privim route` front-end: fetch its
+    /// assembled `/debug/tier-trace` view instead of reading files
+    /// (`--addr`).
+    pub addr: Option<String>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AuditAttack {
     Membership,
@@ -266,6 +285,8 @@ USAGE:
   privim chaos    --listen host:port --upstream host:port
                   [--seed u] [--fault-rate f]
   privim monitor  --input <telemetry.jsonl> | --addr host:port
+  privim trace-view (--spans a.jsonl[,b.jsonl...] | --addr host:port)
+                  [--request-id <id>] [--trace <32-hex>]
   privim help
 
 GLOBAL FLAGS (any subcommand):
@@ -283,6 +304,9 @@ GLOBAL FLAGS (any subcommand):
   --recorder-out <path>
                   arm the flight recorder; dump the last events to <path>
                   on panic, injected kill, or SIGTERM
+  --span-export <path>
+                  append every finished trace span as JSON lines to
+                  <path>, for `privim trace-view` assembly
   --chaos-kill <site>:<hit>
                   inject a process kill at the Nth pass of a fault site
                   (deterministic chaos testing; see privim_obs::fault)
@@ -315,6 +339,9 @@ pub struct ObsArgs {
     /// Arm the flight recorder and dump it here on panic, injected
     /// kill, or SIGTERM (`--recorder-out`).
     pub recorder_out: Option<String>,
+    /// Span-export JSONL file (`--span-export`): append every finished
+    /// trace span for later `privim trace-view` assembly.
+    pub span_export: Option<String>,
     /// Inject a kill at the `hit`-th pass of a fault site
     /// (`--chaos-kill site:hit`), for deterministic crash drills.
     pub chaos_kill: Option<(String, u64)>,
@@ -371,6 +398,10 @@ pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsArgs), String>
             "--recorder-out" => {
                 let v = it.next().ok_or("--recorder-out needs a value")?;
                 obs.recorder_out = Some(v.clone());
+            }
+            "--span-export" => {
+                let v = it.next().ok_or("--span-export needs a value")?;
+                obs.span_export = Some(v.clone());
             }
             "--chaos-kill" => {
                 let v = it.next().ok_or("--chaos-kill needs a value")?;
@@ -856,6 +887,49 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
                 _ => {}
             }
             Ok(Command::Monitor(MonitorArgs { input, addr }))
+        }
+        "trace-view" => {
+            let f = Flags::parse(rest)?;
+            check_unknown(&f, &["spans", "request-id", "trace", "addr"])?;
+            let spans: Vec<String> = f
+                .get("spans")
+                .map(|v| {
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let addr = f.get("addr").map(str::to_string);
+            match (spans.is_empty(), &addr) {
+                (true, None) => {
+                    return Err(
+                        "trace-view needs --spans <file>[,<file>...] or --addr host:port".into(),
+                    )
+                }
+                (false, Some(_)) => {
+                    return Err("trace-view takes --spans or --addr, not both".into())
+                }
+                _ => {}
+            }
+            let trace = f.get("trace").map(str::to_string);
+            if let Some(t) = &trace {
+                let ok = t.len() == 32 && t.bytes().all(|b| b.is_ascii_hexdigit());
+                if !ok {
+                    return Err("--trace must be a 32-digit hex trace id".into());
+                }
+            }
+            let request_id = f.get("request-id").map(str::to_string);
+            if trace.is_some() && request_id.is_some() {
+                return Err("trace-view takes --request-id or --trace, not both".into());
+            }
+            Ok(Command::TraceView(TraceViewArgs {
+                spans,
+                request_id,
+                trace,
+                addr,
+            }))
         }
         other => Err(format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -1485,6 +1559,78 @@ mod tests {
         assert!(parse(&["chaos", "--listen", "a:1"])
             .unwrap_err()
             .contains("upstream"));
+    }
+
+    #[test]
+    fn trace_view_sources_and_filters() {
+        let cmd = parse(&["trace-view", "--spans", "router.jsonl, serve.jsonl"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::TraceView(TraceViewArgs {
+                spans: vec!["router.jsonl".into(), "serve.jsonl".into()],
+                request_id: None,
+                trace: None,
+                addr: None,
+            })
+        );
+        let cmd = parse(&[
+            "trace-view",
+            "--addr",
+            "127.0.0.1:7800",
+            "--request-id",
+            "req-42",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::TraceView(TraceViewArgs {
+                spans: Vec::new(),
+                request_id: Some("req-42".into()),
+                trace: None,
+                addr: Some("127.0.0.1:7800".into()),
+            })
+        );
+        let hex = "0123456789abcdef0123456789abcdef";
+        let cmd = parse(&["trace-view", "--spans", "a.jsonl", "--trace", hex]).unwrap();
+        match cmd {
+            Command::TraceView(a) => assert_eq!(a.trace.as_deref(), Some(hex)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["trace-view"]).unwrap_err().contains("--spans"));
+        assert!(
+            parse(&["trace-view", "--spans", "a.jsonl", "--addr", "h:1"])
+                .unwrap_err()
+                .contains("not both")
+        );
+        assert!(
+            parse(&["trace-view", "--spans", "a.jsonl", "--trace", "zz"])
+                .unwrap_err()
+                .contains("--trace")
+        );
+        assert!(parse(&[
+            "trace-view",
+            "--spans",
+            "a.jsonl",
+            "--trace",
+            hex,
+            "--request-id",
+            "x",
+        ])
+        .unwrap_err()
+        .contains("not both"));
+    }
+
+    #[test]
+    fn span_export_flag_is_split() {
+        let argv: Vec<String> = ["route", "--backends", "a:1", "--span-export", "spans.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(obs.span_export.as_deref(), Some("spans.jsonl"));
+        assert_eq!(rest, vec!["route", "--backends", "a:1"]);
+        let argv: Vec<String> = ["--span-export"].iter().map(|s| s.to_string()).collect();
+        assert!(split_obs_args(&argv).unwrap_err().contains("--span-export"));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! (replicated-tier front-end with health checks, circuit breakers,
 //! retries and hedging), `chaos` (deterministic TCP fault-injection
 //! proxy), `monitor` (text dashboard over a telemetry file or a live
-//! `/metrics` endpoint). Run `privim help` for usage.
+//! `/metrics` endpoint), `trace-view` (assemble span-export files or a
+//! live router's `/debug/tier-trace` into cross-process trace trees
+//! with per-hop latency decomposition). Run `privim help` for usage.
 
 mod args;
 mod monitor;
@@ -49,7 +51,10 @@ fn exec(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Err(msg) = init_observability(&obs) {
+    // Span exports are tagged with the subcommand name ("route",
+    // "serve", ...) so `trace-view` can tell the tier's processes apart.
+    let process = argv.first().cloned().unwrap_or_else(|| "privim".into());
+    if let Err(msg) = init_observability(&obs, &process) {
         console_err(format!("error: {msg}"));
         return ExitCode::from(2);
     }
@@ -75,7 +80,7 @@ fn exec(argv: &[String]) -> ExitCode {
 /// the `PRIVIM_LOG` environment variable) and enables the profiler when
 /// asked. With nothing configured this installs nothing and telemetry
 /// stays at its zero-overhead default.
-fn init_observability(obs: &ObsArgs) -> Result<(), String> {
+fn init_observability(obs: &ObsArgs, process: &str) -> Result<(), String> {
     if let Some(level) = obs.effective_level() {
         privim_obs::install_sink(Arc::new(privim_obs::StderrSink::new(level)));
     }
@@ -92,6 +97,10 @@ fn init_observability(obs: &ObsArgs) -> Result<(), String> {
     }
     if let Some((site, hit)) = &obs.chaos_kill {
         privim_obs::set_fault_plan(privim_obs::FaultPlan::kill_after(site, *hit));
+    }
+    if let Some(path) = &obs.span_export {
+        privim_obs::arm_span_export(process, path)
+            .map_err(|e| format!("cannot create span-export file {path}: {e}"))?;
     }
     Ok(())
 }
@@ -284,7 +293,51 @@ fn run(command: Command) -> Result<(), String> {
         Command::Route(a) => route(&a),
         Command::Chaos(a) => chaos(&a),
         Command::Monitor(a) => monitor::run(&a),
+        Command::TraceView(a) => trace_view(&a),
     }
+}
+
+/// Assembles exported spans into cross-process trace trees and prints
+/// them with per-hop latency decomposition tables. File mode merges the
+/// given span-export JSONL files offline; `--addr` asks a live router
+/// for its already-assembled `/debug/tier-trace` view (which fans out to
+/// the replicas' `/debug/spans` endpoints).
+fn trace_view(a: &args::TraceViewArgs) -> Result<(), String> {
+    if let Some(addr) = &a.addr {
+        use std::time::Duration;
+        let mut path = "/debug/tier-trace".to_string();
+        if let Some(id) = &a.request_id {
+            path = format!("{path}?request_id={id}");
+        } else if let Some(t) = &a.trace {
+            path = format!("{path}?trace={t}");
+        }
+        let mut client =
+            privim_serve::HttpClient::with_timeout(addr.as_str(), Duration::from_secs(5))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let resp = client
+            .get(&path)
+            .map_err(|e| format!("GET {path} on {addr} failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET {path} on {addr}: HTTP {}", resp.status));
+        }
+        console(String::from_utf8_lossy(&resp.body).into_owned());
+        return Ok(());
+    }
+    let mut records = Vec::new();
+    for file in &a.spans {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read span file {file}: {e}"))?;
+        records.extend(privim_obs::parse_spans_jsonl(&text));
+    }
+    let filter = if let Some(id) = &a.request_id {
+        Some(privim_obs::TraceContext::from_request_id(id).trace_id)
+    } else if let Some(t) = &a.trace {
+        Some(u128::from_str_radix(t, 16).map_err(|e| format!("bad --trace: {e}"))?)
+    } else {
+        None
+    };
+    console(privim_obs::render_tier_traces(&records, filter));
+    Ok(())
 }
 
 /// Runs the empirical privacy attacks against the swept checkpoint

@@ -190,6 +190,26 @@ fn jsonl_telemetry_round_trips_and_leaves_results_unchanged() {
         "armed recorder must capture events under the run trace"
     );
 
+    // Span export armed: the JSONL span sink is fed only at explicit
+    // export_span call sites (the serving tier), never from the training
+    // hot path — so arming it must leave seeded outputs bit-identical.
+    let span_path = std::env::temp_dir().join("privim-core-telemetry-spans.jsonl");
+    std::fs::remove_file(&span_path).ok();
+    privim_obs::arm_span_export("core-test", span_path.to_str().unwrap()).expect("arm span export");
+    assert!(privim_obs::span_export_armed());
+    let span_armed = {
+        let _t = run_ctx.enter();
+        run_once(&g, &cfg)
+    };
+    privim_obs::disarm_span_export();
+    std::fs::remove_file(&span_path).ok();
+    assert_eq!(
+        baseline.seeds, span_armed.seeds,
+        "span export changed the RNG stream"
+    );
+    assert_eq!(baseline.spread, span_armed.spread);
+    assert_eq!(baseline.sigma, span_armed.sigma);
+
     // Profiler off (the default): the baseline/instrumented equality above
     // already proves bit-identical output. Profiler on: still bit-identical
     // (scopes read clocks, never the RNG), and the call tree is populated.

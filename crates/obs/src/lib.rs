@@ -40,6 +40,7 @@ pub mod recorder;
 mod report_html;
 mod sink;
 mod span;
+pub mod spanexport;
 mod telemetry;
 pub mod timeseries;
 pub mod trace;
@@ -70,9 +71,16 @@ pub use sink::{
     JsonlSink, MemorySink, StderrSink,
 };
 pub use span::SpanGuard;
+pub use spanexport::{
+    arm_span_export, arm_span_ring, disarm_span_export, export_span, exported_spans,
+    hop_decomposition, parse_spans_jsonl, render_tier_traces, span_export_armed, spans_jsonl,
+    HopRow, SpanRecord,
+};
 pub use telemetry::{EpochRecord, LedgerRecord, PhaseTiming, RunTelemetry};
 pub use timeseries::{SeriesBoard, TimeSeries, TimeSeriesSnapshot};
-pub use trace::{current_trace, with_trace, TraceContext, TraceGuard};
+pub use trace::{
+    current_trace, parse_trace_header, with_trace, TraceContext, TraceGuard, TRACE_HEADER,
+};
 pub use watch::{AlertRule, AlertState, RuleKind, Watchdog};
 
 /// The global counter named `name` (creating it on first use).

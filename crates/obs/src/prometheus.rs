@@ -130,7 +130,41 @@ pub fn render_prometheus_with_profile(
         let _ = writeln!(out, "# TYPE {name} gauge");
         write_sample(&mut out, &name, "", *value);
     }
+    let mut hop_type_written = false;
     for (name, h) in &snapshot.histograms {
+        // Router per-hop latencies export as one labeled family,
+        // `privim_router_hop_seconds{hop="..."}`, so a dashboard can
+        // stack the tier's latency decomposition without enumerating
+        // per-hop metric names. (The snapshot map is sorted, so the
+        // `router.hop.*` keys — and their samples — stay contiguous.)
+        if let Some(hop) = name.strip_prefix("router.hop.") {
+            if !hop_type_written {
+                let _ = writeln!(out, "# TYPE privim_router_hop_seconds summary");
+                hop_type_written = true;
+            }
+            let hop = label_value(hop);
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                write_sample(
+                    &mut out,
+                    "privim_router_hop_seconds",
+                    &format!("{{hop=\"{hop}\",quantile=\"{q}\"}}"),
+                    v,
+                );
+            }
+            write_sample(
+                &mut out,
+                "privim_router_hop_seconds_sum",
+                &format!("{{hop=\"{hop}\"}}"),
+                h.sum,
+            );
+            write_sample(
+                &mut out,
+                "privim_router_hop_seconds_count",
+                &format!("{{hop=\"{hop}\"}}"),
+                h.count as f64,
+            );
+            continue;
+        }
         let name = metric_name(name);
         let _ = writeln!(out, "# TYPE {name} summary");
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
@@ -313,6 +347,44 @@ mod tests {
             !text.contains("privim_kernel_flops_total{scope=\"idle\"}"),
             "uninstrumented scopes export no kernel series: {text}"
         );
+    }
+
+    #[test]
+    fn router_hop_histograms_export_as_one_labeled_family() {
+        let r = Registry::new();
+        r.histogram("router.hop.queue_wait").record(0.002);
+        r.histogram("router.hop.upstream").record(0.25);
+        r.histogram("router.hop.upstream").record(0.75);
+        r.histogram("span.other").record(1.0);
+        let text = render_prometheus(&r.snapshot());
+        assert!(
+            text.contains("# TYPE privim_router_hop_seconds summary\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_router_hop_seconds{hop=\"queue_wait\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_router_hop_seconds_sum{hop=\"upstream\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("privim_router_hop_seconds_count{hop=\"upstream\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("privim_router_hop_queue_wait"),
+            "hop histograms must not also export generic summaries: {text}"
+        );
+        assert!(
+            text.contains("# TYPE privim_span_other summary\n"),
+            "other histograms keep the generic path: {text}"
+        );
+        let type_lines = text
+            .matches("# TYPE privim_router_hop_seconds summary")
+            .count();
+        assert_eq!(type_lines, 1, "one TYPE line for the family");
     }
 
     #[test]

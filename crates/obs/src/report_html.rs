@@ -228,6 +228,31 @@ pub fn render_html_report(
         .collect();
     table(&mut out, "Gauges", &["name", "value"], &gauge_rows);
 
+    // Per-hop latency decomposition (router.hop.* histograms, recorded
+    // by the serving router): the same breakdown `privim trace-view`
+    // derives per request, here in aggregate across the run.
+    let hop_rows: Vec<Vec<String>> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(k, h)| {
+            let hop = k.strip_prefix("router.hop.")?;
+            Some(vec![
+                hop.to_string(),
+                h.count.to_string(),
+                fmt_num(h.p50 * 1e3),
+                fmt_num(h.p90 * 1e3),
+                fmt_num(h.p99 * 1e3),
+                fmt_num(h.sum),
+            ])
+        })
+        .collect();
+    table(
+        &mut out,
+        "Tier hop latencies",
+        &["hop", "count", "p50 ms", "p90 ms", "p99 ms", "total secs"],
+        &hop_rows,
+    );
+
     let hist_rows: Vec<Vec<String>> = snapshot
         .histograms
         .iter()
@@ -413,6 +438,27 @@ mod tests {
             &ProfileReport::default(),
         );
         assert!(!after.contains("Alerts"), "no section once disarmed");
+    }
+
+    #[test]
+    fn router_hop_histograms_render_a_dedicated_table() {
+        let r = Registry::new();
+        r.histogram("router.hop.queue_wait").record(0.004);
+        r.histogram("span.training").record(1.0);
+        let html = render_html_report("hops", None, &r.snapshot(), &ProfileReport::default());
+        assert!(html.contains("<h2>Tier hop latencies</h2>"), "{html}");
+        assert!(html.contains("<td>queue_wait</td>"), "{html}");
+        assert!(html.contains("<td>0.004</td>"), "total secs column: {html}");
+        let quiet = render_html_report(
+            "no hops",
+            None,
+            &MetricsSnapshot::default(),
+            &ProfileReport::default(),
+        );
+        assert!(
+            !quiet.contains("Tier hop latencies"),
+            "section omitted with no hop series"
+        );
     }
 
     #[test]

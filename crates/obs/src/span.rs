@@ -116,6 +116,23 @@ impl<'c> SpanGuard<'c> {
                 ],
             ));
         }
+        // With span export armed and a trace active, ship the closed
+        // span (still top-of-stack, so its own ids are current) to the
+        // per-process sink for cross-process assembly.
+        if self.trace_entered && crate::spanexport::span_export_armed() {
+            if let Some(ctx) = crate::trace::current_trace() {
+                crate::spanexport::export_span(crate::spanexport::SpanRecord {
+                    process: String::new(),
+                    name: self.name.to_string(),
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_span_id: ctx.parent_span_id,
+                    start_us: self.start_micros,
+                    dur_us: elapsed_micros,
+                    annotations: Vec::new(),
+                });
+            }
+        }
         if self.trace_entered {
             crate::trace::pop_span_child();
         }

@@ -31,6 +31,38 @@ use crate::fault::splitmix64;
 const TAG_TRACE_HI: u64 = 0x7452_4163_6548_6921;
 const TAG_TRACE_LO: u64 = 0x7452_4163_654c_6f21;
 const TAG_SPAN: u64 = 0x5350_414e_5f49_445f;
+/// Tag for [`TraceContext::child_n`]: "child_n_" as ASCII bytes.
+const TAG_CHILD: u64 = 0x6368_696c_645f_6e5f;
+
+/// Canonical (lower-case) name of the cross-process propagation header.
+/// The wire form is produced by [`TraceContext::to_trace_header`] and
+/// consumed by [`parse_trace_header`].
+pub const TRACE_HEADER: &str = "x-privim-trace";
+
+/// Well-known child indices for [`TraceContext::child_n`], so every
+/// process in the tier derives the *same* span id for the same hop and
+/// tests can assert exact trees. Children of a request span:
+///
+/// * [`CHILD_QUEUE_WAIT`] — time on the accept queue before a worker
+///   picked the connection up.
+/// * [`CHILD_HANDLE`] — handler execution (worker compute).
+/// * [`CHILD_ATTEMPT_BASE`]` + k` — the router's k-th forwarding
+///   attempt (k is 1-based, so attempts use indices 2, 3, …).
+/// * [`CHILD_HEDGE_BASE`]` + k` — the hedge leg raced against
+///   attempt k (disjoint from attempt indices for up to 31 retries).
+///
+/// A replica derives its request span from the router's attempt span
+/// (recovered from the trace header) at index [`CHILD_REMOTE_REQUEST`].
+pub const CHILD_QUEUE_WAIT: u64 = 0;
+/// Handler-execution child index (see [`CHILD_QUEUE_WAIT`]).
+pub const CHILD_HANDLE: u64 = 1;
+/// Base for per-attempt child indices (see [`CHILD_QUEUE_WAIT`]).
+pub const CHILD_ATTEMPT_BASE: u64 = 1;
+/// Base for hedge-leg child indices (see [`CHILD_QUEUE_WAIT`]).
+pub const CHILD_HEDGE_BASE: u64 = 33;
+/// Child index a replica uses to derive its request span from the
+/// propagated attempt span (see [`CHILD_QUEUE_WAIT`]).
+pub const CHILD_REMOTE_REQUEST: u64 = 0;
 
 /// One node in a causal chain: which trace, which span, and the parent
 /// span (if any). `Copy`, 40 bytes, cheap to stamp onto every event.
@@ -83,6 +115,27 @@ impl TraceContext {
         }
     }
 
+    /// A child at a *named* index: same trace, parent set to this span,
+    /// span id a pure function of `(self.span_id, n)` — no process
+    /// state, no clock. Two processes that agree on the parent span and
+    /// the index (see [`CHILD_QUEUE_WAIT`] and friends) derive the same
+    /// id, which is what lets tests assert exact cross-process trees.
+    pub fn child_n(&self, n: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: splitmix64(self.span_id ^ splitmix64(TAG_CHILD ^ n)),
+            parent_span_id: Some(self.span_id),
+        }
+    }
+
+    /// Serializes this context for the `X-Privim-Trace` header:
+    /// `<trace-id:032x>-<span-id:016x>-<flags:02x>`. The span id field
+    /// is *this* span's id — the receiver treats it as the remote
+    /// parent. Flags are always `01` (sampled) today.
+    pub fn to_trace_header(&self) -> String {
+        format!("{:032x}-{:016x}-01", self.trace_id, self.span_id)
+    }
+
     /// The trace id as 32 lowercase hex digits (W3C traceparent style).
     pub fn trace_id_hex(&self) -> String {
         format!("{:032x}", self.trace_id)
@@ -101,6 +154,40 @@ impl TraceContext {
             _not_send: std::marker::PhantomData,
         }
     }
+}
+
+/// Parses an `X-Privim-Trace` header value produced by
+/// [`TraceContext::to_trace_header`]. Validation is strict — exactly
+/// three `-`-separated fields of 32, 16, and 2 *lowercase* hex digits —
+/// so a hostile or corrupted header degrades to "no context" rather
+/// than poisoning the trace tree. The returned context names the
+/// **remote parent** span: its `span_id` is the sender's span id and
+/// `parent_span_id` is `None` (the sender's own ancestry is not on the
+/// wire). Derive local spans from it with [`TraceContext::child_n`].
+pub fn parse_trace_header(value: &str) -> Option<TraceContext> {
+    fn hex_field(s: &str, len: usize) -> Option<u128> {
+        if s.len() != len
+            || !s
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok()
+    }
+    let mut parts = value.split('-');
+    let (trace, span, flags) = (parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() {
+        return None;
+    }
+    let trace_id = hex_field(trace, 32)?;
+    let span_id = hex_field(span, 16)? as u64;
+    hex_field(flags, 2)?;
+    Some(TraceContext {
+        trace_id,
+        span_id,
+        parent_span_id: None,
+    })
 }
 
 thread_local! {
@@ -257,6 +344,66 @@ mod tests {
         .unwrap();
         assert_eq!(bare, None, "stacks are thread-local");
         assert_eq!(adopted, Some(ctx));
+    }
+
+    #[test]
+    fn child_n_is_pure_and_index_sensitive() {
+        let root = TraceContext::from_seed(7);
+        let a = root.child_n(0);
+        let b = root.child_n(0);
+        let c = root.child_n(1);
+        assert_eq!(a, b, "same parent + same index → same span id");
+        assert_ne!(a.span_id, c.span_id);
+        assert_eq!(a.trace_id, root.trace_id);
+        assert_eq!(a.parent_span_id, Some(root.span_id));
+        // Indices used by the tier never collide under one parent.
+        let indices = [
+            CHILD_QUEUE_WAIT,
+            CHILD_HANDLE,
+            CHILD_ATTEMPT_BASE + 1,
+            CHILD_ATTEMPT_BASE + 2,
+            CHILD_HEDGE_BASE + 1,
+        ];
+        let mut ids: Vec<u64> = indices.iter().map(|&n| root.child_n(n).span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), indices.len());
+    }
+
+    #[test]
+    fn trace_header_round_trips() {
+        let ctx = TraceContext::from_seed(42).child_n(3);
+        let header = ctx.to_trace_header();
+        assert_eq!(header.len(), 32 + 1 + 16 + 1 + 2);
+        let parsed = parse_trace_header(&header).unwrap();
+        assert_eq!(parsed.trace_id, ctx.trace_id);
+        assert_eq!(parsed.span_id, ctx.span_id);
+        assert_eq!(parsed.parent_span_id, None, "ancestry is not on the wire");
+        // The receiver re-derives the same child the sender would.
+        assert_eq!(parsed.child_n(5).span_id, {
+            let mut c = ctx;
+            c.parent_span_id = None;
+            c.child_n(5).span_id
+        });
+    }
+
+    #[test]
+    fn trace_header_parsing_is_strict() {
+        let good = TraceContext::from_seed(1).to_trace_header();
+        assert!(parse_trace_header(&good).is_some());
+        let bad = [
+            "",
+            "not-a-trace",
+            &good.to_ascii_uppercase(),
+            &good[1..],
+            &format!("{good}-00"),
+            &good.replace('-', "_"),
+            &format!("{}-zz", &good[..good.len() - 3]),
+            " ",
+        ];
+        for value in bad {
+            assert_eq!(parse_trace_header(value), None, "{value:?}");
+        }
     }
 
     #[test]

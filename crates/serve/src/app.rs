@@ -112,6 +112,12 @@ impl App {
         let model = checkpoint
             .restore()
             .map_err(|e| format!("cannot restore checkpoint: {e}"))?;
+        if config.debug_endpoints {
+            // With debug endpoints on, keep the span ring armed so
+            // `/debug/spans` serves this replica's recent spans to the
+            // router's tier-trace assembler. Idempotent across reloads.
+            privim_obs::arm_span_ring("serve");
+        }
         let tensors = GraphTensors::with_structural_features(&graph, checkpoint.in_dim);
         let scores = model.seed_probabilities(&tensors);
         let ranking = top_k_seeds(&scores, scores.len());
@@ -289,6 +295,9 @@ impl Handler for App {
             (Method::Get, "/debug/profile") if self.debug_endpoints => {
                 Response::text(200, privim_obs::profile_report().render_flamegraph())
             }
+            (Method::Get, "/debug/spans") if self.debug_endpoints => {
+                Response::text(200, privim_obs::spans_jsonl())
+            }
             (Method::Post, "/v1/seeds") => match parse_body::<SeedsRequest>(req) {
                 Ok(body) => json_response(&self.seeds(&body)),
                 Err(resp) => resp,
@@ -303,7 +312,7 @@ impl Handler for App {
             (_, "/healthz" | "/version" | "/metrics" | "/slo" | "/v1/seeds" | "/v1/spread") => {
                 Response::error(405, &format!("method {} not allowed here", req.method))
             }
-            (_, "/debug/trace" | "/debug/profile") if self.debug_endpoints => {
+            (_, "/debug/trace" | "/debug/profile" | "/debug/spans") if self.debug_endpoints => {
                 Response::error(405, &format!("method {} not allowed here", req.method))
             }
             (_, route) => Response::error(404, &format!("no such route: {route}")),
@@ -320,7 +329,7 @@ impl Handler for App {
             "/v1/spread" => "spread",
             // A disabled endpoint stays "other" so 404 probes in the
             // metrics do not reveal the route exists.
-            "/debug/trace" | "/debug/profile" if self.debug_endpoints => "debug",
+            "/debug/trace" | "/debug/profile" | "/debug/spans" if self.debug_endpoints => "debug",
             _ => "other",
         }
     }

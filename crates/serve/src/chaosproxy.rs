@@ -184,6 +184,30 @@ fn accept_loop(
                 if fault != WireFault::None {
                     privim_obs::counter("chaos.faults").add(1);
                     privim_obs::counter(&format!("chaos.fault.{}", fault.label())).add(1);
+                    if privim_obs::span_export_armed() {
+                        // Stamp the injected fault into the span feed so
+                        // tier traces show *why* an attempt failed. The
+                        // proxy cannot see which request rides the
+                        // connection (it faults bytes, not HTTP), so the
+                        // span roots its own deterministic trace keyed
+                        // by (seed, connection index).
+                        let ctx = privim_obs::TraceContext::from_request_id(&format!(
+                            "chaos-{seed}-{index}"
+                        ));
+                        privim_obs::export_span(privim_obs::SpanRecord {
+                            process: String::new(),
+                            name: "chaos.fault".into(),
+                            trace_id: ctx.trace_id,
+                            span_id: ctx.span_id,
+                            parent_span_id: None,
+                            start_us: privim_obs::now_micros(),
+                            dur_us: 0,
+                            annotations: vec![
+                                ("fault".to_string(), fault.label().to_string()),
+                                ("conn".to_string(), index.to_string()),
+                            ],
+                        });
+                    }
                 }
                 privim_obs::debug!("chaos", "connection", index = index, fault = fault.label(),);
                 let _ = std::thread::Builder::new()

@@ -28,11 +28,13 @@
 //! launched/won, backends lost/regained) emits an obs event and bumps a
 //! `router.*` counter, exported as `privim_router_*` in Prometheus.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use privim_obs::fault::splitmix64;
+use privim_obs::trace::{CHILD_ATTEMPT_BASE, CHILD_HEDGE_BASE};
+use privim_obs::TraceContext;
 
 use crate::client::HttpClient;
 use crate::http::{Method, Request, Response};
@@ -265,6 +267,8 @@ pub struct Router {
     epoch: Instant,
     /// Round-robin cursor.
     next: AtomicUsize,
+    /// Health-poll sequence number (seeds deterministic probe-span ids).
+    polls: AtomicU64,
     stop: Arc<AtomicBool>,
 }
 
@@ -281,11 +285,16 @@ impl Router {
             .map(|(i, addr)| Arc::new(Backend::new(addr.clone(), &config, i)))
             .collect();
         privim_obs::gauge("router.backends").set(config.backends.len() as f64);
+        // The router always keeps the in-memory span ring armed: its
+        // `/debug/spans` and `/debug/tier-trace` are operational
+        // surfaces, available without any export flag.
+        privim_obs::arm_span_ring("router");
         Ok(Arc::new(Router {
             backends,
             config,
             epoch: Instant::now(),
             next: AtomicUsize::new(0),
+            polls: AtomicU64::new(0),
             stop: Arc::new(AtomicBool::new(false)),
         }))
     }
@@ -328,8 +337,11 @@ impl Router {
     /// poll without waiting out the interval).
     pub fn poll_backends_once(&self) {
         let timeout = Duration::from_millis(500).min(self.config.timeout);
+        let poll_n = self.polls.fetch_add(1, Ordering::Relaxed);
         let mut digests: Vec<Option<String>> = Vec::with_capacity(self.backends.len());
         for backend in &self.backends {
+            let probe_started = Instant::now();
+            let probe_start_us = privim_obs::now_micros();
             let mut probe_ok = false;
             let mut digest = None;
             if let Ok(mut client) = HttpClient::with_timeout(backend.addr.as_str(), timeout) {
@@ -344,6 +356,27 @@ impl Router {
                         }
                     }
                 }
+            }
+            if privim_obs::span_export_armed() {
+                // Probes have no request to parent under; each poll of
+                // each backend gets its own deterministic root trace.
+                let ctx = TraceContext::from_request_id(&format!(
+                    "probe-{}-{}-{}",
+                    self.config.seed, poll_n, backend.addr
+                ));
+                privim_obs::export_span(privim_obs::SpanRecord {
+                    process: String::new(),
+                    name: "router.health_probe".into(),
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_span_id: None,
+                    start_us: probe_start_us,
+                    dur_us: probe_started.elapsed().as_micros() as u64,
+                    annotations: vec![
+                        ("backend".into(), backend.addr.clone()),
+                        ("ok".into(), probe_ok.to_string()),
+                    ],
+                });
             }
             // One flaky probe (the probe shares the traffic network, so
             // it fails under the same chaos) must not pull a replica:
@@ -462,6 +495,7 @@ impl Router {
             if before != BreakerState::Closed {
                 privim_obs::counter("router.breaker_closes").add(1);
                 privim_obs::info!("router", "breaker_closed", backend = backend.addr.clone());
+                export_breaker_span(&backend.addr, "closed", breaker.trips());
             }
         } else {
             breaker.record_failure(self.now_ms());
@@ -473,20 +507,36 @@ impl Router {
                     backend = backend.addr.clone(),
                     trips = breaker.trips(),
                 );
+                export_breaker_span(&backend.addr, "open", breaker.trips());
             }
         }
     }
 
     /// Forwards one request with bounded retry; hedges eligible routes.
+    ///
+    /// Every attempt gets a span whose id is a pure function of the
+    /// request's trace root and the attempt number, so the tier-wide
+    /// trace tree reassembles identically across processes and reruns.
     fn forward(&self, req: &Request) -> Response {
         privim_obs::counter("router.requests").add(1);
+        // The server installed the request's trace context before
+        // dispatching to us; fall back to deriving it from the id so
+        // attempt spans stay parented even outside a server.
+        let root =
+            privim_obs::current_trace().unwrap_or_else(|| match req.header("x-request-id") {
+                Some(id) => TraceContext::from_request_id(id),
+                None => TraceContext::from_seed(0),
+            });
         let cursor = self.next.fetch_add(1, Ordering::Relaxed);
         let attempts = self.config.retries as usize + 1;
         let mut last_error = String::new();
+        let mut backoff_ms = 0u64;
         for attempt in 0..attempts {
             if attempt > 0 {
                 // Deterministic exponential backoff: base * 2^(attempt-1).
                 let delay = self.config.backoff * (1u32 << (attempt - 1).min(16));
+                backoff_ms = delay.as_millis() as u64;
+                privim_obs::histogram("router.hop.backoff").record(delay.as_secs_f64());
                 std::thread::sleep(delay);
                 privim_obs::counter("router.retries").add(1);
                 privim_obs::info!(
@@ -502,7 +552,7 @@ impl Router {
                 last_error = "no routable backend".into();
                 continue;
             };
-            match self.attempt(idx, backend, req) {
+            match self.attempt(idx, backend, req, root, attempt as u64 + 1, backoff_ms) {
                 Ok(resp) => return resp,
                 Err(err) => last_error = err,
             }
@@ -519,12 +569,21 @@ impl Router {
 
     /// One attempt: plain single-backend send, or a hedged race for
     /// eligible routes. Breaker bookkeeping happens per backend inside.
+    ///
+    /// `attempt_no` is 1-based; the attempt span's id is
+    /// `root.child_n(CHILD_ATTEMPT_BASE + attempt_no)` and a hedge leg's
+    /// is `root.child_n(CHILD_HEDGE_BASE + attempt_no)` — pure functions
+    /// of the request id, asserted exactly by tests.
     fn attempt(
         &self,
         idx: usize,
         backend: Arc<Backend>,
         req: &Request,
+        root: TraceContext,
+        attempt_no: u64,
+        backoff_ms: u64,
     ) -> Result<Response, String> {
+        let attempt_ctx = root.child_n(CHILD_ATTEMPT_BASE + attempt_no);
         let hedge_after = match self.config.hedge_after {
             // Hedging is restricted to /v1/spread: its responses are
             // byte-identical across replicas on the same digest, so the
@@ -533,22 +592,58 @@ impl Router {
             _ => None,
         };
         let Some(hedge_after) = hedge_after else {
-            let outcome = send_once(&backend, req, self.config.timeout);
+            let started = Instant::now();
+            let start_us = privim_obs::now_micros();
+            let outcome = send_once(&backend, req, self.config.timeout, Some(&attempt_ctx));
+            let elapsed = started.elapsed();
+            privim_obs::histogram("router.hop.upstream").record(elapsed.as_secs_f64());
             self.record_outcome(&backend, outcome.is_ok());
+            export_attempt_span(
+                &attempt_ctx,
+                start_us,
+                elapsed,
+                attempt_no,
+                &backend.addr,
+                backoff_ms,
+                false,
+                outcome.is_ok(),
+                false,
+            );
             return outcome;
         };
 
+        /// One racing leg of a hedged attempt: which backend, which span,
+        /// and when it launched (for its span duration).
+        struct Leg {
+            idx: usize,
+            backend: Arc<Backend>,
+            ctx: TraceContext,
+            started: Instant,
+            start_us: u64,
+            hedge: bool,
+        }
         let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<Response, String>)>();
-        let spawn_leg = |leg_idx: usize, leg: Arc<Backend>, tx: std::sync::mpsc::Sender<_>| {
+        let spawn_leg = |leg: &Leg, tx: std::sync::mpsc::Sender<_>| {
             let req = req.clone();
             let timeout = self.config.timeout;
+            let leg_backend = Arc::clone(&leg.backend);
+            let leg_idx = leg.idx;
+            let ctx = leg.ctx;
             std::thread::spawn(move || {
-                let outcome = send_once(&leg, &req, timeout);
+                let outcome = send_once(&leg_backend, &req, timeout, Some(&ctx));
                 let _ = tx.send((leg_idx, outcome));
             });
         };
-        spawn_leg(idx, Arc::clone(&backend), tx.clone());
-        let mut legs: Vec<(usize, Arc<Backend>)> = vec![(idx, backend)];
+        let primary = Leg {
+            idx,
+            backend,
+            ctx: attempt_ctx,
+            started: Instant::now(),
+            start_us: privim_obs::now_micros(),
+            hedge: false,
+        };
+        spawn_leg(&primary, tx.clone());
+        let mut legs: Vec<Leg> = vec![primary];
         let first = match rx.recv_timeout(hedge_after) {
             Ok(result) => Some(result),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
@@ -558,11 +653,19 @@ impl Router {
                     privim_obs::info!(
                         "router",
                         "hedge_launched",
-                        primary = legs[0].1.addr.clone(),
+                        primary = legs[0].backend.addr.clone(),
                         hedge = hedge.addr.clone(),
                     );
-                    spawn_leg(h_idx, Arc::clone(&hedge), tx.clone());
-                    legs.push((h_idx, hedge));
+                    let leg = Leg {
+                        idx: h_idx,
+                        backend: hedge,
+                        ctx: root.child_n(CHILD_HEDGE_BASE + attempt_no),
+                        started: Instant::now(),
+                        start_us: privim_obs::now_micros(),
+                        hedge: true,
+                    };
+                    spawn_leg(&leg, tx.clone());
+                    legs.push(leg);
                 }
                 None
             }
@@ -577,19 +680,55 @@ impl Router {
                 // Only the winner's verdict feeds a breaker here; the
                 // losing leg keeps running detached and settles its own
                 // breaker on the next attempt that touches it.
-                if let Some((_, winner)) = legs.iter().find(|(i, _)| *i == leg_idx) {
-                    self.record_outcome(winner, true);
+                if let Some(winner) = legs.iter().find(|l| l.idx == leg_idx) {
+                    self.record_outcome(&winner.backend, true);
+                    privim_obs::histogram("router.hop.upstream")
+                        .record(winner.started.elapsed().as_secs_f64());
                 }
-                if legs.len() > 1 && leg_idx == legs[1].0 {
+                if legs.len() > 1 && leg_idx == legs[1].idx {
                     privim_obs::counter("router.hedge_wins").add(1);
-                    privim_obs::info!("router", "hedge_won", backend = legs[1].1.addr.clone());
+                    privim_obs::info!(
+                        "router",
+                        "hedge_won",
+                        backend = legs[1].backend.addr.clone(),
+                    );
+                }
+                // Resolution closes every leg's span: the winner as-is,
+                // the losing leg marked cancelled (its answer, should it
+                // ever land, is discarded by construction).
+                for leg in &legs {
+                    let won = leg.idx == leg_idx;
+                    export_attempt_span(
+                        &leg.ctx,
+                        leg.start_us,
+                        leg.started.elapsed(),
+                        attempt_no,
+                        &leg.backend.addr,
+                        if leg.hedge { 0 } else { backoff_ms },
+                        leg.hedge,
+                        won,
+                        !won,
+                    );
                 }
                 return result;
             }
             if received.len() == legs.len() {
                 // Every leg failed: settle breakers and report the first.
-                for (_, leg) in &legs {
-                    self.record_outcome(leg, false);
+                for leg in &legs {
+                    self.record_outcome(&leg.backend, false);
+                    privim_obs::histogram("router.hop.upstream")
+                        .record(leg.started.elapsed().as_secs_f64());
+                    export_attempt_span(
+                        &leg.ctx,
+                        leg.start_us,
+                        leg.started.elapsed(),
+                        attempt_no,
+                        &leg.backend.addr,
+                        if leg.hedge { 0 } else { backoff_ms },
+                        leg.hedge,
+                        false,
+                        false,
+                    );
                 }
                 let (_, first_err) = received.swap_remove(0);
                 return first_err;
@@ -597,13 +736,53 @@ impl Router {
             match rx.recv_timeout(self.config.timeout) {
                 Ok(result) => received.push(result),
                 Err(_) => {
-                    for (_, leg) in &legs {
-                        self.record_outcome(leg, false);
+                    for leg in &legs {
+                        self.record_outcome(&leg.backend, false);
+                        export_attempt_span(
+                            &leg.ctx,
+                            leg.start_us,
+                            leg.started.elapsed(),
+                            attempt_no,
+                            &leg.backend.addr,
+                            if leg.hedge { 0 } else { backoff_ms },
+                            leg.hedge,
+                            false,
+                            false,
+                        );
                     }
                     return Err("hedged request timed out on every leg".into());
                 }
             }
         }
+    }
+
+    /// Assembles the tier-wide trace view for `GET /debug/tier-trace`:
+    /// the router's own span ring merged with every backend's
+    /// `/debug/spans`, rendered as per-request trees with the per-hop
+    /// latency decomposition. `?request_id=` (or `?trace=` with a raw
+    /// 32-hex trace id) narrows the view to one request.
+    fn tier_trace(&self, req: &Request) -> Response {
+        let mut records = privim_obs::exported_spans();
+        let timeout = Duration::from_millis(500).min(self.config.timeout);
+        for backend in &self.backends {
+            // A fresh connection, not the pool: debug fan-out must not
+            // steal keep-alive sockets from the serving path.
+            if let Ok(mut client) = HttpClient::with_timeout(backend.addr.as_str(), timeout) {
+                if let Ok(resp) = client.get("/debug/spans") {
+                    if resp.status == 200 {
+                        if let Ok(text) = String::from_utf8(resp.body) {
+                            records.extend(privim_obs::parse_spans_jsonl(&text));
+                        }
+                    }
+                }
+            }
+        }
+        let filter = query_param(&req.path, "request_id")
+            .map(|id| TraceContext::from_request_id(&id).trace_id)
+            .or_else(|| {
+                query_param(&req.path, "trace").and_then(|t| u128::from_str_radix(&t, 16).ok())
+            });
+        Response::text(200, privim_obs::render_tier_traces(&records, filter))
     }
 
     /// Hand-rolled deterministic JSON for `GET /router/backends`.
@@ -635,24 +814,111 @@ impl Router {
     }
 }
 
+/// Exports one `router.attempt` span (no-op unless span export is armed).
+/// A hedge leg carries `hedge=true` instead of a backoff annotation; the
+/// losing leg of a resolved race is marked `cancelled=true` and excluded
+/// from latency decomposition.
+#[allow(clippy::too_many_arguments)]
+fn export_attempt_span(
+    ctx: &TraceContext,
+    start_us: u64,
+    elapsed: Duration,
+    attempt_no: u64,
+    backend: &str,
+    backoff_ms: u64,
+    hedge: bool,
+    ok: bool,
+    cancelled: bool,
+) {
+    if !privim_obs::span_export_armed() {
+        return;
+    }
+    let outcome = if cancelled {
+        "cancelled"
+    } else if ok {
+        "ok"
+    } else {
+        "error"
+    };
+    let mut annotations = vec![
+        ("attempt".to_string(), attempt_no.to_string()),
+        ("backend".to_string(), backend.to_string()),
+        ("outcome".to_string(), outcome.to_string()),
+    ];
+    if hedge {
+        annotations.push(("hedge".to_string(), "true".to_string()));
+    } else {
+        annotations.push(("backoff_ms".to_string(), backoff_ms.to_string()));
+    }
+    if cancelled {
+        annotations.push(("cancelled".to_string(), "true".to_string()));
+    }
+    privim_obs::export_span(privim_obs::SpanRecord {
+        process: String::new(),
+        name: "router.attempt".into(),
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_span_id: ctx.parent_span_id,
+        start_us,
+        dur_us: elapsed.as_micros() as u64,
+        annotations,
+    });
+}
+
+/// Exports a zero-duration `router.breaker` marker span for a breaker
+/// state transition. Transitions happen outside any one request, so the
+/// span roots its own trace, derived from (backend, trip count,
+/// transition) — identical across reruns of the same failure sequence.
+fn export_breaker_span(addr: &str, transition: &str, trips: u64) {
+    if !privim_obs::span_export_armed() {
+        return;
+    }
+    let ctx = TraceContext::from_request_id(&format!("breaker-{addr}-{trips}-{transition}"));
+    privim_obs::export_span(privim_obs::SpanRecord {
+        process: String::new(),
+        name: "router.breaker".into(),
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_span_id: None,
+        start_us: privim_obs::now_micros(),
+        dur_us: 0,
+        annotations: vec![
+            ("backend".to_string(), addr.to_string()),
+            ("transition".to_string(), transition.to_string()),
+            ("trips".to_string(), trips.to_string()),
+        ],
+    });
+}
+
 /// Sends `req` to one backend and converts the reply. 503s and transport
 /// errors are attempt failures (the retriable class); every other status
 /// — including 4xx and 500 — is a final answer to relay as-is.
-fn send_once(backend: &Backend, req: &Request, timeout: Duration) -> Result<Response, String> {
+fn send_once(
+    backend: &Backend,
+    req: &Request,
+    timeout: Duration,
+    trace: Option<&TraceContext>,
+) -> Result<Response, String> {
     let mut client = backend
         .client(timeout)
         .map_err(|e| format!("{}: connect: {e}", backend.addr))?;
-    // Forward the request id so traces correlate across the two tiers.
-    let id_header: Vec<(&str, &str)> = req
-        .header("x-request-id")
-        .map(|id| vec![("X-Request-Id", id)])
-        .unwrap_or_default();
+    // Forward the request id so logs correlate across the two tiers, and
+    // the attempt's trace context so the replica's request span parents
+    // under this attempt (see `privim_obs::trace`).
+    let trace_header = trace.map(|t| t.to_trace_header());
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(id) = req.header("x-request-id") {
+        headers.push(("X-Request-Id", id));
+    }
+    if let Some(value) = trace_header.as_deref() {
+        headers.push(("X-Privim-Trace", value));
+    }
     let body = if req.method == Method::Post {
         Some(req.body.as_slice())
     } else {
         None
     };
-    let outcome = client.request_with_headers(&req.method.to_string(), &req.path, &id_header, body);
+    let outcome = client.request_with_headers(&req.method.to_string(), &req.path, &headers, body);
     match outcome {
         Ok(resp) if resp.status == 503 => Err(format!("{}: backend said 503", backend.addr)),
         Ok(resp) => {
@@ -663,8 +929,9 @@ fn send_once(backend: &Backend, req: &Request, timeout: Duration) -> Result<Resp
             };
             for (name, value) in &resp.headers {
                 // Hop-by-hop and framing headers are re-derived by our
-                // own writer; everything else passes through.
-                if name != "connection" && name != "content-length" {
+                // own writer, and the server layer stamps its own
+                // X-Request-Id echo; everything else passes through.
+                if name != "connection" && name != "content-length" && name != "x-request-id" {
                     out.headers.push((canonical_header(name), value.clone()));
                 }
             }
@@ -673,6 +940,20 @@ fn send_once(backend: &Backend, req: &Request, timeout: Duration) -> Result<Resp
         }
         Err(e) => Err(format!("{}: {e}", backend.addr)),
     }
+}
+
+/// Extracts a (non-empty) query parameter value from a request path.
+/// No percent-decoding: the values this router accepts (request ids,
+/// hex trace ids) are plain tokens by construction.
+fn query_param(path: &str, key: &str) -> Option<String> {
+    let (_, query) = path.split_once('?')?;
+    for pair in query.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == key && !v.is_empty() {
+            return Some(v.to_string());
+        }
+    }
+    None
 }
 
 /// Restores canonical casing for the header names our stack emits (the
@@ -749,6 +1030,8 @@ impl Handler for Router {
             (Method::Get, "/router/backends") => {
                 Response::json(200, self.backends_status().into_bytes())
             }
+            (Method::Get, "/debug/spans") => Response::text(200, privim_obs::spans_jsonl()),
+            (Method::Get, "/debug/tier-trace") => self.tier_trace(req),
             _ => self.forward(req),
         }
     }
@@ -762,8 +1045,15 @@ impl Handler for Router {
             "/v1/seeds" => "seeds",
             "/v1/spread" => "spread",
             "/router/backends" => "router",
+            "/debug/spans" | "/debug/tier-trace" => "debug",
             _ => "other",
         }
+    }
+
+    /// Queue wait measured by the front server feeds the router's hop
+    /// decomposition histograms.
+    fn on_queue_wait(&self, wait: Duration) {
+        privim_obs::histogram("router.hop.queue_wait").record(wait.as_secs_f64());
     }
 
     /// Ready while at least one backend is routable — the tier can
@@ -1097,6 +1387,200 @@ mod tests {
         front.shutdown();
         slow.shutdown();
         fast.shutdown();
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        assert_eq!(
+            query_param("/debug/tier-trace?request_id=abc", "request_id"),
+            Some("abc".to_string())
+        );
+        assert_eq!(
+            query_param("/p?a=1&trace=00ff", "trace"),
+            Some("00ff".to_string())
+        );
+        assert_eq!(query_param("/p?trace=", "trace"), None);
+        assert_eq!(query_param("/p", "trace"), None);
+    }
+
+    #[test]
+    fn hedged_spread_exports_exactly_two_attempt_spans() {
+        // Slow primary, fast hedge: the race resolves with the hedge leg
+        // winning, and the span ring must show exactly one primary
+        // attempt span (cancelled) and one hedge span (winner), both
+        // parented under the request's root span with ids that are pure
+        // functions of the request id.
+        let slow = Server::start(
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
+            Arc::new(|req: &Request| {
+                if req.route() == "/v1/spread" {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Response::json(200, b"{\"spread\":1.0,\"tag\":\"common\"}".to_vec())
+            }),
+        )
+        .unwrap();
+        let fast = start_backend("fast");
+        let (_router, front) = router_over(
+            vec![slow.local_addr().to_string(), fast.local_addr().to_string()],
+            RouterConfig {
+                retries: 1,
+                hedge_after: Some(Duration::from_millis(50)),
+                timeout: Duration::from_secs(3),
+                ..RouterConfig::default()
+            },
+        );
+        let id = "hedge-span-test-0001";
+        let root = TraceContext::from_request_id(id);
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        let resp = client
+            .request_with_headers(
+                "POST",
+                "/v1/spread",
+                &[("X-Request-Id", id)],
+                Some(b"{\"seeds\":[1]}"),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        // The ring is shared across tests in this binary; the unique
+        // request id isolates this request's trace.
+        let spans: Vec<_> = privim_obs::exported_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == root.trace_id && s.name == "router.attempt")
+            .collect();
+        assert_eq!(spans.len(), 2, "primary + hedge leg: {spans:?}");
+        for span in &spans {
+            assert_eq!(
+                span.parent_span_id,
+                Some(root.span_id),
+                "attempt spans parent under the request root"
+            );
+        }
+        let primary_id = root.child_n(CHILD_ATTEMPT_BASE + 1).span_id;
+        let hedge_id = root.child_n(CHILD_HEDGE_BASE + 1).span_id;
+        let primary = spans.iter().find(|s| s.span_id == primary_id);
+        let hedge = spans.iter().find(|s| s.span_id == hedge_id);
+        let primary = primary.expect("primary attempt span has the derived id");
+        let hedge = hedge.expect("hedge leg span has the derived id");
+        assert_eq!(
+            primary.annotation("cancelled"),
+            Some("true"),
+            "the slow primary loses and is marked cancelled: {primary:?}"
+        );
+        assert_eq!(hedge.annotation("cancelled"), None, "{hedge:?}");
+        assert_eq!(hedge.annotation("outcome"), Some("ok"));
+        assert_eq!(hedge.annotation("hedge"), Some("true"));
+        front.shutdown();
+        slow.shutdown();
+        fast.shutdown();
+    }
+
+    #[test]
+    fn retry_ladder_exports_monotone_backoff_annotations() {
+        // Two dead backends ahead of a live one: the request climbs the
+        // retry ladder (attempts 1, 2, 3) and each attempt span carries
+        // the backoff it waited — 0, base, 2*base.
+        let live = start_backend("live");
+        let mut dead_addrs = Vec::new();
+        for _ in 0..2 {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            dead_addrs.push(sock.local_addr().unwrap().to_string());
+            drop(sock);
+        }
+        let (_router, front) = router_over(
+            vec![
+                dead_addrs[0].clone(),
+                dead_addrs[1].clone(),
+                live.local_addr().to_string(),
+            ],
+            RouterConfig {
+                retries: 3,
+                backoff: Duration::from_millis(10),
+                breaker_failures: 10,
+                timeout: Duration::from_millis(500),
+                ..RouterConfig::default()
+            },
+        );
+        let id = "retry-ladder-test-0001";
+        let root = TraceContext::from_request_id(id);
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        let resp = client
+            .request_with_headers("GET", "/tag", &[("X-Request-Id", id)], None)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let mut spans: Vec<_> = privim_obs::exported_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == root.trace_id && s.name == "router.attempt")
+            .collect();
+        spans.sort_by_key(|s| s.annotation("attempt").and_then(|a| a.parse::<u64>().ok()));
+        assert_eq!(spans.len(), 3, "attempts 1..3: {spans:?}");
+        let mut backoffs = Vec::new();
+        for (k, span) in spans.iter().enumerate() {
+            let attempt_no = k as u64 + 1;
+            assert_eq!(
+                span.annotation("attempt"),
+                Some(attempt_no.to_string().as_str())
+            );
+            assert_eq!(
+                span.span_id,
+                root.child_n(CHILD_ATTEMPT_BASE + attempt_no).span_id,
+                "attempt {attempt_no} span id is a pure function of the request id"
+            );
+            backoffs.push(
+                span.annotation("backoff_ms")
+                    .and_then(|b| b.parse::<u64>().ok())
+                    .expect("non-hedge attempts carry backoff_ms"),
+            );
+        }
+        assert_eq!(backoffs, vec![0, 10, 20], "exponential ladder");
+        assert_eq!(spans[2].annotation("outcome"), Some("ok"));
+        front.shutdown();
+        live.shutdown();
+    }
+
+    #[test]
+    fn tier_trace_endpoint_assembles_router_spans() {
+        let live = start_backend("live");
+        let (_router, front) = router_over(
+            vec![live.local_addr().to_string()],
+            RouterConfig {
+                retries: 1,
+                ..RouterConfig::default()
+            },
+        );
+        let id = "tier-trace-endpoint-test-1";
+        let mut client = HttpClient::connect(front.local_addr()).unwrap();
+        let resp = client
+            .request_with_headers("GET", "/tag", &[("X-Request-Id", id)], None)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let trace_hex = format!("{:032x}", TraceContext::from_request_id(id).trace_id);
+        let view = client
+            .get(&format!("/debug/tier-trace?request_id={id}"))
+            .unwrap();
+        assert_eq!(view.status, 200);
+        let text = String::from_utf8(view.body).unwrap();
+        assert!(text.contains(&format!("trace {trace_hex}")), "{text}");
+        assert!(text.contains("router.attempt"), "{text}");
+        assert!(
+            text.contains("connected") && !text.contains("disconnected"),
+            "{text}"
+        );
+        // The raw span feed serves the same records as JSONL.
+        let feed = client.get("/debug/spans").unwrap();
+        let records = privim_obs::parse_spans_jsonl(&String::from_utf8(feed.body).unwrap());
+        assert!(
+            records
+                .iter()
+                .any(|r| r.trace_id == TraceContext::from_request_id(id).trace_id),
+            "span feed includes the request's trace"
+        );
+        front.shutdown();
+        live.shutdown();
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub trait Handler: Send + Sync + 'static {
     fn ready(&self) -> bool {
         true
     }
+
+    /// Called once per connection with the time it spent on the accept
+    /// queue before a worker picked it up, so a handler can attribute
+    /// queueing in its own metrics (the router's `router.hop.*` series).
+    /// Default: ignored.
+    fn on_queue_wait(&self, wait: Duration) {
+        let _ = wait;
+    }
 }
 
 /// Wraps a handler whose state loads after the socket is already bound:
@@ -134,6 +142,12 @@ impl Handler for ReadyGate {
 
     fn ready(&self) -> bool {
         self.current().is_some_and(|h| h.ready())
+    }
+
+    fn on_queue_wait(&self, wait: Duration) {
+        if let Some(h) = self.current() {
+            h.on_queue_wait(wait);
+        }
     }
 }
 
@@ -380,24 +394,28 @@ fn worker_loop(
     }
 }
 
-/// Serves one connection until it closes, errors, keep-alive ends, or a
-/// shutdown is requested (in-flight request still gets its response).
 /// Derives the request's trace context and the id echoed back in
 /// `X-Request-Id`. A client-supplied id (sane ASCII, bounded length) is
 /// honored verbatim so the caller can correlate; anything else gets a
-/// generated id from a process-local counter. Neither path reads the
-/// wall clock or consumes RNG, keeping seeded responses bit-identical.
+/// generated id from a process-local counter. When the request carries a
+/// valid `X-Privim-Trace` header (the router propagating its attempt
+/// span), the context is re-derived from the remote parent instead, so
+/// this process's request span lands under the sender's attempt span
+/// with the exact id both sides compute. Neither path reads the wall
+/// clock or consumes RNG, keeping seeded responses bit-identical.
 fn request_trace(request: &Request) -> (String, privim_obs::TraceContext) {
+    let propagated = request
+        .header(privim_obs::TRACE_HEADER)
+        .and_then(privim_obs::parse_trace_header)
+        .map(|remote| remote.child_n(privim_obs::trace::CHILD_REMOTE_REQUEST));
     match request.header("x-request-id") {
         Some(id)
             if !id.is_empty()
                 && id.len() <= 128
                 && id.bytes().all(|b| b.is_ascii_graphic() || b == b' ') =>
         {
-            (
-                id.to_string(),
-                privim_obs::TraceContext::from_request_id(id),
-            )
+            let ctx = propagated.unwrap_or_else(|| privim_obs::TraceContext::from_request_id(id));
+            (id.to_string(), ctx)
         }
         _ => {
             static REQUEST_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -405,7 +423,7 @@ fn request_trace(request: &Request) -> (String, privim_obs::TraceContext) {
             // Domain tag "srv-req" keeps generated ids clear of every
             // other splitmix64-derived stream in the workspace.
             let ctx = privim_obs::TraceContext::from_seed(0x7372_765F_7265_7100 ^ n);
-            (ctx.trace_id_hex(), ctx)
+            (ctx.trace_id_hex(), propagated.unwrap_or(ctx))
         }
     }
 }
@@ -442,6 +460,11 @@ fn serve_connection(
         Err(_) => return,
     });
     let mut stream = stream;
+    // Queue age of this connection (accept → worker pickup): the first
+    // request pays it, and the replica reports it as its queue-wait hop.
+    let queue_wait = accepted_at.elapsed();
+    handler.on_queue_wait(queue_wait);
+    let mut first_request = true;
     loop {
         // Idle wait between requests: poll for the next byte in short
         // slices so a drain can close an idle keep-alive connection at
@@ -474,7 +497,7 @@ fn serve_connection(
                 return;
             }
         }
-        let request = match read_request(&mut reader, max_body) {
+        let mut request = match read_request(&mut reader, max_body) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close between requests
             Err(err) => {
@@ -496,8 +519,19 @@ fn serve_connection(
         // for the whole handling so handler events (and the parallel
         // spread workers, which re-adopt it) are all stamped with it.
         let (request_id, trace_ctx) = request_trace(&request);
+        // Make the resolved id visible to the handler under the header
+        // name it expects: a proxying handler (the router) forwards it
+        // downstream, so a generated id correlates across the tier too.
+        if request.header("x-request-id") != Some(request_id.as_str()) {
+            request.headers.retain(|(name, _)| name != "x-request-id");
+            request
+                .headers
+                .push(("x-request-id".into(), request_id.clone()));
+        }
         let _trace = trace_ctx.enter();
         let started = Instant::now();
+        let export_spans = privim_obs::span_export_armed();
+        let handle_start_us = privim_obs::now_micros();
         // A panicking handler must cost one 500, not one pool thread.
         // `/readyz` is answered by the server itself: readiness must stay
         // truthful even while the handler's own state is still loading,
@@ -539,6 +573,54 @@ fn serve_connection(
                 request_id = request_id.clone(),
             );
         }
+        if export_spans {
+            let handle_us = started.elapsed().as_micros() as u64;
+            let queue_us = if first_request {
+                queue_wait.as_micros() as u64
+            } else {
+                0
+            };
+            // The request span covers queue wait + handling, so a remote
+            // parent's attempt duration minus this span is pure
+            // transport. Its children split the queue-age and
+            // worker-compute shares at the tier's agreed child indices.
+            privim_obs::export_span(privim_obs::SpanRecord {
+                process: String::new(),
+                name: "serve.request".into(),
+                trace_id: trace_ctx.trace_id,
+                span_id: trace_ctx.span_id,
+                parent_span_id: trace_ctx.parent_span_id,
+                start_us: handle_start_us.saturating_sub(queue_us),
+                dur_us: queue_us + handle_us,
+                annotations: vec![
+                    ("route".into(), label.to_string()),
+                    ("status".into(), response.status.to_string()),
+                ],
+            });
+            let queue_ctx = trace_ctx.child_n(privim_obs::trace::CHILD_QUEUE_WAIT);
+            privim_obs::export_span(privim_obs::SpanRecord {
+                process: String::new(),
+                name: "serve.queue_wait".into(),
+                trace_id: queue_ctx.trace_id,
+                span_id: queue_ctx.span_id,
+                parent_span_id: queue_ctx.parent_span_id,
+                start_us: handle_start_us.saturating_sub(queue_us),
+                dur_us: queue_us,
+                annotations: Vec::new(),
+            });
+            let handle_ctx = trace_ctx.child_n(privim_obs::trace::CHILD_HANDLE);
+            privim_obs::export_span(privim_obs::SpanRecord {
+                process: String::new(),
+                name: "serve.handle".into(),
+                trace_id: handle_ctx.trace_id,
+                span_id: handle_ctx.span_id,
+                parent_span_id: handle_ctx.parent_span_id,
+                start_us: handle_start_us,
+                dur_us: handle_us,
+                annotations: Vec::new(),
+            });
+        }
+        first_request = false;
         // Honor keep-alive only while the server is not draining.
         let keep_alive = request.wants_keep_alive() && !stop.load(Ordering::SeqCst);
         if response.write_to(&mut stream, keep_alive).is_err() {
